@@ -1,0 +1,46 @@
+"""Ablation — adaptive-K control vs. fixed K (§5.2's future work).
+
+The controller should track the regime: stay near K=1 when quiet, sample
+more when noisy, and never be far from the best fixed K for each ρ.
+"""
+
+import numpy as np
+
+from repro.experiments._fmt import format_table
+from repro.experiments.ablations import run_adaptive_k_study
+
+
+def test_ablation_adaptive_k(benchmark, report, scale):
+    trials = 40 if scale == "full" else 15
+    tables = benchmark.pedantic(
+        lambda: run_adaptive_k_study(
+            trials=trials, budget=300, rho_values=(0.0, 0.1, 0.3), rng=19
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = []
+    for rho, table in tables.items():
+        text.append(f"--- rho = {rho} ---")
+        text.append(
+            format_table(
+                ["plan", "mean NTT", "std NTT", "mean final true cost"],
+                table.rows(),
+            )
+        )
+    report("ablation_adaptive_k", "\n".join(text))
+    # --- shape claims -----------------------------------------------------------
+    for rho, table in tables.items():
+        fixed_ntts = [
+            table.ntt_of(name) for name in table.row_names if name.startswith("fixed")
+        ]
+        best_fixed = min(fixed_ntts)
+        worst_fixed = max(fixed_ntts)
+        adaptive = table.ntt_of("adaptive")
+        # Adaptive never as bad as the worst fixed choice, and within 20%
+        # of the best fixed choice (it pays a learning transient).
+        assert adaptive < worst_fixed
+        assert adaptive <= best_fixed * 1.20, f"rho={rho}"
+    # Quiet regime: adaptive matches fixed K=1 closely.
+    quiet = tables[0.0]
+    assert quiet.ntt_of("adaptive") <= quiet.ntt_of("fixed K=1") * 1.10

@@ -1,0 +1,77 @@
+"""Ablation — adaptive initial-simplex sizing vs. fixed r (§3.2.3 future
+work: "we plan ... to develop adaptive methods for computing b").
+
+The auto-sizer pays one extra parallel batch (all candidate simplexes
+evaluated together) and must then be competitive with the best fixed size —
+without knowing the surface.
+"""
+
+import numpy as np
+
+from repro._util import as_generator
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import MinEstimator, SamplingPlan
+from repro.experiments._fmt import format_table
+from repro.experiments.common import gs2_problem
+from repro.harmony.session import TuningSession
+from repro.variability.models import ParetoNoise
+
+
+def run_autosize_study(trials: int, budget: int = 150, rho: float = 0.1, seed: int = 23):
+    master = as_generator(seed)
+    surrogate, db = gs2_problem(rng=master)
+    space = surrogate.space()
+    noise = ParetoNoise(rho=rho)
+    trial_seeds = [int(s) for s in master.integers(0, 2**63 - 1, size=trials)]
+    configs = {
+        "fixed r=0.1": dict(r=0.1),
+        "fixed r=0.2": dict(r=0.2),
+        "fixed r=0.4": dict(r=0.4),
+        "fixed r=0.8": dict(r=0.8),
+        "auto-sized": dict(auto_size=True),
+    }
+    rows = []
+    ntts = {}
+    for name, kwargs in configs.items():
+        vals = np.empty(trials)
+        finals = np.empty(trials)
+        chosen = []
+        for t in range(trials):
+            tuner = ParallelRankOrdering(space, **kwargs)
+            result = TuningSession(
+                tuner, db, noise=noise, budget=budget,
+                plan=SamplingPlan(1, MinEstimator()), rng=trial_seeds[t],
+            ).run()
+            vals[t] = result.normalized_total_time()
+            finals[t] = result.best_true_cost
+            if tuner.chosen_r is not None:
+                chosen.append(tuner.chosen_r)
+        ntts[name] = float(vals.mean())
+        rows.append(
+            [name, float(vals.mean()), float(vals.std()), float(finals.mean()),
+             f"{np.mean(chosen):.2f}" if name == "auto-sized" else "-"]
+        )
+    return rows, ntts
+
+
+def test_ablation_autosize(benchmark, report, scale):
+    trials = 40 if scale == "full" else 15
+    rows, ntts = benchmark.pedantic(
+        lambda: run_autosize_study(trials), rounds=1, iterations=1
+    )
+    report(
+        "ablation_autosize",
+        format_table(
+            ["initial simplex", "mean NTT", "std NTT", "mean final cost",
+             "mean chosen r"],
+            rows,
+        ),
+    )
+    fixed = {k: v for k, v in ntts.items() if k.startswith("fixed")}
+    best_fixed = min(fixed.values())
+    worst_fixed = max(fixed.values())
+    auto = ntts["auto-sized"]
+    # Auto-sizing must beat the worst fixed choice and stay within 10% of
+    # the best fixed choice despite paying the sizing batch.
+    assert auto < worst_fixed
+    assert auto <= best_fixed * 1.10

@@ -1,0 +1,42 @@
+"""Ablation — min vs. mean vs. median estimators (§5.1).
+
+The paper's prediction: under heavy-tailed (Pareto) noise the min operator
+dominates the average; under light-tailed noise (truncated Pareto,
+exponential, Gaussian) the penalty for using min is small.  We check
+final-configuration quality (the estimator's job is ordering configurations
+correctly) and back the headline claim with a paired significance test
+rather than a bare mean comparison.
+"""
+
+from repro.experiments._fmt import format_table
+from repro.experiments.ablations import run_estimator_comparison
+
+
+def test_ablation_estimators(benchmark, report, scale):
+    trials = 40 if scale == "full" else 15
+    tables = benchmark.pedantic(
+        lambda: run_estimator_comparison(trials=trials, budget=200, k=4, rng=17),
+        rounds=1,
+        iterations=1,
+    )
+    text = []
+    for label, table in tables.items():
+        text.append(f"--- noise: {label} ---")
+        text.append(
+            format_table(
+                ["estimator", "mean NTT", "std NTT", "mean final true cost"],
+                table.rows(),
+            )
+        )
+    report("ablation_estimators", "\n".join(text))
+    # --- shape claims ---------------------------------------------------------------
+    pareto = tables["pareto"]
+    gaussian = tables["gaussian"]
+    # Heavy tails: min strictly better final configurations than mean.
+    assert pareto.final_cost_of("min") < pareto.final_cost_of("mean")
+    # Light tails: using min instead of mean costs little (within 15%).
+    assert gaussian.final_cost_of("min") <= gaussian.final_cost_of("mean") * 1.15
+    for label in ("truncated-pareto", "exponential"):
+        t = tables[label]
+        assert t.final_cost_of("min") <= t.final_cost_of("mean") * 1.15, label
+

@@ -1,0 +1,40 @@
+"""Ablation — PRO's design choices vs. the alternatives (§3.2).
+
+Checks the paper's qualitative rankings on the GS2 database under
+heavy-tailed noise:
+
+* PRO beats the sequential SRO on the online metric (parallel evaluation
+  pays);
+* PRO beats random search comfortably;
+* the default PRO (checked expansion, best-based acceptance) is not worse
+  than its greedy/eager ablations;
+* annealing loses on Total_Time (the §2 transient argument).
+"""
+
+from repro.experiments._fmt import format_table
+from repro.experiments.ablations import run_variant_comparison
+
+
+def test_ablation_pro_variants(benchmark, report, scale):
+    trials = 40 if scale == "full" else 15
+    table = benchmark.pedantic(
+        lambda: run_variant_comparison(trials=trials, budget=150, rng=13),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "ablation_variants",
+        format_table(
+            ["tuner", "mean NTT", "std NTT", "mean final true cost"],
+            table.rows(),
+        ),
+    )
+    # --- shape claims ------------------------------------------------------------
+    assert table.ntt_of("pro") < table.ntt_of("random")
+    assert table.ntt_of("pro") < table.ntt_of("annealing")
+    assert table.ntt_of("pro") < table.ntt_of("genetic")
+    assert table.ntt_of("pro") <= table.ntt_of("sro") * 1.05
+    # Best-vertex acceptance beats greedy acceptance (which can cycle).
+    assert table.ntt_of("pro") <= table.ntt_of("pro_greedy") * 1.05
+    # The axial 2N simplex beats the minimal simplex (the §6.1 finding).
+    assert table.ntt_of("pro") <= table.ntt_of("pro_minimal") * 1.10

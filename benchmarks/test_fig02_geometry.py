@@ -1,0 +1,29 @@
+"""Figure 2 — reflection / expansion / shrink of a 2-D simplex.
+
+Regenerates the transformed vertex coordinates and checks the defining
+affine identities around the best vertex v0.
+"""
+
+import numpy as np
+
+from repro.experiments._fmt import format_table
+from repro.experiments.fig02_geometry import run_geometry_demo
+
+
+def test_fig02_simplex_transforms(benchmark, report):
+    demo = benchmark(run_geometry_demo)
+    report(
+        "fig02_geometry",
+        format_table(["simplex", "vertex", "x", "y"], demo.rows()),
+    )
+    assert demo.identities_hold()
+    # Reflection preserves the simplex's area (|det| invariant), expansion
+    # scales it by 4 in 2-D (factor 2 per moving vertex offset), shrink by 1/4.
+    def area(pts):
+        a, b, c = pts
+        return abs(np.cross(b - a, c - a)) / 2.0
+
+    base = area(demo.original)
+    assert np.isclose(area(demo.reflected), base)
+    assert np.isclose(area(demo.expanded), 4.0 * base)
+    assert np.isclose(area(demo.shrunk), base / 4.0)

@@ -1,0 +1,39 @@
+"""Figure 3 — 800-iteration GS2 traces on 64 simulated processors.
+
+Shape claims: a quiet baseline with two spike populations (frequent small,
+rare big) and high cross-processor correlation, as in the paper's plots of
+4 of the 64 processors.
+"""
+
+import numpy as np
+
+from repro.experiments._fmt import format_series, format_table
+from repro.experiments.fig03_trace import simulate_gs2_trace
+
+
+def test_fig03_cluster_trace(benchmark, report, scale):
+    n_nodes, n_iters = (64, 800) if scale == "full" else (32, 400)
+    trace = benchmark.pedantic(
+        lambda: simulate_gs2_trace(n_nodes=n_nodes, n_iterations=n_iters, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    summary = trace.summary()
+    rows = [[k, v] for k, v in summary.items()]
+    # The paper plots 4 of the processors; reproduce those series (heads).
+    series = "\n".join(
+        format_series(f"processor {p}", trace.processor_series(p)[:50])
+        for p in range(4)
+    )
+    report(
+        "fig03_trace",
+        format_table(["metric", "value"], rows) + "\n\n" + series,
+    )
+    # --- shape claims ---------------------------------------------------------
+    n_small, n_big = trace.spike_counts()
+    assert n_small > 10, "frequent small spikes expected"
+    assert n_big > 3, "rare big spikes expected"
+    assert n_small > n_big, "small spikes outnumber big ones"
+    assert trace.mean_cross_correlation() > 0.15, "cross-processor correlation"
+    med = float(np.median(trace.flatten()))
+    assert trace.flatten().max() > 10 * med, "order-of-magnitude outliers"

@@ -1,0 +1,43 @@
+"""Figure 7 — 1-cdf of the truncated data on log-log axes.
+
+The paper's claim: even with the big spikes removed, the small-spike tail
+is approximately linear in log-log space — "evidence for heavy tail
+component, which is due to the small spikes this time".  (Truncation
+necessarily bounds the support, so we assert tail *linearity* and
+non-negligible exceedance — the figure's actual content — rather than a
+sub-2 tail index, which truncated data cannot exhibit asymptotically.)
+"""
+
+import numpy as np
+
+from repro.experiments._fmt import format_table
+from repro.variability.heavytail import (
+    empirical_ccdf,
+    loglog_tail_fit,
+    tail_report,
+    truncate,
+)
+
+
+def test_fig07_truncated_ccdf(benchmark, report, shared_trace):
+    trace = shared_trace
+    data = trace.flatten()
+    med = float(np.median(data))
+    trunc = truncate(data, 5.0 * med)
+    rep = benchmark(lambda: tail_report(trunc))
+    x, q = empirical_ccdf(trunc)
+    step = max(1, x.size // 50)
+    rows = [[float(x[i]), float(q[i])] for i in range(0, x.size, step) if q[i] > 0]
+    report(
+        "fig07_truncated_ccdf",
+        "\n".join(rep.lines()) + "\n\n" + format_table(["x", "P[X > x]"], rows),
+    )
+    # --- shape claims --------------------------------------------------------------
+    assert rep.fit.r_squared > 0.9, "truncated tail still approximately linear"
+    assert rep.frac_above_2x_median > 0.005, "small spikes are not negligible"
+    # The small-spike tail decays slower than a Gaussian null of matched
+    # mean/std would: compare exceedance beyond 3 sigma.
+    rng = np.random.default_rng(0)
+    null = np.abs(rng.normal(trunc.mean(), trunc.std(), trunc.size))
+    t = trunc.mean() + 3 * trunc.std()
+    assert np.mean(trunc > t) > np.mean(null > t)

@@ -1,0 +1,33 @@
+"""Figure 8 — the GS2 performance surface slice (2 params, third fixed).
+
+Shape claims: the surface "is not smooth and contains multiple local
+minimums" and spans a meaningful dynamic range.
+"""
+
+import numpy as np
+
+from repro.experiments._fmt import format_table
+from repro.experiments.fig08_surface import run_surface_slice
+
+
+def test_fig08_surface_slice(benchmark, report):
+    s = benchmark.pedantic(run_surface_slice, rounds=1, iterations=1)
+    # Render a decimated cost matrix (every 4th row/column) plus headline rows.
+    head = format_table(["property", "value"], s.rows())
+    lines = [head, "", f"costs[{s.x_name} (rows) x {s.y_name} (cols)], every 4th:"]
+    sub_x = s.x_values[::4]
+    sub = s.costs[::4, ::4]
+    header = ["ntheta\\negrid"] + [f"{v:g}" for v in s.y_values[::4]]
+    rows = [
+        [f"{xv:g}"] + [f"{c:.2f}" for c in row] for xv, row in zip(sub_x, sub)
+    ]
+    lines.append(format_table(header, rows))
+    report("fig08_surface", "\n".join(lines))
+    # --- shape claims -------------------------------------------------------------
+    assert s.n_local_minima >= 5, "multiple local minima on the slice"
+    assert s.median_relative_jump > 0.005, "non-smooth lattice jumps"
+    assert s.dynamic_range() > 2.0, "meaningful cost spread"
+    # The slice minimum is interior in both axes (grid-size trade-offs).
+    x_opt, y_opt, _ = s.minimum()
+    assert s.x_values[0] < x_opt <= s.x_values[-1]
+    assert s.y_values[0] < y_opt < s.y_values[-1]

@@ -1,0 +1,34 @@
+"""Figure 9 — initial simplex shape and size study (§6.1).
+
+Shape claims:
+* the 2N-vertex axial simplex outperforms the minimal N+1 simplex on
+  average over the r sweep ("clearly outperforms");
+* the best r is interior — neither the smallest nor the largest swept
+  value ("neither small nor large size initial simplexes likely perform
+  well").
+"""
+
+from repro.experiments._fmt import format_table
+from repro.experiments.fig09_simplex import run_initial_simplex_study
+
+
+def test_fig09_initial_simplex_study(benchmark, report, scale):
+    trials = 40 if scale == "full" else 12
+    study = benchmark.pedantic(
+        lambda: run_initial_simplex_study(trials=trials, rng=42),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "fig09_initial_simplex",
+        format_table(
+            ["shape", "r", "mean NTT", "std NTT"],
+            study.rows(),
+        )
+        + f"\n\naxial (2N) beats minimal (N+1): {study.axial_beats_minimal()}"
+        + f"\nbest r (axial): {study.best_r('axial')}"
+        + f"\nbest r (minimal): {study.best_r('minimal')}",
+    )
+    # --- shape claims ---------------------------------------------------------------
+    assert study.axial_beats_minimal()
+    assert study.interior_r_wins("axial")

@@ -1,0 +1,62 @@
+"""Figure 10 — Average NTT vs. number of samples K per idle throughput ρ.
+
+The paper's headline experiment.  Shape claims checked:
+
+1. ρ = 0: NTT strictly increases from K=1 to K=5 (multi-sampling is pure
+   overhead without noise) — the paper's "linear increase" observation;
+2. an *interior* optimum K* > 1 exists for sufficiently noisy rows, and
+   K*(ρ) is (weakly) non-decreasing in ρ;
+3. NTT at any fixed K degrades as ρ grows (performance decreases with
+   variability) — checked between the extreme rows.
+
+Claim 3's famous exception (ρ = 0.05 beating ρ = 0 via noise-assisted
+escape from local minima) does NOT reproduce on our surrogate: noise-free
+PRO already reaches the global basin here, so there is no trap for noise to
+break.  The bench reports the comparison instead of asserting it; see
+EXPERIMENTS.md for the analysis.
+"""
+
+import numpy as np
+
+from repro.experiments._fmt import format_table
+from repro.experiments.fig10_sampling import run_sampling_study
+
+
+def test_fig10_sampling_study(benchmark, report, scale):
+    if scale == "full":
+        trials, rhos = 2000, (0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40)
+    else:
+        trials, rhos = 60, (0.0, 0.05, 0.15, 0.25, 0.40)
+    study = benchmark.pedantic(
+        lambda: run_sampling_study(rho_values=rhos, trials=trials, rng=2005),
+        rounds=1,
+        iterations=1,
+    )
+    opt_rows = [[rho, study.optimal_k(rho)] for rho in study.rho_values]
+    report(
+        "fig10_sampling",
+        format_table(["rho", "K", "mean NTT", "std NTT"], study.rows())
+        + "\n\n"
+        + format_table(["rho", "optimal K"], opt_rows)
+        + f"\n\nrho=0 NTT increases with K : {study.rho0_slope_positive()}"
+        + f"\nK*(rho) non-decreasing     : {study.optimal_k_nondecreasing()}"
+        + f"\ninterior optimum exists    : {study.interior_optimum_exists()}"
+        + (
+            f"\nrho=0.05 vs rho=0 at K=1   : "
+            f"{study.mean_ntt[study.rho_values.index(0.05), 0]:.1f} vs "
+            f"{study.mean_ntt[study.rho_values.index(0.0), 0]:.1f} "
+            f"(paper saw the noisy run win; see EXPERIMENTS.md)"
+            if 0.05 in study.rho_values
+            else ""
+        ),
+    )
+    # --- shape claims ----------------------------------------------------------------
+    # (1) rho = 0: monotone increase in K.
+    row0 = study.mean_ntt[study.rho_values.index(0.0)]
+    assert np.all(np.diff(row0) > 0)
+    # (2) interior optimum for noisy rows; K* weakly grows with rho.
+    assert study.interior_optimum_exists(min_rho=0.15)
+    assert study.optimal_k_nondecreasing(tolerance=1)
+    # (3) more noise costs more at fixed K (compare extreme rows, K = K*).
+    i_lo, i_hi = study.rho_values.index(0.0), study.rho_values.index(max(rhos))
+    assert study.mean_ntt[i_hi].min() > study.mean_ntt[i_lo].min()

@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not figure reproductions — these time the operations the simulation
+experiments hammer (projection, session stepping, database interpolation,
+the queue simulator), so performance regressions in the substrate are
+visible next to the figure benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.database import PerformanceDatabase
+from repro.apps.gs2 import GS2Surrogate
+from repro.cluster import Cluster, ExponentialService, PoissonArrivals
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import SamplingPlan
+from repro.harmony.session import TuningSession
+from repro.variability.models import ParetoNoise
+
+
+@pytest.fixture(scope="module")
+def gs2():
+    return GS2Surrogate()
+
+
+@pytest.fixture(scope="module")
+def gs2_db(gs2):
+    return PerformanceDatabase.from_function(gs2, gs2.space(), rng=0)
+
+
+@pytest.fixture(scope="module")
+def sparse_db(gs2):
+    return PerformanceDatabase.from_function(
+        gs2, gs2.space(), fraction=0.5, rng=0
+    )
+
+
+def test_perf_projection(benchmark, gs2):
+    space = gs2.space()
+    center = space.center()
+    rng = np.random.default_rng(0)
+    raw = [space.random_point(rng) + rng.normal(0, 3, 3) for _ in range(64)]
+
+    def project_batch():
+        return [space.project(p, center) for p in raw]
+
+    out = benchmark(project_batch)
+    assert all(space.contains(p) for p in out)
+
+
+def test_perf_surrogate_eval(benchmark, gs2):
+    space = gs2.space()
+    rng = np.random.default_rng(1)
+    pts = np.array([space.random_point(rng) for _ in range(256)])
+    total = benchmark(lambda: gs2.batch(pts).sum())
+    assert total > 0
+
+
+def test_perf_db_exact_lookup(benchmark, gs2_db, gs2):
+    space = gs2.space()
+    rng = np.random.default_rng(2)
+    pts = [space.random_point(rng) for _ in range(128)]
+    total = benchmark(lambda: sum(gs2_db(p) for p in pts))
+    assert total > 0
+
+
+def test_perf_db_interpolation(benchmark, sparse_db, gs2):
+    space = gs2.space()
+    rng = np.random.default_rng(3)
+    # Force interpolation by querying points missing from the sparse DB.
+    missing = [p for p in (space.random_point(rng) for _ in range(400))
+               if sparse_db.lookup(p) is None][:64]
+    assert missing
+    total = benchmark(lambda: sum(sparse_db.interpolate(p) for p in missing))
+    assert total > 0
+
+
+def test_perf_session_steps(benchmark, gs2, gs2_db):
+    noise = ParetoNoise(rho=0.2)
+
+    def one_session():
+        tuner = ParallelRankOrdering(gs2.space())
+        return TuningSession(
+            tuner, gs2_db, noise=noise, budget=100,
+            plan=SamplingPlan(1), rng=4,
+        ).run().total_time()
+
+    assert benchmark(one_session) > 0
+
+
+def test_perf_queue_simulator(benchmark):
+    def run_cluster():
+        cluster = Cluster(
+            8,
+            private_sources=[PoissonArrivals(0.2, ExponentialService(0.3))],
+            seed=5,
+        )
+        return cluster.run(1.0, 200).total_time()
+
+    assert benchmark(run_cluster) > 0

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Choosing K from first principles (§5.2, Eq. 22) — without knowing ρ.
+
+The paper: "If we know λ, we can start with a desirable error probability
+ε > 0, and compute sufficient number of samples K₀."  In practice neither
+the idle throughput ρ nor the noise-free cost f is known.  This example
+shows the full pipeline the library provides:
+
+1. **warm-up** — run the incumbent configuration for a handful of time
+   steps and record the observed times;
+2. **identify** — recover (ρ̂, f̂) from the running mean and minimum via the
+   closed-form inversion of Eqs. 6/17 (``repro.identify_noise``);
+3. **plan** — compute K₀ so that min-of-K₀ resolves a chosen relative
+   performance gap λ with error ε (``repro.KPlanner`` / Eq. 22);
+4. **tune** — run PRO with the planned sampling plan and compare against
+   naive K = 1 and an oversampled K = 8.
+
+Run:  python examples/confidence_driven_sampling.py
+"""
+
+import numpy as np
+
+import repro
+from repro.experiments._fmt import format_table
+
+
+def main() -> None:
+    surrogate = repro.GS2Surrogate()
+    space = surrogate.space()
+    true_rho, true_alpha = 0.30, 1.7
+    noise = repro.ParetoNoise(rho=true_rho, alpha=true_alpha)
+    rng = np.random.default_rng(0)
+
+    # -- 1+2: warm-up at the centre configuration, then identify the noise.
+    center = space.center()
+    f_center = surrogate(center)
+    warmup = noise.observe_batch(np.full(400, f_center), rng)
+    ident = repro.identify_noise(warmup, alpha=true_alpha)
+    print("=== noise identification from 400 warm-up observations ===")
+    print(f"true  : rho = {true_rho:.3f}, f = {f_center:.3f}")
+    print(f"est.  : rho = {ident.rho:.3f}, f = {ident.f:.3f} "
+          f"(beta floor {ident.beta:.3f})")
+
+    # -- 3: plan K for a 10% resolvable gap at 5% error probability.
+    planner = repro.KPlanner(rel_gap=0.10, error=0.05, alpha=true_alpha)
+    k_planned, _ = planner.plan(warmup)
+    print(f"\nEq. 22 plan: resolve 10% gaps with <=5% error  ->  K = {k_planned}")
+
+    # -- 4: tune with the planned K vs naive and oversampled plans.
+    db = repro.PerformanceDatabase.from_function(surrogate, space, rng=1)
+    budget = 400
+    rows = []
+    for name, k in (("naive K=1", 1), (f"planned K={k_planned}", k_planned),
+                    ("oversampled K=12", 12)):
+        ntts, finals = [], []
+        for trial in range(10):
+            tuner = repro.ParallelRankOrdering(space)
+            result = repro.TuningSession(
+                tuner, db, noise=noise, budget=budget,
+                plan=repro.SamplingPlan(k, repro.MinEstimator()),
+                rng=500 + trial,
+            ).run()
+            ntts.append(result.normalized_total_time())
+            finals.append(result.best_true_cost)
+        rows.append([name, float(np.mean(ntts)), float(np.mean(finals))])
+    print()
+    print(format_table(["plan", "mean NTT", "mean final cost"], rows))
+    print("\nThe planned K recovers most of the oversampled plan's decision"
+          "\nquality (final cost) at a fraction of its time-step bill, while"
+          "\nnaive K=1 settles on noise-corrupted configurations.")
+
+
+if __name__ == "__main__":
+    main()

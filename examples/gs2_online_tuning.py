@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The paper's §6 scenario: tune GS2 parameters against a performance
+database under heavy-tailed performance variability.
+
+Compares four strategies on the online metric (Total_Time over a fixed
+budget of application time steps):
+
+* PRO with the min-operator multi-sampling (the paper's proposal),
+* PRO with single samples,
+* Nelder–Mead (the original Active Harmony strategy),
+* random search (the sanity floor).
+
+Run:  python examples/gs2_online_tuning.py
+"""
+
+import numpy as np
+
+import repro
+from repro.experiments._fmt import format_table
+from repro.harmony.warmstart import warm_started_pro
+
+
+def main() -> None:
+    surrogate = repro.GS2Surrogate()
+    space = surrogate.space()
+
+    # The paper evaluates against a *database* of measured GS2 timings; ours
+    # is sampled from the surrogate with 70% lattice coverage, so missing
+    # configurations exercise the weighted nearest-neighbour interpolation.
+    db = repro.PerformanceDatabase.from_function(
+        surrogate, space, fraction=0.7, rng=1
+    )
+    noise = repro.ParetoNoise(rho=0.25, alpha=1.7)   # §6.2's noise model
+    budget = 300
+
+    opt_point, opt_cost = surrogate.true_optimum()
+    print("=== GS2 online tuning (database + Pareto noise) ===")
+    print(f"database          : {len(db)} entries ({db.coverage():.0%} of lattice)")
+    print(f"global optimum    : {space.as_dict(opt_point)} -> {opt_cost:.3f} s")
+    print(f"idle throughput   : rho = {noise.rho}, alpha = {noise.alpha}")
+    print(f"budget            : {budget} application time steps\n")
+
+    # A small "prior run" history for the warm-started contender (the
+    # SC'04-style reuse of past measurements).
+    prior = repro.PerformanceDatabase.from_function(
+        surrogate, space, fraction=0.05, rng=7
+    )
+    contenders = [
+        ("PRO + min(K=3)", lambda: repro.ParallelRankOrdering(space),
+         repro.SamplingPlan(3, repro.MinEstimator())),
+        ("PRO (K=1)", lambda: repro.ParallelRankOrdering(space),
+         repro.SamplingPlan(1, repro.MinEstimator())),
+        ("PRO warm-started", lambda: warm_started_pro(space, prior),
+         repro.SamplingPlan(3, repro.MinEstimator())),
+        ("Nelder-Mead", lambda: repro.NelderMead(space),
+         repro.SamplingPlan(1, repro.MinEstimator())),
+        ("random search", lambda: repro.RandomSearch(space, rng=2),
+         repro.SamplingPlan(1, repro.MinEstimator())),
+    ]
+    rows = []
+    for name, build, plan in contenders:
+        ntts, finals = [], []
+        for trial in range(10):
+            session = repro.TuningSession(
+                build(), db, noise=noise, plan=plan, budget=budget,
+                rng=100 + trial,
+            )
+            result = session.run()
+            ntts.append(result.normalized_total_time())
+            finals.append(result.best_true_cost)
+        rows.append(
+            [name, float(np.mean(ntts)), float(np.mean(finals)),
+             float(np.mean(finals)) / opt_cost]
+        )
+
+    print(format_table(
+        ["strategy", "mean NTT", "mean final cost", "x optimum"], rows
+    ))
+    print("\nLower NTT = better online behaviour; 'x optimum' = final config "
+          "cost relative to the global optimum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""The §5 story in numbers: why the min operator survives heavy tails.
+
+Three demonstrations:
+
+1. **The closure property (Eq. 19).**  The minimum of K Pareto(α, β)
+   samples is Pareto(Kα, β): sampling confirms the closed form, and for
+   K > 2/α the minimum has finite variance even when single samples do not.
+2. **Estimator convergence.**  Running estimates of f(v) from a stream of
+   noisy measurements: the sample mean keeps jumping (infinite variance),
+   the sample minimum settles onto the floor f + n_min immediately.
+3. **Ordering accuracy.**  The tuner only needs to *order* two
+   configurations; min-of-K gets the order right far more often than
+   mean-of-K under Pareto noise.
+
+Run:  python examples/noise_resilient_estimation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.experiments._fmt import format_table
+from repro.variability.twojob import pareto_beta_for
+
+
+def closure_demo() -> None:
+    print("--- 1. min-of-K closure (Eq. 19) ---")
+    alpha, beta = 0.9, 1.0          # infinite mean AND variance
+    d = repro.ParetoDistribution(alpha, beta)
+    rng = np.random.default_rng(0)
+    rows = []
+    for k in (1, 2, 3, 5, 10):
+        closed = d.minimum_of(k)
+        mins = d.sample(rng, size=(200_000, k)).min(axis=1)
+        emp = float(np.mean(mins > 2.0))
+        theory = float(closed.ccdf(2.0))
+        rows.append(
+            [k, f"{closed.alpha:.2f}",
+             "inf" if not np.isfinite(closed.mean) else f"{closed.mean:.3f}",
+             "inf" if not np.isfinite(closed.variance) else f"{closed.variance:.3f}",
+             f"{emp:.4f}", f"{theory:.4f}"]
+        )
+    print(format_table(
+        ["K", "tail index Kα", "mean", "variance",
+         "P[min>2] empirical", "theory"],
+        rows,
+    ))
+    print("single samples have infinite mean; K=3 already tames both moments\n")
+
+
+def convergence_demo() -> None:
+    print("--- 2. running mean vs running min of noisy measurements ---")
+    f, rho, alpha = 2.0, 0.3, 1.3
+    beta = float(pareto_beta_for(f, alpha, rho))
+    noise = repro.ParetoDistribution(alpha, beta)
+    rng = np.random.default_rng(1)
+    stream = f + np.asarray(noise.sample(rng, size=5000))
+    rows = []
+    for n in (10, 100, 1000, 5000):
+        head = stream[:n]
+        rows.append([n, float(head.mean()), float(head.min()), f + beta])
+    print(format_table(
+        ["samples", "running mean", "running min", "floor f+n_min"], rows
+    ))
+    print("the mean is dragged around by spikes; the min locks onto the floor\n")
+
+
+def ordering_demo() -> None:
+    print("--- 3. ordering two configurations (what the tuner needs) ---")
+    rho, alpha = 0.3, 1.7
+    rng = np.random.default_rng(2)
+    rows = []
+    for gap in (0.30, 0.10, 0.05):
+        f1, f2 = 1.0, 1.0 + gap
+        trials = 20_000
+        def draw(f, k):
+            beta = float(pareto_beta_for(f, alpha, rho))
+            d = repro.ParetoDistribution(alpha, beta)
+            return f + d.sample(rng, size=(trials, k))
+        row = [f"{gap:.0%}"]
+        for k in (1, 3, 5):
+            y1, y2 = draw(f1, k), draw(f2, k)
+            p_min = float(np.mean(y1.min(axis=1) < y2.min(axis=1)))
+            p_mean = float(np.mean(y1.mean(axis=1) < y2.mean(axis=1)))
+            row.append(f"{p_min:.3f}/{p_mean:.3f}")
+        rows.append(row)
+    print(format_table(
+        ["true gap", "K=1 min/mean", "K=3 min/mean", "K=5 min/mean"], rows
+    ))
+    print("entries are P[correct order]; min-of-K dominates mean-of-K\n")
+
+
+def adaptive_demo() -> None:
+    print("--- bonus: the adaptive-K controller tracking the noise level ---")
+    prob = repro.quadratic_problem(3)
+    for rho in (0.0, 0.3):
+        controller = repro.AdaptiveSamplingController(k_initial=2, k_max=6)
+        noise = repro.ParetoNoise(rho=rho) if rho else None
+        tuner = repro.ParallelRankOrdering(prob.space)
+        repro.TuningSession(
+            tuner, prob.objective, noise=noise, budget=250,
+            controller=controller, rng=3,
+        ).run()
+        ks = [k for _, k in controller.history]
+        print(f"rho={rho}: K trajectory {ks[:14]}... final K={controller.current_k}")
+
+
+if __name__ == "__main__":
+    closure_demo()
+    convergence_demo()
+    ordering_demo()
+    adaptive_demo()

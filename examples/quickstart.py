@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: tune an integer-parameter function online with PRO.
+
+Declares a 3-parameter space, runs the Parallel Rank Ordering tuner under
+the online Total_Time accounting, and prints what it found.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def application_cost(point: np.ndarray) -> float:
+    """Noise-free per-iteration cost of our toy application.
+
+    Imagine block sizes / thread counts: quadratic bowls plus a lattice
+    penalty for odd block sizes.
+    """
+    bx, by, threads = point
+    base = 1.0 + 0.02 * (bx - 24) ** 2 + 0.03 * (by - 10) ** 2
+    parallel = 8.0 / threads + 0.05 * threads
+    odd_penalty = 0.25 * ((bx % 2) + (by % 2))
+    return base + parallel + odd_penalty
+
+
+def main() -> None:
+    space = repro.ParameterSpace(
+        [
+            repro.IntParameter("block_x", 4, 64, step=2),
+            repro.IntParameter("block_y", 1, 32),
+            repro.IntParameter("threads", 1, 16),
+        ]
+    )
+
+    # The tuner proposes batches; the session evaluates them under SPMD
+    # barrier semantics and charges every visited configuration.
+    tuner = repro.ParallelRankOrdering(space, r=0.2)
+    session = repro.TuningSession(
+        tuner,
+        application_cost,
+        noise=repro.ParetoNoise(rho=0.1),       # 10% of capacity lost to noise
+        plan=repro.SamplingPlan(2, repro.MinEstimator()),
+        budget=200,                              # application time steps
+        rng=0,
+    )
+    result = session.run()
+
+    print("=== quickstart: online tuning with PRO ===")
+    print(f"best configuration : {space.as_dict(result.best_point)}")
+    print(f"noise-free cost    : {result.best_true_cost:.3f} s/iteration")
+    print(f"converged at step  : {result.converged_at}")
+    print(f"Total_Time(200)    : {result.total_time():.1f} s")
+    print(f"Normalized (Eq.23) : {result.normalized_total_time():.1f} s")
+    print(f"steps exploiting   : {result.exploit_fraction():.0%}")
+
+    # Compare against never tuning at all (run the centre config throughout).
+    center_cost = application_cost(space.center())
+    print(f"\nuntuned (centre) would cost ~{200 * center_cost / (1 - 0.1):.1f} s "
+          f"over the same 200 steps")
+
+
+if __name__ == "__main__":
+    main()

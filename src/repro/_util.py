@@ -1,0 +1,118 @@
+"""Shared utilities: RNG plumbing, validation, and small numeric helpers.
+
+Every stochastic component in :mod:`repro` accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` (fresh entropy) and normalizes it
+through :func:`as_generator`.  This keeps experiments exactly reproducible
+while letting callers share a single generator across components when they
+want correlated streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_probability",
+    "pairwise_distinct",
+    "weighted_average",
+]
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize *seed* into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream, or an
+        existing :class:`~numpy.random.Generator` which is returned unchanged
+        (so callers can share one stream across components).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(
+    seed: int | np.random.Generator | None, n: int
+) -> list[np.random.Generator]:
+    """Create *n* statistically independent child generators.
+
+    Uses :meth:`numpy.random.Generator.spawn` so that the children's streams
+    do not overlap even for adjacent integer seeds.  Used by the cluster
+    simulator to give every node its own stream while keeping the whole
+    cluster reproducible from one seed.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    rng = as_generator(seed)
+    return rng.spawn(n)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that *value* is strictly positive; return it."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Validate that *value* is finite and >= 0; return it."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    name: str, value: float, lo: float, hi: float, *, inclusive: bool = True
+) -> float:
+    """Validate ``lo <= value <= hi`` (or strict if ``inclusive=False``)."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not np.isfinite(value) or not ok:
+        bounds = f"[{lo}, {hi}]" if inclusive else f"({lo}, {hi})"
+        raise ValueError(f"{name} must lie in {bounds}, got {value!r}")
+    return float(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* is a probability in [0, 1)."""
+    if not np.isfinite(value) or not (0.0 <= value < 1.0):
+        raise ValueError(f"{name} must lie in [0, 1), got {value!r}")
+    return float(value)
+
+
+def pairwise_distinct(points: Iterable[Sequence[float]], *, tol: float = 0.0) -> bool:
+    """Return True if no two points in *points* coincide (within *tol*)."""
+    pts = [np.asarray(p, dtype=float) for p in points]
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            if np.max(np.abs(pts[i] - pts[j]), initial=0.0) <= tol:
+                return False
+    return True
+
+
+def weighted_average(values: np.ndarray, weights: np.ndarray) -> float:
+    """Weighted average that degrades gracefully when all weights vanish.
+
+    Used by the performance database's nearest-neighbour interpolation where
+    inverse-distance weights can underflow for far-away query points.
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if values.shape != weights.shape:
+        raise ValueError(
+            f"values and weights must have the same shape, got {values.shape} vs {weights.shape}"
+        )
+    if values.size == 0:
+        raise ValueError("cannot average an empty value set")
+    total = float(weights.sum())
+    if total <= 0.0 or not np.isfinite(total):
+        return float(values.mean())
+    return float(np.dot(values, weights) / total)

@@ -1,0 +1,25 @@
+"""Workloads: the GS2 performance surrogate, the performance database the
+paper's simulations evaluate against, and synthetic test functions.
+"""
+
+from repro.apps.gs2 import GS2Surrogate
+from repro.apps.stencil import StencilSurrogate
+from repro.apps.database import PerformanceDatabase
+from repro.apps.synthetic import (
+    SyntheticProblem,
+    plateau_problem,
+    quadratic_problem,
+    rastrigin_problem,
+    rosenbrock_problem,
+)
+
+__all__ = [
+    "GS2Surrogate",
+    "StencilSurrogate",
+    "PerformanceDatabase",
+    "SyntheticProblem",
+    "quadratic_problem",
+    "rosenbrock_problem",
+    "rastrigin_problem",
+    "plateau_problem",
+]

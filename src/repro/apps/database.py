@@ -1,0 +1,164 @@
+"""A performance database with weighted nearest-neighbour interpolation.
+
+The paper's controlled study (§6) does not run GS2 live: it evaluates the
+optimizer against "a data base that contains the performance of the GS2
+application for different parameter values", and — because the database does
+not contain every combination — estimates missing points with a "weighted
+average of its closest neighbors performance values".  This module
+implements that database:
+
+* entries map exact configurations to measured (or surrogate) costs;
+* exact hits return the stored value;
+* misses return an inverse-distance-weighted average of the *k* nearest
+  stored entries, with distances taken in the bounds-normalized space so no
+  parameter dominates by virtue of its units.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from scipy.spatial import cKDTree
+
+from repro._util import as_generator, weighted_average
+from repro.space import ParameterSpace
+
+__all__ = ["PerformanceDatabase"]
+
+
+class PerformanceDatabase:
+    """Exact-match store + k-NN inverse-distance interpolation."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        *,
+        k_neighbors: int = 4,
+    ) -> None:
+        if k_neighbors < 1:
+            raise ValueError(f"k_neighbors must be >= 1, got {k_neighbors}")
+        self.space = space
+        self.k_neighbors = int(k_neighbors)
+        self._entries: dict[tuple[float, ...], float] = {}
+        self._tree: cKDTree | None = None
+        self._values_cache: np.ndarray | None = None
+        #: interpolated-lookup counter (how sparse the DB looks to the tuner)
+        self.n_exact = 0
+        self.n_interpolated = 0
+
+    # -- population ---------------------------------------------------------------
+
+    def add(self, point: Sequence[float], value: float) -> None:
+        """Insert or overwrite one measurement."""
+        pt = self.space.as_point(point)
+        if not self.space.contains(pt):
+            raise ValueError(f"point {pt!r} is not admissible")
+        if not np.isfinite(value):
+            raise ValueError(f"value must be finite, got {value}")
+        self._entries[tuple(pt)] = float(value)
+        self._tree = None
+        self._values_cache = None
+
+    @classmethod
+    def from_function(
+        cls,
+        fn: Callable[[np.ndarray], float],
+        space: ParameterSpace,
+        *,
+        fraction: float = 1.0,
+        k_neighbors: int = 4,
+        rng: int | np.random.Generator | None = None,
+    ) -> "PerformanceDatabase":
+        """Populate from *fn* over a (sub)sample of the discrete lattice.
+
+        ``fraction < 1`` keeps a uniformly random subset of lattice points,
+        reproducing the paper's sparse-database setting where interpolation
+        actually matters.
+        """
+        if not (0.0 < fraction <= 1.0):
+            raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
+        gen = as_generator(rng)
+        db = cls(space, k_neighbors=k_neighbors)
+        for pt in space.grid():
+            if fraction < 1.0 and gen.random() >= fraction:
+                continue
+            db.add(pt, float(fn(pt)))
+        if len(db) == 0:
+            raise ValueError("sampling produced an empty database; raise fraction")
+        return db
+
+    @classmethod
+    def from_mapping(
+        cls,
+        entries: Mapping[tuple[float, ...], float],
+        space: ParameterSpace,
+        *,
+        k_neighbors: int = 4,
+    ) -> "PerformanceDatabase":
+        """Populate from explicit ``{config_tuple: cost}`` measurements."""
+        db = cls(space, k_neighbors=k_neighbors)
+        for pt, value in entries.items():
+            db.add(np.asarray(pt, dtype=float), value)
+        return db
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def _index(self) -> tuple[cKDTree, np.ndarray]:
+        """Lazy KD-tree over bounds-normalized stored points."""
+        if self._tree is None:
+            pts = np.array(sorted(self._entries.keys()), dtype=float)
+            vals = np.array([self._entries[tuple(p)] for p in pts], dtype=float)
+            normalized = np.array(
+                [self.space.normalize(p) for p in pts], dtype=float
+            )
+            self._tree = cKDTree(normalized)
+            self._values_cache = vals
+        assert self._values_cache is not None
+        return self._tree, self._values_cache
+
+    def lookup(self, point: Sequence[float]) -> float | None:
+        """Exact-match value, or None when the configuration was never stored."""
+        pt = self.space.as_point(point)
+        return self._entries.get(tuple(pt))
+
+    def interpolate(self, point: Sequence[float]) -> float:
+        """Inverse-distance-weighted average of the k nearest stored entries."""
+        if not self._entries:
+            raise ValueError("cannot interpolate from an empty database")
+        tree, vals = self._index()
+        q = self.space.normalize(self.space.as_point(point))
+        k = min(self.k_neighbors, vals.size)
+        d, idx = tree.query(q, k=k)
+        d = np.atleast_1d(np.asarray(d, dtype=float))
+        idx = np.atleast_1d(np.asarray(idx, dtype=int))
+        if np.any(d == 0.0):
+            return float(vals[idx[d == 0.0][0]])
+        return weighted_average(vals[idx], 1.0 / d)
+
+    def __call__(self, point: Sequence[float]) -> float:
+        """Exact hit if stored, otherwise interpolated — the tuner objective."""
+        exact = self.lookup(point)
+        if exact is not None:
+            self.n_exact += 1
+            return exact
+        self.n_interpolated += 1
+        return self.interpolate(point)
+
+    def coverage(self) -> float:
+        """Fraction of the lattice present in the database (discrete spaces)."""
+        return len(self._entries) / self.space.n_points()
+
+    def top_entries(self, n: int) -> list[tuple[np.ndarray, float]]:
+        """The *n* best (lowest-cost) stored measurements, best first."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        ranked = sorted(self._entries.items(), key=lambda kv: kv[1])
+        return [
+            (np.asarray(point, dtype=float), value)
+            for point, value in ranked[:n]
+        ]

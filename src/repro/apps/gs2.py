@@ -1,0 +1,184 @@
+"""A synthetic performance surrogate for the GS2 gyrokinetics code.
+
+The paper tunes three GS2 parameters — ``ntheta`` (grid points per 2π
+segment of field line), ``negrid`` (energy grid size), and ``nodes`` —
+against a database of measured per-timestep runtimes, and shows (Fig. 8)
+that the resulting optimization surface is non-smooth with multiple local
+minima.  We cannot run GS2, so this module builds a *surrogate*: a
+deterministic analytic cost model with the structural features a spectral
+SPMD code actually exhibits, each of which contributes ruggedness:
+
+* **compute** — work ∝ ntheta · negrid², divided across nodes;
+* **load imbalance** — grid cells are distributed in whole chunks, so the
+  per-node work is ``ceil(ntheta / nodes)``: a sawtooth in both ntheta and
+  nodes (the dominant source of local minima);
+* **solver robustness** — the implicit (collision) solve needs more sweeps
+  per time step on coarse grids, penalizing very small ntheta/negrid, which
+  moves the optimum into the interior of the range (grid sizes trade off,
+  they are not monotonically cheaper);
+* **communication** — a per-iteration collective whose cost grows with the
+  node count and with negrid (so more nodes is *not* monotonically better);
+* **cache alignment** — a penalty when the inner-loop extent is misaligned
+  with the vector/cache width, a second (finer) sawtooth;
+* **fixed startup** per iteration.
+
+The absolute scale is set so that the noise-free per-iteration time lands in
+the paper's Fig. 3 ballpark (~1–5 s).  The surrogate is pure and
+deterministic; stochastic variability is layered on top by the noise models
+or the cluster simulator, never in here.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.space import IntParameter, ParameterSpace
+
+__all__ = ["GS2Surrogate"]
+
+
+class GS2Surrogate:
+    """Deterministic per-iteration cost model f(ntheta, negrid, nodes)."""
+
+    #: default parameter ranges (paper-plausible GS2 settings)
+    NTHETA_RANGE = (16, 128, 4)   # lower, upper, step
+    NEGRID_RANGE = (8, 64, 2)
+    NODES_RANGE = (1, 64, 1)
+
+    def __init__(
+        self,
+        *,
+        compute_scale: float = 2.5e-4,
+        comm_scale: float = 2.5e-3,
+        comm_exponent: float = 1.05,
+        stiffness_scale: float = 0.8,
+        cache_penalty: float = 0.35,
+        startup: float = 0.05,
+        cache_width: int = 16,
+        negrid_ref: float = 28.0,
+        ntheta_ref: float = 56.0,
+    ) -> None:
+        if compute_scale <= 0 or comm_scale < 0 or startup < 0:
+            raise ValueError("scales must be positive (comm/startup non-negative)")
+        if not (0.0 <= cache_penalty < 10.0):
+            raise ValueError(f"cache_penalty out of range: {cache_penalty}")
+        if cache_width < 2:
+            raise ValueError(f"cache_width must be >= 2, got {cache_width}")
+        if negrid_ref <= 0 or ntheta_ref <= 0:
+            raise ValueError("solver reference grid sizes must be positive")
+        if comm_exponent <= 0 or stiffness_scale < 0:
+            raise ValueError("comm_exponent must be positive, stiffness non-negative")
+        self.compute_scale = float(compute_scale)
+        self.comm_scale = float(comm_scale)
+        self.comm_exponent = float(comm_exponent)
+        self.stiffness_scale = float(stiffness_scale)
+        self.cache_penalty = float(cache_penalty)
+        self.startup = float(startup)
+        self.cache_width = int(cache_width)
+        self.negrid_ref = float(negrid_ref)
+        self.ntheta_ref = float(ntheta_ref)
+
+    # -- the parameter space ----------------------------------------------------
+
+    @classmethod
+    def space(cls) -> ParameterSpace:
+        """The 3-parameter tuning space used throughout the evaluation."""
+        return ParameterSpace(
+            [
+                IntParameter("ntheta", *cls.NTHETA_RANGE[:2], step=cls.NTHETA_RANGE[2]),
+                IntParameter("negrid", *cls.NEGRID_RANGE[:2], step=cls.NEGRID_RANGE[2]),
+                IntParameter("nodes", *cls.NODES_RANGE[:2], step=cls.NODES_RANGE[2]),
+            ]
+        )
+
+    # -- the cost model ------------------------------------------------------------
+
+    def __call__(self, point: Sequence[float]) -> float:
+        """Noise-free per-iteration time (seconds) at [ntheta, negrid, nodes]."""
+        pt = np.asarray(point, dtype=float)
+        if pt.shape != (3,):
+            raise ValueError(f"expected [ntheta, negrid, nodes], got shape {pt.shape}")
+        ntheta, negrid, nodes = float(pt[0]), float(pt[1]), float(pt[2])
+        if ntheta <= 0 or negrid <= 0 or nodes < 1:
+            raise ValueError(f"invalid GS2 configuration {pt!r}")
+        # Whole-chunk domain decomposition: per-node share of the theta grid.
+        chunks = math.ceil(ntheta / nodes)
+        # Velocity-space work per theta point: the quadrature cost ng² plus a
+        # collision-solve term that blows up on coarse energy grids (interior
+        # optimum near 0.79 * negrid_ref).
+        velocity_work = negrid * negrid + self.negrid_ref**3 / negrid
+        compute = self.compute_scale * chunks * velocity_work
+        # Cache/vector alignment of the inner (energy) loop extent.
+        misalignment = (negrid % self.cache_width) / self.cache_width
+        compute *= 1.0 + self.cache_penalty * misalignment
+        # Field-solve stiffness: a coarse parallel (theta) grid needs more
+        # implicit sweeps per time step, a cost independent of decomposition.
+        stiff = self.stiffness_scale * (self.ntheta_ref / ntheta) ** 2
+        # Collective exchange once per iteration: latency grows with the node
+        # count, payload with the energy grid.
+        comm = (
+            self.comm_scale * (nodes - 1.0) ** self.comm_exponent * negrid**0.5
+            if nodes > 1
+            else 0.0
+        )
+        return compute + stiff + comm + self.startup
+
+    def batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation of an (M, 3) array of configurations."""
+        arr = np.asarray(points, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ValueError(f"expected an (M, 3) array, got shape {arr.shape}")
+        return np.array([self(row) for row in arr], dtype=float)
+
+    # -- ground truth for tests and benches --------------------------------------------
+
+    @lru_cache(maxsize=None)
+    def _optimum_cached(self) -> tuple[tuple[float, float, float], float]:
+        space = self.space()
+        best_pt, best_val = None, math.inf
+        for pt in space.grid():
+            v = self(pt)
+            if v < best_val:
+                best_val = v
+                best_pt = tuple(float(x) for x in pt)
+        assert best_pt is not None
+        return best_pt, best_val
+
+    def true_optimum(self) -> tuple[np.ndarray, float]:
+        """Brute-force global optimum over the full lattice (cached)."""
+        pt, val = self._optimum_cached()
+        return np.asarray(pt, dtype=float), val
+
+    def count_local_minima(self, *, fixed: dict[str, float] | None = None) -> int:
+        """Number of strict local minima on the (optionally sliced) lattice.
+
+        A point is a local minimum when no axial lattice neighbour has a
+        strictly smaller cost.  ``fixed`` pins parameters by name (e.g.
+        ``{"nodes": 32}``) to count minima on a 2-D slice, as in Fig. 8.
+        """
+        space = self.space()
+        fixed = dict(fixed or {})
+        for name in fixed:
+            if name not in space.names:
+                raise ValueError(f"unknown parameter {name!r}")
+        count = 0
+        for pt in space.grid():
+            d = space.as_dict(pt)
+            if any(d[k] != v for k, v in fixed.items()):
+                continue
+            v = self(pt)
+            is_min = True
+            for nb in space.probe_points(pt):
+                nd = space.as_dict(nb)
+                if any(nd[k] != fixed[k] for k in fixed):
+                    continue  # neighbour leaves the slice
+                if self(nb) < v:
+                    is_min = False
+                    break
+            if is_min:
+                count += 1
+        return count

@@ -1,0 +1,137 @@
+"""A second application surrogate: a tiled, temporally-blocked stencil.
+
+The paper's introduction motivates online tuning with libraries whose best
+parameters depend on input, architecture and co-running load.  The GS2
+surrogate covers the paper's own evaluation subject; this module adds an
+independent workload with a *different* structure — a 2-D stencil sweep
+with cache-tiling and temporal blocking, the canonical autotuning kernel —
+so examples and tests can demonstrate that nothing in the tuner is
+GS2-specific.
+
+Tunables and the mechanisms that make the surface rugged:
+
+* ``tile_x, tile_y`` — cache tiles: too small pays loop/halo overhead per
+  tile, too large spills the working set out of cache (a hard cliff);
+* ``threads`` — tiles are distributed in whole chunks: ``ceil(tiles /
+  threads)`` gives the load-imbalance sawtooth, and a per-sweep
+  synchronization cost grows with the thread count;
+* ``halo`` — temporal blocking depth: one sweep advances ``halo`` time
+  steps at the price of redundant ghost-zone compute that grows with the
+  depth — a classic interior trade-off.
+
+Cost model units are seconds per application time step, same as GS2.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.space import IntParameter, ParameterSpace
+
+__all__ = ["StencilSurrogate"]
+
+
+class StencilSurrogate:
+    """Seconds-per-timestep model f(tile_x, tile_y, threads, halo)."""
+
+    TILE_RANGE = (8, 256, 8)
+    THREADS_RANGE = (1, 32, 1)
+    HALO_RANGE = (1, 4, 1)
+
+    def __init__(
+        self,
+        *,
+        grid: int = 4096,
+        flop_time: float = 2.0e-10,
+        cache_cells: float = 20_000.0,
+        spill_penalty: float = 1.8,
+        plane_pressure: float = 0.5,
+        tile_overhead: float = 4.0e-6,
+        sync_cost: float = 2.0e-3,
+        bytes_per_cell: int = 8,
+    ) -> None:
+        if grid < 64:
+            raise ValueError(f"grid must be >= 64 cells per side, got {grid}")
+        if flop_time <= 0 or tile_overhead < 0 or sync_cost < 0:
+            raise ValueError("cost coefficients must be positive/non-negative")
+        if cache_cells <= 0 or spill_penalty < 1.0:
+            raise ValueError("cache model parameters out of range")
+        self.grid = int(grid)
+        self.flop_time = float(flop_time)
+        self.cache_cells = float(cache_cells)
+        self.spill_penalty = float(spill_penalty)
+        if plane_pressure < 0:
+            raise ValueError(f"plane_pressure must be >= 0, got {plane_pressure}")
+        self.plane_pressure = float(plane_pressure)
+        self.tile_overhead = float(tile_overhead)
+        self.sync_cost = float(sync_cost)
+        self.bytes_per_cell = int(bytes_per_cell)
+
+    @classmethod
+    def space(cls) -> ParameterSpace:
+        """The 4-parameter tuning space."""
+        return ParameterSpace(
+            [
+                IntParameter("tile_x", *cls.TILE_RANGE[:2], step=cls.TILE_RANGE[2]),
+                IntParameter("tile_y", *cls.TILE_RANGE[:2], step=cls.TILE_RANGE[2]),
+                IntParameter("threads", *cls.THREADS_RANGE[:2]),
+                IntParameter("halo", *cls.HALO_RANGE[:2]),
+            ]
+        )
+
+    def __call__(self, point: Sequence[float]) -> float:
+        """Noise-free seconds per application time step."""
+        pt = np.asarray(point, dtype=float)
+        if pt.shape != (4,):
+            raise ValueError(
+                f"expected [tile_x, tile_y, threads, halo], got shape {pt.shape}"
+            )
+        tx, ty, threads, halo = (float(v) for v in pt)
+        if tx < 1 or ty < 1 or threads < 1 or halo < 1:
+            raise ValueError(f"invalid stencil configuration {pt!r}")
+        n_tiles = math.ceil(self.grid / tx) * math.ceil(self.grid / ty)
+        # Temporal blocking: each sweep advances `halo` steps but computes a
+        # ghost zone that grows with the depth.
+        ghost_x = tx + 2.0 * halo
+        ghost_y = ty + 2.0 * halo
+        cells_per_tile = ghost_x * ghost_y * halo  # halo sub-sweeps per sweep
+        # Deeper temporal blocking keeps more time planes live in cache.
+        working_set = ghost_x * ghost_y * (1.0 + self.plane_pressure * (halo - 1.0))
+        spill = (
+            (working_set / self.cache_cells) ** self.spill_penalty
+            if working_set > self.cache_cells
+            else 1.0
+        )
+        per_tile = self.flop_time * cells_per_tile * spill + self.tile_overhead
+        chunks = math.ceil(n_tiles / threads)
+        sweep = chunks * per_tile + self.sync_cost * math.sqrt(threads)
+        # Per *time step*: one sweep advances `halo` steps.
+        return sweep / halo
+
+    def batch(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation of an (M, 4) array of configurations."""
+        arr = np.asarray(points, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 4:
+            raise ValueError(f"expected an (M, 4) array, got shape {arr.shape}")
+        return np.array([self(row) for row in arr], dtype=float)
+
+    @lru_cache(maxsize=None)
+    def _optimum_cached(self) -> tuple[tuple[float, ...], float]:
+        space = self.space()
+        best_pt, best_val = None, math.inf
+        for pt in space.grid():
+            v = self(pt)
+            if v < best_val:
+                best_val = v
+                best_pt = tuple(float(x) for x in pt)
+        assert best_pt is not None
+        return best_pt, best_val
+
+    def true_optimum(self) -> tuple[np.ndarray, float]:
+        """Brute-force global optimum over the lattice (cached; ~128k points)."""
+        pt, val = self._optimum_cached()
+        return np.asarray(pt, dtype=float), val

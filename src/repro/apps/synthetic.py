@@ -1,0 +1,125 @@
+"""Synthetic optimization problems on discrete lattices.
+
+Each factory returns a :class:`SyntheticProblem` bundling the parameter
+space, the objective, and the known global optimum — the ground truth the
+unit and property tests check the tuners against.  All objectives are
+shifted to be strictly positive (they are *times*), since the noise models
+scale with f.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.space import FloatParameter, IntParameter, ParameterSpace
+
+__all__ = [
+    "SyntheticProblem",
+    "quadratic_problem",
+    "rosenbrock_problem",
+    "rastrigin_problem",
+    "plateau_problem",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticProblem:
+    """A test problem: space + objective + known optimum."""
+
+    name: str
+    space: ParameterSpace
+    objective: Callable[[np.ndarray], float]
+    optimum_point: np.ndarray
+    optimum_value: float
+
+    def __call__(self, point: Sequence[float]) -> float:
+        return float(self.objective(np.asarray(point, dtype=float)))
+
+
+def quadratic_problem(
+    n: int = 3,
+    *,
+    lower: int = -20,
+    upper: int = 20,
+    offset: float = 1.0,
+) -> SyntheticProblem:
+    """Separable integer quadratic: f(x) = offset + Σ (x_i - t_i)², t_i = i+1.
+
+    Convex and unimodal — the smoke-test problem every tuner must solve.
+    """
+    if n < 1:
+        raise ValueError(f"dimension must be >= 1, got {n}")
+    target = np.arange(1, n + 1, dtype=float)
+    if np.any(target > upper) or np.any(target < lower):
+        raise ValueError("target optimum falls outside the declared bounds")
+    space = ParameterSpace(
+        [IntParameter(f"x{i}", lower, upper) for i in range(n)]
+    )
+
+    def objective(x: np.ndarray) -> float:
+        return float(offset + np.sum((x - target) ** 2))
+
+    return SyntheticProblem("quadratic", space, objective, target, float(offset))
+
+
+def rosenbrock_problem(*, grid_step: float = 0.05) -> SyntheticProblem:
+    """The 2-D Rosenbrock valley on a fine float grid (continuous params).
+
+    Hard for axis-aligned methods: progress requires following the curved
+    valley — a stress test for the rank-ordering geometry.
+    """
+    space = ParameterSpace(
+        [
+            FloatParameter("x", -2.0, 2.0, probe_step=grid_step),
+            FloatParameter("y", -1.0, 3.0, probe_step=grid_step),
+        ]
+    )
+
+    def objective(p: np.ndarray) -> float:
+        x, y = float(p[0]), float(p[1])
+        return 1.0 + (1.0 - x) ** 2 + 100.0 * (y - x * x) ** 2
+
+    return SyntheticProblem(
+        "rosenbrock", space, objective, np.array([1.0, 1.0]), 1.0
+    )
+
+
+def rastrigin_problem(n: int = 2, *, lower: int = -8, upper: int = 8) -> SyntheticProblem:
+    """Integer-restricted Rastrigin: massively multimodal.
+
+    On the integer lattice the cosine term is constant (cos(2πk) = 1), so we
+    use a half-period variant that keeps genuine lattice-level multimodality:
+    f(x) = offset + Σ [x_i² + A(1 - cos(π x_i))], minimized at 0.
+    """
+    if n < 1:
+        raise ValueError(f"dimension must be >= 1, got {n}")
+    a = 10.0
+    space = ParameterSpace([IntParameter(f"x{i}", lower, upper) for i in range(n)])
+
+    def objective(x: np.ndarray) -> float:
+        return float(1.0 + np.sum(x**2 + a * (1.0 - np.cos(np.pi * x))))
+
+    return SyntheticProblem(
+        "rastrigin", space, objective, np.zeros(n), 1.0
+    )
+
+
+def plateau_problem(n: int = 2, *, width: int = 4) -> SyntheticProblem:
+    """Staircase objective: f depends on ⌊x_i / width⌋ only.
+
+    Large flat plateaus defeat gradient reasoning entirely and exercise the
+    tuners' behaviour under ties (regions of exactly equal estimates).
+    """
+    if n < 1 or width < 1:
+        raise ValueError("need n >= 1 and width >= 1")
+    space = ParameterSpace([IntParameter(f"x{i}", -16, 16) for i in range(n)])
+
+    def objective(x: np.ndarray) -> float:
+        return float(1.0 + np.sum(np.floor(np.abs(x) / width) ** 2))
+
+    return SyntheticProblem(
+        "plateau", space, objective, np.zeros(n), 1.0
+    )

@@ -1,0 +1,276 @@
+"""Command-line interface: tune, trace, surface, figures.
+
+Examples::
+
+    python -m repro tune --tuner pro --rho 0.25 --k 3 --budget 300
+    python -m repro tune --trials 10 --json results.json
+    python -m repro trace --nodes 16 --iterations 400
+    python -m repro surface --fixed nodes=32
+    python -m repro figures fig10 --trials 40
+
+Everything runs against the built-in GS2 surrogate/database workload (the
+paper's evaluation subject); the library API is the route for custom
+objectives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.database import PerformanceDatabase
+from repro.apps.gs2 import GS2Surrogate
+from repro.core.sampling import (
+    MeanEstimator,
+    MedianEstimator,
+    MinEstimator,
+    SamplingPlan,
+)
+from repro.experiments import _fmt
+from repro.experiments.common import TUNER_NAMES, tuner_factory
+from repro.experiments.runner import run_sweep
+from repro.harmony.session import TuningSession
+from repro.report.ascii import heatmap, histogram, line_plot, sparkline
+from repro.variability.heavytail import tail_report, truncate
+from repro.variability.models import NoNoise, ParetoNoise
+
+__all__ = ["main", "build_parser"]
+
+_ESTIMATORS = {
+    "min": MinEstimator,
+    "mean": MeanEstimator,
+    "median": MedianEstimator,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Online parameter tuning with Parallel Rank Ordering "
+        "(SC'05 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tune = sub.add_parser("tune", help="tune a built-in workload online")
+    p_tune.add_argument("--workload", choices=["gs2", "stencil"], default="gs2")
+    p_tune.add_argument("--tuner", choices=TUNER_NAMES, default="pro")
+    p_tune.add_argument("--rho", type=float, default=0.2,
+                        help="idle throughput of the Pareto noise (0 = none)")
+    p_tune.add_argument("--alpha", type=float, default=1.7,
+                        help="Pareto tail index of the noise")
+    p_tune.add_argument("--k", type=int, default=1, help="samples per evaluation")
+    p_tune.add_argument("--estimator", choices=sorted(_ESTIMATORS), default="min")
+    p_tune.add_argument("--budget", type=int, default=300,
+                        help="application time steps")
+    p_tune.add_argument("--db-fraction", type=float, default=1.0,
+                        help="lattice coverage of the performance database")
+    p_tune.add_argument("--trials", type=int, default=1)
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--json", type=Path, default=None,
+                        help="write the sweep result as JSON")
+    p_tune.add_argument("--plot", action="store_true",
+                        help="render the step-time series (single trial only)")
+
+    p_trace = sub.add_parser("trace", help="simulate a fixed-config cluster trace")
+    p_trace.add_argument("--nodes", type=int, default=16)
+    p_trace.add_argument("--iterations", type=int, default=400)
+    p_trace.add_argument("--seed", type=int, default=11)
+    p_trace.add_argument("--show", type=int, default=4,
+                         help="processors to render as sparklines")
+
+    p_surface = sub.add_parser("surface", help="render a GS2 surface slice")
+    p_surface.add_argument("--x", dest="x_name", default="ntheta")
+    p_surface.add_argument("--y", dest="y_name", default="negrid")
+    p_surface.add_argument("--fixed", default="nodes=32",
+                           help="remaining parameter, e.g. nodes=32")
+
+    p_fig = sub.add_parser("figures", help="regenerate a paper figure's data")
+    p_fig.add_argument("figure", choices=["fig01", "fig08", "fig09", "fig10"])
+    p_fig.add_argument("--trials", type=int, default=None)
+    return parser
+
+
+# -- command handlers ------------------------------------------------------------
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    if getattr(args, "workload", "gs2") == "stencil":
+        from repro.apps.stencil import StencilSurrogate
+
+        surrogate = StencilSurrogate()
+    else:
+        surrogate = GS2Surrogate()
+    space = surrogate.space()
+    db = PerformanceDatabase.from_function(
+        surrogate, space, fraction=args.db_fraction, rng=args.seed
+    )
+    noise = (
+        ParetoNoise(rho=args.rho, alpha=args.alpha) if args.rho > 0 else NoNoise()
+    )
+    plan = SamplingPlan(args.k, _ESTIMATORS[args.estimator]())
+
+    if args.trials == 1:
+        tuner = tuner_factory(args.tuner, rng=args.seed)(space)
+        result = TuningSession(
+            tuner, db, noise=noise, plan=plan, budget=args.budget, rng=args.seed
+        ).run()
+        print(f"tuner            : {args.tuner}")
+        print(f"best config      : {space.as_dict(result.best_point)}")
+        print(f"noise-free cost  : {result.best_true_cost:.4f} s/iteration")
+        print(f"Total_Time       : {result.total_time():.2f} s")
+        print(f"NTT (Eq. 23)     : {result.normalized_total_time():.2f} s")
+        print(f"converged at     : {result.converged_at}")
+        if args.plot:
+            print()
+            print(
+                line_plot(
+                    {"T_k": (None, result.step_times)},
+                    title="per-step barrier time",
+                    height=12,
+                )
+            )
+        if args.json:
+            args.json.write_text(result.to_json() + "\n")
+            print(f"wrote {args.json}")
+        return 0
+
+    def cell(seed: int) -> TuningSession:
+        tuner = tuner_factory(args.tuner, rng=seed)(space)
+        return TuningSession(
+            tuner, db, noise=noise, plan=plan, budget=args.budget, rng=seed
+        )
+
+    sweep = run_sweep({args.tuner: cell}, trials=args.trials, rng=args.seed)
+    print(
+        _fmt.format_table(
+            ["tuner", "mean NTT", "std NTT", "mean final cost", "converged"],
+            sweep.rows(),
+        )
+    )
+    if args.json:
+        args.json.write_text(json.dumps(sweep.to_dict()) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.fig03_trace import simulate_gs2_trace
+
+    trace = simulate_gs2_trace(
+        n_nodes=args.nodes, n_iterations=args.iterations, seed=args.seed
+    )
+    for key, value in trace.summary().items():
+        print(f"{key:24s}: {value}")
+    print()
+    for p in range(min(args.show, trace.n_processors)):
+        print(f"p{p:02d} |{sparkline(trace.processor_series(p))}|")
+    data = trace.flatten()
+    print()
+    print(histogram(data, bins=16, title="pooled iteration times", log_counts=True))
+    print()
+    rep = tail_report(data)
+    print("\n".join(rep.lines()))
+    med = float(np.median(data))
+    rep_t = tail_report(truncate(data, 5 * med))
+    print(f"\ntruncated at 5 x median ({5*med:.2f}):")
+    print("\n".join(rep_t.lines()))
+    return 0
+
+
+def _cmd_surface(args: argparse.Namespace) -> int:
+    from repro.experiments.fig08_surface import run_surface_slice
+
+    name, _, value = args.fixed.partition("=")
+    if not value:
+        print(f"error: --fixed must look like name=value, got {args.fixed!r}",
+              file=sys.stderr)
+        return 2
+    s = run_surface_slice(
+        x_name=args.x_name, y_name=args.y_name, fixed={name: float(value)}
+    )
+    print(_fmt.format_table(["property", "value"], s.rows()))
+    print()
+    print(
+        heatmap(
+            s.costs,
+            row_labels=[f"{v:g}" for v in s.x_values],
+            col_labels=[f"{v:g}" for v in s.y_values],
+            title=f"cost({s.x_name} x {s.y_name}) @ {s.fixed_name}={s.fixed_value:g}",
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if args.figure == "fig01":
+        from repro.experiments.fig01_metrics import run_metric_comparison
+
+        mc = run_metric_comparison()
+        print(_fmt.format_table(
+            ["algorithm", "tail mean T_k", "Total_Time", "final cost"], mc.rows()
+        ))
+        print(f"\nwinner by tail : {mc.winner_by_tail()}")
+        print(f"winner by total: {mc.winner_by_total()}")
+        print(
+            line_plot(
+                {
+                    name: (None, cum)
+                    for name, cum in zip(mc.names, mc.cumulative_series)
+                },
+                title="cumulative Total_Time (Fig. 1b)",
+                height=12,
+            )
+        )
+        return 0
+    if args.figure == "fig08":
+        return _cmd_surface(argparse.Namespace(
+            x_name="ntheta", y_name="negrid", fixed="nodes=32"
+        ))
+    if args.figure == "fig09":
+        from repro.experiments.fig09_simplex import run_initial_simplex_study
+
+        study = run_initial_simplex_study(trials=args.trials or 12)
+        print(_fmt.format_table(
+            ["shape", "r", "mean NTT", "std NTT"], study.rows()
+        ))
+        print(f"\naxial beats minimal: {study.axial_beats_minimal()}")
+        return 0
+    if args.figure == "fig10":
+        from repro.experiments.fig10_sampling import run_sampling_study
+
+        study = run_sampling_study(trials=args.trials or 40)
+        print(_fmt.format_table(
+            ["rho", "K", "mean NTT", "std NTT"], study.rows()
+        ))
+        print(
+            line_plot(
+                {
+                    f"rho={rho:g}": (list(study.k_values), study.mean_ntt[i])
+                    for i, rho in enumerate(study.rho_values)
+                },
+                title="Average NTT vs K (Fig. 10)",
+                height=14,
+            )
+        )
+        return 0
+    raise AssertionError(args.figure)  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (returns a process exit code)."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tune": _cmd_tune,
+        "trace": _cmd_trace,
+        "surface": _cmd_surface,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Event-driven SPMD cluster simulator (paper §4.1 made generative).
+
+The paper *models* a cluster node as a single machine under a strict-priority
+scheduler: all variability sources are first-priority jobs, the tunable
+application is second priority.  This package implements that model as an
+event-driven simulator so the two-job algebra (Eqs. 6–7) and the heavy-tail
+trace morphology (Figs. 3–7) can be *generated* rather than assumed:
+
+* :mod:`repro.cluster.workload` — first-priority job sources (Poisson bursts
+  with heavy-tailed service, periodic house-keeping daemons);
+* :mod:`repro.cluster.machine` — one node: preemptive-resume strict-priority
+  single server;
+* :mod:`repro.cluster.cluster` — P nodes with barrier-synchronized iterations
+  (``T_k = max_p t_{p,k}``) and optional cluster-wide correlated events;
+* :mod:`repro.cluster.trace` — per-processor iteration-time records.
+"""
+
+from repro.cluster.workload import (
+    ExponentialService,
+    FixedService,
+    ParetoService,
+    PeriodicDaemon,
+    PoissonArrivals,
+    WorkloadSource,
+)
+from repro.cluster.machine import PriorityMachine
+from repro.cluster.cluster import Cluster
+from repro.cluster.trace import ClusterTrace
+
+__all__ = [
+    "WorkloadSource",
+    "PoissonArrivals",
+    "PeriodicDaemon",
+    "ExponentialService",
+    "ParetoService",
+    "FixedService",
+    "PriorityMachine",
+    "Cluster",
+    "ClusterTrace",
+]

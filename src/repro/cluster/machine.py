@@ -1,0 +1,186 @@
+"""A single cluster node: preemptive-resume strict-priority single server.
+
+The node serves two job classes (paper §4.1):
+
+* **first priority** — variability sources (daemons, bursts); whenever any
+  first-priority work is outstanding, the server works on it;
+* **second priority** — the tunable application; it only accumulates service
+  when the first-priority backlog is empty.
+
+The observed application time for an iteration needing ``work`` seconds of
+service is therefore ``work`` plus all the first-priority service performed
+while the iteration was in the system — exactly ``y = f(v) + n(v)`` (Eq. 5).
+During barrier waits (the node finished its iteration but others have not)
+the server keeps draining first-priority backlog.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro._util import as_generator, check_nonnegative
+from repro.cluster.workload import WorkloadSource
+
+__all__ = ["PriorityMachine"]
+
+
+class PriorityMachine:
+    """Event-driven strict-priority node simulator.
+
+    Parameters
+    ----------
+    sources:
+        First-priority workload sources private to this node.
+    rng:
+        Seed or generator for the private sources' event streams.
+    shared_streams:
+        Optional pre-seeded event iterators shared (identically) across all
+        nodes of a cluster — models cluster-wide correlated disruptions such
+        as global file-system scans (the cross-processor correlation visible
+        in the paper's Fig. 3).
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[WorkloadSource] = (),
+        rng: int | np.random.Generator | None = None,
+        *,
+        shared_streams: Sequence[Iterator[tuple[float, float]]] = (),
+        shared_load: float = 0.0,
+    ) -> None:
+        gen = as_generator(rng)
+        self._sources = tuple(sources)
+        self._own_load = float(sum(s.load for s in self._sources))
+        self._shared_load = check_nonnegative("shared_load", shared_load)
+        if self.rho >= 1.0:
+            raise ValueError(f"total offered load {self.rho:.3f} >= 1 saturates the node")
+        self.clock = 0.0
+        self.backlog = 0.0
+        #: total first-priority service performed so far (for load audits)
+        self.p1_service_done = 0.0
+        self._heap: list[tuple[float, int, float, int]] = []
+        self._streams: list[Iterator[tuple[float, float]]] = []
+        self._counter = 0
+        for source in self._sources:
+            self._add_stream(source.stream(0.0, gen))
+        for stream in shared_streams:
+            self._add_stream(stream)
+
+    # -- event plumbing -------------------------------------------------------
+
+    def _add_stream(self, stream: Iterator[tuple[float, float]]) -> None:
+        self._streams.append(stream)
+        self._pull(len(self._streams) - 1)
+
+    def _pull(self, stream_id: int) -> None:
+        """Fetch the next event of *stream_id* into the heap (if any)."""
+        try:
+            t, service = next(self._streams[stream_id])
+        except StopIteration:
+            return
+        if service < 0:
+            raise ValueError(f"negative service demand {service} from stream {stream_id}")
+        self._counter += 1
+        heapq.heappush(self._heap, (float(t), self._counter, float(service), stream_id))
+
+    def _next_arrival_time(self) -> float:
+        return self._heap[0][0] if self._heap else math.inf
+
+    def _absorb_next_arrival(self) -> None:
+        """Move the earliest pending event into the backlog and refill."""
+        t, _, service, stream_id = heapq.heappop(self._heap)
+        if t < self.clock - 1e-9:
+            raise RuntimeError(
+                f"event at t={t} arrived in the past (clock={self.clock})"
+            )
+        self.backlog += service
+        self._pull(stream_id)
+
+    # -- load bookkeeping ------------------------------------------------------
+
+    @property
+    def rho(self) -> float:
+        """Idle system throughput: capacity fraction of first-priority work."""
+        return self._own_load + self._shared_load
+
+    # -- simulation -------------------------------------------------------------
+
+    def serve_application(self, work: float) -> float:
+        """Serve *work* seconds of application demand; return the finish time.
+
+        The application starts at the current clock and completes once it
+        has accumulated *work* seconds of service under strict priority.
+        """
+        work = check_nonnegative("work", float(work))
+        remaining = work
+        while True:
+            next_t = self._next_arrival_time()
+            if self.backlog > 0.0:
+                drain_at = self.clock + self.backlog
+                if drain_at <= self.clock:
+                    # Backlog below the clock's float resolution: drained.
+                    self.p1_service_done += self.backlog
+                    self.backlog = 0.0
+                    continue
+                if next_t < drain_at:
+                    served = next_t - self.clock
+                    # max() guards the one-ulp float leak when served was
+                    # computed from clock + backlog.
+                    self.backlog = max(0.0, self.backlog - served)
+                    self.p1_service_done += served
+                    self.clock = next_t
+                    self._absorb_next_arrival()
+                else:
+                    self.p1_service_done += self.backlog
+                    self.clock = drain_at
+                    self.backlog = 0.0
+            else:
+                if remaining <= 0.0:
+                    return self.clock
+                finish_at = self.clock + remaining
+                if next_t < finish_at:
+                    remaining -= next_t - self.clock
+                    self.clock = next_t
+                    self._absorb_next_arrival()
+                else:
+                    self.clock = finish_at
+                    remaining = 0.0
+                    return self.clock
+
+    def advance_to(self, t: float) -> None:
+        """Idle the application until time *t* (a barrier wait).
+
+        First-priority work keeps being served; arrivals in the window are
+        absorbed so the backlog at *t* is exact.
+        """
+        t = float(t)
+        if t < self.clock - 1e-9:
+            raise ValueError(f"cannot advance backwards: clock={self.clock}, t={t}")
+        while self.clock < t:
+            next_t = self._next_arrival_time()
+            if self.backlog > 0.0:
+                drain_at = self.clock + self.backlog
+                if drain_at <= self.clock:
+                    # Backlog below the clock's float resolution: drained.
+                    self.p1_service_done += self.backlog
+                    self.backlog = 0.0
+                    continue
+                stop_at = min(next_t, drain_at, t)
+                served = stop_at - self.clock
+                self.backlog = max(0.0, self.backlog - served)
+                self.p1_service_done += served
+                self.clock = stop_at
+            else:
+                self.clock = min(next_t, t)
+            while self._heap and self._heap[0][0] <= self.clock:
+                self._absorb_next_arrival()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PriorityMachine(clock={self.clock:.3f}, backlog={self.backlog:.3f}, "
+            f"rho={self.rho:.3f})"
+        )

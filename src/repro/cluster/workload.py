@@ -1,0 +1,174 @@
+"""First-priority workload sources for the cluster simulator.
+
+A *workload source* produces an ordered, unbounded stream of
+``(arrival_time, service_demand)`` events — the "other activity" (daemons,
+house-keeping, transient disruptions) that preempts the tunable application
+on a node.  Each source reports its long-run ``load`` (capacity fraction),
+so a machine can compute its idle throughput ρ as the sum of source loads.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+import numpy as np
+
+from repro._util import as_generator, check_nonnegative, check_positive
+
+__all__ = [
+    "ServiceDistribution",
+    "FixedService",
+    "ExponentialService",
+    "ParetoService",
+    "WorkloadSource",
+    "PoissonArrivals",
+    "PeriodicDaemon",
+]
+
+
+class ServiceDistribution(ABC):
+    """Distribution of one first-priority job's service demand (seconds)."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Mean service demand (must be finite so loads are well defined)."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one service demand."""
+
+
+class FixedService(ServiceDistribution):
+    """Deterministic service demand — e.g. a fixed-cost house-keeping task."""
+
+    def __init__(self, duration: float) -> None:
+        self.duration = check_positive("duration", duration)
+
+    @property
+    def mean(self) -> float:
+        return self.duration
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.duration
+
+
+class ExponentialService(ServiceDistribution):
+    """Exponential service demand — light-tailed control."""
+
+    def __init__(self, mean: float) -> None:
+        self._mean = check_positive("mean", mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+
+class ParetoService(ServiceDistribution):
+    """Pareto(α, β) service demand — the heavy-tailed disruption model.
+
+    Requires α > 1 so the offered load is finite; with 1 < α < 2 the demand
+    has infinite variance, which is what puts the heavy tail into observed
+    iteration times (Figs. 3–7).
+    """
+
+    def __init__(self, alpha: float, beta: float) -> None:
+        self.alpha = check_positive("alpha", alpha)
+        self.beta = check_positive("beta", beta)
+        if alpha <= 1.0:
+            raise ValueError(
+                f"ParetoService needs alpha > 1 for a finite mean load, got {alpha}"
+            )
+
+    @property
+    def mean(self) -> float:
+        return self.alpha * self.beta / (self.alpha - 1.0)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        return float(self.beta * (1.0 - u) ** (-1.0 / self.alpha))
+
+
+class WorkloadSource(ABC):
+    """An unbounded stream of first-priority job events."""
+
+    @property
+    @abstractmethod
+    def load(self) -> float:
+        """Long-run capacity fraction this source consumes."""
+
+    @abstractmethod
+    def stream(
+        self, start: float, rng: int | np.random.Generator | None = None
+    ) -> Iterator[tuple[float, float]]:
+        """Yield ``(arrival_time, service_demand)`` with arrival_time >= start,
+        in non-decreasing arrival order, forever."""
+
+
+class PoissonArrivals(WorkloadSource):
+    """Poisson job arrivals at *rate* per second with i.i.d. service demands."""
+
+    def __init__(self, rate: float, service: ServiceDistribution) -> None:
+        self.rate = check_positive("rate", rate)
+        self.service = service
+        if self.load >= 1.0:
+            raise ValueError(
+                f"offered load {self.load:.3f} >= 1 would saturate the node"
+            )
+
+    @property
+    def load(self) -> float:
+        return self.rate * self.service.mean
+
+    def stream(
+        self, start: float, rng: int | np.random.Generator | None = None
+    ) -> Iterator[tuple[float, float]]:
+        gen = as_generator(rng)
+        t = float(start)
+        while True:
+            t += float(gen.exponential(1.0 / self.rate))
+            yield t, self.service.sample(gen)
+
+
+class PeriodicDaemon(WorkloadSource):
+    """A house-keeping daemon that wakes every *period* seconds.
+
+    Matches the classic OS-noise pattern from Petrini et al. (paper ref.
+    [15]): a fixed-cadence activity whose per-wake cost may be jittered.
+    """
+
+    def __init__(
+        self,
+        period: float,
+        service: ServiceDistribution,
+        *,
+        phase: float = 0.0,
+    ) -> None:
+        self.period = check_positive("period", period)
+        self.phase = check_nonnegative("phase", phase)
+        self.service = service
+        if self.load >= 1.0:
+            raise ValueError(
+                f"daemon load {self.load:.3f} >= 1 would saturate the node"
+            )
+
+    @property
+    def load(self) -> float:
+        return self.service.mean / self.period
+
+    def stream(
+        self, start: float, rng: int | np.random.Generator | None = None
+    ) -> Iterator[tuple[float, float]]:
+        gen = as_generator(rng)
+        # First wake-up at or after `start` on the phase-shifted lattice.
+        k = max(0, math.ceil((start - self.phase) / self.period))
+        while True:
+            t = self.phase + k * self.period
+            if t >= start:
+                yield t, self.service.sample(gen)
+            k += 1

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: rank-ordering direct search for
+online parameter tuning, resilient to heavy-tailed performance variability.
+
+* :mod:`repro.core.simplex` — simplex container and the reflect / expand /
+  shrink geometry (paper Fig. 2);
+* :mod:`repro.core.initial` — initial simplex construction (§3.2.3, §6.1);
+* :mod:`repro.core.stopping` — the 2N-point local-minimum certificate (§3.2.2);
+* :mod:`repro.core.sampling` — multi-sample estimators, most importantly the
+  min operator (§5);
+* :mod:`repro.core.adaptive` — an adaptive-K controller (the paper's stated
+  future work, implemented here as an extension);
+* :mod:`repro.core.sro` / :mod:`repro.core.pro` — Algorithms 1 and 2;
+* :mod:`repro.core.base` — the ask/tell batch-tuner protocol that separates
+  search logic from the online evaluation/cost-accounting substrate.
+"""
+
+from repro.core.base import BatchTuner, TunerState
+from repro.core.simplex import Simplex, Vertex, expand, reflect, shrink
+from repro.core.initial import axial_simplex, minimal_simplex
+from repro.core.sampling import (
+    Estimator,
+    MeanEstimator,
+    MedianEstimator,
+    MinEstimator,
+    SamplingPlan,
+)
+from repro.core.adaptive import AdaptiveSamplingController
+from repro.core.ksolver import (
+    KPlanner,
+    NoiseIdentification,
+    identify_noise,
+    required_samples,
+)
+from repro.core.stopping import ConvergenceProbe
+from repro.core.sro import SequentialRankOrdering
+from repro.core.pro import ParallelRankOrdering
+
+__all__ = [
+    "BatchTuner",
+    "TunerState",
+    "Simplex",
+    "Vertex",
+    "reflect",
+    "expand",
+    "shrink",
+    "axial_simplex",
+    "minimal_simplex",
+    "Estimator",
+    "MinEstimator",
+    "MeanEstimator",
+    "MedianEstimator",
+    "SamplingPlan",
+    "AdaptiveSamplingController",
+    "KPlanner",
+    "NoiseIdentification",
+    "identify_noise",
+    "required_samples",
+    "ConvergenceProbe",
+    "SequentialRankOrdering",
+    "ParallelRankOrdering",
+]

@@ -1,0 +1,123 @@
+"""Adaptive sample-count control (the paper's §5.2 future work).
+
+The paper fixes K in advance and notes: "In practice, it is not easy to find
+a fixed value for K.  Currently, we are working on optimization algorithms
+that update K adaptively."  This module implements such a controller as an
+extension, designed around the min operator's semantics:
+
+For the min estimator the quantity that matters is how far the observed
+minimum still sits above the noise floor.  We measure, per evaluation batch,
+the **relative min-gap** ``g = (median(y) - min(y)) / min(y)`` of each
+point's samples (median rather than mean, so one giant spike cannot saturate
+the signal).  A large gap means individual samples are still noise-dominated
+and the current K under-samples; a tiny gap means extra samples are wasted
+time steps.  The controller moves K by one step with hysteresis:
+
+* if the batch-median gap exceeds ``high`` → K ← K + 1 (up to ``k_max``);
+* if it falls below ``low``            → K ← K − 1 (down to ``k_min``);
+* otherwise K is unchanged.
+
+With K = 1 the gap cannot be computed from a single sample, so the
+controller tracks repeated visits: it keeps a short history of estimates of
+the incumbent configuration and uses their relative spread instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["AdaptiveSamplingController"]
+
+
+class AdaptiveSamplingController:
+    """Hysteresis controller for the per-evaluation sample count K."""
+
+    def __init__(
+        self,
+        k_initial: int = 1,
+        *,
+        k_min: int = 1,
+        k_max: int = 10,
+        low: float = 0.02,
+        high: float = 0.10,
+        incumbent_window: int = 6,
+    ) -> None:
+        if not (1 <= k_min <= k_initial <= k_max):
+            raise ValueError(
+                f"need 1 <= k_min <= k_initial <= k_max, got "
+                f"{k_min}, {k_initial}, {k_max}"
+            )
+        if not (0.0 <= low < high):
+            raise ValueError(f"need 0 <= low < high, got low={low}, high={high}")
+        if incumbent_window < 2:
+            raise ValueError(f"incumbent_window must be >= 2, got {incumbent_window}")
+        self.k = int(k_initial)
+        self.k_min = int(k_min)
+        self.k_max = int(k_max)
+        self.low = float(low)
+        self.high = float(high)
+        self._incumbent_estimates: deque[float] = deque(maxlen=incumbent_window)
+        #: history of (gap, K) decisions for diagnostics
+        self.history: list[tuple[float, int]] = []
+
+    @property
+    def current_k(self) -> int:
+        return self.k
+
+    @staticmethod
+    def _relative_min_gap(samples: np.ndarray) -> float | None:
+        """(median - min) / min for one point's samples; None if undefined."""
+        arr = np.asarray(samples, dtype=float).ravel()
+        arr = arr[np.isfinite(arr)]
+        if arr.size < 2:
+            return None
+        lo = float(arr.min())
+        if lo <= 0:
+            return None
+        return (float(np.median(arr)) - lo) / lo
+
+    def observe_batch(self, samples: np.ndarray) -> int:
+        """Update K from one evaluation batch's (points × K) sample matrix.
+
+        Returns the K to use for the *next* batch.
+        """
+        arr = np.asarray(samples, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError(f"expected (points, K) matrix, got shape {arr.shape}")
+        gaps = [g for row in arr if (g := self._relative_min_gap(row)) is not None]
+        if gaps:
+            gap = float(np.median(gaps))
+        else:
+            gap = self._incumbent_gap()
+            if gap is None:
+                self.history.append((np.nan, self.k))
+                return self.k
+        if gap > self.high and self.k < self.k_max:
+            self.k += 1
+        elif gap < self.low and self.k > self.k_min:
+            self.k -= 1
+        self.history.append((gap, self.k))
+        return self.k
+
+    def observe_incumbent(self, estimate: float) -> None:
+        """Record one estimate of the incumbent configuration.
+
+        Feeds the K=1 fallback: across visits, the spread of single-sample
+        estimates of the *same* configuration is pure noise.
+        """
+        if np.isfinite(estimate):
+            self._incumbent_estimates.append(float(estimate))
+
+    def _incumbent_gap(self) -> float | None:
+        if len(self._incumbent_estimates) < 2:
+            return None
+        arr = np.asarray(self._incumbent_estimates, dtype=float)
+        return self._relative_min_gap(arr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdaptiveSamplingController(k={self.k}, range=[{self.k_min}, {self.k_max}], "
+            f"band=[{self.low}, {self.high}])"
+        )

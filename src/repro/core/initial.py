@@ -1,0 +1,91 @@
+"""Initial simplex construction (paper §3.2.3 and §6.1).
+
+Two shapes are studied in the paper:
+
+* the **minimal simplex** — N+1 vertices: the admissible centre ``c`` plus
+  one positive axial step per parameter, ``Π(c + b_i e_i)``;
+* the **axial (2N) simplex** — both axial directions, ``Π(c ± b_i e_i)``,
+  which the paper finds "performs much better" on discrete spaces.
+
+The step sizes are ``b_i = r · (u(i) - l(i)) / 2`` where *r* is the *relative
+initial simplex size* swept in Fig. 9; the paper's default recommendation
+``b_i = 0.1 (u(i) - l(i))`` (§3.2.3) corresponds to ``r = 0.2``.
+
+On coarse discrete lattices a too-small *r* makes the projection collapse
+axial steps back onto the centre — the simplex then cannot span the space,
+which is exactly the small-``r`` failure mode discussed in §6.1.  We keep
+that behaviour (it is part of what Fig. 9 measures) but expose
+:func:`distinct_points` so callers can detect it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.space import ParameterSpace
+
+__all__ = ["axial_simplex", "minimal_simplex", "distinct_points"]
+
+#: the paper's default relative initial-simplex size (§3.2.3 / §6.1).
+DEFAULT_RELATIVE_SIZE = 0.2
+
+
+def _axial_steps(space: ParameterSpace, r: float) -> np.ndarray:
+    if not (0.0 < r <= 2.0):
+        raise ValueError(f"relative size r must lie in (0, 2], got {r}")
+    return 0.5 * r * space.spans()
+
+
+def axial_simplex(
+    space: ParameterSpace,
+    r: float = DEFAULT_RELATIVE_SIZE,
+    center: Sequence[float] | None = None,
+) -> list[np.ndarray]:
+    """The 2N-vertex initial simplex ``{Π(c ± b_i e_i)}`` (§3.2.3).
+
+    Parameters
+    ----------
+    space:
+        The admissible region.
+    r:
+        Relative size: ``b_i = r (u_i - l_i) / 2``.
+    center:
+        Optional admissible centre; defaults to the region centre ``c``.
+    """
+    c = space.center() if center is None else space.as_point(center)
+    if not space.contains(c):
+        raise ValueError(f"simplex centre {c!r} is not admissible")
+    b = _axial_steps(space, r)
+    points: list[np.ndarray] = []
+    for i in range(space.dimension):
+        for sign in (+1.0, -1.0):
+            raw = c.copy()
+            raw[i] = c[i] + sign * b[i]
+            points.append(space.project(raw, c))
+    return points
+
+
+def minimal_simplex(
+    space: ParameterSpace,
+    r: float = DEFAULT_RELATIVE_SIZE,
+    center: Sequence[float] | None = None,
+) -> list[np.ndarray]:
+    """The (N+1)-vertex simplex: centre plus positive axial steps (§6.1)."""
+    c = space.center() if center is None else space.as_point(center)
+    if not space.contains(c):
+        raise ValueError(f"simplex centre {c!r} is not admissible")
+    b = _axial_steps(space, r)
+    points: list[np.ndarray] = [c.copy()]
+    for i in range(space.dimension):
+        raw = c.copy()
+        raw[i] = c[i] + b[i]
+        points.append(space.project(raw, c))
+    return points
+
+
+def distinct_points(points: list[np.ndarray]) -> int:
+    """Number of distinct points (detects projection-collapsed simplexes)."""
+    seen = {tuple(np.asarray(p, dtype=float)) for p in points}
+    return len(seen)

@@ -1,0 +1,178 @@
+"""Choosing K from first principles (§5.2, Eq. 22).
+
+The paper: "If we know λ, we can start with a desirable error probability
+ε > 0, and compute sufficient number of samples K₀" — where λ is the least
+non-zero performance difference between two configurations that the min
+operator must resolve.  This module implements that computation, plus the
+missing ingredient the paper points at ("in practice, it is not easy to
+find a fixed value for K"): **estimating the noise parameters online** from
+repeated observations of a fixed configuration.
+
+Closed-form identification under the two-job/Pareto model
+---------------------------------------------------------
+
+For observations ``y = f + n`` with ``n ~ Pareto(α, β)`` and β tied to f by
+Eq. (17):
+
+* the sample mean converges to ``m = f / (1 - ρ)``       (Eq. 6),
+* the sample minimum converges to ``l = f + β = f·(1 + (α-1)ρ/((1-ρ)α))``.
+
+Substituting ``f = m (1 - ρ)`` into the second limit collapses to
+
+.. math::  l = m\\,(1 - ρ/α) \\qquad\\Rightarrow\\qquad
+           \\hat ρ = α\\,(1 - l/m), \\qquad \\hat f = m\\,(1 - \\hat ρ),
+
+a two-line identification of the idle throughput and the noise-free cost
+from nothing but the running mean and minimum.  (The mean of an α > 1
+Pareto is finite, so ``m`` converges — slowly for α < 2, which is why the
+estimator reports sample counts.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive, check_probability
+from repro.variability.heavytail import hill_estimator
+from repro.variability.pareto import ParetoDistribution
+from repro.variability.twojob import pareto_beta_for
+
+__all__ = ["required_samples", "NoiseIdentification", "identify_noise", "KPlanner"]
+
+
+def required_samples(
+    *,
+    alpha: float,
+    rho: float,
+    f: float,
+    gap: float,
+    error: float,
+) -> int:
+    """Eq. 22: smallest K with P[min-of-K > f + n_min + gap] < error.
+
+    Parameters
+    ----------
+    alpha, rho:
+        Noise law (Pareto shape; idle throughput, pins β via Eq. 17).
+    f:
+        Representative noise-free cost of the configurations compared.
+    gap:
+        λ — the smallest performance difference that must be resolved
+        (absolute, same units as f).
+    error:
+        ε — acceptable probability that the min estimate still sits more
+        than λ above its floor after K samples.
+    """
+    check_positive("f", f)
+    check_positive("gap", gap)
+    if not (0.0 < error < 1.0):
+        raise ValueError(f"error must lie in (0, 1), got {error}")
+    check_probability("rho", rho)
+    if rho == 0.0:
+        return 1  # noise-free: one sample is exact
+    beta = float(pareto_beta_for(f, alpha, rho))
+    return ParetoDistribution(alpha, beta).samples_for_exceedance(gap, error)
+
+
+@dataclass(frozen=True)
+class NoiseIdentification:
+    """Result of identifying (ρ, f, β) from repeated observations."""
+
+    alpha: float        #: Pareto shape used (given or Hill-estimated)
+    rho: float          #: estimated idle throughput
+    f: float            #: estimated noise-free cost
+    beta: float         #: implied noise floor (Eq. 17)
+    n_samples: int      #: observations used
+    alpha_estimated: bool
+
+    def noise_distribution(self) -> ParetoDistribution | None:
+        if self.rho == 0.0:
+            return None
+        return ParetoDistribution(self.alpha, self.beta)
+
+
+def identify_noise(
+    observations: np.ndarray,
+    *,
+    alpha: float | None = None,
+    min_samples: int = 10,
+) -> NoiseIdentification:
+    """Identify (ρ̂, f̂) from repeated observations of ONE configuration.
+
+    ``alpha`` may be supplied (e.g. the paper's 1.7); otherwise it is
+    Hill-estimated from the observations' upper tail, which needs a few
+    hundred samples to be trustworthy.
+    """
+    y = np.asarray(observations, dtype=float).ravel()
+    y = y[np.isfinite(y)]
+    if y.size < min_samples:
+        raise ValueError(
+            f"need at least {min_samples} observations, got {y.size}"
+        )
+    if np.any(y <= 0):
+        raise ValueError("observations must be positive times")
+    m = float(y.mean())
+    l = float(y.min())
+    alpha_estimated = alpha is None
+    if alpha is None:
+        # Observations are a *shifted* Pareto (y = f + n), whose Hill
+        # estimate converges to the noise index only deep in the tail; use
+        # the top ~0.5% (still >= 5 points) to limit the shift bias.
+        k = max(5, y.size // 200)
+        alpha = hill_estimator(y, k=min(k, y.size - 1))
+    check_positive("alpha", alpha)
+    # rho-hat = alpha (1 - l/m), clipped into the model's valid range.
+    rho = float(np.clip(alpha * (1.0 - l / m), 0.0, 0.95))
+    f = m * (1.0 - rho)
+    beta = float(pareto_beta_for(f, alpha, rho)) if (rho > 0 and alpha > 1) else 0.0
+    return NoiseIdentification(
+        alpha=float(alpha),
+        rho=rho,
+        f=float(f),
+        beta=beta,
+        n_samples=int(y.size),
+        alpha_estimated=alpha_estimated,
+    )
+
+
+class KPlanner:
+    """End-to-end §5.2 planner: observations → (ρ̂, f̂) → K₀ via Eq. 22.
+
+    ``rel_gap`` is λ expressed relative to the noise-free cost (e.g. 0.02
+    means the tuner must resolve 2% performance differences) and ``error``
+    the acceptable per-comparison mistake probability ε.
+    """
+
+    def __init__(
+        self,
+        *,
+        rel_gap: float = 0.05,
+        error: float = 0.05,
+        alpha: float | None = 1.7,
+        k_max: int = 50,
+    ) -> None:
+        self.rel_gap = check_positive("rel_gap", rel_gap)
+        if not (0.0 < error < 1.0):
+            raise ValueError(f"error must lie in (0, 1), got {error}")
+        self.error = float(error)
+        self.alpha = alpha
+        if k_max < 1:
+            raise ValueError(f"k_max must be >= 1, got {k_max}")
+        self.k_max = int(k_max)
+
+    def plan(self, observations: np.ndarray) -> tuple[int, NoiseIdentification]:
+        """Identify the noise and return (K₀, identification)."""
+        ident = identify_noise(observations, alpha=self.alpha)
+        if ident.rho == 0.0:
+            return 1, ident
+        k = required_samples(
+            alpha=ident.alpha,
+            rho=ident.rho,
+            f=ident.f,
+            gap=self.rel_gap * ident.f,
+            error=self.error,
+        )
+        return min(k, self.k_max), ident

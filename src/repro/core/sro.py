@@ -1,0 +1,191 @@
+"""Algorithm 1 — Sequential Rank Ordering (SRO).
+
+The sequential baseline PRO is built from.  Per iteration:
+
+1. evaluate the single reflection of the *worst* vertex through the best,
+   ``r = Π(2 v0 - v^n)``;
+2. if ``f(r) < f(v0)``, evaluate the expansion ``e = Π(3 v0 - 2 v^n)``;
+3. accept expansion / reflection / shrink for **all** vertices accordingly,
+   evaluating the transformed vertices one at a time (this is a sequential
+   algorithm: each evaluation costs one application time step).
+
+The ask/tell protocol reflects the sequentiality: every ``ask`` returns a
+single point, so the session charges SRO one time step per evaluation — the
+cost model under which the paper argues PRO's parallel advantage.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import BatchTuner
+from repro.core.initial import axial_simplex, minimal_simplex
+from repro.core.simplex import Simplex, Vertex, expand, reflect, shrink
+from repro.core.stopping import ConvergenceProbe
+from repro.space import ParameterSpace
+
+__all__ = ["SequentialRankOrdering", "SroPhase"]
+
+
+class SroPhase(enum.Enum):
+    """Internal state-machine phase of the SRO tuner."""
+
+    INIT = "init"
+    REFLECT_CHECK = "reflect_check"
+    EXPAND_CHECK = "expand_check"
+    STEP = "step"
+    PROBE = "probe"
+    DONE = "done"
+
+
+class SequentialRankOrdering(BatchTuner):
+    """The paper's SRO (Algorithm 1) as a one-point-at-a-time ask/tell tuner."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        *,
+        initial_points: Sequence[np.ndarray] | None = None,
+        r: float = 0.2,
+        simplex_shape: str = "axial",
+    ) -> None:
+        super().__init__(space)
+        if initial_points is not None:
+            pts = [space.as_point(p) for p in initial_points]
+            if len(pts) < 2:
+                raise ValueError("need at least 2 initial simplex vertices")
+            for p in pts:
+                if not space.contains(p):
+                    raise ValueError(f"initial point {p!r} is not admissible")
+        elif simplex_shape == "axial":
+            pts = axial_simplex(space, r)
+        elif simplex_shape == "minimal":
+            pts = minimal_simplex(space, r)
+        else:
+            raise ValueError(
+                f"simplex_shape must be 'axial' or 'minimal', got {simplex_shape!r}"
+            )
+        self.phase = SroPhase.INIT
+        self.simplex: Simplex | None = None
+        self._probe = ConvergenceProbe(space)
+        self.n_iterations = 0
+        self.n_restarts = 0
+        # sequential-evaluation plumbing: one queue, collected results, and
+        # a commit callback fired once the queue drains.
+        self._queue: list[np.ndarray] = [p.copy() for p in pts]
+        self._collected: list[Vertex] = []
+        self._commit: Callable[[list[Vertex]], None] = self._commit_init
+        self._reflection_value = float("inf")
+        self._step_kind = ""
+
+    # -- incumbent -----------------------------------------------------------
+
+    @property
+    def initialized(self) -> bool:
+        return self.simplex is not None
+
+    @property
+    def best_point(self) -> np.ndarray:
+        if self.simplex is None:
+            return self._queue[0].copy() if self._queue else np.asarray([])
+        return self.simplex.best.point.copy()
+
+    @property
+    def best_value(self) -> float:
+        if self.simplex is None:
+            return float("inf")
+        return self.simplex.best.value
+
+    # -- ask/tell ---------------------------------------------------------------
+
+    def _ask(self) -> list[np.ndarray]:
+        if self.phase is SroPhase.DONE:
+            return []
+        if self.phase in (SroPhase.INIT, SroPhase.STEP, SroPhase.PROBE):
+            return [self._queue[len(self._collected)].copy()]
+        assert self.simplex is not None
+        v0 = self.simplex.best.point
+        vn = self.simplex.worst.point
+        if self.phase is SroPhase.REFLECT_CHECK:
+            return [self.space.project(reflect(v0, vn), v0)]
+        if self.phase is SroPhase.EXPAND_CHECK:
+            return [self.space.project(expand(v0, vn), v0)]
+        raise AssertionError(f"unhandled phase {self.phase}")  # pragma: no cover
+
+    def _tell(self, batch: list[np.ndarray], values: list[float]) -> None:
+        if self.phase in (SroPhase.INIT, SroPhase.STEP, SroPhase.PROBE):
+            self._collected.append(Vertex(batch[0], values[0]))
+            if len(self._collected) == len(self._queue):
+                collected, commit = self._collected, self._commit
+                self._collected = []
+                self._queue = []
+                commit(collected)
+            return
+        assert self.simplex is not None
+        if self.phase is SroPhase.REFLECT_CHECK:
+            if values[0] < self.simplex.best.value:
+                self._reflection_value = values[0]
+                self.phase = SroPhase.EXPAND_CHECK
+            else:
+                self._start_step("shrink", self.simplex.shrink_points())
+            return
+        if self.phase is SroPhase.EXPAND_CHECK:
+            if values[0] < self._reflection_value:
+                self._start_step("expand", self.simplex.expansion_points())
+            else:
+                self._start_step("reflect", self.simplex.reflection_points())
+            return
+        raise AssertionError(f"tell in unhandled phase {self.phase}")  # pragma: no cover
+
+    # -- queue management ----------------------------------------------------------
+
+    def _start_step(self, kind: str, raw_points: list[np.ndarray]) -> None:
+        assert self.simplex is not None
+        v0 = self.simplex.best.point
+        self._queue = [self.space.project(p, v0) for p in raw_points]
+        self._collected = []
+        self._step_kind = kind
+        self._commit = self._commit_step
+        self.phase = SroPhase.STEP
+
+    def _commit_init(self, collected: list[Vertex]) -> None:
+        self.simplex = Simplex(collected)
+        self.step_log.append("init")
+        self._after_update()
+
+    def _commit_step(self, collected: list[Vertex]) -> None:
+        assert self.simplex is not None
+        self.simplex.replace_moving(collected)
+        self.step_log.append(self._step_kind)
+        self._after_update()
+
+    def _commit_probe(self, collected: list[Vertex]) -> None:
+        assert self.simplex is not None
+        values = [v.value for v in collected]
+        if ConvergenceProbe.is_local_minimum(self.simplex.best.value, values):
+            self.phase = SroPhase.DONE
+            self._mark_converged("local_minimum")
+            return
+        self.simplex = Simplex([self.simplex.best.copy()] + collected)
+        self.n_restarts += 1
+        self.step_log.append("probe_restart")
+        self.phase = SroPhase.REFLECT_CHECK
+
+    def _after_update(self) -> None:
+        assert self.simplex is not None
+        self.n_iterations += 1
+        if self._probe.simplex_collapsed(self.simplex.points()):
+            probes = self._probe.probe_points(self.simplex.best.point)
+            if not probes:
+                self.phase = SroPhase.DONE
+                self._mark_converged("no_neighbours")
+                return
+            self._queue = probes
+            self._collected = []
+            self._commit = self._commit_probe
+            self.phase = SroPhase.PROBE
+        else:
+            self.phase = SroPhase.REFLECT_CHECK

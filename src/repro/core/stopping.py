@@ -1,0 +1,49 @@
+"""Convergence checking: the 2N-point local-minimum certificate (§3.2.2).
+
+When every simplex vertex has collapsed onto one configuration (exactly, for
+discrete parameters; within tolerance, for continuous ones), the algorithm
+probes the up-to-2N axial neighbours of the candidate ``v0``:
+
+* discrete coordinate → the adjacent admissible values above and below;
+* continuous coordinate → ± a small ``probe_step``;
+* directions blocked by a boundary are skipped (the paper sets ``l_i``/``u_i``
+  to zero there).
+
+If no probe strictly outperforms ``v0``, it is certified a local minimum and
+the search stops; otherwise the probes (plus ``v0``) form the restart
+simplex and the search continues — this is what lets PRO escape a collapsed
+simplex, including the degenerate all-equal simplexes a too-small initial
+size produces on coarse lattices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.space import ParameterSpace
+
+__all__ = ["ConvergenceProbe"]
+
+
+class ConvergenceProbe:
+    """Builds probe batches and renders local-minimum verdicts."""
+
+    def __init__(self, space: ParameterSpace) -> None:
+        self.space = space
+
+    def simplex_collapsed(self, points: Sequence[np.ndarray]) -> bool:
+        """True when all simplex vertices coincide (the check trigger)."""
+        return self.space.coincident(points)
+
+    def probe_points(self, v0: np.ndarray) -> list[np.ndarray]:
+        """The certificate batch around *v0* (up to 2N points)."""
+        return self.space.probe_points(v0)
+
+    @staticmethod
+    def is_local_minimum(v0_value: float, probe_values: Sequence[float]) -> bool:
+        """True when no probe strictly outperforms the candidate."""
+        if len(probe_values) == 0:
+            return True
+        return float(min(probe_values)) >= float(v0_value)

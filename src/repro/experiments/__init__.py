@@ -1,0 +1,27 @@
+"""One module per paper figure (plus ablations).
+
+Every experiment exposes a ``run_*`` function returning a result object with
+the data series the corresponding figure plots, and ``lines()`` /
+``format_table`` helpers the benchmark harness prints.  All experiments take
+a ``trials`` knob: benches default to a laptop-scale setting; pass the
+paper-scale value for full fidelity (Fig. 10 used 2000 simulations per
+configuration).
+"""
+
+from repro.experiments import _fmt
+from repro.experiments.fig01_metrics import run_metric_comparison
+from repro.experiments.fig02_geometry import run_geometry_demo
+from repro.experiments.fig03_trace import simulate_gs2_trace
+from repro.experiments.fig08_surface import run_surface_slice
+from repro.experiments.fig09_simplex import run_initial_simplex_study
+from repro.experiments.fig10_sampling import run_sampling_study
+
+__all__ = [
+    "_fmt",
+    "run_metric_comparison",
+    "run_geometry_demo",
+    "simulate_gs2_trace",
+    "run_surface_slice",
+    "run_initial_simplex_study",
+    "run_sampling_study",
+]

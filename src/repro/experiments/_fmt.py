@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospace table (header + rule + rows)."""
+
+    def cell(x: object) -> str:
+        if isinstance(x, float):
+            return float_fmt.format(x)
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(name: str, values: Sequence[float], *, per_line: int = 10) -> str:
+    """Render a numeric series compactly over several lines."""
+    chunks = []
+    vals = [f"{v:.4g}" for v in values]
+    for i in range(0, len(vals), per_line):
+        chunks.append(" ".join(vals[i : i + per_line]))
+    body = "\n  ".join(chunks)
+    return f"{name} (n={len(vals)}):\n  {body}"

@@ -1,0 +1,94 @@
+"""Shared builders for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro._util import as_generator
+from repro.apps.database import PerformanceDatabase
+from repro.apps.gs2 import GS2Surrogate
+from repro.core.base import BatchTuner
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sro import SequentialRankOrdering
+from repro.search.annealing import SimulatedAnnealing
+from repro.search.coordinate import CoordinateDescent
+from repro.search.genetic import GeneticAlgorithm
+from repro.search.neldermead import NelderMead
+from repro.search.random_search import RandomSearch
+from repro.space import ParameterSpace
+
+__all__ = ["gs2_problem", "tuner_factory", "TUNER_NAMES"]
+
+
+def gs2_problem(
+    *,
+    fraction: float = 1.0,
+    k_neighbors: int = 4,
+    rng: int | np.random.Generator | None = 0,
+) -> tuple[GS2Surrogate, PerformanceDatabase]:
+    """The §6 setup: GS2 surrogate sampled into a performance database.
+
+    ``fraction < 1`` reproduces the paper's sparse database, where missing
+    configurations are served by weighted nearest-neighbour interpolation.
+    """
+    surrogate = GS2Surrogate()
+    db = PerformanceDatabase.from_function(
+        surrogate,
+        surrogate.space(),
+        fraction=fraction,
+        k_neighbors=k_neighbors,
+        rng=rng,
+    )
+    return surrogate, db
+
+
+#: names accepted by :func:`tuner_factory`
+TUNER_NAMES = (
+    "pro",
+    "pro_minimal",
+    "pro_greedy",
+    "pro_eager",
+    "pro_auto",
+    "sro",
+    "neldermead",
+    "annealing",
+    "genetic",
+    "random",
+    "coordinate",
+)
+
+
+def tuner_factory(
+    name: str, *, r: float = 0.2, rng: int | np.random.Generator | None = None
+) -> Callable[[ParameterSpace], BatchTuner]:
+    """A named tuner constructor (used by benches and the tuning server)."""
+    gen = as_generator(rng)
+
+    def build(space: ParameterSpace) -> BatchTuner:
+        if name == "pro":
+            return ParallelRankOrdering(space, r=r)
+        if name == "pro_minimal":
+            return ParallelRankOrdering(space, r=r, simplex_shape="minimal")
+        if name == "pro_greedy":
+            return ParallelRankOrdering(space, r=r, greedy_acceptance=True)
+        if name == "pro_eager":
+            return ParallelRankOrdering(space, r=r, eager_expansion=True)
+        if name == "pro_auto":
+            return ParallelRankOrdering(space, auto_size=True)
+        if name == "sro":
+            return SequentialRankOrdering(space, r=r)
+        if name == "neldermead":
+            return NelderMead(space, r=r)
+        if name == "annealing":
+            return SimulatedAnnealing(space, rng=gen)
+        if name == "genetic":
+            return GeneticAlgorithm(space, rng=gen)
+        if name == "random":
+            return RandomSearch(space, rng=gen)
+        if name == "coordinate":
+            return CoordinateDescent(space)
+        raise ValueError(f"unknown tuner {name!r}; known: {TUNER_NAMES}")
+
+    return build

@@ -1,0 +1,73 @@
+"""Figure 2 — the three rank-ordering transforms of a 2-D simplex.
+
+The paper's Fig. 2 shows a 3-point simplex in 2-D space and the simplexes
+obtained by reflecting, shrinking, and expanding it around the best vertex
+``v0``.  This module regenerates those vertex coordinates (the geometry the
+rest of the system is built on) and verifies the defining identities:
+
+* reflection negates the offset from v0:  ``r_j - v0 = -(v_j - v0)``;
+* expansion doubles the reflected offset: ``e_j - v0 = -2 (v_j - v0)``;
+* shrink halves the offset:               ``s_j - v0 = (v_j - v0) / 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.simplex import Simplex, Vertex, expand, reflect, shrink
+
+__all__ = ["GeometryDemo", "run_geometry_demo"]
+
+
+@dataclass(frozen=True)
+class GeometryDemo:
+    """Original and transformed simplex vertex coordinates."""
+
+    original: np.ndarray     # (3, 2): v0, v1, v2
+    reflected: np.ndarray    # (3, 2): v0 kept, others reflected
+    expanded: np.ndarray
+    shrunk: np.ndarray
+
+    def identities_hold(self, tol: float = 1e-12) -> bool:
+        v0 = self.original[0]
+        off = self.original[1:] - v0
+        return bool(
+            np.allclose(self.reflected[1:] - v0, -off, atol=tol)
+            and np.allclose(self.expanded[1:] - v0, -2.0 * off, atol=tol)
+            and np.allclose(self.shrunk[1:] - v0, 0.5 * off, atol=tol)
+        )
+
+    def rows(self) -> list[list[object]]:
+        out: list[list[object]] = []
+        for label, pts in [
+            ("original", self.original),
+            ("reflected", self.reflected),
+            ("expanded", self.expanded),
+            ("shrunk", self.shrunk),
+        ]:
+            for j, p in enumerate(pts):
+                out.append([label, f"v{j}", float(p[0]), float(p[1])])
+        return out
+
+
+def run_geometry_demo(
+    vertices: np.ndarray | None = None,
+) -> GeometryDemo:
+    """Build the Fig. 2 transforms for a (given or default) 2-D simplex."""
+    if vertices is None:
+        vertices = np.array([[1.0, 1.0], [3.0, 1.5], [2.0, 3.0]])
+    pts = np.asarray(vertices, dtype=float)
+    if pts.shape != (3, 2):
+        raise ValueError(f"the Fig. 2 demo wants a (3, 2) simplex, got {pts.shape}")
+    # Values chosen so pts[0] is the best vertex, matching the paper's v0.
+    simplex = Simplex([Vertex(p, float(i)) for i, p in enumerate(pts)])
+    v0 = simplex.best.point
+    moving = [v.point for v in simplex.vertices[1:]]
+    return GeometryDemo(
+        original=np.vstack([v0] + moving),
+        reflected=np.vstack([v0] + [reflect(v0, p) for p in moving]),
+        expanded=np.vstack([v0] + [expand(v0, p) for p in moving]),
+        shrunk=np.vstack([v0] + [shrink(v0, p) for p in moving]),
+    )

@@ -1,0 +1,156 @@
+"""A general paired-trials sweep runner for tuning experiments.
+
+Every study in the paper has the same skeleton: a grid of configurations
+(tuner variant × noise level × sampling plan), each run for T independent
+trials, with per-cell means/stds of Normalized Total Time and final cost.
+This module factors that skeleton out so new studies are a dozen lines:
+
+* **paired seeds** — every cell replays the same per-trial seed sequence,
+  so cell differences are configuration effects, not sampling luck;
+* **cells are factories** — a cell is a callable returning a fresh
+  :class:`~repro.harmony.session.TuningSession` for (trial_seed), so any
+  combination of tuner/noise/plan/evaluator fits;
+* **results are arrays + labels**, exportable to JSON and renderable with
+  :func:`repro.experiments._fmt.format_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro._util import as_generator
+from repro.harmony.metrics import SessionResult
+from repro.harmony.session import TuningSession
+
+__all__ = ["CellStats", "SweepResult", "run_sweep"]
+
+#: builds one fresh session for a given trial seed
+SessionFactory = Callable[[int], TuningSession]
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Aggregates of one grid cell across trials."""
+
+    name: str
+    ntt_mean: float
+    ntt_std: float
+    final_cost_mean: float
+    final_cost_std: float
+    total_time_mean: float
+    converged_fraction: float
+    trials: int
+
+    def row(self) -> list[object]:
+        return [
+            self.name,
+            self.ntt_mean,
+            self.ntt_std,
+            self.final_cost_mean,
+            self.converged_fraction,
+        ]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All cells of one sweep."""
+
+    cells: tuple[CellStats, ...]
+    trial_seeds: tuple[int, ...]
+    meta: dict = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> CellStats:
+        for cell in self.cells:
+            if cell.name == name:
+                return cell
+        raise KeyError(f"no cell named {name!r}; have {[c.name for c in self.cells]}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.cells)
+
+    def best_by_ntt(self) -> CellStats:
+        return min(self.cells, key=lambda c: c.ntt_mean)
+
+    def rows(self) -> list[list[object]]:
+        return [c.row() for c in self.cells]
+
+    def to_dict(self) -> dict:
+        return {
+            "cells": [vars(c) for c in self.cells],
+            "trial_seeds": list(self.trial_seeds),
+            "meta": {k: str(v) for k, v in self.meta.items()},
+        }
+
+
+def run_sweep(
+    cells: Mapping[str, SessionFactory] | Sequence[tuple[str, SessionFactory]],
+    *,
+    trials: int,
+    rng: int | np.random.Generator | None = None,
+    collect: Callable[[SessionResult], None] | None = None,
+) -> SweepResult:
+    """Run every cell for *trials* paired-seed sessions and aggregate.
+
+    Parameters
+    ----------
+    cells:
+        Mapping (or ordered pairs) of cell name → session factory.  The
+        factory receives the trial's seed and must build a *fresh* tuner and
+        session (sessions are single-use).
+    trials:
+        Trials per cell; the same seed sequence is replayed for every cell.
+    collect:
+        Optional hook called with every :class:`SessionResult` (e.g. to
+        archive them with ``result.to_json()``).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    items = list(cells.items()) if isinstance(cells, Mapping) else list(cells)
+    if not items:
+        raise ValueError("need at least one cell")
+    names = [name for name, _ in items]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate cell names: {names}")
+    master = as_generator(rng)
+    trial_seeds = [int(s) for s in master.integers(0, 2**63 - 1, size=trials)]
+    stats: list[CellStats] = []
+    for name, factory in items:
+        ntts = np.empty(trials)
+        finals = np.empty(trials)
+        totals = np.empty(trials)
+        converged = 0
+        for t, seed in enumerate(trial_seeds):
+            session = factory(seed)
+            if not isinstance(session, TuningSession):
+                raise TypeError(
+                    f"cell {name!r} factory must return a TuningSession, "
+                    f"got {type(session).__name__}"
+                )
+            result = session.run()
+            ntts[t] = result.normalized_total_time()
+            finals[t] = result.best_true_cost
+            totals[t] = result.total_time()
+            converged += result.converged_at is not None
+            if collect is not None:
+                collect(result)
+        stats.append(
+            CellStats(
+                name=name,
+                ntt_mean=float(ntts.mean()),
+                ntt_std=float(ntts.std()),
+                final_cost_mean=float(np.nanmean(finals)),
+                final_cost_std=float(np.nanstd(finals)),
+                total_time_mean=float(totals.mean()),
+                converged_fraction=converged / trials,
+                trials=trials,
+            )
+        )
+    return SweepResult(
+        cells=tuple(stats),
+        trial_seeds=tuple(trial_seeds),
+        meta={"trials": trials},
+    )

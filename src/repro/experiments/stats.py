@@ -1,0 +1,131 @@
+"""Statistical machinery for experiment comparisons.
+
+Heavy-tailed metrics make naive t-tests unreliable; the tools here are the
+nonparametric ones the benchmark claims actually need:
+
+* :func:`bootstrap_ci` — percentile bootstrap confidence interval for any
+  statistic of one sample;
+* :func:`paired_comparison` — paired-design comparison of two condition
+  vectors (the sweep runner replays seeds across cells, so per-trial
+  differences are meaningful): mean difference with a bootstrap CI, win
+  rate, and a sign-test p-value;
+* :func:`significantly_less` — the one-liner benches use to claim "A beats
+  B" with error control instead of comparing two noisy means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._util import as_generator
+
+__all__ = ["bootstrap_ci", "PairedComparison", "paired_comparison", "significantly_less"]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    stat: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    rng: int | np.random.Generator | None = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for ``stat`` of ``values``."""
+    arr = np.asarray(values, dtype=float).ravel()
+    arr = arr[np.isfinite(arr)]
+    if arr.size < 2:
+        raise ValueError(f"need at least 2 finite values, got {arr.size}")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    if n_boot < 100:
+        raise ValueError(f"n_boot must be >= 100, got {n_boot}")
+    gen = as_generator(rng)
+    idx = gen.integers(0, arr.size, size=(n_boot, arr.size))
+    stats = np.array([stat(arr[row]) for row in idx], dtype=float)
+    lo = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, lo)),
+        float(np.quantile(stats, 1.0 - lo)),
+    )
+
+
+def _sign_test_p(n_less: int, n_greater: int) -> float:
+    """Two-sided exact sign test (ties dropped)."""
+    n = n_less + n_greater
+    if n == 0:
+        return 1.0
+    k = min(n_less, n_greater)
+    # P[X <= k] for X ~ Binom(n, 1/2), doubled and capped.
+    total = 0.0
+    for i in range(k + 1):
+        total += math.comb(n, i)
+    p = 2.0 * total / (2.0**n)
+    return min(1.0, p)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Summary of a paired A-vs-B comparison (lower is better)."""
+
+    n: int
+    mean_diff: float            #: mean(A - B); negative favours A
+    ci_low: float
+    ci_high: float
+    win_rate: float             #: fraction of trials where A < B
+    p_sign: float               #: two-sided sign-test p-value
+
+    @property
+    def a_significantly_less(self) -> bool:
+        """A < B with the bootstrap CI excluding zero and wins dominating."""
+        return self.ci_high < 0.0 and self.win_rate > 0.5
+
+    def describe(self) -> str:
+        return (
+            f"mean diff {self.mean_diff:+.4g} "
+            f"[{self.ci_low:.4g}, {self.ci_high:.4g}] (95% CI), "
+            f"win rate {self.win_rate:.0%}, sign-test p={self.p_sign:.3g}"
+        )
+
+
+def paired_comparison(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    rng: int | np.random.Generator | None = 0,
+) -> PairedComparison:
+    """Compare paired condition vectors (same trials, same seeds)."""
+    a_arr = np.asarray(a, dtype=float).ravel()
+    b_arr = np.asarray(b, dtype=float).ravel()
+    if a_arr.shape != b_arr.shape:
+        raise ValueError(f"paired vectors must match: {a_arr.shape} vs {b_arr.shape}")
+    mask = np.isfinite(a_arr) & np.isfinite(b_arr)
+    a_arr, b_arr = a_arr[mask], b_arr[mask]
+    if a_arr.size < 2:
+        raise ValueError("need at least 2 paired finite trials")
+    diffs = a_arr - b_arr
+    lo, hi = bootstrap_ci(
+        diffs, confidence=confidence, n_boot=n_boot, rng=rng
+    )
+    wins = int(np.sum(diffs < 0))
+    losses = int(np.sum(diffs > 0))
+    return PairedComparison(
+        n=int(diffs.size),
+        mean_diff=float(diffs.mean()),
+        ci_low=lo,
+        ci_high=hi,
+        win_rate=wins / diffs.size,
+        p_sign=_sign_test_p(wins, losses),
+    )
+
+
+def significantly_less(
+    a: Sequence[float], b: Sequence[float], **kwargs
+) -> bool:
+    """True when paired condition A is credibly lower than B."""
+    return paired_comparison(a, b, **kwargs).a_significantly_less

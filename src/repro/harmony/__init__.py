@@ -1,0 +1,49 @@
+"""Active Harmony-style online tuning infrastructure.
+
+The paper's setting: the application is *running in production* while being
+tuned; every candidate configuration is evaluated by actually executing an
+application time step with it, and the figure of merit is the total
+wall-clock time of the whole run (Eqs. 1–2), not the final configuration.
+
+* :mod:`repro.harmony.evaluator` — how a batch of candidates turns into
+  observed times (pure function + noise model, the paper's GS2 database, or
+  the event-driven cluster simulator);
+* :mod:`repro.harmony.metrics` — Total_Time / NTT records;
+* :mod:`repro.harmony.session` — the online loop: maps tuner batches onto P
+  processors, charges one time step per wave, takes K samples per point and
+  reduces them with the chosen estimator;
+* :mod:`repro.harmony.server` / :mod:`repro.harmony.client` /
+  :mod:`repro.harmony.transport` — a client/server tuning service in the
+  Active Harmony mould (register tunables, fetch assignments, report
+  measurements), over in-process or TCP transports.
+"""
+
+from repro.harmony.evaluator import (
+    ClusterEvaluator,
+    DatabaseEvaluator,
+    Evaluator,
+    FunctionEvaluator,
+)
+from repro.harmony.metrics import SessionResult, StepKind
+from repro.harmony.session import TuningSession
+from repro.harmony.server import TuningServer
+from repro.harmony.client import TuningClient
+from repro.harmony.transport import InProcessTransport, TcpServerTransport, TcpClientTransport
+from repro.harmony.warmstart import warm_start_points, warm_started_pro
+
+__all__ = [
+    "Evaluator",
+    "FunctionEvaluator",
+    "DatabaseEvaluator",
+    "ClusterEvaluator",
+    "SessionResult",
+    "StepKind",
+    "TuningSession",
+    "TuningServer",
+    "TuningClient",
+    "InProcessTransport",
+    "TcpServerTransport",
+    "TcpClientTransport",
+    "warm_start_points",
+    "warm_started_pro",
+]

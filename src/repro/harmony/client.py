@@ -1,0 +1,102 @@
+"""The application-side tuning API (the Active Harmony client role).
+
+Minimal-change integration, mirroring the paper's description: the
+application declares its tunable parameters once, then brackets each
+iteration of its main loop with ``fetch`` / ``report``:
+
+.. code-block:: python
+
+    client = TuningClient(transport)
+    client.register(space)
+    for step in range(n_steps):
+        config = client.fetch()
+        elapsed = run_one_iteration(**client.as_dict(config))
+        client.report(elapsed, step=step)
+
+Everything else — search strategy, multi-sampling, estimator — lives on the
+server.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.harmony.transport import Transport
+from repro.space import ParameterSpace
+from repro.space.serialize import space_to_spec
+
+__all__ = ["TuningClient"]
+
+
+class TuningClient:
+    """One application process's handle on the tuning service."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self.client_id: int | None = None
+        self.space: ParameterSpace | None = None
+        self._last_token: int | None = None
+        self._last_point: np.ndarray | None = None
+
+    def _call(self, message: Mapping[str, object]) -> dict:
+        response = self.transport.request(message)
+        if not response.get("ok", False):
+            raise RuntimeError(f"tuning server error: {response.get('error')}")
+        return response
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def register(self, space: ParameterSpace) -> int:
+        """Declare the tunable parameters; returns the assigned client id."""
+        response = self._call({"op": "register", "params": space_to_spec(space)})
+        self.client_id = int(response["client_id"])
+        self.space = space
+        return self.client_id
+
+    # -- the per-iteration protocol ------------------------------------------------
+
+    def fetch(self) -> np.ndarray:
+        """Get the configuration to run the next application time step with."""
+        if self.client_id is None:
+            raise RuntimeError("call register() before fetch()")
+        response = self._call({"op": "fetch", "client_id": self.client_id})
+        self._last_token = int(response["token"])
+        self._last_point = np.asarray(response["point"], dtype=float)
+        return self._last_point.copy()
+
+    def report(self, elapsed: float, *, step: int = -1) -> None:
+        """Report the measured duration of the step run with the last fetch."""
+        if self.client_id is None or self._last_token is None:
+            raise RuntimeError("report() requires a preceding fetch()")
+        self._call(
+            {
+                "op": "report",
+                "client_id": self.client_id,
+                "token": self._last_token,
+                "time": float(elapsed),
+                "step": int(step),
+            }
+        )
+        self._last_token = None
+
+    # -- queries ----------------------------------------------------------------------
+
+    def best(self) -> tuple[np.ndarray, float, bool]:
+        """Current incumbent: (point, estimate, converged)."""
+        response = self._call({"op": "best"})
+        return (
+            np.asarray(response["point"], dtype=float),
+            float(response["value"]),
+            bool(response["converged"]),
+        )
+
+    def status(self) -> dict:
+        return self._call({"op": "status"})
+
+    def as_dict(self, point: Sequence[float]) -> dict[str, float]:
+        """Convert a fetched point into named parameter values."""
+        if self.space is None:
+            raise RuntimeError("register() first so the client knows the space")
+        return self.space.as_dict(point)

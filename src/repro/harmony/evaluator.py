@@ -1,0 +1,141 @@
+"""Evaluation substrates: how candidate batches become observed times.
+
+An :class:`Evaluator` answers one question per application time step: given
+the wave of configurations the P processors are about to run, what times
+were observed?  It returns both the per-point observations (the tuner's
+samples) and the wave's barrier time ``T_k`` (the session's cost charge).
+
+Three substrates:
+
+* :class:`FunctionEvaluator` — a pure cost function plus an analytic noise
+  model (the paper's §6 methodology: GS2 database + i.i.d. Pareto noise);
+* :class:`DatabaseEvaluator` — convenience wrapper over
+  :class:`~repro.apps.database.PerformanceDatabase`;
+* :class:`ClusterEvaluator` — the event-driven two-priority-queue cluster:
+  each wave is an actual barrier-synchronized iteration on the simulated
+  machine, so noise comes out of queueing dynamics instead of a closed form.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._util import as_generator
+from repro.apps.database import PerformanceDatabase
+from repro.cluster.cluster import Cluster
+from repro.variability.models import NoiseModel, NoNoise
+
+__all__ = ["Evaluator", "FunctionEvaluator", "DatabaseEvaluator", "ClusterEvaluator"]
+
+
+class Evaluator(ABC):
+    """Turns one wave of candidate configurations into observed times."""
+
+    #: idle throughput of the substrate (for Normalized Total Time)
+    rho: float = 0.0
+
+    @abstractmethod
+    def true_cost(self, point: np.ndarray) -> float:
+        """Noise-free cost f(v) (bookkeeping/ground truth, never charged)."""
+
+    @abstractmethod
+    def observe_wave(
+        self, points: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> tuple[np.ndarray, float]:
+        """Observe one parallel wave.
+
+        Returns ``(times, t_step)``: per-point observed times ``y_p`` and
+        the wave's barrier time ``T_k = max_p y_p`` (Eq. 1).
+        """
+
+    @property
+    def max_wave_size(self) -> int | None:
+        """Largest wave the substrate can run at once (None = unbounded)."""
+        return None
+
+
+class FunctionEvaluator(Evaluator):
+    """Pure cost function + analytic noise model."""
+
+    def __init__(
+        self,
+        fn: Callable[[np.ndarray], float],
+        noise: NoiseModel | None = None,
+    ) -> None:
+        self.fn = fn
+        self.noise = noise if noise is not None else NoNoise()
+        self.rho = self.noise.rho
+
+    def true_cost(self, point: np.ndarray) -> float:
+        return float(self.fn(np.asarray(point, dtype=float)))
+
+    def observe_wave(
+        self, points: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> tuple[np.ndarray, float]:
+        if len(points) == 0:
+            raise ValueError("cannot observe an empty wave")
+        f = np.array([self.true_cost(p) for p in points], dtype=float)
+        y = self.noise.observe_batch(f, rng)
+        return y, float(y.max())
+
+
+class DatabaseEvaluator(FunctionEvaluator):
+    """The paper's §6 substrate: performance database + noise model."""
+
+    def __init__(
+        self, database: PerformanceDatabase, noise: NoiseModel | None = None
+    ) -> None:
+        super().__init__(database, noise)
+        self.database = database
+
+
+class ClusterEvaluator(Evaluator):
+    """Waves run as real barrier iterations on the simulated cluster.
+
+    Each wave assigns point *i* to node *i*; when the wave is smaller than
+    the cluster, the remaining nodes run ``fill_point`` (by default the
+    first point of the wave — on an SPMD machine every node runs
+    *something*).  The barrier time includes every node, exactly like Eq. 1.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[np.ndarray], float],
+        cluster: Cluster,
+    ) -> None:
+        self.fn = fn
+        self.cluster = cluster
+        self.rho = cluster.rho
+        self._fill_point: np.ndarray | None = None
+
+    @property
+    def max_wave_size(self) -> int | None:
+        return self.cluster.n_nodes
+
+    def set_fill_point(self, point: np.ndarray | None) -> None:
+        """Configuration idle nodes run (typically the incumbent best)."""
+        self._fill_point = None if point is None else np.asarray(point, dtype=float)
+
+    def true_cost(self, point: np.ndarray) -> float:
+        return float(self.fn(np.asarray(point, dtype=float)))
+
+    def observe_wave(
+        self, points: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> tuple[np.ndarray, float]:
+        if len(points) == 0:
+            raise ValueError("cannot observe an empty wave")
+        if len(points) > self.cluster.n_nodes:
+            raise ValueError(
+                f"wave of {len(points)} exceeds the {self.cluster.n_nodes}-node cluster"
+            )
+        fill = self._fill_point if self._fill_point is not None else points[0]
+        costs = np.empty(self.cluster.n_nodes, dtype=float)
+        for p in range(self.cluster.n_nodes):
+            src = points[p] if p < len(points) else fill
+            costs[p] = self.true_cost(src)
+        trace = self.cluster.run(costs, 1)
+        times = trace.times[:, 0]
+        return times[: len(points)].copy(), float(times.max())

@@ -1,0 +1,183 @@
+"""Online-tuning performance records (paper §2).
+
+The appropriate metric for online tuning is not the final converged value
+but the whole run's cost: ``Total_Time(K) = Σ_k T_k`` with
+``T_k = max_p t_{p,k}`` — every configuration visited is paid for, transient
+included (the Fig. 1 argument).  :class:`SessionResult` stores the
+per-time-step series so both of Fig. 1's views (iteration time and
+cumulative total time) can be derived, plus the noise-free cost of the
+incumbent over time (the "how good is the tuner's answer right now" curve).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["StepKind", "SessionResult"]
+
+
+class StepKind(enum.Enum):
+    """What a given application time step was spent on."""
+
+    #: evaluating a tuner-proposed candidate batch (one sampling wave)
+    EVALUATE = "evaluate"
+    #: running the incumbent best configuration (tuner converged / idle)
+    EXPLOIT = "exploit"
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Everything a tuning run produced, per time step and in aggregate."""
+
+    #: observed barrier time of each application time step, shape (budget,)
+    step_times: np.ndarray
+    #: what each step was spent on, shape (budget,)
+    step_kinds: tuple[StepKind, ...]
+    #: noise-free cost of the incumbent *after* each step (NaN before init)
+    incumbent_true_costs: np.ndarray
+    #: final incumbent configuration
+    best_point: np.ndarray
+    #: tuner's estimate at the incumbent
+    best_estimate: float
+    #: noise-free cost of the final incumbent
+    best_true_cost: float
+    #: idle throughput of the evaluation substrate (for NTT)
+    rho: float
+    #: number of individual measurements drawn (sum over waves of wave size)
+    n_measurements: int
+    #: number of estimates delivered to the tuner
+    n_evaluations: int
+    #: time-step index at which the tuner converged, or None
+    converged_at: int | None
+    #: name of the tuner class that produced the run
+    tuner_name: str
+    #: free-form extras (K, estimator, seed, ...)
+    meta: dict = field(default_factory=dict)
+    #: optional per-step detail records (kind, wave size, batch index) —
+    #: populated when the session runs with ``record_details=True``
+    step_details: tuple[dict, ...] | None = None
+
+    def __post_init__(self) -> None:
+        st = np.asarray(self.step_times, dtype=float)
+        ic = np.asarray(self.incumbent_true_costs, dtype=float)
+        if st.ndim != 1:
+            raise ValueError(f"step_times must be 1-D, got shape {st.shape}")
+        if ic.shape != st.shape:
+            raise ValueError("incumbent_true_costs must match step_times shape")
+        if len(self.step_kinds) != st.size:
+            raise ValueError("step_kinds length must match step_times")
+        object.__setattr__(self, "step_times", st)
+        object.__setattr__(self, "incumbent_true_costs", ic)
+
+    # -- the paper's metrics ------------------------------------------------------
+
+    @property
+    def budget(self) -> int:
+        """Number of application time steps the run was charged."""
+        return int(self.step_times.size)
+
+    def total_time(self) -> float:
+        """Total_Time(K) = Σ_k T_k (Eq. 2)."""
+        return float(self.step_times.sum())
+
+    def normalized_total_time(self) -> float:
+        """NTT = (1-ρ)·Total_Time (Eq. 23)."""
+        return (1.0 - self.rho) * self.total_time()
+
+    def cumulative_times(self) -> np.ndarray:
+        """Running Total_Time after each step — the Fig. 1(b) curve."""
+        return np.cumsum(self.step_times)
+
+    def exploit_fraction(self) -> float:
+        """Fraction of the budget spent running the converged incumbent."""
+        if not self.step_kinds:
+            return 0.0
+        n = sum(1 for k in self.step_kinds if k is StepKind.EXPLOIT)
+        return n / len(self.step_kinds)
+
+    def summary(self) -> dict:
+        return {
+            "tuner": self.tuner_name,
+            "budget": self.budget,
+            "total_time": self.total_time(),
+            "ntt": self.normalized_total_time(),
+            "best_true_cost": self.best_true_cost,
+            "converged_at": self.converged_at,
+            "exploit_fraction": self.exploit_fraction(),
+            "n_measurements": self.n_measurements,
+        }
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible full record (for archiving experiment runs)."""
+        def _clean_meta(value):
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                return value
+            return str(value)
+
+        return {
+            "step_times": [float(t) for t in self.step_times],
+            "step_kinds": [k.value for k in self.step_kinds],
+            "incumbent_true_costs": [
+                None if np.isnan(c) else float(c) for c in self.incumbent_true_costs
+            ],
+            "best_point": [float(x) for x in self.best_point],
+            "best_estimate": float(self.best_estimate),
+            "best_true_cost": (
+                None if np.isnan(self.best_true_cost) else float(self.best_true_cost)
+            ),
+            "rho": float(self.rho),
+            "n_measurements": int(self.n_measurements),
+            "n_evaluations": int(self.n_evaluations),
+            "converged_at": self.converged_at,
+            "tuner_name": self.tuner_name,
+            "meta": {k: _clean_meta(v) for k, v in self.meta.items()},
+            "step_details": (
+                list(self.step_details) if self.step_details is not None else None
+            ),
+        }
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            step_times=np.asarray(data["step_times"], dtype=float),
+            step_kinds=tuple(StepKind(k) for k in data["step_kinds"]),
+            incumbent_true_costs=np.asarray(
+                [np.nan if c is None else c for c in data["incumbent_true_costs"]],
+                dtype=float,
+            ),
+            best_point=np.asarray(data["best_point"], dtype=float),
+            best_estimate=float(data["best_estimate"]),
+            best_true_cost=(
+                float("nan")
+                if data["best_true_cost"] is None
+                else float(data["best_true_cost"])
+            ),
+            rho=float(data["rho"]),
+            n_measurements=int(data["n_measurements"]),
+            n_evaluations=int(data["n_evaluations"]),
+            converged_at=data["converged_at"],
+            tuner_name=data["tuner_name"],
+            meta=dict(data.get("meta", {})),
+            step_details=(
+                tuple(data["step_details"])
+                if data.get("step_details") is not None
+                else None
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionResult":
+        import json
+
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,299 @@
+"""The tuning server: the strategy host of the Active Harmony model.
+
+Applications (clients) register their tunable parameters, then loop:
+
+1. ``fetch`` — receive the configuration to run their next time step with;
+2. run the time step, measuring its wall time;
+3. ``report`` — send the measurement back.
+
+The server multiplexes the tuner's candidate batch over whatever clients
+show up: each candidate needs K samples (the §5.2 multi-sampling), and when
+several clients run concurrently the samples are collected *in parallel*
+across clients — the "no additional time burden" case the paper describes
+for 64 processors and K = 10.  Clients beyond the outstanding work are
+assigned the incumbent best configuration (exploitation).
+
+The server is transport-agnostic: it consumes plain-dict messages (see
+:meth:`TuningServer.handle`) and is thread-safe, so the same instance can
+sit behind the in-process transport or the TCP transport.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.core.base import BatchTuner
+from repro.core.sampling import SamplingPlan
+from repro.space import ParameterSpace
+from repro.space.serialize import space_from_spec
+
+__all__ = ["TuningServer"]
+
+
+class TuningServer:
+    """Holds the tuner, the sample ledger, and the measurement log."""
+
+    def __init__(
+        self,
+        tuner_factory: Callable[[ParameterSpace], BatchTuner],
+        *,
+        space: ParameterSpace | None = None,
+        plan: SamplingPlan | None = None,
+    ) -> None:
+        self._factory = tuner_factory
+        self.space = space
+        self.plan = plan if plan is not None else SamplingPlan()
+        self.tuner: BatchTuner | None = None
+        if space is not None:
+            self.tuner = tuner_factory(space)
+        self._lock = threading.RLock()
+        self._next_client = 0
+        # active-batch state
+        self._batch: list[np.ndarray] = []
+        self._samples: list[list[float]] = []
+        self._assigned: list[int] = []
+        # measurement log: step index -> {client_id: time}
+        self._log: dict[int, dict[int, float]] = defaultdict(dict)
+        self.n_reports = 0
+
+    # -- protocol entry point ------------------------------------------------------
+
+    def handle(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Process one protocol message and return the response dict."""
+        try:
+            op = message.get("op")
+            if op == "register":
+                return self._op_register(message)
+            if op == "fetch":
+                return self._op_fetch(message)
+            if op == "report":
+                return self._op_report(message)
+            if op == "best":
+                return self._op_best()
+            if op == "status":
+                return self._op_status()
+            if op == "requeue":
+                return self._op_requeue()
+            if op == "checkpoint":
+                return self._op_checkpoint()
+            if op == "restore":
+                return self._op_restore(message)
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:  # protocol boundary: never let the server die
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- operations -------------------------------------------------------------------
+
+    def _op_register(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        with self._lock:
+            specs = message.get("params")
+            if self.space is None:
+                if not specs:
+                    return {"ok": False, "error": "no parameter specs and no preset space"}
+                self.space = space_from_spec(specs)
+                self.tuner = self._factory(self.space)
+            elif specs:
+                # Validate that late registrants agree on the space.
+                candidate = space_from_spec(specs)
+                if candidate.names != self.space.names:
+                    return {
+                        "ok": False,
+                        "error": f"parameter mismatch: {candidate.names} vs {self.space.names}",
+                    }
+            client_id = self._next_client
+            self._next_client += 1
+            return {"ok": True, "client_id": client_id}
+
+    def _ensure_batch(self) -> None:
+        """Pull the next candidate batch from the tuner when idle."""
+        assert self.tuner is not None
+        if self._batch or self.tuner.converged or self.tuner.has_pending:
+            return
+        batch = self.tuner.ask()
+        self._batch = batch
+        self._samples = [[] for _ in batch]
+        self._assigned = [0 for _ in batch]
+
+    def _op_fetch(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        with self._lock:
+            if self.tuner is None:
+                return {"ok": False, "error": "no client has registered a space yet"}
+            self._ensure_batch()
+            # Least-loaded candidate still short of K total samples
+            # (collected + in flight).
+            best_idx, best_load = -1, None
+            for i in range(len(self._batch)):
+                load = len(self._samples[i]) + self._assigned[i]
+                if load < self.plan.k and (best_load is None or load < best_load):
+                    best_idx, best_load = i, load
+            if best_idx >= 0:
+                self._assigned[best_idx] += 1
+                point = self._batch[best_idx]
+                return {
+                    "ok": True,
+                    "point": [float(x) for x in point],
+                    "token": best_idx,
+                }
+            # Everything in flight or converged: exploit the incumbent.
+            point = self.tuner.best_point
+            return {
+                "ok": True,
+                "point": [float(x) for x in np.asarray(point, dtype=float)],
+                "token": -1,
+            }
+
+    def _op_report(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        with self._lock:
+            if self.tuner is None:
+                return {"ok": False, "error": "no client has registered a space yet"}
+            token = int(message["token"])
+            time = float(message["time"])
+            if not np.isfinite(time) or time < 0:
+                return {"ok": False, "error": f"invalid time {time!r}"}
+            client = int(message.get("client_id", -1))
+            step = int(message.get("step", -1))
+            if step >= 0:
+                self._log[step][client] = time
+            self.n_reports += 1
+            if token >= 0:
+                if token >= len(self._batch):
+                    # A late report for a batch that already completed (e.g.
+                    # after a requeue raced a slow client): the measurement
+                    # is logged above but no longer feeds the tuner.
+                    return {"ok": True, "stale": True}
+                self._assigned[token] = max(0, self._assigned[token] - 1)
+                self._samples[token].append(time)
+                if all(len(s) >= self.plan.k for s in self._samples):
+                    estimates = [
+                        self.plan.combine(np.asarray(s, dtype=float))
+                        for s in self._samples
+                    ]
+                    self.tuner.tell(estimates)
+                    self._batch = []
+                    self._samples = []
+                    self._assigned = []
+            return {"ok": True}
+
+    def _op_best(self) -> dict[str, Any]:
+        with self._lock:
+            if self.tuner is None:
+                return {"ok": False, "error": "no client has registered a space yet"}
+            return {
+                "ok": True,
+                "point": [float(x) for x in self.tuner.best_point],
+                "value": float(self.tuner.best_value),
+                "converged": self.tuner.converged,
+            }
+
+    def _op_requeue(self) -> dict[str, Any]:
+        """Clear in-flight assignment counts (crash recovery).
+
+        If a client fetches an assignment and never reports (process died,
+        network gone), the candidate's in-flight count would keep the batch
+        from ever completing and every later fetch would fall through to
+        exploitation.  ``requeue`` forgets the in-flight bookkeeping so the
+        outstanding samples are handed out again; duplicate late reports
+        remain harmless (they just add extra samples).
+        """
+        with self._lock:
+            requeued = sum(self._assigned)
+            self._assigned = [0 for _ in self._assigned]
+            return {"ok": True, "requeued": requeued}
+
+    def _op_checkpoint(self) -> dict[str, Any]:
+        """Snapshot the whole tuning service (JSON-compatible).
+
+        Includes the tuner's search state (for tuners that support
+        ``to_dict``, like PRO), the in-flight batch's collected samples, and
+        the measurement log — everything needed to survive a restart.
+        In-flight *assignments* are deliberately dropped (a restart means
+        the clients' fetches are void; they refetch after restore).
+        """
+        with self._lock:
+            if self.tuner is None or self.space is None:
+                return {"ok": False, "error": "nothing to checkpoint yet"}
+            if not hasattr(self.tuner, "to_dict"):
+                return {
+                    "ok": False,
+                    "error": f"{type(self.tuner).__name__} does not support "
+                    "checkpointing",
+                }
+            from repro.space.serialize import space_to_spec
+
+            snapshot = {
+                "space": space_to_spec(self.space),
+                "tuner": self.tuner.to_dict(),
+                "batch": [[float(x) for x in p] for p in self._batch],
+                "samples": [list(map(float, s)) for s in self._samples],
+                "log": {
+                    str(step): {str(c): t for c, t in clients.items()}
+                    for step, clients in self._log.items()
+                },
+                "n_reports": self.n_reports,
+                "next_client": self._next_client,
+            }
+            return {"ok": True, "snapshot": snapshot}
+
+    def _op_restore(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Rebuild the service from a :meth:`_op_checkpoint` snapshot."""
+        snapshot = message.get("snapshot")
+        if not isinstance(snapshot, Mapping):
+            return {"ok": False, "error": "restore needs a 'snapshot' mapping"}
+        with self._lock:
+            space = space_from_spec(snapshot["space"])
+            probe = self._factory(space)
+            if not hasattr(type(probe), "from_dict"):
+                return {
+                    "ok": False,
+                    "error": f"{type(probe).__name__} does not support restore",
+                }
+            self.space = space
+            self.tuner = type(probe).from_dict(space, snapshot["tuner"])
+            self._batch = [
+                np.asarray(p, dtype=float) for p in snapshot["batch"]
+            ]
+            self._samples = [list(s) for s in snapshot["samples"]]
+            self._assigned = [0 for _ in self._batch]
+            self._log = defaultdict(dict)
+            for step, clients in snapshot.get("log", {}).items():
+                for client, t in clients.items():
+                    self._log[int(step)][int(client)] = float(t)
+            self.n_reports = int(snapshot.get("n_reports", 0))
+            self._next_client = int(snapshot.get("next_client", 0))
+            return {"ok": True}
+
+    def _op_status(self) -> dict[str, Any]:
+        with self._lock:
+            if self.tuner is None:
+                return {"ok": True, "registered": False}
+            return {
+                "ok": True,
+                "registered": True,
+                "converged": self.tuner.converged,
+                "n_evaluations": self.tuner.n_evaluations,
+                "n_reports": self.n_reports,
+                "outstanding": len(self._batch),
+            }
+
+    # -- server-side metric reconstruction -------------------------------------------
+
+    def step_times(self) -> np.ndarray:
+        """Per-step barrier times T_k = max over clients (Eq. 1).
+
+        Only steps for which at least one client reported are included, in
+        step order.
+        """
+        with self._lock:
+            steps = sorted(self._log)
+            return np.array(
+                [max(self._log[s].values()) for s in steps], dtype=float
+            )
+
+    def total_time(self) -> float:
+        """Σ_k T_k over the reconstructed barrier times (Eq. 2)."""
+        times = self.step_times()
+        return float(times.sum()) if times.size else 0.0

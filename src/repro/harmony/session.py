@@ -1,0 +1,316 @@
+"""The online tuning loop (the heart of the paper's cost accounting).
+
+A :class:`TuningSession` drives an ask/tell tuner against an evaluator under
+a hard budget of application *time steps*:
+
+* each batch the tuner asks for is split into *waves* of at most P points
+  (P = number of processors); every wave costs exactly one time step and is
+  charged its barrier time ``T_k = max`` of the observed times (Eq. 1);
+* each point is observed K times (§5.2's multi-sampling) and reduced by
+  the configured estimator (min by default).  Two sampling disciplines:
+
+  - **sequential** (default) — the K rounds occupy subsequent time steps,
+    the paper's explicit worst-case assumption ("we do not take advantage
+    of multiple parallel sampling");
+  - **parallel** (``parallel_sampling=True``) — the K replicas of each
+    candidate are spread across spare processors within the same waves,
+    the paper's "if there are 64 parallel processors … we can set K = 10
+    with no additional cost" case: when ``n·K <= P`` a fully sampled batch
+    costs a single time step;
+* once the tuner has produced a local-minimum certificate (or whenever it
+  has nothing to ask), the remaining budget runs the incumbent best
+  configuration, which still pays observed (noisy) time — a converged tuner
+  keeps living on the same machine;
+* if the budget expires mid-batch, the run is truncated right there: the
+  metric is ``Total_Time(budget)``, never more.
+
+The session also supports the adaptive-K controller (§5.2 future work),
+which re-decides K between batches from the observed sample spread.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro._util import as_generator
+from repro.core.adaptive import AdaptiveSamplingController
+from repro.core.base import BatchTuner
+from repro.core.sampling import SamplingPlan
+from repro.harmony.evaluator import Evaluator, FunctionEvaluator
+from repro.harmony.metrics import SessionResult, StepKind
+from repro.variability.models import NoiseModel
+
+__all__ = ["TuningSession"]
+
+
+class TuningSession:
+    """Runs one online tuning experiment and records the paper's metrics."""
+
+    def __init__(
+        self,
+        tuner: BatchTuner,
+        evaluator: Evaluator | Callable[[np.ndarray], float],
+        *,
+        noise: NoiseModel | None = None,
+        budget: int = 100,
+        n_processors: int | None = None,
+        plan: SamplingPlan | None = None,
+        controller: AdaptiveSamplingController | None = None,
+        parallel_sampling: bool = False,
+        record_details: bool = False,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1 time step, got {budget}")
+        if n_processors is not None and n_processors < 1:
+            raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+        self.tuner = tuner
+        if isinstance(evaluator, Evaluator):
+            if noise is not None:
+                raise ValueError(
+                    "pass noise inside the Evaluator, not alongside one"
+                )
+            self.evaluator = evaluator
+        else:
+            self.evaluator = FunctionEvaluator(evaluator, noise)
+        self.budget = int(budget)
+        cap = self.evaluator.max_wave_size
+        if n_processors is None:
+            self.n_processors = cap  # None means unbounded
+        else:
+            self.n_processors = (
+                n_processors if cap is None else min(n_processors, cap)
+            )
+        self.plan = plan if plan is not None else SamplingPlan()
+        self.controller = controller
+        self.parallel_sampling = bool(parallel_sampling)
+        self.record_details = bool(record_details)
+        self.rng = as_generator(rng)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _waves(self, batch: list[np.ndarray]) -> list[list[np.ndarray]]:
+        """Split a batch into waves of at most P points."""
+        p = self.n_processors
+        if p is None or len(batch) <= p:
+            return [batch]
+        return [batch[i : i + p] for i in range(0, len(batch), p)]
+
+    def _incumbent(self) -> np.ndarray:
+        return self.tuner.best_point
+
+    def _observe(self, pts: list[np.ndarray]) -> tuple[np.ndarray, float]:
+        """Observe one wave, validating the evaluator's output.
+
+        A substrate returning NaN/negative times or a mis-shaped result
+        would silently corrupt the Total_Time metric; fail loudly instead.
+        """
+        times, t_step = self.evaluator.observe_wave(pts, self.rng)
+        times = np.asarray(times, dtype=float)
+        if times.shape != (len(pts),):
+            raise RuntimeError(
+                f"evaluator returned {times.shape} times for a "
+                f"{len(pts)}-point wave"
+            )
+        if not np.all(np.isfinite(times)) or np.any(times < 0):
+            raise RuntimeError(
+                f"evaluator returned invalid observation(s): {times!r}"
+            )
+        if not np.isfinite(t_step) or t_step < float(times.max()):
+            raise RuntimeError(
+                f"evaluator returned inconsistent barrier time {t_step!r} "
+                f"for wave maxima {float(times.max())!r}"
+            )
+        return times, float(t_step)
+
+    def _evaluate_sequential(
+        self, batch, k, samples, probe_incumbent, record, step_times
+    ) -> tuple[bool, int]:
+        """K sampling rounds in subsequent time steps (the §6 worst case).
+
+        Fills ``samples`` in place; returns (truncated, measurements)."""
+        waves = self._waves(batch)
+        n_meas = 0
+        for s in range(k):
+            offset = 0
+            for w_idx, wave in enumerate(waves):
+                if len(step_times) >= self.budget:
+                    return True, n_meas
+                pts = list(wave)
+                extra = (
+                    probe_incumbent
+                    and w_idx == 0
+                    and (self.n_processors is None or len(pts) < self.n_processors)
+                )
+                if extra:
+                    pts.append(self._incumbent())
+                times, t_step = self._observe(pts)
+                if extra:
+                    self.controller.observe_incumbent(float(times[-1]))
+                    times = times[: len(wave)]
+                samples[offset : offset + len(wave), s] = times
+                n_meas += len(pts)
+                record(t_step, StepKind.EVALUATE, len(pts))
+                offset += len(wave)
+        return False, n_meas
+
+    def _evaluate_parallel(
+        self, batch, k, samples, probe_incumbent, record, step_times
+    ) -> tuple[bool, int]:
+        """K replicas of every candidate spread across processors (§5.2's
+        free-multi-sampling case: n·K <= P costs one time step).
+
+        Jobs are ordered round-major so a budget truncation still leaves the
+        earliest rounds complete across all points."""
+        jobs = [(i, s) for s in range(k) for i in range(len(batch))]
+        p = self.n_processors
+        wave_size = len(jobs) if p is None else p
+        n_meas = 0
+        first_wave = True
+        for start in range(0, len(jobs), wave_size):
+            if len(step_times) >= self.budget:
+                return True, n_meas
+            wave_jobs = jobs[start : start + wave_size]
+            pts = [batch[i] for i, _ in wave_jobs]
+            extra = (
+                probe_incumbent
+                and first_wave
+                and (p is None or len(pts) < p)
+            )
+            if extra:
+                pts.append(self._incumbent())
+            times, t_step = self._observe(pts)
+            if extra:
+                self.controller.observe_incumbent(float(times[-1]))
+                times = times[: len(wave_jobs)]
+            for (i, s), t in zip(wave_jobs, times):
+                samples[i, s] = t
+            n_meas += len(pts)
+            record(t_step, StepKind.EVALUATE, len(pts))
+            first_wave = False
+        return False, n_meas
+
+    # -- the loop -------------------------------------------------------------------
+
+    def run(self) -> SessionResult:
+        """Drive the tuner for exactly ``budget`` application time steps.
+
+        Returns the per-step record (barrier times, step kinds, incumbent
+        trajectory) and aggregates.  A session is single-use: the tuner's
+        state is consumed."""
+        step_times: list[float] = []
+        step_kinds: list[StepKind] = []
+        incumbent_true: list[float] = []
+        details: list[dict] = []
+        n_measurements = 0
+        converged_at: int | None = None
+
+        def record(t_step: float, kind: StepKind, wave_size: int = 1) -> None:
+            step_times.append(float(t_step))
+            step_kinds.append(kind)
+            initialized = getattr(self.tuner, "initialized", True)
+            if initialized:
+                incumbent_true.append(self.evaluator.true_cost(self._incumbent()))
+            else:
+                incumbent_true.append(float("nan"))
+            if self.record_details:
+                details.append(
+                    {
+                        "kind": kind.value,
+                        "wave_size": int(wave_size),
+                        "batch_index": (
+                            self.tuner.n_batches
+                            if kind is StepKind.EVALUATE
+                            else None
+                        ),
+                    }
+                )
+
+        while len(step_times) < self.budget:
+            if self.tuner.converged and converged_at is None:
+                converged_at = len(step_times)
+            batch = [] if self.tuner.converged else self.tuner.ask()
+            if not batch:
+                if self.tuner.converged and converged_at is None:
+                    converged_at = len(step_times)
+                # Exploit: run the incumbent for one time step.
+                times, t_step = self._observe([self._incumbent()])
+                n_measurements += times.size
+                record(t_step, StepKind.EXPLOIT, 1)
+                continue
+            # Cluster substrates let idle nodes run the incumbent.
+            set_fill = getattr(self.evaluator, "set_fill_point", None)
+            if set_fill is not None and getattr(self.tuner, "initialized", False):
+                set_fill(self._incumbent())
+            k = (
+                self.controller.current_k
+                if self.controller is not None
+                else self.plan.k
+            )
+            samples = np.full((len(batch), k), np.nan)
+            # With a controller in play, piggyback one observation of the
+            # incumbent per batch on a spare processor: repeated
+            # same-configuration measurements are the pure-noise signal the
+            # controller needs to escape K = 1 (which otherwise gives it no
+            # spread information at all).
+            probe_incumbent = (
+                self.controller is not None
+                and getattr(self.tuner, "initialized", False)
+            )
+            if self.parallel_sampling:
+                truncated, n_meas = self._evaluate_parallel(
+                    batch, k, samples, probe_incumbent, record, step_times
+                )
+            else:
+                truncated, n_meas = self._evaluate_sequential(
+                    batch, k, samples, probe_incumbent, record, step_times
+                )
+            n_measurements += n_meas
+            valid = ~np.isnan(samples)
+            if np.all(valid.any(axis=1)):
+                estimates = np.array(
+                    [
+                        self.plan.combine(row[mask])
+                        for row, mask in zip(samples, valid)
+                    ]
+                )
+                self.tuner.tell(estimates)
+                if self.controller is not None:
+                    self.controller.observe_batch(samples)
+            if truncated:
+                break
+
+        if self.tuner.converged and converged_at is None:
+            converged_at = len(step_times)
+
+        # Pad in the pathological case where the loop exited one step early
+        # (cannot happen with the logic above, but keep the metric honest).
+        assert len(step_times) <= self.budget
+        initialized = getattr(self.tuner, "initialized", True)
+        best_point = self._incumbent()
+        best_true = (
+            self.evaluator.true_cost(best_point) if initialized else float("nan")
+        )
+        return SessionResult(
+            step_times=np.asarray(step_times, dtype=float),
+            step_kinds=tuple(step_kinds),
+            incumbent_true_costs=np.asarray(incumbent_true, dtype=float),
+            best_point=np.asarray(best_point, dtype=float),
+            best_estimate=float(self.tuner.best_value),
+            best_true_cost=float(best_true),
+            rho=self.evaluator.rho,
+            n_measurements=int(n_measurements),
+            n_evaluations=int(self.tuner.n_evaluations),
+            converged_at=converged_at,
+            tuner_name=type(self.tuner).__name__,
+            meta={
+                "budget": self.budget,
+                "k": self.plan.k if self.controller is None else "adaptive",
+                "estimator": self.plan.estimator.name,
+                "n_processors": self.n_processors,
+                "parallel_sampling": self.parallel_sampling,
+            },
+            step_details=tuple(details) if self.record_details else None,
+        )

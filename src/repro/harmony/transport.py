@@ -1,0 +1,164 @@
+"""Transports carrying protocol messages between clients and the server.
+
+Two implementations behind one interface:
+
+* :class:`InProcessTransport` — direct method calls (zero overhead; used by
+  the simulation experiments and most tests);
+* :class:`TcpServerTransport` / :class:`TcpClientTransport` — a JSON-lines
+  protocol over a localhost TCP socket, demonstrating that the tuning
+  service really is remote-able, as Active Harmony's was.  Each connection
+  is served by a thread; the server object itself is thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+from repro.harmony.server import TuningServer
+
+__all__ = ["Transport", "InProcessTransport", "TcpServerTransport", "TcpClientTransport"]
+
+
+class Transport(ABC):
+    """One round trip: send a message dict, receive a response dict."""
+
+    @abstractmethod
+    def request(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Deliver *message* and return the server's response."""
+
+    def close(self) -> None:
+        """Release any underlying resources (default: nothing to do)."""
+
+
+class InProcessTransport(Transport):
+    """Directly invokes a server living in the same process."""
+
+    def __init__(self, server: TuningServer) -> None:
+        self.server = server
+
+    def request(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        return self.server.handle(message)
+
+
+class TcpServerTransport:
+    """Hosts a :class:`TuningServer` on a localhost TCP socket.
+
+    Wire format: one JSON object per line, UTF-8.  Start with
+    :meth:`start`, stop with :meth:`stop`; the bound port is available as
+    :attr:`port` (pass ``port=0`` to let the OS pick a free one).
+    """
+
+    def __init__(self, server: TuningServer, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.server = server
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._running = threading.Event()
+        self._conn_threads: list[threading.Thread] = []
+
+    def start(self) -> None:
+        if self._sock is not None:
+            raise RuntimeError("transport already started")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self._requested_port))
+        sock.listen(16)
+        sock.settimeout(0.2)
+        self._sock = sock
+        self.port = sock.getsockname()[1]
+        self._running.set()
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while self._running.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            t = threading.Thread(target=self._serve_conn, args=(conn,), daemon=True)
+            t.start()
+            self._conn_threads.append(t)
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        with conn:
+            buf = b""
+            while self._running.is_set():
+                try:
+                    chunk = conn.recv(65536)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                buf += chunk
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    try:
+                        message = json.loads(line.decode("utf-8"))
+                    except json.JSONDecodeError as exc:
+                        response: dict[str, Any] = {"ok": False, "error": f"bad json: {exc}"}
+                    else:
+                        response = self.server.handle(message)
+                    try:
+                        conn.sendall(json.dumps(response).encode("utf-8") + b"\n")
+                    except OSError:
+                        return
+
+    def stop(self) -> None:
+        self._running.clear()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "TcpServerTransport":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+class TcpClientTransport(Transport):
+    """Client side of the JSON-lines protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+
+    def request(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        payload = json.dumps(dict(message)).encode("utf-8") + b"\n"
+        with self._lock:
+            self._sock.sendall(payload)
+            line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "TcpClientTransport":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

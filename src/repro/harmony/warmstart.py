@@ -1,0 +1,84 @@
+"""Warm-starting the tuner from prior-run measurements.
+
+The Active Harmony line of work the paper builds on includes "Using
+Information from Prior Runs to Improve Automated Tuning Systems" (Chung &
+Hollingsworth, SC'04 — the paper's reference [3]).  This module provides
+that capability for the PRO tuner: seed the initial simplex from a
+:class:`~repro.apps.database.PerformanceDatabase` of previously measured
+configurations instead of the blind axial construction.
+
+Strategy: take the best stored configuration as the simplex centre and
+build the usual 2N axial simplex around it (projected); optionally replace
+axial vertices with other top-ranked stored configurations when they are
+distinct enough to keep the simplex spanning.  Prior data may be stale —
+the vertices are still *re-evaluated* by the online loop (the stored values
+only choose the geometry), so a misleading history costs a transient, not
+correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.database import PerformanceDatabase
+from repro.core.initial import axial_simplex
+from repro.core.pro import ParallelRankOrdering
+from repro.space import ParameterSpace
+
+__all__ = ["warm_start_points", "warm_started_pro"]
+
+
+def warm_start_points(
+    database: PerformanceDatabase,
+    *,
+    r: float = 0.2,
+    top_n: int | None = None,
+) -> list[np.ndarray]:
+    """Initial simplex vertices derived from prior measurements.
+
+    The best stored configuration becomes the simplex centre; the axial
+    frame around it is then augmented by swapping in up to ``top_n`` other
+    best stored configurations (default N), provided each swap keeps the
+    vertex set free of duplicates.
+    """
+    if len(database) == 0:
+        raise ValueError("cannot warm-start from an empty database")
+    space = database.space
+    n_swaps = space.dimension if top_n is None else int(top_n)
+    if n_swaps < 0:
+        raise ValueError(f"top_n must be >= 0, got {n_swaps}")
+    entries = database.top_entries(1 + 4 * max(n_swaps, 1))
+    best_point = entries[0][0]
+    points = axial_simplex(space, r=r, center=best_point)
+    used = {tuple(best_point)} | {tuple(p) for p in points}
+    swap_idx = 0
+    for candidate, _ in entries[1:]:
+        if swap_idx >= min(n_swaps, len(points)):
+            break
+        key = tuple(candidate)
+        if key in used:
+            continue
+        # Replace the axial vertex nearest to the candidate so the frame
+        # keeps covering all directions.
+        dists = [float(np.linalg.norm(space.normalize(p) - space.normalize(candidate)))
+                 for p in points]
+        j = int(np.argmin(dists))
+        used.discard(tuple(points[j]))
+        points[j] = candidate
+        used.add(key)
+        swap_idx += 1
+    return points
+
+
+def warm_started_pro(
+    space: ParameterSpace,
+    database: PerformanceDatabase,
+    *,
+    r: float = 0.2,
+    **pro_kwargs,
+) -> ParallelRankOrdering:
+    """A PRO tuner whose initial simplex comes from prior-run data."""
+    if database.space is not space and database.space.names != space.names:
+        raise ValueError("database space does not match the tuning space")
+    points = warm_start_points(database, r=r)
+    return ParallelRankOrdering(space, initial_points=points, **pro_kwargs)

@@ -1,0 +1,10 @@
+"""Plain-text rendering of experiment data (plots for terminals and logs).
+
+The benchmark harness and CLI regenerate the paper's figures as *data*;
+this package renders them as monospace line plots, histograms and heatmaps
+so a terminal user can eyeball the shapes without a plotting stack.
+"""
+
+from repro.report.ascii import heatmap, histogram, line_plot, sparkline
+
+__all__ = ["line_plot", "histogram", "heatmap", "sparkline"]

@@ -1,0 +1,184 @@
+"""Monospace plotting primitives.
+
+Pure functions from arrays to strings — deterministic, dependency-free and
+easily tested.  Conventions: y grows upward, markers overwrite the grid,
+axes are labelled with min/max values only (these are diagnostics, not
+publication graphics).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "histogram", "heatmap", "sparkline"]
+
+_SPARK_BLOCKS = " .:-=+*#%@"
+
+
+def _clean_xy(
+    x: Sequence[float] | None, y: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    y_arr = np.asarray(y, dtype=float).ravel()
+    if y_arr.size == 0:
+        raise ValueError("cannot plot an empty series")
+    if not np.all(np.isfinite(y_arr)):
+        raise ValueError("series must be finite")
+    if x is None:
+        x_arr = np.arange(y_arr.size, dtype=float)
+    else:
+        x_arr = np.asarray(x, dtype=float).ravel()
+        if x_arr.shape != y_arr.shape:
+            raise ValueError(
+                f"x and y must match: {x_arr.shape} vs {y_arr.shape}"
+            )
+        if not np.all(np.isfinite(x_arr)):
+            raise ValueError("x values must be finite")
+    return x_arr, y_arr
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line intensity strip of a series (used for trace previews)."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot render an empty series")
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        raise ValueError("series is all-NaN")
+    if arr.size > width:
+        # Downsample by taking the max of each chunk (spikes must survive).
+        chunks = np.array_split(arr, width)
+        arr = np.array([c.max() for c in chunks])
+    lo, hi = float(arr.min()), float(arr.max())
+    span = (hi - lo) or 1.0
+    idx = ((arr - lo) / span * (len(_SPARK_BLOCKS) - 1)).astype(int)
+    return "".join(_SPARK_BLOCKS[i] for i in idx)
+
+
+def line_plot(
+    series: dict[str, tuple[Sequence[float] | None, Sequence[float]]],
+    *,
+    width: int = 70,
+    height: int = 16,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    ``series`` maps a label to ``(x, y)`` (x may be None for indices).  Each
+    series gets a distinct marker; overlapping cells show the later series.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+    markers = "ox+*@#%&"
+    cleaned = {
+        label: _clean_xy(x, y) for label, (x, y) in series.items()
+    }
+    all_x = np.concatenate([x for x, _ in cleaned.values()])
+    all_y = np.concatenate([y for _, y in cleaned.values()])
+    if logy:
+        if np.any(all_y <= 0):
+            raise ValueError("logy requires positive y values")
+        transform = np.log10
+    else:
+        transform = lambda v: v  # noqa: E731 - tiny local adapter
+    ty = transform(all_y)
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(ty.min()), float(ty.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (x, y)), marker in zip(cleaned.items(), markers):
+        tvals = transform(y)
+        cols = ((x - x_lo) / x_span * (width - 1)).astype(int)
+        rows = ((tvals - y_lo) / y_span * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:.4g}" if not logy else f"1e{y_hi:.2f}"
+    y_bot = f"{y_lo:.4g}" if not logy else f"1e{y_lo:.2f}"
+    label_w = max(len(y_top), len(y_bot))
+    for i, row in enumerate(grid):
+        prefix = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{prefix:>{label_w}} |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = f"{x_lo:.4g}" + " " * max(1, width - 12) + f"{x_hi:.4g}"
+    lines.append(" " * (label_w + 2) + x_axis[: width + 2])
+    legend = "  ".join(
+        f"{marker}={label}" for (label, _), marker in zip(cleaned.items(), markers)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)
+
+
+def histogram(
+    data: Sequence[float],
+    *,
+    bins: int = 20,
+    width: int = 50,
+    title: str = "",
+    log_counts: bool = False,
+) -> str:
+    """Horizontal-bar histogram; optionally log-scaled bar lengths so heavy
+    tails stay visible next to the bulk."""
+    arr = np.asarray(data, dtype=float).ravel()
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        raise ValueError("cannot histogram an empty sample")
+    if bins < 1 or width < 5:
+        raise ValueError("bins and width must be sensible")
+    counts, edges = np.histogram(arr, bins=bins)
+    if log_counts:
+        scaled = np.zeros(counts.size, dtype=float)
+        positive = counts > 0
+        scaled[positive] = np.log10(counts[positive]) + 1.0
+    else:
+        scaled = counts.astype(float)
+    peak = scaled.max() or 1.0
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(scaled[i] / peak * width))
+        lines.append(
+            f"[{edges[i]:>10.4g}, {edges[i+1]:>10.4g}) |{bar:<{width}}| {count}"
+        )
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    *,
+    row_labels: Sequence[object] | None = None,
+    col_labels: Sequence[object] | None = None,
+    title: str = "",
+) -> str:
+    """Intensity map of a 2-D array (dark = low cost, bright = high)."""
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.size == 0:
+        raise ValueError(f"need a non-empty 2-D matrix, got shape {m.shape}")
+    if not np.all(np.isfinite(m)):
+        raise ValueError("matrix must be finite")
+    lo, hi = float(m.min()), float(m.max())
+    span = (hi - lo) or 1.0
+    if row_labels is not None and len(row_labels) != m.shape[0]:
+        raise ValueError("row_labels length mismatch")
+    if col_labels is not None and len(col_labels) != m.shape[1]:
+        raise ValueError("col_labels length mismatch")
+    label_w = max((len(str(r)) for r in row_labels), default=0) if row_labels else 0
+    lines = [title] if title else []
+    lines.append(f"scale: '{_SPARK_BLOCKS[0]}'={lo:.4g} .. '{_SPARK_BLOCKS[-1]}'={hi:.4g}")
+    for i in range(m.shape[0]):
+        idx = ((m[i] - lo) / span * (len(_SPARK_BLOCKS) - 1)).astype(int)
+        row = "".join(_SPARK_BLOCKS[j] for j in idx)
+        prefix = f"{str(row_labels[i]):>{label_w}} " if row_labels else ""
+        lines.append(prefix + "|" + row + "|")
+    if col_labels:
+        first, last = str(col_labels[0]), str(col_labels[-1])
+        pad = " " * (label_w + 1) if row_labels else ""
+        gap = max(1, m.shape[1] - len(first) - len(last))
+        lines.append(pad + " " + first + " " * gap + last)
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Baseline search algorithms the paper compares against or discusses.
+
+* :mod:`repro.search.neldermead` — the Nelder–Mead simplex method with the
+  paper's α ∈ {0.5, 2, 3} step set (the original Active Harmony strategy,
+  §3.1), adapted to constrained discrete spaces via the projection operator;
+* :mod:`repro.search.annealing` — simulated annealing, the canonical
+  randomized method the paper argues is unsuitable for *online* tuning
+  because of its poor transient behaviour (§2);
+* :mod:`repro.search.random_search` — uniform random sampling;
+* :mod:`repro.search.coordinate` — cyclic coordinate descent on the
+  admissible lattice (a simple pattern-search control).
+"""
+
+from repro.search.neldermead import NelderMead
+from repro.search.annealing import SimulatedAnnealing
+from repro.search.genetic import GeneticAlgorithm
+from repro.search.random_search import RandomSearch
+from repro.search.coordinate import CoordinateDescent
+
+__all__ = [
+    "NelderMead",
+    "SimulatedAnnealing",
+    "GeneticAlgorithm",
+    "RandomSearch",
+    "CoordinateDescent",
+]

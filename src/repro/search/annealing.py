@@ -1,0 +1,143 @@
+"""Simulated annealing — the "poor transient" baseline (paper §2).
+
+The paper argues randomized methods like simulated annealing are unsuitable
+for *online* tuning: they may converge to excellent final configurations,
+but the online metric ``Total_Time`` charges for every bad configuration
+visited along the way, and annealing visits many.  This implementation
+exists to make that argument measurable (Fig. 1's ranking flip and the
+ablation benches).
+
+Proposals are lattice-local: one randomly chosen coordinate moves to an
+adjacent admissible value (or takes a Gaussian step for continuous
+parameters, projected back into the admissible region).  Acceptance follows
+Metropolis with a geometric temperature schedule.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._util import as_generator, check_positive
+from repro.core.base import BatchTuner
+from repro.space import ParameterSpace
+
+__all__ = ["SimulatedAnnealing"]
+
+
+class SimulatedAnnealing(BatchTuner):
+    """Metropolis annealing over the admissible lattice (ask/tell form)."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        *,
+        initial_point: np.ndarray | None = None,
+        t_initial: float | None = None,
+        decay: float = 0.98,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(space)
+        self.rng = as_generator(rng)
+        start = space.center() if initial_point is None else space.as_point(initial_point)
+        if not space.contains(start):
+            raise ValueError(f"initial point {start!r} is not admissible")
+        if not (0.0 < decay < 1.0):
+            raise ValueError(f"decay must lie in (0, 1), got {decay}")
+        self._current_point = start
+        self._current_value = float("inf")
+        self._best_point = start.copy()
+        self._best_value = float("inf")
+        self._initialized = False
+        self.decay = float(decay)
+        # Default initial temperature: set adaptively from the first few
+        # observed values unless the caller pins it.
+        self._t = check_positive("t_initial", t_initial) if t_initial is not None else None
+        self._warmup_values: list[float] = []
+        self.n_accepted = 0
+        self.n_proposed = 0
+
+    # -- incumbent ------------------------------------------------------------
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    @property
+    def best_point(self) -> np.ndarray:
+        return self._best_point.copy()
+
+    @property
+    def best_value(self) -> float:
+        return self._best_value
+
+    @property
+    def temperature(self) -> float:
+        return self._t if self._t is not None else float("nan")
+
+    # -- proposal -------------------------------------------------------------
+
+    def _propose(self) -> np.ndarray:
+        point = self._current_point.copy()
+        i = int(self.rng.integers(0, self.space.dimension))
+        param = self.space[i]
+        if param.is_discrete:
+            options = []
+            lo = param.lower_neighbor(point[i])
+            hi = param.upper_neighbor(point[i])
+            if lo is not None:
+                options.append(lo)
+            if hi is not None:
+                options.append(hi)
+            if not options:
+                return point  # single-valued coordinate: stay put
+            point[i] = options[int(self.rng.integers(0, len(options)))]
+        else:
+            step = 0.1 * param.span * float(self.rng.standard_normal())
+            point[i] = param.clip(point[i] + step)
+        return point
+
+    # -- ask/tell --------------------------------------------------------------
+
+    def _ask(self) -> list[np.ndarray]:
+        if not self._initialized:
+            return [self._current_point.copy()]
+        return [self._propose()]
+
+    def _tell(self, batch: list[np.ndarray], values: list[float]) -> None:
+        value = values[0]
+        point = batch[0]
+        if not self._initialized:
+            self._initialized = True
+            self._current_value = value
+            self._best_point = point.copy()
+            self._best_value = value
+            self._warmup_values.append(value)
+            self.step_log.append("init")
+            return
+        self.n_proposed += 1
+        if self._t is None:
+            # Adaptive warm-up: temperature from early value dispersion.
+            self._warmup_values.append(value)
+            if len(self._warmup_values) >= 5:
+                spread = float(np.std(self._warmup_values))
+                self._t = max(spread, 1e-6)
+            accept = value < self._current_value
+        else:
+            delta = value - self._current_value
+            if delta <= 0:
+                accept = True
+            else:
+                accept = float(self.rng.random()) < math.exp(-delta / self._t)
+            self._t = max(self._t * self.decay, 1e-12)
+        if accept:
+            self.n_accepted += 1
+            self._current_point = point.copy()
+            self._current_value = value
+            self.step_log.append("accept")
+        else:
+            self.step_log.append("reject")
+        if value < self._best_value:
+            self._best_point = point.copy()
+            self._best_value = value

@@ -1,0 +1,103 @@
+"""Cyclic coordinate descent on the admissible lattice.
+
+A simple pattern-search control: sweep the coordinates in order; for each,
+evaluate the adjacent admissible values (both directions, asked as one
+2-point batch — so it benefits mildly from parallel evaluation) and move to
+the better neighbour if it improves the incumbent.  Converged when one full
+sweep produces no move — which on a discrete lattice is exactly the paper's
+2N-probe local-minimum certificate, reached incrementally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import BatchTuner
+from repro.space import ParameterSpace
+
+__all__ = ["CoordinateDescent"]
+
+
+class CoordinateDescent(BatchTuner):
+    """Greedy axis-by-axis descent with one-lattice-step moves."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        *,
+        initial_point: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(space)
+        start = space.center() if initial_point is None else space.as_point(initial_point)
+        if not space.contains(start):
+            raise ValueError(f"initial point {start!r} is not admissible")
+        self._current = start
+        self._current_value = float("inf")
+        self._initialized = False
+        self._axis = 0
+        self._moved_this_sweep = False
+        self.n_sweeps = 0
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    @property
+    def best_point(self) -> np.ndarray:
+        return self._current.copy()
+
+    @property
+    def best_value(self) -> float:
+        return self._current_value
+
+    def _neighbors_on_axis(self, axis: int) -> list[np.ndarray]:
+        param = self.space[axis]
+        out = []
+        for step in (param.lower_neighbor(self._current[axis]),
+                     param.upper_neighbor(self._current[axis])):
+            if step is None:
+                continue
+            pt = self._current.copy()
+            pt[axis] = step
+            out.append(pt)
+        return out
+
+    def _ask(self) -> list[np.ndarray]:
+        if not self._initialized:
+            return [self._current.copy()]
+        # Find the next axis with at least one neighbour; wrapping the sweep
+        # decides convergence.
+        for _ in range(self.space.dimension):
+            batch = self._neighbors_on_axis(self._axis)
+            if batch:
+                return batch
+            self._advance_axis()
+            if self.converged:
+                return []
+        self._mark_converged("no_neighbours")
+        return []
+
+    def _tell(self, batch: list[np.ndarray], values: list[float]) -> None:
+        if not self._initialized:
+            self._initialized = True
+            self._current_value = values[0]
+            self.step_log.append("init")
+            return
+        best_idx = int(np.argmin(values))
+        if values[best_idx] < self._current_value:
+            self._current = batch[best_idx].copy()
+            self._current_value = values[best_idx]
+            self._moved_this_sweep = True
+            self.step_log.append(f"move:axis{self._axis}")
+        else:
+            self.step_log.append(f"stay:axis{self._axis}")
+        self._advance_axis()
+
+    def _advance_axis(self) -> None:
+        self._axis += 1
+        if self._axis >= self.space.dimension:
+            self._axis = 0
+            self.n_sweeps += 1
+            if not self._moved_this_sweep and self._initialized:
+                self._mark_converged("full_sweep_no_move")
+            self._moved_this_sweep = False

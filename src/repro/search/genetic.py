@@ -1,0 +1,150 @@
+"""A generational genetic algorithm — the other §2 cautionary baseline.
+
+The paper names genetic algorithms alongside simulated annealing as
+randomized methods that "can ultimately converge to the optimal solution"
+but "have very poor initial performance" and are therefore unsuitable for
+online tuning.  This implementation exists to make that claim measurable.
+
+Design: a (μ + λ)-style generational GA on the admissible lattice —
+tournament selection, uniform crossover, per-coordinate lattice-step
+mutation, elitism of one.  Each generation's offspring are asked as one
+batch, so on a parallel machine a generation costs ``ceil(λ/P)`` time
+steps; the poor transient comes from the population spending many
+generations scattered across expensive configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_generator
+from repro.core.base import BatchTuner
+from repro.space import ParameterSpace
+
+__all__ = ["GeneticAlgorithm"]
+
+
+class GeneticAlgorithm(BatchTuner):
+    """(μ + λ) lattice GA in ask/tell form (never converges on its own)."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        *,
+        population_size: int = 12,
+        tournament: int = 3,
+        crossover_rate: float = 0.9,
+        mutation_rate: float | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(space)
+        if population_size < 2:
+            raise ValueError(f"population_size must be >= 2, got {population_size}")
+        if not (2 <= tournament <= population_size):
+            raise ValueError(
+                f"tournament size must lie in [2, population], got {tournament}"
+            )
+        if not (0.0 <= crossover_rate <= 1.0):
+            raise ValueError(f"crossover_rate must lie in [0, 1], got {crossover_rate}")
+        self.population_size = int(population_size)
+        self.tournament = int(tournament)
+        self.crossover_rate = float(crossover_rate)
+        # Default mutation: one expected coordinate flip per offspring.
+        self.mutation_rate = (
+            float(mutation_rate)
+            if mutation_rate is not None
+            else 1.0 / space.dimension
+        )
+        if not (0.0 <= self.mutation_rate <= 1.0):
+            raise ValueError(f"mutation_rate must lie in [0, 1], got {self.mutation_rate}")
+        self.rng = as_generator(rng)
+        self._population: list[np.ndarray] = []
+        self._fitness: list[float] = []
+        self._initialized = False
+        self.generation = 0
+
+    # -- incumbent -------------------------------------------------------------
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    @property
+    def best_point(self) -> np.ndarray:
+        if not self._initialized:
+            return self.space.center()
+        return self._population[int(np.argmin(self._fitness))].copy()
+
+    @property
+    def best_value(self) -> float:
+        if not self._initialized:
+            return float("inf")
+        return float(min(self._fitness))
+
+    # -- genetic operators --------------------------------------------------------
+
+    def _select(self) -> np.ndarray:
+        """Tournament selection: best of `tournament` random individuals."""
+        idx = self.rng.choice(len(self._population), size=self.tournament, replace=False)
+        winner = min(idx, key=lambda i: self._fitness[i])
+        return self._population[winner]
+
+    def _crossover(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        mask = self.rng.random(self.space.dimension) < 0.5
+        return np.where(mask, a, b)
+
+    def _mutate(self, point: np.ndarray) -> np.ndarray:
+        out = point.copy()
+        for i, param in enumerate(self.space.parameters):
+            if self.rng.random() >= self.mutation_rate:
+                continue
+            if param.is_discrete:
+                options = [
+                    v
+                    for v in (param.lower_neighbor(out[i]), param.upper_neighbor(out[i]))
+                    if v is not None
+                ]
+                if options:
+                    out[i] = options[int(self.rng.integers(0, len(options)))]
+            else:
+                step = 0.1 * param.span * float(self.rng.standard_normal())
+                out[i] = param.clip(out[i] + step)
+        return out
+
+    # -- ask/tell ---------------------------------------------------------------------
+
+    def _ask(self) -> list[np.ndarray]:
+        if not self._initialized:
+            return [
+                self.space.random_point(self.rng)
+                for _ in range(self.population_size)
+            ]
+        offspring: list[np.ndarray] = []
+        # Elitism: re-evaluate the current best alongside the offspring (it
+        # keeps its slot in the next generation regardless).
+        offspring.append(self.best_point)
+        while len(offspring) < self.population_size:
+            a, b = self._select(), self._select()
+            child = (
+                self._crossover(a, b)
+                if self.rng.random() < self.crossover_rate
+                else a.copy()
+            )
+            offspring.append(self._mutate(child))
+        return offspring
+
+    def _tell(self, batch: list[np.ndarray], values: list[float]) -> None:
+        if not self._initialized:
+            self._population = [p.copy() for p in batch]
+            self._fitness = list(values)
+            self._initialized = True
+            self.step_log.append("init")
+            return
+        # (mu + lambda): merge parents and offspring, keep the best mu.
+        merged_pts = self._population + [p.copy() for p in batch]
+        merged_fit = self._fitness + list(values)
+        order = np.argsort(merged_fit, kind="stable")[: self.population_size]
+        self._population = [merged_pts[i] for i in order]
+        self._fitness = [merged_fit[i] for i in order]
+        self.generation += 1
+        self.step_log.append(f"generation:{self.generation}")

@@ -1,0 +1,204 @@
+"""Nelder–Mead simplex search (paper §3.1) under the projection operator.
+
+The method maintains N+1 vertices and each iteration replaces the *worst*
+vertex ``v_N`` with a point on the line ``v_N + α (c − v_N)`` through the
+centroid ``c`` of the remaining vertices, with the paper's step set
+α ∈ {2 (reflection), 3 (expansion), 0.5 (contraction)}.  If no candidate
+improves on ``f(v_N)``, the whole simplex shrinks around the best vertex.
+
+This is the strategy the original Active Harmony used, retained here as the
+principal baseline.  Its §3.1 failure modes are observable in this
+implementation (and exercised by the tests): the simplex can become
+*degenerate* (affine rank < N, see :func:`repro.core.simplex.affine_rank`) —
+on discrete lattices the projection can even collapse distinct vertices onto
+the same point — after which the search cannot span the space.  It is also
+inherently sequential: every ask is a single point.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import BatchTuner
+from repro.core.initial import minimal_simplex
+from repro.core.simplex import Simplex, Vertex
+from repro.space import ParameterSpace
+
+__all__ = ["NelderMead", "NmPhase"]
+
+
+class NmPhase(enum.Enum):
+    INIT = "init"
+    REFLECT = "reflect"
+    EXPAND = "expand"
+    CONTRACT = "contract"
+    SHRINK = "shrink"
+    DONE = "done"
+
+
+class NelderMead(BatchTuner):
+    """Projected Nelder–Mead with the paper's α ∈ {0.5, 2, 3} moves."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        *,
+        initial_points: Sequence[np.ndarray] | None = None,
+        r: float = 0.2,
+        max_stall_iterations: int = 8,
+    ) -> None:
+        super().__init__(space)
+        if initial_points is not None:
+            pts = [space.as_point(p) for p in initial_points]
+        else:
+            pts = minimal_simplex(space, r)
+        if len(pts) < 2:
+            raise ValueError("need at least 2 initial simplex vertices")
+        for p in pts:
+            if not space.contains(p):
+                raise ValueError(f"initial point {p!r} is not admissible")
+        if max_stall_iterations < 1:
+            raise ValueError(
+                f"max_stall_iterations must be >= 1, got {max_stall_iterations}"
+            )
+        self._initial_points = pts
+        self.max_stall_iterations = int(max_stall_iterations)
+        self.phase = NmPhase.INIT
+        self.simplex: Simplex | None = None
+        self.n_iterations = 0
+        self._stall = 0
+        self._queue: list[np.ndarray] = [p.copy() for p in pts]
+        self._collected: list[Vertex] = []
+        self._reflection: Vertex | None = None
+        self._shrink_queue: list[np.ndarray] = []
+
+    # -- incumbent -----------------------------------------------------------
+
+    @property
+    def initialized(self) -> bool:
+        return self.simplex is not None
+
+    @property
+    def best_point(self) -> np.ndarray:
+        if self.simplex is None:
+            return self._initial_points[0].copy()
+        return self.simplex.best.point.copy()
+
+    @property
+    def best_value(self) -> float:
+        if self.simplex is None:
+            return float("inf")
+        return self.simplex.best.value
+
+    # -- geometry ----------------------------------------------------------------
+
+    def _centroid(self) -> np.ndarray:
+        """Centroid of all vertices except the worst (Eq. 3)."""
+        assert self.simplex is not None
+        pts = [v.point for v in self.simplex.vertices[:-1]]
+        return np.mean(np.asarray(pts, dtype=float), axis=0)
+
+    def _line_point(self, alpha: float) -> np.ndarray:
+        """``v_N + α (c - v_N)`` projected toward the centroid's admissible
+        snap (the transformation centre for Nelder–Mead is the centroid)."""
+        assert self.simplex is not None
+        vn = self.simplex.worst.point
+        c = self._centroid()
+        raw = vn + alpha * (c - vn)
+        center = self.space.nearest(c)  # admissible stand-in for the centroid
+        return self.space.project(raw, center)
+
+    # -- ask/tell -------------------------------------------------------------------
+
+    def _ask(self) -> list[np.ndarray]:
+        if self.phase is NmPhase.INIT:
+            return [self._queue[len(self._collected)].copy()]
+        if self.phase is NmPhase.REFLECT:
+            return [self._line_point(2.0)]
+        if self.phase is NmPhase.EXPAND:
+            return [self._line_point(3.0)]
+        if self.phase is NmPhase.CONTRACT:
+            return [self._line_point(0.5)]
+        if self.phase is NmPhase.SHRINK:
+            return [self._shrink_queue[len(self._collected)].copy()]
+        return []
+
+    def _tell(self, batch: list[np.ndarray], values: list[float]) -> None:
+        if self.phase is NmPhase.INIT:
+            self._collected.append(Vertex(batch[0], values[0]))
+            if len(self._collected) == len(self._queue):
+                self.simplex = Simplex(self._collected)
+                self._collected = []
+                self._queue = []
+                self.step_log.append("init")
+                self.phase = NmPhase.REFLECT
+            return
+        assert self.simplex is not None
+        if self.phase is NmPhase.REFLECT:
+            self._reflection = Vertex(batch[0], values[0])
+            if values[0] < self.simplex.best.value:
+                self.phase = NmPhase.EXPAND
+            elif values[0] < self.simplex.worst.value:
+                self._replace_worst(self._reflection, "reflect")
+            else:
+                self.phase = NmPhase.CONTRACT
+            return
+        if self.phase is NmPhase.EXPAND:
+            assert self._reflection is not None
+            if values[0] < self._reflection.value:
+                self._replace_worst(Vertex(batch[0], values[0]), "expand")
+            else:
+                self._replace_worst(self._reflection, "reflect")
+            return
+        if self.phase is NmPhase.CONTRACT:
+            if values[0] < self.simplex.worst.value:
+                self._replace_worst(Vertex(batch[0], values[0]), "contract")
+            else:
+                # Nothing beat the worst vertex: shrink everything toward best.
+                v0 = self.simplex.best.point
+                self._shrink_queue = [
+                    self.space.project(0.5 * (v0 + v.point), v0)
+                    for v in self.simplex.vertices[1:]
+                ]
+                self._collected = []
+                self.phase = NmPhase.SHRINK
+            return
+        if self.phase is NmPhase.SHRINK:
+            self._collected.append(Vertex(batch[0], values[0]))
+            if len(self._collected) == len(self._shrink_queue):
+                self.simplex.replace_moving(self._collected)
+                self._collected = []
+                self._shrink_queue = []
+                self.step_log.append("shrink")
+                self._finish_iteration(improved=False)
+            return
+        raise AssertionError(f"tell in unhandled phase {self.phase}")  # pragma: no cover
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def _replace_worst(self, vertex: Vertex, kind: str) -> None:
+        assert self.simplex is not None
+        improved = vertex.value < self.simplex.best.value
+        self.simplex.vertices[-1] = vertex
+        self.simplex.order()
+        self.step_log.append(kind)
+        self._finish_iteration(improved=improved)
+
+    def _finish_iteration(self, *, improved: bool) -> None:
+        assert self.simplex is not None
+        self.n_iterations += 1
+        self._stall = 0 if improved else self._stall + 1
+        # Stop when the simplex has collapsed or the search stalls; unlike the
+        # rank-ordering tuners there is no local-minimum certificate (§3.1's
+        # "unpredictable" termination).
+        if self.space.coincident(self.simplex.points()):
+            self.phase = NmPhase.DONE
+            self._mark_converged("simplex_collapsed")
+        elif self._stall >= self.max_stall_iterations:
+            self.phase = NmPhase.DONE
+            self._mark_converged("stalled")
+        else:
+            self.phase = NmPhase.REFLECT

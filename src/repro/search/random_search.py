@@ -1,0 +1,59 @@
+"""Uniform random search — the sanity-floor baseline.
+
+Proposes independent uniformly random admissible points forever and tracks
+the best observation.  Under the online metric it pays full price for every
+random (usually bad) configuration, so any structured tuner should beat it
+comfortably on ``Total_Time`` — a useful calibration for the benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_generator
+from repro.core.base import BatchTuner
+from repro.space import ParameterSpace
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(BatchTuner):
+    """I.i.d. uniform sampling over the admissible region."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        *,
+        batch_size: int = 1,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(space)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = int(batch_size)
+        self.rng = as_generator(rng)
+        self._best_point: np.ndarray | None = None
+        self._best_value = float("inf")
+
+    @property
+    def initialized(self) -> bool:
+        return self._best_point is not None
+
+    @property
+    def best_point(self) -> np.ndarray:
+        if self._best_point is None:
+            return self.space.center()
+        return self._best_point.copy()
+
+    @property
+    def best_value(self) -> float:
+        return self._best_value
+
+    def _ask(self) -> list[np.ndarray]:
+        return [self.space.random_point(self.rng) for _ in range(self.batch_size)]
+
+    def _tell(self, batch: list[np.ndarray], values: list[float]) -> None:
+        for point, value in zip(batch, values):
+            if value < self._best_value:
+                self._best_value = value
+                self._best_point = point.copy()

@@ -1,0 +1,24 @@
+"""Tunable-parameter declarations and admissible regions.
+
+This mirrors the contract an application has with Active Harmony: the user
+declares each tunable parameter's type, range, and (for discrete parameters)
+step or explicit value set; the tuning system never proposes a point outside
+the admissible region.
+"""
+
+from repro.space.parameter import (
+    FloatParameter,
+    IntParameter,
+    OrdinalParameter,
+    Parameter,
+)
+from repro.space.space import ParameterSpace, SliceEmbedding
+
+__all__ = [
+    "Parameter",
+    "IntParameter",
+    "FloatParameter",
+    "OrdinalParameter",
+    "ParameterSpace",
+    "SliceEmbedding",
+]

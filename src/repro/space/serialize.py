@@ -1,0 +1,82 @@
+"""JSON-friendly (de)serialization of parameter declarations.
+
+Used by the client/server tuning protocol: an application registers its
+tunables by sending plain-dict *specs* over the wire, and the server
+reconstructs the :class:`~repro.space.ParameterSpace` from them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.space.parameter import (
+    FloatParameter,
+    IntParameter,
+    OrdinalParameter,
+    Parameter,
+)
+from repro.space.space import ParameterSpace
+
+__all__ = [
+    "parameter_to_spec",
+    "parameter_from_spec",
+    "space_to_spec",
+    "space_from_spec",
+]
+
+
+def parameter_to_spec(param: Parameter) -> dict[str, Any]:
+    """Serialize one parameter into a JSON-compatible dict."""
+    if isinstance(param, IntParameter):
+        return {
+            "type": "int",
+            "name": param.name,
+            "lower": int(param.lower),
+            "upper": int(param.upper),
+            "step": param.step,
+        }
+    if isinstance(param, OrdinalParameter):
+        return {
+            "type": "ordinal",
+            "name": param.name,
+            "values": [float(v) for v in param.values()],
+        }
+    if isinstance(param, FloatParameter):
+        return {
+            "type": "float",
+            "name": param.name,
+            "lower": param.lower,
+            "upper": param.upper,
+            "probe_step": param.probe_step,
+            "tolerance": param.tolerance,
+        }
+    raise TypeError(f"unsupported parameter type: {type(param).__name__}")
+
+
+def parameter_from_spec(spec: Mapping[str, Any]) -> Parameter:
+    """Reconstruct a parameter from its spec dict."""
+    kind = spec.get("type")
+    if kind == "int":
+        return IntParameter(
+            spec["name"], int(spec["lower"]), int(spec["upper"]),
+            step=int(spec.get("step", 1)),
+        )
+    if kind == "ordinal":
+        return OrdinalParameter(spec["name"], list(spec["values"]))
+    if kind == "float":
+        return FloatParameter(
+            spec["name"], float(spec["lower"]), float(spec["upper"]),
+            probe_step=spec.get("probe_step"),
+            tolerance=spec.get("tolerance"),
+        )
+    raise ValueError(f"unknown parameter spec type: {kind!r}")
+
+
+def space_to_spec(space: ParameterSpace) -> list[dict[str, Any]]:
+    """Serialize a whole space (ordered list of parameter specs)."""
+    return [parameter_to_spec(p) for p in space]
+
+
+def space_from_spec(specs: Sequence[Mapping[str, Any]]) -> ParameterSpace:
+    """Reconstruct a space from an ordered list of parameter specs."""
+    return ParameterSpace([parameter_from_spec(s) for s in specs])

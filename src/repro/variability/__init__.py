@@ -1,0 +1,62 @@
+"""Stochastic performance-variability substrate (paper §4 and §5).
+
+Three layers:
+
+* :mod:`repro.variability.pareto` — the Pareto distribution and the closure
+  property the paper's min-operator analysis rests on (the minimum of K
+  Pareto(α, β) samples is Pareto(Kα, β), Eq. 19).
+* :mod:`repro.variability.twojob` — the two-priority-queue algebra linking the
+  idle throughput ρ to the expected observed time (Eqs. 6, 7, 17).
+* :mod:`repro.variability.models` — pluggable noise models used by the
+  evaluators, all parameterized by ρ so Normalized Total Time is well defined.
+* :mod:`repro.variability.heavytail` — empirical heavy-tail diagnostics used
+  to reproduce Figures 4–7 (pdf, 1-cdf, log-log tail fits, Hill estimator).
+"""
+
+from repro.variability.pareto import ParetoDistribution
+from repro.variability.twojob import TwoJobModel, pareto_beta_for
+from repro.variability.models import (
+    ExponentialNoise,
+    GaussianNoise,
+    NoiseModel,
+    NoNoise,
+    ParetoNoise,
+    SpikeMixtureNoise,
+    TruncatedParetoNoise,
+)
+from repro.variability.regimes import MarkovModulatedNoise
+from repro.variability.fitting import FitResult, classify_excess, classify_tail, fit_candidates
+from repro.variability.heavytail import (
+    TailReport,
+    empirical_ccdf,
+    empirical_pdf,
+    hill_estimator,
+    loglog_tail_fit,
+    tail_report,
+    truncate,
+)
+
+__all__ = [
+    "ParetoDistribution",
+    "TwoJobModel",
+    "pareto_beta_for",
+    "NoiseModel",
+    "NoNoise",
+    "ParetoNoise",
+    "TruncatedParetoNoise",
+    "GaussianNoise",
+    "ExponentialNoise",
+    "SpikeMixtureNoise",
+    "MarkovModulatedNoise",
+    "TailReport",
+    "empirical_pdf",
+    "empirical_ccdf",
+    "loglog_tail_fit",
+    "hill_estimator",
+    "tail_report",
+    "truncate",
+    "FitResult",
+    "fit_candidates",
+    "classify_excess",
+    "classify_tail",
+]

@@ -1,0 +1,223 @@
+"""Empirical heavy-tail diagnostics (paper §4.2–4.3, Figures 4–7).
+
+The paper's recipe for deciding whether measured iteration times are heavy
+tailed:
+
+1. plot the pdf (histogram) and check that the last bars are non-negligible
+   (Fig. 4, Fig. 6);
+2. plot ``1 - cdf`` on log-log axes and check that the tail is approximately
+   linear (Fig. 5, Fig. 7) — the slope estimates ``-α``;
+3. truncate the data (drop samples above a cap) and repeat, to show that the
+   *small* spikes are heavy tailed too, not just the big ones.
+
+Because heavy tails have infinite higher moments, everything here is built
+on order statistics (CCDF slopes, the Hill estimator) rather than sample
+variance or kurtosis alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "empirical_pdf",
+    "empirical_ccdf",
+    "loglog_tail_fit",
+    "hill_estimator",
+    "truncate",
+    "TailReport",
+    "tail_report",
+]
+
+
+def _clean(data: np.ndarray) -> np.ndarray:
+    arr = np.asarray(data, dtype=float).ravel()
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        raise ValueError("no finite samples in data")
+    return arr
+
+
+def empirical_pdf(
+    data: np.ndarray, bins: int = 30, *, log_bins: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram density estimate: returns ``(bin_edges, density)``.
+
+    With ``log_bins=True`` bin edges are geometric, which resolves the tail
+    of spiky data far better than uniform bins.
+    """
+    arr = _clean(data)
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    if log_bins:
+        positive = arr[arr > 0]
+        if positive.size == 0:
+            raise ValueError("log_bins requires positive samples")
+        edges = np.geomspace(positive.min(), positive.max() * (1 + 1e-12), bins + 1)
+        density, edges = np.histogram(positive, bins=edges, density=True)
+    else:
+        density, edges = np.histogram(arr, bins=bins, density=True)
+    return edges, density
+
+
+def empirical_ccdf(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical ``P[X > x]`` evaluated at the sorted sample points.
+
+    Returns ``(x, q)`` with ``q[i] = (n - 1 - i) / n`` for sorted x; the last
+    point has q = 0 and is usually dropped before log-log fitting.
+    """
+    arr = np.sort(_clean(data))
+    n = arr.size
+    q = (n - 1.0 - np.arange(n)) / n
+    return arr, q
+
+
+@dataclass(frozen=True)
+class TailFit:
+    """A straight-line fit of log(CCDF) against log(x) over the tail."""
+
+    alpha: float          #: tail exponent estimate (negated slope)
+    intercept: float      #: fit intercept in log-log space
+    r_squared: float      #: goodness of the linear fit
+    n_tail: int           #: number of tail points used
+    x_min: float          #: smallest x included in the tail fit
+
+
+def loglog_tail_fit(data: np.ndarray, tail_fraction: float = 0.10) -> TailFit:
+    """Fit the upper-``tail_fraction`` of the CCDF on log-log axes.
+
+    A heavy tail manifests as an approximately linear upper tail whose slope
+    is ``-α`` with α < 2 (Eq. 8).  ``r_squared`` close to 1 supports the
+    linearity claim the paper makes for Figs. 5 and 7.
+    """
+    if not (0.0 < tail_fraction <= 1.0):
+        raise ValueError(f"tail_fraction must lie in (0, 1], got {tail_fraction}")
+    x, q = empirical_ccdf(data)
+    # Drop q == 0 (log undefined) and non-positive x.
+    mask = (q > 0.0) & (x > 0.0)
+    x, q = x[mask], q[mask]
+    if x.size < 5:
+        raise ValueError(f"need at least 5 usable samples for a tail fit, got {x.size}")
+    n_tail = max(5, int(np.ceil(tail_fraction * x.size)))
+    n_tail = min(n_tail, x.size)
+    xs = np.log(x[-n_tail:])
+    qs = np.log(q[-n_tail:])
+    # Guard against repeated x values producing a singular design.
+    if np.ptp(xs) <= 0:
+        raise ValueError("tail is degenerate (all tail samples equal)")
+    slope, intercept = np.polyfit(xs, qs, 1)
+    pred = slope * xs + intercept
+    ss_res = float(np.sum((qs - pred) ** 2))
+    ss_tot = float(np.sum((qs - qs.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return TailFit(
+        alpha=float(-slope),
+        intercept=float(intercept),
+        r_squared=float(r2),
+        n_tail=int(n_tail),
+        x_min=float(np.exp(xs[0])),
+    )
+
+
+def hill_estimator(data: np.ndarray, k: int | None = None) -> float:
+    """Hill's estimator of the tail index α from the top-*k* order statistics.
+
+    ``α̂ = k / Σ_{i=1..k} log(x_(n-i+1) / x_(n-k))`` — the maximum-likelihood
+    estimator under an exact Pareto tail.  Default k = 10% of the sample
+    (at least 5).
+    """
+    arr = np.sort(_clean(data))
+    arr = arr[arr > 0]
+    n = arr.size
+    if n < 10:
+        raise ValueError(f"need at least 10 positive samples, got {n}")
+    if k is None:
+        k = max(5, n // 10)
+    if not (1 <= k < n):
+        raise ValueError(f"k must lie in [1, {n - 1}], got {k}")
+    tail = arr[n - k:]
+    threshold = arr[n - k - 1]
+    logs = np.log(tail / threshold)
+    denom = float(logs.sum())
+    if denom <= 0:
+        raise ValueError("degenerate tail (all top-k samples equal the threshold)")
+    return float(k / denom)
+
+
+def truncate(data: np.ndarray, cap: float) -> np.ndarray:
+    """Drop every sample strictly greater than *cap* (paper §4.3, Figs. 6–7)."""
+    arr = _clean(data)
+    if not np.isfinite(cap):
+        raise ValueError(f"cap must be finite, got {cap}")
+    return arr[arr <= cap]
+
+
+@dataclass(frozen=True)
+class TailReport:
+    """Summary of the heavy-tail evidence for one data set."""
+
+    n: int
+    mean: float
+    median: float
+    maximum: float
+    hill_alpha: float
+    fit: TailFit
+    frac_above_2x_median: float
+    frac_above_5x_median: float
+    heavy_tailed: bool
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def lines(self) -> list[str]:
+        """Human-readable report rows (used by the figure benches)."""
+        return [
+            f"samples            : {self.n}",
+            f"mean / median / max: {self.mean:.4g} / {self.median:.4g} / {self.maximum:.4g}",
+            f"Hill alpha         : {self.hill_alpha:.3f}",
+            f"CCDF tail slope    : -{self.fit.alpha:.3f} (R^2={self.fit.r_squared:.3f}, "
+            f"n_tail={self.fit.n_tail})",
+            f"P[X > 2*median]    : {self.frac_above_2x_median:.4f}",
+            f"P[X > 5*median]    : {self.frac_above_5x_median:.4f}",
+            f"heavy-tailed       : {self.heavy_tailed}",
+        ]
+
+
+def tail_report(
+    data: np.ndarray,
+    *,
+    tail_fraction: float = 0.10,
+    alpha_threshold: float = 2.0,
+    r2_threshold: float = 0.90,
+) -> TailReport:
+    """Run the paper's full §4.3 diagnostic suite on one sample set.
+
+    The verdict ``heavy_tailed`` is True when the Hill estimate is below
+    ``alpha_threshold`` (Eq. 8's α < 2) *and* the log-log tail is close to
+    linear (R² above ``r2_threshold``).
+    """
+    arr = _clean(data)
+    fit = loglog_tail_fit(arr, tail_fraction)
+    hill = hill_estimator(arr)
+    med = float(np.median(arr))
+    notes: list[str] = []
+    if med <= 0:
+        notes.append("median <= 0; exceedance fractions use absolute thresholds")
+        frac2 = float(np.mean(arr > 2.0))
+        frac5 = float(np.mean(arr > 5.0))
+    else:
+        frac2 = float(np.mean(arr > 2.0 * med))
+        frac5 = float(np.mean(arr > 5.0 * med))
+    heavy = (hill < alpha_threshold) and (fit.r_squared >= r2_threshold)
+    return TailReport(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        median=med,
+        maximum=float(arr.max()),
+        hill_alpha=hill,
+        fit=fit,
+        frac_above_2x_median=frac2,
+        frac_above_5x_median=frac5,
+        heavy_tailed=bool(heavy),
+        notes=tuple(notes),
+    )

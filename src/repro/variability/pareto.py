@@ -1,0 +1,142 @@
+"""The Pareto distribution and the min-of-K closure property.
+
+The paper (§4.2, §5.1) uses the Pareto distribution as the canonical
+heavy-tailed model:
+
+.. math::
+
+    F_X(x) = 1 - (\\beta/x)^{\\alpha}, \\qquad x \\ge \\beta,
+
+with β the smallest attainable value.  For ``1 < α < 2`` the mean is finite
+but the variance infinite; for ``0 < α < 1`` both are infinite.  The key
+analytic fact (Eq. 19) is that the minimum of K i.i.d. Pareto(α, β) samples
+is again Pareto with shape ``K·α`` and the same β — so for ``K > 2/α`` the
+minimum has finite mean *and* variance even when individual samples have
+neither.  This is exactly why the min operator is a usable estimator where
+the average is not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_generator, check_positive
+
+__all__ = ["ParetoDistribution"]
+
+
+@dataclass(frozen=True)
+class ParetoDistribution:
+    """Pareto distribution with shape ``alpha`` and scale (minimum) ``beta``."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        check_positive("alpha", self.alpha)
+        check_positive("beta", self.beta)
+
+    # -- analytic properties -------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """E[X] = αβ/(α-1) for α > 1, else +inf (Eq. 16)."""
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.beta / (self.alpha - 1.0)
+
+    @property
+    def variance(self) -> float:
+        """Var[X], finite only for α > 2."""
+        a, b = self.alpha, self.beta
+        if a <= 2.0:
+            return math.inf
+        return (b * b * a) / ((a - 1.0) ** 2 * (a - 2.0))
+
+    @property
+    def is_heavy_tailed(self) -> bool:
+        """Heavy tail in the paper's sense (Eq. 8): 0 < α < 2."""
+        return self.alpha < 2.0
+
+    def pdf(self, x: np.ndarray | float) -> np.ndarray:
+        """Density ``α β^α x^-(α+1)`` on [β, ∞)."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        mask = x >= self.beta
+        out[mask] = self.alpha * self.beta**self.alpha * x[mask] ** -(self.alpha + 1.0)
+        return out
+
+    def cdf(self, x: np.ndarray | float) -> np.ndarray:
+        """F(x) = 1 - (β/x)^α (Eq. 9)."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        mask = x >= self.beta
+        out[mask] = 1.0 - (self.beta / x[mask]) ** self.alpha
+        return out
+
+    def ccdf(self, x: np.ndarray | float) -> np.ndarray:
+        """Q(x) = P[X > x] = (β/x)^α for x ≥ β, else 1 (Eq. 10)."""
+        x = np.asarray(x, dtype=float)
+        out = np.ones_like(x)
+        mask = x >= self.beta
+        out[mask] = (self.beta / x[mask]) ** self.alpha
+        return out
+
+    def quantile(self, q: np.ndarray | float) -> np.ndarray:
+        """Inverse cdf: x such that F(x) = q."""
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q >= 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1)")
+        return self.beta * (1.0 - q) ** (-1.0 / self.alpha)
+
+    # -- the min-of-K closure -----------------------------------------------
+
+    def minimum_of(self, k: int) -> "ParetoDistribution":
+        """Distribution of ``min(X_1, ..., X_k)``: Pareto(k·α, β) (Eq. 19)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return ParetoDistribution(self.alpha * k, self.beta)
+
+    def min_exceedance(self, k: int, epsilon: float) -> float:
+        """P[min of k samples > β + ε] = (β/(β+ε))^{kα} (Eq. 20)."""
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        return float((self.beta / (self.beta + epsilon)) ** (self.alpha * k))
+
+    def samples_for_exceedance(self, epsilon: float, prob: float) -> int:
+        """Smallest K with P[min of K samples > β + ε] < *prob* (Eq. 22)."""
+        check_positive("epsilon", epsilon)
+        if not (0.0 < prob < 1.0):
+            raise ValueError(f"prob must lie in (0, 1), got {prob}")
+        per_sample = self.min_exceedance(1, epsilon)
+        if per_sample <= 0.0:
+            return 1
+        k = math.log(prob) / math.log(per_sample)
+        return max(1, int(math.ceil(k)))
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample(
+        self,
+        rng: int | np.random.Generator | None = None,
+        size: int | tuple[int, ...] | None = None,
+    ) -> np.ndarray | float:
+        """Draw samples via inverse-cdf on uniform variates."""
+        gen = as_generator(rng)
+        u = gen.random(size)
+        x = self.beta * (1.0 - u) ** (-1.0 / self.alpha)
+        if size is None:
+            return float(x)
+        return x
+
+    @classmethod
+    def from_mean(cls, alpha: float, mean: float) -> "ParetoDistribution":
+        """Construct from a target mean (requires α > 1)."""
+        check_positive("alpha", alpha)
+        check_positive("mean", mean)
+        if alpha <= 1.0:
+            raise ValueError("mean parameterization requires alpha > 1")
+        return cls(alpha, mean * (alpha - 1.0) / alpha)

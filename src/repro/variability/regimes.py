@@ -1,0 +1,111 @@
+"""Markov-modulated (bursty) noise — variability that comes in episodes.
+
+Real cluster interference is not i.i.d.: a backup job or file-system scan
+degrades performance for a *stretch* of iterations, then disappears.  This
+module models that with a two-state Markov chain (QUIET / BUSY) whose state
+persists across calls: in QUIET the node behaves like a low-ρ system, in
+BUSY like a high-ρ system.  The long-run average idle throughput is the
+stationary mixture, so Normalized Total Time remains well defined.
+
+Bursty noise is the stress test for the *adaptive* K controller: a fixed K
+wastes samples in quiet stretches and under-samples in busy ones, while the
+controller should track the regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_probability
+from repro.variability.models import NoiseModel, ParetoNoise
+
+__all__ = ["MarkovModulatedNoise"]
+
+
+class MarkovModulatedNoise(NoiseModel):
+    """Two-regime Pareto noise with persistent (Markov) regime switching.
+
+    Parameters
+    ----------
+    rho_quiet, rho_busy:
+        Idle throughput in each regime (Eq. 17 scales the Pareto noise).
+    p_enter_busy:
+        Per-observation probability of switching QUIET → BUSY.
+    p_exit_busy:
+        Per-observation probability of switching BUSY → QUIET.
+    alpha:
+        Pareto shape shared by both regimes.
+
+    Note: the regime advances once per *observation*, and a whole batch
+    (one parallel wave) shares the regime — a cluster-wide phenomenon, like
+    the shared sources in the queue simulator.
+    """
+
+    def __init__(
+        self,
+        *,
+        rho_quiet: float = 0.05,
+        rho_busy: float = 0.45,
+        p_enter_busy: float = 0.05,
+        p_exit_busy: float = 0.20,
+        alpha: float = 1.7,
+    ) -> None:
+        if rho_busy <= rho_quiet:
+            raise ValueError(
+                f"busy regime must be noisier: rho_busy={rho_busy} <= "
+                f"rho_quiet={rho_quiet}"
+            )
+        self.p_enter_busy = check_probability("p_enter_busy", p_enter_busy)
+        self.p_exit_busy = check_probability("p_exit_busy", p_exit_busy)
+        if self.p_enter_busy == 0.0 or self.p_exit_busy == 0.0:
+            raise ValueError("switching probabilities must be positive")
+        self._quiet = ParetoNoise(rho=rho_quiet, alpha=alpha) if rho_quiet > 0 else None
+        self._busy = ParetoNoise(rho=rho_busy, alpha=alpha)
+        self.rho_quiet = float(rho_quiet)
+        self.rho_busy = float(rho_busy)
+        self.alpha = float(alpha)
+        #: stationary BUSY probability of the two-state chain
+        self.busy_fraction = self.p_enter_busy / (self.p_enter_busy + self.p_exit_busy)
+        # Long-run idle throughput: stationary mixture of regime rhos.
+        self.rho = (
+            (1.0 - self.busy_fraction) * self.rho_quiet
+            + self.busy_fraction * self.rho_busy
+        )
+        self._in_busy = False
+        #: observation counter and busy-observation counter (diagnostics)
+        self.n_observations = 0
+        self.n_busy_observations = 0
+
+    @property
+    def in_busy_regime(self) -> bool:
+        return self._in_busy
+
+    def _advance(self, rng: np.random.Generator) -> None:
+        if self._in_busy:
+            if rng.random() < self.p_exit_busy:
+                self._in_busy = False
+        else:
+            if rng.random() < self.p_enter_busy:
+                self._in_busy = True
+
+    def sample_noise(self, f: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        self._advance(rng)
+        self.n_observations += 1
+        if self._in_busy:
+            self.n_busy_observations += 1
+            return self._busy.sample_noise(f, rng)
+        if self._quiet is None:
+            return np.zeros_like(f)
+        return self._quiet.sample_noise(f, rng)
+
+    def reset(self) -> None:
+        """Return to the QUIET regime and clear counters."""
+        self._in_busy = False
+        self.n_observations = 0
+        self.n_busy_observations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MarkovModulatedNoise(rho_quiet={self.rho_quiet}, "
+            f"rho_busy={self.rho_busy}, busy_fraction={self.busy_fraction:.3f})"
+        )

@@ -1,0 +1,110 @@
+"""The two-priority-queue model of performance variability (paper §4.1).
+
+The computing node is modelled as a single server under a strict-priority
+scheduler.  All variability sources (daemons, OS house-keeping, transient
+disruptions) are the *first-priority* job class; the tunable application is
+the *second-priority* class and only receives service when no first-priority
+work is present.
+
+With ρ the *idle system throughput* (the fraction of capacity the
+first-priority class consumes), the observed application time is
+
+.. math::  y = f(v) + n(v)
+
+where ``f(v)`` is the noise-free time and ``n(v)`` the time stolen by
+first-priority work while the application was in the system, with
+
+.. math::
+
+    E[y] = \\frac{f(v)}{1 - \\rho}, \\qquad
+    E[n(v)] = \\frac{\\rho}{1 - \\rho} f(v).            \\tag{6, 7}
+
+When n(v) is Pareto(α, β) with α > 1, matching its mean to Eq. (7) pins the
+scale to
+
+.. math::  \\beta = \\frac{(\\alpha - 1)\\rho}{(1 - \\rho)\\alpha} f(v),   \\tag{17}
+
+i.e. the minimum attainable noise is a *linear, increasing function of
+f(v)* — the property the min-operator comparison argument (§5.1) requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive, check_probability
+from repro.variability.pareto import ParetoDistribution
+
+__all__ = ["TwoJobModel", "pareto_beta_for"]
+
+
+def pareto_beta_for(f: float | np.ndarray, alpha: float, rho: float) -> float | np.ndarray:
+    """Eq. (17): the Pareto scale β that matches E[n] = ρ/(1-ρ)·f.
+
+    Vectorized over *f*.  Requires α > 1 (finite mean) and 0 <= ρ < 1.
+    ρ = 0 yields β = 0, i.e. degenerate zero noise.
+    """
+    check_positive("alpha", alpha)
+    if alpha <= 1.0:
+        raise ValueError(f"Eq. (17) requires alpha > 1 (finite mean), got {alpha}")
+    check_probability("rho", rho)
+    return (alpha - 1.0) * rho / ((1.0 - rho) * alpha) * np.asarray(f, dtype=float)
+
+
+@dataclass(frozen=True)
+class TwoJobModel:
+    """Closed-form algebra of the two-priority-queue model for a given ρ."""
+
+    rho: float
+
+    def __post_init__(self) -> None:
+        check_probability("rho", self.rho)
+
+    @property
+    def slowdown(self) -> float:
+        """Expected multiplicative slowdown 1/(1-ρ) of the observed time."""
+        return 1.0 / (1.0 - self.rho)
+
+    def expected_observed(self, f: float | np.ndarray) -> float | np.ndarray:
+        """E[y] = f/(1-ρ) (Eq. 6)."""
+        return np.asarray(f, dtype=float) / (1.0 - self.rho)
+
+    def expected_noise(self, f: float | np.ndarray) -> float | np.ndarray:
+        """E[n(v)] = ρ/(1-ρ)·f (Eq. 7)."""
+        return self.rho / (1.0 - self.rho) * np.asarray(f, dtype=float)
+
+    def noise_distribution(self, f: float, alpha: float) -> ParetoDistribution | None:
+        """The Pareto(α, β(f)) noise law of Eq. (17); None when ρ = 0."""
+        if self.rho == 0.0:
+            return None
+        beta = float(pareto_beta_for(f, alpha, self.rho))
+        return ParetoDistribution(alpha, beta)
+
+    def n_min(self, f: float | np.ndarray, alpha: float) -> float | np.ndarray:
+        """The smallest attainable noise n_min(v) = β(f) under Eq. (17).
+
+        This is the deterministic floor the min operator converges to
+        (Eq. 14/15): min-of-K estimates approach ``f + n_min(f)`` = G(f),
+        a strictly increasing function of f, so orderings are preserved.
+        """
+        if self.rho == 0.0:
+            return np.zeros_like(np.asarray(f, dtype=float)) if np.ndim(f) else 0.0
+        return pareto_beta_for(f, alpha, self.rho)
+
+    def g(self, f: float | np.ndarray, alpha: float) -> float | np.ndarray:
+        """G(f) = f + n_min(f): the min-operator limit as K → ∞ (Eq. 15)."""
+        return np.asarray(f, dtype=float) + self.n_min(f, alpha)
+
+    def g_inverse(self, l: float | np.ndarray, alpha: float) -> float | np.ndarray:
+        """Invert G to recover f from a converged min estimate (Eq. 15)."""
+        l = np.asarray(l, dtype=float)
+        if self.rho == 0.0:
+            return l
+        slope = 1.0 + float(pareto_beta_for(1.0, alpha, self.rho))
+        return l / slope
+
+    def normalized_total_time(self, total_time: float | np.ndarray) -> float | np.ndarray:
+        """NTT = (1-ρ)·Total_Time (Eq. 23) — comparable across ρ values."""
+        return (1.0 - self.rho) * np.asarray(total_time, dtype=float)

@@ -1,0 +1,114 @@
+"""Unit tests for the performance database (§6's evaluation substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.database import PerformanceDatabase
+from repro.space import IntParameter, ParameterSpace
+
+
+@pytest.fixture
+def small_space():
+    return ParameterSpace([IntParameter("a", 0, 4), IntParameter("b", 0, 4)])
+
+
+def linear(p):
+    return 1.0 + p[0] + 10.0 * p[1]
+
+
+class TestPopulation:
+    def test_from_function_full(self, small_space):
+        db = PerformanceDatabase.from_function(linear, small_space)
+        assert len(db) == 25
+        assert db.coverage() == 1.0
+
+    def test_from_function_fraction(self, small_space):
+        db = PerformanceDatabase.from_function(
+            linear, small_space, fraction=0.5, rng=0
+        )
+        assert 0 < len(db) < 25
+
+    def test_from_function_rejects_bad_fraction(self, small_space):
+        with pytest.raises(ValueError):
+            PerformanceDatabase.from_function(linear, small_space, fraction=0.0)
+
+    def test_from_mapping(self, small_space):
+        db = PerformanceDatabase.from_mapping(
+            {(0.0, 0.0): 1.0, (1.0, 1.0): 12.0}, small_space
+        )
+        assert len(db) == 2
+
+    def test_add_validates(self, small_space):
+        db = PerformanceDatabase(small_space)
+        with pytest.raises(ValueError):
+            db.add([0.5, 0], 1.0)
+        with pytest.raises(ValueError):
+            db.add([0, 0], float("nan"))
+
+    def test_add_overwrites(self, small_space):
+        db = PerformanceDatabase(small_space)
+        db.add([0, 0], 1.0)
+        db.add([0, 0], 2.0)
+        assert len(db) == 1
+        assert db.lookup([0, 0]) == 2.0
+
+    def test_k_neighbors_validated(self, small_space):
+        with pytest.raises(ValueError):
+            PerformanceDatabase(small_space, k_neighbors=0)
+
+
+class TestLookup:
+    def test_exact_hit(self, small_space):
+        db = PerformanceDatabase.from_function(linear, small_space)
+        assert db([2, 3]) == linear([2, 3])
+        assert db.n_exact == 1 and db.n_interpolated == 0
+
+    def test_lookup_missing_returns_none(self, small_space):
+        db = PerformanceDatabase(small_space)
+        db.add([0, 0], 1.0)
+        assert db.lookup([1, 1]) is None
+
+    def test_interpolation_on_miss(self, small_space):
+        db = PerformanceDatabase(small_space, k_neighbors=4)
+        for pt, v in [((0, 0), 1.0), ((2, 0), 3.0), ((0, 2), 21.0), ((2, 2), 23.0)]:
+            db.add(pt, v)
+        est = db([1, 1])
+        assert db.n_interpolated == 1
+        # Symmetric neighbours: estimate is their average.
+        assert est == pytest.approx((1.0 + 3.0 + 21.0 + 23.0) / 4)
+
+    def test_interpolation_weights_by_distance(self, small_space):
+        db = PerformanceDatabase(small_space, k_neighbors=2)
+        db.add([0, 0], 0.0)
+        db.add([4, 0], 100.0)
+        # Query nearer to (0,0) -> estimate below the midpoint value.
+        assert db.interpolate([1, 0]) < 50.0
+
+    def test_interpolation_exact_distance_zero(self, small_space):
+        db = PerformanceDatabase(small_space)
+        db.add([1, 1], 7.0)
+        db.add([3, 3], 9.0)
+        assert db.interpolate([1, 1]) == 7.0
+
+    def test_empty_database_interpolation_fails(self, small_space):
+        with pytest.raises(ValueError):
+            PerformanceDatabase(small_space).interpolate([0, 0])
+
+    def test_interpolation_accuracy_on_smooth_function(self, small_space):
+        """On a linear function, 4-NN inverse-distance estimates are close."""
+        db = PerformanceDatabase.from_function(
+            linear, small_space, fraction=0.6, rng=1
+        )
+        errs = []
+        for pt in small_space.grid():
+            if db.lookup(pt) is None:
+                errs.append(abs(db(pt) - linear(pt)))
+        assert errs, "fraction=0.6 should leave some holes"
+        assert np.median(errs) < 8.0  # within one lattice step of the b-axis
+
+    def test_cache_invalidated_on_add(self, small_space):
+        db = PerformanceDatabase(small_space, k_neighbors=1)
+        db.add([0, 0], 1.0)
+        assert db.interpolate([4, 4]) == 1.0
+        db.add([4, 4], 50.0)
+        assert db.interpolate([4, 4]) == 50.0

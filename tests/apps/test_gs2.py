@@ -1,0 +1,104 @@
+"""Unit tests for the GS2 performance surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gs2 import GS2Surrogate
+
+
+@pytest.fixture(scope="module")
+def surrogate():
+    return GS2Surrogate()
+
+
+class TestBasics:
+    def test_positive_costs_everywhere(self, surrogate):
+        space = surrogate.space()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert surrogate(space.random_point(rng)) > 0
+
+    def test_deterministic(self, surrogate):
+        pt = [64, 32, 16]
+        assert surrogate(pt) == surrogate(pt)
+
+    def test_batch_matches_scalar(self, surrogate):
+        pts = np.array([[64, 32, 16], [32, 16, 8], [128, 64, 64]], dtype=float)
+        batch = surrogate.batch(pts)
+        assert np.allclose(batch, [surrogate(p) for p in pts])
+
+    def test_batch_shape_validation(self, surrogate):
+        with pytest.raises(ValueError):
+            surrogate.batch(np.ones((3, 2)))
+
+    def test_rejects_invalid_config(self, surrogate):
+        with pytest.raises(ValueError):
+            surrogate([0, 32, 16])
+        with pytest.raises(ValueError):
+            surrogate([64, 32])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            GS2Surrogate(compute_scale=-1.0)
+        with pytest.raises(ValueError):
+            GS2Surrogate(cache_width=1)
+        with pytest.raises(ValueError):
+            GS2Surrogate(negrid_ref=0.0)
+
+    def test_space_shape(self, surrogate):
+        space = surrogate.space()
+        assert space.names == ("ntheta", "negrid", "nodes")
+        assert space.is_discrete
+
+
+class TestStructuralFeatures:
+    """The Fig. 8 properties: ruggedness and interior trade-offs."""
+
+    def test_single_node_is_expensive(self, surrogate):
+        assert surrogate([72, 36, 1]) > 5 * surrogate([72, 36, 32])
+
+    def test_nodes_tradeoff_is_non_monotone(self, surrogate):
+        costs = [surrogate([72, 36, n]) for n in range(1, 65)]
+        best = int(np.argmin(costs)) + 1
+        assert 1 < best < 64  # interior optimum in nodes
+
+    def test_negrid_tradeoff_is_non_monotone(self, surrogate):
+        costs = [surrogate([72, g, 32]) for g in range(8, 65, 2)]
+        best_idx = int(np.argmin(costs))
+        assert 0 < best_idx < len(costs) - 1
+
+    def test_ntheta_tradeoff_is_non_monotone(self, surrogate):
+        costs = [surrogate([t, 36, 32]) for t in range(16, 129, 4)]
+        best_idx = int(np.argmin(costs))
+        assert 0 < best_idx < len(costs) - 1
+
+    def test_load_imbalance_sawtooth(self, surrogate):
+        """Adding one node can make things *worse* (chunk rounding)."""
+        costs = np.array([surrogate([96, 32, n]) for n in range(16, 49)])
+        diffs = np.diff(costs)
+        assert np.any(diffs > 0) and np.any(diffs < 0)
+
+    def test_cache_misalignment_penalty(self, surrogate):
+        aligned = surrogate([72, 32, 32])
+        misaligned = surrogate([72, 34, 32])
+        # 34 is off the 16-wide alignment; cost per unit work is higher.
+        assert misaligned / (34**2 + 28**3 / 34) > aligned / (32**2 + 28**3 / 32) * 0.99
+
+    def test_global_optimum_interior(self, surrogate):
+        pt, val = surrogate.true_optimum()
+        space = surrogate.space()
+        for i, p in enumerate(space.parameters):
+            assert p.lower < pt[i] < p.upper
+        assert val > 0
+
+    def test_many_local_minima(self, surrogate):
+        assert surrogate.count_local_minima(fixed={"nodes": 32}) >= 5
+
+    def test_count_local_minima_validates_names(self, surrogate):
+        with pytest.raises(ValueError):
+            surrogate.count_local_minima(fixed={"bogus": 1})
+
+    def test_optimum_cached(self, surrogate):
+        a = surrogate.true_optimum()
+        b = surrogate.true_optimum()
+        assert np.array_equal(a[0], b[0]) and a[1] == b[1]

@@ -1,0 +1,107 @@
+"""Unit tests for the stencil autotuning surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import StencilSurrogate
+
+
+@pytest.fixture(scope="module")
+def stencil():
+    return StencilSurrogate()
+
+
+class TestBasics:
+    def test_positive_costs(self, stencil):
+        space = stencil.space()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert stencil(space.random_point(rng)) > 0
+
+    def test_deterministic(self, stencil):
+        pt = [64, 64, 8, 2]
+        assert stencil(pt) == stencil(pt)
+
+    def test_batch_matches_scalar(self, stencil):
+        pts = np.array([[64, 64, 8, 2], [8, 8, 1, 1], [256, 256, 32, 4]], dtype=float)
+        assert np.allclose(stencil.batch(pts), [stencil(p) for p in pts])
+
+    def test_shape_validation(self, stencil):
+        with pytest.raises(ValueError):
+            stencil([64, 64, 8])
+        with pytest.raises(ValueError):
+            stencil.batch(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            stencil([0, 64, 8, 2])
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            StencilSurrogate(grid=10)
+        with pytest.raises(ValueError):
+            StencilSurrogate(flop_time=0.0)
+        with pytest.raises(ValueError):
+            StencilSurrogate(spill_penalty=0.5)
+        with pytest.raises(ValueError):
+            StencilSurrogate(plane_pressure=-1.0)
+
+    def test_space_shape(self, stencil):
+        space = stencil.space()
+        assert space.names == ("tile_x", "tile_y", "threads", "halo")
+        assert space.is_discrete
+
+
+class TestStructure:
+    def test_tiny_tiles_pay_overhead(self, stencil):
+        assert stencil([8, 8, 8, 1]) > 5 * stencil([64, 64, 8, 1])
+
+    def test_cache_spill_cliff(self, stencil):
+        """Past the cache capacity, bigger tiles get *slower*."""
+        costs = [stencil([t, t, 8, 2]) for t in range(8, 257, 8)]
+        best = int(np.argmin(costs))
+        assert 0 < best < len(costs) - 1  # interior tile optimum
+
+    def test_thread_tradeoff_interior(self, stencil):
+        costs = [stencil([64, 104, th, 4]) for th in range(1, 33)]
+        best = int(np.argmin(costs)) + 1
+        assert 1 < best < 32
+
+    def test_load_imbalance_sawtooth(self, stencil):
+        costs = np.array([stencil([128, 128, th, 1]) for th in range(2, 32)])
+        diffs = np.diff(costs)
+        assert np.any(diffs > 0) and np.any(diffs < 0)
+
+    def test_temporal_blocking_helps_mid_tiles(self, stencil):
+        assert stencil([64, 64, 8, 4]) < stencil([64, 64, 8, 1])
+
+    def test_optimum_interior_in_tiles_and_threads(self, stencil):
+        pt, val = stencil.true_optimum()
+        space = stencil.space()
+        assert space["tile_x"].lower < pt[0] < space["tile_x"].upper
+        assert space["threads"].lower < pt[2] < space["threads"].upper
+        assert val > 0
+
+
+class TestTuning:
+    def test_pro_reaches_near_optimum(self, stencil):
+        from repro.core.pro import ParallelRankOrdering
+        from repro.harmony.session import TuningSession
+
+        pt, val = stencil.true_optimum()
+        tuner = ParallelRankOrdering(stencil.space())
+        result = TuningSession(tuner, stencil, budget=400, rng=0).run()
+        assert result.best_true_cost < 1.25 * val
+
+    def test_warm_start_works_on_stencil(self, stencil):
+        """The tuning stack is workload-agnostic: warm starting works on the
+        4-D stencil exactly as on GS2."""
+        from repro.apps.database import PerformanceDatabase
+        from repro.harmony.warmstart import warm_started_pro
+        from tests.helpers import drive
+
+        space = stencil.space()
+        prior = PerformanceDatabase.from_function(
+            stencil, space, fraction=0.01, rng=1
+        )
+        tuner = warm_started_pro(space, prior)
+        drive(tuner, stencil, max_evaluations=10_000)
+        assert tuner.converged

@@ -1,0 +1,74 @@
+"""Unit tests for the synthetic problems."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import (
+    plateau_problem,
+    quadratic_problem,
+    rastrigin_problem,
+    rosenbrock_problem,
+)
+
+
+class TestQuadratic:
+    def test_optimum_value(self):
+        prob = quadratic_problem(3)
+        assert prob(prob.optimum_point) == prob.optimum_value
+
+    def test_optimum_is_unique_minimum(self):
+        prob = quadratic_problem(2, lower=-5, upper=5)
+        for pt in prob.space.grid():
+            if not np.array_equal(pt, prob.optimum_point):
+                assert prob(pt) > prob.optimum_value
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            quadratic_problem(0)
+
+    def test_target_in_bounds_validation(self):
+        with pytest.raises(ValueError):
+            quadratic_problem(5, lower=0, upper=3)
+
+
+class TestRosenbrock:
+    def test_optimum(self):
+        prob = rosenbrock_problem()
+        assert prob(prob.optimum_point) == pytest.approx(1.0)
+
+    def test_valley_structure(self):
+        prob = rosenbrock_problem()
+        on_parabola = prob([0.5, 0.25])
+        off_parabola = prob([0.5, 1.5])
+        assert on_parabola < off_parabola
+
+
+class TestRastrigin:
+    def test_optimum(self):
+        prob = rastrigin_problem(2)
+        assert prob(prob.optimum_point) == prob.optimum_value
+
+    def test_lattice_multimodality(self):
+        """Even-coordinate points are strict local minima (half-period term)."""
+        prob = rastrigin_problem(1)
+        f = prob.objective
+        assert f(np.array([2.0])) < f(np.array([1.0]))
+        assert f(np.array([2.0])) < f(np.array([3.0]))
+
+    def test_positive_everywhere(self):
+        prob = rastrigin_problem(2)
+        for pt in prob.space.grid():
+            assert prob(pt) > 0
+
+
+class TestPlateau:
+    def test_flat_regions(self):
+        prob = plateau_problem(2, width=4)
+        assert prob([0, 0]) == prob([3, 3])
+        assert prob([0, 0]) < prob([4, 4])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plateau_problem(0)
+        with pytest.raises(ValueError):
+            plateau_problem(2, width=0)

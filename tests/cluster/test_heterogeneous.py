@@ -1,0 +1,42 @@
+"""Unit tests for heterogeneous node speeds."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+
+
+class TestSpeedFactors:
+    def test_slow_node_sets_barrier(self):
+        c = Cluster(3, speed_factors=[1.0, 1.0, 0.5], seed=0)
+        trace = c.run(1.0, 4)
+        # Node 2 runs at half speed: its iterations take 2s and set T_k.
+        assert np.allclose(trace.iteration_maxima(), 2.0)
+        assert np.allclose(trace.times[2], 2.0)
+        assert np.allclose(trace.times[0], 1.0)
+
+    def test_uniform_speeds_equivalent_to_default(self):
+        a = Cluster(2, speed_factors=[1.0, 1.0], seed=1).run(1.5, 5)
+        b = Cluster(2, seed=1).run(1.5, 5)
+        assert np.allclose(a.times, b.times)
+
+    def test_fast_nodes_speed_up(self):
+        c = Cluster(2, speed_factors=[2.0, 2.0], seed=2)
+        trace = c.run(1.0, 3)
+        assert np.allclose(trace.iteration_maxima(), 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cluster(2, speed_factors=[1.0])
+        with pytest.raises(ValueError):
+            Cluster(2, speed_factors=[1.0, 0.0])
+        with pytest.raises(ValueError):
+            Cluster(2, speed_factors=[1.0, -1.0])
+
+    def test_total_time_scales_with_slowest(self):
+        """Eq. 1's consequence: one straggler defines the whole run."""
+        uniform = Cluster(8, seed=3).run(1.0, 20).total_time()
+        straggler = Cluster(
+            8, speed_factors=[1.0] * 7 + [0.25], seed=3
+        ).run(1.0, 20).total_time()
+        assert straggler == pytest.approx(4.0 * uniform)

@@ -1,0 +1,94 @@
+"""Property-based tests for the strict-priority queue's conservation laws."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ExponentialService,
+    FixedService,
+    ParetoService,
+    PeriodicDaemon,
+    PoissonArrivals,
+    PriorityMachine,
+)
+
+workloads = st.fixed_dictionaries(
+    {
+        "rate": st.floats(min_value=0.01, max_value=0.8),
+        "service_mean": st.floats(min_value=0.05, max_value=0.8),
+        "kind": st.sampled_from(["fixed", "exp", "pareto"]),
+        "daemon": st.booleans(),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+        "work": st.floats(min_value=0.05, max_value=3.0),
+        "n_iter": st.integers(min_value=1, max_value=60),
+    }
+).filter(lambda cfg: cfg["rate"] * cfg["service_mean"] < 0.6)
+
+
+def build_machine(cfg):
+    if cfg["kind"] == "fixed":
+        service = FixedService(cfg["service_mean"])
+    elif cfg["kind"] == "exp":
+        service = ExponentialService(cfg["service_mean"])
+    else:
+        # Pareto with alpha=1.8 and matching mean.
+        beta = cfg["service_mean"] * 0.8 / 1.8
+        service = ParetoService(1.8, beta)
+    sources = [PoissonArrivals(cfg["rate"], service)]
+    if cfg["daemon"]:
+        sources.append(PeriodicDaemon(10.0, FixedService(0.05)))
+    return PriorityMachine(sources, rng=cfg["seed"])
+
+
+class TestConservationLaws:
+    @given(workloads)
+    @settings(max_examples=80, deadline=None)
+    def test_observed_time_at_least_work(self, cfg):
+        """Strict priority can only delay the application, never speed it."""
+        m = build_machine(cfg)
+        prev = 0.0
+        for _ in range(cfg["n_iter"]):
+            fin = m.serve_application(cfg["work"])
+            assert fin - prev >= cfg["work"] - 1e-9
+            prev = fin
+
+    @given(workloads)
+    @settings(max_examples=80, deadline=None)
+    def test_clock_monotone_and_work_conserved(self, cfg):
+        """Total service (P1 + application) never exceeds elapsed time."""
+        m = build_machine(cfg)
+        app_work = 0.0
+        last_clock = 0.0
+        for _ in range(cfg["n_iter"]):
+            m.serve_application(cfg["work"])
+            app_work += cfg["work"]
+            assert m.clock >= last_clock
+            last_clock = m.clock
+            assert app_work + m.p1_service_done <= m.clock + 1e-6
+
+    @given(workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_barrier_wait_never_moves_clock_past_target(self, cfg):
+        m = build_machine(cfg)
+        m.serve_application(cfg["work"])
+        target = m.clock + 5.0
+        m.advance_to(target)
+        assert m.clock == target
+
+    @given(workloads)
+    @settings(max_examples=60, deadline=None)
+    def test_backlog_nonnegative_always(self, cfg):
+        m = build_machine(cfg)
+        for _ in range(cfg["n_iter"]):
+            m.serve_application(cfg["work"])
+            assert m.backlog >= 0.0
+            m.advance_to(m.clock + 0.5)
+            assert m.backlog >= 0.0
+
+    @given(workloads)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_replay(self, cfg):
+        a, b = build_machine(cfg), build_machine(cfg)
+        for _ in range(cfg["n_iter"]):
+            assert a.serve_application(cfg["work"]) == b.serve_application(cfg["work"])

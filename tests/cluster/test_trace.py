@@ -1,0 +1,95 @@
+"""Unit tests for ClusterTrace metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterTrace
+
+
+def make_trace(times, rho=0.0):
+    times = np.asarray(times, dtype=float)
+    barriers = np.cumsum(times.max(axis=0))
+    return ClusterTrace(times=times, barrier_times=barriers, rho=rho)
+
+
+class TestMetrics:
+    def test_iteration_maxima(self):
+        tr = make_trace([[1, 2], [3, 1]])
+        assert list(tr.iteration_maxima()) == [3.0, 2.0]
+
+    def test_total_time_eq2(self):
+        tr = make_trace([[1, 2], [3, 1]])
+        assert tr.total_time() == 5.0
+
+    def test_ntt_eq23(self):
+        tr = make_trace([[2, 2]], rho=0.25)
+        assert tr.normalized_total_time() == pytest.approx(3.0)
+
+    def test_shapes(self):
+        tr = make_trace(np.ones((4, 7)))
+        assert tr.n_processors == 4
+        assert tr.n_iterations == 7
+
+    def test_flatten_pools_everything(self):
+        tr = make_trace([[1, 2], [3, 4]])
+        assert sorted(tr.flatten()) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_processor_series(self):
+        tr = make_trace([[1, 2], [3, 4]])
+        assert list(tr.processor_series(1)) == [3.0, 4.0]
+        with pytest.raises(IndexError):
+            tr.processor_series(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTrace(times=np.ones(5), barrier_times=np.ones(5))
+        with pytest.raises(ValueError):
+            ClusterTrace(times=np.ones((2, 5)), barrier_times=np.ones(4))
+
+
+class TestCorrelation:
+    def test_identical_rows_fully_correlated(self):
+        row = np.array([1.0, 5.0, 2.0, 7.0])
+        tr = make_trace(np.vstack([row, row, row]))
+        assert tr.mean_cross_correlation() == pytest.approx(1.0)
+
+    def test_anticorrelated_rows(self):
+        a = np.array([1.0, 2.0, 1.0, 2.0])
+        tr = make_trace(np.vstack([a, 3.0 - a]))
+        assert tr.mean_cross_correlation() == pytest.approx(-1.0)
+
+    def test_constant_rows_zero_correlation(self):
+        tr = make_trace(np.ones((3, 5)))
+        assert tr.mean_cross_correlation() == 0.0
+
+    def test_single_processor(self):
+        tr = make_trace(np.ones((1, 5)))
+        assert tr.mean_cross_correlation() == 0.0
+
+    def test_matrix_diagonal_is_one(self):
+        rng = np.random.default_rng(0)
+        tr = make_trace(rng.random((4, 50)) + 1.0)
+        corr = tr.correlation_matrix()
+        assert np.allclose(np.diag(corr), 1.0)
+        assert np.allclose(corr, corr.T)
+
+
+class TestSpikes:
+    def test_spike_counting(self):
+        base = np.ones(100)
+        base[10] = 3.0   # small spike (>2x median)
+        base[20] = 30.0  # big spike (>5x median)
+        tr = make_trace(base[None, :])
+        n_small, n_big = tr.spike_counts()
+        assert (n_small, n_big) == (1, 1)
+
+    def test_spike_thresholds_validated(self):
+        tr = make_trace(np.ones((1, 10)))
+        with pytest.raises(ValueError):
+            tr.spike_counts(small=5.0, big=2.0)
+
+    def test_summary_keys(self):
+        tr = make_trace(np.ones((2, 5)), rho=0.1)
+        s = tr.summary()
+        for key in ("total_time", "median_iteration", "mean_cross_correlation", "rho"):
+            assert key in s

@@ -1,0 +1,97 @@
+"""Unit tests for workload sources and service distributions."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ExponentialService,
+    FixedService,
+    ParetoService,
+    PeriodicDaemon,
+    PoissonArrivals,
+)
+
+
+class TestServiceDistributions:
+    def test_fixed(self, rng):
+        s = FixedService(0.5)
+        assert s.mean == 0.5
+        assert s.sample(rng) == 0.5
+
+    def test_exponential_mean(self):
+        s = ExponentialService(2.0)
+        rng = np.random.default_rng(0)
+        xs = np.array([s.sample(rng) for _ in range(50_000)])
+        assert xs.mean() == pytest.approx(2.0, rel=0.03)
+
+    def test_pareto_mean_and_floor(self):
+        s = ParetoService(2.5, 1.0)
+        assert s.mean == pytest.approx(2.5 / 1.5)
+        rng = np.random.default_rng(1)
+        xs = np.array([s.sample(rng) for _ in range(1000)])
+        assert np.all(xs >= 1.0)
+
+    def test_pareto_rejects_infinite_mean(self):
+        with pytest.raises(ValueError):
+            ParetoService(1.0, 1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedService(0.0)
+        with pytest.raises(ValueError):
+            ExponentialService(-1.0)
+
+
+class TestPoissonArrivals:
+    def test_load(self):
+        src = PoissonArrivals(0.5, FixedService(0.4))
+        assert src.load == pytest.approx(0.2)
+
+    def test_rejects_saturating_load(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(2.0, FixedService(0.6))
+
+    def test_stream_increasing_and_after_start(self):
+        src = PoissonArrivals(1.0, FixedService(0.1))
+        stream = src.stream(10.0, rng=0)
+        times = [next(stream)[0] for _ in range(100)]
+        assert times[0] >= 10.0
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_empirical_rate(self):
+        src = PoissonArrivals(2.0, FixedService(0.01))
+        stream = src.stream(0.0, rng=1)
+        times = [next(stream)[0] for _ in range(20_000)]
+        assert times[-1] == pytest.approx(20_000 / 2.0, rel=0.05)
+
+    def test_reproducible(self):
+        src = PoissonArrivals(1.0, ExponentialService(0.2))
+        a = [next(src.stream(0.0, rng=7)) for _ in range(1)]
+        b = [next(src.stream(0.0, rng=7)) for _ in range(1)]
+        assert a == b
+
+
+class TestPeriodicDaemon:
+    def test_lattice_arrivals(self):
+        d = PeriodicDaemon(10.0, FixedService(0.1), phase=3.0)
+        stream = d.stream(0.0, rng=0)
+        times = [next(stream)[0] for _ in range(4)]
+        assert times == [3.0, 13.0, 23.0, 33.0]
+
+    def test_start_mid_period(self):
+        d = PeriodicDaemon(10.0, FixedService(0.1))
+        stream = d.stream(25.0, rng=0)
+        assert next(stream)[0] == 30.0
+
+    def test_start_on_lattice_point(self):
+        d = PeriodicDaemon(10.0, FixedService(0.1))
+        stream = d.stream(20.0, rng=0)
+        assert next(stream)[0] == 20.0
+
+    def test_load(self):
+        d = PeriodicDaemon(10.0, FixedService(0.5))
+        assert d.load == pytest.approx(0.05)
+
+    def test_rejects_saturation(self):
+        with pytest.raises(ValueError):
+            PeriodicDaemon(1.0, FixedService(1.5))

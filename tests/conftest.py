@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import quadratic_problem
+from repro.space import FloatParameter, IntParameter, OrdinalParameter, ParameterSpace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def int_space() -> ParameterSpace:
+    """A 3-D integer space with mixed ranges/steps."""
+    return ParameterSpace(
+        [
+            IntParameter("a", 0, 10),
+            IntParameter("b", -5, 5),
+            IntParameter("c", 0, 100, step=10),
+        ]
+    )
+
+
+@pytest.fixture
+def mixed_space() -> ParameterSpace:
+    """Int + float + ordinal — exercises every parameter kind at once."""
+    return ParameterSpace(
+        [
+            IntParameter("i", 0, 8, step=2),
+            FloatParameter("f", -1.0, 1.0),
+            OrdinalParameter("o", [1, 2, 4, 8, 16]),
+        ]
+    )
+
+
+@pytest.fixture
+def quad3():
+    """The 3-D integer quadratic smoke-test problem."""
+    return quadratic_problem(3)

@@ -1,0 +1,83 @@
+"""Unit tests for the adaptive-K controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveSamplingController
+
+
+class TestConstruction:
+    def test_defaults(self):
+        c = AdaptiveSamplingController()
+        assert c.current_k == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSamplingController(k_initial=5, k_max=3)
+        with pytest.raises(ValueError):
+            AdaptiveSamplingController(low=0.5, high=0.1)
+        with pytest.raises(ValueError):
+            AdaptiveSamplingController(incumbent_window=1)
+
+
+class TestKAdjustment:
+    def test_noisy_batch_raises_k(self):
+        c = AdaptiveSamplingController(k_initial=2, high=0.1)
+        # Samples with a large (median - min)/min gap.
+        batch = np.array([[1.0, 3.0], [1.0, 2.5]])
+        assert c.observe_batch(batch) == 3
+
+    def test_quiet_batch_lowers_k(self):
+        c = AdaptiveSamplingController(k_initial=3, low=0.02)
+        batch = np.array([[1.0, 1.001], [2.0, 2.001]])
+        assert c.observe_batch(batch) == 2
+
+    def test_moderate_gap_holds_k(self):
+        c = AdaptiveSamplingController(k_initial=3, low=0.02, high=0.2)
+        batch = np.array([[1.0, 1.05]])  # 5% gap, inside the band
+        assert c.observe_batch(batch) == 3
+
+    def test_bounds_respected(self):
+        c = AdaptiveSamplingController(k_initial=1, k_min=1, k_max=2)
+        noisy = np.array([[1.0, 5.0, 9.0]])
+        for _ in range(5):
+            c.observe_batch(noisy)
+        assert c.current_k == 2  # capped
+        quiet = np.array([[1.0, 1.0001, 1.0002]])
+        for _ in range(5):
+            c.observe_batch(quiet)
+        assert c.current_k == 1  # floored
+
+    def test_requires_2d(self):
+        c = AdaptiveSamplingController()
+        with pytest.raises(ValueError):
+            c.observe_batch(np.ones(3))
+
+    def test_history_recorded(self):
+        c = AdaptiveSamplingController(k_initial=2)
+        c.observe_batch(np.array([[1.0, 3.0]]))
+        assert len(c.history) == 1
+
+
+class TestK1Fallback:
+    def test_single_sample_batch_uses_incumbent_history(self):
+        c = AdaptiveSamplingController(k_initial=1, high=0.1)
+        # K=1 batches carry no spread info on their own.
+        batch = np.ones((3, 1))
+        assert c.observe_batch(batch) == 1  # no incumbent info yet -> hold
+        # Feed noisy incumbent estimates: spread appears across visits.
+        for v in (1.0, 1.5, 2.5, 1.1):
+            c.observe_incumbent(v)
+        assert c.observe_batch(batch) == 2  # now it can see the noise
+
+    def test_quiet_incumbent_keeps_k1(self):
+        c = AdaptiveSamplingController(k_initial=1, low=0.02, high=0.1)
+        for v in (1.0, 1.0001, 1.0002, 1.0001):
+            c.observe_incumbent(v)
+        assert c.observe_batch(np.ones((2, 1))) == 1
+
+    def test_non_finite_incumbent_ignored(self):
+        c = AdaptiveSamplingController()
+        c.observe_incumbent(float("inf"))
+        c.observe_incumbent(float("nan"))
+        assert len(c._incumbent_estimates) == 0

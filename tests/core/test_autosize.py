@@ -1,0 +1,98 @@
+"""Unit tests for PRO's adaptive initial-simplex sizing (§3.2.3 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import quadratic_problem
+from repro.core.pro import ParallelRankOrdering, ProPhase
+from repro.space import IntParameter, ParameterSpace
+from tests.helpers import drive
+
+
+class TestAutoSizeProtocol:
+    def test_first_batch_is_union_of_candidates(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space, auto_size=True)
+        assert tuner.phase is ProPhase.AUTOSIZE
+        batch = tuner.ask()
+        # 4 candidate sizes x 2N vertices, minus overlaps.
+        assert len(batch) <= 4 * 2 * quad3.space.dimension
+        assert len(batch) >= 2 * quad3.space.dimension
+        keys = {tuple(p) for p in batch}
+        assert len(keys) == len(batch)  # deduplicated
+
+    def test_chosen_r_set_after_first_tell(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space, auto_size=True)
+        assert tuner.chosen_r is None
+        batch = tuner.ask()
+        tuner.tell([quad3(p) for p in batch])
+        assert tuner.chosen_r in (0.1, 0.2, 0.4, 0.8)
+        assert any(s.startswith("autosize:r=") for s in tuner.step_log)
+
+    def test_incompatible_with_initial_points(self, quad3):
+        with pytest.raises(ValueError):
+            ParallelRankOrdering(
+                quad3.space, auto_size=True, initial_points=[[0, 0, 0], [1, 1, 1]]
+            )
+
+    def test_needs_two_candidates(self, quad3):
+        with pytest.raises(ValueError):
+            ParallelRankOrdering(
+                quad3.space, auto_size=True, auto_size_candidates=(0.2,)
+            )
+
+    def test_best_point_before_init_is_center(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space, auto_size=True)
+        assert np.array_equal(tuner.best_point, quad3.space.center())
+
+
+class TestAutoSizeBehaviour:
+    def test_still_converges_to_optimum(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space, auto_size=True)
+        drive(tuner, quad3.objective)
+        assert tuner.converged
+        assert np.array_equal(tuner.best_point, quad3.optimum_point)
+
+    def test_avoids_collapsed_candidates_on_coarse_lattice(self):
+        """On a coarse lattice the small candidates collapse onto the centre;
+        auto-sizing must pick a size that still spans the space."""
+        space = ParameterSpace(
+            [IntParameter("a", 0, 100, step=25), IntParameter("b", 0, 100, step=25)]
+        )
+
+        def f(p):
+            return 1.0 + ((p[0] - 75) / 25) ** 2 + ((p[1] - 0) / 25) ** 2
+
+        tuner = ParallelRankOrdering(space, auto_size=True)
+        batch = tuner.ask()
+        tuner.tell([f(p) for p in batch])
+        # r = 0.1 gives b = 5 < half of step 25: collapsed, must not be chosen.
+        assert tuner.chosen_r is not None and tuner.chosen_r > 0.1
+        drive(tuner, f)
+        assert tuner.converged
+        assert tuple(tuner.best_point) == (75.0, 0.0)
+
+    def test_avoids_expensive_margins(self):
+        """When marginal configurations are catastrophically slow, the mean
+        vertex-cost score steers the choice away from huge simplexes."""
+        space = ParameterSpace([IntParameter("a", 0, 100), IntParameter("b", 0, 100)])
+        c = space.center()
+
+        def f(p):
+            dist = float(np.abs(p - c).max()) / 50.0  # 0 at centre, 1 at margin
+            return 1.0 + 100.0 * dist**4  # cliff near the margins
+
+        tuner = ParallelRankOrdering(space, auto_size=True)
+        batch = tuner.ask()
+        tuner.tell([f(p) for p in batch])
+        assert tuner.chosen_r is not None and tuner.chosen_r < 0.8
+
+    def test_fixed_r_records_chosen_r(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space, r=0.3)
+        assert tuner.chosen_r == 0.3
+
+    def test_works_with_minimal_shape(self, quad3):
+        tuner = ParallelRankOrdering(
+            quad3.space, auto_size=True, simplex_shape="minimal"
+        )
+        drive(tuner, quad3.objective)
+        assert tuner.converged

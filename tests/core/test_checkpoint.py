@@ -1,0 +1,101 @@
+"""Unit tests for PRO checkpoint/restore."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import quadratic_problem, rastrigin_problem
+from repro.core.pro import ParallelRankOrdering, ProPhase
+from tests.helpers import drive
+
+
+def replay(tuner, fn, steps):
+    """Drive a fixed number of ask/tell round trips."""
+    for _ in range(steps):
+        if tuner.converged:
+            break
+        batch = tuner.ask()
+        if not batch:
+            break
+        tuner.tell([fn(p) for p in batch])
+
+
+class TestRoundTrip:
+    def test_json_compatible(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        replay(tuner, quad3.objective, 4)
+        text = json.dumps(tuner.to_dict())
+        data = json.loads(text)
+        clone = ParallelRankOrdering.from_dict(quad3.space, data)
+        assert clone.phase is tuner.phase
+
+    @pytest.mark.parametrize("steps", [0, 1, 3, 7])
+    def test_restored_tuner_continues_identically(self, quad3, steps):
+        """Checkpoint mid-search: the clone and the original produce the
+        same future trajectory (determinism is seedless here — PRO itself
+        has no RNG)."""
+        a = ParallelRankOrdering(quad3.space)
+        replay(a, quad3.objective, steps)
+        b = ParallelRankOrdering.from_dict(quad3.space, a.to_dict())
+        for _ in range(50):
+            if a.converged or b.converged:
+                break
+            batch_a, batch_b = a.ask(), b.ask()
+            assert len(batch_a) == len(batch_b)
+            for p, q in zip(batch_a, batch_b):
+                assert np.array_equal(p, q)
+            vals = [quad3(p) for p in batch_a]
+            a.tell(vals)
+            b.tell(vals)
+        assert a.converged == b.converged
+        if a.converged:
+            assert np.array_equal(a.best_point, b.best_point)
+
+    def test_pending_batch_preserved(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        batch = tuner.ask()  # in flight
+        clone = ParallelRankOrdering.from_dict(quad3.space, tuner.to_dict())
+        assert clone.has_pending
+        clone.tell([quad3(p) for p in batch])  # accepted like the original
+        assert clone.initialized
+
+    def test_counters_preserved(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        replay(tuner, quad3.objective, 5)
+        clone = ParallelRankOrdering.from_dict(quad3.space, tuner.to_dict())
+        assert clone.n_evaluations == tuner.n_evaluations
+        assert clone.n_iterations == tuner.n_iterations
+        assert clone.step_log == tuner.step_log
+
+    def test_converged_state_preserved(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        drive(tuner, quad3.objective)
+        clone = ParallelRankOrdering.from_dict(quad3.space, tuner.to_dict())
+        assert clone.converged
+        assert np.array_equal(clone.best_point, tuner.best_point)
+        assert clone.ask() == []
+
+    def test_autosize_state_preserved(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space, auto_size=True)
+        clone = ParallelRankOrdering.from_dict(quad3.space, tuner.to_dict())
+        assert clone.phase is ProPhase.AUTOSIZE
+        batch = clone.ask()
+        clone.tell([quad3(p) for p in batch])
+        assert clone.chosen_r is not None
+
+    def test_variant_flags_preserved(self, quad3):
+        tuner = ParallelRankOrdering(
+            quad3.space, greedy_acceptance=True, eager_expansion=True
+        )
+        clone = ParallelRankOrdering.from_dict(quad3.space, tuner.to_dict())
+        assert clone.greedy_acceptance and clone.eager_expansion
+
+    def test_multimodal_restore_matches(self):
+        prob = rastrigin_problem(2)
+        a = ParallelRankOrdering(prob.space, r=0.4)
+        replay(a, prob.objective, 6)
+        b = ParallelRankOrdering.from_dict(prob.space, a.to_dict())
+        drive(a, prob.objective)
+        drive(b, prob.objective)
+        assert np.array_equal(a.best_point, b.best_point)

@@ -1,0 +1,82 @@
+"""Unit tests for initial simplex construction (§3.2.3, §6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.initial import axial_simplex, distinct_points, minimal_simplex
+from repro.space import IntParameter, ParameterSpace
+
+
+class TestAxialSimplex:
+    def test_has_2n_vertices(self, int_space):
+        pts = axial_simplex(int_space, r=0.4)
+        assert len(pts) == 2 * int_space.dimension
+
+    def test_all_admissible(self, int_space, mixed_space):
+        for space in (int_space, mixed_space):
+            for p in axial_simplex(space, r=0.3):
+                assert space.contains(p)
+
+    def test_centered_pairs(self):
+        space = ParameterSpace([IntParameter("a", 0, 100), IntParameter("b", 0, 100)])
+        pts = axial_simplex(space, r=0.4)
+        c = space.center()
+        # b_i = 0.2 * 100 = 20: vertices at c ± 20 on each axis.
+        offsets = sorted(tuple(p - c) for p in pts)
+        assert (20.0, 0.0) in offsets and (-20.0, 0.0) in offsets
+        assert (0.0, 20.0) in offsets and (0.0, -20.0) in offsets
+
+    def test_custom_center(self):
+        space = ParameterSpace([IntParameter("a", 0, 100)])
+        pts = axial_simplex(space, r=0.2, center=[30])
+        assert sorted(p[0] for p in pts) == [20.0, 40.0]
+
+    def test_inadmissible_center_rejected(self):
+        space = ParameterSpace([IntParameter("a", 0, 10, step=2)])
+        with pytest.raises(ValueError):
+            axial_simplex(space, center=[3])
+
+    def test_r_validation(self, int_space):
+        with pytest.raises(ValueError):
+            axial_simplex(int_space, r=0.0)
+        with pytest.raises(ValueError):
+            axial_simplex(int_space, r=3.0)
+
+    def test_tiny_r_collapses_on_coarse_lattice(self):
+        """The §6.1 small-r failure mode: projection folds steps onto c."""
+        space = ParameterSpace([IntParameter("a", 0, 100, step=50)])
+        pts = axial_simplex(space, r=0.05)  # b = 2.5 < half the step
+        assert distinct_points(pts) == 1
+        assert np.all(pts[0] == space.center())
+
+    def test_large_r_clips_at_bounds(self):
+        space = ParameterSpace([IntParameter("a", 0, 10)])
+        pts = axial_simplex(space, r=2.0)
+        assert sorted(p[0] for p in pts) == [0.0, 10.0]
+
+
+class TestMinimalSimplex:
+    def test_has_n_plus_1_vertices(self, int_space):
+        pts = minimal_simplex(int_space, r=0.4)
+        assert len(pts) == int_space.dimension + 1
+
+    def test_first_vertex_is_center(self, int_space):
+        pts = minimal_simplex(int_space, r=0.4)
+        assert np.array_equal(pts[0], int_space.center())
+
+    def test_positive_axial_steps(self):
+        space = ParameterSpace([IntParameter("a", 0, 100), IntParameter("b", 0, 100)])
+        pts = minimal_simplex(space, r=0.4)
+        c = space.center()
+        offsets = sorted(tuple(p - c) for p in pts[1:])
+        assert offsets == [(0.0, 20.0), (20.0, 0.0)]
+
+    def test_all_admissible(self, mixed_space):
+        for p in minimal_simplex(mixed_space, r=0.5):
+            assert mixed_space.contains(p)
+
+
+class TestDistinctPoints:
+    def test_counts_unique(self):
+        pts = [np.array([1.0, 2.0]), np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        assert distinct_points(pts) == 2

@@ -1,0 +1,130 @@
+"""Unit tests for Eq. 22 K-planning and online noise identification."""
+
+import numpy as np
+import pytest
+
+from repro.core.ksolver import KPlanner, identify_noise, required_samples
+from repro.variability import ParetoDistribution, ParetoNoise
+from repro.variability.twojob import pareto_beta_for
+
+
+class TestRequiredSamples:
+    def test_noise_free_needs_one(self):
+        assert required_samples(alpha=1.7, rho=0.0, f=1.0, gap=0.1, error=0.05) == 1
+
+    def test_k_sufficient_by_construction(self):
+        alpha, rho, f, gap, err = 1.7, 0.3, 2.0, 0.1, 0.02
+        k = required_samples(alpha=alpha, rho=rho, f=f, gap=gap, error=err)
+        beta = float(pareto_beta_for(f, alpha, rho))
+        d = ParetoDistribution(alpha, beta)
+        assert d.min_exceedance(k, gap) < err
+        if k > 1:
+            assert d.min_exceedance(k - 1, gap) >= err
+
+    def test_more_noise_needs_more_samples(self):
+        ks = [
+            required_samples(alpha=1.7, rho=r, f=1.0, gap=0.05, error=0.05)
+            for r in (0.1, 0.2, 0.3, 0.4)
+        ]
+        assert all(b >= a for a, b in zip(ks, ks[1:]))
+
+    def test_finer_gap_needs_more_samples(self):
+        k_coarse = required_samples(alpha=1.7, rho=0.3, f=1.0, gap=0.2, error=0.05)
+        k_fine = required_samples(alpha=1.7, rho=0.3, f=1.0, gap=0.02, error=0.05)
+        assert k_fine > k_coarse
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_samples(alpha=1.7, rho=0.3, f=1.0, gap=0.1, error=1.5)
+        with pytest.raises(ValueError):
+            required_samples(alpha=1.7, rho=0.3, f=-1.0, gap=0.1, error=0.05)
+        with pytest.raises(ValueError):
+            required_samples(alpha=1.7, rho=0.3, f=1.0, gap=0.0, error=0.05)
+
+
+class TestIdentifyNoise:
+    def _observations(self, f, rho, alpha, n, seed=0):
+        noise = ParetoNoise(rho=rho, alpha=alpha)
+        rng = np.random.default_rng(seed)
+        return noise.observe_batch(np.full(n, f), rng)
+
+    def test_recovers_rho_and_f(self):
+        f, rho, alpha = 2.0, 0.3, 1.7
+        y = self._observations(f, rho, alpha, 100_000)
+        ident = identify_noise(y, alpha=alpha)
+        assert ident.rho == pytest.approx(rho, abs=0.05)
+        assert ident.f == pytest.approx(f, rel=0.08)
+        assert not ident.alpha_estimated
+
+    def test_noise_free_identified_as_quiet(self):
+        ident = identify_noise(np.full(100, 3.0), alpha=1.7)
+        assert ident.rho == pytest.approx(0.0, abs=1e-9)
+        assert ident.f == pytest.approx(3.0)
+
+    def test_alpha_estimated_when_omitted(self):
+        y = self._observations(1.0, 0.3, 1.7, 200_000, seed=1)
+        ident = identify_noise(y, alpha=None)
+        assert ident.alpha_estimated
+        # Hill on y (not the pure noise) is biased, but should land in the
+        # heavy-tail region.
+        assert 1.0 < ident.alpha < 3.0
+
+    def test_beta_consistent_with_eq17(self):
+        y = self._observations(2.0, 0.25, 1.7, 50_000, seed=2)
+        ident = identify_noise(y, alpha=1.7)
+        expected = float(pareto_beta_for(ident.f, 1.7, ident.rho))
+        assert ident.beta == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            identify_noise(np.ones(3))
+        with pytest.raises(ValueError):
+            identify_noise(-np.ones(100), alpha=1.7)
+
+
+class TestKPlanner:
+    def test_plan_end_to_end(self):
+        noise = ParetoNoise(rho=0.3, alpha=1.7)
+        rng = np.random.default_rng(3)
+        y = noise.observe_batch(np.full(20_000, 1.5), rng)
+        planner = KPlanner(rel_gap=0.05, error=0.05, alpha=1.7)
+        k, ident = planner.plan(y)
+        assert k >= 2  # rho = 0.3 with a 5% gap needs real sampling
+        assert ident.rho == pytest.approx(0.3, abs=0.07)
+
+    def test_quiet_system_plans_one(self):
+        planner = KPlanner(alpha=1.7)
+        k, ident = planner.plan(np.full(50, 2.0))
+        assert k == 1
+
+    def test_k_max_cap(self):
+        noise = ParetoNoise(rho=0.45, alpha=1.7)
+        rng = np.random.default_rng(4)
+        y = noise.observe_batch(np.full(5_000, 1.0), rng)
+        planner = KPlanner(rel_gap=0.001, error=0.001, alpha=1.7, k_max=7)
+        k, _ = planner.plan(y)
+        assert k == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KPlanner(rel_gap=0.0)
+        with pytest.raises(ValueError):
+            KPlanner(error=0.0)
+        with pytest.raises(ValueError):
+            KPlanner(k_max=0)
+
+    def test_planned_k_actually_orders_correctly(self):
+        """The guarantee behind Eq. 22: with the planned K, two configs a
+        rel_gap apart are ordered correctly with high probability."""
+        rho, alpha = 0.3, 1.7
+        noise = ParetoNoise(rho=rho, alpha=alpha)
+        rng = np.random.default_rng(5)
+        f1 = 1.0
+        y_hist = noise.observe_batch(np.full(20_000, f1), rng)
+        planner = KPlanner(rel_gap=0.10, error=0.05, alpha=alpha)
+        k, _ = planner.plan(y_hist)
+        f2 = f1 * 1.10
+        trials = 4000
+        y1 = noise.observe_batch(np.full((trials, k), f1), rng).min(axis=1)
+        y2 = noise.observe_batch(np.full((trials, k), f2), rng).min(axis=1)
+        assert np.mean(y1 < y2) > 0.90

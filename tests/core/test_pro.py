@@ -1,0 +1,276 @@
+"""Unit tests for Parallel Rank Ordering (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import (
+    plateau_problem,
+    quadratic_problem,
+    rastrigin_problem,
+    rosenbrock_problem,
+)
+from repro.core.pro import ParallelRankOrdering, ProPhase
+from repro.space import IntParameter, ParameterSpace
+from tests.helpers import drive, is_lattice_local_minimum
+
+
+class TestProtocol:
+    def test_initial_ask_is_simplex(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        batch = tuner.ask()
+        assert len(batch) == 2 * quad3.space.dimension  # axial default
+        assert all(quad3.space.contains(p) for p in batch)
+
+    def test_minimal_shape(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space, simplex_shape="minimal")
+        assert len(tuner.ask()) == quad3.space.dimension + 1
+
+    def test_double_ask_rejected(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        tuner.ask()
+        with pytest.raises(RuntimeError):
+            tuner.ask()
+
+    def test_tell_without_ask_rejected(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        with pytest.raises(RuntimeError):
+            tuner.tell([1.0])
+
+    def test_tell_length_mismatch(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        tuner.ask()
+        with pytest.raises(ValueError):
+            tuner.tell([1.0])
+
+    def test_tell_rejects_non_finite(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        n = len(tuner.ask())
+        with pytest.raises(ValueError):
+            tuner.tell([float("nan")] * n)
+
+    def test_bad_shape_name(self, quad3):
+        with pytest.raises(ValueError):
+            ParallelRankOrdering(quad3.space, simplex_shape="blob")
+
+    def test_explicit_initial_points(self, quad3):
+        pts = [quad3.space.as_point([0, 0, 0]), quad3.space.as_point([1, 1, 1])]
+        tuner = ParallelRankOrdering(quad3.space, initial_points=pts)
+        batch = tuner.ask()
+        assert len(batch) == 2
+
+    def test_inadmissible_initial_points_rejected(self, quad3):
+        with pytest.raises(ValueError):
+            ParallelRankOrdering(
+                quad3.space, initial_points=[[0.5, 0, 0], [1, 1, 1]]
+            )
+
+    def test_converged_ask_empty(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        drive(tuner, quad3.objective)
+        assert tuner.converged
+        assert tuner.ask() == []
+
+    def test_best_before_init(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        assert tuner.best_value == float("inf")
+        assert quad3.space.contains(tuner.best_point)
+
+
+class TestPhaseMachine:
+    def test_reflection_points_follow_geometry(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        init = tuner.ask()
+        tuner.tell([quad3(p) for p in init])
+        assert tuner.phase is ProPhase.REFLECT
+        refl = tuner.ask()
+        v0 = tuner.simplex.best.point
+        for r, v in zip(refl, tuner.simplex.vertices[1:]):
+            expected = quad3.space.project(2 * v0 - v.point, v0)
+            assert np.array_equal(r, expected)
+
+    def test_shrink_after_failed_reflection(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        init = tuner.ask()
+        tuner.tell([quad3(p) for p in init])
+        refl = tuner.ask()
+        # Feed terrible reflection values: must shrink.
+        tuner.tell([1e6 + i for i in range(len(refl))])
+        assert tuner.phase is ProPhase.SHRINK
+        shr = tuner.ask()
+        assert len(shr) == len(refl)
+        tuner.tell([quad3(p) for p in shr])
+        assert "shrink" in tuner.step_log
+
+    def test_expansion_check_is_single_point(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        init = tuner.ask()
+        tuner.tell([quad3(p) for p in init])
+        refl = tuner.ask()
+        # Feed one excellent reflection: expansion check must follow.
+        vals = [1e6] * len(refl)
+        vals[2] = 0.01
+        tuner.tell(vals)
+        assert tuner.phase is ProPhase.EXPAND_CHECK
+        check = tuner.ask()
+        assert len(check) == 1
+
+    def test_expansion_accepted_when_check_improves(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        tuner.tell([quad3(p) for p in tuner.ask()])
+        n = len(tuner.ask())
+        vals = [1e6] * n
+        vals[0] = 0.5
+        tuner.tell(vals)
+        tuner.ask()
+        tuner.tell([0.1])  # check beats best reflection -> full expansion
+        assert tuner.phase is ProPhase.EXPAND
+        exp = tuner.ask()
+        assert len(exp) == n
+        tuner.tell([float(i) for i in range(n)])
+        assert "expand" in tuner.step_log
+
+    def test_reflection_accepted_when_check_fails(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        tuner.tell([quad3(p) for p in tuner.ask()])
+        n = len(tuner.ask())
+        vals = [1e6] * n
+        vals[0] = 0.5
+        tuner.tell(vals)
+        tuner.ask()
+        tuner.tell([0.9])  # worse than the best reflection (0.5)
+        assert "reflect" in tuner.step_log
+
+
+class TestConvergence:
+    def test_solves_quadratic_exactly(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        drive(tuner, quad3.objective)
+        assert tuner.converged
+        assert np.array_equal(tuner.best_point, quad3.optimum_point)
+        assert tuner.best_value == quad3.optimum_value
+
+    def test_final_point_is_certified_local_minimum(self):
+        prob = rastrigin_problem(2)
+        tuner = ParallelRankOrdering(prob.space, r=0.3)
+        drive(tuner, prob.objective)
+        assert tuner.converged
+        assert is_lattice_local_minimum(prob.space, prob.objective, tuner.best_point)
+
+    def test_plateau_terminates(self):
+        prob = plateau_problem(2)
+        tuner = ParallelRankOrdering(prob.space)
+        evals = drive(tuner, prob.objective, max_evaluations=20_000)
+        assert tuner.converged
+        assert evals < 20_000
+
+    def test_continuous_rosenbrock_improves(self):
+        prob = rosenbrock_problem()
+        tuner = ParallelRankOrdering(prob.space, r=0.4)
+        start_val = prob(prob.space.center())
+        drive(tuner, prob.objective, max_evaluations=4000)
+        assert tuner.best_value < start_val * 0.2
+
+    def test_collapsed_initial_simplex_recovers_via_probe(self):
+        """Tiny r on a coarse lattice collapses the simplex; the probe
+        restart must still find the optimum."""
+        space = ParameterSpace([IntParameter("a", 0, 20, step=5)])
+
+        def f(p):
+            return (p[0] - 15.0) ** 2 + 1.0
+
+        tuner = ParallelRankOrdering(space, r=0.01)
+        drive(tuner, f)
+        assert tuner.converged
+        assert tuner.best_point[0] == 15.0
+        assert tuner.n_restarts >= 1
+
+    def test_single_valued_space_converges_immediately(self):
+        space = ParameterSpace([IntParameter("a", 3, 3)])
+        tuner = ParallelRankOrdering(space)
+        drive(tuner, lambda p: 1.0)
+        assert tuner.converged
+        assert tuner.best_point[0] == 3.0
+
+    def test_mixed_space(self, mixed_space):
+        def f(p):
+            return float((p[0] - 4) ** 2 + (p[1] - 0.25) ** 2 + (p[2] - 4) ** 2 + 1)
+
+        tuner = ParallelRankOrdering(mixed_space, r=0.4)
+        drive(tuner, f, max_evaluations=5000)
+        assert tuner.converged
+        assert tuner.best_point[0] == 4.0
+        assert tuner.best_point[2] == 4.0
+        assert abs(tuner.best_point[1] - 0.25) < 0.2
+
+
+class TestVariants:
+    def test_greedy_acceptance_accepts_more_reflections(self, quad3):
+        def count_steps(greedy):
+            tuner = ParallelRankOrdering(quad3.space, greedy_acceptance=greedy)
+            drive(tuner, quad3.objective, max_evaluations=2000)
+            return tuner.step_log.count("reflect") + tuner.step_log.count("expand")
+
+        # Greedy acceptance uses a weaker threshold, so it accepts at least
+        # as many non-shrink moves on this convex problem.
+        assert count_steps(True) >= count_steps(False)
+
+    def test_eager_expansion_skips_check(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space, eager_expansion=True)
+        tuner.tell([quad3(p) for p in tuner.ask()])
+        n = len(tuner.ask())
+        vals = [1e6] * n
+        vals[0] = 0.5
+        tuner.tell(vals)
+        assert tuner.phase is ProPhase.EXPAND
+        assert len(tuner.ask()) == n
+
+    def test_eager_expansion_keeps_better_batch(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space, eager_expansion=True)
+        tuner.tell([quad3(p) for p in tuner.ask()])
+        n = len(tuner.ask())
+        refl_vals = [5.0] * n
+        refl_vals[0] = 0.5
+        tuner.tell(refl_vals)
+        exp = tuner.ask()
+        tuner.tell([10.0] * len(exp))  # expansions all worse
+        assert tuner.step_log[-1] == "reflect"
+
+    def test_eager_variant_still_converges(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space, eager_expansion=True)
+        drive(tuner, quad3.objective)
+        assert tuner.converged
+        assert quad3(tuner.best_point) <= quad3(quad3.space.center())
+
+    def test_greedy_acceptance_can_cycle_forever(self, quad3):
+        """The §3.2 justification for best-based acceptance: with the
+        Nelder–Mead-style better-than-worst rule, reflection (an involution
+        around v0) can ping-pong the simplex indefinitely — the simplex never
+        collapses and the tuner never converges."""
+        tuner = ParallelRankOrdering(quad3.space, greedy_acceptance=True)
+        drive(tuner, quad3.objective, max_evaluations=10_000)
+        assert not tuner.converged
+        assert tuner.step_log.count("shrink") == 0
+
+
+class TestBookkeeping:
+    def test_evaluation_count_matches(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        evals = drive(tuner, quad3.objective)
+        assert tuner.n_evaluations == evals
+
+    def test_step_log_starts_with_init(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        drive(tuner, quad3.objective)
+        assert tuner.step_log[0] == "init"
+        assert tuner.step_log[-1].startswith("converged")
+
+    def test_proposals_always_admissible(self):
+        prob = rastrigin_problem(3)
+        tuner = ParallelRankOrdering(prob.space, r=0.9)
+        while not tuner.converged:
+            batch = tuner.ask()
+            if not batch:
+                break
+            for p in batch:
+                assert prob.space.contains(p)
+            tuner.tell([prob(p) for p in batch])

@@ -1,0 +1,97 @@
+"""Property-based tests for the PRO tuner's invariants.
+
+Whatever the objective does (within finiteness), PRO must: only propose
+admissible points, keep its incumbent's estimate non-increasing, terminate
+on finite lattices, and — noise-free — certify genuine local minima.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pro import ParallelRankOrdering
+from repro.space import IntParameter, ParameterSpace
+from tests.helpers import drive, is_lattice_local_minimum
+
+spaces = st.lists(
+    st.tuples(
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=5),
+    ),
+    min_size=1,
+    max_size=3,
+).map(
+    lambda dims: ParameterSpace(
+        [
+            IntParameter(f"x{i}", lo, lo + width, step=step)
+            for i, (lo, width, step) in enumerate(dims)
+        ]
+    )
+)
+
+# Deterministic pseudo-random objectives: a seeded quadratic-plus-hash bowl.
+objective_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def make_objective(space, seed):
+    rng = np.random.default_rng(seed)
+    target = space.random_point(rng)
+    weights = rng.uniform(0.5, 2.0, space.dimension)
+    bumps = rng.uniform(0, 3.0, 97)
+
+    def f(p):
+        base = float(np.dot(weights, (p - target) ** 2))
+        h = int(np.abs(np.dot(p, np.arange(1, p.size + 1) * 7.0))) % 97
+        return 1.0 + base + float(bumps[h])
+
+    return f
+
+
+class TestProInvariants:
+    @given(spaces, objective_seeds, st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_terminates_and_certifies_local_minimum(self, space, seed, r):
+        f = make_objective(space, seed)
+        tuner = ParallelRankOrdering(space, r=r)
+        drive(tuner, f, max_evaluations=50_000)
+        assert tuner.converged
+        assert is_lattice_local_minimum(space, f, tuner.best_point)
+
+    @given(spaces, objective_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_incumbent_estimate_never_increases(self, space, seed):
+        f = make_objective(space, seed)
+        tuner = ParallelRankOrdering(space, r=0.4)
+        last = float("inf")
+        while not tuner.converged:
+            batch = tuner.ask()
+            if not batch:
+                break
+            tuner.tell([f(p) for p in batch])
+            assert tuner.best_value <= last + 1e-12
+            last = tuner.best_value
+
+    @given(spaces, objective_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_all_proposals_admissible(self, space, seed):
+        f = make_objective(space, seed)
+        tuner = ParallelRankOrdering(space, r=0.7)
+        for _ in range(500):
+            if tuner.converged:
+                break
+            batch = tuner.ask()
+            if not batch:
+                break
+            assert all(space.contains(p) for p in batch)
+            tuner.tell([f(p) for p in batch])
+
+    @given(spaces, objective_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_best_point_matches_best_value(self, space, seed):
+        """The stored incumbent estimate equals the objective at the
+        incumbent point (noise-free evaluation, values are never invented)."""
+        f = make_objective(space, seed)
+        tuner = ParallelRankOrdering(space, r=0.4)
+        drive(tuner, f, max_evaluations=50_000)
+        assert tuner.best_value == f(tuner.best_point)

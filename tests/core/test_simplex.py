@@ -1,0 +1,147 @@
+"""Unit tests for simplex geometry and the Vertex/Simplex containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.simplex import Simplex, Vertex, affine_rank, expand, reflect, shrink
+
+
+class TestTransforms:
+    """Fig. 2's identities."""
+
+    def test_reflection(self):
+        v0, vj = np.array([1.0, 1.0]), np.array([3.0, 2.0])
+        assert np.allclose(reflect(v0, vj), [-1.0, 0.0])
+
+    def test_expansion(self):
+        v0, vj = np.array([1.0, 1.0]), np.array([3.0, 2.0])
+        assert np.allclose(expand(v0, vj), [-3.0, -1.0])
+
+    def test_shrink(self):
+        v0, vj = np.array([1.0, 1.0]), np.array([3.0, 2.0])
+        assert np.allclose(shrink(v0, vj), [2.0, 1.5])
+
+    def test_reflect_is_involution(self):
+        v0, vj = np.array([0.5, -2.0]), np.array([3.0, 2.0])
+        assert np.allclose(reflect(v0, reflect(v0, vj)), vj)
+
+    def test_expansion_is_reflection_doubled(self):
+        v0, vj = np.array([1.0, 0.0]), np.array([2.0, 5.0])
+        r = reflect(v0, vj)
+        assert np.allclose(expand(v0, vj) - v0, 2.0 * (r - v0))
+
+    def test_fixed_point_v0(self):
+        v0 = np.array([2.0, 3.0])
+        for fn in (reflect, expand, shrink):
+            assert np.allclose(fn(v0, v0), v0)
+
+
+class TestAffineRank:
+    def test_full_rank_triangle(self):
+        pts = [np.array([0.0, 0.0]), np.array([1.0, 0.0]), np.array([0.0, 1.0])]
+        assert affine_rank(pts) == 2
+
+    def test_collinear_degenerate(self):
+        pts = [np.array([0.0, 0.0]), np.array([1.0, 1.0]), np.array([2.0, 2.0])]
+        assert affine_rank(pts) == 1
+
+    def test_coincident_points(self):
+        pts = [np.array([1.0, 1.0])] * 3
+        assert affine_rank(pts) == 0
+
+    def test_empty_and_singleton(self):
+        assert affine_rank([]) == 0
+        assert affine_rank([np.array([1.0, 2.0])]) == 0
+
+
+class TestVertex:
+    def test_copies_input(self):
+        p = np.array([1.0, 2.0])
+        v = Vertex(p, 3.0)
+        p[0] = 99.0
+        assert v.point[0] == 1.0
+
+    def test_rejects_non_finite_value(self):
+        with pytest.raises(ValueError):
+            Vertex(np.array([1.0]), float("nan"))
+
+    def test_rejects_2d_point(self):
+        with pytest.raises(ValueError):
+            Vertex(np.ones((2, 2)), 1.0)
+
+
+class TestSimplex:
+    def make(self, values):
+        return Simplex(
+            [Vertex(np.array([float(i), 0.0]), v) for i, v in enumerate(values)]
+        )
+
+    def test_ordering_on_construction(self):
+        s = self.make([3.0, 1.0, 2.0])
+        assert list(s.values()) == [1.0, 2.0, 3.0]
+        assert s.best.value == 1.0
+        assert s.worst.value == 3.0
+
+    def test_stable_ordering_on_ties(self):
+        s = Simplex(
+            [
+                Vertex(np.array([0.0]), 1.0),
+                Vertex(np.array([1.0]), 1.0),
+                Vertex(np.array([2.0]), 0.5),
+            ]
+        )
+        assert s.best.point[0] == 2.0
+        # Tied vertices keep insertion order (stable sort).
+        assert s.vertices[1].point[0] == 0.0
+
+    def test_rejects_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            Simplex([Vertex(np.array([0.0]), 1.0)])
+
+    def test_rejects_mixed_dimensions(self):
+        with pytest.raises(ValueError):
+            Simplex([Vertex(np.array([0.0]), 1.0), Vertex(np.array([0.0, 1.0]), 2.0)])
+
+    def test_n_moving(self):
+        assert self.make([1, 2, 3]).n_moving == 2
+
+    def test_transform_point_lists(self):
+        s = self.make([1.0, 2.0, 3.0])
+        v0 = s.best.point
+        refl = s.reflection_points()
+        assert len(refl) == 2
+        assert np.allclose(refl[0], reflect(v0, s.vertices[1].point))
+
+    def test_replace_moving_keeps_best(self):
+        s = self.make([1.0, 2.0, 3.0])
+        new = [Vertex(np.array([9.0, 9.0]), 0.5), Vertex(np.array([8.0, 8.0]), 4.0)]
+        s.replace_moving(new)
+        assert s.best.value == 0.5  # reordered: new better vertex is best
+        assert s.n_vertices == 3
+
+    def test_replace_moving_wrong_count(self):
+        s = self.make([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            s.replace_moving([Vertex(np.array([0.0, 0.0]), 1.0)])
+
+    def test_diameter(self):
+        s = self.make([1.0, 2.0, 3.0])  # points (0,0), (1,0), (2,0)
+        assert s.diameter() == pytest.approx(2.0)
+
+    def test_degeneracy_detection(self):
+        s = self.make([1.0, 2.0, 3.0])  # collinear in 2-D
+        assert s.is_degenerate()
+        s2 = Simplex(
+            [
+                Vertex(np.array([0.0, 0.0]), 1.0),
+                Vertex(np.array([1.0, 0.0]), 2.0),
+                Vertex(np.array([0.0, 1.0]), 3.0),
+            ]
+        )
+        assert not s2.is_degenerate()
+
+    def test_copy_is_deep(self):
+        s = self.make([1.0, 2.0, 3.0])
+        c = s.copy()
+        c.vertices[0].value = -1.0
+        assert s.best.value == 1.0

@@ -1,0 +1,138 @@
+"""Unit tests for Sequential Rank Ordering (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import quadratic_problem, rastrigin_problem
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sro import SequentialRankOrdering, SroPhase
+from repro.space import IntParameter, ParameterSpace
+from tests.helpers import drive, is_lattice_local_minimum
+
+
+class TestSequentiality:
+    def test_every_ask_is_single_point(self, quad3):
+        tuner = SequentialRankOrdering(quad3.space)
+        for _ in range(200):
+            if tuner.converged:
+                break
+            batch = tuner.ask()
+            if not batch:
+                break
+            assert len(batch) == 1
+            tuner.tell([quad3(batch[0])])
+
+    def test_init_evaluates_all_vertices_sequentially(self, quad3):
+        tuner = SequentialRankOrdering(quad3.space)
+        n_init = 2 * quad3.space.dimension
+        for i in range(n_init):
+            assert tuner.phase is SroPhase.INIT
+            batch = tuner.ask()
+            tuner.tell([quad3(batch[0])])
+        assert tuner.phase is not SroPhase.INIT
+        assert tuner.initialized
+
+
+class TestAlgorithmSteps:
+    def _init(self, tuner, fn):
+        while tuner.phase is SroPhase.INIT:
+            tuner.tell([fn(tuner.ask()[0])])
+
+    def test_reflection_check_uses_worst_vertex(self, quad3):
+        tuner = SequentialRankOrdering(quad3.space)
+        self._init(tuner, quad3.objective)
+        assert tuner.phase is SroPhase.REFLECT_CHECK
+        point = tuner.ask()[0]
+        v0 = tuner.simplex.best.point
+        vn = tuner.simplex.worst.point
+        expected = quad3.space.project(2 * v0 - vn, v0)
+        assert np.array_equal(point, expected)
+
+    def test_failed_reflection_triggers_shrink_steps(self, quad3):
+        tuner = SequentialRankOrdering(quad3.space)
+        self._init(tuner, quad3.objective)
+        tuner.ask()
+        tuner.tell([1e9])  # reflection much worse than best
+        assert tuner.phase is SroPhase.STEP
+        n = tuner.simplex.n_moving
+        for _ in range(n):
+            tuner.tell([quad3(tuner.ask()[0])])
+        assert tuner.step_log[-1] == "shrink"
+
+    def test_successful_reflection_then_expansion_check(self, quad3):
+        tuner = SequentialRankOrdering(quad3.space)
+        self._init(tuner, quad3.objective)
+        tuner.ask()
+        tuner.tell([tuner.simplex.best.value - 1.0])
+        assert tuner.phase is SroPhase.EXPAND_CHECK
+
+    def test_expansion_accepted(self, quad3):
+        tuner = SequentialRankOrdering(quad3.space)
+        self._init(tuner, quad3.objective)
+        tuner.ask()
+        best = tuner.simplex.best.value
+        tuner.tell([best - 1.0])
+        tuner.ask()
+        tuner.tell([best - 2.0])  # expansion beats reflection
+        assert tuner.phase is SroPhase.STEP
+        n = tuner.simplex.n_moving
+        for _ in range(n):
+            tuner.tell([quad3(tuner.ask()[0])])
+        assert tuner.step_log[-1] == "expand"
+
+    def test_reflection_steps_when_expansion_fails(self, quad3):
+        tuner = SequentialRankOrdering(quad3.space)
+        self._init(tuner, quad3.objective)
+        tuner.ask()
+        best = tuner.simplex.best.value
+        tuner.tell([best - 1.0])
+        tuner.ask()
+        tuner.tell([best + 10.0])  # expansion check fails
+        n = tuner.simplex.n_moving
+        for _ in range(n):
+            tuner.tell([quad3(tuner.ask()[0])])
+        assert tuner.step_log[-1] == "reflect"
+
+
+class TestConvergence:
+    def test_solves_quadratic(self, quad3):
+        tuner = SequentialRankOrdering(quad3.space)
+        drive(tuner, quad3.objective)
+        assert tuner.converged
+        assert np.array_equal(tuner.best_point, quad3.optimum_point)
+
+    def test_certified_local_minimum_on_rastrigin(self):
+        prob = rastrigin_problem(2)
+        tuner = SequentialRankOrdering(prob.space, r=0.3)
+        drive(tuner, prob.objective)
+        assert tuner.converged
+        assert is_lattice_local_minimum(prob.space, prob.objective, tuner.best_point)
+
+    def test_probe_restart_on_collapsed_init(self):
+        space = ParameterSpace([IntParameter("a", 0, 20, step=5)])
+        tuner = SequentialRankOrdering(space, r=0.01)
+        drive(tuner, lambda p: (p[0] - 15.0) ** 2 + 1.0)
+        assert tuner.converged
+        assert tuner.best_point[0] == 15.0
+
+    def test_minimal_shape_supported(self, quad3):
+        tuner = SequentialRankOrdering(quad3.space, simplex_shape="minimal")
+        drive(tuner, quad3.objective)
+        assert tuner.converged
+
+
+class TestAgainstPro:
+    def test_same_final_quality_noise_free(self, quad3):
+        """SRO and PRO certify local minima; on a convex lattice problem both
+        must land on the global optimum."""
+        sro = SequentialRankOrdering(quad3.space)
+        pro = ParallelRankOrdering(quad3.space)
+        drive(sro, quad3.objective)
+        drive(pro, quad3.objective)
+        assert np.array_equal(sro.best_point, pro.best_point)
+
+    def test_sro_needs_no_more_evals_than_budgeted(self, quad3):
+        tuner = SequentialRankOrdering(quad3.space)
+        evals = drive(tuner, quad3.objective, max_evaluations=5000)
+        assert tuner.converged
+        assert evals == tuner.n_evaluations

@@ -1,0 +1,65 @@
+"""Unit tests for the convergence probe (§3.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stopping import ConvergenceProbe
+from repro.space import IntParameter, ParameterSpace
+
+
+class TestCollapseDetection:
+    def test_collapsed(self, int_space):
+        probe = ConvergenceProbe(int_space)
+        pts = [int_space.as_point([1, 1, 10])] * 3
+        assert probe.simplex_collapsed(pts)
+
+    def test_not_collapsed(self, int_space):
+        probe = ConvergenceProbe(int_space)
+        assert not probe.simplex_collapsed([[1, 1, 10], [2, 1, 10]])
+
+
+class TestProbePoints:
+    def test_interior_full_certificate(self, int_space):
+        probe = ConvergenceProbe(int_space)
+        pts = probe.probe_points(int_space.as_point([5, 0, 50]))
+        assert len(pts) == 2 * int_space.dimension
+
+    def test_boundary_directions_skipped(self, int_space):
+        probe = ConvergenceProbe(int_space)
+        pts = probe.probe_points(int_space.as_point([0, -5, 0]))
+        assert len(pts) == int_space.dimension
+
+
+class TestVerdict:
+    def test_local_minimum_when_no_probe_better(self):
+        assert ConvergenceProbe.is_local_minimum(1.0, [1.5, 2.0, 1.0])
+
+    def test_not_local_minimum_when_probe_strictly_better(self):
+        assert not ConvergenceProbe.is_local_minimum(1.0, [0.99, 2.0])
+
+    def test_empty_probes_trivially_minimum(self):
+        assert ConvergenceProbe.is_local_minimum(1.0, [])
+
+    def test_tie_counts_as_minimum(self):
+        """Strictness: equal-valued neighbours do not disqualify v0."""
+        assert ConvergenceProbe.is_local_minimum(1.0, [1.0, 1.0])
+
+
+class TestCertificateAgainstBruteForce:
+    def test_certificate_matches_exhaustive_check(self):
+        """On a small lattice, the probe verdict equals brute-force local
+        minimality under axial adjacency."""
+        space = ParameterSpace([IntParameter("a", 0, 6), IntParameter("b", 0, 6)])
+        probe = ConvergenceProbe(space)
+
+        def f(p):
+            a, b = p
+            return (a - 2) ** 2 + (b - 4) ** 2 + 3.0 * ((a + b) % 3 == 0)
+
+        for pt in space.grid():
+            probes = probe.probe_points(pt)
+            verdict = ConvergenceProbe.is_local_minimum(
+                f(pt), [f(q) for q in probes]
+            )
+            brute = all(f(q) >= f(pt) for q in probes)
+            assert verdict == brute

@@ -1,0 +1,47 @@
+"""Unit tests for the table/series formatting helpers."""
+
+import pytest
+
+from repro.experiments._fmt import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["long-name", 22.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # perfectly rectangular
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[0.123456]], float_fmt="{:.1f}")
+        assert "0.1" in out
+
+    def test_non_floats_stringified(self):
+        out = format_table(["a", "b"], [[1, True]])
+        assert "1" in out and "True" in out
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0].strip() == "a"
+
+
+class TestFormatSeries:
+    def test_wraps_lines(self):
+        out = format_series("xs", list(range(25)), per_line=10)
+        body = out.splitlines()
+        assert body[0] == "xs (n=25):"
+        assert len(body) == 4  # header + 3 wrapped chunks
+
+    def test_values_rendered(self):
+        out = format_series("v", [1.23456])
+        assert "1.235" in out

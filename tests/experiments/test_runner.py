@@ -1,0 +1,94 @@
+"""Unit tests for the paired-trials sweep runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import SamplingPlan
+from repro.experiments.runner import run_sweep
+from repro.harmony.session import TuningSession
+from repro.variability import ParetoNoise
+
+
+def make_cell(problem, k, noise=None):
+    def build(seed: int) -> TuningSession:
+        tuner = ParallelRankOrdering(problem.space)
+        return TuningSession(
+            tuner, problem.objective, noise=noise, budget=60,
+            plan=SamplingPlan(k), rng=seed,
+        )
+
+    return build
+
+
+class TestRunSweep:
+    def test_basic_aggregation(self, quad3):
+        sweep = run_sweep(
+            {"k1": make_cell(quad3, 1), "k3": make_cell(quad3, 3)},
+            trials=4,
+            rng=0,
+        )
+        assert sweep.names == ("k1", "k3")
+        assert sweep["k1"].trials == 4
+        assert sweep["k1"].ntt_mean > 0
+
+    def test_paired_seeds_shared_across_cells(self, quad3):
+        noise = ParetoNoise(rho=0.2)
+        sweep = run_sweep(
+            {"a": make_cell(quad3, 1, noise), "b": make_cell(quad3, 1, noise)},
+            trials=3,
+            rng=1,
+        )
+        # Identical factories + paired seeds => identical aggregates.
+        assert sweep["a"].ntt_mean == sweep["b"].ntt_mean
+
+    def test_reproducible(self, quad3):
+        def run():
+            return run_sweep(
+                {"c": make_cell(quad3, 1, ParetoNoise(rho=0.3))}, trials=3, rng=7
+            )
+
+        assert run()["c"].ntt_mean == run()["c"].ntt_mean
+
+    def test_best_by_ntt(self, quad3):
+        sweep = run_sweep(
+            {"k1": make_cell(quad3, 1), "k5": make_cell(quad3, 5)},
+            trials=2,
+            rng=2,
+        )
+        # Noise-free: extra samples are pure overhead, K=1 wins.
+        assert sweep.best_by_ntt().name == "k1"
+
+    def test_collect_hook(self, quad3):
+        seen = []
+        run_sweep(
+            {"c": make_cell(quad3, 1)}, trials=3, rng=3, collect=seen.append
+        )
+        assert len(seen) == 3
+
+    def test_converged_fraction(self, quad3):
+        sweep = run_sweep({"c": make_cell(quad3, 1)}, trials=2, rng=4)
+        assert sweep["c"].converged_fraction == 1.0
+
+    def test_to_dict_json_safe(self, quad3):
+        import json
+
+        sweep = run_sweep({"c": make_cell(quad3, 1)}, trials=2, rng=5)
+        json.dumps(sweep.to_dict())
+
+    def test_validation(self, quad3):
+        with pytest.raises(ValueError):
+            run_sweep({}, trials=2)
+        with pytest.raises(ValueError):
+            run_sweep({"c": make_cell(quad3, 1)}, trials=0)
+        with pytest.raises(ValueError):
+            run_sweep(
+                [("dup", make_cell(quad3, 1)), ("dup", make_cell(quad3, 1))],
+                trials=1,
+            )
+        with pytest.raises(KeyError):
+            run_sweep({"c": make_cell(quad3, 1)}, trials=1)["nope"]
+
+    def test_rejects_non_session_factory(self, quad3):
+        with pytest.raises(TypeError):
+            run_sweep({"bad": lambda seed: "not a session"}, trials=1)

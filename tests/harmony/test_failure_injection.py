@@ -1,0 +1,143 @@
+"""Failure-injection tests: broken substrates must fail loudly, crashed
+clients must not wedge the tuning service."""
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import SamplingPlan
+from repro.harmony.evaluator import Evaluator
+from repro.harmony.server import TuningServer
+from repro.harmony.session import TuningSession
+from repro.space import IntParameter, ParameterSpace
+from repro.space.serialize import space_to_spec
+
+
+class BrokenEvaluator(Evaluator):
+    """Configurable misbehaviour for injection tests."""
+
+    rho = 0.0
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+
+    def true_cost(self, point):
+        return 1.0
+
+    def observe_wave(self, points, rng):
+        n = len(points)
+        if self.mode == "nan":
+            return np.full(n, np.nan), 1.0
+        if self.mode == "negative":
+            return np.full(n, -1.0), 1.0
+        if self.mode == "wrong_shape":
+            return np.ones(n + 3), 1.0
+        if self.mode == "bad_barrier":
+            return np.full(n, 5.0), 1.0  # barrier below the wave max
+        if self.mode == "raises":
+            raise OSError("substrate went away")
+        raise AssertionError(self.mode)
+
+
+class TestSessionFailureModes:
+    @pytest.mark.parametrize("mode", ["nan", "negative", "wrong_shape", "bad_barrier"])
+    def test_invalid_observations_raise_runtime_error(self, quad3, mode):
+        session = TuningSession(
+            ParallelRankOrdering(quad3.space), BrokenEvaluator(mode), budget=10, rng=0
+        )
+        with pytest.raises(RuntimeError, match="evaluator returned"):
+            session.run()
+
+    def test_substrate_exception_propagates(self, quad3):
+        session = TuningSession(
+            ParallelRankOrdering(quad3.space), BrokenEvaluator("raises"), budget=10,
+            rng=0,
+        )
+        with pytest.raises(OSError, match="substrate went away"):
+            session.run()
+
+    def test_objective_raising_propagates(self, quad3):
+        def bad_objective(p):
+            raise ZeroDivisionError("bug in the cost model")
+
+        session = TuningSession(
+            ParallelRankOrdering(quad3.space), bad_objective, budget=10, rng=0
+        )
+        with pytest.raises(ZeroDivisionError):
+            session.run()
+
+    def test_nan_objective_raises(self, quad3):
+        session = TuningSession(
+            ParallelRankOrdering(quad3.space), lambda p: float("nan"), budget=10,
+            rng=0,
+        )
+        with pytest.raises(RuntimeError, match="evaluator returned"):
+            session.run()
+
+
+class TestServerCrashRecovery:
+    def _server(self):
+        space = ParameterSpace([IntParameter("a", -5, 5), IntParameter("b", -5, 5)])
+        server = TuningServer(
+            lambda s: ParallelRankOrdering(s), space=space, plan=SamplingPlan(1)
+        )
+        server.handle({"op": "register"})
+        return server
+
+    @staticmethod
+    def _f(point):
+        a, b = point
+        return 1.0 + a * a + b * b
+
+    def test_crashed_client_wedges_batch_until_requeue(self):
+        server = self._server()
+        # "Crash": fetch every outstanding assignment and never report.
+        tokens = []
+        while True:
+            resp = server.handle({"op": "fetch", "client_id": 0})
+            if resp["token"] == -1:
+                break
+            tokens.append(resp["token"])
+        assert tokens  # the whole batch is now in flight
+        # Without recovery every further fetch is an exploit assignment.
+        assert server.handle({"op": "fetch", "client_id": 0})["token"] == -1
+        # Requeue clears the in-flight bookkeeping; work is handed out again.
+        resp = server.handle({"op": "requeue"})
+        assert resp["ok"] and resp["requeued"] == len(tokens)
+        assert server.handle({"op": "fetch", "client_id": 0})["token"] >= 0
+
+    def test_tuning_completes_after_crash_and_requeue(self):
+        server = self._server()
+        # One full batch of assignments is lost to a crashed client.
+        while server.handle({"op": "fetch", "client_id": 0})["token"] >= 0:
+            pass
+        server.handle({"op": "requeue"})
+        for step in range(300):
+            resp = server.handle({"op": "fetch", "client_id": 0})
+            point = np.asarray(resp["point"])
+            server.handle(
+                {"op": "report", "client_id": 0, "token": resp["token"],
+                 "time": self._f(point), "step": step}
+            )
+        best = server.handle({"op": "best"})
+        assert best["converged"]
+        assert best["point"] == [0.0, 0.0]
+
+    def test_late_report_after_requeue_is_stale_but_ok(self):
+        server = self._server()
+        first = server.handle({"op": "fetch", "client_id": 0})
+        # Complete the whole batch through requeue + fresh assignments.
+        server.handle({"op": "requeue"})
+        for step in range(200):
+            resp = server.handle({"op": "fetch", "client_id": 0})
+            point = np.asarray(resp["point"])
+            server.handle(
+                {"op": "report", "client_id": 0, "token": resp["token"],
+                 "time": self._f(point), "step": step}
+            )
+        # The original (pre-crash) report finally arrives: must not error.
+        late = server.handle(
+            {"op": "report", "client_id": 0, "token": first["token"],
+             "time": 3.0, "step": 999}
+        )
+        assert late["ok"]

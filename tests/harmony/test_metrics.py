@@ -1,0 +1,102 @@
+"""Unit tests for SessionResult metrics."""
+
+import numpy as np
+import pytest
+
+from repro.harmony.metrics import SessionResult, StepKind
+
+
+def make_result(times, kinds=None, rho=0.0, converged_at=None):
+    times = np.asarray(times, dtype=float)
+    if kinds is None:
+        kinds = tuple(StepKind.EVALUATE for _ in times)
+    return SessionResult(
+        step_times=times,
+        step_kinds=tuple(kinds),
+        incumbent_true_costs=np.full(times.size, 1.0),
+        best_point=np.array([1.0]),
+        best_estimate=1.0,
+        best_true_cost=1.0,
+        rho=rho,
+        n_measurements=int(times.size),
+        n_evaluations=int(times.size),
+        converged_at=converged_at,
+        tuner_name="test",
+    )
+
+
+class TestMetrics:
+    def test_total_time(self):
+        r = make_result([1.0, 2.0, 3.0])
+        assert r.total_time() == 6.0
+
+    def test_ntt(self):
+        r = make_result([1.0, 1.0], rho=0.5)
+        assert r.normalized_total_time() == 1.0
+
+    def test_cumulative(self):
+        r = make_result([1.0, 2.0, 3.0])
+        assert list(r.cumulative_times()) == [1.0, 3.0, 6.0]
+
+    def test_budget(self):
+        assert make_result([1.0] * 7).budget == 7
+
+    def test_exploit_fraction(self):
+        kinds = [StepKind.EVALUATE, StepKind.EXPLOIT, StepKind.EXPLOIT, StepKind.EVALUATE]
+        r = make_result([1.0] * 4, kinds=kinds)
+        assert r.exploit_fraction() == 0.5
+
+    def test_summary_keys(self):
+        s = make_result([1.0]).summary()
+        for key in ("tuner", "total_time", "ntt", "converged_at"):
+            assert key in s
+
+
+class TestValidation:
+    def test_rejects_mismatched_kinds(self):
+        with pytest.raises(ValueError):
+            SessionResult(
+                step_times=np.ones(3),
+                step_kinds=(StepKind.EVALUATE,),
+                incumbent_true_costs=np.ones(3),
+                best_point=np.array([1.0]),
+                best_estimate=1.0,
+                best_true_cost=1.0,
+                rho=0.0,
+                n_measurements=3,
+                n_evaluations=3,
+                converged_at=None,
+                tuner_name="t",
+            )
+
+    def test_rejects_mismatched_incumbent(self):
+        with pytest.raises(ValueError):
+            SessionResult(
+                step_times=np.ones(3),
+                step_kinds=tuple([StepKind.EVALUATE] * 3),
+                incumbent_true_costs=np.ones(2),
+                best_point=np.array([1.0]),
+                best_estimate=1.0,
+                best_true_cost=1.0,
+                rho=0.0,
+                n_measurements=3,
+                n_evaluations=3,
+                converged_at=None,
+                tuner_name="t",
+            )
+
+    def test_rejects_2d_times(self):
+        with pytest.raises(ValueError):
+            SessionResult(
+                step_times=np.ones((2, 2)),
+                step_kinds=tuple([StepKind.EVALUATE] * 4),
+                incumbent_true_costs=np.ones((2, 2)),
+                best_point=np.array([1.0]),
+                best_estimate=1.0,
+                best_true_cost=1.0,
+                rho=0.0,
+                n_measurements=4,
+                n_evaluations=4,
+                converged_at=None,
+                tuner_name="t",
+            )

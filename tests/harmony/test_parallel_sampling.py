@@ -1,0 +1,139 @@
+"""Unit tests for §5.2's parallel multi-sampling discipline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import MinEstimator, SamplingPlan
+from repro.harmony.session import TuningSession
+from repro.search.random_search import RandomSearch
+from repro.variability import ParetoNoise
+
+
+class TestCostAccounting:
+    def test_free_sampling_when_capacity_allows(self, quad3):
+        """n·K <= P: a K-sampled batch costs the same steps as K=1."""
+        def batches_done(k, parallel):
+            tuner = RandomSearch(quad3.space, rng=0, batch_size=4)
+            TuningSession(
+                tuner, quad3.objective, budget=30, n_processors=64,
+                plan=SamplingPlan(k, MinEstimator()),
+                parallel_sampling=parallel, rng=1,
+            ).run()
+            return tuner.n_batches
+
+        assert batches_done(8, parallel=True) == batches_done(1, parallel=False)
+        # Sequential K=8 gets 8x fewer batches into the same budget.
+        assert batches_done(8, parallel=False) < batches_done(8, parallel=True)
+
+    def test_wave_splitting_when_capacity_exceeded(self, quad3):
+        """n·K > P: jobs spill into ceil(nK/P) waves."""
+        tuner = RandomSearch(quad3.space, rng=0, batch_size=4)
+        TuningSession(
+            tuner, quad3.objective, budget=12, n_processors=8,
+            plan=SamplingPlan(4, MinEstimator()),
+            parallel_sampling=True, rng=1,
+        ).run()
+        # 4 points x 4 samples = 16 jobs over 8 processors = 2 steps/batch.
+        assert tuner.n_batches == 6
+
+    def test_all_k_samples_collected(self, quad3):
+        """The estimates delivered really are min-of-K."""
+        collected = {}
+
+        class SpyTuner(RandomSearch):
+            def _tell(self, batch, values):
+                collected["values"] = list(values)
+                super()._tell(batch, values)
+
+        tuner = SpyTuner(quad3.space, rng=0, batch_size=2)
+        noise = ParetoNoise(rho=0.4)
+        TuningSession(
+            tuner, quad3.objective, noise=noise, budget=1, n_processors=64,
+            plan=SamplingPlan(10, MinEstimator()),
+            parallel_sampling=True, rng=2,
+        ).run()
+        # One wave, both points told: min of 10 samples each sits near the
+        # noise floor f + beta, far below the mean f/(1-rho).
+        assert len(collected["values"]) == 2
+        for point_est in collected["values"]:
+            assert point_est < 1.5 * quad3.space.dimension * 400  # finite sanity
+
+    def test_round_major_truncation_keeps_low_rounds(self, quad3):
+        """Truncation mid-batch still leaves every point >= 1 sample when at
+        least ceil(n/P) waves ran."""
+        tuner = RandomSearch(quad3.space, rng=0, batch_size=4)
+        session = TuningSession(
+            tuner, quad3.objective, budget=1, n_processors=4,
+            plan=SamplingPlan(5, MinEstimator()),
+            parallel_sampling=True, rng=3,
+        )
+        session.run()
+        # Budget of 1 step = exactly one 4-point wave = round 0 complete:
+        # the tuner must still have been told.
+        assert tuner.n_evaluations == 4
+
+
+class TestDecisionQuality:
+    def test_parallel_k_improves_final_at_small_step_cost(self):
+        """The §5.2 claim, refined: with enough processors K=10 sampling
+        costs no extra *time steps* and buys better final configurations.
+
+        It is not entirely free, though: each wave's barrier time is the max
+        over n·K heavy-tailed draws instead of n, an order-statistics
+        premium the paper's "no additional cost" glosses over.  We assert
+        the claim with that premium bounded (< 35% here) and far below the
+        sequential discipline's K-fold step cost."""
+        from repro.experiments.common import gs2_problem
+
+        surrogate, db = gs2_problem(rng=0)
+        space = surrogate.space()
+        noise = ParetoNoise(rho=0.35)
+
+        def run(k, parallel=True):
+            finals, ntts = [], []
+            for t in range(8):
+                tuner = ParallelRankOrdering(space)
+                result = TuningSession(
+                    tuner, db, noise=noise, budget=150, n_processors=64,
+                    plan=SamplingPlan(k, MinEstimator()),
+                    parallel_sampling=parallel, rng=100 + t,
+                ).run()
+                finals.append(result.best_true_cost)
+                ntts.append(result.normalized_total_time())
+            return float(np.mean(finals)), float(np.mean(ntts))
+
+        final_1, ntt_1 = run(1)
+        final_10, ntt_10 = run(10)
+        _, ntt_10_seq = run(10, parallel=False)
+        assert final_10 < final_1            # better decisions
+        assert ntt_10 < ntt_1 * 1.35         # bounded barrier premium...
+        assert ntt_10 < ntt_10_seq           # ...far below sequential K=10
+
+    def test_parallel_beats_sequential_at_same_k(self):
+        from repro.experiments.common import gs2_problem
+
+        surrogate, db = gs2_problem(rng=0)
+        space = surrogate.space()
+        noise = ParetoNoise(rho=0.3)
+
+        def run(parallel):
+            ntts = []
+            for t in range(8):
+                tuner = ParallelRankOrdering(space)
+                result = TuningSession(
+                    tuner, db, noise=noise, budget=150, n_processors=64,
+                    plan=SamplingPlan(5, MinEstimator()),
+                    parallel_sampling=parallel, rng=200 + t,
+                ).run()
+                ntts.append(result.normalized_total_time())
+            return float(np.mean(ntts))
+
+        assert run(True) < run(False)
+
+    def test_meta_records_discipline(self, quad3):
+        tuner = ParallelRankOrdering(quad3.space)
+        result = TuningSession(
+            tuner, quad3.objective, budget=10, parallel_sampling=True, rng=0
+        ).run()
+        assert result.meta["parallel_sampling"] is True

@@ -1,0 +1,57 @@
+"""Round-trip tests for SessionResult persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.harmony.metrics import SessionResult, StepKind
+from repro.harmony.session import TuningSession
+from repro.variability import ParetoNoise
+
+
+@pytest.fixture
+def result(quad3):
+    tuner = ParallelRankOrdering(quad3.space)
+    return TuningSession(
+        tuner, quad3.objective, noise=ParetoNoise(rho=0.2), budget=40, rng=0
+    ).run()
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, result):
+        clone = SessionResult.from_dict(result.to_dict())
+        assert np.array_equal(clone.step_times, result.step_times)
+        assert clone.step_kinds == result.step_kinds
+        assert np.array_equal(clone.best_point, result.best_point)
+        assert clone.total_time() == result.total_time()
+        assert clone.normalized_total_time() == result.normalized_total_time()
+        assert clone.converged_at == result.converged_at
+
+    def test_json_round_trip(self, result):
+        text = result.to_json()
+        json.loads(text)  # valid JSON
+        clone = SessionResult.from_json(text)
+        assert clone.summary() == result.summary()
+
+    def test_nan_incumbents_survive(self, quad3):
+        """Early steps (before tuner init) record NaN incumbent costs."""
+        tuner = ParallelRankOrdering(quad3.space)
+        res = TuningSession(
+            tuner, quad3.objective, budget=3, n_processors=1, rng=0
+        ).run()
+        assert np.isnan(res.incumbent_true_costs).any()
+        clone = SessionResult.from_json(res.to_json())
+        assert np.isnan(clone.incumbent_true_costs).sum() == np.isnan(
+            res.incumbent_true_costs
+        ).sum()
+
+    def test_meta_values_stringified(self, result):
+        d = result.to_dict()
+        for v in d["meta"].values():
+            assert isinstance(v, (str, int, float, bool)) or v is None
+
+    def test_kinds_are_enum_values(self, result):
+        d = result.to_dict()
+        assert set(d["step_kinds"]) <= {k.value for k in StepKind}

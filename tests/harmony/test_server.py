@@ -1,0 +1,173 @@
+"""Unit tests for the tuning server (protocol-level, in process)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import MinEstimator, SamplingPlan
+from repro.harmony.server import TuningServer
+from repro.space import IntParameter, ParameterSpace
+from repro.space.serialize import space_to_spec
+
+
+def make_space():
+    return ParameterSpace([IntParameter("a", -10, 10), IntParameter("b", -10, 10)])
+
+
+def make_server(k=1, space=None):
+    return TuningServer(
+        lambda s: ParallelRankOrdering(s),
+        space=space,
+        plan=SamplingPlan(k, MinEstimator()),
+    )
+
+
+def f(point):
+    a, b = point
+    return 1.0 + (a - 3) ** 2 + (b + 2) ** 2
+
+
+class TestRegistration:
+    def test_register_builds_space_and_tuner(self):
+        server = make_server()
+        resp = server.handle({"op": "register", "params": space_to_spec(make_space())})
+        assert resp["ok"]
+        assert resp["client_id"] == 0
+        assert server.tuner is not None
+
+    def test_client_ids_increment(self):
+        server = make_server()
+        specs = space_to_spec(make_space())
+        ids = [server.handle({"op": "register", "params": specs})["client_id"]
+               for _ in range(3)]
+        assert ids == [0, 1, 2]
+
+    def test_register_without_specs_or_space_fails(self):
+        resp = make_server().handle({"op": "register"})
+        assert not resp["ok"]
+
+    def test_preset_space_accepts_bare_register(self):
+        server = make_server(space=make_space())
+        resp = server.handle({"op": "register"})
+        assert resp["ok"]
+
+    def test_mismatched_space_rejected(self):
+        server = make_server(space=make_space())
+        other = ParameterSpace([IntParameter("z", 0, 1)])
+        resp = server.handle({"op": "register", "params": space_to_spec(other)})
+        assert not resp["ok"]
+
+    def test_fetch_before_register_fails(self):
+        resp = make_server().handle({"op": "fetch", "client_id": 0})
+        assert not resp["ok"]
+
+    def test_unknown_op(self):
+        resp = make_server().handle({"op": "frobnicate"})
+        assert not resp["ok"]
+
+    def test_exceptions_become_error_responses(self):
+        server = make_server(space=make_space())
+        resp = server.handle({"op": "report"})  # missing fields
+        assert not resp["ok"]
+        assert "error" in resp
+
+
+class TestFetchReportLoop:
+    def _drive(self, server, client_id, steps, k=1):
+        for step in range(steps):
+            resp = server.handle({"op": "fetch", "client_id": client_id})
+            assert resp["ok"]
+            point = np.asarray(resp["point"])
+            server.handle(
+                {
+                    "op": "report",
+                    "client_id": client_id,
+                    "token": resp["token"],
+                    "time": f(point),
+                    "step": step,
+                }
+            )
+
+    def test_single_client_tunes(self):
+        server = make_server(space=make_space())
+        server.handle({"op": "register"})
+        self._drive(server, 0, 600)
+        best = server.handle({"op": "best"})
+        assert best["ok"]
+        assert best["converged"]
+        assert best["point"] == [3.0, -2.0]
+
+    def test_multi_client_parallel_sampling(self):
+        """With K=3 and 3 clients, samples are collected in parallel."""
+        server = make_server(k=3, space=make_space())
+        for _ in range(3):
+            server.handle({"op": "register"})
+        for step in range(400):
+            fetches = [
+                server.handle({"op": "fetch", "client_id": c}) for c in range(3)
+            ]
+            for c, resp in enumerate(fetches):
+                point = np.asarray(resp["point"])
+                server.handle(
+                    {
+                        "op": "report",
+                        "client_id": c,
+                        "token": resp["token"],
+                        "time": f(point),
+                        "step": step,
+                    }
+                )
+        best = server.handle({"op": "best"})
+        assert best["point"] == [3.0, -2.0]
+
+    def test_exploit_token_when_all_assigned(self):
+        server = make_server(k=1, space=make_space())
+        server.handle({"op": "register"})
+        first = server.handle({"op": "fetch", "client_id": 0})
+        assert first["token"] >= 0
+        # Batch outstanding and fully assigned after enough fetches: the
+        # next fetch must be an exploit assignment (token -1).
+        seen_exploit = False
+        for _ in range(50):
+            resp = server.handle({"op": "fetch", "client_id": 0})
+            if resp["token"] == -1:
+                seen_exploit = True
+                break
+        assert seen_exploit
+
+    def test_report_invalid_time_rejected(self):
+        server = make_server(space=make_space())
+        server.handle({"op": "register"})
+        resp = server.handle({"op": "fetch", "client_id": 0})
+        bad = server.handle(
+            {"op": "report", "client_id": 0, "token": resp["token"], "time": -1.0}
+        )
+        assert not bad["ok"]
+
+    def test_status_reflects_progress(self):
+        server = make_server(space=make_space())
+        server.handle({"op": "register"})
+        self._drive(server, 0, 20)
+        status = server.handle({"op": "status"})
+        assert status["registered"]
+        assert status["n_reports"] == 20
+
+
+class TestServerMetrics:
+    def test_step_times_barrier_max(self):
+        server = make_server(k=2, space=make_space())
+        server.handle({"op": "register"})
+        server.handle({"op": "register"})
+        # Two clients report different times at the same step.
+        for c, t in ((0, 1.0), (1, 5.0)):
+            resp = server.handle({"op": "fetch", "client_id": c})
+            server.handle(
+                {"op": "report", "client_id": c, "token": resp["token"],
+                 "time": t, "step": 0}
+            )
+        times = server.step_times()
+        assert list(times) == [5.0]
+        assert server.total_time() == 5.0
+
+    def test_total_time_empty(self):
+        assert make_server(space=make_space()).total_time() == 0.0

@@ -1,0 +1,89 @@
+"""Integration tests: checkpoint/restore of the whole tuning service."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import SamplingPlan
+from repro.harmony.server import TuningServer
+from repro.search.random_search import RandomSearch
+from repro.space import IntParameter, ParameterSpace
+
+
+def make_space():
+    return ParameterSpace([IntParameter("a", -8, 8), IntParameter("b", -8, 8)])
+
+
+def f(point):
+    a, b = point
+    return 1.0 + (a - 2) ** 2 + (b + 3) ** 2
+
+
+def fresh_server():
+    server = TuningServer(
+        lambda s: ParallelRankOrdering(s), space=make_space(), plan=SamplingPlan(1)
+    )
+    server.handle({"op": "register"})
+    return server
+
+
+def drive_steps(server, client_id, start, steps):
+    for step in range(start, start + steps):
+        resp = server.handle({"op": "fetch", "client_id": client_id})
+        point = np.asarray(resp["point"])
+        server.handle(
+            {"op": "report", "client_id": client_id, "token": resp["token"],
+             "time": f(point), "step": step}
+        )
+
+
+class TestServerCheckpoint:
+    def test_snapshot_is_json_safe(self):
+        server = fresh_server()
+        drive_steps(server, 0, 0, 10)
+        resp = server.handle({"op": "checkpoint"})
+        assert resp["ok"]
+        json.dumps(resp["snapshot"])
+
+    def test_restore_resumes_to_same_answer(self):
+        """Kill the service mid-run; the restored one finishes the job."""
+        server = fresh_server()
+        drive_steps(server, 0, 0, 25)
+        snapshot = server.handle({"op": "checkpoint"})["snapshot"]
+        # A brand-new process: fresh server object, restore, keep tuning.
+        server2 = TuningServer(lambda s: ParallelRankOrdering(s))
+        assert server2.handle({"op": "restore", "snapshot": snapshot})["ok"]
+        drive_steps(server2, 0, 25, 400)
+        best = server2.handle({"op": "best"})
+        assert best["converged"]
+        assert best["point"] == [2.0, -3.0]
+
+    def test_restore_preserves_collected_samples_and_log(self):
+        server = fresh_server()
+        drive_steps(server, 0, 0, 7)
+        snapshot = server.handle({"op": "checkpoint"})["snapshot"]
+        server2 = TuningServer(lambda s: ParallelRankOrdering(s))
+        server2.handle({"op": "restore", "snapshot": snapshot})
+        assert server2.n_reports == 7
+        assert server2.step_times().size == 7
+        assert server2.total_time() == pytest.approx(server.total_time())
+
+    def test_checkpoint_before_register_fails(self):
+        server = TuningServer(lambda s: ParallelRankOrdering(s))
+        assert not server.handle({"op": "checkpoint"})["ok"]
+
+    def test_checkpoint_unsupported_tuner_fails(self):
+        server = TuningServer(
+            lambda s: RandomSearch(s, rng=0), space=make_space()
+        )
+        server.handle({"op": "register"})
+        resp = server.handle({"op": "checkpoint"})
+        assert not resp["ok"]
+        assert "checkpoint" in resp["error"]
+
+    def test_restore_validates_payload(self):
+        server = TuningServer(lambda s: ParallelRankOrdering(s))
+        assert not server.handle({"op": "restore"})["ok"]
+        assert not server.handle({"op": "restore", "snapshot": "junk"})["ok"]

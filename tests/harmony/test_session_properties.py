@@ -1,0 +1,103 @@
+"""Property-based tests for the session's cost accounting.
+
+Whatever the configuration — budget, processor count, K, discipline,
+noise — the accounting invariants must hold: exactly ``budget`` time steps
+recorded, Total_Time equals their sum, NTT = (1-ρ)·Total_Time, and at
+least one measurement per recorded step.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.synthetic import quadratic_problem
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import MeanEstimator, MinEstimator, SamplingPlan
+from repro.harmony.metrics import StepKind
+from repro.harmony.session import TuningSession
+from repro.search.random_search import RandomSearch
+from repro.variability.models import NoNoise, ParetoNoise
+
+configs = st.fixed_dictionaries(
+    {
+        "budget": st.integers(min_value=1, max_value=60),
+        "n_processors": st.one_of(st.none(), st.integers(min_value=1, max_value=16)),
+        "k": st.integers(min_value=1, max_value=4),
+        "parallel": st.booleans(),
+        "rho": st.sampled_from([0.0, 0.2, 0.4]),
+        "min_est": st.booleans(),
+        "tuner": st.sampled_from(["pro", "random"]),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    }
+)
+
+
+def run_session(cfg):
+    prob = quadratic_problem(2)
+    noise = NoNoise() if cfg["rho"] == 0.0 else ParetoNoise(rho=cfg["rho"])
+    if cfg["tuner"] == "pro":
+        tuner = ParallelRankOrdering(prob.space)
+    else:
+        tuner = RandomSearch(prob.space, rng=cfg["seed"], batch_size=3)
+    est = MinEstimator() if cfg["min_est"] else MeanEstimator()
+    session = TuningSession(
+        tuner,
+        prob.objective,
+        noise=noise,
+        budget=cfg["budget"],
+        n_processors=cfg["n_processors"],
+        plan=SamplingPlan(cfg["k"], est),
+        parallel_sampling=cfg["parallel"],
+        rng=cfg["seed"],
+    )
+    return prob, session.run()
+
+
+class TestAccountingInvariants:
+    @given(configs)
+    @settings(max_examples=80, deadline=None)
+    def test_exact_budget_and_sums(self, cfg):
+        _, result = run_session(cfg)
+        assert result.budget == cfg["budget"]
+        assert len(result.step_kinds) == cfg["budget"]
+        assert result.total_time() == float(result.step_times.sum())
+        assert result.normalized_total_time() == (1 - cfg["rho"]) * result.total_time()
+
+    @given(configs)
+    @settings(max_examples=80, deadline=None)
+    def test_step_times_bounded_below_by_true_cost_floor(self, cfg):
+        """Every recorded step costs at least the cheapest admissible
+        configuration's noise-free time (noise is non-negative)."""
+        prob, result = run_session(cfg)
+        floor = min(prob(p) for p in prob.space.grid())
+        assert np.all(result.step_times >= floor - 1e-9)
+
+    @given(configs)
+    @settings(max_examples=60, deadline=None)
+    def test_measurement_count_at_least_steps(self, cfg):
+        _, result = run_session(cfg)
+        assert result.n_measurements >= result.budget
+
+    @given(configs)
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_matches(self, cfg):
+        _, result = run_session(cfg)
+        assert np.allclose(result.cumulative_times()[-1], result.total_time())
+
+    @given(configs)
+    @settings(max_examples=60, deadline=None)
+    def test_exploit_only_after_convergence(self, cfg):
+        _, result = run_session(cfg)
+        if result.converged_at is None:
+            assert all(k is StepKind.EVALUATE for k in result.step_kinds)
+        else:
+            post = result.step_kinds[result.converged_at:]
+            assert all(k is StepKind.EXPLOIT for k in post)
+
+    @given(configs)
+    @settings(max_examples=40, deadline=None)
+    def test_reproducible(self, cfg):
+        _, a = run_session(cfg)
+        _, b = run_session(cfg)
+        assert np.array_equal(a.step_times, b.step_times)
+        assert a.n_measurements == b.n_measurements

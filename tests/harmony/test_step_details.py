@@ -1,0 +1,78 @@
+"""Unit tests for per-step detail recording."""
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import SamplingPlan
+from repro.harmony.metrics import SessionResult, StepKind
+from repro.harmony.session import TuningSession
+
+
+class TestRecordDetails:
+    def test_disabled_by_default(self, quad3):
+        result = TuningSession(
+            ParallelRankOrdering(quad3.space), quad3.objective, budget=20, rng=0
+        ).run()
+        assert result.step_details is None
+
+    def test_one_record_per_step(self, quad3):
+        result = TuningSession(
+            ParallelRankOrdering(quad3.space), quad3.objective, budget=35,
+            record_details=True, rng=0,
+        ).run()
+        assert result.step_details is not None
+        assert len(result.step_details) == 35
+
+    def test_kinds_match_step_kinds(self, quad3):
+        result = TuningSession(
+            ParallelRankOrdering(quad3.space), quad3.objective, budget=60,
+            record_details=True, rng=0,
+        ).run()
+        for detail, kind in zip(result.step_details, result.step_kinds):
+            assert detail["kind"] == kind.value
+
+    def test_wave_sizes_reflect_processor_cap(self, quad3):
+        result = TuningSession(
+            ParallelRankOrdering(quad3.space), quad3.objective, budget=12,
+            n_processors=2, record_details=True, rng=0,
+        ).run()
+        eval_waves = [
+            d["wave_size"] for d in result.step_details
+            if d["kind"] == StepKind.EVALUATE.value
+        ]
+        assert eval_waves and max(eval_waves) <= 2
+
+    def test_batch_index_advances(self, quad3):
+        result = TuningSession(
+            ParallelRankOrdering(quad3.space), quad3.objective, budget=40,
+            record_details=True, rng=0,
+        ).run()
+        batch_ids = [
+            d["batch_index"] for d in result.step_details
+            if d["batch_index"] is not None
+        ]
+        assert batch_ids[0] == 0
+        assert max(batch_ids) >= 2
+        # Non-decreasing: each batch's waves are contiguous.
+        assert all(b2 >= b1 for b1, b2 in zip(batch_ids, batch_ids[1:]))
+
+    def test_exploit_steps_have_no_batch(self, quad3):
+        result = TuningSession(
+            ParallelRankOrdering(quad3.space), quad3.objective, budget=120,
+            record_details=True, rng=0,
+        ).run()
+        exploits = [
+            d for d in result.step_details
+            if d["kind"] == StepKind.EXPLOIT.value
+        ]
+        assert exploits
+        assert all(d["batch_index"] is None for d in exploits)
+
+    def test_details_survive_json_round_trip(self, quad3):
+        result = TuningSession(
+            ParallelRankOrdering(quad3.space), quad3.objective, budget=15,
+            record_details=True, rng=0,
+        ).run()
+        clone = SessionResult.from_json(result.to_json())
+        assert clone.step_details == result.step_details

@@ -1,0 +1,92 @@
+"""Unit tests for warm-starting PRO from prior-run data."""
+
+import numpy as np
+import pytest
+
+from repro.apps.database import PerformanceDatabase
+from repro.apps.gs2 import GS2Surrogate
+from repro.core.pro import ParallelRankOrdering
+from repro.harmony.session import TuningSession
+from repro.harmony.warmstart import warm_start_points, warm_started_pro
+from repro.space import IntParameter, ParameterSpace
+from tests.helpers import drive
+
+
+@pytest.fixture(scope="module")
+def gs2():
+    return GS2Surrogate()
+
+
+@pytest.fixture(scope="module")
+def prior_db(gs2):
+    """A prior-run database covering a third of the lattice."""
+    return PerformanceDatabase.from_function(
+        gs2, gs2.space(), fraction=0.3, rng=0
+    )
+
+
+class TestWarmStartPoints:
+    def test_centered_on_best_prior_point(self, gs2, prior_db):
+        points = warm_start_points(prior_db)
+        best_prior = prior_db.top_entries(1)[0][0]
+        # The axial frame straddles the best prior point per coordinate.
+        arr = np.array(points)
+        for i in range(3):
+            assert arr[:, i].min() <= best_prior[i] <= arr[:, i].max()
+
+    def test_all_admissible_and_distinct_enough(self, gs2, prior_db):
+        space = gs2.space()
+        points = warm_start_points(prior_db)
+        assert len(points) == 2 * space.dimension
+        for p in points:
+            assert space.contains(p)
+        assert len({tuple(p) for p in points}) >= space.dimension + 1
+
+    def test_swaps_in_other_top_entries(self, gs2, prior_db):
+        points = warm_start_points(prior_db, top_n=3)
+        top = {tuple(p) for p, _ in prior_db.top_entries(12)}
+        swapped = sum(tuple(p) in top for p in points)
+        assert swapped >= 1
+
+    def test_top_n_zero_pure_axial(self, gs2, prior_db):
+        from repro.core.initial import axial_simplex
+
+        best_prior = prior_db.top_entries(1)[0][0]
+        expected = axial_simplex(gs2.space(), r=0.2, center=best_prior)
+        points = warm_start_points(prior_db, top_n=0)
+        assert all(np.array_equal(a, b) for a, b in zip(points, expected))
+
+    def test_empty_database_rejected(self, gs2):
+        with pytest.raises(ValueError):
+            warm_start_points(PerformanceDatabase(gs2.space()))
+
+    def test_negative_top_n_rejected(self, prior_db):
+        with pytest.raises(ValueError):
+            warm_start_points(prior_db, top_n=-1)
+
+
+class TestWarmStartedPro:
+    def test_builds_working_tuner(self, gs2, prior_db):
+        tuner = warm_started_pro(gs2.space(), prior_db)
+        drive(tuner, gs2, max_evaluations=5000)
+        assert tuner.converged
+
+    def test_space_mismatch_rejected(self, prior_db):
+        other = ParameterSpace([IntParameter("z", 0, 4)])
+        with pytest.raises(ValueError):
+            warm_started_pro(other, prior_db)
+
+    def test_warm_start_beats_cold_on_total_time(self, gs2, prior_db):
+        """The SC'04 premise: prior-run knowledge shortens the transient."""
+        def total(tuner):
+            return TuningSession(
+                tuner, gs2, budget=100, rng=7
+            ).run().total_time()
+
+        cold = total(ParallelRankOrdering(gs2.space()))
+        warm = total(warm_started_pro(gs2.space(), prior_db))
+        assert warm < cold
+
+    def test_kwargs_forwarded(self, gs2, prior_db):
+        tuner = warm_started_pro(gs2.space(), prior_db, eager_expansion=True)
+        assert tuner.eager_expansion

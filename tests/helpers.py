@@ -1,0 +1,34 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.base import BatchTuner
+
+
+def drive(
+    tuner: BatchTuner,
+    fn: Callable[[np.ndarray], float],
+    *,
+    max_evaluations: int = 100_000,
+) -> int:
+    """Run an ask/tell loop with a deterministic objective until the tuner
+    converges (or the evaluation budget runs out).  Returns the number of
+    evaluations consumed."""
+    evals = 0
+    while not tuner.converged and evals < max_evaluations:
+        batch = tuner.ask()
+        if not batch:
+            break
+        tuner.tell([float(fn(p)) for p in batch])
+        evals += len(batch)
+    return evals
+
+
+def is_lattice_local_minimum(space, fn, point) -> bool:
+    """Brute-force check that *point* is a local minimum under axial moves."""
+    v = fn(point)
+    return all(fn(q) >= v for q in space.probe_points(point))

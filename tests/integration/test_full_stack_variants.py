@@ -1,0 +1,94 @@
+"""Full-stack integration over less-travelled substrate combinations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ExponentialService, PoissonArrivals
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import MinEstimator, SamplingPlan
+from repro.harmony.evaluator import ClusterEvaluator
+from repro.harmony.session import TuningSession
+from repro.space import IntParameter, OrdinalParameter, ParameterSpace
+from repro.variability import MarkovModulatedNoise
+from tests.helpers import drive
+
+
+class TestOrdinalLadderTuning:
+    """Powers-of-two parameters through the whole stack."""
+
+    def _problem(self):
+        space = ParameterSpace(
+            [
+                OrdinalParameter("ranks", [1, 2, 4, 8, 16, 32, 64]),
+                OrdinalParameter("chunk", [64, 128, 256, 512, 1024]),
+                IntParameter("depth", 1, 6),
+            ]
+        )
+
+        def f(point):
+            ranks, chunk, depth = point
+            compute = 40.0 / ranks + 0.03 * ranks
+            mem = 0.002 * chunk if chunk > 256 else 0.5 + 128.0 / chunk
+            return compute + mem + 0.3 * abs(depth - 4)
+
+        return space, f
+
+    def test_pro_certifies_on_ordinal_lattice(self):
+        space, f = self._problem()
+        tuner = ParallelRankOrdering(space, r=0.4)
+        drive(tuner, f)
+        assert tuner.converged
+        # Certificate against brute force.
+        best = tuner.best_point
+        for probe in space.probe_points(best):
+            assert f(probe) >= f(best)
+
+    def test_online_session_on_ordinal_space(self):
+        space, f = self._problem()
+        tuner = ParallelRankOrdering(space, r=0.4)
+        result = TuningSession(
+            tuner, f, noise=MarkovModulatedNoise(), budget=200,
+            plan=SamplingPlan(2, MinEstimator()), rng=3,
+        ).run()
+        # The region centre happens to be a strong local optimum on this
+        # ladder; bursty noise must not drag the tuner away from it.
+        assert result.best_true_cost <= f(space.center()) + 1e-9
+        assert space.contains(result.best_point)
+        assert result.budget == 200
+
+
+class TestHeterogeneousClusterTuning:
+    def test_tuning_on_unequal_nodes(self):
+        """A straggler node inflates every barrier; the tuner still improves
+        the configuration despite the heterogeneity-dominated noise floor."""
+        space = ParameterSpace(
+            [IntParameter("a", 0, 16), IntParameter("b", 0, 16)]
+        )
+
+        def f(point):
+            a, b = point
+            return 1.0 + 0.05 * ((a - 12) ** 2 + (b - 4) ** 2)
+
+        cluster = Cluster(
+            6,
+            private_sources=[PoissonArrivals(0.1, ExponentialService(0.2))],
+            speed_factors=[1.0, 1.0, 1.0, 1.0, 1.0, 0.5],
+            seed=4,
+        )
+        evaluator = ClusterEvaluator(f, cluster)
+        tuner = ParallelRankOrdering(space)
+        result = TuningSession(tuner, evaluator, budget=150, rng=5).run()
+        assert result.best_true_cost < f(space.center())
+        # Every barrier is at least the straggler's noise-free time for the
+        # cheapest config it could have run.
+        assert result.step_times.min() >= 1.0 / 0.5 * 0.9
+
+    def test_wave_cap_respects_cluster_size(self):
+        space = ParameterSpace([IntParameter("a", 0, 30)])
+        cluster = Cluster(3, seed=6)
+        evaluator = ClusterEvaluator(lambda p: 1.0 + 0.01 * p[0], cluster)
+        tuner = ParallelRankOrdering(space, r=0.5)
+        # n_processors larger than the cluster: the evaluator's cap wins.
+        session = TuningSession(tuner, evaluator, budget=20, n_processors=64, rng=7)
+        assert session.n_processors == 3
+        session.run()

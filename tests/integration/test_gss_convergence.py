@@ -1,0 +1,90 @@
+"""GSS-style convergence behaviour of the rank-ordering tuners (§3.2).
+
+Kolda/Lewis/Torczon's result for GSS methods: on continuously
+differentiable objectives, lim inf ‖∇f(x_k)‖ = 0.  We cannot prove limits
+in a test, but we can check its finite signatures on smooth problems:
+
+* the simplex diameter contracts toward the stopping tolerance;
+* the gradient norm at the final incumbent is small relative to the start;
+* the incumbent's objective sequence is non-increasing (rank ordering never
+  accepts a worse best vertex — unlike Nelder–Mead, which only controls the
+  worst vertex).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sro import SequentialRankOrdering
+from repro.space import FloatParameter, ParameterSpace
+from tests.helpers import drive
+
+
+def smooth_space(tol=1e-5):
+    return ParameterSpace(
+        [
+            FloatParameter("x", -4.0, 4.0, probe_step=1e-3, tolerance=tol),
+            FloatParameter("y", -4.0, 4.0, probe_step=1e-3, tolerance=tol),
+        ]
+    )
+
+
+def quartic(p):
+    x, y = float(p[0]), float(p[1])
+    return 1.0 + (x - 0.7) ** 4 + 2.0 * (y + 0.3) ** 4 + (x - 0.7) ** 2 * (y + 0.3) ** 2
+
+
+def grad_norm(f, p, h=1e-5):
+    p = np.asarray(p, dtype=float)
+    g = np.zeros_like(p)
+    for i in range(p.size):
+        e = np.zeros_like(p)
+        e[i] = h
+        g[i] = (f(p + e) - f(p - e)) / (2 * h)
+    return float(np.linalg.norm(g))
+
+
+class TestSimplexContraction:
+    @pytest.mark.parametrize("tuner_cls", [ParallelRankOrdering, SequentialRankOrdering])
+    def test_diameter_contracts(self, tuner_cls):
+        space = smooth_space()
+        tuner = tuner_cls(space, r=0.5)
+        diameters = []
+        for _ in range(100_000):
+            if tuner.converged:
+                break
+            batch = tuner.ask()
+            if not batch:
+                break
+            tuner.tell([quartic(p) for p in batch])
+            if tuner.simplex is not None:
+                diameters.append(tuner.simplex.diameter())
+        assert tuner.converged
+        assert diameters[-1] < 0.01 * max(diameters)
+
+    def test_gradient_norm_shrinks(self):
+        space = smooth_space()
+        tuner = ParallelRankOrdering(space, r=0.5)
+        start_grad = grad_norm(quartic, space.center())
+        drive(tuner, quartic, max_evaluations=100_000)
+        assert tuner.converged
+        final_grad = grad_norm(quartic, tuner.best_point)
+        assert final_grad < 0.05 * max(start_grad, 1.0)
+
+    def test_final_point_near_smooth_optimum(self):
+        space = smooth_space()
+        tuner = ParallelRankOrdering(space, r=0.5)
+        drive(tuner, quartic, max_evaluations=100_000)
+        assert np.allclose(tuner.best_point, [0.7, -0.3], atol=0.05)
+
+    def test_incumbent_monotone_on_smooth_problem(self):
+        space = smooth_space()
+        tuner = ParallelRankOrdering(space, r=0.5)
+        values = []
+        while not tuner.converged:
+            batch = tuner.ask()
+            if not batch:
+                break
+            tuner.tell([quartic(p) for p in batch])
+            values.append(tuner.best_value)
+        assert all(b <= a + 1e-15 for a, b in zip(values, values[1:]))

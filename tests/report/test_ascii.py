@@ -1,0 +1,132 @@
+"""Unit tests for the ASCII rendering primitives."""
+
+import numpy as np
+import pytest
+
+from repro.report.ascii import heatmap, histogram, line_plot, sparkline
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        s = sparkline(np.arange(500), width=40)
+        assert len(s) == 40
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline(np.linspace(0, 1, 10))
+        assert s[0] == " " and s[-1] == "@"
+
+    def test_spikes_survive_downsampling(self):
+        data = np.ones(1000)
+        data[500] = 100.0
+        s = sparkline(data, width=50)
+        assert "@" in s
+
+    def test_constant_series(self):
+        s = sparkline(np.ones(10))
+        assert len(s) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        out = line_plot({"a": (None, [1, 2, 3]), "b": (None, [3, 2, 1])})
+        assert "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_title_and_axis_labels(self):
+        out = line_plot({"s": ([0, 10], [5.0, 15.0])}, title="demo")
+        assert out.startswith("demo")
+        assert "15" in out and "5" in out
+
+    def test_logy(self):
+        out = line_plot({"s": (None, [1.0, 10.0, 100.0])}, logy=True)
+        assert "1e" in out
+
+    def test_logy_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_plot({"s": (None, [0.0, 1.0])}, logy=True)
+
+    def test_mismatched_xy_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"s": ([1, 2], [1, 2, 3])})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"s": (None, [])})
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({"s": (None, [1, 2])}, width=3)
+
+    def test_constant_series_renders(self):
+        out = line_plot({"s": (None, [2.0, 2.0, 2.0])})
+        assert "o" in out
+
+    def test_geometry(self):
+        out = line_plot({"s": (None, np.arange(10))}, width=30, height=8)
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 8
+
+
+class TestHistogram:
+    def test_counts_shown(self):
+        out = histogram([1, 1, 1, 5], bins=2, width=10)
+        assert "| 3" in out and "| 1" in out
+
+    def test_log_counts_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            histogram([1.0] * 100 + [50.0], bins=4, log_counts=True)
+
+    def test_title(self):
+        assert histogram([1, 2], title="hist").startswith("hist")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([1, 2], bins=0)
+
+
+class TestHeatmap:
+    def test_scale_line_and_rows(self):
+        m = np.array([[0.0, 1.0], [2.0, 3.0]])
+        out = heatmap(m, row_labels=["r0", "r1"], col_labels=["c0", "c1"])
+        lines = out.splitlines()
+        assert lines[0].startswith("scale:")
+        assert lines[1].startswith("r0 |")
+        assert "c0" in lines[-1] and "c1" in lines[-1]
+
+    def test_extremes_use_extreme_blocks(self):
+        m = np.array([[0.0, 10.0]])
+        out = heatmap(m)
+        assert " " in out.splitlines()[1]
+        assert "@" in out.splitlines()[1]
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap(np.ones((2, 2)), row_labels=["a"])
+        with pytest.raises(ValueError):
+            heatmap(np.ones((2, 2)), col_labels=["a"])
+
+    def test_bad_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap(np.ones(3))
+        with pytest.raises(ValueError):
+            heatmap(np.array([[np.inf]]))
+
+    def test_constant_matrix(self):
+        out = heatmap(np.ones((2, 3)))
+        assert out.count("|") == 4

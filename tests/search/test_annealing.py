@@ -1,0 +1,89 @@
+"""Unit tests for simulated annealing."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import quadratic_problem, rastrigin_problem
+from repro.search.annealing import SimulatedAnnealing
+from tests.helpers import drive
+
+
+class TestProtocol:
+    def test_single_point_asks(self, quad3):
+        tuner = SimulatedAnnealing(quad3.space, rng=0)
+        for _ in range(50):
+            batch = tuner.ask()
+            assert len(batch) == 1
+            assert quad3.space.contains(batch[0])
+            tuner.tell([quad3(batch[0])])
+
+    def test_never_converges(self, quad3):
+        tuner = SimulatedAnnealing(quad3.space, rng=0)
+        drive(tuner, quad3.objective, max_evaluations=500)
+        assert not tuner.converged
+
+    def test_proposals_are_lattice_neighbors(self, quad3):
+        tuner = SimulatedAnnealing(quad3.space, rng=1)
+        first = tuner.ask()
+        tuner.tell([quad3(first[0])])
+        prev = tuner._current_point.copy()
+        prop = tuner.ask()[0]
+        diff = np.abs(prop - prev)
+        assert np.count_nonzero(diff) <= 1  # single-coordinate move
+        tuner.tell([quad3(prop)])
+
+    def test_validation(self, quad3):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(quad3.space, decay=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(quad3.space, t_initial=-1.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(quad3.space, initial_point=[0.5, 0, 0])
+
+
+class TestBehaviour:
+    def test_best_tracks_minimum_seen(self, quad3):
+        tuner = SimulatedAnnealing(quad3.space, rng=2)
+        seen = []
+        for _ in range(300):
+            batch = tuner.ask()
+            val = quad3(batch[0])
+            seen.append(val)
+            tuner.tell([val])
+        assert tuner.best_value == min(seen)
+
+    def test_improves_on_multimodal(self):
+        prob = rastrigin_problem(2)
+        start = [6, -6]
+        tuner = SimulatedAnnealing(
+            prob.space, rng=3, t_initial=20.0, initial_point=start
+        )
+        drive(tuner, prob.objective, max_evaluations=2000)
+        assert tuner.best_value < prob(start)
+
+    def test_acceptance_rate_reasonable(self, quad3):
+        tuner = SimulatedAnnealing(quad3.space, rng=4, t_initial=50.0)
+        drive(tuner, quad3.objective, max_evaluations=1000)
+        rate = tuner.n_accepted / tuner.n_proposed
+        assert 0.05 < rate <= 1.0
+
+    def test_temperature_decays(self, quad3):
+        tuner = SimulatedAnnealing(quad3.space, rng=5, t_initial=10.0, decay=0.9)
+        drive(tuner, quad3.objective, max_evaluations=200)
+        assert tuner.temperature < 10.0
+
+    def test_adaptive_warmup_sets_temperature(self, quad3):
+        tuner = SimulatedAnnealing(quad3.space, rng=6)
+        drive(tuner, quad3.objective, max_evaluations=50)
+        assert np.isfinite(tuner.temperature)
+        assert tuner.temperature > 0
+
+    def test_reproducible(self, quad3):
+        def run(seed):
+            tuner = SimulatedAnnealing(quad3.space, rng=seed)
+            drive(tuner, quad3.objective, max_evaluations=200)
+            return tuner.best_point.copy(), tuner.best_value
+
+        p1, v1 = run(7)
+        p2, v2 = run(7)
+        assert np.array_equal(p1, p2) and v1 == v2

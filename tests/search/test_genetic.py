@@ -1,0 +1,98 @@
+"""Unit tests for the genetic-algorithm baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import quadratic_problem, rastrigin_problem
+from repro.search.genetic import GeneticAlgorithm
+from tests.helpers import drive
+
+
+class TestConstruction:
+    def test_validation(self, quad3):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(quad3.space, population_size=1)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(quad3.space, tournament=1)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(quad3.space, population_size=4, tournament=5)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(quad3.space, crossover_rate=1.5)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(quad3.space, mutation_rate=2.0)
+
+    def test_default_mutation_rate(self, quad3):
+        ga = GeneticAlgorithm(quad3.space)
+        assert ga.mutation_rate == pytest.approx(1.0 / 3.0)
+
+
+class TestProtocol:
+    def test_first_batch_is_random_population(self, quad3):
+        ga = GeneticAlgorithm(quad3.space, population_size=8, rng=0)
+        batch = ga.ask()
+        assert len(batch) == 8
+        assert all(quad3.space.contains(p) for p in batch)
+
+    def test_generations_advance(self, quad3):
+        ga = GeneticAlgorithm(quad3.space, population_size=6, rng=1)
+        drive(ga, quad3.objective, max_evaluations=120)
+        assert ga.generation >= 10
+
+    def test_never_converges(self, quad3):
+        ga = GeneticAlgorithm(quad3.space, rng=2)
+        drive(ga, quad3.objective, max_evaluations=300)
+        assert not ga.converged
+
+    def test_proposals_admissible(self, mixed_space):
+        ga = GeneticAlgorithm(mixed_space, rng=3)
+        for _ in range(20):
+            batch = ga.ask()
+            assert all(mixed_space.contains(p) for p in batch)
+            ga.tell([float(np.sum(p)) + 10.0 for p in batch])
+
+
+class TestBehaviour:
+    def test_elitism_best_never_degrades(self, quad3):
+        ga = GeneticAlgorithm(quad3.space, population_size=8, rng=4)
+        last = float("inf")
+        for _ in range(40):
+            batch = ga.ask()
+            ga.tell([quad3(p) for p in batch])
+            assert ga.best_value <= last + 1e-12
+            last = ga.best_value
+
+    def test_improves_quadratic(self, quad3):
+        ga = GeneticAlgorithm(quad3.space, population_size=10, rng=5)
+        drive(ga, quad3.objective, max_evaluations=1500)
+        assert quad3(ga.best_point) < quad3(quad3.space.center())
+
+    def test_eventually_good_on_multimodal(self):
+        prob = rastrigin_problem(2)
+        ga = GeneticAlgorithm(prob.space, population_size=16, rng=6)
+        drive(ga, prob.objective, max_evaluations=4000)
+        assert ga.best_value < 10.0  # near-global on rastrigin
+
+    def test_best_point_matches_best_value(self, quad3):
+        ga = GeneticAlgorithm(quad3.space, rng=7)
+        drive(ga, quad3.objective, max_evaluations=500)
+        assert ga.best_value == quad3(ga.best_point)
+
+    def test_reproducible(self, quad3):
+        def run(seed):
+            ga = GeneticAlgorithm(quad3.space, rng=seed)
+            drive(ga, quad3.objective, max_evaluations=300)
+            return ga.best_value
+
+        assert run(9) == run(9)
+
+    def test_poor_transient_vs_pro(self, quad3):
+        """The §2 claim: GA pays a much larger online bill than PRO."""
+        from repro.core.pro import ParallelRankOrdering
+        from repro.harmony.session import TuningSession
+
+        def total(tuner):
+            return TuningSession(tuner, quad3.objective, budget=80, rng=0).run().total_time()
+
+        assert total(ParallelRankOrdering(quad3.space)) < total(
+            GeneticAlgorithm(quad3.space, rng=10)
+        )

@@ -1,0 +1,122 @@
+"""Unit tests for the projected Nelder–Mead baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import quadratic_problem, rosenbrock_problem
+from repro.core.simplex import affine_rank
+from repro.search.neldermead import NelderMead, NmPhase
+from repro.space import IntParameter, ParameterSpace
+from tests.helpers import drive
+
+
+class TestProtocol:
+    def test_sequential_asks(self, quad3):
+        tuner = NelderMead(quad3.space)
+        for _ in range(100):
+            if tuner.converged:
+                break
+            batch = tuner.ask()
+            if not batch:
+                break
+            assert len(batch) == 1
+            tuner.tell([quad3(batch[0])])
+
+    def test_initial_simplex_is_minimal(self, quad3):
+        tuner = NelderMead(quad3.space)
+        count = 0
+        while tuner.phase is NmPhase.INIT:
+            tuner.tell([quad3(tuner.ask()[0])])
+            count += 1
+        assert count == quad3.space.dimension + 1
+
+    def test_validation(self, quad3):
+        with pytest.raises(ValueError):
+            NelderMead(quad3.space, max_stall_iterations=0)
+        with pytest.raises(ValueError):
+            NelderMead(quad3.space, initial_points=[[0.5, 0, 0]])
+
+
+class TestMoves:
+    def _init(self, tuner, fn):
+        while tuner.phase is NmPhase.INIT:
+            tuner.tell([fn(tuner.ask()[0])])
+
+    def test_reflection_through_centroid(self, quad3):
+        tuner = NelderMead(quad3.space)
+        self._init(tuner, quad3.objective)
+        assert tuner.phase is NmPhase.REFLECT
+        point = tuner.ask()[0]
+        assert quad3.space.contains(point)
+
+    def test_expansion_after_great_reflection(self, quad3):
+        tuner = NelderMead(quad3.space)
+        self._init(tuner, quad3.objective)
+        tuner.ask()
+        tuner.tell([tuner.simplex.best.value - 1.0])
+        assert tuner.phase is NmPhase.EXPAND
+
+    def test_contract_after_bad_reflection(self, quad3):
+        tuner = NelderMead(quad3.space)
+        self._init(tuner, quad3.objective)
+        tuner.ask()
+        tuner.tell([1e9])
+        assert tuner.phase is NmPhase.CONTRACT
+
+    def test_shrink_after_failed_contraction(self, quad3):
+        tuner = NelderMead(quad3.space)
+        self._init(tuner, quad3.objective)
+        tuner.ask()
+        tuner.tell([1e9])
+        tuner.ask()
+        tuner.tell([1e9])  # contraction also fails
+        assert tuner.phase is NmPhase.SHRINK
+
+
+class TestBehaviour:
+    def test_improves_quadratic(self, quad3):
+        tuner = NelderMead(quad3.space)
+        drive(tuner, quad3.objective, max_evaluations=2000)
+        assert quad3(tuner.best_point) < quad3(quad3.space.center())
+
+    def test_rosenbrock_continuous(self):
+        prob = rosenbrock_problem()
+        tuner = NelderMead(prob.space, r=0.5)
+        drive(tuner, prob.objective, max_evaluations=3000)
+        assert tuner.best_value < prob(prob.space.center())
+
+    def test_terminates_via_stall_or_collapse(self, quad3):
+        tuner = NelderMead(quad3.space, max_stall_iterations=5)
+        drive(tuner, quad3.objective, max_evaluations=5000)
+        assert tuner.converged
+
+    def test_degenerate_simplex_failure_mode_observable(self):
+        """§3.1: on a coarse lattice the projected NM simplex can collapse to
+        an affine-degenerate set while far from any optimum — the documented
+        weakness that motivated rank ordering."""
+        space = ParameterSpace(
+            [IntParameter("a", 0, 40, step=4), IntParameter("b", 0, 40, step=4)]
+        )
+
+        def f(p):
+            return float((p[0] - 36) ** 2 + (p[1] - 36) ** 2 + 1)
+
+        tuner = NelderMead(space, r=0.1)
+        drive(tuner, f, max_evaluations=4000)
+        assert tuner.converged
+        # Either it stalled/collapsed; record that the final simplex is
+        # degenerate or the optimum was missed (both are §3.1 symptoms), or
+        # it got lucky.  What must hold: it never crashes and terminates.
+        rank = affine_rank(tuner.simplex.points())
+        assert rank <= 2
+
+    def test_proposals_always_admissible(self, quad3):
+        tuner = NelderMead(quad3.space, r=0.8)
+        for _ in range(300):
+            if tuner.converged:
+                break
+            batch = tuner.ask()
+            if not batch:
+                break
+            assert all(quad3.space.contains(p) for p in batch)
+            tuner.tell([quad3(p) for p in batch])

@@ -1,0 +1,86 @@
+"""Unit tests for RandomSearch and CoordinateDescent."""
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import quadratic_problem, rastrigin_problem
+from repro.search.coordinate import CoordinateDescent
+from repro.search.random_search import RandomSearch
+from repro.space import IntParameter, ParameterSpace
+from tests.helpers import drive, is_lattice_local_minimum
+
+
+class TestRandomSearch:
+    def test_batch_size(self, quad3):
+        tuner = RandomSearch(quad3.space, batch_size=4, rng=0)
+        assert len(tuner.ask()) == 4
+
+    def test_rejects_bad_batch(self, quad3):
+        with pytest.raises(ValueError):
+            RandomSearch(quad3.space, batch_size=0)
+
+    def test_tracks_best(self, quad3):
+        tuner = RandomSearch(quad3.space, rng=1)
+        best_seen = float("inf")
+        for _ in range(200):
+            batch = tuner.ask()
+            vals = [quad3(p) for p in batch]
+            best_seen = min(best_seen, min(vals))
+            tuner.tell(vals)
+        assert tuner.best_value == best_seen
+        assert quad3(tuner.best_point) == best_seen
+
+    def test_never_converges(self, quad3):
+        tuner = RandomSearch(quad3.space, rng=2)
+        drive(tuner, quad3.objective, max_evaluations=300)
+        assert not tuner.converged
+
+    def test_proposals_admissible(self, mixed_space):
+        tuner = RandomSearch(mixed_space, rng=3)
+        for _ in range(100):
+            batch = tuner.ask()
+            assert all(mixed_space.contains(p) for p in batch)
+            tuner.tell([1.0] * len(batch))
+
+
+class TestCoordinateDescent:
+    def test_solves_separable_quadratic(self, quad3):
+        tuner = CoordinateDescent(quad3.space)
+        drive(tuner, quad3.objective, max_evaluations=5000)
+        assert tuner.converged
+        assert np.array_equal(tuner.best_point, quad3.optimum_point)
+
+    def test_certifies_local_minimum(self):
+        prob = rastrigin_problem(2)
+        tuner = CoordinateDescent(prob.space)
+        drive(tuner, prob.objective, max_evaluations=5000)
+        assert tuner.converged
+        assert is_lattice_local_minimum(prob.space, prob.objective, tuner.best_point)
+
+    def test_asks_axis_neighbors(self, quad3):
+        tuner = CoordinateDescent(quad3.space)
+        tuner.tell([quad3(tuner.ask()[0])])  # init
+        batch = tuner.ask()
+        assert 1 <= len(batch) <= 2
+        cur = tuner.best_point
+        for p in batch:
+            assert np.count_nonzero(p != cur) == 1
+
+    def test_custom_start(self, quad3):
+        tuner = CoordinateDescent(quad3.space, initial_point=[0, 0, 0])
+        assert np.array_equal(tuner.best_point, [0, 0, 0])
+
+    def test_inadmissible_start_rejected(self, quad3):
+        with pytest.raises(ValueError):
+            CoordinateDescent(quad3.space, initial_point=[0.5, 0, 0])
+
+    def test_single_valued_space(self):
+        space = ParameterSpace([IntParameter("a", 2, 2)])
+        tuner = CoordinateDescent(space)
+        drive(tuner, lambda p: 1.0, max_evaluations=10)
+        assert tuner.converged
+
+    def test_sweep_counter(self, quad3):
+        tuner = CoordinateDescent(quad3.space)
+        drive(tuner, quad3.objective, max_evaluations=5000)
+        assert tuner.n_sweeps >= 1

@@ -1,0 +1,82 @@
+"""Unit tests for FloatParameter."""
+
+import numpy as np
+import pytest
+
+from repro.space import FloatParameter
+
+
+class TestConstruction:
+    def test_defaults(self):
+        p = FloatParameter("x", 0.0, 10.0)
+        assert p.probe_step == pytest.approx(0.1)
+        assert p.tolerance == pytest.approx(1e-5)
+
+    def test_custom_probe_and_tolerance(self):
+        p = FloatParameter("x", 0.0, 1.0, probe_step=0.25, tolerance=1e-3)
+        assert p.probe_step == 0.25
+        assert p.tolerance == 1e-3
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            FloatParameter("x", 3.0, 3.0)
+
+    def test_rejects_bad_probe_step(self):
+        with pytest.raises(ValueError):
+            FloatParameter("x", 0.0, 1.0, probe_step=0.0)
+
+    def test_rejects_infinite_bounds(self):
+        with pytest.raises(ValueError):
+            FloatParameter("x", 0.0, float("inf"))
+
+
+class TestAdmissibility:
+    def test_contains_interval(self):
+        p = FloatParameter("x", -1.0, 1.0)
+        assert p.contains(0.0)
+        assert p.contains(-1.0)
+        assert p.contains(1.0)
+        assert not p.contains(1.0001)
+        assert not p.contains(float("nan"))
+
+    def test_projection_is_clipping(self):
+        p = FloatParameter("x", -1.0, 1.0)
+        assert p.project(5.0, center=0.0) == 1.0
+        assert p.project(-5.0, center=0.0) == -1.0
+        assert p.project(0.3, center=0.0) == 0.3
+
+    def test_projection_center_must_be_admissible(self):
+        p = FloatParameter("x", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            p.project(0.5, center=2.0)
+
+    def test_nearest_is_clip(self):
+        p = FloatParameter("x", 0.0, 1.0)
+        assert p.nearest(2.0) == 1.0
+        assert p.nearest(0.25) == 0.25
+
+
+class TestNeighbors:
+    def test_interior_probe_steps(self):
+        p = FloatParameter("x", 0.0, 10.0, probe_step=0.5)
+        assert p.lower_neighbor(5.0) == pytest.approx(4.5)
+        assert p.upper_neighbor(5.0) == pytest.approx(5.5)
+
+    def test_at_boundary_blocked(self):
+        p = FloatParameter("x", 0.0, 10.0, probe_step=0.5)
+        assert p.lower_neighbor(0.0) is None
+        assert p.upper_neighbor(10.0) is None
+
+    def test_near_boundary_clamps_to_boundary(self):
+        p = FloatParameter("x", 0.0, 10.0, probe_step=0.5)
+        assert p.lower_neighbor(0.2) == 0.0
+        assert p.upper_neighbor(9.9) == 10.0
+
+
+class TestRandom:
+    def test_uniform_in_range(self):
+        p = FloatParameter("x", 2.0, 3.0)
+        rng = np.random.default_rng(7)
+        xs = np.array([p.random(rng) for _ in range(500)])
+        assert np.all((xs >= 2.0) & (xs <= 3.0))
+        assert abs(xs.mean() - 2.5) < 0.05

@@ -1,0 +1,162 @@
+"""Unit tests for IntParameter: admissibility, projection, neighbours."""
+
+import numpy as np
+import pytest
+
+from repro.space import IntParameter
+
+
+class TestConstruction:
+    def test_basic_range(self):
+        p = IntParameter("n", 1, 10)
+        assert p.lower == 1 and p.upper == 10
+        assert p.n_values == 10
+
+    def test_step_counts_values(self):
+        p = IntParameter("n", 0, 10, step=3)
+        assert p.n_values == 4  # 0, 3, 6, 9
+        assert list(p.values()) == [0, 3, 6, 9]
+
+    def test_upper_admissible_off_lattice(self):
+        p = IntParameter("n", 0, 10, step=3)
+        assert p.upper_admissible == 9
+
+    def test_single_value_range(self):
+        p = IntParameter("n", 5, 5)
+        assert p.n_values == 1
+        assert p.contains(5)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            IntParameter("n", 0, 10, step=0)
+        with pytest.raises(ValueError):
+            IntParameter("n", 0, 10, step=-2)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            IntParameter("n", 10, 0)
+
+    def test_rejects_non_integer_bounds(self):
+        with pytest.raises(ValueError):
+            IntParameter("n", 0.5, 10)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            IntParameter("", 0, 10)
+
+
+class TestContains:
+    def test_lattice_membership(self):
+        p = IntParameter("n", 0, 10, step=2)
+        assert p.contains(0)
+        assert p.contains(4)
+        assert not p.contains(5)
+        assert not p.contains(-2)
+        assert not p.contains(12)
+
+    def test_float_representation_of_lattice_value(self):
+        p = IntParameter("n", 0, 10)
+        assert p.contains(7.0)
+        assert not p.contains(7.5)
+
+    def test_non_finite(self):
+        p = IntParameter("n", 0, 10)
+        assert not p.contains(float("nan"))
+        assert not p.contains(float("inf"))
+
+
+class TestNearest:
+    def test_rounds_to_lattice(self):
+        p = IntParameter("n", 0, 10, step=2)
+        assert p.nearest(4.9) == 4
+        assert p.nearest(5.1) == 6
+
+    def test_clips_out_of_range(self):
+        p = IntParameter("n", 0, 10)
+        assert p.nearest(-3) == 0
+        assert p.nearest(99) == 10
+
+    def test_exact_value_unchanged(self):
+        p = IntParameter("n", 0, 10)
+        assert p.nearest(7) == 7
+
+
+class TestProjection:
+    """§3.2.1: round toward the transformation centre."""
+
+    def test_admissible_point_unchanged(self):
+        p = IntParameter("n", 0, 10)
+        assert p.project(4, center=2) == 4
+
+    def test_rounds_down_toward_lower_center(self):
+        p = IntParameter("n", 0, 10, step=2)
+        # 5 lies between 4 and 6; centre 2 < 5 so round down to 4.
+        assert p.project(5, center=2) == 4
+
+    def test_rounds_up_toward_higher_center(self):
+        p = IntParameter("n", 0, 10, step=2)
+        assert p.project(5, center=8) == 6
+
+    def test_clips_below(self):
+        p = IntParameter("n", 0, 10)
+        assert p.project(-7, center=0) == 0
+
+    def test_clips_above_to_admissible(self):
+        p = IntParameter("n", 0, 10, step=3)
+        assert p.project(25, center=0) == 9  # upper admissible, not 10
+
+    def test_center_must_be_admissible(self):
+        p = IntParameter("n", 0, 10, step=2)
+        with pytest.raises(ValueError):
+            p.project(5, center=3)
+
+    def test_rejects_nan(self):
+        p = IntParameter("n", 0, 10)
+        with pytest.raises(ValueError):
+            p.project(float("nan"), center=0)
+
+    def test_shrink_converges_to_center(self):
+        """Repeated shrink + projection drives x onto the centre (§3.2.1)."""
+        p = IntParameter("n", 0, 100)
+        center, x = 40.0, 90.0
+        for _ in range(30):
+            x = p.project(0.5 * (x + center), center)
+        assert x == center
+
+
+class TestNeighbors:
+    def test_interior(self):
+        p = IntParameter("n", 0, 10, step=2)
+        assert p.lower_neighbor(4) == 2
+        assert p.upper_neighbor(4) == 6
+
+    def test_boundaries(self):
+        p = IntParameter("n", 0, 10, step=2)
+        assert p.lower_neighbor(0) is None
+        assert p.upper_neighbor(10) is None
+
+    def test_requires_admissible_query(self):
+        p = IntParameter("n", 0, 10, step=2)
+        with pytest.raises(ValueError):
+            p.lower_neighbor(5)
+
+
+class TestRandomAndCenter:
+    def test_random_is_admissible(self):
+        p = IntParameter("n", 0, 100, step=7)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert p.contains(p.random(rng))
+
+    def test_random_covers_range(self):
+        p = IntParameter("n", 0, 4)
+        rng = np.random.default_rng(1)
+        seen = {p.random(rng) for _ in range(200)}
+        assert seen == {0.0, 1.0, 2.0, 3.0, 4.0}
+
+    def test_center_is_admissible(self):
+        p = IntParameter("n", 0, 10, step=3)
+        assert p.contains(p.center())
+
+    def test_span(self):
+        assert IntParameter("n", 2, 12).span == 10

@@ -1,0 +1,101 @@
+"""Unit tests for OrdinalParameter (explicit admissible value sets)."""
+
+import numpy as np
+import pytest
+
+from repro.space import OrdinalParameter
+
+
+class TestConstruction:
+    def test_sorted_storage(self):
+        p = OrdinalParameter("o", [8, 1, 4, 2])
+        assert list(p.values()) == [1, 2, 4, 8]
+        assert p.lower == 1 and p.upper == 8
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            OrdinalParameter("o", [1, 2, 2, 4])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            OrdinalParameter("o", [])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            OrdinalParameter("o", [1.0, float("inf")])
+
+    def test_single_value(self):
+        p = OrdinalParameter("o", [42])
+        assert p.contains(42)
+        assert p.lower_neighbor(42) is None
+        assert p.upper_neighbor(42) is None
+
+
+class TestMembership:
+    def test_contains_only_listed(self):
+        p = OrdinalParameter("o", [1, 2, 4, 8])
+        assert p.contains(4)
+        assert not p.contains(3)
+        assert not p.contains(16)
+
+    def test_nearest(self):
+        p = OrdinalParameter("o", [1, 2, 4, 8])
+        assert p.nearest(2.9) == 2
+        assert p.nearest(3.1) == 4
+        assert p.nearest(100) == 8
+        assert p.nearest(-5) == 1
+
+    def test_nearest_tie_goes_down(self):
+        p = OrdinalParameter("o", [1, 3])
+        assert p.nearest(2.0) == 1
+
+
+class TestProjection:
+    def test_round_toward_center(self):
+        p = OrdinalParameter("o", [1, 2, 4, 8, 16])
+        # 6 sits between 4 and 8; centre below -> 4, centre above -> 8.
+        assert p.project(6, center=2) == 4
+        assert p.project(6, center=16) == 8
+
+    def test_clip_to_extremes(self):
+        p = OrdinalParameter("o", [2, 4, 8])
+        assert p.project(0, center=4) == 2
+        assert p.project(99, center=4) == 8
+
+    def test_exact_value_kept(self):
+        p = OrdinalParameter("o", [2, 4, 8])
+        assert p.project(4, center=2) == 4
+
+    def test_center_validation(self):
+        p = OrdinalParameter("o", [2, 4, 8])
+        with pytest.raises(ValueError):
+            p.project(5, center=5)
+
+
+class TestNeighbors:
+    def test_interior(self):
+        p = OrdinalParameter("o", [1, 2, 4, 8])
+        assert p.lower_neighbor(4) == 2
+        assert p.upper_neighbor(4) == 8
+
+    def test_extremes(self):
+        p = OrdinalParameter("o", [1, 2, 4, 8])
+        assert p.lower_neighbor(1) is None
+        assert p.upper_neighbor(8) is None
+
+    def test_requires_member(self):
+        p = OrdinalParameter("o", [1, 2, 4])
+        with pytest.raises(ValueError):
+            p.upper_neighbor(3)
+
+
+class TestRandomAndCenter:
+    def test_random_member(self):
+        p = OrdinalParameter("o", [1, 2, 4, 8, 16])
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert p.contains(p.random(rng))
+
+    def test_center_is_member(self):
+        p = OrdinalParameter("o", [1, 2, 4, 8, 16])
+        assert p.contains(p.center())

@@ -1,0 +1,102 @@
+"""Property-based tests for parameter primitives beyond projection."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import FloatParameter, IntParameter, OrdinalParameter
+
+int_params = st.tuples(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=1, max_value=11),
+).map(lambda t: IntParameter("n", t[0], t[0] + t[1], step=t[2]))
+
+def _spaced(vals):
+    out = sorted(set(round(v, 3) for v in vals))
+    return out if out else [0.0]
+
+
+ordinal_params = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=15,
+).map(lambda vals: OrdinalParameter("o", _spaced(vals)))
+
+float_params = st.tuples(
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+).map(lambda t: FloatParameter("x", t[0], t[0] + t[1]))
+
+queries = st.floats(min_value=-2e6, max_value=2e6, allow_nan=False)
+
+
+class TestNearestProperties:
+    @given(int_params, queries)
+    @settings(max_examples=150)
+    def test_nearest_is_admissible_and_closest(self, p, x):
+        y = p.nearest(x)
+        assert p.contains(y)
+        x_clipped = min(max(x, p.lower), p.upper_admissible)
+        # No admissible value is strictly closer than the returned one.
+        assert abs(y - x_clipped) <= p.step / 2 + 1e-9
+
+    @given(ordinal_params, queries)
+    @settings(max_examples=150)
+    def test_ordinal_nearest_minimizes_distance(self, p, x):
+        y = p.nearest(x)
+        assert p.contains(y)
+        dists = np.abs(p.values() - min(max(x, p.lower), p.upper))
+        assert abs(y - min(max(x, p.lower), p.upper)) <= dists.min() + 1e-9
+
+    @given(float_params, queries)
+    @settings(max_examples=100)
+    def test_float_nearest_is_clip(self, p, x):
+        y = p.nearest(x)
+        assert p.lower <= y <= p.upper
+
+
+class TestNeighborProperties:
+    @given(int_params)
+    @settings(max_examples=100)
+    def test_neighbors_chain_covers_lattice(self, p):
+        """Walking upper_neighbor from the bottom visits every value."""
+        seen = [p.lower]
+        while True:
+            nxt = p.upper_neighbor(seen[-1])
+            if nxt is None:
+                break
+            seen.append(nxt)
+        assert seen == list(p.values())
+
+    @given(ordinal_params, st.data())
+    @settings(max_examples=100)
+    def test_neighbors_are_adjacent_members(self, p, data):
+        x = float(data.draw(st.sampled_from(list(p.values()))))
+        lo, hi = p.lower_neighbor(x), p.upper_neighbor(x)
+        values = list(p.values())
+        i = values.index(x)
+        assert lo == (values[i - 1] if i > 0 else None)
+        assert hi == (values[i + 1] if i < len(values) - 1 else None)
+
+    @given(int_params, st.data())
+    @settings(max_examples=100)
+    def test_neighbor_inverse(self, p, data):
+        x = float(data.draw(st.sampled_from(list(p.values()))))
+        up = p.upper_neighbor(x)
+        if up is not None:
+            assert p.lower_neighbor(up) == x
+
+
+class TestRandomProperties:
+    @given(int_params, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=100)
+    def test_random_always_admissible(self, p, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            assert p.contains(p.random(rng))
+
+    @given(ordinal_params, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=100)
+    def test_ordinal_random_member(self, p, seed):
+        rng = np.random.default_rng(seed)
+        assert p.contains(p.random(rng))

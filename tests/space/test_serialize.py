@@ -1,0 +1,62 @@
+"""Round-trip tests for the parameter spec (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.space import FloatParameter, IntParameter, OrdinalParameter, ParameterSpace
+from repro.space.serialize import (
+    parameter_from_spec,
+    parameter_to_spec,
+    space_from_spec,
+    space_to_spec,
+)
+
+
+class TestParameterRoundTrip:
+    def test_int(self):
+        p = IntParameter("n", 2, 20, step=3)
+        q = parameter_from_spec(parameter_to_spec(p))
+        assert isinstance(q, IntParameter)
+        assert (q.name, q.lower, q.upper, q.step) == ("n", 2, 20, 3)
+
+    def test_float(self):
+        p = FloatParameter("x", -1.5, 2.5, probe_step=0.1, tolerance=1e-4)
+        q = parameter_from_spec(parameter_to_spec(p))
+        assert isinstance(q, FloatParameter)
+        assert q.probe_step == 0.1
+        assert q.tolerance == 1e-4
+
+    def test_ordinal(self):
+        p = OrdinalParameter("o", [1, 2, 4, 8])
+        q = parameter_from_spec(parameter_to_spec(p))
+        assert isinstance(q, OrdinalParameter)
+        assert list(q.values()) == [1, 2, 4, 8]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            parameter_from_spec({"type": "banana", "name": "x"})
+
+
+class TestSpaceRoundTrip:
+    def test_preserves_order_and_kinds(self, mixed_space):
+        specs = space_to_spec(mixed_space)
+        rebuilt = space_from_spec(specs)
+        assert rebuilt.names == mixed_space.names
+        for a, b in zip(mixed_space, rebuilt):
+            assert type(a) is type(b)
+
+    def test_specs_are_json_serializable(self, mixed_space):
+        text = json.dumps(space_to_spec(mixed_space))
+        rebuilt = space_from_spec(json.loads(text))
+        assert rebuilt.names == mixed_space.names
+
+    def test_rebuilt_space_projects_identically(self, int_space):
+        rebuilt = space_from_spec(space_to_spec(int_space))
+        center = int_space.center()
+        raw = [5.5, -99.0, 44.0]
+        import numpy as np
+
+        assert np.array_equal(
+            int_space.project(raw, center), rebuilt.project(raw, center)
+        )

@@ -1,0 +1,64 @@
+"""Unit tests for ParameterSpace.slice and SliceEmbedding."""
+
+import numpy as np
+import pytest
+
+from repro.space import IntParameter, ParameterSpace
+
+
+class TestSlice:
+    def test_subspace_drops_fixed(self, int_space):
+        sub, embed = int_space.slice({"b": 0})
+        assert sub.names == ("a", "c")
+        assert embed.fixed == {"b": 0}
+
+    def test_embedding_roundtrip(self, int_space):
+        sub, embed = int_space.slice({"b": -2})
+        full = embed([3, 50])
+        assert int_space.contains(full)
+        assert int_space.as_dict(full) == {"a": 3.0, "b": -2.0, "c": 50.0}
+
+    def test_lift_objective(self, int_space):
+        def f(point):
+            d = int_space.as_dict(point)
+            return d["a"] + 10 * d["b"] + 100 * d["c"]
+
+        sub, embed = int_space.slice({"b": 1})
+        lifted = embed.lift(f)
+        assert lifted([2, 30]) == 2 + 10 + 3000
+
+    def test_tune_on_slice(self, int_space):
+        """A tuner can search the sub-space against a lifted objective."""
+        from repro.core.pro import ParallelRankOrdering
+        from tests.helpers import drive
+
+        target = int_space.as_point({"a": 7, "b": 0, "c": 20})
+
+        def f(point):
+            return float(np.sum((point - target) ** 2)) + 1.0
+
+        sub, embed = int_space.slice({"b": 0})
+        tuner = ParallelRankOrdering(sub)
+        drive(tuner, embed.lift(f))
+        assert tuner.converged
+        assert int_space.as_dict(embed(tuner.best_point)) == {
+            "a": 7.0, "b": 0.0, "c": 20.0,
+        }
+
+    def test_validation(self, int_space):
+        with pytest.raises(ValueError, match="unknown"):
+            int_space.slice({"zzz": 1})
+        with pytest.raises(ValueError, match="not admissible"):
+            int_space.slice({"c": 55})  # off the step-10 lattice
+        with pytest.raises(ValueError, match="nothing left"):
+            int_space.slice({"a": 0, "b": 0, "c": 0})
+
+    def test_embedding_dimension_check(self, int_space):
+        _, embed = int_space.slice({"a": 0})
+        with pytest.raises(ValueError):
+            embed([1, 2, 3])
+
+    def test_multiple_fixed(self, int_space):
+        sub, embed = int_space.slice({"a": 1, "c": 40})
+        assert sub.dimension == 1
+        assert int_space.contains(embed([-3]))

@@ -1,0 +1,161 @@
+"""Unit tests for ParameterSpace: point plumbing, projection, probes."""
+
+import numpy as np
+import pytest
+
+from repro.space import FloatParameter, IntParameter, ParameterSpace
+
+
+class TestConstruction:
+    def test_dimension_and_names(self, int_space):
+        assert int_space.dimension == 3
+        assert int_space.names == ("a", "b", "c")
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            ParameterSpace([IntParameter("a", 0, 1), IntParameter("a", 0, 2)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ParameterSpace([])
+
+    def test_getitem_by_name_and_index(self, int_space):
+        assert int_space["b"].name == "b"
+        assert int_space[0].name == "a"
+
+    def test_iteration(self, int_space):
+        assert [p.name for p in int_space] == ["a", "b", "c"]
+
+
+class TestPointPlumbing:
+    def test_as_point_from_dict(self, int_space):
+        pt = int_space.as_point({"a": 1, "b": -2, "c": 30})
+        assert np.array_equal(pt, [1, -2, 30])
+
+    def test_as_point_from_sequence(self, int_space):
+        pt = int_space.as_point([1, 2, 3])
+        assert pt.shape == (3,)
+
+    def test_as_point_rejects_wrong_keys(self, int_space):
+        with pytest.raises(ValueError, match="missing"):
+            int_space.as_point({"a": 1, "b": 2})
+        with pytest.raises(ValueError, match="extra"):
+            int_space.as_point({"a": 1, "b": 2, "c": 3, "d": 4})
+
+    def test_as_point_rejects_wrong_shape(self, int_space):
+        with pytest.raises(ValueError):
+            int_space.as_point([1, 2])
+
+    def test_as_dict_roundtrip(self, int_space):
+        d = {"a": 3.0, "b": 0.0, "c": 50.0}
+        assert int_space.as_dict(int_space.as_point(d)) == d
+
+
+class TestAdmissibility:
+    def test_contains(self, int_space):
+        assert int_space.contains([1, 0, 50])
+        assert not int_space.contains([1, 0, 55])  # c has step 10
+        assert not int_space.contains([11, 0, 50])  # a above range
+
+    def test_project_coordinatewise(self, int_space):
+        center = int_space.as_point([5, 0, 50])
+        raw = [5.5, -99.0, 44.0]
+        projected = int_space.project(raw, center)
+        assert int_space.contains(projected)
+        assert projected[1] == -5  # clipped
+        assert projected[2] == 50  # 44 between 40 and 50, centre 50 above -> 50
+
+    def test_nearest(self, int_space):
+        snapped = int_space.nearest([5.4, 0.2, 47.0])
+        assert int_space.contains(snapped)
+        assert snapped[2] == 50
+
+    def test_center_admissible(self, int_space, mixed_space):
+        assert int_space.contains(int_space.center())
+        assert mixed_space.contains(mixed_space.center())
+
+
+class TestGrid:
+    def test_n_points(self, int_space):
+        assert int_space.n_points() == 11 * 11 * 11
+
+    def test_grid_enumeration_count(self):
+        space = ParameterSpace(
+            [IntParameter("a", 0, 2), IntParameter("b", 0, 1)]
+        )
+        pts = list(space.grid())
+        assert len(pts) == 6
+        assert all(space.contains(p) for p in pts)
+
+    def test_grid_rejected_for_continuous(self, mixed_space):
+        with pytest.raises(ValueError):
+            list(mixed_space.grid())
+        with pytest.raises(ValueError):
+            mixed_space.n_points()
+
+    def test_is_discrete(self, int_space, mixed_space):
+        assert int_space.is_discrete
+        assert not mixed_space.is_discrete
+
+
+class TestProbePoints:
+    def test_interior_point_yields_2n(self, int_space):
+        probes = int_space.probe_points([5, 0, 50])
+        assert len(probes) == 6
+        for p in probes:
+            assert int_space.contains(p)
+
+    def test_corner_point_yields_n(self, int_space):
+        probes = int_space.probe_points([0, -5, 0])
+        assert len(probes) == 3  # only upward direction per coordinate
+
+    def test_probe_steps_are_lattice_neighbors(self, int_space):
+        probes = int_space.probe_points([5, 0, 50])
+        diffs = sorted(tuple(p - int_space.as_point([5, 0, 50])) for p in probes)
+        assert (0.0, 0.0, 10.0) in diffs
+        assert (0.0, 0.0, -10.0) in diffs
+
+    def test_rejects_inadmissible_center(self, int_space):
+        with pytest.raises(ValueError):
+            int_space.probe_points([5.5, 0, 50])
+
+
+class TestCoincident:
+    def test_identical_discrete_points(self, int_space):
+        pts = [int_space.as_point([1, 1, 10])] * 4
+        assert int_space.coincident(pts)
+
+    def test_differing_discrete_points(self, int_space):
+        assert not int_space.coincident([[1, 1, 10], [1, 1, 20]])
+
+    def test_continuous_tolerance(self):
+        space = ParameterSpace([FloatParameter("x", 0, 1, tolerance=1e-3)])
+        assert space.coincident([[0.5], [0.5005]])
+        assert not space.coincident([[0.5], [0.51]])
+
+    def test_single_point_trivially_coincident(self, int_space):
+        assert int_space.coincident([[1, 1, 10]])
+
+
+class TestNormalize:
+    def test_unit_box(self, int_space):
+        lo = int_space.normalize(int_space.lower_bounds())
+        hi = int_space.normalize(int_space.upper_bounds())
+        assert np.allclose(lo, 0.0)
+        assert np.allclose(hi, 1.0)
+
+    def test_random_points_in_unit_box(self, mixed_space, rng):
+        for _ in range(20):
+            z = mixed_space.normalize(mixed_space.random_point(rng))
+            assert np.all((z >= 0) & (z <= 1))
+
+
+class TestRandomPoint:
+    def test_admissible(self, mixed_space, rng):
+        for _ in range(50):
+            assert mixed_space.contains(mixed_space.random_point(rng))
+
+    def test_reproducible(self, mixed_space):
+        a = mixed_space.random_point(5)
+        b = mixed_space.random_point(5)
+        assert np.array_equal(a, b)

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the projection operator.
+
+The projection operator's §3.2.1 contract is load-bearing for PRO's
+convergence: results are always admissible, admissible inputs are fixed
+points, and rounding always moves *toward* the transformation centre.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import IntParameter, OrdinalParameter
+
+int_params = st.tuples(
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=1, max_value=7),
+).map(lambda t: IntParameter("n", t[0], t[0] + t[1], step=t[2]))
+
+
+@st.composite
+def param_with_center(draw):
+    p = draw(int_params)
+    values = p.values()
+    center = float(draw(st.sampled_from(list(values))))
+    x = draw(st.floats(min_value=p.lower - 50, max_value=p.upper + 50,
+                       allow_nan=False, allow_infinity=False))
+    return p, center, x
+
+
+class TestIntProjectionProperties:
+    @given(param_with_center())
+    @settings(max_examples=200)
+    def test_result_is_admissible(self, pcx):
+        p, center, x = pcx
+        assert p.contains(p.project(x, center))
+
+    @given(param_with_center())
+    @settings(max_examples=200)
+    def test_idempotent(self, pcx):
+        p, center, x = pcx
+        once = p.project(x, center)
+        assert p.project(once, center) == once
+
+    @given(param_with_center())
+    @settings(max_examples=200)
+    def test_admissible_fixed_point(self, pcx):
+        p, center, _ = pcx
+        for v in p.values():
+            assert p.project(float(v), center) == v
+
+    @given(param_with_center())
+    @settings(max_examples=200)
+    def test_rounds_toward_center_within_one_step(self, pcx):
+        """|Π(x) - x| < step, and the rounding direction points at the centre."""
+        p, center, x = pcx
+        y = p.project(x, center)
+        x_clipped = min(max(x, p.lower), p.upper_admissible)
+        assert abs(y - x_clipped) < p.step
+        if not p.contains(x_clipped) and p.lower < x_clipped < p.upper_admissible:
+            # Interior, off-lattice: the projection error has the same sign
+            # as (center - x), i.e. rounding moved toward the centre.
+            if center != x_clipped:
+                assert (y - x_clipped) * (center - x_clipped) >= 0
+
+    @given(param_with_center(), st.integers(min_value=1, max_value=60))
+    @settings(max_examples=100)
+    def test_repeated_shrink_reaches_center(self, pcx, n_iter):
+        """§3.2.1: finitely many shrinks collapse x onto the centre."""
+        p, center, x = pcx
+        y = p.project(x, center)
+        span_steps = p.n_values
+        for _ in range(max(n_iter, span_steps + 2)):
+            y = p.project(0.5 * (y + center), center)
+        assert y == center
+
+
+ordinal_params = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=2, max_size=12, unique=True
+).map(lambda vals: OrdinalParameter("o", vals))
+
+
+class TestOrdinalProjectionProperties:
+    @given(ordinal_params, st.data())
+    @settings(max_examples=150)
+    def test_result_is_member(self, p, data):
+        center = float(data.draw(st.sampled_from(list(p.values()))))
+        x = data.draw(
+            st.floats(min_value=p.lower - 10, max_value=p.upper + 10,
+                      allow_nan=False, allow_infinity=False)
+        )
+        assert p.contains(p.project(x, center))
+
+    @given(ordinal_params, st.data())
+    @settings(max_examples=150)
+    def test_projection_within_bracketing_values(self, p, data):
+        center = float(data.draw(st.sampled_from(list(p.values()))))
+        x = data.draw(
+            st.floats(min_value=p.lower, max_value=p.upper,
+                      allow_nan=False, allow_infinity=False)
+        )
+        y = p.project(x, center)
+        values = p.values()
+        below = values[values <= x]
+        above = values[values >= x]
+        candidates = set()
+        if below.size:
+            candidates.add(float(below[-1]))
+        if above.size:
+            candidates.add(float(above[0]))
+        assert y in candidates

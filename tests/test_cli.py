@@ -1,0 +1,121 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_tuner_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--tuner", "bogus"])
+
+
+class TestTune:
+    def test_single_trial(self, capsys):
+        code = main(["tune", "--budget", "60", "--rho", "0", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best config" in out
+        assert "Total_Time" in out
+
+    def test_plot_flag(self, capsys):
+        code = main(["tune", "--budget", "60", "--rho", "0", "--plot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-step barrier time" in out
+
+    def test_multi_trial_sweep(self, capsys):
+        code = main(
+            ["tune", "--budget", "60", "--trials", "3", "--rho", "0.2", "--k", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean NTT" in out
+
+    def test_json_export_single(self, tmp_path, capsys):
+        target = tmp_path / "result.json"
+        code = main(
+            ["tune", "--budget", "40", "--rho", "0", "--json", str(target)]
+        )
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["tuner_name"] == "ParallelRankOrdering"
+        assert len(data["step_times"]) == 40
+
+    def test_json_export_sweep(self, tmp_path, capsys):
+        target = tmp_path / "sweep.json"
+        code = main(
+            ["tune", "--budget", "40", "--trials", "2", "--json", str(target)]
+        )
+        assert code == 0
+        data = json.loads(target.read_text())
+        assert data["cells"][0]["name"] == "pro"
+
+    def test_other_tuners(self, capsys):
+        for tuner in ("sro", "neldermead", "random"):
+            assert main(["tune", "--tuner", tuner, "--budget", "30", "--rho", "0"]) == 0
+            capsys.readouterr()
+
+
+class TestTrace:
+    def test_trace_output(self, capsys):
+        code = main(["trace", "--nodes", "4", "--iterations", "120"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean_cross_correlation" in out
+        assert "Hill alpha" in out
+        assert "truncated at 5 x median" in out
+
+
+class TestSurface:
+    def test_surface_heatmap(self, capsys):
+        code = main(["surface"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "local minima" in out
+        assert "scale:" in out
+
+    def test_bad_fixed_spec(self, capsys):
+        code = main(["surface", "--fixed", "nodes"])
+        assert code == 2
+        assert "name=value" in capsys.readouterr().err
+
+
+class TestFigures:
+    def test_fig08(self, capsys):
+        assert main(["figures", "fig08"]) == 0
+        assert "local minima" in capsys.readouterr().out
+
+    def test_fig09_tiny(self, capsys):
+        assert main(["figures", "fig09", "--trials", "2"]) == 0
+        assert "axial beats minimal" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "fig99"])
+
+
+class TestStencilWorkload:
+    def test_tune_stencil(self, capsys):
+        code = main(
+            ["tune", "--workload", "stencil", "--budget", "40", "--rho", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tile_x" in out
+
+    def test_tune_stencil_sweep_json(self, tmp_path, capsys):
+        target = tmp_path / "stencil.json"
+        code = main(
+            ["tune", "--workload", "stencil", "--budget", "30",
+             "--trials", "2", "--json", str(target)]
+        )
+        assert code == 0
+        assert target.exists()

@@ -1,0 +1,84 @@
+"""Unit tests for repro._util."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_generator,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    pairwise_distinct,
+    spawn_generators,
+    weighted_average,
+)
+
+
+class TestGenerators:
+    def test_int_seed_deterministic(self):
+        assert as_generator(3).random() == as_generator(3).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_count(self):
+        children = spawn_generators(0, 4)
+        assert len(children) == 4
+
+    def test_spawned_streams_differ(self):
+        a, b = spawn_generators(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestChecks:
+    def test_check_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive("x", bad)
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -0.1)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 0.5, 0.0, 1.0) == 0.5
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 0.99) == 0.99
+        with pytest.raises(ValueError):
+            check_probability("p", 1.0)
+
+
+class TestHelpers:
+    def test_pairwise_distinct(self):
+        assert pairwise_distinct([[0, 0], [1, 0]])
+        assert not pairwise_distinct([[0, 0], [0, 0]])
+        assert not pairwise_distinct([[0.0], [1e-12]], tol=1e-9)
+
+    def test_weighted_average_basic(self):
+        assert weighted_average(np.array([1.0, 3.0]), np.array([1.0, 1.0])) == 2.0
+        assert weighted_average(np.array([1.0, 3.0]), np.array([3.0, 1.0])) == 1.5
+
+    def test_weighted_average_zero_weights_degrade(self):
+        assert weighted_average(np.array([1.0, 3.0]), np.zeros(2)) == 2.0
+
+    def test_weighted_average_validation(self):
+        with pytest.raises(ValueError):
+            weighted_average(np.ones(2), np.ones(3))
+        with pytest.raises(ValueError):
+            weighted_average(np.array([]), np.array([]))

@@ -1,0 +1,149 @@
+"""Unit tests for distribution fitting and AIC model selection."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.variability import ParetoDistribution, ParetoNoise
+from repro.variability.fitting import classify_excess, fit_candidates
+
+
+class TestFitters:
+    def test_pareto_mle_recovers_parameters(self):
+        d = ParetoDistribution(1.7, 2.0)
+        x = d.sample(0, size=50_000)
+        fits = fit_candidates(x, families=("pareto",))
+        assert fits[0].params["alpha"] == pytest.approx(1.7, rel=0.03)
+        assert fits[0].params["beta"] == pytest.approx(2.0, rel=0.001)
+
+    def test_exponential_mle(self):
+        rng = np.random.default_rng(1)
+        x = rng.exponential(3.0, 50_000)
+        fits = fit_candidates(x, families=("exponential",))
+        assert fits[0].params["mean"] == pytest.approx(3.0, rel=0.03)
+
+    def test_lognormal_mle(self):
+        rng = np.random.default_rng(2)
+        x = rng.lognormal(mean=0.5, sigma=0.8, size=50_000)
+        fits = fit_candidates(x, families=("lognormal",))
+        assert fits[0].params["mu"] == pytest.approx(0.5, abs=0.03)
+        assert fits[0].params["sigma"] == pytest.approx(0.8, abs=0.03)
+
+    def test_weibull_mle(self):
+        x = stats.weibull_min(c=1.5, scale=2.0).rvs(
+            size=50_000, random_state=3
+        )
+        fits = fit_candidates(x, families=("weibull",))
+        assert fits[0].params["shape"] == pytest.approx(1.5, rel=0.05)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            fit_candidates(np.ones(100) + np.arange(100), families=("cauchy",))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_candidates(np.array([1.0, 2.0]))
+
+
+class TestModelSelection:
+    def test_pareto_data_selects_pareto(self):
+        d = ParetoDistribution(1.5, 1.0)
+        x = d.sample(4, size=20_000)
+        best = fit_candidates(x)[0]
+        assert best.family == "pareto"
+        assert best.heavy_tailed
+
+    def test_exponential_data_rejects_pareto(self):
+        rng = np.random.default_rng(5)
+        x = rng.exponential(2.0, 20_000) + 0.01
+        best = fit_candidates(x)[0]
+        assert best.family in ("exponential", "weibull", "lognormal")
+        assert not best.heavy_tailed
+
+    def test_lognormal_data_selects_lognormal(self):
+        rng = np.random.default_rng(6)
+        x = rng.lognormal(0.0, 1.0, 20_000)
+        best = fit_candidates(x)[0]
+        assert best.family == "lognormal"
+
+    def test_results_sorted_by_aic(self):
+        d = ParetoDistribution(1.5, 1.0)
+        fits = fit_candidates(d.sample(7, size=5_000))
+        aics = [f.aic for f in fits]
+        assert aics == sorted(aics)
+
+    def test_heavy_flag_requires_alpha_below_two(self):
+        d = ParetoDistribution(3.5, 1.0)  # light-ish Pareto
+        best = fit_candidates(d.sample(8, size=20_000), families=("pareto",))[0]
+        assert not best.heavy_tailed
+
+
+class TestClassifyExcess:
+    def test_eq17_noise_with_known_baseline_is_pareto(self):
+        """Excess over the true f is exactly the Pareto noise term."""
+        noise = ParetoNoise(rho=0.3, alpha=1.6)
+        rng = np.random.default_rng(9)
+        y = noise.observe_batch(np.full(20_000, 2.0), rng)
+        fits = classify_excess(y, baseline=2.0)
+        assert fits[0].family == "pareto"
+        assert fits[0].heavy_tailed
+        assert fits[0].params["alpha"] == pytest.approx(1.6, rel=0.15)
+
+    def test_eq17_noise_with_min_baseline_is_lomax(self):
+        """Excess over the sample minimum is a Lomax — and still flagged
+        heavy with the right tail index."""
+        noise = ParetoNoise(rho=0.3, alpha=1.6)
+        rng = np.random.default_rng(12)
+        y = noise.observe_batch(np.full(20_000, 2.0), rng)
+        fits = classify_excess(y)  # default baseline: sample min
+        assert fits[0].family == "lomax"
+        assert fits[0].heavy_tailed
+        assert fits[0].params["alpha"] == pytest.approx(1.6, rel=0.2)
+
+    def test_gaussian_noise_not_heavy(self):
+        from repro.variability import GaussianNoise
+
+        noise = GaussianNoise(rho=0.3, cv=0.3)
+        rng = np.random.default_rng(10)
+        y = noise.observe_batch(np.full(20_000, 2.0), rng)
+        fits = classify_excess(y)
+        assert not fits[0].heavy_tailed
+
+    def test_noise_free_rejected(self):
+        with pytest.raises(ValueError, match="noise-free"):
+            classify_excess(np.full(100, 3.0))
+
+    def test_explicit_baseline(self):
+        noise = ParetoNoise(rho=0.2)
+        rng = np.random.default_rng(11)
+        y = noise.observe_batch(np.full(5_000, 1.0), rng)
+        fits = classify_excess(y, baseline=1.0)
+        assert fits[0].n > 0
+
+
+class TestClassifyTail:
+    def test_pot_on_pareto_data(self):
+        d = ParetoDistribution(1.5, 1.0)
+        x = d.sample(13, size=30_000)
+        from repro.variability.fitting import classify_tail
+        fits = classify_tail(x, tail_fraction=0.10)
+        by = {f.family: f for f in fits}
+        # POT exceedances of a Pareto are Lomax with the same index.
+        assert by["lomax"].params["alpha"] == pytest.approx(1.5, rel=0.15)
+        assert by["lomax"].aic < by["exponential"].aic
+
+    def test_pot_on_exponential_data(self):
+        rng = np.random.default_rng(14)
+        x = rng.exponential(1.0, 30_000)
+        from repro.variability.fitting import classify_tail
+        fits = classify_tail(x, tail_fraction=0.10)
+        # Memoryless tail: exceedances are exponential again; the winner is
+        # never a heavy family.
+        assert not fits[0].heavy_tailed
+
+    def test_tail_fraction_validated(self):
+        from repro.variability.fitting import classify_tail
+        with pytest.raises(ValueError):
+            classify_tail(np.arange(1.0, 100.0), tail_fraction=0.0)
+        with pytest.raises(ValueError):
+            classify_tail(np.arange(1.0, 50.0), tail_fraction=0.05)

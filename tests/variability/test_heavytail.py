@@ -1,0 +1,144 @@
+"""Unit tests for the heavy-tail diagnostics (the Figs. 4–7 toolkit)."""
+
+import numpy as np
+import pytest
+
+from repro.variability import (
+    ParetoDistribution,
+    empirical_ccdf,
+    empirical_pdf,
+    hill_estimator,
+    loglog_tail_fit,
+    tail_report,
+    truncate,
+)
+
+
+class TestEmpiricalPdf:
+    def test_density_normalizes(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(1.0, 5000)
+        edges, density = empirical_pdf(data, bins=40)
+        widths = np.diff(edges)
+        assert float(np.sum(density * widths)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_log_bins_geometric(self):
+        data = np.geomspace(1, 1000, 500)
+        edges, _ = empirical_pdf(data, bins=10, log_bins=True)
+        ratios = edges[1:] / edges[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_pdf(np.array([]))
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            empirical_pdf(np.ones(10), bins=0)
+
+    def test_drops_non_finite(self):
+        data = np.array([1.0, np.nan, 2.0, np.inf, 3.0])
+        edges, density = empirical_pdf(data, bins=3)
+        assert np.isfinite(density).all()
+
+
+class TestEmpiricalCcdf:
+    def test_monotone_decreasing(self):
+        rng = np.random.default_rng(1)
+        x, q = empirical_ccdf(rng.normal(size=1000))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(q) <= 0)
+
+    def test_endpoints(self):
+        x, q = empirical_ccdf(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert q[0] == pytest.approx(0.75)
+        assert q[-1] == 0.0
+
+    def test_matches_definition(self):
+        data = np.array([1.0, 1.0, 2.0, 5.0])
+        x, q = empirical_ccdf(data)
+        # P[X > 1] = 2/4 at the last of the tied samples
+        assert q[x == 1.0][-1] == pytest.approx(0.5)
+
+
+class TestTailFit:
+    def test_recovers_pareto_exponent(self):
+        d = ParetoDistribution(1.5, 1.0)
+        data = d.sample(2, size=100_000)
+        fit = loglog_tail_fit(data, tail_fraction=0.05)
+        assert fit.alpha == pytest.approx(1.5, abs=0.25)
+        assert fit.r_squared > 0.95
+
+    def test_exponential_is_not_linear_in_loglog(self):
+        rng = np.random.default_rng(3)
+        data = rng.exponential(1.0, 100_000)
+        fit_exp = loglog_tail_fit(data, tail_fraction=0.05)
+        d = ParetoDistribution(1.5, 1.0)
+        fit_par = loglog_tail_fit(d.sample(4, size=100_000), tail_fraction=0.05)
+        # The Pareto tail is more linear than the exponential tail.
+        assert fit_par.r_squared > fit_exp.r_squared
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            loglog_tail_fit(np.array([1.0, 2.0, 3.0]))
+
+    def test_rejects_degenerate_tail(self):
+        with pytest.raises(ValueError):
+            loglog_tail_fit(np.ones(100))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            loglog_tail_fit(np.arange(1, 100, dtype=float), tail_fraction=0.0)
+
+
+class TestHill:
+    def test_recovers_exact_pareto(self):
+        d = ParetoDistribution(1.7, 1.0)
+        data = d.sample(5, size=200_000)
+        assert hill_estimator(data, k=20_000) == pytest.approx(1.7, abs=0.1)
+
+    def test_light_tail_estimates_high(self):
+        rng = np.random.default_rng(6)
+        data = np.abs(rng.normal(size=100_000)) + 1.0
+        assert hill_estimator(data) > 2.5
+
+    def test_rejects_small_sample(self):
+        with pytest.raises(ValueError):
+            hill_estimator(np.arange(1, 6, dtype=float))
+
+    def test_rejects_bad_k(self):
+        data = np.arange(1, 100, dtype=float)
+        with pytest.raises(ValueError):
+            hill_estimator(data, k=0)
+        with pytest.raises(ValueError):
+            hill_estimator(data, k=99)
+
+
+class TestTruncate:
+    def test_drops_above_cap(self):
+        data = np.array([1.0, 2.0, 10.0, 3.0])
+        out = truncate(data, 3.0)
+        assert sorted(out) == [1.0, 2.0, 3.0]
+
+    def test_rejects_non_finite_cap(self):
+        with pytest.raises(ValueError):
+            truncate(np.ones(10), float("nan"))
+
+
+class TestTailReport:
+    def test_pareto_flagged_heavy(self):
+        d = ParetoDistribution(1.4, 1.0)
+        rep = tail_report(d.sample(7, size=100_000))
+        assert rep.heavy_tailed
+        assert rep.hill_alpha < 2.0
+
+    def test_gaussian_flagged_light(self):
+        rng = np.random.default_rng(8)
+        rep = tail_report(np.abs(rng.normal(size=100_000)) + 1.0)
+        assert not rep.heavy_tailed
+
+    def test_lines_render(self):
+        d = ParetoDistribution(1.7, 1.0)
+        rep = tail_report(d.sample(9, size=5_000))
+        text = "\n".join(rep.lines())
+        assert "Hill alpha" in text and "heavy-tailed" in text

@@ -1,0 +1,139 @@
+"""Unit tests for the noise models."""
+
+import numpy as np
+import pytest
+
+from repro.variability import (
+    ExponentialNoise,
+    GaussianNoise,
+    NoNoise,
+    ParetoNoise,
+    SpikeMixtureNoise,
+    TruncatedParetoNoise,
+)
+
+
+class TestNoNoise:
+    def test_identity(self, rng):
+        m = NoNoise()
+        assert m.observe(3.0, rng) == 3.0
+        f = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(m.observe_batch(f, rng), f)
+
+    def test_rho_zero(self):
+        assert NoNoise().rho == 0.0
+
+
+class TestParetoNoise:
+    def test_observed_at_least_f_plus_beta(self, rng):
+        m = ParetoNoise(rho=0.3, alpha=1.7)
+        f = 2.0
+        floor = f + float(m.n_min(f))
+        ys = np.array([m.observe(f, rng) for _ in range(500)])
+        assert np.all(ys >= floor - 1e-12)
+
+    def test_mean_matches_two_job_model(self):
+        m = ParetoNoise(rho=0.2, alpha=1.7)
+        rng = np.random.default_rng(0)
+        f = np.full(400_000, 1.0)
+        ys = m.observe_batch(f, rng)
+        # alpha = 1.7: finite mean, infinite variance -> generous tolerance.
+        assert ys.mean() == pytest.approx(1.0 / 0.8, rel=0.05)
+
+    def test_zero_rho_degenerates(self, rng):
+        m = ParetoNoise(rho=0.0)
+        assert m.observe(2.0, rng) == 2.0
+
+    def test_noise_scales_with_f(self, rng):
+        m = ParetoNoise(rho=0.3)
+        assert float(m.n_min(4.0)) == pytest.approx(2.0 * float(m.n_min(2.0)))
+
+    def test_distribution_for(self):
+        m = ParetoNoise(rho=0.3, alpha=1.7)
+        d = m.distribution_for(2.0)
+        assert d is not None
+        assert d.alpha == 1.7
+        assert d.beta == pytest.approx(float(m.n_min(2.0)))
+        assert ParetoNoise(rho=0.0).distribution_for(2.0) is None
+
+    def test_rejects_alpha_at_most_one(self):
+        with pytest.raises(ValueError):
+            ParetoNoise(rho=0.2, alpha=1.0)
+
+    def test_rejects_rho_one(self):
+        with pytest.raises(ValueError):
+            ParetoNoise(rho=1.0)
+
+    def test_batch_shape_preserved(self, rng):
+        m = ParetoNoise(rho=0.2)
+        f = np.ones((3, 4))
+        assert m.observe_batch(f, rng).shape == (3, 4)
+
+
+class TestTruncatedPareto:
+    def test_cap_respected(self, rng):
+        m = TruncatedParetoNoise(rho=0.3, cap_factor=2.0)
+        f = np.full(5000, 1.0)
+        ys = m.observe_batch(f, rng)
+        assert np.all(ys <= 1.0 + 2.0 * 1.0 + 1e-12)
+
+    def test_expected_observed_not_closed_form(self):
+        with pytest.raises(NotImplementedError):
+            TruncatedParetoNoise(rho=0.3).expected_observed(1.0)
+
+
+class TestGaussianNoise:
+    def test_nonnegative_noise(self, rng):
+        m = GaussianNoise(rho=0.3, cv=1.0)
+        f = np.full(5000, 1.0)
+        ys = m.observe_batch(f, rng)
+        assert np.all(ys >= 1.0)
+
+    def test_mean_approximately_two_job(self):
+        m = GaussianNoise(rho=0.2, cv=0.25)
+        rng = np.random.default_rng(1)
+        ys = m.observe_batch(np.full(100_000, 1.0), rng)
+        assert ys.mean() == pytest.approx(1.25, rel=0.01)
+
+    def test_light_tail(self):
+        """No Gaussian sample strays far: max/median stays small."""
+        m = GaussianNoise(rho=0.3, cv=0.25)
+        rng = np.random.default_rng(2)
+        ys = m.observe_batch(np.full(100_000, 1.0), rng)
+        assert ys.max() / np.median(ys) < 2.0
+
+
+class TestExponentialNoise:
+    def test_mean_matches_eq7(self):
+        m = ExponentialNoise(rho=0.25)
+        rng = np.random.default_rng(3)
+        ys = m.observe_batch(np.full(200_000, 3.0), rng)
+        assert ys.mean() == pytest.approx(4.0, rel=0.01)
+
+    def test_zero_rho(self, rng):
+        assert ExponentialNoise(rho=0.0).observe(1.5, rng) == 1.5
+
+
+class TestSpikeMixture:
+    def test_rho_derived_from_mixture(self):
+        m = SpikeMixtureNoise()
+        assert 0.0 < m.rho < 0.5
+
+    def test_mean_matches_derived_rho(self):
+        m = SpikeMixtureNoise(jitter=0.0)
+        rng = np.random.default_rng(4)
+        ys = m.observe_batch(np.full(500_000, 1.0), rng)
+        assert ys.mean() == pytest.approx(1.0 / (1.0 - m.rho), rel=0.05)
+
+    def test_two_spike_populations_present(self):
+        m = SpikeMixtureNoise()
+        rng = np.random.default_rng(5)
+        ys = m.observe_batch(np.full(50_000, 1.0), rng)
+        n_small = np.sum((ys > 1.05) & (ys <= 2.0))
+        n_big = np.sum(ys > 5.0)
+        assert n_small > 100
+        assert n_big > 10
+
+    def test_rejects_heavy_load_shapes(self):
+        with pytest.raises(ValueError):
+            SpikeMixtureNoise(alpha_small=1.0)

@@ -1,0 +1,153 @@
+"""Unit tests for the Pareto distribution and the min-of-K closure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.variability import ParetoDistribution
+
+
+class TestMoments:
+    def test_mean_matches_eq16(self):
+        d = ParetoDistribution(alpha=2.0, beta=3.0)
+        assert d.mean == pytest.approx(2.0 * 3.0 / 1.0)
+
+    def test_infinite_mean_below_one(self):
+        assert math.isinf(ParetoDistribution(0.8, 1.0).mean)
+        assert math.isinf(ParetoDistribution(1.0, 1.0).mean)
+
+    def test_infinite_variance_below_two(self):
+        assert math.isinf(ParetoDistribution(1.7, 1.0).variance)
+        assert math.isfinite(ParetoDistribution(2.5, 1.0).variance)
+
+    def test_variance_formula(self):
+        d = ParetoDistribution(3.0, 2.0)
+        expected = 4.0 * 3.0 / ((2.0**2) * 1.0)
+        assert d.variance == pytest.approx(expected)
+
+    def test_heavy_tail_flag(self):
+        assert ParetoDistribution(1.7, 1.0).is_heavy_tailed
+        assert not ParetoDistribution(2.4, 1.0).is_heavy_tailed
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ParetoDistribution(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ParetoDistribution(1.5, -1.0)
+
+
+class TestDistributionFunctions:
+    def test_cdf_zero_below_beta(self):
+        d = ParetoDistribution(1.7, 2.0)
+        assert d.cdf(1.0) == 0.0
+        assert d.cdf(2.0) == pytest.approx(0.0)
+
+    def test_ccdf_is_one_minus_cdf(self):
+        d = ParetoDistribution(1.7, 2.0)
+        x = np.linspace(2.0, 50.0, 20)
+        assert np.allclose(d.ccdf(x), 1.0 - d.cdf(x))
+
+    def test_ccdf_hyperbolic(self):
+        d = ParetoDistribution(1.5, 1.0)
+        assert d.ccdf(4.0) == pytest.approx(4.0 ** -1.5)
+
+    def test_pdf_integrates_to_one(self):
+        from scipy.integrate import quad
+
+        d = ParetoDistribution(1.7, 1.0)
+        total, _ = quad(lambda x: float(d.pdf(x)), 1.0, np.inf)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_quantile_inverts_cdf(self):
+        d = ParetoDistribution(1.7, 2.0)
+        q = np.array([0.0, 0.3, 0.9, 0.999])
+        assert np.allclose(d.cdf(d.quantile(q)), q)
+
+    def test_quantile_rejects_unit(self):
+        with pytest.raises(ValueError):
+            ParetoDistribution(1.7, 1.0).quantile(1.0)
+
+
+class TestSampling:
+    def test_samples_at_least_beta(self):
+        d = ParetoDistribution(1.7, 3.0)
+        x = d.sample(0, size=1000)
+        assert np.all(x >= 3.0)
+
+    def test_scalar_sample(self):
+        x = ParetoDistribution(1.7, 3.0).sample(0)
+        assert isinstance(x, float) and x >= 3.0
+
+    def test_empirical_ccdf_matches(self):
+        d = ParetoDistribution(1.7, 1.0)
+        x = d.sample(1, size=200_000)
+        for t in (2.0, 5.0):
+            assert np.mean(x > t) == pytest.approx(float(d.ccdf(t)), rel=0.05)
+
+    def test_finite_mean_matches_empirical(self):
+        d = ParetoDistribution(3.0, 1.0)
+        x = d.sample(2, size=200_000)
+        assert x.mean() == pytest.approx(d.mean, rel=0.02)
+
+    def test_reproducible(self):
+        d = ParetoDistribution(1.7, 1.0)
+        assert np.array_equal(d.sample(9, size=10), d.sample(9, size=10))
+
+
+class TestMinClosure:
+    """Eq. 19: the minimum of K Pareto(α, β) samples is Pareto(Kα, β)."""
+
+    def test_minimum_of_parameters(self):
+        d = ParetoDistribution(0.8, 1.0).minimum_of(3)
+        assert d.alpha == pytest.approx(2.4)
+        assert d.beta == 1.0
+
+    def test_min_of_k_samples_matches_closure_empirically(self):
+        d = ParetoDistribution(1.0, 1.0)  # infinite mean!
+        rng = np.random.default_rng(3)
+        k = 4
+        mins = d.sample(rng, size=(50_000, k)).min(axis=1)
+        closed = d.minimum_of(k)
+        for t in (1.2, 2.0, 4.0):
+            assert np.mean(mins > t) == pytest.approx(float(closed.ccdf(t)), abs=0.01)
+
+    def test_min_tames_infinite_variance(self):
+        """K > 2/α gives the minimum finite mean and variance (§5.1)."""
+        d = ParetoDistribution(0.7, 1.0)  # infinite mean and variance
+        assert math.isinf(d.mean)
+        m3 = d.minimum_of(3)  # K*alpha = 2.1 > 2
+        assert math.isfinite(m3.mean)
+        assert math.isfinite(m3.variance)
+
+    def test_min_exceedance_eq20(self):
+        d = ParetoDistribution(1.7, 2.0)
+        eps = 0.5
+        expected = (2.0 / 2.5) ** (1.7 * 6)
+        assert d.min_exceedance(6, eps) == pytest.approx(expected)
+
+    def test_min_exceedance_decreases_in_k(self):
+        d = ParetoDistribution(1.7, 1.0)
+        vals = [d.min_exceedance(k, 0.3) for k in range(1, 8)]
+        assert all(b < a for a, b in zip(vals, vals[1:]))
+
+    def test_samples_for_exceedance_sufficient(self):
+        d = ParetoDistribution(1.7, 1.0)
+        k = d.samples_for_exceedance(epsilon=0.5, prob=0.01)
+        assert d.min_exceedance(k, 0.5) < 0.01
+        if k > 1:
+            assert d.min_exceedance(k - 1, 0.5) >= 0.01
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ParetoDistribution(1.7, 1.0).minimum_of(0)
+
+
+class TestFromMean:
+    def test_roundtrip(self):
+        d = ParetoDistribution.from_mean(1.7, mean=5.0)
+        assert d.mean == pytest.approx(5.0)
+
+    def test_requires_alpha_above_one(self):
+        with pytest.raises(ValueError):
+            ParetoDistribution.from_mean(0.9, mean=5.0)

@@ -1,0 +1,89 @@
+"""Property-based tests for the Pareto min-operator math (§5)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.variability import ParetoDistribution, pareto_beta_for
+
+alphas = st.floats(min_value=0.3, max_value=5.0, allow_nan=False)
+betas = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+ks = st.integers(min_value=1, max_value=50)
+
+
+class TestClosureProperties:
+    @given(alphas, betas, ks)
+    @settings(max_examples=200)
+    def test_min_closure_shape(self, alpha, beta, k):
+        d = ParetoDistribution(alpha, beta).minimum_of(k)
+        assert d.alpha == alpha * k
+        assert d.beta == beta
+
+    @given(alphas, betas, ks)
+    @settings(max_examples=200)
+    def test_min_of_enough_samples_has_finite_variance(self, alpha, beta, k):
+        """For K·α > 2 the minimum always has finite mean and variance."""
+        d = ParetoDistribution(alpha, beta)
+        m = d.minimum_of(k)
+        if k * alpha > 2.0:
+            assert math.isfinite(m.mean)
+            assert math.isfinite(m.variance)
+
+    @given(alphas, betas, ks, st.floats(min_value=1e-6, max_value=100.0))
+    @settings(max_examples=200)
+    def test_exceedance_in_unit_interval_and_matches_ccdf(self, alpha, beta, k, eps):
+        d = ParetoDistribution(alpha, beta)
+        p = d.min_exceedance(k, eps)
+        assert 0.0 <= p <= 1.0
+        assert math.isclose(p, float(d.minimum_of(k).ccdf(beta + eps)), rel_tol=1e-9)
+
+    @given(alphas, betas, st.floats(min_value=1e-3, max_value=10.0))
+    @settings(max_examples=100)
+    def test_exceedance_monotone_decreasing_in_k(self, alpha, beta, eps):
+        d = ParetoDistribution(alpha, beta)
+        probs = [d.min_exceedance(k, eps) for k in (1, 2, 4, 8)]
+        assert all(b <= a for a, b in zip(probs, probs[1:]))
+
+
+class TestEq17Properties:
+    @given(
+        st.floats(min_value=1.01, max_value=5.0),
+        st.floats(min_value=0.0, max_value=0.95),
+        st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=200)
+    def test_beta_nonnegative_and_monotone_in_f(self, alpha, rho, f):
+        b1 = float(pareto_beta_for(f, alpha, rho))
+        b2 = float(pareto_beta_for(2.0 * f, alpha, rho))
+        assert b1 >= 0.0
+        assert b2 >= b1
+
+    @given(
+        st.floats(min_value=1.01, max_value=5.0),
+        st.floats(min_value=0.01, max_value=0.95),
+        st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=200)
+    def test_mean_matching_identity(self, alpha, rho, f):
+        """Pareto(α, β(f)) has mean exactly ρ/(1-ρ)·f — the Eq. 17 design."""
+        beta = float(pareto_beta_for(f, alpha, rho))
+        d = ParetoDistribution(alpha, beta)
+        expected = rho / (1.0 - rho) * f
+        assert math.isclose(d.mean, expected, rel_tol=1e-9)
+
+
+class TestQuantileSamplingProperties:
+    @given(alphas, betas, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=100)
+    def test_samples_respect_support(self, alpha, beta, seed):
+        d = ParetoDistribution(alpha, beta)
+        x = d.sample(seed, size=50)
+        assert np.all(np.asarray(x) >= beta)
+
+    @given(alphas, betas, st.floats(min_value=0.0, max_value=0.999))
+    @settings(max_examples=200)
+    def test_quantile_cdf_inverse(self, alpha, beta, q):
+        d = ParetoDistribution(alpha, beta)
+        assert math.isclose(float(d.cdf(d.quantile(q))), q, abs_tol=1e-9)

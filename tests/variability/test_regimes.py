@@ -1,0 +1,104 @@
+"""Unit tests for Markov-modulated (bursty) noise."""
+
+import numpy as np
+import pytest
+
+from repro.variability.regimes import MarkovModulatedNoise
+
+
+class TestConstruction:
+    def test_stationary_fraction(self):
+        m = MarkovModulatedNoise(p_enter_busy=0.1, p_exit_busy=0.3)
+        assert m.busy_fraction == pytest.approx(0.25)
+
+    def test_long_run_rho_is_mixture(self):
+        m = MarkovModulatedNoise(
+            rho_quiet=0.1, rho_busy=0.5, p_enter_busy=0.1, p_exit_busy=0.3
+        )
+        assert m.rho == pytest.approx(0.75 * 0.1 + 0.25 * 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovModulatedNoise(rho_quiet=0.5, rho_busy=0.3)
+        with pytest.raises(ValueError):
+            MarkovModulatedNoise(p_enter_busy=0.0)
+        with pytest.raises(ValueError):
+            MarkovModulatedNoise(p_exit_busy=0.0)
+
+
+class TestDynamics:
+    def test_busy_fraction_empirical(self):
+        m = MarkovModulatedNoise(p_enter_busy=0.05, p_exit_busy=0.20)
+        rng = np.random.default_rng(0)
+        f = np.ones(1)
+        for _ in range(30_000):
+            m.sample_noise(f, rng)
+        frac = m.n_busy_observations / m.n_observations
+        assert frac == pytest.approx(m.busy_fraction, abs=0.03)
+
+    def test_regimes_are_persistent(self):
+        """Busy observations cluster in runs, unlike i.i.d. switching."""
+        m = MarkovModulatedNoise(p_enter_busy=0.02, p_exit_busy=0.10)
+        rng = np.random.default_rng(1)
+        f = np.ones(1)
+        states = []
+        for _ in range(20_000):
+            m.sample_noise(f, rng)
+            states.append(m.in_busy_regime)
+        states = np.asarray(states)
+        # Mean busy-run length ~ 1/p_exit = 10 >> 1 (i.i.d. would be ~1.3).
+        transitions = np.flatnonzero(np.diff(states.astype(int)))
+        runs = np.diff(transitions)
+        busy_runs = runs[::2] if states[transitions[0] + 1] else runs[1::2]
+        assert busy_runs.mean() > 4.0
+
+    def test_busy_noise_larger_than_quiet(self):
+        m = MarkovModulatedNoise(rho_quiet=0.05, rho_busy=0.45)
+        rng = np.random.default_rng(2)
+        f = np.ones(64)
+        quiet_samples, busy_samples = [], []
+        for _ in range(4000):
+            n = m.sample_noise(f, rng)
+            (busy_samples if m.in_busy_regime else quiet_samples).append(n.mean())
+        assert np.median(busy_samples) > 3 * np.median(quiet_samples)
+
+    def test_whole_batch_shares_regime(self):
+        """One call advances the regime once, not per element."""
+        m = MarkovModulatedNoise(p_enter_busy=0.5, p_exit_busy=0.5)
+        rng = np.random.default_rng(3)
+        m.sample_noise(np.ones(100), rng)
+        assert m.n_observations == 1
+
+    def test_reset(self):
+        m = MarkovModulatedNoise()
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            m.sample_noise(np.ones(1), rng)
+        m.reset()
+        assert not m.in_busy_regime
+        assert m.n_observations == 0
+
+    def test_quiet_zero_rho_supported(self):
+        m = MarkovModulatedNoise(rho_quiet=0.0, rho_busy=0.4)
+        rng = np.random.default_rng(5)
+        n = [float(m.sample_noise(np.ones(1), rng)[0]) for _ in range(2000)]
+        assert min(n) == 0.0          # quiet stretches are noise-free
+        assert max(n) > 0.0           # busy stretches are not
+
+
+class TestIntegration:
+    def test_session_with_bursty_noise(self, quad3):
+        from repro.core.adaptive import AdaptiveSamplingController
+        from repro.core.pro import ParallelRankOrdering
+        from repro.harmony.session import TuningSession
+
+        noise = MarkovModulatedNoise()
+        controller = AdaptiveSamplingController(k_initial=2, k_max=6)
+        tuner = ParallelRankOrdering(quad3.space)
+        result = TuningSession(
+            quad3 and tuner, quad3.objective, noise=noise, budget=200,
+            controller=controller, rng=0,
+        ).run()
+        assert result.rho == pytest.approx(noise.rho)
+        ks = [k for _, k in controller.history if np.isfinite(k)]
+        assert len(set(ks)) >= 2  # the controller actually moved

@@ -1,0 +1,93 @@
+"""Unit tests for the two-priority-queue algebra (Eqs. 6, 7, 17)."""
+
+import numpy as np
+import pytest
+
+from repro.variability import ParetoDistribution, TwoJobModel, pareto_beta_for
+
+
+class TestExpectations:
+    def test_expected_observed_eq6(self):
+        m = TwoJobModel(rho=0.2)
+        assert m.expected_observed(2.0) == pytest.approx(2.5)
+
+    def test_expected_noise_eq7(self):
+        m = TwoJobModel(rho=0.2)
+        assert m.expected_noise(2.0) == pytest.approx(0.5)
+
+    def test_consistency_y_equals_f_plus_n(self):
+        m = TwoJobModel(rho=0.35)
+        f = np.array([0.5, 1.0, 4.0])
+        assert np.allclose(m.expected_observed(f), f + m.expected_noise(f))
+
+    def test_zero_rho_passthrough(self):
+        m = TwoJobModel(rho=0.0)
+        assert m.expected_observed(3.0) == 3.0
+        assert m.expected_noise(3.0) == 0.0
+        assert m.slowdown == 1.0
+
+    def test_rejects_rho_out_of_range(self):
+        with pytest.raises(ValueError):
+            TwoJobModel(rho=1.0)
+        with pytest.raises(ValueError):
+            TwoJobModel(rho=-0.1)
+
+
+class TestEq17:
+    def test_beta_formula(self):
+        # beta = (alpha-1) rho / ((1-rho) alpha) * f
+        beta = pareto_beta_for(2.0, alpha=1.7, rho=0.3)
+        expected = 0.7 * 0.3 / (0.7 * 1.7) * 2.0
+        assert beta == pytest.approx(expected)
+
+    def test_beta_linear_in_f(self):
+        f = np.array([1.0, 2.0, 4.0])
+        betas = pareto_beta_for(f, alpha=1.7, rho=0.2)
+        assert np.allclose(betas / f, betas[0] / f[0])
+
+    def test_beta_increasing_in_rho(self):
+        betas = [pareto_beta_for(1.0, 1.7, r) for r in (0.1, 0.2, 0.3, 0.4)]
+        assert all(b2 > b1 for b1, b2 in zip(betas, betas[1:]))
+
+    def test_rejects_alpha_at_most_one(self):
+        with pytest.raises(ValueError):
+            pareto_beta_for(1.0, alpha=1.0, rho=0.2)
+
+    def test_mean_matching(self):
+        """Pareto(α, β(f)) noise has mean exactly ρ/(1-ρ)·f (the Eq. 17 point)."""
+        m = TwoJobModel(rho=0.25)
+        dist = m.noise_distribution(f=3.0, alpha=1.7)
+        assert isinstance(dist, ParetoDistribution)
+        assert dist.mean == pytest.approx(float(m.expected_noise(3.0)))
+
+    def test_noise_distribution_none_at_zero_rho(self):
+        assert TwoJobModel(rho=0.0).noise_distribution(1.0, 1.7) is None
+
+
+class TestMinFloorAndG:
+    def test_n_min_is_beta(self):
+        m = TwoJobModel(rho=0.3)
+        assert m.n_min(2.0, alpha=1.7) == pytest.approx(
+            float(pareto_beta_for(2.0, 1.7, 0.3))
+        )
+
+    def test_g_strictly_increasing_in_f(self):
+        m = TwoJobModel(rho=0.3)
+        f = np.linspace(0.1, 10, 50)
+        g = np.asarray(m.g(f, alpha=1.7))
+        assert np.all(np.diff(g) > 0)
+
+    def test_g_inverse_roundtrip(self):
+        m = TwoJobModel(rho=0.3)
+        f = np.array([0.5, 1.0, 7.0])
+        assert np.allclose(m.g_inverse(m.g(f, 1.7), 1.7), f)
+
+    def test_g_preserves_ordering(self):
+        """The §5.1 comparison property: G monotone ⇒ orderings transfer."""
+        m = TwoJobModel(rho=0.4)
+        f1, f2 = 1.3, 1.31
+        assert m.g(f1, 1.7) < m.g(f2, 1.7)
+
+    def test_ntt_eq23(self):
+        m = TwoJobModel(rho=0.2)
+        assert m.normalized_total_time(100.0) == pytest.approx(80.0)
