@@ -4,7 +4,19 @@ Not figure reproductions — these time the operations the simulation
 experiments hammer (projection, session stepping, database interpolation,
 the queue simulator), so performance regressions in the substrate are
 visible next to the figure benches.
+
+The ``bench_smoke`` subset (``pytest benchmarks/test_microbench.py -m
+bench_smoke``) additionally times the parallel sweep engine and the
+vectorized cluster step against their baselines and records the numbers in
+machine-readable form at ``BENCH_runner.json`` in the repo root, so
+successive PRs can be compared without scraping test output.
 """
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,10 +24,15 @@ import pytest
 from repro.apps.database import PerformanceDatabase
 from repro.apps.gs2 import GS2Surrogate
 from repro.cluster import Cluster, ExponentialService, PoissonArrivals
+from repro.cluster.workload import WorkloadSource
 from repro.core.pro import ParallelRankOrdering
 from repro.core.sampling import SamplingPlan
+from repro.experiments.runner import run_sweep
 from repro.harmony.session import TuningSession
+from repro.space import IntParameter, ParameterSpace
 from repro.variability.models import ParetoNoise
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
 
 
 @pytest.fixture(scope="module")
@@ -98,3 +115,143 @@ def test_perf_queue_simulator(benchmark):
         return cluster.run(1.0, 200).total_time()
 
     assert benchmark(run_cluster) > 0
+
+
+# -- bench_smoke: machine-readable runner/cluster perf numbers --------------------
+
+# Module-level so the sweep cell pickles into process-pool workers.
+_SMOKE_SPACE = ParameterSpace([IntParameter(f"x{i}", -6, 6) for i in range(3)])
+
+
+def _smoke_objective(point) -> float:
+    return 1.0 + float(np.sum((np.asarray(point, dtype=float) - 2.0) ** 2))
+
+
+@dataclass(frozen=True)
+class _SmokeCell:
+    k: int
+    budget: int = 120
+
+    def __call__(self, seed: int) -> TuningSession:
+        return TuningSession(
+            ParallelRankOrdering(_SMOKE_SPACE),
+            _smoke_objective,
+            noise=ParetoNoise(rho=0.2),
+            budget=self.budget,
+            plan=SamplingPlan(self.k),
+            rng=seed,
+        )
+
+
+class _PerEventPoisson(WorkloadSource):
+    """Scalar-draw Poisson source: the pre-vectorization event generator.
+
+    Inherits the default per-event ``stream_blocks`` wrapper, so timing a
+    cluster built on it measures exactly what the block interface replaced.
+    """
+
+    def __init__(self, rate, service):
+        self.rate = rate
+        self.service = service
+
+    @property
+    def load(self):
+        return self.rate * self.service.mean
+
+    def stream(self, start, rng=None):
+        from repro._util import as_generator
+
+        gen = as_generator(rng)
+        t = float(start)
+        scale = 1.0 / self.rate
+        while True:
+            t += float(gen.exponential(scale))
+            yield t, self.service.sample(gen)
+
+
+def _update_bench_json(section: str, payload: dict) -> None:
+    """Read-modify-write one section so the smoke tests compose in any order."""
+    data = {}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text())
+    data["schema"] = 1
+    data["cpu_count"] = os.cpu_count()
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"\n[bench_smoke] {section} -> {BENCH_JSON}")
+
+
+def _best_of(n: int, fn):
+    best = float("inf")
+    value = None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+@pytest.mark.bench_smoke
+def test_smoke_sweep_executors():
+    """Serial vs process-parallel run_sweep: identical results, honest timing.
+
+    The speedup is recorded, not asserted — on a single-core container the
+    process pool cannot beat serial, and the contract under test is
+    equivalence + measurement, not a hardware-dependent ratio.
+    """
+    cells = [(f"k{k}", _SmokeCell(k)) for k in (1, 2, 3, 5)]
+    trials, jobs = 16, 4
+
+    serial_s, serial = _best_of(
+        1, lambda: run_sweep(cells, trials=trials, rng=77, executor="serial")
+    )
+    process_s, parallel = _best_of(
+        1,
+        lambda: run_sweep(
+            cells, trials=trials, rng=77, executor="process", jobs=jobs
+        ),
+    )
+    identical = parallel.to_dict() == serial.to_dict()
+    assert identical, "process sweep diverged from serial"
+    _update_bench_json(
+        "sweep",
+        {
+            "cells": len(cells),
+            "trials": trials,
+            "budget": 120,
+            "jobs": jobs,
+            "serial_s": round(serial_s, 4),
+            "process_s": round(process_s, 4),
+            "speedup": round(serial_s / process_s, 3),
+            "results_identical": identical,
+        },
+    )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_cluster_event_generation():
+    """Vectorized block event generation vs the per-event baseline."""
+    nodes, iterations = 8, 250
+
+    def run(source_cls):
+        cluster = Cluster(
+            nodes,
+            private_sources=[source_cls(5.0, ExponentialService(0.05))],
+            seed=9,
+        )
+        return cluster.run(1.0, iterations).total_time()
+
+    vector_s, vector_total = _best_of(3, lambda: run(PoissonArrivals))
+    scalar_s, scalar_total = _best_of(3, lambda: run(_PerEventPoisson))
+    assert vector_total > 0 and scalar_total > 0
+    _update_bench_json(
+        "cluster_step",
+        {
+            "nodes": nodes,
+            "iterations": iterations,
+            "event_rate": 5.0,
+            "vectorized_s": round(vector_s, 4),
+            "per_event_s": round(scalar_s, 4),
+            "speedup": round(scalar_s / vector_s, 3),
+        },
+    )

@@ -16,6 +16,7 @@ implements that database:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -36,17 +37,30 @@ class PerformanceDatabase:
         space: ParameterSpace,
         *,
         k_neighbors: int = 4,
+        memo_size: int = 4096,
     ) -> None:
         if k_neighbors < 1:
             raise ValueError(f"k_neighbors must be >= 1, got {k_neighbors}")
+        if memo_size < 0:
+            raise ValueError(f"memo_size must be >= 0, got {memo_size}")
         self.space = space
         self.k_neighbors = int(k_neighbors)
+        #: LRU capacity of the repeated-query memo (0 disables it)
+        self.memo_size = int(memo_size)
         self._entries: dict[tuple[float, ...], float] = {}
         self._tree: cKDTree | None = None
         self._values_cache: np.ndarray | None = None
+        # Memo over raw query bytes -> (value, was_exact).  Tuners revisit
+        # the same configurations constantly (simplex vertices, incumbent
+        # re-runs), so this skips the as_point quantization *and* the
+        # KD-tree query on repeats.  Invalidated by add().
+        self._memo: OrderedDict[bytes, tuple[float, bool]] = OrderedDict()
         #: interpolated-lookup counter (how sparse the DB looks to the tuner)
         self.n_exact = 0
         self.n_interpolated = 0
+        #: queries answered from the memo (still counted in n_exact /
+        #: n_interpolated so sparsity diagnostics are unchanged)
+        self.n_memo_hits = 0
 
     # -- population ---------------------------------------------------------------
 
@@ -60,6 +74,7 @@ class PerformanceDatabase:
         self._entries[tuple(pt)] = float(value)
         self._tree = None
         self._values_cache = None
+        self._memo.clear()
 
     @classmethod
     def from_function(
@@ -69,6 +84,7 @@ class PerformanceDatabase:
         *,
         fraction: float = 1.0,
         k_neighbors: int = 4,
+        memo_size: int = 4096,
         rng: int | np.random.Generator | None = None,
     ) -> "PerformanceDatabase":
         """Populate from *fn* over a (sub)sample of the discrete lattice.
@@ -80,7 +96,7 @@ class PerformanceDatabase:
         if not (0.0 < fraction <= 1.0):
             raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
         gen = as_generator(rng)
-        db = cls(space, k_neighbors=k_neighbors)
+        db = cls(space, k_neighbors=k_neighbors, memo_size=memo_size)
         for pt in space.grid():
             if fraction < 1.0 and gen.random() >= fraction:
                 continue
@@ -96,9 +112,10 @@ class PerformanceDatabase:
         space: ParameterSpace,
         *,
         k_neighbors: int = 4,
+        memo_size: int = 4096,
     ) -> "PerformanceDatabase":
         """Populate from explicit ``{config_tuple: cost}`` measurements."""
-        db = cls(space, k_neighbors=k_neighbors)
+        db = cls(space, k_neighbors=k_neighbors, memo_size=memo_size)
         for pt, value in entries.items():
             db.add(np.asarray(pt, dtype=float), value)
         return db
@@ -142,12 +159,32 @@ class PerformanceDatabase:
 
     def __call__(self, point: Sequence[float]) -> float:
         """Exact hit if stored, otherwise interpolated — the tuner objective."""
+        key = (
+            np.asarray(point, dtype=float).tobytes() if self.memo_size else None
+        )
+        if key is not None:
+            hit = self._memo.get(key)
+            if hit is not None:
+                self._memo.move_to_end(key)
+                value, was_exact = hit
+                self.n_memo_hits += 1
+                if was_exact:
+                    self.n_exact += 1
+                else:
+                    self.n_interpolated += 1
+                return value
         exact = self.lookup(point)
         if exact is not None:
             self.n_exact += 1
-            return exact
-        self.n_interpolated += 1
-        return self.interpolate(point)
+            value, was_exact = exact, True
+        else:
+            self.n_interpolated += 1
+            value, was_exact = self.interpolate(point), False
+        if key is not None:
+            self._memo[key] = (value, was_exact)
+            if len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
+        return value
 
     def coverage(self) -> float:
         """Fraction of the lattice present in the database (discrete spaces)."""

@@ -32,6 +32,7 @@ from repro.core.sampling import (
 )
 from repro.experiments import _fmt
 from repro.experiments.common import TUNER_NAMES, tuner_factory
+from repro.experiments.parallel import EXECUTOR_NAMES
 from repro.experiments.runner import run_sweep
 from repro.harmony.session import TuningSession
 from repro.report.ascii import heatmap, histogram, line_plot, sparkline
@@ -45,6 +46,30 @@ _ESTIMATORS = {
     "mean": MeanEstimator,
     "median": MedianEstimator,
 }
+
+
+class _TuneCell:
+    """Picklable session factory for ``tune --trials N`` sweeps.
+
+    Process-pool execution pickles the factory with each task chunk, so
+    this must be a module-level class rather than a closure over argparse
+    state.
+    """
+
+    def __init__(self, tuner_name, space, db, noise, plan, budget):
+        self.tuner_name = tuner_name
+        self.space = space
+        self.db = db
+        self.noise = noise
+        self.plan = plan
+        self.budget = budget
+
+    def __call__(self, seed: int) -> TuningSession:
+        tuner = tuner_factory(self.tuner_name, rng=seed)(self.space)
+        return TuningSession(
+            tuner, self.db, noise=self.noise, plan=self.plan,
+            budget=self.budget, rng=seed,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--db-fraction", type=float, default=1.0,
                         help="lattice coverage of the performance database")
     p_tune.add_argument("--trials", type=int, default=1)
+    _add_executor_options(p_tune)
     p_tune.add_argument("--seed", type=int, default=0)
     p_tune.add_argument("--json", type=Path, default=None,
                         help="write the sweep result as JSON")
@@ -91,7 +117,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figures", help="regenerate a paper figure's data")
     p_fig.add_argument("figure", choices=["fig01", "fig08", "fig09", "fig10"])
     p_fig.add_argument("--trials", type=int, default=None)
+    _add_executor_options(p_fig)
     return parser
+
+
+def _add_executor_options(parser: argparse.ArgumentParser) -> None:
+    """Sweep-parallelism flags shared by the experiment subcommands."""
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker count for parallel sweep execution "
+        "(implies --executor process unless one is given)",
+    )
+    parser.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=None,
+        help="sweep execution backend (default: serial; "
+        "results are identical across executors for the same seed)",
+    )
+
+
+def _resolve_executor(args: argparse.Namespace) -> tuple[str, int | None]:
+    """Fold --jobs/--executor into (executor, jobs) with serial defaults."""
+    executor = args.executor
+    jobs = args.jobs
+    if executor is None:
+        # Bare `-j N` means "give me N-way parallelism": processes are the
+        # safe default for the CPU-bound simulation sweeps.
+        executor = "serial" if jobs in (None, 1) else "process"
+    if executor == "serial":
+        jobs = None
+    return executor, jobs
 
 
 # -- command handlers ------------------------------------------------------------
@@ -138,13 +192,12 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             print(f"wrote {args.json}")
         return 0
 
-    def cell(seed: int) -> TuningSession:
-        tuner = tuner_factory(args.tuner, rng=seed)(space)
-        return TuningSession(
-            tuner, db, noise=noise, plan=plan, budget=args.budget, rng=seed
-        )
-
-    sweep = run_sweep({args.tuner: cell}, trials=args.trials, rng=args.seed)
+    executor, jobs = _resolve_executor(args)
+    cell = _TuneCell(args.tuner, space, db, noise, plan, args.budget)
+    sweep = run_sweep(
+        {args.tuner: cell}, trials=args.trials, rng=args.seed,
+        executor=executor, jobs=jobs,
+    )
     print(
         _fmt.format_table(
             ["tuner", "mean NTT", "std NTT", "mean final cost", "converged"],
@@ -206,6 +259,10 @@ def _cmd_surface(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
+    executor, jobs = _resolve_executor(args)
+    if executor != "serial" and args.figure in ("fig01", "fig08"):
+        print(f"note: {args.figure} does not sweep trials; "
+              "--jobs/--executor ignored", file=sys.stderr)
     if args.figure == "fig01":
         from repro.experiments.fig01_metrics import run_metric_comparison
 
@@ -233,7 +290,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     if args.figure == "fig09":
         from repro.experiments.fig09_simplex import run_initial_simplex_study
 
-        study = run_initial_simplex_study(trials=args.trials or 12)
+        study = run_initial_simplex_study(
+            trials=args.trials or 12, executor=executor, jobs=jobs
+        )
         print(_fmt.format_table(
             ["shape", "r", "mean NTT", "std NTT"], study.rows()
         ))
@@ -242,7 +301,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     if args.figure == "fig10":
         from repro.experiments.fig10_sampling import run_sampling_study
 
-        study = run_sampling_study(trials=args.trials or 40)
+        study = run_sampling_study(
+            trials=args.trials or 40, executor=executor, jobs=jobs
+        )
         print(_fmt.format_table(
             ["rho", "K", "mean NTT", "std NTT"], study.rows()
         ))

@@ -63,16 +63,23 @@ class Cluster:
         self._private_sources = tuple(private_sources)
         self._shared_sources = tuple(shared_sources)
         master = as_generator(seed)
-        # One child stream per node, plus one seed for the shared sequence.
+        # One child stream per node, plus one entropy draw for the shared
+        # sequences.  Each shared source gets its own SeedSequence child
+        # (sequential integer seeds risk correlated streams); re-seeding
+        # from the same child per node keeps the "identical on every node"
+        # replay property.
         children = spawn_generators(master, n_nodes)
-        shared_seed = int(master.integers(0, 2**63 - 1))
+        shared_entropy = int(master.integers(0, 2**63 - 1))
+        self._shared_seedseqs = np.random.SeedSequence(shared_entropy).spawn(
+            len(self._shared_sources)
+        )
         shared_load = float(sum(s.load for s in self._shared_sources))
         self.nodes: list[PriorityMachine] = []
         for p in range(n_nodes):
             # Every node replays the *same* shared event sequence: identical
             # seed, identical stream -> perfectly correlated disruptions.
             shared_streams = [
-                src.stream(0.0, np.random.default_rng(shared_seed + i))
+                src.stream_blocks(0.0, np.random.default_rng(self._shared_seedseqs[i]))
                 for i, src in enumerate(self._shared_sources)
             ]
             self.nodes.append(
@@ -114,19 +121,43 @@ class Cluster:
         """
         if n_iterations < 1:
             raise ValueError(f"need at least one iteration, got {n_iterations}")
-        cost = self._cost_fn(costs, self.n_nodes)
+        # Static cost specs (scalar / per-node array) are iteration-invariant:
+        # precompute the per-node work vector once instead of paying a
+        # cost(p, k) call per node per iteration.
+        static_works: np.ndarray | None = None
+        if not callable(costs):
+            arr = np.asarray(costs, dtype=float)
+            if arr.ndim == 0:
+                arr = np.full(self.n_nodes, float(arr))
+            elif arr.shape != (self.n_nodes,):
+                raise ValueError(
+                    f"per-node cost array must have shape ({self.n_nodes},), "
+                    f"got {arr.shape}"
+                )
+            # Slower nodes (speed < 1) take proportionally longer for the
+            # same application work — heterogeneity makes Eq. 1's max
+            # barrier bite even without noise.
+            static_works = arr / self.speed_factors
+        cost = self._cost_fn(costs, self.n_nodes) if static_works is None else None
         times = np.empty((self.n_nodes, n_iterations), dtype=float)
         barriers = np.empty(n_iterations, dtype=float)
+        finishes = np.empty(self.n_nodes, dtype=float)
         barrier = 0.0
         for k in range(n_iterations):
-            finishes = np.empty(self.n_nodes, dtype=float)
+            if static_works is None:
+                works = (
+                    np.fromiter(
+                        (cost(p, k) for p in range(self.n_nodes)),
+                        dtype=float,
+                        count=self.n_nodes,
+                    )
+                    / self.speed_factors
+                )
+            else:
+                works = static_works
             for p, node in enumerate(self.nodes):
-                # Slower nodes (speed < 1) take proportionally longer for the
-                # same application work — heterogeneity makes Eq. 1's max
-                # barrier bite even without noise.
-                work = cost(p, k) / self.speed_factors[p]
-                finishes[p] = node.serve_application(work)
-                times[p, k] = finishes[p] - barrier
+                finishes[p] = node.serve_application(works[p])
+            times[:, k] = finishes - barrier
             barrier = float(finishes.max())
             barriers[k] = barrier
             for node in self.nodes:

@@ -17,15 +17,71 @@ the server keeps draining first-priority backlog.
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro._util import as_generator, check_nonnegative
-from repro.cluster.workload import WorkloadSource
+from repro.cluster.workload import EVENT_BLOCK, WorkloadSource
 
 __all__ = ["PriorityMachine"]
+
+
+class _EventBuffer:
+    """Array-buffered cursor over one source's event blocks.
+
+    The simulator's merge heap only ever needs each stream's *head* event;
+    buffering whole ``(times, services)`` blocks behind that head is what
+    lets sources generate events with one vectorized RNG call per block
+    while the merge logic stays per-event and exact.
+    """
+
+    __slots__ = ("_blocks", "_times", "_services", "_pos")
+
+    def __init__(self, blocks: Iterator[tuple[np.ndarray, np.ndarray]]) -> None:
+        self._blocks = blocks
+        self._times: np.ndarray | None = None
+        self._services: np.ndarray | None = None
+        self._pos = 0
+
+    @classmethod
+    def from_stream(
+        cls, stream: Iterable[tuple[float, float]] | Iterator[tuple[np.ndarray, np.ndarray]]
+    ) -> "_EventBuffer":
+        """Accept either a per-event ``(t, service)`` iterator (the public
+        ``shared_streams`` contract) or an array-block iterator."""
+        it = iter(stream)
+        try:
+            first = next(it)
+        except StopIteration:
+            return cls(iter(()))
+        chained = itertools.chain([first], it)
+        if isinstance(first[0], np.ndarray):
+            return cls(chained)
+
+        def blockify() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+            while True:
+                pairs = list(itertools.islice(chained, EVENT_BLOCK))
+                if not pairs:
+                    return
+                arr = np.asarray(pairs, dtype=float)
+                yield arr[:, 0], arr[:, 1]
+
+        return cls(blockify())
+
+    def next_event(self) -> tuple[float, float] | None:
+        """Pop the stream's next ``(arrival, service)``, or None when dry."""
+        while self._times is None or self._pos >= self._times.size:
+            try:
+                self._times, self._services = next(self._blocks)
+            except StopIteration:
+                return None
+            self._pos = 0
+        i = self._pos
+        self._pos = i + 1
+        return float(self._times[i]), float(self._services[i])
 
 
 class PriorityMachine:
@@ -38,10 +94,12 @@ class PriorityMachine:
     rng:
         Seed or generator for the private sources' event streams.
     shared_streams:
-        Optional pre-seeded event iterators shared (identically) across all
+        Optional pre-seeded event streams shared (identically) across all
         nodes of a cluster — models cluster-wide correlated disruptions such
         as global file-system scans (the cross-processor correlation visible
-        in the paper's Fig. 3).
+        in the paper's Fig. 3).  Each entry is either a per-event
+        ``(arrival, service)`` iterator or a vectorized
+        ``(times, services)`` block iterator (a ``stream_blocks`` result).
     """
 
     def __init__(
@@ -49,7 +107,7 @@ class PriorityMachine:
         sources: Sequence[WorkloadSource] = (),
         rng: int | np.random.Generator | None = None,
         *,
-        shared_streams: Sequence[Iterator[tuple[float, float]]] = (),
+        shared_streams: Sequence[Iterable] = (),
         shared_load: float = 0.0,
     ) -> None:
         gen = as_generator(rng)
@@ -63,29 +121,29 @@ class PriorityMachine:
         #: total first-priority service performed so far (for load audits)
         self.p1_service_done = 0.0
         self._heap: list[tuple[float, int, float, int]] = []
-        self._streams: list[Iterator[tuple[float, float]]] = []
+        self._streams: list[_EventBuffer] = []
         self._counter = 0
         for source in self._sources:
-            self._add_stream(source.stream(0.0, gen))
+            self._add_stream(_EventBuffer(source.stream_blocks(0.0, gen)))
         for stream in shared_streams:
-            self._add_stream(stream)
+            self._add_stream(_EventBuffer.from_stream(stream))
 
     # -- event plumbing -------------------------------------------------------
 
-    def _add_stream(self, stream: Iterator[tuple[float, float]]) -> None:
+    def _add_stream(self, stream: _EventBuffer) -> None:
         self._streams.append(stream)
         self._pull(len(self._streams) - 1)
 
     def _pull(self, stream_id: int) -> None:
         """Fetch the next event of *stream_id* into the heap (if any)."""
-        try:
-            t, service = next(self._streams[stream_id])
-        except StopIteration:
+        event = self._streams[stream_id].next_event()
+        if event is None:
             return
+        t, service = event
         if service < 0:
             raise ValueError(f"negative service demand {service} from stream {stream_id}")
         self._counter += 1
-        heapq.heappush(self._heap, (float(t), self._counter, float(service), stream_id))
+        heapq.heappush(self._heap, (t, self._counter, service, stream_id))
 
     def _next_arrival_time(self) -> float:
         return self._heap[0][0] if self._heap else math.inf

@@ -9,6 +9,7 @@ so a machine can compute its idle throughput ρ as the sum of source loads.
 
 from __future__ import annotations
 
+import itertools
 import math
 from abc import ABC, abstractmethod
 from typing import Iterator
@@ -16,6 +17,10 @@ from typing import Iterator
 import numpy as np
 
 from repro._util import as_generator, check_nonnegative, check_positive
+
+#: events generated per vectorized block — large enough to amortize NumPy
+#: call overhead, small enough that short simulations don't over-draw
+EVENT_BLOCK = 256
 
 __all__ = [
     "ServiceDistribution",
@@ -40,6 +45,14 @@ class ServiceDistribution(ABC):
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one service demand."""
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw *n* service demands as an array.
+
+        Subclasses override with a single vectorized RNG call; the default
+        loops over :meth:`sample` so custom distributions keep working.
+        """
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
 
 class FixedService(ServiceDistribution):
     """Deterministic service demand — e.g. a fixed-cost house-keeping task."""
@@ -54,6 +67,9 @@ class FixedService(ServiceDistribution):
     def sample(self, rng: np.random.Generator) -> float:
         return self.duration
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.duration)
+
 
 class ExponentialService(ServiceDistribution):
     """Exponential service demand — light-tailed control."""
@@ -67,6 +83,9 @@ class ExponentialService(ServiceDistribution):
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(self._mean))
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=n)
 
 
 class ParetoService(ServiceDistribution):
@@ -93,6 +112,10 @@ class ParetoService(ServiceDistribution):
         u = rng.random()
         return float(self.beta * (1.0 - u) ** (-1.0 / self.alpha))
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.random(n)
+        return self.beta * (1.0 - u) ** (-1.0 / self.alpha)
+
 
 class WorkloadSource(ABC):
     """An unbounded stream of first-priority job events."""
@@ -108,6 +131,31 @@ class WorkloadSource(ABC):
     ) -> Iterator[tuple[float, float]]:
         """Yield ``(arrival_time, service_demand)`` with arrival_time >= start,
         in non-decreasing arrival order, forever."""
+
+    def stream_blocks(
+        self,
+        start: float,
+        rng: int | np.random.Generator | None = None,
+        *,
+        block: int = EVENT_BLOCK,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(arrival_times, service_demands)`` array blocks.
+
+        The vectorized face of :meth:`stream`: the simulator consumes
+        events through this interface so sources that override it (the
+        built-ins do) pay one NumPy call per *block* instead of two Python
+        RNG calls per *event*.  The default wraps :meth:`stream`, so custom
+        per-event sources keep working unchanged.
+        """
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        events = self.stream(start, rng)
+        while True:
+            pairs = list(itertools.islice(events, block))
+            if not pairs:
+                return
+            arr = np.asarray(pairs, dtype=float)
+            yield arr[:, 0], arr[:, 1]
 
 
 class PoissonArrivals(WorkloadSource):
@@ -128,11 +176,25 @@ class PoissonArrivals(WorkloadSource):
     def stream(
         self, start: float, rng: int | np.random.Generator | None = None
     ) -> Iterator[tuple[float, float]]:
+        for times, services in self.stream_blocks(start, rng):
+            yield from zip(times.tolist(), services.tolist())
+
+    def stream_blocks(
+        self,
+        start: float,
+        rng: int | np.random.Generator | None = None,
+        *,
+        block: int = EVENT_BLOCK,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
         gen = as_generator(rng)
         t = float(start)
+        scale = 1.0 / self.rate
         while True:
-            t += float(gen.exponential(1.0 / self.rate))
-            yield t, self.service.sample(gen)
+            times = t + np.cumsum(gen.exponential(scale, size=block))
+            t = float(times[-1])
+            yield times, self.service.sample_batch(gen, block)
 
 
 class PeriodicDaemon(WorkloadSource):
@@ -164,11 +226,25 @@ class PeriodicDaemon(WorkloadSource):
     def stream(
         self, start: float, rng: int | np.random.Generator | None = None
     ) -> Iterator[tuple[float, float]]:
+        for times, services in self.stream_blocks(start, rng):
+            yield from zip(times.tolist(), services.tolist())
+
+    def stream_blocks(
+        self,
+        start: float,
+        rng: int | np.random.Generator | None = None,
+        *,
+        block: int = EVENT_BLOCK,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
         gen = as_generator(rng)
         # First wake-up at or after `start` on the phase-shifted lattice.
         k = max(0, math.ceil((start - self.phase) / self.period))
         while True:
-            t = self.phase + k * self.period
-            if t >= start:
-                yield t, self.service.sample(gen)
-            k += 1
+            times = self.phase + np.arange(k, k + block, dtype=float) * self.period
+            k += block
+            # Only the first block can straddle `start` (ceil boundary).
+            times = times[times >= start]
+            if times.size:
+                yield times, self.service.sample_batch(gen, times.size)

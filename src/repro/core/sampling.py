@@ -42,11 +42,24 @@ class Estimator(ABC):
         """Combine a 1-D sample array into one estimate."""
 
     def combine_batch(self, samples: np.ndarray) -> np.ndarray:
-        """Combine each row of a (points × K) sample matrix."""
+        """Combine each row of a (points × K) sample matrix.
+
+        Subclasses override with a single axis-1 reduction; overrides must
+        agree with :meth:`combine` row-by-row (the session relies on that
+        to take the vectorized path without changing results).
+        """
+        return np.array(
+            [self.combine(row) for row in self._matrix(samples)], dtype=float
+        )
+
+    @staticmethod
+    def _matrix(samples: np.ndarray) -> np.ndarray:
         arr = np.asarray(samples, dtype=float)
         if arr.ndim != 2:
             raise ValueError(f"expected a 2-D (points, K) matrix, got shape {arr.shape}")
-        return np.array([self.combine(row) for row in arr], dtype=float)
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("samples must be finite")
+        return arr
 
     @staticmethod
     def _validate(samples: np.ndarray) -> np.ndarray:
@@ -70,10 +83,7 @@ class MinEstimator(Estimator):
         return float(self._validate(samples).min())
 
     def combine_batch(self, samples: np.ndarray) -> np.ndarray:
-        arr = np.asarray(samples, dtype=float)
-        if arr.ndim != 2:
-            raise ValueError(f"expected a 2-D (points, K) matrix, got shape {arr.shape}")
-        return arr.min(axis=1)
+        return self._matrix(samples).min(axis=1)
 
 
 class MeanEstimator(Estimator):
@@ -85,10 +95,7 @@ class MeanEstimator(Estimator):
         return float(self._validate(samples).mean())
 
     def combine_batch(self, samples: np.ndarray) -> np.ndarray:
-        arr = np.asarray(samples, dtype=float)
-        if arr.ndim != 2:
-            raise ValueError(f"expected a 2-D (points, K) matrix, got shape {arr.shape}")
-        return arr.mean(axis=1)
+        return self._matrix(samples).mean(axis=1)
 
 
 class MedianEstimator(Estimator):
@@ -98,6 +105,9 @@ class MedianEstimator(Estimator):
 
     def combine(self, samples: np.ndarray) -> float:
         return float(np.median(self._validate(samples)))
+
+    def combine_batch(self, samples: np.ndarray) -> np.ndarray:
+        return np.median(self._matrix(samples), axis=1)
 
 
 class PercentileEstimator(Estimator):
@@ -111,6 +121,9 @@ class PercentileEstimator(Estimator):
 
     def combine(self, samples: np.ndarray) -> float:
         return float(np.percentile(self._validate(samples), self.q))
+
+    def combine_batch(self, samples: np.ndarray) -> np.ndarray:
+        return np.percentile(self._matrix(samples), self.q, axis=1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PercentileEstimator(q={self.q})"

@@ -76,12 +76,16 @@ def _run_cells(
     budget: int,
     rng: int | np.random.Generator | None,
     db_fraction: float = 1.0,
+    executor: str = "serial",
+    jobs: int | None = None,
 ) -> AblationTable:
     """Run one session per (config, trial) via the paired-seed sweep runner.
 
     Each config dict provides ``tuner`` (a factory name or callable),
     optional ``noise`` (NoiseModel), ``plan`` (SamplingPlan) and
     ``controller`` (factory returning a fresh AdaptiveSamplingController).
+    The cell factories are closures, so ``executor`` is limited to
+    ``"serial"``/``"thread"`` here.
     """
     master = as_generator(rng)
     surrogate, db = gs2_problem(fraction=db_fraction, rng=master)
@@ -112,6 +116,8 @@ def _run_cells(
         [(name, make_cell(cfg)) for name, cfg in configs],
         trials=trials,
         rng=master,
+        executor=executor,
+        jobs=jobs,
     )
     return AblationTable(
         row_names=sweep.names,

@@ -27,7 +27,9 @@ from repro.apps.database import PerformanceDatabase
 from repro.core.pro import ParallelRankOrdering
 from repro.core.sampling import MinEstimator, SamplingPlan
 from repro.experiments.common import gs2_problem
+from repro.experiments.runner import run_sweep
 from repro.harmony.session import TuningSession
+from repro.space import ParameterSpace
 from repro.variability.models import ParetoNoise
 
 __all__ = ["InitialSimplexStudy", "run_initial_simplex_study"]
@@ -75,6 +77,39 @@ class InitialSimplexStudy:
         return out
 
 
+@dataclass(frozen=True)
+class _SimplexCell:
+    """Picklable trial-aware factory for one (shape, r) cell.
+
+    The study pairs *worlds*, not just seeds: trial t of every cell runs
+    against the same pre-built database, so the factory needs the trial
+    index as well as the seed — hence ``trial_aware``.
+    """
+
+    dbs: tuple[PerformanceDatabase, ...]
+    space: ParameterSpace
+    shape: str
+    r: float
+    rho: float
+    budget: int
+
+    trial_aware = True
+
+    def __call__(self, seed: int, trial: int) -> TuningSession:
+        tuner = ParallelRankOrdering(
+            self.space, r=self.r, simplex_shape=self.shape
+        )
+        noise = ParetoNoise(rho=self.rho) if self.rho > 0 else None
+        return TuningSession(
+            tuner,
+            self.dbs[trial],
+            noise=noise,
+            budget=self.budget,
+            plan=SamplingPlan(1, MinEstimator()),
+            rng=seed,
+        )
+
+
 def run_initial_simplex_study(
     *,
     r_values: tuple[float, ...] = DEFAULT_R_VALUES,
@@ -84,6 +119,8 @@ def run_initial_simplex_study(
     rho: float = 0.05,
     db_fraction: float = 0.7,
     rng: int | np.random.Generator | None = 42,
+    executor: str = "serial",
+    jobs: int | None = None,
 ) -> InitialSimplexStudy:
     """Sweep (shape, r) and average NTT over randomized trials."""
     if trials < 1:
@@ -91,34 +128,41 @@ def run_initial_simplex_study(
     master = as_generator(rng)
     surrogate, _ = gs2_problem(rng=master)
     space = surrogate.space()
-    noise = ParetoNoise(rho=rho) if rho > 0 else None
-    mean = np.empty((len(shapes), len(r_values)))
-    std = np.empty_like(mean)
     # Pre-build one database per trial so each (shape, r) cell sees the same
     # sequence of worlds — a paired design that sharpens the comparison.
-    dbs = [
+    dbs = tuple(
         PerformanceDatabase.from_function(
             surrogate, space, fraction=db_fraction, rng=master.spawn(1)[0]
         )
         for _ in range(trials)
+    )
+    cells = [
+        (
+            f"{shape},r={r:g}",
+            _SimplexCell(
+                dbs=dbs,
+                space=space,
+                shape=shape,
+                r=float(r),
+                rho=rho,
+                budget=budget,
+            ),
+        )
+        for shape in shapes
+        for r in r_values
     ]
-    trial_seeds = [int(s) for s in master.integers(0, 2**63 - 1, size=trials)]
+    # run_sweep draws the trial-seed vector from `master` exactly as this
+    # study historically did, so results are unchanged across the refactor.
+    sweep = run_sweep(
+        cells, trials=trials, rng=master, executor=executor, jobs=jobs
+    )
+    mean = np.empty((len(shapes), len(r_values)))
+    std = np.empty_like(mean)
     for i, shape in enumerate(shapes):
         for j, r in enumerate(r_values):
-            ntts = np.empty(trials)
-            for t in range(trials):
-                tuner = ParallelRankOrdering(space, r=r, simplex_shape=shape)
-                session = TuningSession(
-                    tuner,
-                    dbs[t],
-                    noise=noise,
-                    budget=budget,
-                    plan=SamplingPlan(1, MinEstimator()),
-                    rng=trial_seeds[t],
-                )
-                ntts[t] = session.run().normalized_total_time()
-            mean[i, j] = ntts.mean()
-            std[i, j] = ntts.std()
+            cell = sweep[f"{shape},r={r:g}"]
+            mean[i, j] = cell.ntt_mean
+            std[i, j] = cell.ntt_std
     return InitialSimplexStudy(
         r_values=tuple(float(r) for r in r_values),
         shapes=tuple(shapes),

@@ -22,10 +22,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._util import as_generator
+from repro.apps.database import PerformanceDatabase
 from repro.core.pro import ParallelRankOrdering
 from repro.core.sampling import Estimator, MinEstimator, SamplingPlan
 from repro.experiments.common import gs2_problem
+from repro.experiments.runner import run_sweep
 from repro.harmony.session import TuningSession
+from repro.space import ParameterSpace
 from repro.variability.models import NoNoise, ParetoNoise
 
 __all__ = ["SamplingStudy", "run_sampling_study"]
@@ -105,6 +108,35 @@ class SamplingStudy:
         return out
 
 
+@dataclass(frozen=True)
+class _SamplingCell:
+    """Picklable session factory for one (ρ, K) cell of the Fig. 10 grid."""
+
+    db: PerformanceDatabase
+    space: ParameterSpace
+    rho: float
+    k: int
+    alpha: float
+    budget: int
+    estimator: Estimator
+
+    def __call__(self, seed: int) -> TuningSession:
+        noise = (
+            NoNoise()
+            if self.rho == 0.0
+            else ParetoNoise(rho=self.rho, alpha=self.alpha)
+        )
+        tuner = ParallelRankOrdering(self.space, r=0.2)
+        return TuningSession(
+            tuner,
+            self.db,
+            noise=noise,
+            budget=self.budget,
+            plan=SamplingPlan(self.k, self.estimator),
+            rng=seed,
+        )
+
+
 def run_sampling_study(
     *,
     rho_values: tuple[float, ...] = DEFAULT_RHO_VALUES,
@@ -115,6 +147,8 @@ def run_sampling_study(
     estimator: Estimator | None = None,
     db_fraction: float = 1.0,
     rng: int | np.random.Generator | None = 2005,
+    executor: str = "serial",
+    jobs: int | None = None,
 ) -> SamplingStudy:
     """The §6.2 sweep.  The paper used trials=2000; default is bench-scale.
 
@@ -136,26 +170,34 @@ def run_sampling_study(
     surrogate, db = gs2_problem(fraction=db_fraction, rng=master)
     space = surrogate.space()
     est = estimator if estimator is not None else MinEstimator()
-    trial_seeds = [int(s) for s in master.integers(0, 2**63 - 1, size=trials)]
+    cells = [
+        (
+            f"rho={rho:g},K={k}",
+            _SamplingCell(
+                db=db,
+                space=space,
+                rho=float(rho),
+                k=int(k),
+                alpha=alpha,
+                budget=budget,
+                estimator=est,
+            ),
+        )
+        for rho in rho_values
+        for k in k_values
+    ]
+    # run_sweep draws the trial-seed vector from `master` exactly as this
+    # study historically did, so results are unchanged across the refactor.
+    sweep = run_sweep(
+        cells, trials=trials, rng=master, executor=executor, jobs=jobs
+    )
     mean = np.empty((len(rho_values), len(k_values)))
     std = np.empty_like(mean)
     for i, rho in enumerate(rho_values):
-        noise = NoNoise() if rho == 0.0 else ParetoNoise(rho=rho, alpha=alpha)
         for j, k in enumerate(k_values):
-            ntts = np.empty(trials)
-            for t in range(trials):
-                tuner = ParallelRankOrdering(space, r=0.2)
-                session = TuningSession(
-                    tuner,
-                    db,
-                    noise=noise,
-                    budget=budget,
-                    plan=SamplingPlan(int(k), est),
-                    rng=trial_seeds[t],
-                )
-                ntts[t] = session.run().normalized_total_time()
-            mean[i, j] = ntts.mean()
-            std[i, j] = ntts.std()
+            cell = sweep[f"rho={rho:g},K={k}"]
+            mean[i, j] = cell.ntt_mean
+            std[i, j] = cell.ntt_std
     return SamplingStudy(
         rho_values=tuple(float(r) for r in rho_values),
         k_values=tuple(int(k) for k in k_values),

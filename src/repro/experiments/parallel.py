@@ -1,0 +1,307 @@
+"""Parallel execution engine for paired-seed tuning sweeps.
+
+The sweeps the paper's evaluation runs (tuner variant × noise level ×
+sampling plan × dozens of trials) are embarrassingly parallel: every
+(cell, trial) pair is an independent session fully determined by
+``(factory, trial_seed)``.  This module supplies the pluggable execution
+layer :func:`repro.experiments.runner.run_sweep` fans those pairs out on:
+
+* :class:`SerialExecutor` — in-process, the historical behavior;
+* :class:`ThreadExecutor` — a thread pool (useful when the evaluator
+  releases the GIL or blocks on I/O, e.g. a live Harmony server);
+* :class:`ProcessExecutor` — a process pool for CPU-bound simulation
+  sweeps (task descriptors and factories must be picklable).
+
+Design contract (what keeps parallel runs trustworthy):
+
+* **paired seeding is preserved** — the master RNG draws the trial-seed
+  vector once, up front, in the caller; a worker never touches the master
+  stream and reconstructs its session purely from ``(factory, seed)``;
+* **ordered gathering** — workers may finish in any order, but
+  :func:`execute_ordered` re-emits outcomes in task-submission order
+  (cell-major, trial-minor), so ``collect`` hooks and downstream
+  aggregation observe exactly the serial sequence;
+* **chunked scheduling** — tasks ship to pools in contiguous chunks to
+  amortize inter-process pickling, without affecting results.
+
+Together these make serial and parallel sweeps bit-identical — the
+equivalence test in ``tests/experiments/test_parallel.py`` is the contract.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.harmony.metrics import SessionResult
+from repro.harmony.session import TuningSession
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SweepTask",
+    "ThreadExecutor",
+    "TrialOutcome",
+    "chunk_tasks",
+    "execute_ordered",
+    "make_executor",
+    "run_trial",
+]
+
+#: executor specs accepted by :func:`make_executor` (and the CLI)
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One (cell, trial) evaluation, fully self-describing.
+
+    A task is the unit shipped to workers: the factory plus the trial seed
+    reconstruct the session from scratch, so a worker needs no other state.
+    For :class:`ProcessExecutor` the factory must be picklable (a
+    module-level function or class instance — not a closure).
+    """
+
+    cell_index: int
+    cell_name: str
+    trial_index: int
+    seed: int
+    #: builds a fresh session; called ``factory(seed)``, or
+    #: ``factory(seed, trial_index)`` when ``factory.trial_aware`` is true
+    factory: Callable
+    #: ship the full SessionResult back (needed by ``collect`` hooks);
+    #: off by default to keep inter-process traffic small
+    keep_result: bool = False
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """What one task produced: the scalars the aggregation needs, plus the
+    full :class:`SessionResult` when the task asked for it."""
+
+    cell_index: int
+    cell_name: str
+    trial_index: int
+    seed: int
+    ntt: float
+    final_cost: float
+    total_time: float
+    converged: bool
+    result: SessionResult | None = None
+
+
+def run_trial(task: SweepTask) -> TrialOutcome:
+    """Execute one task: rebuild the session from (factory, seed) and run it.
+
+    Runs inside the worker (same process for serial/thread, a pool worker
+    for process).  Validation mirrors the historical serial runner so bad
+    factories fail identically under every executor.
+    """
+    if getattr(task.factory, "trial_aware", False):
+        session = task.factory(task.seed, task.trial_index)
+    else:
+        session = task.factory(task.seed)
+    if not isinstance(session, TuningSession):
+        raise TypeError(
+            f"cell {task.cell_name!r} factory must return a TuningSession, "
+            f"got {type(session).__name__}"
+        )
+    result = session.run()
+    return TrialOutcome(
+        cell_index=task.cell_index,
+        cell_name=task.cell_name,
+        trial_index=task.trial_index,
+        seed=task.seed,
+        ntt=result.normalized_total_time(),
+        final_cost=result.best_true_cost,
+        total_time=result.total_time(),
+        converged=result.converged_at is not None,
+        result=result if task.keep_result else None,
+    )
+
+
+def _run_chunk(tasks: Sequence[SweepTask]) -> list[TrialOutcome]:
+    """Worker entry point for pool executors: run one contiguous chunk."""
+    return [run_trial(task) for task in tasks]
+
+
+def chunk_tasks(n_tasks: int, jobs: int, chunksize: int | None = None) -> list[range]:
+    """Split ``range(n_tasks)`` into contiguous chunks for pool submission.
+
+    The default chunk size targets ~4 chunks per worker so stragglers can
+    be rebalanced while pickling overhead stays amortized.
+    """
+    if n_tasks < 0:
+        raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if chunksize is None:
+        chunksize = max(1, -(-n_tasks // (jobs * 4)))
+    elif chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    return [
+        range(start, min(start + chunksize, n_tasks))
+        for start in range(0, n_tasks, chunksize)
+    ]
+
+
+class Executor(ABC):
+    """Runs sweep tasks, yielding ``(task_index, outcome)`` in any order.
+
+    Implementations must evaluate every task exactly once via
+    :func:`run_trial` (or :func:`_run_chunk`); ordering is the caller's
+    problem — see :func:`execute_ordered`.
+    """
+
+    name: str = "executor"
+
+    @abstractmethod
+    def map_tasks(
+        self, tasks: Sequence[SweepTask]
+    ) -> Iterator[tuple[int, TrialOutcome]]:
+        """Yield ``(index, outcome)`` pairs, completion-ordered."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution — the reference implementation."""
+
+    name = "serial"
+
+    def map_tasks(
+        self, tasks: Sequence[SweepTask]
+    ) -> Iterator[tuple[int, TrialOutcome]]:
+        for i, task in enumerate(tasks):
+            yield i, run_trial(task)
+
+
+class _PoolExecutor(Executor):
+    """Shared chunked-scheduling logic for thread/process pools."""
+
+    def __init__(self, jobs: int | None = None, *, chunksize: int | None = None):
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.jobs = int(jobs)
+        self.chunksize = chunksize
+
+    def _make_pool(self, n_workers: int):
+        raise NotImplementedError
+
+    def map_tasks(
+        self, tasks: Sequence[SweepTask]
+    ) -> Iterator[tuple[int, TrialOutcome]]:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        if self.jobs == 1 or len(tasks) == 1:
+            # A one-worker pool is pure overhead; degrade to in-process.
+            yield from SerialExecutor().map_tasks(tasks)
+            return
+        chunks = chunk_tasks(len(tasks), self.jobs, self.chunksize)
+        with self._make_pool(min(self.jobs, len(chunks))) as pool:
+            futures = {
+                pool.submit(_run_chunk, [tasks[i] for i in chunk]): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                outcomes = future.result()
+                yield from zip(chunk, outcomes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool execution.
+
+    Sessions built from distinct seeds share no RNG state, so trials are
+    logically independent; note that a *shared* evaluator object (e.g. one
+    PerformanceDatabase reused across cells) sees concurrent calls — its
+    diagnostic counters may interleave, but returned values are pure.
+    """
+
+    name = "thread"
+
+    def _make_pool(self, n_workers: int):
+        return ThreadPoolExecutor(max_workers=n_workers)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool execution for CPU-bound sweeps.
+
+    Tasks (factory included) are pickled per chunk; factories must be
+    module-level callables or instances, never closures or lambdas.
+    """
+
+    name = "process"
+
+    def _make_pool(self, n_workers: int):
+        return ProcessPoolExecutor(max_workers=n_workers)
+
+
+def make_executor(
+    spec: str | Executor, jobs: int | None = None
+) -> Executor:
+    """Resolve an executor spec (``"serial"|"thread"|"process"`` or an
+    :class:`Executor` instance) plus a worker count into an executor."""
+    if isinstance(spec, Executor):
+        if jobs is not None:
+            raise ValueError(
+                "jobs cannot be combined with an Executor instance; "
+                "configure the instance directly"
+            )
+        return spec
+    if spec == "serial":
+        if jobs not in (None, 1):
+            raise ValueError(f"serial executor ignores workers, got jobs={jobs}")
+        return SerialExecutor()
+    if spec == "thread":
+        return ThreadExecutor(jobs)
+    if spec == "process":
+        return ProcessExecutor(jobs)
+    raise ValueError(f"unknown executor {spec!r}; known: {EXECUTOR_NAMES}")
+
+
+def execute_ordered(
+    executor: Executor,
+    tasks: Iterable[SweepTask],
+    emit: Callable[[TrialOutcome], None] | None = None,
+) -> list[TrialOutcome]:
+    """Run *tasks* on *executor*; return outcomes in task order.
+
+    ``emit`` (the ``collect`` plumbing) is called with each outcome in
+    strict submission order as soon as its prefix is complete — a trial
+    that finishes early is buffered until every earlier trial has landed,
+    so hooks observe the exact serial sequence regardless of executor.
+    """
+    tasks = list(tasks)
+    outcomes: list[TrialOutcome | None] = [None] * len(tasks)
+    next_emit = 0
+    for i, outcome in executor.map_tasks(tasks):
+        if outcomes[i] is not None:
+            raise RuntimeError(f"executor produced task {i} twice")
+        outcomes[i] = outcome
+        if emit is not None:
+            while next_emit < len(tasks) and outcomes[next_emit] is not None:
+                emit(outcomes[next_emit])  # type: ignore[arg-type]
+                next_emit += 1
+    missing = [i for i, o in enumerate(outcomes) if o is None]
+    if missing:
+        raise RuntimeError(f"executor dropped tasks {missing[:5]}")
+    return outcomes  # type: ignore[return-value]

@@ -22,12 +22,20 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro._util import as_generator
+from repro.experiments.parallel import (
+    Executor,
+    SweepTask,
+    execute_ordered,
+    make_executor,
+)
 from repro.harmony.metrics import SessionResult
 from repro.harmony.session import TuningSession
 
 __all__ = ["CellStats", "SweepResult", "run_sweep"]
 
-#: builds one fresh session for a given trial seed
+#: builds one fresh session for a given trial seed; factories that set a
+#: truthy ``trial_aware`` attribute are instead called ``(seed, trial_index)``
+#: (for paired designs that key per-trial state, e.g. one database per trial)
 SessionFactory = Callable[[int], TuningSession]
 
 
@@ -82,8 +90,29 @@ class SweepResult:
         return {
             "cells": [vars(c) for c in self.cells],
             "trial_seeds": list(self.trial_seeds),
-            "meta": {k: str(v) for k, v in self.meta.items()},
+            "meta": {k: _json_safe(v) for k, v in self.meta.items()},
         }
+
+
+def _json_safe(value):
+    """Coerce a meta value to a JSON-native type, losslessly where possible.
+
+    Ints/floats/bools/strings/None pass through (NumPy scalars unwrapped),
+    lists/tuples/dicts recurse; anything else falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
 
 
 def run_sweep(
@@ -92,6 +121,8 @@ def run_sweep(
     trials: int,
     rng: int | np.random.Generator | None = None,
     collect: Callable[[SessionResult], None] | None = None,
+    executor: str | Executor = "serial",
+    jobs: int | None = None,
 ) -> SweepResult:
     """Run every cell for *trials* paired-seed sessions and aggregate.
 
@@ -105,7 +136,17 @@ def run_sweep(
         Trials per cell; the same seed sequence is replayed for every cell.
     collect:
         Optional hook called with every :class:`SessionResult` (e.g. to
-        archive them with ``result.to_json()``).
+        archive them with ``result.to_json()``).  Hooks always observe
+        results in deterministic (cell-major, trial-minor) order, whatever
+        the executor.
+    executor:
+        ``"serial"`` (default), ``"thread"``, ``"process"``, or a
+        pre-configured :class:`~repro.experiments.parallel.Executor`.  The
+        master RNG draws the trial-seed vector once up front either way, so
+        every executor produces a bit-identical :class:`SweepResult` for
+        the same ``rng``.  Process execution requires picklable factories.
+    jobs:
+        Worker count for pool executors (default: all CPUs).
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -115,28 +156,31 @@ def run_sweep(
     names = [name for name, _ in items]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate cell names: {names}")
+    exec_ = make_executor(executor, jobs)
     master = as_generator(rng)
     trial_seeds = [int(s) for s in master.integers(0, 2**63 - 1, size=trials)]
+    keep_results = collect is not None
+    tasks = [
+        SweepTask(
+            cell_index=c,
+            cell_name=name,
+            trial_index=t,
+            seed=seed,
+            factory=factory,
+            keep_result=keep_results,
+        )
+        for c, (name, factory) in enumerate(items)
+        for t, seed in enumerate(trial_seeds)
+    ]
+    emit = (lambda outcome: collect(outcome.result)) if keep_results else None
+    outcomes = execute_ordered(exec_, tasks, emit)
     stats: list[CellStats] = []
-    for name, factory in items:
-        ntts = np.empty(trials)
-        finals = np.empty(trials)
-        totals = np.empty(trials)
-        converged = 0
-        for t, seed in enumerate(trial_seeds):
-            session = factory(seed)
-            if not isinstance(session, TuningSession):
-                raise TypeError(
-                    f"cell {name!r} factory must return a TuningSession, "
-                    f"got {type(session).__name__}"
-                )
-            result = session.run()
-            ntts[t] = result.normalized_total_time()
-            finals[t] = result.best_true_cost
-            totals[t] = result.total_time()
-            converged += result.converged_at is not None
-            if collect is not None:
-                collect(result)
+    for c, (name, _) in enumerate(items):
+        cell_outcomes = outcomes[c * trials : (c + 1) * trials]
+        ntts = np.array([o.ntt for o in cell_outcomes], dtype=float)
+        finals = np.array([o.final_cost for o in cell_outcomes], dtype=float)
+        totals = np.array([o.total_time for o in cell_outcomes], dtype=float)
+        converged = sum(o.converged for o in cell_outcomes)
         stats.append(
             CellStats(
                 name=name,

@@ -270,12 +270,18 @@ class TuningSession:
             n_measurements += n_meas
             valid = ~np.isnan(samples)
             if np.all(valid.any(axis=1)):
-                estimates = np.array(
-                    [
-                        self.plan.combine(row[mask])
-                        for row, mask in zip(samples, valid)
-                    ]
-                )
+                if valid.all():
+                    # Untruncated batch: one vectorized axis-1 reduction.
+                    estimates = np.asarray(
+                        self.plan.combine_batch(samples), dtype=float
+                    )
+                else:
+                    estimates = np.array(
+                        [
+                            self.plan.combine(row[mask])
+                            for row, mask in zip(samples, valid)
+                        ]
+                    )
                 self.tuner.tell(estimates)
                 if self.controller is not None:
                     self.controller.observe_batch(samples)

@@ -112,3 +112,55 @@ class TestLookup:
         assert db.interpolate([4, 4]) == 1.0
         db.add([4, 4], 50.0)
         assert db.interpolate([4, 4]) == 50.0
+
+
+class TestMemo:
+    def test_repeat_queries_hit_the_memo(self, small_space):
+        db = PerformanceDatabase.from_function(linear, small_space)
+        first = db([2, 3])
+        second = db([2, 3])
+        assert second == first
+        assert db.n_memo_hits == 1
+        # Sparsity counters still see both queries as exact.
+        assert db.n_exact == 2 and db.n_interpolated == 0
+
+    def test_memo_caches_interpolated_values(self, small_space):
+        db = PerformanceDatabase(small_space, k_neighbors=2)
+        db.add([0, 0], 1.0)
+        db.add([2, 0], 3.0)
+        v1 = db([1, 0])
+        v2 = db([1, 0])
+        assert v1 == v2
+        assert db.n_memo_hits == 1
+        assert db.n_interpolated == 2
+
+    def test_add_invalidates_memo(self, small_space):
+        db = PerformanceDatabase(small_space, k_neighbors=1)
+        db.add([0, 0], 1.0)
+        assert db([4, 4]) == 1.0
+        db.add([4, 4], 50.0)
+        assert db([4, 4]) == 50.0
+
+    def test_memo_size_zero_disables(self, small_space):
+        db = PerformanceDatabase.from_function(linear, small_space)
+        db.memo_size = 0
+        db([2, 3])
+        db([2, 3])
+        assert db.n_memo_hits == 0
+        assert db.n_exact == 2
+
+    def test_memo_evicts_least_recently_used(self, small_space):
+        db = PerformanceDatabase.from_function(linear, small_space, memo_size=2)
+        db([0, 0])
+        db([1, 0])
+        db([0, 0])  # refresh (0,0) so (1,0) is now the LRU entry
+        db([2, 0])  # evicts (1,0)
+        assert len(db._memo) == 2
+        hits_before = db.n_memo_hits
+        assert hits_before == 1  # only the (0,0) refresh hit
+        db([1, 0])  # re-query the evicted point: a miss, re-memoized
+        assert db.n_memo_hits == hits_before
+
+    def test_negative_memo_size_rejected(self, small_space):
+        with pytest.raises(ValueError):
+            PerformanceDatabase(small_space, memo_size=-1)

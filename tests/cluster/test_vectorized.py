@@ -1,0 +1,171 @@
+"""Tests for the vectorized event-generation path of the cluster simulator.
+
+The block interface (``sample_batch`` / ``stream_blocks``) must describe
+exactly the same event processes as the per-event one, and the machine must
+accept both — including legacy per-event ``shared_streams`` iterators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ExponentialService,
+    FixedService,
+    ParetoService,
+    PeriodicDaemon,
+    PoissonArrivals,
+)
+from repro.cluster.machine import PriorityMachine
+from repro.cluster.workload import WorkloadSource
+
+
+class _PerEventPoisson(WorkloadSource):
+    """The historical scalar-draw Poisson source, kept as a reference: it
+    exercises the default per-event ``stream_blocks`` wrapper."""
+
+    def __init__(self, rate, service):
+        self.rate = rate
+        self.service = service
+
+    @property
+    def load(self):
+        return self.rate * self.service.mean
+
+    def stream(self, start, rng=None):
+        gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        t = float(start)
+        while True:
+            t += float(gen.exponential(1.0 / self.rate))
+            yield t, self.service.sample(gen)
+
+
+class TestSampleBatch:
+    def test_fixed_is_constant(self, rng):
+        assert np.all(FixedService(0.4).sample_batch(rng, 10) == 0.4)
+
+    def test_exponential_matches_scalar_draws(self):
+        s = ExponentialService(1.5)
+        batch = s.sample_batch(np.random.default_rng(3), 64)
+        scalars = [s.sample(np.random.default_rng(3)) for _ in range(1)]
+        assert batch.shape == (64,)
+        assert batch[0] == pytest.approx(scalars[0])
+        assert np.all(batch > 0)
+
+    def test_pareto_respects_floor_and_matches_scalar(self):
+        s = ParetoService(1.8, 0.5)
+        batch = s.sample_batch(np.random.default_rng(4), 100)
+        assert np.all(batch >= 0.5)
+        assert batch[0] == pytest.approx(s.sample(np.random.default_rng(4)))
+
+    def test_default_batch_loops_over_sample(self, rng):
+        class Unit(FixedService):
+            def sample_batch(self, rng, n):  # force the ABC default
+                return super(FixedService, self).sample_batch(rng, n)
+
+        assert np.all(Unit(0.2).sample_batch(rng, 5) == 0.2)
+
+
+class TestStreamBlocks:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            PoissonArrivals(0.8, ExponentialService(0.2)),
+            PoissonArrivals(2.0, ParetoService(1.6, 0.05)),
+            PeriodicDaemon(3.0, FixedService(0.5), phase=1.0),
+        ],
+    )
+    def test_blocks_flatten_to_stream(self, source):
+        """stream() and stream_blocks() describe the same event sequence."""
+        events = [e for e, _ in zip(source.stream(5.0, rng=7), range(600))]
+        blocks = source.stream_blocks(5.0, rng=7)
+        flat = []
+        while len(flat) < 600:
+            times, services = next(blocks)
+            flat.extend(zip(times.tolist(), services.tolist()))
+        assert flat[:600] == events
+
+    def test_blocks_are_increasing_and_after_start(self):
+        src = PoissonArrivals(1.0, FixedService(0.1))
+        times, _ = next(src.stream_blocks(10.0, rng=0))
+        assert times[0] >= 10.0
+        assert np.all(np.diff(times) > 0)
+
+    def test_periodic_respects_start_boundary(self):
+        src = PeriodicDaemon(2.0, FixedService(0.1), phase=0.5)
+        times, services = next(src.stream_blocks(3.1, rng=0))
+        assert times[0] >= 3.1
+        assert times.size == services.size
+
+    def test_default_wrapper_matches_per_event_source(self):
+        src = _PerEventPoisson(0.5, ExponentialService(0.3))
+        events = [e for e, _ in zip(src.stream(0.0, rng=11), range(300))]
+        blocks = src.stream_blocks(0.0, rng=11)
+        flat = []
+        while len(flat) < 300:
+            times, services = next(blocks)
+            flat.extend(zip(times.tolist(), services.tolist()))
+        assert flat[:300] == events
+
+    def test_block_size_validation(self):
+        src = PoissonArrivals(1.0, FixedService(0.1))
+        with pytest.raises(ValueError):
+            next(src.stream_blocks(0.0, rng=0, block=0))
+
+
+class TestMachineStreamCompat:
+    def test_accepts_legacy_per_event_shared_stream(self):
+        events = iter([(1.0, 0.5), (2.0, 0.25)])
+        m = PriorityMachine(shared_streams=[events], shared_load=0.1)
+        finish = m.serve_application(3.0)
+        # 3.0 of work + 0.75 of preempting first-priority service.
+        assert finish == pytest.approx(3.75)
+
+    def test_accepts_block_shared_stream(self):
+        blocks = iter([(np.array([1.0, 2.0]), np.array([0.5, 0.25]))])
+        m = PriorityMachine(shared_streams=[blocks], shared_load=0.1)
+        assert m.serve_application(3.0) == pytest.approx(3.75)
+
+    def test_per_event_reference_source_simulates(self):
+        c = Cluster(2, private_sources=[_PerEventPoisson(0.3, ExponentialService(0.3))], seed=3)
+        trace = c.run(1.0, 50)
+        assert np.all(trace.times >= 1.0 - 1e-12)
+
+
+class TestSharedSeeding:
+    def test_shared_sources_get_distinct_spawned_streams(self):
+        sources = [
+            PoissonArrivals(0.1, FixedService(0.2)),
+            PoissonArrivals(0.1, FixedService(0.2)),
+        ]
+        c = Cluster(2, shared_sources=sources, seed=5)
+        states = [tuple(ss.generate_state(4)) for ss in c._shared_seedseqs]
+        assert len(set(states)) == 2  # no stream correlation by construction
+
+    def test_shared_seedseqs_replay_across_builds(self):
+        def build():
+            return Cluster(
+                3,
+                shared_sources=[PoissonArrivals(0.2, ExponentialService(0.3))],
+                seed=42,
+            )
+
+        s1 = [tuple(ss.generate_state(4)) for ss in build()._shared_seedseqs]
+        s2 = [tuple(ss.generate_state(4)) for ss in build()._shared_seedseqs]
+        assert s1 == s2
+        t1 = build().run(1.0, 40)
+        t2 = build().run(1.0, 40)
+        assert np.array_equal(t1.times, t2.times)
+
+    def test_shared_rows_still_identical_across_nodes(self):
+        c = Cluster(
+            4,
+            shared_sources=[
+                PoissonArrivals(0.1, ParetoService(1.5, 0.2)),
+                PeriodicDaemon(7.0, FixedService(0.3)),
+            ],
+            seed=6,
+        )
+        trace = c.run(1.0, 60)
+        for p in range(1, 4):
+            assert np.allclose(trace.times[p], trace.times[0])

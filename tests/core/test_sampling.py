@@ -55,6 +55,29 @@ class TestEstimators:
         assert MeanEstimator().name == "mean"
         assert PercentileEstimator(25).name == "p25"
 
+    @pytest.mark.parametrize(
+        "est",
+        [
+            MinEstimator(),
+            MeanEstimator(),
+            MedianEstimator(),
+            PercentileEstimator(25),
+            PercentileEstimator(90),
+        ],
+        ids=lambda e: e.name,
+    )
+    def test_combine_batch_agrees_with_per_row_combine(self, est):
+        """The vectorized overrides must match the scalar path row-by-row."""
+        mat = np.random.default_rng(8).pareto(1.5, size=(20, 5)) + 0.1
+        batch = np.asarray(est.combine_batch(mat), dtype=float)
+        rows = np.array([est.combine(row) for row in mat])
+        assert batch.shape == (20,)
+        np.testing.assert_allclose(batch, rows, rtol=0, atol=0)
+
+    def test_combine_batch_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            MedianEstimator().combine_batch(np.array([[1.0, np.nan]]))
+
 
 class TestSamplingPlan:
     def test_defaults(self):

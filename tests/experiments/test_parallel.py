@@ -1,0 +1,171 @@
+"""Executor equivalence and scheduling tests for the parallel sweep engine.
+
+The contract under test: serial, thread, and process executors produce a
+bit-identical :class:`SweepResult` for the same master seed, and ``collect``
+hooks observe results in deterministic (cell-major, trial-minor) order
+whatever the executor.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import SamplingPlan
+from repro.experiments.parallel import (
+    EXECUTOR_NAMES,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunk_tasks,
+    make_executor,
+)
+from repro.experiments.runner import run_sweep
+from repro.harmony.session import TuningSession
+from repro.space import IntParameter, ParameterSpace
+from repro.variability import ParetoNoise
+
+# Module-level problem pieces so the factories pickle for ProcessExecutor.
+SPACE = ParameterSpace([IntParameter(f"x{i}", -6, 6) for i in range(3)])
+
+
+def quad_objective(point) -> float:
+    return 1.0 + float(np.sum((np.asarray(point, dtype=float) - 2.0) ** 2))
+
+
+@dataclass(frozen=True)
+class QuadCell:
+    """Picklable paired-seed session factory over the quadratic problem."""
+
+    k: int = 1
+    rho: float = 0.2
+    budget: int = 40
+
+    def __call__(self, seed: int) -> TuningSession:
+        tuner = ParallelRankOrdering(SPACE)
+        noise = ParetoNoise(rho=self.rho) if self.rho > 0 else None
+        return TuningSession(
+            tuner, quad_objective, noise=noise, budget=self.budget,
+            plan=SamplingPlan(self.k), rng=seed,
+        )
+
+
+CELLS = [("k1", QuadCell(k=1)), ("k2", QuadCell(k=2)), ("k3", QuadCell(k=3))]
+
+
+class TrialAwareCell:
+    """Records (seed, trial) call order; offsets the budget by trial."""
+
+    trial_aware = True
+    calls: list[tuple[int, int]] = []
+
+    def __call__(self, seed: int, trial: int) -> TuningSession:
+        TrialAwareCell.calls.append((seed, trial))
+        return QuadCell(budget=20 + trial)(seed)
+
+
+class TestExecutorEquivalence:
+    def _run(self, executor, jobs=None, collect=None):
+        if executor == "serial":
+            jobs = None
+        return run_sweep(
+            CELLS, trials=4, rng=123, collect=collect,
+            executor=executor, jobs=jobs,
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return self._run("serial")
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_bit_identical_to_serial(self, serial_result, executor):
+        parallel = self._run(executor, jobs=2)
+        assert parallel.trial_seeds == serial_result.trial_seeds
+        assert parallel.cells == serial_result.cells
+        assert parallel.to_dict() == serial_result.to_dict()
+
+    def test_executor_instance_accepted(self, serial_result):
+        result = self._run(ThreadExecutor(2, chunksize=1))
+        assert result.cells == serial_result.cells
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_collect_order_deterministic(self, executor):
+        seen: list[float] = []
+        self._run(executor, jobs=2, collect=lambda r: seen.append(r.total_time()))
+        reference: list[float] = []
+        self._run("serial", collect=lambda r: reference.append(r.total_time()))
+        assert seen == reference
+        assert len(seen) == len(CELLS) * 4
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_bad_factory_raises_typeerror(self, executor):
+        with pytest.raises(TypeError):
+            run_sweep(
+                {"bad": lambda seed: "not a session"}, trials=1,
+                executor=executor,
+                jobs=2 if executor != "serial" else None,
+            )
+
+
+class TestTrialAwareFactories:
+    def test_receives_trial_indices_in_order(self):
+        TrialAwareCell.calls = []
+        result = run_sweep(
+            [("a", TrialAwareCell()), ("b", TrialAwareCell())], trials=3, rng=9
+        )
+        trials = [t for _, t in TrialAwareCell.calls]
+        assert trials == [0, 1, 2, 0, 1, 2]
+        seeds = [s for s, _ in TrialAwareCell.calls]
+        assert tuple(seeds[:3]) == result.trial_seeds
+        assert seeds[:3] == seeds[3:]  # paired seeds replayed per cell
+
+
+class TestMakeExecutor:
+    def test_names(self):
+        assert EXECUTOR_NAMES == ("serial", "thread", "process")
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("thread", 3), ThreadExecutor)
+        assert isinstance(make_executor("process", 3), ProcessExecutor)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+
+    def test_serial_rejects_jobs(self):
+        with pytest.raises(ValueError):
+            make_executor("serial", jobs=4)
+        assert isinstance(make_executor("serial", jobs=1), SerialExecutor)
+
+    def test_instance_rejects_jobs(self):
+        with pytest.raises(ValueError):
+            make_executor(ThreadExecutor(2), jobs=4)
+
+    def test_pool_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(2, chunksize=0)
+
+
+class TestChunking:
+    def test_covers_all_tasks_contiguously(self):
+        chunks = chunk_tasks(10, 3)
+        flat = [i for chunk in chunks for i in chunk]
+        assert flat == list(range(10))
+
+    def test_explicit_chunksize(self):
+        assert [len(c) for c in chunk_tasks(10, 2, chunksize=4)] == [4, 4, 2]
+
+    def test_default_targets_four_chunks_per_worker(self):
+        chunks = chunk_tasks(64, 2)
+        assert len(chunks) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_tasks(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_tasks(4, 0)
+        with pytest.raises(ValueError):
+            chunk_tasks(4, 2, chunksize=0)
+        assert chunk_tasks(0, 2) == []

@@ -76,6 +76,39 @@ class TestRunSweep:
         sweep = run_sweep({"c": make_cell(quad3, 1)}, trials=2, rng=5)
         json.dumps(sweep.to_dict())
 
+    def test_to_dict_meta_preserves_json_native_types(self, quad3):
+        import json
+
+        import numpy as np
+        from repro.experiments.runner import SweepResult
+
+        base = run_sweep({"c": make_cell(quad3, 1)}, trials=1, rng=5)
+        sweep = SweepResult(
+            cells=base.cells,
+            trial_seeds=base.trial_seeds,
+            meta={
+                "trials": 3,
+                "rho": 0.25,
+                "paired": True,
+                "none": None,
+                "ks": [1, 2, 3],
+                "np_int": np.int64(7),
+                "np_arr": np.array([1.5, 2.5]),
+                "nested": {"budget": 100},
+                "opaque": object(),
+            },
+        )
+        meta = json.loads(json.dumps(sweep.to_dict()))["meta"]
+        assert meta["trials"] == 3
+        assert meta["rho"] == 0.25
+        assert meta["paired"] is True
+        assert meta["none"] is None
+        assert meta["ks"] == [1, 2, 3]
+        assert meta["np_int"] == 7
+        assert meta["np_arr"] == [1.5, 2.5]
+        assert meta["nested"] == {"budget": 100}
+        assert isinstance(meta["opaque"], str)
+
     def test_validation(self, quad3):
         with pytest.raises(ValueError):
             run_sweep({}, trials=2)

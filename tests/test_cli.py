@@ -63,6 +63,33 @@ class TestTune:
             assert main(["tune", "--tuner", tuner, "--budget", "30", "--rho", "0"]) == 0
             capsys.readouterr()
 
+    def test_parallel_sweep_matches_serial(self, tmp_path, capsys):
+        """--jobs/--executor change the schedule, never the numbers."""
+        serial = tmp_path / "serial.json"
+        threaded = tmp_path / "threaded.json"
+        base = ["tune", "--budget", "40", "--trials", "3", "--rho", "0.2",
+                "--seed", "5"]
+        assert main(base + ["--json", str(serial)]) == 0
+        assert main(
+            base + ["--executor", "thread", "-j", "2", "--json", str(threaded)]
+        ) == 0
+        capsys.readouterr()
+        assert json.loads(serial.read_text()) == json.loads(threaded.read_text())
+
+    def test_bare_jobs_flag_accepted(self, capsys):
+        # `-j 2` alone implies the process executor.
+        code = main(["tune", "--budget", "30", "--trials", "2", "-j", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean NTT" in out
+
+    def test_serial_executor_ignores_jobs(self, capsys):
+        # Explicit serial wins: the jobs count is dropped, not an error.
+        code = main(["tune", "--budget", "30", "--trials", "2",
+                     "--executor", "serial", "-j", "4"])
+        assert code == 0
+        assert "mean NTT" in capsys.readouterr().out
+
 
 class TestTrace:
     def test_trace_output(self, capsys):
