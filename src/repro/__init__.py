@@ -71,6 +71,12 @@ from repro.variability import (
     TwoJobModel,
 )
 from repro.cluster import Cluster, ClusterTrace, PriorityMachine
+from repro.faults import (
+    FaultPlan,
+    FaultyEvaluator,
+    FaultyFactory,
+    InjectedFault,
+)
 from repro.harmony import (
     ClusterEvaluator,
     DatabaseEvaluator,
@@ -136,6 +142,11 @@ __all__ = [
     "Cluster",
     "ClusterTrace",
     "PriorityMachine",
+    # faults
+    "FaultPlan",
+    "FaultyEvaluator",
+    "FaultyFactory",
+    "InjectedFault",
     # harmony
     "TuningSession",
     "SessionResult",

@@ -32,7 +32,7 @@ from repro.core.sampling import (
 )
 from repro.experiments import _fmt
 from repro.experiments.common import TUNER_NAMES, tuner_factory
-from repro.experiments.parallel import EXECUTOR_NAMES
+from repro.experiments.parallel import EXECUTOR_NAMES, FAILURE_POLICIES
 from repro.experiments.runner import run_sweep
 from repro.harmony.session import TuningSession
 from repro.report.ascii import heatmap, histogram, line_plot, sparkline
@@ -122,7 +122,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_executor_options(parser: argparse.ArgumentParser) -> None:
-    """Sweep-parallelism flags shared by the experiment subcommands."""
+    """Sweep-parallelism and fault-tolerance flags shared by the
+    experiment subcommands."""
     parser.add_argument(
         "--jobs", "-j", type=int, default=None, metavar="N",
         help="worker count for parallel sweep execution "
@@ -132,6 +133,22 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
         "--executor", choices=EXECUTOR_NAMES, default=None,
         help="sweep execution backend (default: serial; "
         "results are identical across executors for the same seed)",
+    )
+    parser.add_argument(
+        "--failure-policy", choices=FAILURE_POLICIES, default="raise",
+        help="what to do with a failed trial: abort the sweep (raise, "
+        "default), drop it from the aggregates (skip), or re-dispatch it "
+        "with its original seed before dropping (retry)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trial wall-clock allowance; an over-budget trial is "
+        "abandoned and handled per --failure-policy",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="recovery rounds for failed trials "
+        "(default: 2 under --failure-policy retry, else 0)",
     )
 
 
@@ -146,6 +163,18 @@ def _resolve_executor(args: argparse.Namespace) -> tuple[str, int | None]:
     if executor == "serial":
         jobs = None
     return executor, jobs
+
+
+def _sweep_kwargs(args: argparse.Namespace) -> dict:
+    """The run_sweep execution/fault kwargs encoded in the shared flags."""
+    executor, jobs = _resolve_executor(args)
+    return {
+        "executor": executor,
+        "jobs": jobs,
+        "failure_policy": args.failure_policy,
+        "retries": args.retries,
+        "task_timeout": args.task_timeout,
+    }
 
 
 # -- command handlers ------------------------------------------------------------
@@ -192,11 +221,10 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             print(f"wrote {args.json}")
         return 0
 
-    executor, jobs = _resolve_executor(args)
     cell = _TuneCell(args.tuner, space, db, noise, plan, args.budget)
     sweep = run_sweep(
         {args.tuner: cell}, trials=args.trials, rng=args.seed,
-        executor=executor, jobs=jobs,
+        **_sweep_kwargs(args),
     )
     print(
         _fmt.format_table(
@@ -204,6 +232,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             sweep.rows(),
         )
     )
+    if sweep.failures:
+        print(f"failed trials     : {len(sweep.failures)} "
+              f"(policy {args.failure_policy})")
     if args.json:
         args.json.write_text(json.dumps(sweep.to_dict()) + "\n")
         print(f"wrote {args.json}")
@@ -259,7 +290,8 @@ def _cmd_surface(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    executor, jobs = _resolve_executor(args)
+    sweep_kwargs = _sweep_kwargs(args)
+    executor = sweep_kwargs["executor"]
     if executor != "serial" and args.figure in ("fig01", "fig08"):
         print(f"note: {args.figure} does not sweep trials; "
               "--jobs/--executor ignored", file=sys.stderr)
@@ -291,7 +323,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         from repro.experiments.fig09_simplex import run_initial_simplex_study
 
         study = run_initial_simplex_study(
-            trials=args.trials or 12, executor=executor, jobs=jobs
+            trials=args.trials or 12, **sweep_kwargs
         )
         print(_fmt.format_table(
             ["shape", "r", "mean NTT", "std NTT"], study.rows()
@@ -302,7 +334,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         from repro.experiments.fig10_sampling import run_sampling_study
 
         study = run_sampling_study(
-            trials=args.trials or 40, executor=executor, jobs=jobs
+            trials=args.trials or 40, **sweep_kwargs
         )
         print(_fmt.format_table(
             ["rho", "K", "mean NTT", "std NTT"], study.rows()

@@ -29,6 +29,7 @@ from repro.core.sampling import (
 )
 from repro.experiments.common import gs2_problem, tuner_factory
 from repro.experiments.runner import run_sweep
+from repro.faults.plan import FaultPlan
 from repro.harmony.session import TuningSession
 from repro.variability.models import GaussianNoise, NoiseModel, ParetoNoise
 
@@ -78,6 +79,10 @@ def _run_cells(
     db_fraction: float = 1.0,
     executor: str = "serial",
     jobs: int | None = None,
+    failure_policy: str = "raise",
+    retries: int | None = None,
+    task_timeout: float | None = None,
+    faults: FaultPlan | None = None,
 ) -> AblationTable:
     """Run one session per (config, trial) via the paired-seed sweep runner.
 
@@ -85,7 +90,8 @@ def _run_cells(
     optional ``noise`` (NoiseModel), ``plan`` (SamplingPlan) and
     ``controller`` (factory returning a fresh AdaptiveSamplingController).
     The cell factories are closures, so ``executor`` is limited to
-    ``"serial"``/``"thread"`` here.
+    ``"serial"``/``"thread"`` here.  Failure knobs pass through to
+    :func:`~repro.experiments.runner.run_sweep` unchanged.
     """
     master = as_generator(rng)
     surrogate, db = gs2_problem(fraction=db_fraction, rng=master)
@@ -118,6 +124,10 @@ def _run_cells(
         rng=master,
         executor=executor,
         jobs=jobs,
+        failure_policy=failure_policy,
+        retries=retries,
+        task_timeout=task_timeout,
+        faults=faults,
     )
     return AblationTable(
         row_names=sweep.names,
@@ -135,6 +145,11 @@ def run_variant_comparison(
     budget: int = 150,
     rho: float = 0.1,
     rng: int | np.random.Generator | None = 13,
+    executor: str = "serial",
+    jobs: int | None = None,
+    failure_policy: str = "raise",
+    retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> AblationTable:
     """PRO vs its ablated variants vs the sequential baselines."""
     noise = ParetoNoise(rho=rho) if rho > 0 else None
@@ -155,7 +170,11 @@ def run_variant_comparison(
             "random",
         )
     ]
-    table = _run_cells(configs, trials=trials, budget=budget, rng=rng)
+    table = _run_cells(
+        configs, trials=trials, budget=budget, rng=rng,
+        executor=executor, jobs=jobs, failure_policy=failure_policy,
+        retries=retries, task_timeout=task_timeout,
+    )
     table.meta.update({"rho": rho})
     return table
 
@@ -167,6 +186,11 @@ def run_estimator_comparison(
     k: int = 3,
     rho: float = 0.2,
     rng: int | np.random.Generator | None = 17,
+    executor: str = "serial",
+    jobs: int | None = None,
+    failure_policy: str = "raise",
+    retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> dict[str, AblationTable]:
     """Min vs mean vs median, under Pareto (heavy) and Gaussian (light) noise.
 
@@ -192,7 +216,11 @@ def run_estimator_comparison(
             )
             for est in estimators
         ]
-        table = _run_cells(configs, trials=trials, budget=budget, rng=rng)
+        table = _run_cells(
+            configs, trials=trials, budget=budget, rng=rng,
+            executor=executor, jobs=jobs, failure_policy=failure_policy,
+            retries=retries, task_timeout=task_timeout,
+        )
         table.meta.update({"noise": label, "rho": rho, "k": k})
         out[label] = table
     return out
@@ -204,6 +232,11 @@ def run_adaptive_k_study(
     budget: int = 150,
     rho_values: tuple[float, ...] = (0.0, 0.1, 0.3),
     rng: int | np.random.Generator | None = 19,
+    executor: str = "serial",
+    jobs: int | None = None,
+    failure_policy: str = "raise",
+    retries: int | None = None,
+    task_timeout: float | None = None,
 ) -> dict[float, AblationTable]:
     """Adaptive-K controller vs fixed K ∈ {1, 3, 5}, across noise levels.
 
@@ -230,7 +263,11 @@ def run_adaptive_k_study(
                 },
             )
         )
-        table = _run_cells(configs, trials=trials, budget=budget, rng=rng)
+        table = _run_cells(
+            configs, trials=trials, budget=budget, rng=rng,
+            executor=executor, jobs=jobs, failure_policy=failure_policy,
+            retries=retries, task_timeout=task_timeout,
+        )
         table.meta.update({"rho": rho})
         out[float(rho)] = table
     return out

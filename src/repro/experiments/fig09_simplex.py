@@ -28,6 +28,7 @@ from repro.core.pro import ParallelRankOrdering
 from repro.core.sampling import MinEstimator, SamplingPlan
 from repro.experiments.common import gs2_problem
 from repro.experiments.runner import run_sweep
+from repro.faults.plan import FaultPlan
 from repro.harmony.session import TuningSession
 from repro.space import ParameterSpace
 from repro.variability.models import ParetoNoise
@@ -121,8 +122,18 @@ def run_initial_simplex_study(
     rng: int | np.random.Generator | None = 42,
     executor: str = "serial",
     jobs: int | None = None,
+    failure_policy: str = "raise",
+    retries: int | None = None,
+    task_timeout: float | None = None,
+    faults: FaultPlan | None = None,
 ) -> InitialSimplexStudy:
-    """Sweep (shape, r) and average NTT over randomized trials."""
+    """Sweep (shape, r) and average NTT over randomized trials.
+
+    ``failure_policy``/``retries``/``task_timeout``/``faults`` pass through
+    to :func:`~repro.experiments.runner.run_sweep`; under ``"skip"`` a cell
+    averages its surviving trials (``sweep.meta["n_failed"]`` records the
+    losses).
+    """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     master = as_generator(rng)
@@ -154,7 +165,9 @@ def run_initial_simplex_study(
     # run_sweep draws the trial-seed vector from `master` exactly as this
     # study historically did, so results are unchanged across the refactor.
     sweep = run_sweep(
-        cells, trials=trials, rng=master, executor=executor, jobs=jobs
+        cells, trials=trials, rng=master, executor=executor, jobs=jobs,
+        failure_policy=failure_policy, retries=retries,
+        task_timeout=task_timeout, faults=faults,
     )
     mean = np.empty((len(shapes), len(r_values)))
     std = np.empty_like(mean)

@@ -27,6 +27,7 @@ from repro.core.pro import ParallelRankOrdering
 from repro.core.sampling import Estimator, MinEstimator, SamplingPlan
 from repro.experiments.common import gs2_problem
 from repro.experiments.runner import run_sweep
+from repro.faults.plan import FaultPlan
 from repro.harmony.session import TuningSession
 from repro.space import ParameterSpace
 from repro.variability.models import NoNoise, ParetoNoise
@@ -149,6 +150,10 @@ def run_sampling_study(
     rng: int | np.random.Generator | None = 2005,
     executor: str = "serial",
     jobs: int | None = None,
+    failure_policy: str = "raise",
+    retries: int | None = None,
+    task_timeout: float | None = None,
+    faults: FaultPlan | None = None,
 ) -> SamplingStudy:
     """The §6.2 sweep.  The paper used trials=2000; default is bench-scale.
 
@@ -189,7 +194,9 @@ def run_sampling_study(
     # run_sweep draws the trial-seed vector from `master` exactly as this
     # study historically did, so results are unchanged across the refactor.
     sweep = run_sweep(
-        cells, trials=trials, rng=master, executor=executor, jobs=jobs
+        cells, trials=trials, rng=master, executor=executor, jobs=jobs,
+        failure_policy=failure_policy, retries=retries,
+        task_timeout=task_timeout, faults=faults,
     )
     mean = np.empty((len(rho_values), len(k_values)))
     std = np.empty_like(mean)

@@ -22,35 +22,55 @@ Design contract (what keeps parallel runs trustworthy):
   (cell-major, trial-minor), so ``collect`` hooks and downstream
   aggregation observe exactly the serial sequence;
 * **chunked scheduling** — tasks ship to pools in contiguous chunks to
-  amortize inter-process pickling, without affecting results.
+  amortize inter-process pickling, without affecting results;
+* **per-task fault isolation** — a task that raises, times out, or dies
+  with its worker becomes a :class:`TrialFailure` record instead of
+  poisoning its chunk or aborting the sweep; the completed siblings of a
+  failed task always survive;
+* **deterministic recovery** — a retried or re-dispatched task carries
+  its original seed (a retried trial is the *same* trial), and injected
+  faults (:mod:`repro.faults`) are keyed by ``(cell, trial, attempt)``,
+  so a faulted-then-recovered sweep is bit-identical to a clean serial
+  run of the surviving attempts, on every executor.
 
 Together these make serial and parallel sweeps bit-identical — the
-equivalence test in ``tests/experiments/test_parallel.py`` is the contract.
+equivalence tests in ``tests/experiments/test_parallel.py`` and the
+fault-tolerance suite in ``tests/experiments/test_fault_tolerance.py``
+are the contract.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import threading
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import (
+    BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.faults.inject import FaultyEvaluator
+from repro.faults.plan import FaultPlan, InjectedFault
 from repro.harmony.metrics import SessionResult
 from repro.harmony.session import TuningSession
 
 __all__ = [
     "EXECUTOR_NAMES",
+    "FAILURE_POLICIES",
     "Executor",
     "ProcessExecutor",
     "SerialExecutor",
     "SweepTask",
     "ThreadExecutor",
+    "TrialFailure",
     "TrialOutcome",
+    "TrialTimeout",
     "chunk_tasks",
     "execute_ordered",
     "make_executor",
@@ -59,6 +79,15 @@ __all__ = [
 
 #: executor specs accepted by :func:`make_executor` (and the CLI)
 EXECUTOR_NAMES = ("serial", "thread", "process")
+
+#: what to do with a trial that still fails after recovery (see
+#: :func:`execute_ordered`): abort the sweep, drop the trial but keep a
+#: record, or retry it (with its original seed) before dropping
+FAILURE_POLICIES = ("raise", "skip", "retry")
+
+
+class TrialTimeout(RuntimeError):
+    """A task exceeded its wall-clock allowance and was abandoned."""
 
 
 @dataclass(frozen=True)
@@ -81,6 +110,15 @@ class SweepTask:
     #: ship the full SessionResult back (needed by ``collect`` hooks);
     #: off by default to keep inter-process traffic small
     keep_result: bool = False
+    #: retry generation: 0 for the first dispatch, incremented by the
+    #: recovery loop; the seed never changes — a retried trial is the same
+    #: trial, and fault plans key their schedule on this index
+    attempt: int = 0
+    #: per-task wall-clock allowance in seconds (None = unbounded); an
+    #: over-budget task is abandoned and surfaces as a timeout failure
+    timeout: float | None = None
+    #: deterministic fault-injection schedule applied by the worker
+    faults: FaultPlan | None = None
 
 
 @dataclass(frozen=True)
@@ -99,13 +137,95 @@ class TrialOutcome:
     result: SessionResult | None = None
 
 
+@dataclass(frozen=True)
+class TrialFailure:
+    """TrialOutcome-shaped record of a task that produced no result.
+
+    Carries the same identity fields as :class:`TrialOutcome` so the
+    aggregation can place it, plus what went wrong and on which attempt.
+    The original exception rides along in-process (``exception``) for
+    ``failure_policy="raise"`` re-raising; only the string fields cross
+    process boundaries reliably and only they are serialized.
+    """
+
+    cell_index: int
+    cell_name: str
+    trial_index: int
+    seed: int
+    attempt: int
+    #: ``"error"`` (the task raised), ``"timeout"`` (exceeded its
+    #: allowance), or ``"worker-lost"`` (its pool worker died outright)
+    kind: str
+    error_type: str
+    message: str
+    exception: BaseException | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-safe record for the :class:`SweepResult` failure ledger."""
+        return {
+            "cell_index": int(self.cell_index),
+            "cell_name": self.cell_name,
+            "trial_index": int(self.trial_index),
+            "seed": int(self.seed),
+            "attempt": int(self.attempt),
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    def _picklable(self) -> "TrialFailure":
+        """Drop (or substitute) an exception object that cannot pickle."""
+        if self.exception is None:
+            return self
+        try:
+            pickle.dumps(self.exception)
+            return self
+        except Exception:
+            return replace(
+                self,
+                exception=RuntimeError(f"{self.error_type}: {self.message}"),
+            )
+
+
+def _failure(task: SweepTask, exc: BaseException, kind: str) -> TrialFailure:
+    return TrialFailure(
+        cell_index=task.cell_index,
+        cell_name=task.cell_name,
+        trial_index=task.trial_index,
+        seed=task.seed,
+        attempt=task.attempt,
+        kind=kind,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        exception=exc,
+    )
+
+
 def run_trial(task: SweepTask) -> TrialOutcome:
     """Execute one task: rebuild the session from (factory, seed) and run it.
 
     Runs inside the worker (same process for serial/thread, a pool worker
     for process).  Validation mirrors the historical serial runner so bad
-    factories fail identically under every executor.
+    factories fail identically under every executor.  When the task
+    carries a :class:`~repro.faults.FaultPlan`, its scheduled fault for
+    ``(cell, trial, attempt)`` is applied here: ``crash`` raises before
+    the session is built, ``hang`` sleeps ``plan.hang_seconds`` (a
+    straggler the timeout layer can abandon), and ``nan``/``slowdown``
+    wrap the session's evaluator.  Raises on failure; fault capture is the
+    executor's job.
     """
+    fault = None
+    if task.faults is not None:
+        fault = task.faults.fault_for(
+            task.cell_index, task.trial_index, task.attempt
+        )
+    if fault == "crash":
+        raise InjectedFault(
+            f"injected crash: cell {task.cell_index} trial {task.trial_index} "
+            f"attempt {task.attempt}"
+        )
+    if fault == "hang":
+        time.sleep(task.faults.hang_seconds)
     if getattr(task.factory, "trial_aware", False):
         session = task.factory(task.seed, task.trial_index)
     else:
@@ -114,6 +234,12 @@ def run_trial(task: SweepTask) -> TrialOutcome:
         raise TypeError(
             f"cell {task.cell_name!r} factory must return a TuningSession, "
             f"got {type(session).__name__}"
+        )
+    if fault in ("nan", "slowdown"):
+        session.evaluator = FaultyEvaluator(
+            session.evaluator,
+            mode="nan" if fault == "nan" else "slowdown",
+            factor=task.faults.slowdown_factor,
         )
     result = session.run()
     return TrialOutcome(
@@ -129,16 +255,75 @@ def run_trial(task: SweepTask) -> TrialOutcome:
     )
 
 
-def _run_chunk(tasks: Sequence[SweepTask]) -> list[TrialOutcome]:
-    """Worker entry point for pool executors: run one contiguous chunk."""
-    return [run_trial(task) for task in tasks]
+def _run_trial_with_timeout(task: SweepTask, timeout: float) -> TrialOutcome:
+    """Run one task under a wall-clock watchdog.
+
+    The trial runs in a daemon thread; if it has not finished within
+    *timeout* seconds it is abandoned (the thread keeps running but its
+    eventual result is discarded — it cannot race the re-dispatched copy)
+    and :class:`TrialTimeout` is raised so the recovery loop can
+    re-dispatch the task.
+    """
+    box: list[object] = []
+
+    def target() -> None:
+        try:
+            box.append(run_trial(task))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            box.append(exc)
+
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise TrialTimeout(
+            f"cell {task.cell_index} trial {task.trial_index} attempt "
+            f"{task.attempt} exceeded its {timeout:g}s allowance"
+        )
+    outcome = box[0]
+    if isinstance(outcome, BaseException):
+        raise outcome
+    return outcome  # type: ignore[return-value]
+
+
+def _guarded_trial(task: SweepTask) -> TrialOutcome | TrialFailure:
+    """Run one task, capturing any failure as a :class:`TrialFailure`."""
+    try:
+        if task.timeout is not None:
+            return _run_trial_with_timeout(task, task.timeout)
+        return run_trial(task)
+    except TrialTimeout as exc:
+        return _failure(task, exc, kind="timeout")
+    except Exception as exc:  # noqa: BLE001 - per-task isolation is the point
+        return _failure(task, exc, kind="error")
+
+
+def _run_chunk(tasks: Sequence[SweepTask]) -> list[TrialOutcome | TrialFailure]:
+    """Worker entry point for pool executors: run one contiguous chunk.
+
+    Outcomes are captured per task — a raising task yields its own
+    :class:`TrialFailure` and its completed siblings survive untouched
+    (the chunk is a shipping container, not a failure domain).
+    """
+    out: list[TrialOutcome | TrialFailure] = []
+    for task in tasks:
+        result = _guarded_trial(task)
+        if isinstance(result, TrialFailure):
+            result = result._picklable()
+        out.append(result)
+    return out
 
 
 def chunk_tasks(n_tasks: int, jobs: int, chunksize: int | None = None) -> list[range]:
     """Split ``range(n_tasks)`` into contiguous chunks for pool submission.
 
-    The default chunk size targets ~4 chunks per worker so stragglers can
-    be rebalanced while pickling overhead stays amortized.
+    The default chunk size targets ~4 chunks per worker, keeping pickling
+    overhead amortized while bounding how much work any one slow chunk
+    holds.  Stragglers are not rebalanced at this layer: a task that
+    exceeds its ``timeout`` is abandoned by the per-task watchdog and
+    surfaces as a timeout :class:`TrialFailure`, which the recovery pass
+    in :func:`execute_ordered` re-dispatches (with its original seed) as a
+    fresh single-task submission.
     """
     if n_tasks < 0:
         raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
@@ -155,11 +340,13 @@ def chunk_tasks(n_tasks: int, jobs: int, chunksize: int | None = None) -> list[r
 
 
 class Executor(ABC):
-    """Runs sweep tasks, yielding ``(task_index, outcome)`` in any order.
+    """Runs sweep tasks, yielding ``(task_index, result)`` in any order.
 
     Implementations must evaluate every task exactly once via
-    :func:`run_trial` (or :func:`_run_chunk`); ordering is the caller's
-    problem — see :func:`execute_ordered`.
+    :func:`_guarded_trial` (or :func:`_run_chunk`), yielding a
+    :class:`TrialOutcome` or a captured :class:`TrialFailure` per task —
+    never raising for a task-level error.  Ordering and failure policy are
+    the caller's problem — see :func:`execute_ordered`.
     """
 
     name: str = "executor"
@@ -167,8 +354,8 @@ class Executor(ABC):
     @abstractmethod
     def map_tasks(
         self, tasks: Sequence[SweepTask]
-    ) -> Iterator[tuple[int, TrialOutcome]]:
-        """Yield ``(index, outcome)`` pairs, completion-ordered."""
+    ) -> Iterator[tuple[int, TrialOutcome | TrialFailure]]:
+        """Yield ``(index, outcome-or-failure)`` pairs, completion-ordered."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -181,9 +368,9 @@ class SerialExecutor(Executor):
 
     def map_tasks(
         self, tasks: Sequence[SweepTask]
-    ) -> Iterator[tuple[int, TrialOutcome]]:
+    ) -> Iterator[tuple[int, TrialOutcome | TrialFailure]]:
         for i, task in enumerate(tasks):
-            yield i, run_trial(task)
+            yield i, _guarded_trial(task)
 
 
 class _PoolExecutor(Executor):
@@ -204,7 +391,7 @@ class _PoolExecutor(Executor):
 
     def map_tasks(
         self, tasks: Sequence[SweepTask]
-    ) -> Iterator[tuple[int, TrialOutcome]]:
+    ) -> Iterator[tuple[int, TrialOutcome | TrialFailure]]:
         tasks = list(tasks)
         if not tasks:
             return
@@ -220,7 +407,18 @@ class _PoolExecutor(Executor):
             }
             for future in as_completed(futures):
                 chunk = futures[future]
-                outcomes = future.result()
+                try:
+                    outcomes = future.result()
+                except BrokenExecutor as exc:
+                    # A worker process died outright (segfault, OOM kill,
+                    # os._exit).  The pool is unusable from here on, but
+                    # the sweep is not: every task still in flight becomes
+                    # a worker-lost failure the recovery pass can
+                    # re-dispatch on a fresh pool.
+                    outcomes = [
+                        _failure(tasks[i], exc, kind="worker-lost")
+                        for i in chunk
+                    ]
                 yield from zip(chunk, outcomes)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -278,30 +476,104 @@ def make_executor(
     raise ValueError(f"unknown executor {spec!r}; known: {EXECUTOR_NAMES}")
 
 
+def _raise_failure(failure: TrialFailure) -> None:
+    if failure.exception is not None:
+        raise failure.exception
+    raise RuntimeError(
+        f"cell {failure.cell_name!r} trial {failure.trial_index} failed: "
+        f"{failure.error_type}: {failure.message}"
+    )
+
+
 def execute_ordered(
     executor: Executor,
     tasks: Iterable[SweepTask],
     emit: Callable[[TrialOutcome], None] | None = None,
-) -> list[TrialOutcome]:
-    """Run *tasks* on *executor*; return outcomes in task order.
+    *,
+    failure_policy: str = "raise",
+    retries: int | None = None,
+) -> list[TrialOutcome | TrialFailure]:
+    """Run *tasks* on *executor*; return per-task results in task order.
 
-    ``emit`` (the ``collect`` plumbing) is called with each outcome in
-    strict submission order as soon as its prefix is complete — a trial
-    that finishes early is buffered until every earlier trial has landed,
-    so hooks observe the exact serial sequence regardless of executor.
+    ``emit`` (the ``collect`` plumbing) is called with each successful
+    outcome in strict submission order — with no recovery in play a trial
+    that finishes early is buffered until every earlier trial has landed;
+    when retries are enabled, emission happens once every task's fate is
+    final (a failed trial's slot might otherwise be filled out of order by
+    its retry).  Hooks observe the exact serial sequence either way.
+
+    Failure handling:
+
+    * ``failure_policy="raise"`` (default) — the first failure aborts the
+      sweep by re-raising the task's exception, the historical behavior;
+    * ``"skip"`` — failed trials stay in the result list as
+      :class:`TrialFailure` records for the caller to account;
+    * ``"retry"`` — failed (crashed, timed-out, or worker-lost) tasks are
+      re-dispatched with their original seed and an incremented
+      ``attempt``, up to *retries* extra rounds (default 2); tasks that
+      still fail are then treated as skipped.  Each retry round runs on a
+      fresh pool, which also recovers from a broken process pool.
+
+    *retries* may be combined with any policy (``raise`` then raises only
+    if a task exhausts its retries); it defaults to 2 under ``"retry"``
+    and 0 otherwise.
     """
+    if failure_policy not in FAILURE_POLICIES:
+        raise ValueError(
+            f"unknown failure_policy {failure_policy!r}; known: {FAILURE_POLICIES}"
+        )
+    if retries is None:
+        retries = 2 if failure_policy == "retry" else 0
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     tasks = list(tasks)
-    outcomes: list[TrialOutcome | None] = [None] * len(tasks)
+    results: list[TrialOutcome | TrialFailure | None] = [None] * len(tasks)
+    stream = emit is not None and retries == 0
     next_emit = 0
-    for i, outcome in executor.map_tasks(tasks):
-        if outcomes[i] is not None:
+    for i, result in executor.map_tasks(tasks):
+        if results[i] is not None:
             raise RuntimeError(f"executor produced task {i} twice")
-        outcomes[i] = outcome
-        if emit is not None:
-            while next_emit < len(tasks) and outcomes[next_emit] is not None:
-                emit(outcomes[next_emit])  # type: ignore[arg-type]
+        if (
+            isinstance(result, TrialFailure)
+            and failure_policy == "raise"
+            and retries == 0
+        ):
+            _raise_failure(result)
+        results[i] = result
+        if stream:
+            while next_emit < len(tasks) and results[next_emit] is not None:
+                ready = results[next_emit]
+                if isinstance(ready, TrialOutcome):
+                    emit(ready)  # type: ignore[misc]
                 next_emit += 1
-    missing = [i for i, o in enumerate(outcomes) if o is None]
+    missing = [i for i, r in enumerate(results) if r is None]
     if missing:
         raise RuntimeError(f"executor dropped tasks {missing[:5]}")
-    return outcomes  # type: ignore[return-value]
+    # Recovery: re-dispatch failed tasks (same seed, next attempt) round by
+    # round; each round uses a fresh map_tasks call, hence a fresh pool.
+    for attempt in range(1, retries + 1):
+        pending = [
+            i for i, r in enumerate(results) if isinstance(r, TrialFailure)
+        ]
+        if not pending:
+            break
+        redispatch = [replace(tasks[i], attempt=attempt) for i in pending]
+        round_results: list[TrialOutcome | TrialFailure | None] = [None] * len(
+            redispatch
+        )
+        for j, result in executor.map_tasks(redispatch):
+            if round_results[j] is not None:
+                raise RuntimeError(f"executor produced retried task {j} twice")
+            round_results[j] = result
+        for j, i in enumerate(pending):
+            if round_results[j] is None:
+                raise RuntimeError(f"executor dropped retried task {i}")
+            results[i] = round_results[j]
+    failures = [r for r in results if isinstance(r, TrialFailure)]
+    if failures and failure_policy == "raise":
+        _raise_failure(failures[0])
+    if emit is not None and not stream:
+        for result in results:
+            if isinstance(result, TrialOutcome):
+                emit(result)
+    return results  # type: ignore[return-value]

@@ -11,7 +11,11 @@ This module factors that skeleton out so new studies are a dozen lines:
   :class:`~repro.harmony.session.TuningSession` for (trial_seed), so any
   combination of tuner/noise/plan/evaluator fits;
 * **results are arrays + labels**, exportable to JSON and renderable with
-  :func:`repro.experiments._fmt.format_table`.
+  :func:`repro.experiments._fmt.format_table`;
+* **failures are data** — under ``failure_policy="skip"``/``"retry"`` a
+  crashed, hung, or timed-out trial becomes a ledger entry instead of an
+  aborted sweep: aggregates are computed over the surviving trials and
+  the per-trial failure records ride along on the result.
 """
 
 from __future__ import annotations
@@ -23,11 +27,15 @@ import numpy as np
 
 from repro._util import as_generator
 from repro.experiments.parallel import (
+    FAILURE_POLICIES,
     Executor,
     SweepTask,
+    TrialFailure,
+    TrialOutcome,
     execute_ordered,
     make_executor,
 )
+from repro.faults.plan import FaultPlan
 from repro.harmony.metrics import SessionResult
 from repro.harmony.session import TuningSession
 
@@ -41,7 +49,12 @@ SessionFactory = Callable[[int], TuningSession]
 
 @dataclass(frozen=True)
 class CellStats:
-    """Aggregates of one grid cell across trials."""
+    """Aggregates of one grid cell across its *surviving* trials.
+
+    ``trials`` counts the trials that produced a result; ``failures``
+    counts the trials lost to errors/timeouts after recovery.  A cell
+    whose every trial failed reports NaN aggregates.
+    """
 
     name: str
     ntt_mean: float
@@ -51,6 +64,7 @@ class CellStats:
     total_time_mean: float
     converged_fraction: float
     trials: int
+    failures: int = 0
 
     def row(self) -> list[object]:
         return [
@@ -64,11 +78,13 @@ class CellStats:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """All cells of one sweep."""
+    """All cells of one sweep, plus the per-trial failure ledger."""
 
     cells: tuple[CellStats, ...]
     trial_seeds: tuple[int, ...]
     meta: dict = field(default_factory=dict)
+    #: trials that produced no result after recovery (empty for a clean run)
+    failures: tuple[TrialFailure, ...] = ()
 
     def __getitem__(self, name: str) -> CellStats:
         for cell in self.cells:
@@ -91,6 +107,7 @@ class SweepResult:
             "cells": [vars(c) for c in self.cells],
             "trial_seeds": list(self.trial_seeds),
             "meta": {k: _json_safe(v) for k, v in self.meta.items()},
+            "failures": [f.to_dict() for f in self.failures],
         }
 
 
@@ -123,6 +140,10 @@ def run_sweep(
     collect: Callable[[SessionResult], None] | None = None,
     executor: str | Executor = "serial",
     jobs: int | None = None,
+    failure_policy: str = "raise",
+    retries: int | None = None,
+    task_timeout: float | None = None,
+    faults: FaultPlan | None = None,
 ) -> SweepResult:
     """Run every cell for *trials* paired-seed sessions and aggregate.
 
@@ -135,10 +156,10 @@ def run_sweep(
     trials:
         Trials per cell; the same seed sequence is replayed for every cell.
     collect:
-        Optional hook called with every :class:`SessionResult` (e.g. to
-        archive them with ``result.to_json()``).  Hooks always observe
-        results in deterministic (cell-major, trial-minor) order, whatever
-        the executor.
+        Optional hook called with every successful :class:`SessionResult`
+        (e.g. to archive them with ``result.to_json()``).  Hooks always
+        observe results in deterministic (cell-major, trial-minor) order,
+        whatever the executor; failed trials are skipped.
     executor:
         ``"serial"`` (default), ``"thread"``, ``"process"``, or a
         pre-configured :class:`~repro.experiments.parallel.Executor`.  The
@@ -147,9 +168,36 @@ def run_sweep(
         the same ``rng``.  Process execution requires picklable factories.
     jobs:
         Worker count for pool executors (default: all CPUs).
+    failure_policy:
+        ``"raise"`` (default) aborts on the first failed trial — the
+        historical behavior; ``"skip"`` drops failed trials from the
+        aggregates and records them in ``SweepResult.failures``;
+        ``"retry"`` re-dispatches failed trials (same seed, incremented
+        attempt) before skipping survivors-of-retry.
+    retries:
+        Extra recovery rounds for failed tasks (default: 2 under
+        ``"retry"``, 0 otherwise).
+    task_timeout:
+        Per-trial wall-clock allowance in seconds; an over-budget trial is
+        abandoned and handled per *failure_policy* (under ``"retry"`` it
+        is re-dispatched — the straggler pass).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injected at the worker:
+        deterministic per-(cell, trial, attempt) crashes/hangs/NaNs/
+        slowdowns for testing and resilience experiments.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    if failure_policy not in FAILURE_POLICIES:
+        raise ValueError(
+            f"unknown failure_policy {failure_policy!r}; known: {FAILURE_POLICIES}"
+        )
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValueError(f"task_timeout must be > 0 seconds, got {task_timeout}")
+    if retries is None:
+        retries = 2 if failure_policy == "retry" else 0
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     items = list(cells.items()) if isinstance(cells, Mapping) else list(cells)
     if not items:
         raise ValueError("need at least one cell")
@@ -168,33 +216,65 @@ def run_sweep(
             seed=seed,
             factory=factory,
             keep_result=keep_results,
+            timeout=task_timeout,
+            faults=faults,
         )
         for c, (name, factory) in enumerate(items)
         for t, seed in enumerate(trial_seeds)
     ]
     emit = (lambda outcome: collect(outcome.result)) if keep_results else None
-    outcomes = execute_ordered(exec_, tasks, emit)
+    results = execute_ordered(
+        exec_, tasks, emit, failure_policy=failure_policy, retries=retries
+    )
+    all_failures: list[TrialFailure] = []
     stats: list[CellStats] = []
     for c, (name, _) in enumerate(items):
-        cell_outcomes = outcomes[c * trials : (c + 1) * trials]
-        ntts = np.array([o.ntt for o in cell_outcomes], dtype=float)
-        finals = np.array([o.final_cost for o in cell_outcomes], dtype=float)
-        totals = np.array([o.total_time for o in cell_outcomes], dtype=float)
-        converged = sum(o.converged for o in cell_outcomes)
-        stats.append(
-            CellStats(
-                name=name,
-                ntt_mean=float(ntts.mean()),
-                ntt_std=float(ntts.std()),
-                final_cost_mean=float(np.nanmean(finals)),
-                final_cost_std=float(np.nanstd(finals)),
-                total_time_mean=float(totals.mean()),
-                converged_fraction=converged / trials,
-                trials=trials,
+        cell_results = results[c * trials : (c + 1) * trials]
+        survived = [r for r in cell_results if isinstance(r, TrialOutcome)]
+        failed = [r for r in cell_results if isinstance(r, TrialFailure)]
+        all_failures.extend(failed)
+        if survived:
+            ntts = np.array([o.ntt for o in survived], dtype=float)
+            finals = np.array([o.final_cost for o in survived], dtype=float)
+            totals = np.array([o.total_time for o in survived], dtype=float)
+            converged = sum(o.converged for o in survived)
+            stats.append(
+                CellStats(
+                    name=name,
+                    ntt_mean=float(ntts.mean()),
+                    ntt_std=float(ntts.std()),
+                    final_cost_mean=float(np.nanmean(finals)),
+                    final_cost_std=float(np.nanstd(finals)),
+                    total_time_mean=float(totals.mean()),
+                    converged_fraction=converged / len(survived),
+                    trials=len(survived),
+                    failures=len(failed),
+                )
             )
-        )
+        else:
+            stats.append(
+                CellStats(
+                    name=name,
+                    ntt_mean=float("nan"),
+                    ntt_std=float("nan"),
+                    final_cost_mean=float("nan"),
+                    final_cost_std=float("nan"),
+                    total_time_mean=float("nan"),
+                    converged_fraction=0.0,
+                    trials=0,
+                    failures=len(failed),
+                )
+            )
+    meta: dict = {"trials": trials, "failure_policy": failure_policy}
+    if retries:
+        meta["retries"] = retries
+    if task_timeout is not None:
+        meta["task_timeout"] = task_timeout
+    if all_failures:
+        meta["n_failed"] = len(all_failures)
     return SweepResult(
         cells=tuple(stats),
         trial_seeds=tuple(trial_seeds),
-        meta={"trials": trials},
+        meta=meta,
+        failures=tuple(all_failures),
     )

@@ -1,0 +1,146 @@
+"""Injection wrappers: broken substrates and broken session factories.
+
+:class:`FaultyEvaluator` generalizes the ad-hoc ``BrokenEvaluator`` stubs
+the test suite used to carry: it wraps a real substrate (or a bare cost
+function) and misbehaves on a configurable window of waves.  Because it is
+a plain picklable object it also works inside process-pool workers, which
+is how :func:`repro.experiments.parallel.run_trial` degrades a session
+whose task drew a ``nan`` or ``slowdown`` fault.
+
+:class:`FaultyFactory` injects one layer up: it wraps a sweep cell factory
+so sessions crash/hang/degrade per a :class:`~repro.faults.FaultPlan`
+before the executor ever sees them — useful for exercising the sweep
+runner through its public ``cells`` interface alone.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, InjectedFault
+from repro.harmony.evaluator import DelegatingEvaluator, Evaluator
+
+__all__ = ["FaultyEvaluator", "FaultyFactory"]
+
+
+class FaultyEvaluator(DelegatingEvaluator):
+    """Wraps a substrate and misbehaves on schedule.
+
+    Parameters
+    ----------
+    inner:
+        The real substrate — an :class:`Evaluator` or a bare cost callable
+        (wrapped in a noise-free :class:`FunctionEvaluator`).
+    mode:
+        What goes wrong on an active wave: ``"nan"``, ``"negative"``,
+        ``"wrong_shape"``, ``"bad_barrier"`` (invalid observations the
+        session must reject), ``"raises"`` (the substrate goes away), or
+        ``"slowdown"`` (observations scaled by *factor* — a straggler that
+        still answers).
+    after, times:
+        The active window: waves ``[after, after + times)`` misbehave
+        (``times=None`` = every wave from *after* on).  Defaults inject
+        from the very first wave, matching the historical BrokenEvaluator.
+    """
+
+    MODES = ("nan", "negative", "wrong_shape", "bad_barrier", "raises", "slowdown")
+
+    def __init__(
+        self,
+        inner: Evaluator | Callable[[np.ndarray], float],
+        *,
+        mode: str,
+        after: int = 0,
+        times: int | None = None,
+        factor: float = 4.0,
+        message: str = "substrate went away",
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; known: {self.MODES}")
+        if after < 0:
+            raise ValueError(f"after must be >= 0, got {after}")
+        if times is not None and times < 1:
+            raise ValueError(f"times must be >= 1 (or None), got {times}")
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        super().__init__(inner)
+        self.mode = mode
+        self.after = int(after)
+        self.times = times if times is None else int(times)
+        self.factor = float(factor)
+        self.message = message
+        self._wave_index = 0
+
+    def observe_wave(
+        self, points: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> tuple[np.ndarray, float]:
+        wave = self._wave_index
+        self._wave_index += 1
+        active = wave >= self.after and (
+            self.times is None or wave < self.after + self.times
+        )
+        if not active:
+            return self.inner.observe_wave(points, rng)
+        n = len(points)
+        if self.mode == "raises":
+            raise OSError(self.message)
+        if self.mode == "nan":
+            return np.full(n, np.nan), 1.0
+        if self.mode == "negative":
+            return np.full(n, -1.0), 1.0
+        if self.mode == "wrong_shape":
+            return np.ones(n + 3), 1.0
+        if self.mode == "bad_barrier":
+            # observations fine, barrier below the wave max: inconsistent
+            return np.full(n, 5.0), 1.0
+        # slowdown: the substrate answers, just late — scale both the
+        # observations and the barrier so the record stays self-consistent
+        y, t_step = self.inner.observe_wave(points, rng)
+        return np.asarray(y, dtype=float) * self.factor, float(t_step) * self.factor
+
+
+class FaultyFactory:
+    """Wraps a sweep cell factory with plan-driven injection.
+
+    The wrapper consults :meth:`FaultPlan.fault_for_seed` with the trial
+    seed (the only task identity a factory sees): ``crash`` raises
+    :class:`InjectedFault` at build time, ``hang`` sleeps
+    ``plan.hang_seconds`` before building, ``nan``/``slowdown`` wrap the
+    built session's evaluator in a :class:`FaultyEvaluator`.  Propagates
+    the wrapped factory's ``trial_aware`` calling convention and pickles
+    whenever the factory and plan do.
+    """
+
+    def __init__(
+        self, factory: Callable, plan: FaultPlan, *, attempt: int = 0
+    ) -> None:
+        self.factory = factory
+        self.plan = plan
+        self.attempt = int(attempt)
+        self.trial_aware = bool(getattr(factory, "trial_aware", False))
+
+    def __call__(self, seed: int, trial_index: int | None = None):
+        fault = self.plan.fault_for_seed(seed, self.attempt)
+        if fault == "crash":
+            raise InjectedFault(
+                f"injected crash: factory seed {seed} attempt {self.attempt}"
+            )
+        if fault == "hang":
+            time.sleep(self.plan.hang_seconds)
+        if self.trial_aware:
+            session = self.factory(seed, trial_index)
+        else:
+            session = self.factory(seed)
+        if fault in ("nan", "slowdown") and hasattr(session, "evaluator"):
+            session.evaluator = FaultyEvaluator(
+                session.evaluator,
+                mode="nan" if fault == "nan" else "slowdown",
+                factor=self.plan.slowdown_factor,
+            )
+        return session
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultyFactory({self.factory!r}, plan={self.plan!r})"

@@ -1,0 +1,113 @@
+"""Seedable per-task fault schedules.
+
+A :class:`FaultPlan` answers one question: *what goes wrong for attempt
+``a`` of task ``(cell, trial)``?*  The answer is drawn from a generator
+seeded by ``SeedSequence([plan_seed, cell, trial, attempt])``, which makes
+the schedule
+
+* **deterministic** — the same plan seed always yields the same faults;
+* **order-independent** — the decision for one task never consumes
+  entropy another task observes, so serial and pool executors (and any
+  completion order) see identical schedules;
+* **retry-aware** — the attempt index is part of the key, and attempts
+  at or beyond ``max_faulty_attempts`` are always clean, so a bounded
+  retry loop is guaranteed to converge on an injected (as opposed to
+  real) fault.
+
+Injection never touches the session's own RNG stream: a crashed/hung/NaN
+attempt dies before delivering a result, and the clean retry rebuilds the
+session from its original seed — so the surviving outcome is bit-identical
+to a run that was never faulted at all.  (The one exception is
+``slowdown``, which deliberately *succeeds* with scaled observations to
+model stragglers; it too is deterministic per task and attempt.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "InjectedFault"]
+
+#: everything a plan can schedule, in band order
+FAULT_KINDS = ("crash", "hang", "nan", "slowdown")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by deliberately injected crashes (never by real bugs)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-task crash/hang/NaN/slowdown schedule, seeded and replayable.
+
+    Each rate is the marginal probability that a *faulty-eligible* attempt
+    of a task draws that fault; rates partition one uniform draw, so they
+    must sum to at most 1.  ``max_faulty_attempts`` bounds how many leading
+    attempts of a task may misbehave — attempt indices at or beyond it are
+    always clean, which is what lets ``failure_policy="retry"`` terminate.
+    """
+
+    seed: int
+    crash: float = 0.0
+    hang: float = 0.0
+    nan: float = 0.0
+    slowdown: float = 0.0
+    #: attempts >= this index never fault (1 = only first attempts fault)
+    max_faulty_attempts: int = 1
+    #: how long an injected hang sleeps (a straggler, not an infinite wedge)
+    hang_seconds: float = 30.0
+    #: multiplier applied to observed times by ``slowdown`` faults
+    slowdown_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in FAULT_KINDS:
+            rate = getattr(self, name)
+            if not np.isfinite(rate) or not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} rate must lie in [0, 1], got {rate!r}")
+        total = self.crash + self.hang + self.nan + self.slowdown
+        if total > 1.0 + 1e-12:
+            raise ValueError(f"fault rates must sum to <= 1, got {total}")
+        if self.max_faulty_attempts < 0:
+            raise ValueError(
+                f"max_faulty_attempts must be >= 0, got {self.max_faulty_attempts}"
+            )
+        if not np.isfinite(self.hang_seconds) or self.hang_seconds <= 0:
+            raise ValueError(f"hang_seconds must be > 0, got {self.hang_seconds}")
+        if not np.isfinite(self.slowdown_factor) or self.slowdown_factor <= 0:
+            raise ValueError(
+                f"slowdown_factor must be > 0, got {self.slowdown_factor}"
+            )
+
+    # -- the schedule ----------------------------------------------------------
+
+    def _draw(self, *key: int) -> str | None:
+        """One uniform draw keyed by *key*, partitioned into fault bands."""
+        ss = np.random.SeedSequence([int(self.seed), *(int(k) for k in key)])
+        u = float(np.random.default_rng(ss).random())
+        for kind in FAULT_KINDS:
+            rate = getattr(self, kind)
+            if u < rate:
+                return kind
+            u -= rate
+        return None
+
+    def fault_for(
+        self, cell_index: int, trial_index: int, attempt: int = 0
+    ) -> str | None:
+        """The fault (or None) for attempt *attempt* of task (cell, trial)."""
+        if attempt >= self.max_faulty_attempts:
+            return None
+        return self._draw(0, cell_index, trial_index, attempt)
+
+    def fault_for_seed(self, seed: int, attempt: int = 0) -> str | None:
+        """Seed-keyed variant for :class:`~repro.faults.FaultyFactory`,
+        which sees only the trial seed (not the cell/trial grid position)."""
+        if attempt >= self.max_faulty_attempts:
+            return None
+        return self._draw(1, seed, attempt)
+
+    def expected_fault_rate(self) -> float:
+        """Marginal probability a first attempt draws *any* fault."""
+        return self.crash + self.hang + self.nan + self.slowdown

@@ -28,7 +28,13 @@ from repro.apps.database import PerformanceDatabase
 from repro.cluster.cluster import Cluster
 from repro.variability.models import NoiseModel, NoNoise
 
-__all__ = ["Evaluator", "FunctionEvaluator", "DatabaseEvaluator", "ClusterEvaluator"]
+__all__ = [
+    "Evaluator",
+    "DelegatingEvaluator",
+    "FunctionEvaluator",
+    "DatabaseEvaluator",
+    "ClusterEvaluator",
+]
 
 
 class Evaluator(ABC):
@@ -55,6 +61,33 @@ class Evaluator(ABC):
     def max_wave_size(self) -> int | None:
         """Largest wave the substrate can run at once (None = unbounded)."""
         return None
+
+
+class DelegatingEvaluator(Evaluator):
+    """Base for evaluator *wrappers*: forwards everything to ``inner``.
+
+    Decorator-style substrates (fault injectors, caches, recorders)
+    subclass this and override only :meth:`observe_wave` (or whatever they
+    intercept); identity queries — ``true_cost``, ``rho``,
+    ``max_wave_size`` — stay in sync with the wrapped evaluator.  Accepts
+    a bare cost callable for convenience, wrapping it noise-free.
+    """
+
+    def __init__(self, inner: "Evaluator | Callable[[np.ndarray], float]") -> None:
+        self.inner = inner if isinstance(inner, Evaluator) else FunctionEvaluator(inner)
+        self.rho = self.inner.rho
+
+    @property
+    def max_wave_size(self) -> int | None:
+        return self.inner.max_wave_size
+
+    def true_cost(self, point: np.ndarray) -> float:
+        return self.inner.true_cost(point)
+
+    def observe_wave(
+        self, points: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> tuple[np.ndarray, float]:
+        return self.inner.observe_wave(points, rng)
 
 
 class FunctionEvaluator(Evaluator):

@@ -6,10 +6,13 @@ hooks observe results in deterministic (cell-major, trial-minor) order
 whatever the executor.
 """
 
+import json
 from dataclasses import dataclass
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.pro import ParallelRankOrdering
 from repro.core.sampling import SamplingPlan
@@ -22,6 +25,7 @@ from repro.experiments.parallel import (
     make_executor,
 )
 from repro.experiments.runner import run_sweep
+from repro.faults import FaultPlan
 from repro.harmony.session import TuningSession
 from repro.space import IntParameter, ParameterSpace
 from repro.variability import ParetoNoise
@@ -119,6 +123,38 @@ class TestTrialAwareFactories:
         seeds = [s for s, _ in TrialAwareCell.calls]
         assert tuple(seeds[:3]) == result.trial_seeds
         assert seeds[:3] == seeds[3:]  # paired seeds replayed per cell
+
+
+class TestFaultedExecutorEquivalence:
+    """Property: executor choice never changes a faulted sweep's result.
+
+    For any fault plan and any recovering policy, serial/thread/process
+    sweeps of the same master seed serialize to the same ``to_dict()``
+    (compared as canonical JSON — NaN aggregates from all-failed cells
+    would defeat plain dict equality).
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        plan_seed=st.integers(0, 2**16),
+        crash=st.floats(0.0, 0.35),
+        nan=st.floats(0.0, 0.25),
+        policy=st.sampled_from(["retry", "skip"]),
+    )
+    def test_faulted_sweeps_are_executor_invariant(
+        self, plan_seed, crash, nan, policy
+    ):
+        plan = FaultPlan(seed=plan_seed, crash=crash, nan=nan)
+        cells = [("k1", QuadCell(k=1, budget=12)), ("k2", QuadCell(k=2, budget=12))]
+        kwargs = dict(trials=3, rng=77, faults=plan, failure_policy=policy)
+        reference = json.dumps(
+            run_sweep(cells, **kwargs).to_dict(), sort_keys=True
+        )
+        for executor in ("thread", "process"):
+            parallel = run_sweep(cells, executor=executor, jobs=2, **kwargs)
+            assert (
+                json.dumps(parallel.to_dict(), sort_keys=True) == reference
+            ), f"{executor} sweep diverged from serial under {policy}"
 
 
 class TestMakeExecutor:

@@ -1,57 +1,37 @@
 """Failure-injection tests: broken substrates must fail loudly, crashed
-clients must not wedge the tuning service."""
+clients must not wedge the tuning service.
+
+The broken substrates come from the shared :mod:`repro.faults` helpers
+(the ``faulty_evaluator`` fixture in ``tests/conftest.py``) — the same
+injection layer the sweep fault-tolerance suite drives.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core.pro import ParallelRankOrdering
 from repro.core.sampling import SamplingPlan
-from repro.harmony.evaluator import Evaluator
 from repro.harmony.server import TuningServer
 from repro.harmony.session import TuningSession
 from repro.space import IntParameter, ParameterSpace
-from repro.space.serialize import space_to_spec
-
-
-class BrokenEvaluator(Evaluator):
-    """Configurable misbehaviour for injection tests."""
-
-    rho = 0.0
-
-    def __init__(self, mode: str) -> None:
-        self.mode = mode
-
-    def true_cost(self, point):
-        return 1.0
-
-    def observe_wave(self, points, rng):
-        n = len(points)
-        if self.mode == "nan":
-            return np.full(n, np.nan), 1.0
-        if self.mode == "negative":
-            return np.full(n, -1.0), 1.0
-        if self.mode == "wrong_shape":
-            return np.ones(n + 3), 1.0
-        if self.mode == "bad_barrier":
-            return np.full(n, 5.0), 1.0  # barrier below the wave max
-        if self.mode == "raises":
-            raise OSError("substrate went away")
-        raise AssertionError(self.mode)
 
 
 class TestSessionFailureModes:
     @pytest.mark.parametrize("mode", ["nan", "negative", "wrong_shape", "bad_barrier"])
-    def test_invalid_observations_raise_runtime_error(self, quad3, mode):
+    def test_invalid_observations_raise_runtime_error(
+        self, quad3, faulty_evaluator, mode
+    ):
         session = TuningSession(
-            ParallelRankOrdering(quad3.space), BrokenEvaluator(mode), budget=10, rng=0
+            ParallelRankOrdering(quad3.space), faulty_evaluator(mode), budget=10,
+            rng=0,
         )
         with pytest.raises(RuntimeError, match="evaluator returned"):
             session.run()
 
-    def test_substrate_exception_propagates(self, quad3):
+    def test_substrate_exception_propagates(self, quad3, faulty_evaluator):
         session = TuningSession(
-            ParallelRankOrdering(quad3.space), BrokenEvaluator("raises"), budget=10,
-            rng=0,
+            ParallelRankOrdering(quad3.space), faulty_evaluator("raises"),
+            budget=10, rng=0,
         )
         with pytest.raises(OSError, match="substrate went away"):
             session.run()

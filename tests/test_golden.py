@@ -1,0 +1,72 @@
+"""Golden-snapshot tests: end-to-end outputs pinned as committed JSON.
+
+These catch *silent* numeric drift — a refactor that changes session
+accounting or sweep aggregation without failing any unit test will move
+these snapshots.  After an intentional change, regenerate with::
+
+    PYTHONPATH=src python -m pytest --regen-golden tests/test_golden.py
+
+and review the JSON diff as part of the change.  Snapshots must stay
+NaN-free (NaN defeats JSON round-trip equality), so the faulted sweep
+below uses a plan seed verified to leave survivors in every cell.
+"""
+
+import math
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import SamplingPlan
+from repro.experiments.runner import run_sweep
+from repro.faults import FaultPlan
+from repro.harmony.session import TuningSession
+from repro.variability import ParetoNoise
+
+from tests.experiments.test_parallel import SPACE, QuadCell, quad_objective
+
+CELLS = [("k1", QuadCell(k=1, budget=20)), ("k2", QuadCell(k=2, budget=20))]
+
+
+def _assert_nan_free(data, path="$"):
+    if isinstance(data, float):
+        assert not math.isnan(data), f"NaN at {path} would break the snapshot"
+    elif isinstance(data, dict):
+        for k, v in data.items():
+            _assert_nan_free(v, f"{path}.{k}")
+    elif isinstance(data, (list, tuple)):
+        for i, v in enumerate(data):
+            _assert_nan_free(v, f"{path}[{i}]")
+
+
+def test_session_result_snapshot(golden):
+    session = TuningSession(
+        ParallelRankOrdering(SPACE),
+        quad_objective,
+        noise=ParetoNoise(rho=0.2),
+        budget=30,
+        plan=SamplingPlan(2),
+        rng=2005,
+    )
+    data = session.run().to_dict()
+    _assert_nan_free(data)
+    golden("session_quad.json", data)
+
+
+def test_clean_sweep_snapshot(golden):
+    result = run_sweep(CELLS, trials=3, rng=7)
+    data = result.to_dict()
+    assert data["failures"] == []
+    _assert_nan_free(data)
+    golden("sweep_quad_serial.json", data)
+
+
+def test_faulted_skip_sweep_snapshot(golden):
+    plan = FaultPlan(seed=3, crash=0.25)
+    result = run_sweep(
+        CELLS, trials=4, rng=7, faults=plan, failure_policy="skip"
+    )
+    data = result.to_dict()
+    assert data["failures"], "plan never fired; the snapshot would be clean"
+    assert all(c.trials > 0 for c in result.cells), (
+        "a cell lost every trial; its NaN aggregates would break the snapshot"
+    )
+    _assert_nan_free(data)
+    golden("sweep_faulted_skip.json", data)
