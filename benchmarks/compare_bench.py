@@ -1,0 +1,90 @@
+"""Guard against silent performance regressions in the bench_smoke numbers.
+
+Compares a freshly generated ``BENCH_runner.json`` against a committed
+baseline (typically ``git show HEAD:BENCH_runner.json``) and fails when a
+guarded speedup regressed by more than the tolerance.  Only *ratios* are
+guarded — absolute seconds shift with runner hardware, but serial and
+parallel arms run on the same machine in the same job, so their ratio is
+comparable across runs.
+
+Usage::
+
+    python benchmarks/compare_bench.py --baseline baseline.json \
+        --current BENCH_runner.json [--tolerance 0.2]
+
+Exit status: 0 when every guarded metric holds (or is absent from the
+baseline — first runs pass vacuously), 1 on a regression, 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (section, key) ratios guarded against regression
+GUARDED = (
+    ("sweep", "speedup"),
+    ("cluster_step", "speedup"),
+)
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Human-readable failure lines (empty = pass)."""
+    failures = []
+    for section, key in GUARDED:
+        base = baseline.get(section, {}).get(key)
+        cur = current.get(section, {}).get(key)
+        if base is None:
+            continue  # metric new in this run; nothing to regress against
+        if cur is None:
+            failures.append(
+                f"{section}.{key}: present in baseline ({base}) but missing "
+                "from the current run"
+            )
+            continue
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            failures.append(
+                f"{section}.{key}: {cur} < {floor:.3f} "
+                f"(baseline {base}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_runner.json to compare against")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="freshly generated BENCH_runner.json")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional regression (default 0.2)")
+    args = parser.parse_args(argv)
+    if not (0.0 <= args.tolerance < 1.0):
+        print(f"error: tolerance must lie in [0, 1), got {args.tolerance}",
+              file=sys.stderr)
+        return 2
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        current = json.loads(args.current.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    failures = compare(baseline, current, args.tolerance)
+    for section, key in GUARDED:
+        base = baseline.get(section, {}).get(key)
+        cur = current.get(section, {}).get(key)
+        print(f"{section}.{key}: baseline={base} current={cur}")
+    if failures:
+        print("\nperformance regression detected:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("no guarded regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

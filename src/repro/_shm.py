@@ -1,0 +1,128 @@
+"""Shared-memory broadcast of large read-only arrays to pool workers.
+
+The process executor pickles each worker's startup payload (the sweep's
+evaluator factories) exactly once per pool.  Large numeric state — a
+:class:`~repro.apps.database.PerformanceDatabase`'s configuration/value
+arrays — should not travel inside that pickle at all: the parent copies it
+into POSIX shared memory once, the pickle carries only ``(name, shape,
+dtype)`` descriptors, and every worker attaches a zero-copy read-only view.
+
+Protocol
+--------
+The parent wraps pickling in :func:`broadcasting`; while the context is
+active, :func:`active_broadcast` returns the :class:`ShmBroadcast` whose
+:meth:`~ShmBroadcast.export_array` an object's ``__getstate__`` may call to
+swap an array for a descriptor.  ``__setstate__`` calls :func:`attach_array`
+with the descriptor on the worker side.  Objects must treat attached views
+as immutable and keep the returned segment handle alive for as long as the
+view is referenced (dropping the handle unmaps the buffer).
+
+The broadcast owner (the executor) is responsible for calling
+:meth:`ShmBroadcast.close` only after every consumer process has exited:
+``close`` unlinks the segments, which frees the memory once the last
+attached process unmaps them.  Exports are registered in the creating
+process only, so worker-side resource trackers never reap segments early.
+
+The context is process-global: concurrent pools in one process would share
+whichever broadcast is innermost.  Run overlapping process sweeps from
+separate parent processes if segment lifetimes must not interleave.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "ShmBroadcast",
+    "active_broadcast",
+    "attach_array",
+    "broadcasting",
+]
+
+
+class ShmBroadcast:
+    """Parent-side registry of shared-memory segments for one pool's lifetime."""
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(seg.size for seg in self._segments)
+
+    def export_array(self, arr: np.ndarray) -> dict:
+        """Copy *arr* into a new segment; returns its attach descriptor.
+
+        Raises ``OSError`` when shared memory is unavailable (e.g. a full
+        ``/dev/shm``) — callers fall back to plain pickling.
+        """
+        arr = np.ascontiguousarray(arr)
+        seg = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+        view: np.ndarray = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        self._segments.append(seg)
+        return {"name": seg.name, "shape": tuple(arr.shape), "dtype": arr.dtype.str}
+
+    def close(self) -> None:
+        """Unlink every exported segment (call after all workers exited)."""
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover - best effort
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "ShmBroadcast":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+_active: ShmBroadcast | None = None
+_active_lock = threading.Lock()
+
+
+def active_broadcast() -> ShmBroadcast | None:
+    """The broadcast to export through, or None when pickling normally."""
+    return _active
+
+
+@contextmanager
+def broadcasting(broadcast: ShmBroadcast) -> Iterator[ShmBroadcast]:
+    """Make *broadcast* the active export target while the context runs."""
+    global _active
+    with _active_lock:
+        previous, _active = _active, broadcast
+    try:
+        yield broadcast
+    finally:
+        with _active_lock:
+            _active = previous
+
+
+def attach_array(
+    spec: dict,
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Attach a read-only view onto a segment exported by another process.
+
+    Returns ``(view, segment)``; the caller must hold the segment reference
+    for the view's lifetime and may ``segment.close()`` when done (never
+    ``unlink`` — the exporting process owns the segment).
+    """
+    seg = shared_memory.SharedMemory(name=spec["name"], create=False)
+    view: np.ndarray = np.ndarray(
+        tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]), buffer=seg.buf
+    )
+    view.flags.writeable = False
+    return view, seg

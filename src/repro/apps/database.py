@@ -16,6 +16,7 @@ implements that database:
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from typing import Callable, Mapping, Sequence
 
@@ -23,10 +24,14 @@ import numpy as np
 
 from scipy.spatial import cKDTree
 
+from repro import _shm
 from repro._util import as_generator, weighted_average
 from repro.space import ParameterSpace
 
 __all__ = ["PerformanceDatabase"]
+
+#: below this entry count the shared-memory export is not worth a segment
+SHM_MIN_ENTRIES = 64
 
 
 class PerformanceDatabase:
@@ -61,6 +66,12 @@ class PerformanceDatabase:
         #: queries answered from the memo (still counted in n_exact /
         #: n_interpolated so sparsity diagnostics are unchanged)
         self.n_memo_hits = 0
+        # Attached shared-memory mode: sorted (m, N) configuration rows and
+        # their values, mapped read-only from another process's export.  The
+        # segment handles must outlive the views (dropping them unmaps).
+        self._frozen_points: np.ndarray | None = None
+        self._frozen_values: np.ndarray | None = None
+        self._shm_segments: tuple = ()
 
     # -- population ---------------------------------------------------------------
 
@@ -71,10 +82,35 @@ class PerformanceDatabase:
             raise ValueError(f"point {pt!r} is not admissible")
         if not np.isfinite(value):
             raise ValueError(f"value must be finite, got {value}")
+        if self._frozen_points is not None:
+            self._materialize()
         self._entries[tuple(pt)] = float(value)
         self._tree = None
         self._values_cache = None
         self._memo.clear()
+
+    def _materialize(self) -> None:
+        """Copy attached shared-memory entries into a private dict.
+
+        Called before any mutation of an attached (read-only) database; the
+        database then behaves exactly like one built locally, and pickles
+        through the plain-dict fallback.
+        """
+        assert self._frozen_points is not None and self._frozen_values is not None
+        self._entries = {
+            tuple(map(float, p)): float(v)
+            for p, v in zip(self._frozen_points, self._frozen_values)
+        }
+        self._frozen_points = None
+        self._frozen_values = None
+        for seg in self._shm_segments:
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+        self._shm_segments = ()
+        self._tree = None
+        self._values_cache = None
 
     @classmethod
     def from_function(
@@ -121,19 +157,31 @@ class PerformanceDatabase:
         return db
 
     def __len__(self) -> int:
+        if self._frozen_values is not None:
+            return int(self._frozen_values.size)
         return len(self._entries)
 
+    @property
+    def is_shared(self) -> bool:
+        """True while entries live in another process's shared-memory export."""
+        return self._frozen_points is not None
+
     # -- lookup ----------------------------------------------------------------------
+
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stored (points, values) as arrays, rows sorted by configuration."""
+        if self._frozen_points is not None:
+            assert self._frozen_values is not None
+            return self._frozen_points, self._frozen_values
+        pts = np.array(sorted(self._entries.keys()), dtype=float)
+        vals = np.array([self._entries[tuple(p)] for p in pts], dtype=float)
+        return pts, vals
 
     def _index(self) -> tuple[cKDTree, np.ndarray]:
         """Lazy KD-tree over bounds-normalized stored points."""
         if self._tree is None:
-            pts = np.array(sorted(self._entries.keys()), dtype=float)
-            vals = np.array([self._entries[tuple(p)] for p in pts], dtype=float)
-            normalized = np.array(
-                [self.space.normalize(p) for p in pts], dtype=float
-            )
-            self._tree = cKDTree(normalized)
+            pts, vals = self._arrays()
+            self._tree = cKDTree(self.space.normalize_batch(pts))
             self._values_cache = vals
         assert self._values_cache is not None
         return self._tree, self._values_cache
@@ -141,11 +189,19 @@ class PerformanceDatabase:
     def lookup(self, point: Sequence[float]) -> float | None:
         """Exact-match value, or None when the configuration was never stored."""
         pt = self.space.as_point(point)
+        if self._frozen_points is not None:
+            if self._frozen_values.size == 0:  # pragma: no cover - empty export
+                return None
+            tree, vals = self._index()
+            d, idx = tree.query(self.space.normalize(pt), k=1)
+            # Normalization is injective on admissible points, so distance 0
+            # in normalized space is equivalent to an exact dict hit.
+            return float(vals[int(idx)]) if float(d) == 0.0 else None
         return self._entries.get(tuple(pt))
 
     def interpolate(self, point: Sequence[float]) -> float:
         """Inverse-distance-weighted average of the k nearest stored entries."""
-        if not self._entries:
+        if len(self) == 0:
             raise ValueError("cannot interpolate from an empty database")
         tree, vals = self._index()
         q = self.space.normalize(self.space.as_point(point))
@@ -186,16 +242,162 @@ class PerformanceDatabase:
                 self._memo.popitem(last=False)
         return value
 
+    def evaluate_batch(self, points: Sequence[Sequence[float]]) -> np.ndarray:
+        """Vectorized :meth:`__call__` over an ``(m, N)`` batch of points.
+
+        Repeated queries are answered from the memo (keyed exactly like the
+        scalar path, so scalar and batched calls share one cache); one
+        KD-tree query then answers all remaining rows at once.  Exact rows
+        (distance 0 in normalized space) return the stored value, the rest
+        inverse-distance interpolate.  Values and counter increments are
+        bitwise identical to calling the database point-by-point; only the
+        memo's internal recency order may differ (hits are touched before
+        misses are inserted), which cannot affect any returned value.
+        """
+        pts = self.space.as_batch(points)
+        m = pts.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=float)
+        if len(self) == 0:
+            raise ValueError("cannot interpolate from an empty database")
+        out = np.empty(m, dtype=float)
+        keys: list[bytes] | None = None
+        if self.memo_size:
+            keys = [row.tobytes() for row in pts]
+            miss: list[int] = []
+            n_hit_exact = 0
+            for i, key in enumerate(keys):
+                hit = self._memo.get(key)
+                if hit is None:
+                    miss.append(i)
+                    continue
+                self._memo.move_to_end(key)
+                value, was_exact = hit
+                out[i] = value
+                n_hit_exact += was_exact
+            n_hits = m - len(miss)
+            self.n_memo_hits += n_hits
+            self.n_exact += n_hit_exact
+            self.n_interpolated += n_hits - n_hit_exact
+            if not miss:
+                return out
+            rows = np.asarray(miss, dtype=int)
+            sub = pts[rows]
+        else:
+            miss = []
+            rows = np.arange(m)
+            sub = pts
+        tree, vals = self._index()
+        k = min(self.k_neighbors, vals.size)
+        d, idx = tree.query(self.space.normalize_batch(sub), k=k)
+        r = rows.size
+        d = np.asarray(d, dtype=float).reshape(r, k)
+        idx = np.asarray(idx, dtype=int).reshape(r, k)
+        res = np.empty(r, dtype=float)
+        exact = d[:, 0] == 0.0  # query distances sort ascending
+        res[exact] = vals[idx[exact, 0]]
+        interp = np.nonzero(~exact)[0]
+        if interp.size:
+            neigh_vals = vals[idx[interp]]
+            weights = 1.0 / d[interp]
+            for j, row in enumerate(interp):
+                # np.dot per row keeps the accumulation order of the scalar
+                # path's weighted_average (a matrix product could differ in
+                # the last ulp); the degenerate-weight fallback is inlined
+                w = weights[j]
+                total = float(w.sum())
+                if total <= 0.0 or not math.isfinite(total):
+                    res[row] = float(neigh_vals[j].mean())
+                else:
+                    res[row] = float(np.dot(neigh_vals[j], w) / total)
+        n_exact = int(np.count_nonzero(exact))
+        self.n_exact += n_exact
+        self.n_interpolated += r - n_exact
+        out[rows] = res
+        if keys is not None:
+            for j, i in enumerate(miss):
+                self._memo[keys[i]] = (float(res[j]), bool(exact[j]))
+            while len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
+        return out
+
+    def cache_stats(self) -> dict[str, int]:
+        """Memo/lookup effectiveness counters for diagnostics."""
+        return {
+            "n_exact": self.n_exact,
+            "n_interpolated": self.n_interpolated,
+            "n_memo_hits": self.n_memo_hits,
+            "memo_len": len(self._memo),
+        }
+
     def coverage(self) -> float:
         """Fraction of the lattice present in the database (discrete spaces)."""
-        return len(self._entries) / self.space.n_points()
+        return len(self) / self.space.n_points()
 
     def top_entries(self, n: int) -> list[tuple[np.ndarray, float]]:
         """The *n* best (lowest-cost) stored measurements, best first."""
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
+        if self._frozen_points is not None:
+            order = np.argsort(self._frozen_values, kind="stable")[:n]
+            return [
+                (self._frozen_points[i].copy(), float(self._frozen_values[i]))
+                for i in order
+            ]
         ranked = sorted(self._entries.items(), key=lambda kv: kv[1])
         return [
             (np.asarray(point, dtype=float), value)
             for point, value in ranked[:n]
         ]
+
+    # -- pickling / shared-memory broadcast --------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle without caches; export entry arrays via shared memory.
+
+        Inside an active :func:`repro._shm.broadcasting` context (the
+        process executor's worker-startup pickle), databases above
+        ``SHM_MIN_ENTRIES`` swap their entries for shared-memory descriptors
+        so the pickle stays a few hundred bytes and workers attach zero-copy
+        views.  Outside a broadcast — or when shared memory is unavailable —
+        the plain entries dict pickles as before.
+        """
+        state = self.__dict__.copy()
+        # Rebuilt lazily on the receiving side; never worth shipping.
+        state["_tree"] = None
+        state["_values_cache"] = None
+        state["_memo"] = OrderedDict()
+        state["_shm_segments"] = ()
+        broadcast = _shm.active_broadcast()
+        if broadcast is not None and len(self) >= SHM_MIN_ENTRIES:
+            try:
+                pts, vals = self._arrays()
+                specs = (broadcast.export_array(pts), broadcast.export_array(vals))
+            except OSError:  # pragma: no cover - /dev/shm unavailable
+                specs = None
+            if specs is not None:
+                state["_shm_specs"] = specs
+                state["_entries"] = {}
+                state["_frozen_points"] = None
+                state["_frozen_values"] = None
+                return state
+        if self._frozen_points is not None:
+            # Pickling an attached database without a broadcast: fall back
+            # to a self-contained copy of the entries.
+            state["_entries"] = {
+                tuple(map(float, p)): float(v)
+                for p, v in zip(self._frozen_points, self._frozen_values)
+            }
+            state["_frozen_points"] = None
+            state["_frozen_values"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        specs = state.pop("_shm_specs", None)
+        self.__dict__.update(state)
+        if specs is not None:
+            pts, seg_p = _shm.attach_array(specs[0])
+            vals, seg_v = _shm.attach_array(specs[1])
+            self._frozen_points = pts
+            self._frozen_values = vals
+            self._shm_segments = (seg_p, seg_v)

@@ -128,11 +128,37 @@ class GS2Surrogate:
         return compute + stiff + comm + self.startup
 
     def batch(self, points: np.ndarray) -> np.ndarray:
-        """Vectorized evaluation of an (M, 3) array of configurations."""
+        """Vectorized evaluation of an (M, 3) array of configurations.
+
+        Mirrors :meth:`__call__` term by term with elementwise array
+        operations, so results are bitwise identical to the scalar loop.
+        """
         arr = np.asarray(points, dtype=float)
         if arr.ndim != 2 or arr.shape[1] != 3:
             raise ValueError(f"expected an (M, 3) array, got shape {arr.shape}")
-        return np.array([self(row) for row in arr], dtype=float)
+        ntheta, negrid, nodes = arr[:, 0], arr[:, 1], arr[:, 2]
+        bad = (ntheta <= 0) | (negrid <= 0) | (nodes < 1) | ~np.isfinite(arr).all(axis=1)
+        if np.any(bad):
+            pt = arr[int(np.argmax(bad))]
+            raise ValueError(f"invalid GS2 configuration {pt!r}")
+        chunks = np.ceil(ntheta / nodes)
+        velocity_work = negrid * negrid + self.negrid_ref**3 / negrid
+        compute = self.compute_scale * chunks * velocity_work
+        misalignment = (negrid % self.cache_width) / self.cache_width
+        compute *= 1.0 + self.cache_penalty * misalignment
+        # NumPy's vectorized pow rounds differently from libm's (and its
+        # array ** 2 lowers to x*x); route the (few, small) pow bases
+        # through the scalar pow so batch results match __call__ to the
+        # last bit.
+        stiff = self.stiffness_scale * np.array(
+            [x**2 for x in (self.ntheta_ref / ntheta).tolist()], dtype=float
+        )
+        powed = np.array(
+            [x ** self.comm_exponent for x in (nodes - 1.0).tolist()], dtype=float
+        )
+        root = np.array([x**0.5 for x in negrid.tolist()], dtype=float)
+        comm = np.where(nodes > 1, self.comm_scale * powed * root, 0.0)
+        return compute + stiff + comm + self.startup
 
     # -- ground truth for tests and benches --------------------------------------------
 

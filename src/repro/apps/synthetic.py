@@ -34,9 +34,19 @@ class SyntheticProblem:
     objective: Callable[[np.ndarray], float]
     optimum_point: np.ndarray
     optimum_value: float
+    #: optional vectorized objective over an (m, N) array; must be bitwise
+    #: identical to calling ``objective`` row by row
+    batch_objective: Callable[[np.ndarray], np.ndarray] | None = None
 
     def __call__(self, point: Sequence[float]) -> float:
         return float(self.objective(np.asarray(point, dtype=float)))
+
+    def evaluate_batch(self, points: Sequence[Sequence[float]]) -> np.ndarray:
+        """Vectorized evaluation over an (m, N) batch of points."""
+        arr = np.asarray(points, dtype=float)
+        if self.batch_objective is not None:
+            return np.asarray(self.batch_objective(arr), dtype=float)
+        return np.array([self(row) for row in arr], dtype=float)
 
 
 def quadratic_problem(
@@ -62,7 +72,13 @@ def quadratic_problem(
     def objective(x: np.ndarray) -> float:
         return float(offset + np.sum((x - target) ** 2))
 
-    return SyntheticProblem("quadratic", space, objective, target, float(offset))
+    def batch_objective(x: np.ndarray) -> np.ndarray:
+        return offset + np.sum((x - target) ** 2, axis=1)
+
+    return SyntheticProblem(
+        "quadratic", space, objective, target, float(offset),
+        batch_objective=batch_objective,
+    )
 
 
 def rosenbrock_problem(*, grid_step: float = 0.05) -> SyntheticProblem:

@@ -100,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the sweep result as JSON")
     p_tune.add_argument("--plot", action="store_true",
                         help="render the step-time series (single trial only)")
+    p_tune.add_argument(
+        "--cache-stats", action="store_true",
+        help="report the performance database's memo/lookup counters after "
+        "the run (serial/thread executors only: process workers query "
+        "their own database copies)",
+    )
 
     p_trace = sub.add_parser("trace", help="simulate a fixed-config cluster trace")
     p_trace.add_argument("--nodes", type=int, default=16)
@@ -150,6 +156,11 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
         help="recovery rounds for failed trials "
         "(default: 2 under --failure-policy retry, else 0)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command under cProfile and print the top-25 "
+        "cumulative-time entries",
+    )
 
 
 def _resolve_executor(args: argparse.Namespace) -> tuple[str, int | None]:
@@ -175,6 +186,19 @@ def _sweep_kwargs(args: argparse.Namespace) -> dict:
         "retries": args.retries,
         "task_timeout": args.task_timeout,
     }
+
+
+def _print_cache_stats(stats: dict) -> None:
+    """One summary line of database memo/lookup effectiveness."""
+    queries = stats.get("n_exact", 0) + stats.get("n_interpolated", 0)
+    hits = stats.get("n_memo_hits", 0)
+    rate = hits / queries if queries else 0.0
+    print(
+        f"db cache          : {queries} queries, {hits} memo hits "
+        f"({rate:.1%}), {stats.get('n_exact', 0)} exact / "
+        f"{stats.get('n_interpolated', 0)} interpolated, "
+        f"memo_len={stats.get('memo_len', 0)}"
+    )
 
 
 # -- command handlers ------------------------------------------------------------
@@ -216,6 +240,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                     height=12,
                 )
             )
+        if args.cache_stats:
+            _print_cache_stats(db.cache_stats())
         if args.json:
             args.json.write_text(result.to_json() + "\n")
             print(f"wrote {args.json}")
@@ -224,6 +250,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     cell = _TuneCell(args.tuner, space, db, noise, plan, args.budget)
     sweep = run_sweep(
         {args.tuner: cell}, trials=args.trials, rng=args.seed,
+        cache_stats=db if args.cache_stats else None,
         **_sweep_kwargs(args),
     )
     print(
@@ -235,6 +262,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if sweep.failures:
         print(f"failed trials     : {len(sweep.failures)} "
               f"(policy {args.failure_policy})")
+    if args.cache_stats:
+        _print_cache_stats(sweep.meta.get("db_cache", {}))
     if args.json:
         args.json.write_text(json.dumps(sweep.to_dict()) + "\n")
         print(f"wrote {args.json}")
@@ -362,7 +391,21 @@ def main(argv: list[str] | None = None) -> int:
         "surface": _cmd_surface,
         "figures": _cmd_figures,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if getattr(args, "profile", False):
+        # Profile the whole command so hot-path hunts see the real mix
+        # (argument handling is negligible next to the sweep itself).
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        code = profiler.runcall(handler, args)
+        print()
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats(
+            "cumulative"
+        ).print_stats(25)
+        return code
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -67,12 +67,13 @@ class BatchTuner(ABC):
         if self.converged:
             return []
         batch = [np.asarray(p, dtype=float).copy() for p in self._ask()]
-        for p in batch:
-            if not self.space.contains(p):
-                raise RuntimeError(
-                    f"tuner proposed inadmissible point {p!r} — projection bug"
-                )
         if batch:
+            ok = self.space.contains_batch(batch)
+            if not np.all(ok):
+                bad = batch[int(np.argmax(~ok))]
+                raise RuntimeError(
+                    f"tuner proposed inadmissible point {bad!r} — projection bug"
+                )
             self._pending = batch
         return [p.copy() for p in batch]
 
@@ -103,6 +104,15 @@ class BatchTuner(ABC):
     @property
     def has_pending(self) -> bool:
         return self._pending is not None
+
+    @property
+    def max_batch_size(self) -> int | None:
+        """Upper bound on ``len(ask())`` across the tuner's lifetime.
+
+        ``None`` means unknown; evaluation substrates use this to size
+        reusable sample buffers, so a returned bound must never be exceeded.
+        """
+        return None
 
     # -- to implement -----------------------------------------------------------
 

@@ -145,6 +145,33 @@ class ParallelRankOrdering(BatchTuner):
             return float("inf")
         return self.simplex.best.value
 
+    @property
+    def max_batch_size(self) -> int:
+        """Largest batch any phase can ask for (sizes session sample buffers).
+
+        REFLECT/EXPAND/SHRINK move at most ``n_vertices - 1`` points, PROBE
+        asks up to ``2 N`` certificate points, and a probe restart rebuilds
+        the simplex from those probes (so later moving batches stay ≤ 2 N).
+        """
+        dim = self.space.dimension
+        sizes = [2 * dim, dim + 1, 1]
+        if self._initial_points:
+            sizes.append(len(self._initial_points))
+        if self._candidate_simplexes:
+            sizes.append(sum(len(p) for p in self._candidate_simplexes.values()))
+        if self.simplex is not None:
+            sizes.append(self.simplex.n_vertices - 1)
+        return max(sizes)
+
+    def _moving_matrix(self) -> np.ndarray:
+        """The moving vertices stacked as an (m, N) matrix.
+
+        The simplex transforms broadcast over rows, and
+        :meth:`ParameterSpace.project_batch` projects column-wise — both
+        bitwise-identical to the former per-vertex loop.
+        """
+        return np.array([v.point for v in self._moving], dtype=float)
+
     # -- ask -------------------------------------------------------------------
 
     def _ask(self) -> list[np.ndarray]:
@@ -161,9 +188,7 @@ class ParallelRankOrdering(BatchTuner):
             assert self.simplex is not None
             v0 = self.simplex.best.point
             self._moving = [v.copy() for v in self.simplex.vertices[1:]]
-            return [
-                self.space.project(reflect(v0, v.point), v0) for v in self._moving
-            ]
+            return list(self.space.project_batch(reflect(v0, self._moving_matrix()), v0))
         if self.phase is ProPhase.EXPAND_CHECK:
             assert self.simplex is not None
             v0 = self.simplex.best.point
@@ -172,15 +197,11 @@ class ParallelRankOrdering(BatchTuner):
         if self.phase is ProPhase.EXPAND:
             assert self.simplex is not None
             v0 = self.simplex.best.point
-            return [
-                self.space.project(expand(v0, v.point), v0) for v in self._moving
-            ]
+            return list(self.space.project_batch(expand(v0, self._moving_matrix()), v0))
         if self.phase is ProPhase.SHRINK:
             assert self.simplex is not None
             v0 = self.simplex.best.point
-            return [
-                self.space.project(shrink(v0, v.point), v0) for v in self._moving
-            ]
+            return list(self.space.project_batch(shrink(v0, self._moving_matrix()), v0))
         if self.phase is ProPhase.PROBE:
             assert self.simplex is not None
             self._probe_batch = self._probe.probe_points(self.simplex.best.point)

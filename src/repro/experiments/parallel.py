@@ -17,6 +17,13 @@ Design contract (what keeps parallel runs trustworthy):
 * **paired seeding is preserved** — the master RNG draws the trial-seed
   vector once, up front, in the caller; a worker never touches the master
   stream and reconstructs its session purely from ``(factory, seed)``;
+* **worker-persistent factories** — pool executors ship each distinct
+  factory to the workers exactly once (a pool ``initializer`` installs
+  them in a per-process registry); tasks then travel as lean
+  ``(cell, trial, seed)`` descriptors carrying only a registry key, so a
+  10 000-trial sweep pickles its evaluator state once per worker, not
+  once per chunk.  Large database arrays additionally ride in POSIX
+  shared memory (:mod:`repro._shm`) instead of inside the pickle;
 * **ordered gathering** — workers may finish in any order, but
   :func:`execute_ordered` re-emits outcomes in task-submission order
   (cell-major, trial-minor), so ``collect`` hooks and downstream
@@ -53,8 +60,10 @@ from concurrent.futures import (
     as_completed,
 )
 from dataclasses import dataclass, replace
+from itertools import count
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro import _shm
 from repro.faults.inject import FaultyEvaluator
 from repro.faults.plan import FaultPlan, InjectedFault
 from repro.harmony.metrics import SessionResult
@@ -105,8 +114,10 @@ class SweepTask:
     trial_index: int
     seed: int
     #: builds a fresh session; called ``factory(seed)``, or
-    #: ``factory(seed, trial_index)`` when ``factory.trial_aware`` is true
-    factory: Callable
+    #: ``factory(seed, trial_index)`` when ``factory.trial_aware`` is true.
+    #: Pool executors with worker-persistent state strip this to None and
+    #: set ``factory_key`` instead, so the descriptor stays a few bytes.
+    factory: Callable | None
     #: ship the full SessionResult back (needed by ``collect`` hooks);
     #: off by default to keep inter-process traffic small
     keep_result: bool = False
@@ -119,6 +130,9 @@ class SweepTask:
     timeout: float | None = None
     #: deterministic fault-injection schedule applied by the worker
     faults: FaultPlan | None = None
+    #: registry key resolving the factory on the worker when ``factory``
+    #: is None (see :data:`_WORKER_REGISTRY` / :func:`_worker_init`)
+    factory_key: object | None = None
 
 
 @dataclass(frozen=True)
@@ -201,6 +215,45 @@ def _failure(task: SweepTask, exc: BaseException, kind: str) -> TrialFailure:
     )
 
 
+# -- worker-persistent factory state ------------------------------------------
+
+#: per-process registry of session factories installed by :func:`_worker_init`
+#: (process pools) or directly by :class:`ThreadExecutor` (same process).
+#: Lean :class:`SweepTask` descriptors reference entries by ``factory_key``.
+_WORKER_REGISTRY: dict = {}
+
+#: distinguishes concurrent/nested in-process registrations (thread pools,
+#: retry rounds) so their registry keys never collide
+_registry_ids = count()
+
+
+def _worker_init(blob: bytes) -> None:
+    """Process-pool initializer: unpickle the factory registry once.
+
+    *blob* is pickled in the parent — under a shared-memory broadcast when
+    the executor enables one, so database-backed factories materialize here
+    as zero-copy attached views.  Runs once per worker process; every chunk
+    the worker later receives resolves factories from this registry instead
+    of re-unpickling them.
+    """
+    registry = pickle.loads(blob)
+    _WORKER_REGISTRY.clear()
+    _WORKER_REGISTRY.update(registry)
+
+
+def _resolve_factory(task: SweepTask) -> Callable:
+    """The task's factory, from the descriptor or the worker registry."""
+    if task.factory is not None:
+        return task.factory
+    try:
+        return _WORKER_REGISTRY[task.factory_key]
+    except KeyError:
+        raise RuntimeError(
+            f"no worker factory registered under key {task.factory_key!r} "
+            "(was the pool started with its initializer?)"
+        ) from None
+
+
 def run_trial(task: SweepTask) -> TrialOutcome:
     """Execute one task: rebuild the session from (factory, seed) and run it.
 
@@ -226,10 +279,11 @@ def run_trial(task: SweepTask) -> TrialOutcome:
         )
     if fault == "hang":
         time.sleep(task.faults.hang_seconds)
-    if getattr(task.factory, "trial_aware", False):
-        session = task.factory(task.seed, task.trial_index)
+    factory = _resolve_factory(task)
+    if getattr(factory, "trial_aware", False):
+        session = factory(task.seed, task.trial_index)
     else:
-        session = task.factory(task.seed)
+        session = factory(task.seed)
     if not isinstance(session, TuningSession):
         raise TypeError(
             f"cell {task.cell_name!r} factory must return a TuningSession, "
@@ -319,10 +373,14 @@ def chunk_tasks(n_tasks: int, jobs: int, chunksize: int | None = None) -> list[r
 
     The default chunk size targets ~4 chunks per worker, keeping pickling
     overhead amortized while bounding how much work any one slow chunk
-    holds.  Stragglers are not rebalanced at this layer: a task that
-    exceeds its ``timeout`` is abandoned by the per-task watchdog and
-    surfaces as a timeout :class:`TrialFailure`, which the recovery pass
-    in :func:`execute_ordered` re-dispatches (with its original seed) as a
+    holds; short sweeps (fewer than 4 tasks per worker) always chunk at
+    size 1 so every worker draws work instead of idling behind a
+    neighbour's chunk — with worker-persistent factories a task descriptor
+    is a few bytes, so minimal chunks cost nothing.  Stragglers are not
+    rebalanced at this layer: a task that exceeds its ``timeout`` is
+    abandoned by the per-task watchdog and surfaces as a timeout
+    :class:`TrialFailure`, which the recovery pass in
+    :func:`execute_ordered` re-dispatches (with its original seed) as a
     fresh single-task submission.
     """
     if n_tasks < 0:
@@ -330,7 +388,7 @@ def chunk_tasks(n_tasks: int, jobs: int, chunksize: int | None = None) -> list[r
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if chunksize is None:
-        chunksize = max(1, -(-n_tasks // (jobs * 4)))
+        chunksize = 1 if n_tasks < jobs * 4 else -(-n_tasks // (jobs * 4))
     elif chunksize < 1:
         raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     return [
@@ -373,10 +431,41 @@ class SerialExecutor(Executor):
             yield i, _guarded_trial(task)
 
 
-class _PoolExecutor(Executor):
-    """Shared chunked-scheduling logic for thread/process pools."""
+def _strip_factories(
+    tasks: Sequence[SweepTask], make_key: Callable[[int], object]
+) -> tuple[list[SweepTask], dict]:
+    """Replace each task's factory with a registry key (one per distinct
+    factory object); returns the lean tasks and the ``key -> factory`` map."""
+    registry: dict = {}
+    key_of: dict[int, object] = {}
+    lean: list[SweepTask] = []
+    for task in tasks:
+        key = key_of.get(id(task.factory))
+        if key is None:
+            key = make_key(len(registry))
+            key_of[id(task.factory)] = key
+            registry[key] = task.factory
+        lean.append(replace(task, factory=None, factory_key=key))
+    return lean, registry
 
-    def __init__(self, jobs: int | None = None, *, chunksize: int | None = None):
+
+class _PoolExecutor(Executor):
+    """Shared chunked-scheduling logic for thread/process pools.
+
+    ``persistent=True`` (the default) ships each distinct factory to the
+    workers once per ``map_tasks`` call instead of once per chunk; the
+    tasks themselves then travel as lean keyed descriptors.  Results are
+    identical either way — the flag exists for A/B measurement and for the
+    executor-invariance suite to cover both paths.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        chunksize: int | None = None,
+        persistent: bool = True,
+    ):
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -385,9 +474,20 @@ class _PoolExecutor(Executor):
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.jobs = int(jobs)
         self.chunksize = chunksize
+        self.persistent = bool(persistent)
 
-    def _make_pool(self, n_workers: int):
+    def _make_pool(self, n_workers: int, **pool_kwargs):
         raise NotImplementedError
+
+    def _prepare(
+        self, tasks: list[SweepTask]
+    ) -> tuple[list[SweepTask], dict, Callable[[], None] | None]:
+        """Hook: set up worker-persistent state for one map_tasks call.
+
+        Returns ``(tasks_to_ship, pool_kwargs, cleanup)``; *cleanup* (may
+        be None) runs after the pool has shut down.
+        """
+        return tasks, {}, None
 
     def map_tasks(
         self, tasks: Sequence[SweepTask]
@@ -400,26 +500,34 @@ class _PoolExecutor(Executor):
             yield from SerialExecutor().map_tasks(tasks)
             return
         chunks = chunk_tasks(len(tasks), self.jobs, self.chunksize)
-        with self._make_pool(min(self.jobs, len(chunks))) as pool:
-            futures = {
-                pool.submit(_run_chunk, [tasks[i] for i in chunk]): chunk
-                for chunk in chunks
-            }
-            for future in as_completed(futures):
-                chunk = futures[future]
-                try:
-                    outcomes = future.result()
-                except BrokenExecutor as exc:
-                    # A worker process died outright (segfault, OOM kill,
-                    # os._exit).  The pool is unusable from here on, but
-                    # the sweep is not: every task still in flight becomes
-                    # a worker-lost failure the recovery pass can
-                    # re-dispatch on a fresh pool.
-                    outcomes = [
-                        _failure(tasks[i], exc, kind="worker-lost")
-                        for i in chunk
-                    ]
-                yield from zip(chunk, outcomes)
+        ship, pool_kwargs, cleanup = self._prepare(tasks)
+        try:
+            with self._make_pool(min(self.jobs, len(chunks)), **pool_kwargs) as pool:
+                futures = {
+                    pool.submit(_run_chunk, [ship[i] for i in chunk]): chunk
+                    for chunk in chunks
+                }
+                for future in as_completed(futures):
+                    chunk = futures[future]
+                    try:
+                        outcomes = future.result()
+                    except BrokenExecutor as exc:
+                        # A worker process died outright (segfault, OOM
+                        # kill, os._exit).  The pool is unusable from here
+                        # on, but the sweep is not: every task still in
+                        # flight becomes a worker-lost failure the recovery
+                        # pass can re-dispatch on a fresh pool.
+                        outcomes = [
+                            _failure(tasks[i], exc, kind="worker-lost")
+                            for i in chunk
+                        ]
+                    yield from zip(chunk, outcomes)
+        finally:
+            # Shared-memory segments (and in-process registry entries) stay
+            # alive until every worker has exited; the pool's context exit
+            # above joins the workers first.
+            if cleanup is not None:
+                cleanup()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(jobs={self.jobs})"
@@ -432,25 +540,86 @@ class ThreadExecutor(_PoolExecutor):
     logically independent; note that a *shared* evaluator object (e.g. one
     PerformanceDatabase reused across cells) sees concurrent calls — its
     diagnostic counters may interleave, but returned values are pure.
+
+    Workers share the parent's memory, so the persistent path installs the
+    factories straight into the in-process registry (no pickling, no
+    shared-memory export) — one read-only factory object behind the same
+    descriptor interface the process pool uses.
     """
 
     name = "thread"
 
-    def _make_pool(self, n_workers: int):
-        return ThreadPoolExecutor(max_workers=n_workers)
+    def _make_pool(self, n_workers: int, **pool_kwargs):
+        return ThreadPoolExecutor(max_workers=n_workers, **pool_kwargs)
+
+    def _prepare(
+        self, tasks: list[SweepTask]
+    ) -> tuple[list[SweepTask], dict, Callable[[], None] | None]:
+        if not self.persistent:
+            return tasks, {}, None
+        token = next(_registry_ids)
+        lean, registry = _strip_factories(tasks, lambda n: (token, n))
+        _WORKER_REGISTRY.update(registry)
+
+        def cleanup() -> None:
+            for key in registry:
+                _WORKER_REGISTRY.pop(key, None)
+
+        return lean, {}, cleanup
 
 
 class ProcessExecutor(_PoolExecutor):
     """Process-pool execution for CPU-bound sweeps.
 
-    Tasks (factory included) are pickled per chunk; factories must be
-    module-level callables or instances, never closures or lambdas.
+    Factories must be picklable (module-level callables or instances,
+    never closures or lambdas).  By default they are pickled once per pool
+    into a worker ``initializer`` blob — under an active shared-memory
+    broadcast, so a :class:`~repro.apps.database.PerformanceDatabase`
+    inside a factory travels as an attach-by-name descriptor and the
+    workers map its arrays zero-copy.  ``shared_memory=False`` keeps the
+    one-pickle-per-pool initializer but ships arrays inline;
+    ``persistent=False`` restores the historical pickle-per-chunk path.
     """
 
     name = "process"
 
-    def _make_pool(self, n_workers: int):
-        return ProcessPoolExecutor(max_workers=n_workers)
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        chunksize: int | None = None,
+        persistent: bool = True,
+        shared_memory: bool = True,
+    ):
+        super().__init__(jobs, chunksize=chunksize, persistent=persistent)
+        self.shared_memory = bool(shared_memory)
+
+    def _make_pool(self, n_workers: int, **pool_kwargs):
+        return ProcessPoolExecutor(max_workers=n_workers, **pool_kwargs)
+
+    def _prepare(
+        self, tasks: list[SweepTask]
+    ) -> tuple[list[SweepTask], dict, Callable[[], None] | None]:
+        if not self.persistent:
+            return tasks, {}, None
+        lean, registry = _strip_factories(tasks, lambda n: f"cell-{n}")
+        broadcast = _shm.ShmBroadcast() if self.shared_memory else None
+        try:
+            if broadcast is not None:
+                # Pickle in the parent, explicitly, so the broadcast export
+                # happens even under fork (where initargs are inherited,
+                # not pickled at submission time).
+                with _shm.broadcasting(broadcast):
+                    blob = pickle.dumps(registry)
+            else:
+                blob = pickle.dumps(registry)
+        except Exception:
+            if broadcast is not None:
+                broadcast.close()
+            raise
+        cleanup = broadcast.close if broadcast is not None else None
+        pool_kwargs = {"initializer": _worker_init, "initargs": (blob,)}
+        return lean, pool_kwargs, cleanup
 
 
 def make_executor(

@@ -144,6 +144,7 @@ def run_sweep(
     retries: int | None = None,
     task_timeout: float | None = None,
     faults: FaultPlan | None = None,
+    cache_stats: object | None = None,
 ) -> SweepResult:
     """Run every cell for *trials* paired-seed sessions and aggregate.
 
@@ -185,6 +186,15 @@ def run_sweep(
         Optional :class:`~repro.faults.FaultPlan` injected at the worker:
         deterministic per-(cell, trial, attempt) crashes/hangs/NaNs/
         slowdowns for testing and resilience experiments.
+    cache_stats:
+        Optional object exposing ``cache_stats() -> dict[str, int]`` (e.g.
+        the :class:`~repro.apps.database.PerformanceDatabase` the cells
+        share): the sweep snapshots it before and after and reports the
+        counter deltas under ``SweepResult.meta["db_cache"]``.  Off by
+        default because the numbers are executor-dependent diagnostics,
+        not results: process workers mutate *copies* of the database, so
+        their hits never reach the parent's counters — use the serial or
+        thread executor when cache observability matters.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -222,6 +232,14 @@ def run_sweep(
         for c, (name, factory) in enumerate(items)
         for t, seed in enumerate(trial_seeds)
     ]
+    if cache_stats is not None and not callable(
+        getattr(cache_stats, "cache_stats", None)
+    ):
+        raise TypeError(
+            "cache_stats must expose a cache_stats() method, got "
+            f"{type(cache_stats).__name__}"
+        )
+    stats_before = dict(cache_stats.cache_stats()) if cache_stats is not None else None
     emit = (lambda outcome: collect(outcome.result)) if keep_results else None
     results = execute_ordered(
         exec_, tasks, emit, failure_policy=failure_policy, retries=retries
@@ -272,6 +290,14 @@ def run_sweep(
         meta["task_timeout"] = task_timeout
     if all_failures:
         meta["n_failed"] = len(all_failures)
+    if stats_before is not None:
+        after = dict(cache_stats.cache_stats())
+        # Monotone counters report the sweep's delta; gauges (memo_len)
+        # report the final value.
+        meta["db_cache"] = {
+            key: value - stats_before.get(key, 0) if key.startswith("n_") else value
+            for key, value in after.items()
+        }
     return SweepResult(
         cells=tuple(stats),
         trial_seeds=tuple(trial_seeds),

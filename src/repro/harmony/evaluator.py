@@ -43,9 +43,26 @@ class Evaluator(ABC):
     #: idle throughput of the substrate (for Normalized Total Time)
     rho: float = 0.0
 
+    #: True when :meth:`observe_precomputed` may stand in for
+    #: :meth:`observe_wave` — i.e. an observation is exactly (deterministic
+    #: true cost) + (noise drawn from *rng* in wave order), so the session
+    #: may compute true costs once per batch instead of once per wave per
+    #: round.  Wrappers that intercept ``observe_wave`` must leave this
+    #: False or the interception would be bypassed.
+    supports_precomputed: bool = False
+
     @abstractmethod
     def true_cost(self, point: np.ndarray) -> float:
         """Noise-free cost f(v) (bookkeeping/ground truth, never charged)."""
+
+    def true_cost_batch(self, points: Sequence[np.ndarray]) -> np.ndarray:
+        """Vectorized :meth:`true_cost` over many points.
+
+        The default loops; substrates whose cost source understands arrays
+        (the performance database, the GS2 surrogate) answer the whole
+        batch in one call.  Values must be bitwise identical to the loop.
+        """
+        return np.array([self.true_cost(p) for p in points], dtype=float)
 
     @abstractmethod
     def observe_wave(
@@ -56,6 +73,18 @@ class Evaluator(ABC):
         Returns ``(times, t_step)``: per-point observed times ``y_p`` and
         the wave's barrier time ``T_k = max_p y_p`` (Eq. 1).
         """
+
+    def observe_precomputed(
+        self, f: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, float]:
+        """Observe one wave whose true costs *f* were already computed.
+
+        Only meaningful when :attr:`supports_precomputed` is True; must
+        consume *rng* exactly like ``observe_wave`` on the same wave.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support precomputed observation"
+        )
 
     @property
     def max_wave_size(self) -> int | None:
@@ -84,6 +113,9 @@ class DelegatingEvaluator(Evaluator):
     def true_cost(self, point: np.ndarray) -> float:
         return self.inner.true_cost(point)
 
+    def true_cost_batch(self, points: Sequence[np.ndarray]) -> np.ndarray:
+        return self.inner.true_cost_batch(points)
+
     def observe_wave(
         self, points: Sequence[np.ndarray], rng: np.random.Generator
     ) -> tuple[np.ndarray, float]:
@@ -91,7 +123,14 @@ class DelegatingEvaluator(Evaluator):
 
 
 class FunctionEvaluator(Evaluator):
-    """Pure cost function + analytic noise model."""
+    """Pure cost function + analytic noise model.
+
+    Observation decomposes as deterministic cost + analytic noise, so the
+    session may precompute ``true_cost_batch`` once per ask-batch and feed
+    the slices through :meth:`observe_precomputed` wave by wave.
+    """
+
+    supports_precomputed = True
 
     def __init__(
         self,
@@ -105,12 +144,31 @@ class FunctionEvaluator(Evaluator):
     def true_cost(self, point: np.ndarray) -> float:
         return float(self.fn(np.asarray(point, dtype=float)))
 
+    def true_cost_batch(self, points: Sequence[np.ndarray]) -> np.ndarray:
+        if len(points) == 0:
+            return np.empty(0, dtype=float)
+        batch_fn = getattr(self.fn, "evaluate_batch", None)
+        if batch_fn is None:
+            batch_fn = getattr(self.fn, "batch", None)
+        if batch_fn is not None:
+            arr = np.asarray(points, dtype=float)
+            return np.asarray(batch_fn(arr), dtype=float)
+        return np.array([self.true_cost(p) for p in points], dtype=float)
+
     def observe_wave(
         self, points: Sequence[np.ndarray], rng: np.random.Generator
     ) -> tuple[np.ndarray, float]:
         if len(points) == 0:
             raise ValueError("cannot observe an empty wave")
         f = np.array([self.true_cost(p) for p in points], dtype=float)
+        return self.observe_precomputed(f, rng)
+
+    def observe_precomputed(
+        self, f: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, float]:
+        f = np.asarray(f, dtype=float)
+        if f.size == 0:
+            raise ValueError("cannot observe an empty wave")
         y = self.noise.observe_batch(f, rng)
         return y, float(y.max())
 

@@ -60,6 +60,7 @@ class TuningSession:
         controller: AdaptiveSamplingController | None = None,
         parallel_sampling: bool = False,
         record_details: bool = False,
+        batched_eval: bool | None = None,
         rng: int | np.random.Generator | None = None,
     ) -> None:
         if budget < 1:
@@ -87,6 +88,11 @@ class TuningSession:
         self.controller = controller
         self.parallel_sampling = bool(parallel_sampling)
         self.record_details = bool(record_details)
+        #: batched-evaluation fast path: None = use it whenever the
+        #: evaluator advertises ``supports_precomputed`` (bit-identical by
+        #: contract), False = always per-wave scalar loops (ablation /
+        #: debugging), True = require the fast path (raise if unsupported).
+        self.batched_eval = batched_eval
         self.rng = as_generator(rng)
 
     # -- helpers ---------------------------------------------------------------
@@ -101,29 +107,83 @@ class TuningSession:
     def _incumbent(self) -> np.ndarray:
         return self.tuner.best_point
 
-    def _observe(self, pts: list[np.ndarray]) -> tuple[np.ndarray, float]:
-        """Observe one wave, validating the evaluator's output.
+    def _fast_eval_active(self) -> bool:
+        """Whether this batch may go through ``observe_precomputed``.
+
+        Resolved per batch because fault injectors swap ``self.evaluator``
+        after construction; a wrapper that intercepts ``observe_wave`` keeps
+        ``supports_precomputed`` False and turns the fast path off.
+        """
+        if self.batched_eval is False:
+            return False
+        supported = bool(getattr(self.evaluator, "supports_precomputed", False))
+        if self.batched_eval is True and not supported:
+            raise ValueError(
+                f"batched_eval=True but {type(self.evaluator).__name__} "
+                "does not support precomputed observation"
+            )
+        return supported
+
+    def _validate(
+        self, times: np.ndarray, t_step: float, n_pts: int
+    ) -> tuple[np.ndarray, float]:
+        """Validate one wave's output (two reductions cover every check).
 
         A substrate returning NaN/negative times or a mis-shaped result
         would silently corrupt the Total_Time metric; fail loudly instead.
         """
-        times, t_step = self.evaluator.observe_wave(pts, self.rng)
         times = np.asarray(times, dtype=float)
-        if times.shape != (len(pts),):
+        if times.shape != (n_pts,):
             raise RuntimeError(
                 f"evaluator returned {times.shape} times for a "
-                f"{len(pts)}-point wave"
+                f"{n_pts}-point wave"
             )
-        if not np.all(np.isfinite(times)) or np.any(times < 0):
+        tmin = float(times.min())
+        tmax = float(times.max())
+        # NaN propagates into both reductions; +/-inf lands in one of them.
+        if not (np.isfinite(tmin) and np.isfinite(tmax)) or tmin < 0:
             raise RuntimeError(
                 f"evaluator returned invalid observation(s): {times!r}"
             )
-        if not np.isfinite(t_step) or t_step < float(times.max()):
+        if not np.isfinite(t_step) or t_step < tmax:
             raise RuntimeError(
                 f"evaluator returned inconsistent barrier time {t_step!r} "
-                f"for wave maxima {float(times.max())!r}"
+                f"for wave maxima {tmax!r}"
             )
         return times, float(t_step)
+
+    def _observe(self, pts: list[np.ndarray]) -> tuple[np.ndarray, float]:
+        """Observe one wave through the scalar evaluator interface."""
+        times, t_step = self.evaluator.observe_wave(pts, self.rng)
+        return self._validate(times, t_step, len(pts))
+
+    def _observe_precomputed(
+        self, f_wave: np.ndarray, n_pts: int
+    ) -> tuple[np.ndarray, float]:
+        """Observe one wave whose true costs were computed with the batch."""
+        times, t_step = self.evaluator.observe_precomputed(f_wave, self.rng)
+        return self._validate(times, t_step, n_pts)
+
+    def _precompute(
+        self, batch, probe_incumbent
+    ) -> tuple[np.ndarray | None, float | None]:
+        """True costs for the batch (and incumbent), or (None, None).
+
+        The heart of the batched fast path: one vectorized
+        ``true_cost_batch`` call replaces per-wave per-round scalar loops.
+        The noise draws stay wave-by-wave in ``observe_precomputed``, so
+        RNG consumption — and therefore every result — is bit-identical to
+        the scalar path.
+        """
+        if not self._fast_eval_active():
+            return None, None
+        f_batch = np.asarray(self.evaluator.true_cost_batch(batch), dtype=float)
+        f_inc = (
+            float(self.evaluator.true_cost(self._incumbent()))
+            if probe_incumbent
+            else None
+        )
+        return f_batch, f_inc
 
     def _evaluate_sequential(
         self, batch, k, samples, probe_incumbent, record, step_times
@@ -132,27 +192,37 @@ class TuningSession:
 
         Fills ``samples`` in place; returns (truncated, measurements)."""
         waves = self._waves(batch)
+        f_batch, f_inc = self._precompute(batch, probe_incumbent)
         n_meas = 0
         for s in range(k):
             offset = 0
             for w_idx, wave in enumerate(waves):
                 if len(step_times) >= self.budget:
                     return True, n_meas
-                pts = list(wave)
+                n_pts = len(wave)
                 extra = (
                     probe_incumbent
                     and w_idx == 0
-                    and (self.n_processors is None or len(pts) < self.n_processors)
+                    and (self.n_processors is None or n_pts < self.n_processors)
                 )
                 if extra:
-                    pts.append(self._incumbent())
-                times, t_step = self._observe(pts)
+                    n_pts += 1
+                if f_batch is not None:
+                    f_wave = f_batch[offset : offset + len(wave)]
+                    if extra:
+                        f_wave = np.append(f_wave, f_inc)
+                    times, t_step = self._observe_precomputed(f_wave, n_pts)
+                else:
+                    pts = list(wave)
+                    if extra:
+                        pts.append(self._incumbent())
+                    times, t_step = self._observe(pts)
                 if extra:
                     self.controller.observe_incumbent(float(times[-1]))
                     times = times[: len(wave)]
                 samples[offset : offset + len(wave), s] = times
-                n_meas += len(pts)
-                record(t_step, StepKind.EVALUATE, len(pts))
+                n_meas += n_pts
+                record(t_step, StepKind.EVALUATE, n_pts)
                 offset += len(wave)
         return False, n_meas
 
@@ -167,28 +237,38 @@ class TuningSession:
         jobs = [(i, s) for s in range(k) for i in range(len(batch))]
         p = self.n_processors
         wave_size = len(jobs) if p is None else p
+        f_batch, f_inc = self._precompute(batch, probe_incumbent)
         n_meas = 0
         first_wave = True
         for start in range(0, len(jobs), wave_size):
             if len(step_times) >= self.budget:
                 return True, n_meas
             wave_jobs = jobs[start : start + wave_size]
-            pts = [batch[i] for i, _ in wave_jobs]
+            n_pts = len(wave_jobs)
             extra = (
                 probe_incumbent
                 and first_wave
-                and (p is None or len(pts) < p)
+                and (p is None or n_pts < p)
             )
             if extra:
-                pts.append(self._incumbent())
-            times, t_step = self._observe(pts)
+                n_pts += 1
+            if f_batch is not None:
+                f_wave = f_batch[[i for i, _ in wave_jobs]]
+                if extra:
+                    f_wave = np.append(f_wave, f_inc)
+                times, t_step = self._observe_precomputed(f_wave, n_pts)
+            else:
+                pts = [batch[i] for i, _ in wave_jobs]
+                if extra:
+                    pts.append(self._incumbent())
+                times, t_step = self._observe(pts)
             if extra:
                 self.controller.observe_incumbent(float(times[-1]))
                 times = times[: len(wave_jobs)]
             for (i, s), t in zip(wave_jobs, times):
                 samples[i, s] = t
-            n_meas += len(pts)
-            record(t_step, StepKind.EVALUATE, len(pts))
+            n_meas += n_pts
+            record(t_step, StepKind.EVALUATE, n_pts)
             first_wave = False
         return False, n_meas
 
@@ -206,13 +286,30 @@ class TuningSession:
         details: list[dict] = []
         n_measurements = 0
         converged_at: int | None = None
+        # true_cost is deterministic by contract, and the incumbent only
+        # changes on tell(), so its cost is recomputed once per distinct
+        # configuration instead of once per recorded step.  The ablation
+        # switch keeps the legacy per-step call for honest benchmarking.
+        inc_cost_cache: dict[bytes, float] = {}
+        use_inc_cache = self.batched_eval is not False
+
+        def incumbent_cost() -> float:
+            pt = self._incumbent()
+            if not use_inc_cache:
+                return self.evaluator.true_cost(pt)
+            key = pt.tobytes()
+            cost = inc_cost_cache.get(key)
+            if cost is None:
+                cost = float(self.evaluator.true_cost(pt))
+                inc_cost_cache[key] = cost
+            return cost
 
         def record(t_step: float, kind: StepKind, wave_size: int = 1) -> None:
             step_times.append(float(t_step))
             step_kinds.append(kind)
             initialized = getattr(self.tuner, "initialized", True)
             if initialized:
-                incumbent_true.append(self.evaluator.true_cost(self._incumbent()))
+                incumbent_true.append(incumbent_cost())
             else:
                 incumbent_true.append(float("nan"))
             if self.record_details:
@@ -228,6 +325,11 @@ class TuningSession:
                     }
                 )
 
+        # Reusable sample matrix: tuners that bound their batch size let us
+        # allocate once and slice per batch instead of np.full every loop.
+        max_batch = getattr(self.tuner, "max_batch_size", None)
+        sample_buf: np.ndarray | None = None
+
         while len(step_times) < self.budget:
             if self.tuner.converged and converged_at is None:
                 converged_at = len(step_times)
@@ -235,8 +337,16 @@ class TuningSession:
             if not batch:
                 if self.tuner.converged and converged_at is None:
                     converged_at = len(step_times)
-                # Exploit: run the incumbent for one time step.
-                times, t_step = self._observe([self._incumbent()])
+                # Exploit: run the incumbent for one time step.  The fast
+                # path reuses the cached true cost (the incumbent cannot
+                # change between tell()s) and draws only the noise —
+                # bit-identical to observe_wave, which computes the same f
+                # before making the same draw.
+                if self._fast_eval_active():
+                    f_exploit = np.array([incumbent_cost()], dtype=float)
+                    times, t_step = self._observe_precomputed(f_exploit, 1)
+                else:
+                    times, t_step = self._observe([self._incumbent()])
                 n_measurements += times.size
                 record(t_step, StepKind.EXPLOIT, 1)
                 continue
@@ -249,7 +359,13 @@ class TuningSession:
                 if self.controller is not None
                 else self.plan.k
             )
-            samples = np.full((len(batch), k), np.nan)
+            if max_batch is not None and len(batch) <= max_batch:
+                if sample_buf is None or sample_buf.shape[1] != k:
+                    sample_buf = np.empty((max_batch, k), dtype=float)
+                samples = sample_buf[: len(batch)]
+                samples.fill(np.nan)
+            else:
+                samples = np.full((len(batch), k), np.nan)
             # With a controller in play, piggyback one observation of the
             # incumbent per batch on a spare processor: repeated
             # same-configuration measurements are the pure-noise signal the

@@ -95,6 +95,34 @@ class Parameter(ABC):
                 f"{self.name}: {role} value {x!r} is not admissible"
             )
 
+    # -- vectorized counterparts --------------------------------------------
+    #
+    # The batch methods must agree bitwise with their scalar versions: the
+    # sweep engine's executor-invariance contract compares results to the
+    # last ulp, so subclasses may only vectorize with elementwise-identical
+    # operations.  The fallbacks below just loop.
+
+    def contains_array(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`contains` over a 1-D array of values."""
+        arr = np.asarray(xs, dtype=float)
+        return np.fromiter(
+            (self.contains(float(x)) for x in arr), dtype=bool, count=arr.size
+        )
+
+    def project_array(self, xs: Sequence[float], center: float) -> np.ndarray:
+        """Vectorized :meth:`project` of many values toward one *center*."""
+        arr = np.asarray(xs, dtype=float)
+        return np.array([self.project(float(x), center) for x in arr], dtype=float)
+
+    def project_unchecked(self, x: float, center: float) -> float:
+        """:meth:`project` for a centre already known to be admissible.
+
+        Batch projections validate each centre coordinate once per column
+        and then call this per row, instead of re-validating the same
+        centre for every row.  Values are identical to :meth:`project`.
+        """
+        return self.project(x, center)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name!r}, [{self.lower}, {self.upper}])"
 
@@ -140,6 +168,9 @@ class FloatParameter(Parameter):
         self._require_admissible(center, "projection centre")
         return self.clip(x)
 
+    def project_unchecked(self, x: float, center: float) -> float:
+        return self.clip(x)
+
     def lower_neighbor(self, x: float) -> float | None:
         self._require_admissible(x, "query")
         candidate = x - self.probe_step
@@ -158,6 +189,17 @@ class FloatParameter(Parameter):
     def random(self, rng: int | np.random.Generator | None = None) -> float:
         gen = as_generator(rng)
         return float(gen.uniform(self.lower, self.upper))
+
+    def contains_array(self, xs: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(xs, dtype=float)
+        return np.isfinite(arr) & (self.lower <= arr) & (arr <= self.upper)
+
+    def project_array(self, xs: Sequence[float], center: float) -> np.ndarray:
+        self._require_admissible(center, "projection centre")
+        arr = np.asarray(xs, dtype=float)
+        # np.minimum/np.maximum propagate NaN exactly like the scalar
+        # ``min(max(x, lower), upper)`` chain in :meth:`Parameter.clip`.
+        return np.minimum(np.maximum(arr, self.lower), self.upper)
 
 
 class IntParameter(Parameter):
@@ -207,6 +249,9 @@ class IntParameter(Parameter):
 
     def project(self, x: float, center: float) -> float:
         self._require_admissible(center, "projection centre")
+        return self.project_unchecked(x, center)
+
+    def project_unchecked(self, x: float, center: float) -> float:
         if not np.isfinite(x):
             raise ValueError(f"{self.name}: cannot project non-finite value {x!r}")
         if x <= self.lower:
@@ -243,6 +288,48 @@ class IntParameter(Parameter):
     def random(self, rng: int | np.random.Generator | None = None) -> float:
         gen = as_generator(rng)
         return float(self.lower + self.step * gen.integers(0, self._count))
+
+    def _lattice_mask(self, arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(on-lattice mask, rounded lattice index) mirroring `_index_of`."""
+        k = (arr - self.lower) / self.step
+        ki = np.round(k)  # banker's rounding, same as the scalar round()
+        # math.isclose(k, ki, abs_tol=1e-9) with its default rel_tol=1e-9:
+        close = np.abs(k - ki) <= np.maximum(
+            1e-9 * np.maximum(np.abs(k), np.abs(ki)), 1e-9
+        )
+        return (ki >= 0) & (ki < self._count) & close, ki
+
+    def contains_array(self, xs: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(xs, dtype=float)
+        finite = np.isfinite(arr)
+        on, _ = self._lattice_mask(np.where(finite, arr, self.lower))
+        return finite & on
+
+    def project_array(self, xs: Sequence[float], center: float) -> np.ndarray:
+        self._require_admissible(center, "projection centre")
+        arr = np.asarray(xs, dtype=float)
+        if not np.all(np.isfinite(arr)):
+            bad = float(arr[~np.isfinite(arr)][0])
+            raise ValueError(f"{self.name}: cannot project non-finite value {bad!r}")
+        out = np.empty(arr.shape, dtype=float)
+        below = arr <= self.lower
+        above = arr >= self.upper_admissible
+        out[below] = self.lower
+        out[above] = self.upper_admissible
+        mid = ~(below | above)
+        if np.any(mid):
+            xm = arr[mid]
+            k = (xm - self.lower) / self.step
+            on, _ = self._lattice_mask(xm)
+            # nearest() for in-range x: clip is a no-op, so floor(k + 0.5)
+            kn = np.clip(np.floor(k + 0.5), 0, self._count - 1)
+            near = self.lower + kn * self.step
+            lo = self.lower + np.floor(k) * self.step
+            hi = lo + self.step
+            c = float(center)
+            toward = np.where(c < xm, lo, np.where(c > xm, hi, near))
+            out[mid] = np.where(on, near, toward)
+        return out
 
 
 class OrdinalParameter(Parameter):
@@ -306,6 +393,9 @@ class OrdinalParameter(Parameter):
 
     def project(self, x: float, center: float) -> float:
         self._require_admissible(center, "projection centre")
+        return self.project_unchecked(x, center)
+
+    def project_unchecked(self, x: float, center: float) -> float:
         if not np.isfinite(x):
             raise ValueError(f"{self.name}: cannot project non-finite value {x!r}")
         if x <= self._values[0]:
@@ -340,3 +430,43 @@ class OrdinalParameter(Parameter):
     def random(self, rng: int | np.random.Generator | None = None) -> float:
         gen = as_generator(rng)
         return float(gen.choice(self._values))
+
+    def contains_array(self, xs: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(xs, dtype=float)
+        finite = np.isfinite(arr)
+        safe = np.where(finite, arr, self._values[0])
+        idx = np.searchsorted(self._values, safe)
+        out = np.zeros(arr.shape, dtype=bool)
+        for off in (-1, 0):  # the two candidates `_index_of` inspects
+            k = idx + off
+            valid = (k >= 0) & (k < self._values.size)
+            kk = np.clip(k, 0, self._values.size - 1)
+            out |= valid & (np.abs(self._values[kk] - safe) <= self.MATCH_TOLERANCE)
+        return finite & out
+
+    def project_array(self, xs: Sequence[float], center: float) -> np.ndarray:
+        self._require_admissible(center, "projection centre")
+        arr = np.asarray(xs, dtype=float)
+        if not np.all(np.isfinite(arr)):
+            bad = float(arr[~np.isfinite(arr)][0])
+            raise ValueError(f"{self.name}: cannot project non-finite value {bad!r}")
+        vals = self._values
+        out = np.empty(arr.shape, dtype=float)
+        below = arr <= vals[0]
+        above = arr >= vals[-1]
+        out[below] = vals[0]
+        out[above] = vals[-1]
+        mid = ~(below | above)
+        if np.any(mid):
+            xm = arr[mid]
+            idx = np.searchsorted(vals, xm)  # strictly interior: 1 <= idx < size
+            lo = vals[idx - 1]
+            hi = vals[idx]
+            near = np.where((xm - lo) <= (hi - xm), lo, hi)
+            on = (np.abs(lo - xm) <= self.MATCH_TOLERANCE) | (
+                np.abs(hi - xm) <= self.MATCH_TOLERANCE
+            )
+            c = float(center)
+            toward = np.where(c < xm, lo, np.where(c > xm, hi, near))
+            out[mid] = np.where(on, near, toward)
+        return out

@@ -97,6 +97,18 @@ class ParameterSpace:
         pt = self.as_point(point)
         return {name: float(v) for name, v in zip(self.names, pt)}
 
+    def as_batch(self, points: Sequence[Sequence[float]]) -> np.ndarray:
+        """Convert a sequence of points into an ``(m, N)`` array (no projection)."""
+        arr = np.asarray(points, dtype=float)
+        if arr.size == 0:
+            return arr.reshape(0, self.dimension)
+        if arr.ndim != 2 or arr.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected an (m, {self.dimension}) batch of points, "
+                f"got shape {arr.shape}"
+            )
+        return arr
+
     # -- admissibility & projection ------------------------------------------
 
     def contains(self, point: Sequence[float]) -> bool:
@@ -120,6 +132,53 @@ class ParameterSpace:
         return np.array(
             [p.project(x, c) for p, x, c in zip(self._params, pt, ctr)], dtype=float
         )
+
+    #: below this many rows the fixed cost of the column-wise numpy kernels
+    #: exceeds the scalar loop; both sides are bitwise identical, so the
+    #: batch entry points just pick whichever is faster
+    _VECTORIZE_MIN_ROWS = 12
+
+    def contains_batch(self, points: Sequence[Sequence[float]]) -> np.ndarray:
+        """Vectorized :meth:`contains`: one boolean per row of *points*."""
+        arr = self.as_batch(points)
+        if arr.shape[0] < self._VECTORIZE_MIN_ROWS:
+            params = self._params
+            return np.fromiter(
+                (
+                    all(p.contains(float(x)) for p, x in zip(params, row))
+                    for row in arr
+                ),
+                dtype=bool,
+                count=arr.shape[0],
+            )
+        ok = np.ones(arr.shape[0], dtype=bool)
+        for i, p in enumerate(self._params):
+            ok &= p.contains_array(arr[:, i])
+        return ok
+
+    def project_batch(
+        self, points: Sequence[Sequence[float]], center: Sequence[float]
+    ) -> np.ndarray:
+        """Vectorized :meth:`project` of many points toward one *center*.
+
+        Column-wise over the parameters, so results are bitwise identical to
+        projecting each row individually (the executor-invariance contract).
+        """
+        arr = self.as_batch(points)
+        ctr = self.as_point(center)
+        out = np.empty_like(arr)
+        if arr.shape[0] < self._VECTORIZE_MIN_ROWS:
+            centers = [float(c) for c in ctr]
+            params = self._params
+            for p, c in zip(params, centers):
+                p._require_admissible(c, "projection centre")
+            for r, row in enumerate(arr):
+                for i, p in enumerate(params):
+                    out[r, i] = p.project_unchecked(float(row[i]), centers[i])
+            return out
+        for i, p in enumerate(self._params):
+            out[:, i] = p.project_array(arr[:, i], float(ctr[i]))
+        return out
 
     def center(self) -> np.ndarray:
         """The admissible centre point c of the region (§3.2.3)."""
@@ -227,6 +286,13 @@ class ParameterSpace:
         spans = self.spans()
         spans = np.where(spans > 0, spans, 1.0)
         return (pt - self.lower_bounds()) / spans
+
+    def normalize_batch(self, points: Sequence[Sequence[float]]) -> np.ndarray:
+        """Vectorized :meth:`normalize` over an ``(m, N)`` batch of points."""
+        arr = self.as_batch(points)
+        spans = self.spans()
+        spans = np.where(spans > 0, spans, 1.0)
+        return (arr - self.lower_bounds()) / spans
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(repr(p) for p in self._params)

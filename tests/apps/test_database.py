@@ -164,3 +164,88 @@ class TestMemo:
     def test_negative_memo_size_rejected(self, small_space):
         with pytest.raises(ValueError):
             PerformanceDatabase(small_space, memo_size=-1)
+
+
+class TestBatchEvaluation:
+    """``evaluate_batch`` is a bit-identical drop-in for the scalar path."""
+
+    # Mixes exact hits, interpolated misses, and one repeated configuration.
+    QUERIES = [(0, 0), (1, 1), (2, 0), (3, 3), (4, 4), (0, 0), (1, 3)]
+
+    def _sparse(self, small_space, **kw):
+        db = PerformanceDatabase(small_space, k_neighbors=3, **kw)
+        for pt, v in [
+            ((0, 0), 1.0), ((2, 0), 3.0), ((0, 2), 21.0),
+            ((4, 4), 45.0), ((2, 2), 23.0),
+        ]:
+            db.add(pt, v)
+        return db
+
+    def test_values_match_scalar_bitwise(self, small_space):
+        scalar_db = self._sparse(small_space)
+        batch_db = self._sparse(small_space)
+        expected = np.array([scalar_db(q) for q in self.QUERIES])
+        got = batch_db.evaluate_batch(self.QUERIES)
+        assert got.tobytes() == expected.tobytes()
+
+    def test_sparsity_counters_match_scalar(self, small_space):
+        scalar_db = self._sparse(small_space)
+        batch_db = self._sparse(small_space)
+        # Distinct rows only: within one batch a duplicate row is resolved
+        # twice (misses are collected before memoization), so only the
+        # sparsity counters — not n_memo_hits — are comparable on repeats.
+        queries = [q for i, q in enumerate(self.QUERIES) if q not in self.QUERIES[:i]]
+        for q in queries:
+            scalar_db(q)
+        batch_db.evaluate_batch(queries)
+        assert batch_db.n_exact == scalar_db.n_exact
+        assert batch_db.n_interpolated == scalar_db.n_interpolated
+        assert batch_db.n_memo_hits == scalar_db.n_memo_hits == 0
+
+    def test_shares_memo_with_scalar_path(self, small_space):
+        db = self._sparse(small_space)
+        warm = db([1, 1])
+        out = db.evaluate_batch([(1, 1), (3, 3)])
+        assert db.n_memo_hits == 1
+        assert out[0] == warm
+        # and the batch's misses are memoized for later scalar calls
+        assert db([3, 3]) == out[1]
+        assert db.n_memo_hits == 2
+
+    def test_memo_disabled_batch_still_counts(self, small_space):
+        db = self._sparse(small_space, memo_size=0)
+        db.evaluate_batch(self.QUERIES)
+        db.evaluate_batch(self.QUERIES)
+        assert db.n_memo_hits == 0
+        assert len(db._memo) == 0
+        assert db.n_exact + db.n_interpolated == 2 * len(self.QUERIES)
+
+    def test_batch_respects_memo_capacity(self, small_space):
+        db = self._sparse(small_space, memo_size=2)
+        db.evaluate_batch(self.QUERIES)
+        assert len(db._memo) == 2
+
+    def test_empty_batch(self, small_space):
+        db = self._sparse(small_space)
+        out = db.evaluate_batch([])
+        assert out.shape == (0,)
+
+    def test_empty_database_raises(self, small_space):
+        with pytest.raises(ValueError):
+            PerformanceDatabase(small_space).evaluate_batch([(0, 0)])
+
+
+class TestCacheStats:
+    def test_reports_all_counters(self, small_space):
+        db = PerformanceDatabase.from_function(linear, small_space)
+        db([2, 3])
+        db([2, 3])
+        db.evaluate_batch([(0, 0), (1, 1)])
+        stats = db.cache_stats()
+        assert stats == {
+            "n_exact": 4,
+            "n_interpolated": 0,
+            "n_memo_hits": 1,
+            "memo_len": 3,
+        }
+        assert all(isinstance(v, int) for v in stats.values())

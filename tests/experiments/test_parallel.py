@@ -7,6 +7,7 @@ whatever the executor.
 """
 
 import json
+import pickle
 from dataclasses import dataclass
 
 import numpy as np
@@ -14,13 +15,19 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.apps.database import SHM_MIN_ENTRIES, PerformanceDatabase
 from repro.core.pro import ParallelRankOrdering
 from repro.core.sampling import SamplingPlan
 from repro.experiments.parallel import (
     EXECUTOR_NAMES,
     ProcessExecutor,
     SerialExecutor,
+    SweepTask,
     ThreadExecutor,
+    _resolve_factory,
+    _strip_factories,
+    _worker_init,
+    _WORKER_REGISTRY,
     chunk_tasks,
     make_executor,
 )
@@ -156,6 +163,121 @@ class TestFaultedExecutorEquivalence:
                 json.dumps(parallel.to_dict(), sort_keys=True) == reference
             ), f"{executor} sweep diverged from serial under {policy}"
 
+    def test_legacy_and_noshm_paths_match_serial_under_faults(self):
+        plan = FaultPlan(seed=5, crash=0.3, nan=0.2)
+        cells = [("k1", QuadCell(k=1, budget=12)), ("k2", QuadCell(k=2, budget=12))]
+        kwargs = dict(trials=3, rng=77, faults=plan, failure_policy="retry")
+        reference = json.dumps(run_sweep(cells, **kwargs).to_dict(), sort_keys=True)
+        for executor in (
+            ProcessExecutor(2, persistent=False),
+            ProcessExecutor(2, shared_memory=False),
+            ThreadExecutor(2, persistent=False),
+        ):
+            parallel = run_sweep(cells, executor=executor, **kwargs)
+            assert json.dumps(parallel.to_dict(), sort_keys=True) == reference
+
+
+class TestWorkerPersistentState:
+    """The initializer path ships lean tasks and stays bit-identical.
+
+    Every pool variant — worker-persistent with and without the
+    shared-memory broadcast, plus the legacy ship-the-factory path kept
+    for comparison — must reproduce the serial sweep exactly.
+    """
+
+    CELLS2 = [("k1", QuadCell(k=1, budget=12)), ("k2", QuadCell(k=2, budget=12))]
+
+    @pytest.fixture(scope="class")
+    def serial_ref(self):
+        return run_sweep(self.CELLS2, trials=3, rng=31).to_dict()
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: ProcessExecutor(2),
+            lambda: ProcessExecutor(2, shared_memory=False),
+            lambda: ProcessExecutor(2, persistent=False),
+            lambda: ThreadExecutor(2),
+            lambda: ThreadExecutor(2, persistent=False),
+        ],
+        ids=["proc-shm", "proc-noshm", "proc-legacy", "thread", "thread-legacy"],
+    )
+    def test_every_pool_variant_is_bit_identical(self, serial_ref, make):
+        result = run_sweep(self.CELLS2, trials=3, rng=31, executor=make())
+        assert result.to_dict() == serial_ref
+
+    def test_thread_registry_cleaned_up_after_sweep(self):
+        before = dict(_WORKER_REGISTRY)
+        run_sweep(self.CELLS2, trials=2, rng=5, executor=ThreadExecutor(2))
+        assert _WORKER_REGISTRY == before
+
+    def test_strip_factories_dedups_shared_factory(self):
+        factory = QuadCell(budget=12)
+
+        def task(i):
+            return SweepTask(
+                cell_index=0, cell_name="c", trial_index=i, seed=i, factory=factory
+            )
+
+        lean, registry = _strip_factories([task(0), task(1)], lambda n: f"k{n}")
+        assert len(registry) == 1
+        assert all(t.factory is None for t in lean)
+        assert lean[0].factory_key == lean[1].factory_key
+        assert registry[lean[0].factory_key] is factory
+
+    def test_worker_init_installs_pickled_registry(self):
+        before = dict(_WORKER_REGISTRY)
+        blob = pickle.dumps({"cell-0": QuadCell(budget=12)})
+        try:
+            _worker_init(blob)
+            assert isinstance(_WORKER_REGISTRY["cell-0"], QuadCell)
+        finally:
+            _WORKER_REGISTRY.clear()
+            _WORKER_REGISTRY.update(before)
+
+    def test_resolve_missing_key_raises(self):
+        task = SweepTask(
+            cell_index=0, cell_name="c", trial_index=0, seed=1,
+            factory=None, factory_key="absent",
+        )
+        with pytest.raises(RuntimeError, match="no worker factory"):
+            _resolve_factory(task)
+
+
+# Module-level database problem so the cell pickles for ProcessExecutor.
+DB_SPACE = ParameterSpace([IntParameter(f"d{i}", 0, 9) for i in range(2)])
+
+
+def db_cost(point) -> float:
+    return 1.0 + float(np.sum((np.asarray(point, dtype=float) - 6.0) ** 2))
+
+
+class DatabaseCell:
+    """Factory whose sessions all query one broadcast-worthy database."""
+
+    def __init__(self, db: PerformanceDatabase) -> None:
+        self.db = db
+
+    def __call__(self, seed: int) -> TuningSession:
+        return TuningSession(
+            ParallelRankOrdering(DB_SPACE), self.db, noise=ParetoNoise(rho=0.2),
+            budget=15, plan=SamplingPlan(2), rng=seed,
+        )
+
+
+class TestSharedMemorySweep:
+    def test_database_sweep_identical_across_broadcast_modes(self):
+        db = PerformanceDatabase.from_function(db_cost, DB_SPACE)
+        assert len(db) >= SHM_MIN_ENTRIES  # large enough to take the shm path
+        cells = [("db", DatabaseCell(db))]
+        reference = run_sweep(cells, trials=3, rng=17).to_dict()
+        for executor in (
+            ProcessExecutor(2),
+            ProcessExecutor(2, shared_memory=False),
+        ):
+            parallel = run_sweep(cells, trials=3, rng=17, executor=executor)
+            assert parallel.to_dict() == reference
+
 
 class TestMakeExecutor:
     def test_names(self):
@@ -196,6 +318,13 @@ class TestChunking:
     def test_default_targets_four_chunks_per_worker(self):
         chunks = chunk_tasks(64, 2)
         assert len(chunks) == 8
+
+    def test_small_sweeps_get_unit_chunks(self):
+        # Below jobs*4 tasks, chunking would serialize work onto too few
+        # workers; every task must become its own chunk instead.
+        chunks = chunk_tasks(7, 2)
+        assert [len(c) for c in chunks] == [1] * 7
+        assert all(len(c) == 1 for c in chunk_tasks(3, 4))
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -125,3 +125,44 @@ class TestRunSweep:
     def test_rejects_non_session_factory(self, quad3):
         with pytest.raises(TypeError):
             run_sweep({"bad": lambda seed: "not a session"}, trials=1)
+
+
+class TestCacheStatsMeta:
+    def _db_cell(self, db):
+        def build(seed: int) -> TuningSession:
+            from repro.core.pro import ParallelRankOrdering
+
+            return TuningSession(
+                ParallelRankOrdering(db.space), db, noise=ParetoNoise(rho=0.2),
+                budget=20, plan=SamplingPlan(1), rng=seed,
+            )
+
+        return build
+
+    def _make_db(self):
+        from repro.apps.database import PerformanceDatabase
+        from repro.space import IntParameter, ParameterSpace
+
+        space = ParameterSpace([IntParameter(f"x{i}", 0, 6) for i in range(2)])
+        return PerformanceDatabase.from_function(
+            lambda p: 1.0 + float(np.sum(np.asarray(p) ** 2)), space
+        )
+
+    def test_reports_counter_deltas_in_meta(self):
+        db = self._make_db()
+        cells = {"db": self._db_cell(db)}
+        first = run_sweep(cells, trials=2, rng=11, cache_stats=db)
+        stats = first.meta["db_cache"]
+        assert set(stats) == {"n_exact", "n_interpolated", "n_memo_hits", "memo_len"}
+        assert stats["n_exact"] + stats["n_interpolated"] > 0
+        # Monotone n_* counters are reported as per-sweep deltas: a second
+        # identical sweep issues the same number of queries, so its deltas
+        # match even though the database's cumulative totals doubled.
+        second = run_sweep(cells, trials=2, rng=11, cache_stats=db)
+        a, b = first.meta["db_cache"], second.meta["db_cache"]
+        assert a["n_exact"] + a["n_interpolated"] == b["n_exact"] + b["n_interpolated"]
+        assert b["n_memo_hits"] >= a["n_memo_hits"]  # warm memo from sweep one
+
+    def test_rejects_object_without_cache_stats(self, quad3):
+        with pytest.raises(TypeError):
+            run_sweep({"c": make_cell(quad3, 1)}, trials=1, cache_stats=object())

@@ -1,0 +1,63 @@
+"""Unit tests for the bench_smoke regression guard (benchmarks/compare_bench.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+from compare_bench import GUARDED, compare, main  # noqa: E402
+
+
+def payload(sweep=3.0, cluster=2.5):
+    return {
+        "sweep": {"speedup": sweep},
+        "cluster_step": {"speedup": cluster},
+    }
+
+
+class TestCompare:
+    def test_passes_within_tolerance(self):
+        assert compare(payload(), payload(sweep=2.5), tolerance=0.2) == []
+
+    def test_flags_regression_beyond_tolerance(self):
+        failures = compare(payload(sweep=3.0), payload(sweep=2.0), tolerance=0.2)
+        assert len(failures) == 1
+        assert "sweep.speedup" in failures[0]
+
+    def test_missing_baseline_metric_passes_vacuously(self):
+        baseline = {"cluster_step": {"speedup": 2.5}}  # no sweep section yet
+        assert compare(baseline, payload(), tolerance=0.2) == []
+
+    def test_metric_dropped_from_current_run_fails(self):
+        current = {"cluster_step": {"speedup": 2.5}}
+        failures = compare(payload(), current, tolerance=0.2)
+        assert any("missing" in f for f in failures)
+
+    def test_every_guarded_metric_is_a_ratio(self):
+        assert all(key == "speedup" for _, key in GUARDED)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", payload())
+        cur = self._write(tmp_path, "cur.json", payload())
+        assert main(["--baseline", base, "--current", cur]) == 0
+        assert "no guarded regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", payload(cluster=4.0))
+        cur = self._write(tmp_path, "cur.json", payload(cluster=1.0))
+        assert main(["--baseline", base, "--current", cur]) == 1
+        assert "cluster_step.speedup" in capsys.readouterr().err
+
+    def test_exit_two_on_bad_input(self, tmp_path):
+        base = self._write(tmp_path, "base.json", payload())
+        assert main(["--baseline", base, "--current", str(tmp_path / "nope.json")]) == 2
+        cur = self._write(tmp_path, "cur.json", payload())
+        assert main(["--baseline", base, "--current", cur, "--tolerance", "1.5"]) == 2
