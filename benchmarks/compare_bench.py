@@ -29,6 +29,12 @@ GUARDED = (
     ("cluster_step", "speedup"),
 )
 
+#: (section, key, ceiling) fractions guarded against an absolute ceiling —
+#: lower-is-better costs where "no worse than baseline" is too lax a gate
+CEILINGS = (
+    ("obs", "overhead_frac", 0.02),
+)
+
 
 def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
     """Human-readable failure lines (empty = pass)."""
@@ -49,6 +55,20 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"{section}.{key}: {cur} < {floor:.3f} "
                 f"(baseline {base}, tolerance {tolerance:.0%})"
+            )
+    for section, key, ceiling in CEILINGS:
+        base = baseline.get(section, {}).get(key)
+        cur = current.get(section, {}).get(key)
+        if cur is None:
+            if base is not None:
+                failures.append(
+                    f"{section}.{key}: present in baseline ({base}) but "
+                    "missing from the current run"
+                )
+            continue
+        if cur > ceiling:
+            failures.append(
+                f"{section}.{key}: {cur} exceeds the hard ceiling {ceiling}"
             )
     return failures
 
@@ -77,6 +97,9 @@ def main(argv: list[str] | None = None) -> int:
         base = baseline.get(section, {}).get(key)
         cur = current.get(section, {}).get(key)
         print(f"{section}.{key}: baseline={base} current={cur}")
+    for section, key, ceiling in CEILINGS:
+        cur = current.get(section, {}).get(key)
+        print(f"{section}.{key}: current={cur} ceiling={ceiling}")
     if failures:
         print("\nperformance regression detected:", file=sys.stderr)
         for line in failures:

@@ -31,6 +31,7 @@ separate parent processes if segment lifetimes must not interleave.
 from __future__ import annotations
 
 import threading
+import weakref
 from contextlib import contextmanager
 from multiprocessing import shared_memory
 from typing import Iterator
@@ -45,11 +46,34 @@ __all__ = [
 ]
 
 
+def _unlink_segments(segments: list[shared_memory.SharedMemory]) -> None:
+    """Close and unlink every segment in *segments*, emptying the list."""
+    for seg in segments:
+        try:
+            seg.close()
+            seg.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - best effort
+            pass
+    segments.clear()
+
+
 class ShmBroadcast:
-    """Parent-side registry of shared-memory segments for one pool's lifetime."""
+    """Parent-side registry of shared-memory segments for one pool's lifetime.
+
+    Segments are unlinked by :meth:`close` — or, as a safety net, by a
+    ``weakref.finalize`` hook when the broadcast object is garbage
+    collected or the interpreter exits.  The hook matters on the
+    worker-loss path: a broken pool can leave the executor's ``map_tasks``
+    generator suspended inside an exception traceback, deferring its
+    ``finally`` (and hence ``close``) indefinitely; the finalizer
+    guarantees the segments never outlive the broadcast object itself.
+    """
 
     def __init__(self) -> None:
         self._segments: list[shared_memory.SharedMemory] = []
+        # Bound to the list, not to self, so the finalizer holds no
+        # reference that would keep the broadcast alive.
+        self._finalizer = weakref.finalize(self, _unlink_segments, self._segments)
 
     @property
     def n_segments(self) -> int:
@@ -73,14 +97,12 @@ class ShmBroadcast:
         return {"name": seg.name, "shape": tuple(arr.shape), "dtype": arr.dtype.str}
 
     def close(self) -> None:
-        """Unlink every exported segment (call after all workers exited)."""
-        for seg in self._segments:
-            try:
-                seg.close()
-                seg.unlink()
-            except (FileNotFoundError, OSError):  # pragma: no cover - best effort
-                pass
-        self._segments.clear()
+        """Unlink every exported segment (call after all workers exited).
+
+        Idempotent; also disarms the GC finalizer for segments already
+        released here (later exports re-arm through the shared list).
+        """
+        _unlink_segments(self._segments)
 
     def __enter__(self) -> "ShmBroadcast":
         return self

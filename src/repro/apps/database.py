@@ -26,6 +26,7 @@ from scipy.spatial import cKDTree
 
 from repro import _shm
 from repro._util import as_generator, weighted_average
+from repro.obs.trace import emit as _obs_emit
 from repro.space import ParameterSpace
 
 __all__ = ["PerformanceDatabase"]
@@ -97,6 +98,7 @@ class PerformanceDatabase:
         through the plain-dict fallback.
         """
         assert self._frozen_points is not None and self._frozen_values is not None
+        _obs_emit("db.materialize", n_entries=int(self._frozen_values.size))
         self._entries = {
             tuple(map(float, p)): float(v)
             for p, v in zip(self._frozen_points, self._frozen_values)
@@ -401,3 +403,8 @@ class PerformanceDatabase:
             self._frozen_points = pts
             self._frozen_values = vals
             self._shm_segments = (seg_p, seg_v)
+            _obs_emit(
+                "shm.attach",
+                nbytes=int(pts.nbytes + vals.nbytes),
+                n_entries=int(vals.size),
+            )

@@ -4,6 +4,8 @@ Examples::
 
     python -m repro tune --tuner pro --rho 0.25 --k 3 --budget 300
     python -m repro tune --trials 10 --json results.json
+    python -m repro tune --trials 10 --trace run.jsonl
+    python -m repro trace run.jsonl
     python -m repro trace --nodes 16 --iterations 400
     python -m repro surface --fixed nodes=32
     python -m repro figures fig10 --trials 40
@@ -107,7 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
         "their own database copies)",
     )
 
-    p_trace = sub.add_parser("trace", help="simulate a fixed-config cluster trace")
+    p_trace = sub.add_parser(
+        "trace",
+        help="summarize a recorded JSONL trace, or simulate a cluster trace",
+    )
+    p_trace.add_argument(
+        "path", type=Path, nargs="?", default=None,
+        help="JSONL trace recorded with --trace; omit to simulate a "
+        "fixed-config cluster trace instead",
+    )
     p_trace.add_argument("--nodes", type=int, default=16)
     p_trace.add_argument("--iterations", type=int, default=400)
     p_trace.add_argument("--seed", type=int, default=11)
@@ -161,6 +171,11 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
         help="run the command under cProfile and print the top-25 "
         "cumulative-time entries",
     )
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="record a structured JSONL event trace of the run; inspect "
+        "it later with `repro trace PATH`",
+    )
 
 
 def _resolve_executor(args: argparse.Namespace) -> tuple[str, int | None]:
@@ -185,6 +200,7 @@ def _sweep_kwargs(args: argparse.Namespace) -> dict:
         "failure_policy": args.failure_policy,
         "retries": args.retries,
         "task_timeout": args.task_timeout,
+        "trace": getattr(args, "trace", None),
     }
 
 
@@ -221,10 +237,18 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     plan = SamplingPlan(args.k, _ESTIMATORS[args.estimator]())
 
     if args.trials == 1:
+        from repro.obs import trace as obs_trace
+
+        tracer = obs_trace.Tracer(label="session") if args.trace else None
         tuner = tuner_factory(args.tuner, rng=args.seed)(space)
         result = TuningSession(
-            tuner, db, noise=noise, plan=plan, budget=args.budget, rng=args.seed
+            tuner, db, noise=noise, plan=plan, budget=args.budget,
+            rng=args.seed, tracer=tracer,
         ).run()
+        if tracer is not None:
+            events = obs_trace.canonical_events(tracer.drain(), strip=False)
+            obs_trace.write_jsonl(events, args.trace)
+            print(f"wrote {args.trace} ({len(events)} events)")
         print(f"tuner            : {args.tuner}")
         print(f"best config      : {space.as_dict(result.best_point)}")
         print(f"noise-free cost  : {result.best_true_cost:.4f} s/iteration")
@@ -271,6 +295,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.path is not None:
+        from repro.obs import read_trace, summarize_trace
+
+        if not args.path.exists():
+            print(f"error: no such trace file: {args.path}", file=sys.stderr)
+            return 2
+        print(summarize_trace(read_trace(args.path)))
+        return 0
     from repro.experiments.fig03_trace import simulate_gs2_trace
 
     trace = simulate_gs2_trace(

@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.trace import emit as _obs_emit
 from repro.space import ParameterSpace
 
 __all__ = ["TunerState", "BatchTuner"]
@@ -139,6 +140,9 @@ class BatchTuner(ABC):
     def _mark_converged(self, reason: str) -> None:
         self.state = TunerState.CONVERGED
         self.step_log.append(f"converged:{reason}")
+        _obs_emit(
+            "tuner.converged", reason=reason, n_evaluations=self.n_evaluations
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.core.base import BatchTuner
 from repro.core.initial import axial_simplex, minimal_simplex
+from repro.obs.trace import emit as _obs_emit
 from repro.core.simplex import Simplex, Vertex, expand, reflect, shrink
 from repro.core.stopping import ConvergenceProbe
 from repro.space import ParameterSpace
@@ -245,6 +246,7 @@ class ParallelRankOrdering(BatchTuner):
             self.chosen_r = float(best_r)
             self.simplex = Simplex(best_vertices)
             self.step_log.append(f"autosize:r={best_r:g}")
+            _obs_emit("pro.step", step="autosize", r=float(best_r))
             self._after_update()
             return
         if self.phase is ProPhase.INIT:
@@ -252,6 +254,7 @@ class ParallelRankOrdering(BatchTuner):
                 [Vertex(p, v) for p, v in zip(batch, values)]
             )
             self.step_log.append("init")
+            _obs_emit("pro.step", step="init", n_vertices=self.simplex.n_vertices)
             self._after_update()
             return
         assert self.simplex is not None
@@ -273,11 +276,19 @@ class ParallelRankOrdering(BatchTuner):
             return
         if self.phase is ProPhase.EXPAND_CHECK:
             best_reflection = self._reflections[self._best_reflection_idx].value
-            if values[0] < best_reflection:
+            passed = values[0] < best_reflection
+            _obs_emit(
+                "pro.expand_check",
+                passed=bool(passed),
+                check_value=float(values[0]),
+                best_reflection=float(best_reflection),
+            )
+            if passed:
                 self.phase = ProPhase.EXPAND
             else:
                 self.simplex.replace_moving(self._reflections)
                 self.step_log.append("reflect")
+                _obs_emit("pro.step", step="reflect")
                 self._after_update()
             return
         if self.phase is ProPhase.EXPAND:
@@ -289,12 +300,15 @@ class ParallelRankOrdering(BatchTuner):
                 if exp_min < ref_min:
                     self.simplex.replace_moving(expansions)
                     self.step_log.append("expand")
+                    _obs_emit("pro.step", step="expand")
                 else:
                     self.simplex.replace_moving(self._reflections)
                     self.step_log.append("reflect")
+                    _obs_emit("pro.step", step="reflect")
             else:
                 self.simplex.replace_moving(expansions)
                 self.step_log.append("expand")
+                _obs_emit("pro.step", step="expand")
             self._after_update()
             return
         if self.phase is ProPhase.SHRINK:
@@ -302,6 +316,7 @@ class ParallelRankOrdering(BatchTuner):
                 [Vertex(p, v) for p, v in zip(batch, values)]
             )
             self.step_log.append("shrink")
+            _obs_emit("pro.step", step="shrink")
             self._after_update()
             return
         if self.phase is ProPhase.PROBE:
@@ -315,6 +330,7 @@ class ParallelRankOrdering(BatchTuner):
             self.simplex = Simplex(restart)
             self.n_restarts += 1
             self.step_log.append("probe_restart")
+            _obs_emit("pro.step", step="probe_restart", n_restarts=self.n_restarts)
             self.phase = ProPhase.REFLECT
             return
         raise AssertionError(f"tell in unhandled phase {self.phase}")  # pragma: no cover

@@ -126,6 +126,7 @@ def run_initial_simplex_study(
     retries: int | None = None,
     task_timeout: float | None = None,
     faults: FaultPlan | None = None,
+    trace: str | None = None,
 ) -> InitialSimplexStudy:
     """Sweep (shape, r) and average NTT over randomized trials.
 
@@ -167,7 +168,7 @@ def run_initial_simplex_study(
     sweep = run_sweep(
         cells, trials=trials, rng=master, executor=executor, jobs=jobs,
         failure_policy=failure_policy, retries=retries,
-        task_timeout=task_timeout, faults=faults,
+        task_timeout=task_timeout, faults=faults, trace=trace,
     )
     mean = np.empty((len(shapes), len(r_values)))
     std = np.empty_like(mean)

@@ -154,6 +154,7 @@ def run_sampling_study(
     retries: int | None = None,
     task_timeout: float | None = None,
     faults: FaultPlan | None = None,
+    trace: str | None = None,
 ) -> SamplingStudy:
     """The §6.2 sweep.  The paper used trials=2000; default is bench-scale.
 
@@ -196,7 +197,7 @@ def run_sampling_study(
     sweep = run_sweep(
         cells, trials=trials, rng=master, executor=executor, jobs=jobs,
         failure_policy=failure_policy, retries=retries,
-        task_timeout=task_timeout, faults=faults,
+        task_timeout=task_timeout, faults=faults, trace=trace,
     )
     mean = np.empty((len(rho_values), len(k_values)))
     std = np.empty_like(mean)

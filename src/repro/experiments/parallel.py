@@ -68,6 +68,7 @@ from repro.faults.inject import FaultyEvaluator
 from repro.faults.plan import FaultPlan, InjectedFault
 from repro.harmony.metrics import SessionResult
 from repro.harmony.session import TuningSession
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "EXECUTOR_NAMES",
@@ -133,6 +134,13 @@ class SweepTask:
     #: registry key resolving the factory on the worker when ``factory``
     #: is None (see :data:`_WORKER_REGISTRY` / :func:`_worker_init`)
     factory_key: object | None = None
+    #: observability shard descriptor (``{"dir": <shard directory>}``); the
+    #: worker resolves it to a per-process tracer and flushes trial events
+    #: as JSONL shards the sweep runner merges on gather.  None = no tracing.
+    trace: dict | None = None
+    #: parent wall clock at dispatch, for the queue-wait metric (volatile —
+    #: never part of a canonical trace)
+    dispatch_ts: float | None = None
 
 
 @dataclass(frozen=True)
@@ -266,12 +274,53 @@ def run_trial(task: SweepTask) -> TrialOutcome:
     straggler the timeout layer can abandon), and ``nan``/``slowdown``
     wrap the session's evaluator.  Raises on failure; fault capture is the
     executor's job.
+
+    A traced task (``task.trace`` set) additionally records trial.start /
+    trial.end events under its (cell, trial, attempt) identity and flushes
+    them to the sweep's shard directory before returning.
     """
+    if task.trace is None:
+        return _run_trial_impl(task, None)
+    tracer = obs_trace.worker_tracer(task.trace)
+    with tracer.scope(
+        cell=task.cell_index,
+        trial=task.trial_index,
+        attempt=task.attempt,
+        src="worker",
+    ), obs_trace.activated(tracer):
+        t0 = time.time()
+        tracer.emit(
+            "trial.start",
+            seed=task.seed,
+            wait_s=(t0 - task.dispatch_ts) if task.dispatch_ts else None,
+        )
+        try:
+            outcome = _run_trial_impl(task, tracer)
+        except BaseException:
+            # The failure event is the executor's job (it knows the kind);
+            # flush so the events so far survive the raise.
+            tracer.flush()
+            raise
+        tracer.emit(
+            "trial.end",
+            ntt=outcome.ntt,
+            final_cost=outcome.final_cost,
+            total_time=outcome.total_time,
+            converged=outcome.converged,
+            dur_s=time.time() - t0,
+        )
+        tracer.flush()
+        return outcome
+
+
+def _run_trial_impl(task: SweepTask, tracer: "obs_trace.Tracer | None") -> TrialOutcome:
     fault = None
     if task.faults is not None:
         fault = task.faults.fault_for(
             task.cell_index, task.trial_index, task.attempt
         )
+        if fault is not None and tracer is not None:
+            tracer.emit("fault.injected", fault=fault)
     if fault == "crash":
         raise InjectedFault(
             f"injected crash: cell {task.cell_index} trial {task.trial_index} "
@@ -295,6 +344,8 @@ def run_trial(task: SweepTask) -> TrialOutcome:
             mode="nan" if fault == "nan" else "slowdown",
             factor=task.faults.slowdown_factor,
         )
+    if tracer is not None:
+        session.tracer = tracer
     result = session.run()
     return TrialOutcome(
         cell_index=task.cell_index,
@@ -307,6 +358,24 @@ def run_trial(task: SweepTask) -> TrialOutcome:
         converged=result.converged_at is not None,
         result=result if task.keep_result else None,
     )
+
+
+def _emit_trial_fail(task: SweepTask, exc: BaseException, kind: str) -> None:
+    """Record a worker-side failure event for a traced task (and flush)."""
+    if task.trace is None:
+        return
+    tracer = obs_trace.worker_tracer(task.trace)
+    tracer.emit(
+        "trial.fail",
+        cell=task.cell_index,
+        trial=task.trial_index,
+        attempt=task.attempt,
+        src="worker",
+        fail_kind=kind,
+        error_type=type(exc).__name__,
+        message=str(exc),
+    )
+    tracer.flush()
 
 
 def _run_trial_with_timeout(task: SweepTask, timeout: float) -> TrialOutcome:
@@ -347,8 +416,10 @@ def _guarded_trial(task: SweepTask) -> TrialOutcome | TrialFailure:
             return _run_trial_with_timeout(task, task.timeout)
         return run_trial(task)
     except TrialTimeout as exc:
+        _emit_trial_fail(task, exc, "timeout")
         return _failure(task, exc, kind="timeout")
     except Exception as exc:  # noqa: BLE001 - per-task isolation is the point
+        _emit_trial_fail(task, exc, "error")
         return _failure(task, exc, kind="error")
 
 
@@ -408,6 +479,11 @@ class Executor(ABC):
     """
 
     name: str = "executor"
+
+    #: parent-side tracer installed by the sweep runner for the duration of
+    #: one traced sweep; executors emit scheduling events (worker loss,
+    #: shared-memory export) through it.  None = tracing off.
+    tracer: "obs_trace.Tracer | None" = None
 
     @abstractmethod
     def map_tasks(
@@ -521,6 +597,25 @@ class _PoolExecutor(Executor):
                             _failure(tasks[i], exc, kind="worker-lost")
                             for i in chunk
                         ]
+                        if self.tracer is not None:
+                            for i in chunk:
+                                self.tracer.emit(
+                                    "worker.lost",
+                                    cell=tasks[i].cell_index,
+                                    trial=tasks[i].trial_index,
+                                    attempt=tasks[i].attempt,
+                                    error_type=type(exc).__name__,
+                                )
+                        if cleanup is not None:
+                            # The workers are gone, so the worker-persistent
+                            # state — shared-memory segments above all — can
+                            # and must be released now: a consumer that
+                            # reacts to the failures by raising leaves this
+                            # generator suspended in the exception's
+                            # traceback, deferring the finally below (and
+                            # the segments with it) indefinitely.
+                            cleanup()
+                            cleanup = None
                     yield from zip(chunk, outcomes)
         finally:
             # Shared-memory segments (and in-process registry entries) stay
@@ -618,6 +713,13 @@ class ProcessExecutor(_PoolExecutor):
                 broadcast.close()
             raise
         cleanup = broadcast.close if broadcast is not None else None
+        if broadcast is not None and self.tracer is not None:
+            self.tracer.emit(
+                "shm.export",
+                n_segments=broadcast.n_segments,
+                total_bytes=broadcast.total_bytes,
+                blob_bytes=len(blob),
+            )
         pool_kwargs = {"initializer": _worker_init, "initargs": (blob,)}
         return lean, pool_kwargs, cleanup
 
@@ -696,6 +798,10 @@ def execute_ordered(
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     tasks = list(tasks)
+    tracer = getattr(executor, "tracer", None)
+    #: the attempt index that produced each task's final result (retries
+    #: replace results in place, so the outcome itself doesn't carry it)
+    final_attempt = [0] * len(tasks)
     results: list[TrialOutcome | TrialFailure | None] = [None] * len(tasks)
     stream = emit is not None and retries == 0
     next_emit = 0
@@ -727,6 +833,14 @@ def execute_ordered(
         if not pending:
             break
         redispatch = [replace(tasks[i], attempt=attempt) for i in pending]
+        if tracer is not None:
+            for task in redispatch:
+                tracer.emit(
+                    "retry.dispatch",
+                    cell=task.cell_index,
+                    trial=task.trial_index,
+                    attempt=task.attempt,
+                )
         round_results: list[TrialOutcome | TrialFailure | None] = [None] * len(
             redispatch
         )
@@ -738,6 +852,38 @@ def execute_ordered(
             if round_results[j] is None:
                 raise RuntimeError(f"executor dropped retried task {i}")
             results[i] = round_results[j]
+            final_attempt[i] = attempt
+    if tracer is not None:
+        # Parent-authoritative verdicts, one per task, emitted after every
+        # recovery round has run.  Replay (repro.obs.replay) trusts these —
+        # unlike worker shard events, they cannot race a timed-out trial's
+        # abandoned watchdog thread.
+        for i, result in enumerate(results):
+            task = tasks[i]
+            if isinstance(result, TrialOutcome):
+                tracer.emit(
+                    "trial.settled",
+                    cell=task.cell_index,
+                    trial=task.trial_index,
+                    attempt=final_attempt[i],
+                    seed=task.seed,
+                    status="ok",
+                    ntt=result.ntt,
+                    final_cost=result.final_cost,
+                    total_time=result.total_time,
+                    converged=bool(result.converged),
+                )
+            elif isinstance(result, TrialFailure):
+                tracer.emit(
+                    "trial.settled",
+                    cell=task.cell_index,
+                    trial=task.trial_index,
+                    attempt=result.attempt,
+                    seed=task.seed,
+                    status="failed",
+                    fail_kind=result.kind,
+                    error_type=result.error_type,
+                )
     failures = [r for r in results if isinstance(r, TrialFailure)]
     if failures and failure_policy == "raise":
         _raise_failure(failures[0])

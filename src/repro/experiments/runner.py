@@ -20,7 +20,11 @@ This module factors that skeleton out so new studies are a dozen lines:
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -38,6 +42,8 @@ from repro.experiments.parallel import (
 from repro.faults.plan import FaultPlan
 from repro.harmony.metrics import SessionResult
 from repro.harmony.session import TuningSession
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["CellStats", "SweepResult", "run_sweep"]
 
@@ -132,6 +138,41 @@ def _json_safe(value):
     return str(value)
 
 
+def _sweep_metrics(events: list[dict], meta: dict) -> MetricsRegistry:
+    """Reduce a merged trace to the ``meta["obs"]`` aggregate metrics."""
+    registry = MetricsRegistry()
+    for event in events:
+        kind = event["kind"]
+        if kind == "trial.start" and event.get("wait_s") is not None:
+            registry.observe("queue_wait_s", event["wait_s"])
+        elif kind == "trial.end" and event.get("dur_s") is not None:
+            registry.observe("trial_latency_s", event["dur_s"])
+        elif kind == "trial.settled":
+            if event.get("status") == "ok":
+                registry.inc("trials_ok")
+                registry.observe("trial_total_time", event["total_time"])
+            else:
+                registry.inc("trials_failed")
+                registry.inc("failures_" + event.get("fail_kind", "unknown"))
+        elif kind == "retry.dispatch":
+            registry.inc("retries_dispatched")
+        elif kind == "worker.lost":
+            registry.inc("workers_lost")
+        elif kind == "fault.injected":
+            registry.inc("faults_injected")
+        elif kind == "shm.export":
+            registry.inc("shm_broadcast_bytes", event.get("total_bytes", 0))
+            registry.inc("shm_segments", event.get("n_segments", 0))
+    db = meta.get("db_cache")
+    if db is not None:
+        queries = db.get("n_exact", 0) + db.get("n_interpolated", 0)
+        if queries:
+            registry.gauge(
+                "db_cache_hit_rate", db.get("n_memo_hits", 0) / queries
+            )
+    return registry
+
+
 def run_sweep(
     cells: Mapping[str, SessionFactory] | Sequence[tuple[str, SessionFactory]],
     *,
@@ -145,6 +186,7 @@ def run_sweep(
     task_timeout: float | None = None,
     faults: FaultPlan | None = None,
     cache_stats: object | None = None,
+    trace: str | Path | None = None,
 ) -> SweepResult:
     """Run every cell for *trials* paired-seed sessions and aggregate.
 
@@ -195,6 +237,14 @@ def run_sweep(
         not results: process workers mutate *copies* of the database, so
         their hits never reach the parent's counters — use the serial or
         thread executor when cache observability matters.
+    trace:
+        Optional path for a JSONL trace of the whole sweep.  Every worker
+        records typed events (trial lifecycle, session steps, tuner
+        phases, injected faults) into per-worker shard files; the runner
+        merges them with its own dispatch/verdict events into one
+        canonically ordered file and snapshots aggregate metrics into
+        ``SweepResult.meta["obs"]``.  ``None`` (the default) keeps every
+        instrumentation site a single ``is None`` check.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -218,6 +268,18 @@ def run_sweep(
     master = as_generator(rng)
     trial_seeds = [int(s) for s in master.integers(0, 2**63 - 1, size=trials)]
     keep_results = collect is not None
+    tracer: obs_trace.Tracer | None = None
+    shard_spec: dict | None = None
+    shard_dir: str | None = None
+    t_start = 0.0
+    if trace is not None:
+        tracer = obs_trace.Tracer(label="sweep")
+        shard_dir = tempfile.mkdtemp(prefix="repro-obs-")
+        shard_spec = {"dir": shard_dir}
+        obs_trace._adopt_worker_tracer(shard_spec, tracer)
+        exec_.tracer = tracer
+        t_start = time.time()
+    dispatch_ts = time.time() if tracer is not None else None
     tasks = [
         SweepTask(
             cell_index=c,
@@ -228,10 +290,24 @@ def run_sweep(
             keep_result=keep_results,
             timeout=task_timeout,
             faults=faults,
+            trace=shard_spec,
+            dispatch_ts=dispatch_ts,
         )
         for c, (name, factory) in enumerate(items)
         for t, seed in enumerate(trial_seeds)
     ]
+    if tracer is not None:
+        tracer.emit(
+            "sweep.start",
+            n_cells=len(items),
+            trials=trials,
+            cell_names=[name for name, _ in items],
+            executor=exec_.name,
+            failure_policy=failure_policy,
+            retries=retries,
+            task_timeout=task_timeout,
+            trial_seeds=list(trial_seeds),
+        )
     if cache_stats is not None and not callable(
         getattr(cache_stats, "cache_stats", None)
     ):
@@ -241,9 +317,16 @@ def run_sweep(
         )
     stats_before = dict(cache_stats.cache_stats()) if cache_stats is not None else None
     emit = (lambda outcome: collect(outcome.result)) if keep_results else None
-    results = execute_ordered(
-        exec_, tasks, emit, failure_policy=failure_policy, retries=retries
-    )
+    try:
+        results = execute_ordered(
+            exec_, tasks, emit, failure_policy=failure_policy, retries=retries
+        )
+    except BaseException:
+        if tracer is not None:
+            exec_.tracer = None
+            obs_trace._forget_worker_tracer(shard_spec)
+            shutil.rmtree(shard_dir, ignore_errors=True)
+        raise
     all_failures: list[TrialFailure] = []
     stats: list[CellStats] = []
     for c, (name, _) in enumerate(items):
@@ -297,6 +380,26 @@ def run_sweep(
         meta["db_cache"] = {
             key: value - stats_before.get(key, 0) if key.startswith("n_") else value
             for key, value in after.items()
+        }
+    if tracer is not None:
+        best = min(stats, key=lambda c: c.ntt_mean)
+        tracer.emit(
+            "sweep.end",
+            n_failed=len(all_failures),
+            best=best.name,
+            dur_s=time.time() - t_start,
+        )
+        exec_.tracer = None
+        events = obs_trace.canonical_events(
+            tracer.drain() + obs_trace.read_shards(shard_dir), strip=False
+        )
+        obs_trace._forget_worker_tracer(shard_spec)
+        shutil.rmtree(shard_dir, ignore_errors=True)
+        obs_trace.write_jsonl(events, trace)
+        meta["obs"] = {
+            "trace_path": str(trace),
+            "n_events": len(events),
+            "metrics": _sweep_metrics(events, meta).snapshot(),
         }
     return SweepResult(
         cells=tuple(stats),

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.faults.plan import FaultPlan, InjectedFault
 from repro.harmony.evaluator import DelegatingEvaluator, Evaluator
+from repro.obs.trace import emit as _obs_emit
 
 __all__ = ["FaultyEvaluator", "FaultyFactory"]
 
@@ -92,6 +93,7 @@ class FaultyEvaluator(DelegatingEvaluator):
         )
         if not active:
             return self.inner.observe_wave(points, rng)
+        _obs_emit("fault.fire", mode=self.mode, wave=wave)
         n = len(points)
         if self.mode == "raises":
             raise OSError(self.message)

@@ -40,6 +40,7 @@ from repro.core.base import BatchTuner
 from repro.core.sampling import SamplingPlan
 from repro.harmony.evaluator import Evaluator, FunctionEvaluator
 from repro.harmony.metrics import SessionResult, StepKind
+from repro.obs import trace as obs_trace
 from repro.variability.models import NoiseModel
 
 __all__ = ["TuningSession"]
@@ -62,6 +63,7 @@ class TuningSession:
         record_details: bool = False,
         batched_eval: bool | None = None,
         rng: int | np.random.Generator | None = None,
+        tracer: "obs_trace.Tracer | None" = None,
     ) -> None:
         if budget < 1:
             raise ValueError(f"budget must be >= 1 time step, got {budget}")
@@ -94,6 +96,10 @@ class TuningSession:
         #: debugging), True = require the fast path (raise if unsupported).
         self.batched_eval = batched_eval
         self.rng = as_generator(rng)
+        #: optional :class:`repro.obs.trace.Tracer` recording the session's
+        #: per-step / per-batch events; sweep workers install one after
+        #: construction, so this stays assignable post-init
+        self.tracer = tracer
 
     # -- helpers ---------------------------------------------------------------
 
@@ -279,7 +285,38 @@ class TuningSession:
 
         Returns the per-step record (barrier times, step kinds, incumbent
         trajectory) and aggregates.  A session is single-use: the tuner's
-        state is consumed."""
+        state is consumed.
+
+        With a tracer attached, the run is bracketed by ``session.start``/
+        ``session.end`` events and the tracer is installed as the thread's
+        active one, so substrate-level emitters (fault injectors, the
+        performance database, tuner convergence) record into the same
+        stream; every event payload is model-deterministic.
+        """
+        if self.tracer is None:
+            return self._run()
+        with obs_trace.activated(self.tracer):
+            self.tracer.emit(
+                "session.start",
+                tuner=type(self.tuner).__name__,
+                budget=self.budget,
+                k=self.plan.k if self.controller is None else "adaptive",
+                n_processors=self.n_processors,
+                parallel_sampling=self.parallel_sampling,
+            )
+            result = self._run()
+            self.tracer.emit(
+                "session.end",
+                n_steps=int(result.step_times.size),
+                total_time=result.total_time(),
+                ntt=result.normalized_total_time(),
+                best_true_cost=result.best_true_cost,
+                converged_at=result.converged_at,
+                n_measurements=result.n_measurements,
+            )
+            return result
+
+    def _run(self) -> SessionResult:
         step_times: list[float] = []
         step_kinds: list[StepKind] = []
         incumbent_true: list[float] = []
@@ -304,9 +341,19 @@ class TuningSession:
                 inc_cost_cache[key] = cost
             return cost
 
+        tracer = self.tracer
+
         def record(t_step: float, kind: StepKind, wave_size: int = 1) -> None:
             step_times.append(float(t_step))
             step_kinds.append(kind)
+            if tracer is not None:
+                tracer.emit(
+                    "session.step",
+                    t=len(step_times) - 1,
+                    step_kind=kind.value,
+                    t_step=float(t_step),
+                    wave=int(wave_size),
+                )
             initialized = getattr(self.tuner, "initialized", True)
             if initialized:
                 incumbent_true.append(incumbent_cost())
@@ -334,6 +381,12 @@ class TuningSession:
             if self.tuner.converged and converged_at is None:
                 converged_at = len(step_times)
             batch = [] if self.tuner.converged else self.tuner.ask()
+            if tracer is not None and batch:
+                tracer.emit(
+                    "batch.proposed",
+                    size=len(batch),
+                    batch_index=self.tuner.n_batches,
+                )
             if not batch:
                 if self.tuner.converged and converged_at is None:
                     converged_at = len(step_times)
@@ -399,6 +452,12 @@ class TuningSession:
                         ]
                     )
                 self.tuner.tell(estimates)
+                if tracer is not None:
+                    tracer.emit(
+                        "batch.told",
+                        size=int(len(estimates)),
+                        best=float(np.min(estimates)),
+                    )
                 if self.controller is not None:
                     self.controller.observe_batch(samples)
             if truncated:

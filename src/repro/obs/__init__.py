@@ -1,0 +1,44 @@
+"""Observability for tuning runs: structured traces + aggregate metrics.
+
+``repro.obs`` is the layer the rest of the package reports through:
+
+* :mod:`repro.obs.trace` — typed, timestamped event records with
+  per-worker shard files and a deterministic canonical ordering (golden
+  fixtures strip only wall-clock fields);
+* :mod:`repro.obs.metrics` — counters/gauges/histograms snapshot into
+  ``SweepResult.meta["obs"]``;
+* :mod:`repro.obs.replay` — rebuilds sweep aggregates from a trace (the
+  trace-is-faithful invariant the property tests enforce);
+* :mod:`repro.obs.summary` — the ``repro trace PATH`` digest.
+
+Everything is stdlib + NumPy; with tracing off, instrumentation sites
+reduce to one ``is None`` check.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.replay import replay_sweep
+from repro.obs.summary import summarize_trace
+from repro.obs.trace import (
+    EVENT_KINDS,
+    Tracer,
+    activated,
+    active_tracer,
+    canonical_events,
+    emit,
+    read_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "MetricsRegistry",
+    "Tracer",
+    "activated",
+    "active_tracer",
+    "canonical_events",
+    "emit",
+    "read_trace",
+    "replay_sweep",
+    "summarize_trace",
+    "write_jsonl",
+]

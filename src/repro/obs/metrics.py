@@ -1,0 +1,80 @@
+"""A tiny metrics registry: counters, gauges, histograms.
+
+The sweep runner aggregates what a trace records event-by-event into a
+handful of numbers cheap enough to ship inside ``SweepResult.meta["obs"]``:
+how many trials ran/failed (by kind), how long probes took, how long tasks
+queued, how many bytes the shared-memory broadcast moved, how well the
+database memo performed.  Zero dependencies, JSON-native snapshots.
+
+Histograms keep raw samples (sweeps observe at most a few thousand values)
+and summarize them at snapshot time; quantiles use the same linear
+interpolation as ``np.quantile`` defaults.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["MetricsRegistry"]
+
+#: quantiles reported for every histogram
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class MetricsRegistry:
+    """Counters, gauges, and sample-backed histograms behind one lock.
+
+    The lock is uncontended in practice — the sweep runner records from the
+    parent only, at trial granularity — but makes the registry safe to
+    share with ``collect`` hooks running under a thread executor.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._samples: dict[str, list[float]] = {}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        """Increment counter *name* (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(by)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to its latest value."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to histogram *name*."""
+        with self._lock:
+            self._samples.setdefault(name, []).append(float(value))
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary of everything recorded so far.
+
+        ``{"counters": {...}, "gauges": {...}, "histograms": {name:
+        {count, min, max, mean, p50, p90, p99}}}``, keys sorted so equal
+        recordings serialize identically.
+        """
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            samples = {k: list(v) for k, v in sorted(self._samples.items())}
+        histograms = {}
+        for name, values in samples.items():
+            arr = np.asarray(values, dtype=float)
+            finite = arr[np.isfinite(arr)]
+            summary = {"count": int(arr.size)}
+            if finite.size:
+                summary.update(
+                    min=float(finite.min()),
+                    max=float(finite.max()),
+                    mean=float(finite.mean()),
+                )
+                for q in _QUANTILES:
+                    summary[f"p{int(q * 100)}"] = float(np.quantile(finite, q))
+            histograms[name] = summary
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -1,0 +1,82 @@
+"""Rebuild sweep aggregates from a trace — the trace-is-faithful check.
+
+A merged sweep trace carries one authoritative ``trial.settled`` event per
+task, emitted by the *parent* after every recovery round has run (worker
+events can race an abandoned straggler thread; the parent's verdict
+cannot).  Replaying those events through the same NumPy reductions the
+sweep runner uses must reproduce the :class:`SweepResult` aggregates
+exactly — bit-for-bit, since JSON floats round-trip losslessly and the
+accumulation order (trial-minor within each cell) is identical.
+
+``tests/obs/test_replay_property.py`` holds this invariant under
+hypothesis across every executor, with and without fault injection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["replay_sweep"]
+
+
+def replay_sweep(events: Iterable[dict]) -> dict:
+    """Aggregate a sweep trace's ``trial.settled`` events per cell.
+
+    Returns ``{"cells": {name: {ntt_mean, ntt_std, final_cost_mean,
+    total_time_mean, converged_fraction, trials, failures}}, "best":
+    <best cell by mean NTT>, "n_failed": int}``.  Cells whose every trial
+    failed report NaN aggregates, like the runner.
+    """
+    events = list(events)
+    names: dict[int, str] = {}
+    for event in events:
+        if event.get("kind") == "sweep.start":
+            names = {i: n for i, n in enumerate(event.get("cell_names", []))}
+            break
+    settled: dict[int, list[dict]] = {}
+    for event in events:
+        if event.get("kind") != "trial.settled":
+            continue
+        settled.setdefault(int(event["cell"]), []).append(event)
+    cells: dict[str, dict] = {}
+    n_failed = 0
+    for cell_index in sorted(settled):
+        rows = sorted(settled[cell_index], key=lambda e: int(e["trial"]))
+        ok = [e for e in rows if e.get("status") == "ok"]
+        failed = len(rows) - len(ok)
+        n_failed += failed
+        name = names.get(cell_index, str(cell_index))
+        if ok:
+            ntts = np.array([e["ntt"] for e in ok], dtype=float)
+            finals = np.array([e["final_cost"] for e in ok], dtype=float)
+            totals = np.array([e["total_time"] for e in ok], dtype=float)
+            cells[name] = {
+                "ntt_mean": float(ntts.mean()),
+                "ntt_std": float(ntts.std()),
+                "final_cost_mean": float(np.nanmean(finals)),
+                "total_time_mean": float(totals.mean()),
+                "converged_fraction": sum(bool(e["converged"]) for e in ok)
+                / len(ok),
+                "trials": len(ok),
+                "failures": failed,
+            }
+        else:
+            cells[name] = {
+                "ntt_mean": float("nan"),
+                "ntt_std": float("nan"),
+                "final_cost_mean": float("nan"),
+                "total_time_mean": float("nan"),
+                "converged_fraction": 0.0,
+                "trials": 0,
+                "failures": failed,
+            }
+    best = None
+    if cells:
+        best = min(cells, key=lambda n: _nan_last(cells[n]["ntt_mean"]))
+    return {"cells": cells, "best": best, "n_failed": n_failed}
+
+
+def _nan_last(value: float) -> float:
+    return float("inf") if np.isnan(value) else value

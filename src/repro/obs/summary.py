@@ -1,0 +1,136 @@
+"""Human-readable digest of a JSONL trace (``repro trace PATH``).
+
+Turns the raw event stream back into the questions an operator actually
+asks after a run: where did the time steps go (evaluate vs exploit, per
+PRO phase), which trials were slowest, what failed and when, how noisy
+were the barrier times.  Pure string output built on the monospace
+primitives in :mod:`repro.report.ascii`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.report.ascii import histogram, sparkline
+
+__all__ = ["summarize_trace"]
+
+#: events that belong on the failure timeline, in the order they matter
+_FAILURE_KINDS = (
+    "fault.injected",
+    "fault.fire",
+    "trial.fail",
+    "worker.lost",
+    "retry.dispatch",
+)
+
+
+def _ident(event: dict) -> str:
+    """``cell c trial t attempt a`` for events that carry task identity."""
+    parts = []
+    for key in ("cell", "trial", "attempt"):
+        if key in event:
+            parts.append(f"{key} {event[key]}")
+    return " ".join(parts) if parts else "-"
+
+
+def _payload(event: dict, skip=("seq", "ts", "kind", "src", "cell", "trial", "attempt")) -> str:
+    items = [f"{k}={v}" for k, v in event.items() if k not in skip]
+    return " ".join(items)
+
+
+def summarize_trace(events: Iterable[dict]) -> str:
+    """Render the per-phase/time/failure digest of a trace."""
+    # Imported here, not at module level: the instrumented modules under
+    # repro.experiments import repro.obs, so a module-level import of
+    # experiments._fmt would close an import cycle through the package
+    # __init__.
+    from repro.experiments import _fmt
+
+    events = list(events)
+    if not events:
+        return "empty trace (0 events)"
+    sections: list[str] = [f"trace: {len(events)} events"]
+
+    # -- event counts ---------------------------------------------------------
+    counts = Counter(e.get("kind", "?") for e in events)
+    sections.append(
+        _fmt.format_table(
+            ["event", "count"], [[k, c] for k, c in sorted(counts.items())]
+        )
+    )
+
+    # -- time-step breakdown (model time, from session.step events) -----------
+    steps = [e for e in events if e.get("kind") == "session.step"]
+    if steps:
+        by_kind: dict[str, list[float]] = {}
+        for e in steps:
+            by_kind.setdefault(str(e.get("step_kind", "?")), []).append(
+                float(e.get("t_step", 0.0))
+            )
+        total = sum(sum(v) for v in by_kind.values())
+        rows = [
+            [kind, len(v), sum(v), (sum(v) / total if total else 0.0)]
+            for kind, v in sorted(by_kind.items())
+        ]
+        sections.append("time steps by kind (model Total_Time):")
+        sections.append(
+            _fmt.format_table(["kind", "steps", "time", "share"], rows)
+        )
+
+    # -- PRO phase breakdown --------------------------------------------------
+    pro = Counter(
+        str(e.get("step", "?"))
+        for e in events
+        if e.get("kind") == "pro.step"
+    )
+    checks = [e for e in events if e.get("kind") == "pro.expand_check"]
+    if pro:
+        rows = [[step, c] for step, c in sorted(pro.items())]
+        if checks:
+            passed = sum(bool(e.get("passed")) for e in checks)
+            rows.append(["expand_check passed", f"{passed}/{len(checks)}"])
+        sections.append("PRO steps:")
+        sections.append(_fmt.format_table(["step", "count"], rows))
+
+    # -- slowest trials -------------------------------------------------------
+    settled = [e for e in events if e.get("kind") == "trial.settled"]
+    ok = [e for e in settled if e.get("status") == "ok"]
+    if ok:
+        slow = sorted(ok, key=lambda e: -float(e.get("total_time", 0.0)))[:5]
+        sections.append("slowest trials (by Total_Time):")
+        sections.append(
+            _fmt.format_table(
+                ["cell", "trial", "Total_Time", "NTT", "final cost"],
+                [
+                    [
+                        e.get("cell", "-"),
+                        e.get("trial", "-"),
+                        float(e.get("total_time", float("nan"))),
+                        float(e.get("ntt", float("nan"))),
+                        float(e.get("final_cost", float("nan"))),
+                    ]
+                    for e in slow
+                ],
+            )
+        )
+
+    # -- failure timeline -----------------------------------------------------
+    failures = [e for e in events if e.get("kind") in _FAILURE_KINDS]
+    if failures:
+        sections.append(f"failure timeline ({len(failures)} events):")
+        lines = [
+            f"  {e['kind']:<16s} {_ident(e):<28s} {_payload(e)}".rstrip()
+            for e in failures
+        ]
+        sections.append("\n".join(lines))
+
+    # -- barrier-time distribution -------------------------------------------
+    t_steps = [float(e.get("t_step", 0.0)) for e in steps]
+    if len(t_steps) >= 2:
+        sections.append(f"barrier times |{sparkline(t_steps)}|")
+        sections.append(
+            histogram(t_steps, bins=12, title="per-step barrier time")
+        )
+    return "\n\n".join(sections)

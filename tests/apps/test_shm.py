@@ -1,12 +1,18 @@
 """Shared-memory broadcast round-trips (``repro._shm`` + database export)."""
 
+import gc
+import os
 import pickle
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
 
 import numpy as np
 import pytest
 
 from repro import _shm
 from repro.apps.database import SHM_MIN_ENTRIES, PerformanceDatabase
+from repro.experiments.parallel import ProcessExecutor, SweepTask, TrialFailure
+from repro.experiments.runner import run_sweep
 from repro.space import IntParameter, ParameterSpace
 
 # 10x10 lattice: comfortably above SHM_MIN_ENTRIES even at fraction 0.8.
@@ -55,6 +61,108 @@ class TestShmBroadcast:
                 assert _shm.active_broadcast() is inner
             assert _shm.active_broadcast() is outer
         assert _shm.active_broadcast() is None
+
+
+@dataclass(frozen=True)
+class KillWorkerCell:
+    """Broadcast-eligible factory whose every worker dies before answering.
+
+    Carries a database large enough to trigger the shared-memory export on
+    the worker-startup pickle, then hard-kills the worker on the first
+    trial — the pool breaks with the segments still exported.
+    """
+
+    db: PerformanceDatabase
+
+    def __call__(self, seed: int):
+        os._exit(1)
+
+
+class TestSegmentReleaseOnWorkerDeath:
+    @staticmethod
+    def _spy_broadcast(monkeypatch):
+        created, specs = [], []
+        real = _shm.ShmBroadcast
+
+        class SpyBroadcast(real):
+            def __init__(self):
+                super().__init__()
+                created.append(self)
+
+            def export_array(self, arr):
+                spec = super().export_array(arr)
+                specs.append(spec)
+                return spec
+
+        monkeypatch.setattr(_shm, "ShmBroadcast", SpyBroadcast)
+        return created, specs
+
+    def test_broken_pool_releases_segments_before_generator_exits(
+        self, monkeypatch
+    ):
+        # Regression: map_tasks used to release shared-memory segments only
+        # in its finally clause, i.e. when the generator was exhausted or
+        # garbage-collected.  A consumer that holds the suspended generator
+        # (or an exception traceback pinning it) after the pool breaks kept
+        # the dead workers' segments linked indefinitely.  The broken-pool
+        # path must release them eagerly, before yielding the failures.
+        created, specs = self._spy_broadcast(monkeypatch)
+        cell = KillWorkerCell(make_large_db())
+        tasks = [
+            SweepTask(
+                cell_index=0, cell_name="kill", trial_index=i, seed=i,
+                factory=cell,
+            )
+            for i in range(2)
+        ]
+        gen = ProcessExecutor(2, chunksize=1).map_tasks(tasks)
+        try:
+            _, result = next(gen)
+            assert isinstance(result, TrialFailure)
+            assert result.kind == "worker-lost"
+            # The generator is still suspended mid-iteration, yet the
+            # segments of the broken pool must already be gone.
+            assert len(created) == 1, "broadcast never constructed"
+            assert len(specs) == 2, "database arrays never exported"
+            assert created[0].n_segments == 0
+            for spec in specs:
+                with pytest.raises(FileNotFoundError):
+                    _shm.attach_array(spec)
+        finally:
+            gen.close()
+
+    def test_raising_sweep_leaves_no_segments(self, monkeypatch):
+        # End-to-end: failure_policy="raise" aborts the sweep out of a
+        # broken pool; no segment may survive the raise.
+        created, specs = self._spy_broadcast(monkeypatch)
+        cell = KillWorkerCell(make_large_db())
+        with pytest.raises(BrokenExecutor):
+            run_sweep(
+                [("kill", cell)], trials=2, rng=0,
+                executor=ProcessExecutor(2, chunksize=1),
+                failure_policy="raise",
+            )
+        assert len(specs) == 2
+        assert created[0].n_segments == 0
+        for spec in specs:
+            with pytest.raises(FileNotFoundError):
+                _shm.attach_array(spec)
+
+    def test_finalizer_unlinks_segments_on_gc(self):
+        # Safety net for any other path that drops a broadcast un-closed.
+        broadcast = _shm.ShmBroadcast()
+        spec = broadcast.export_array(np.arange(8.0))
+        del broadcast
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            _shm.attach_array(spec)
+
+    def test_close_is_idempotent(self):
+        broadcast = _shm.ShmBroadcast()
+        broadcast.export_array(np.arange(4.0))
+        broadcast.close()
+        broadcast.close()
+        assert broadcast.n_segments == 0
 
 
 class TestDatabaseBroadcastPickle:

@@ -68,6 +68,45 @@ def golden(request):
 
 
 @pytest.fixture
+def golden_jsonl(request):
+    """Compare an event list against a committed JSONL snapshot.
+
+    Usage: ``golden_jsonl("trace_x.jsonl", canonical_events(events))``.
+    One JSON object per line, so a snapshot diff reads event-by-event.
+    Events must already be canonicalized (volatile fields stripped) —
+    wall-clock residue would make the snapshot flap.
+    """
+    regen = request.config.getoption("--regen-golden")
+
+    def check(name: str, events) -> None:
+        path = GOLDEN_DIR / name
+        payload = [json.loads(json.dumps(e)) for e in events]
+        if regen:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(
+                "".join(json.dumps(e, sort_keys=True) + "\n" for e in payload)
+            )
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden trace {name} is missing; generate it with "
+                f"`pytest --regen-golden` and commit the result"
+            )
+        stored = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert payload == stored, (
+            f"trace diverged from golden snapshot {name}; if the change is "
+            f"intentional, regenerate with `pytest --regen-golden` and review "
+            f"the diff"
+        )
+
+    return check
+
+
+@pytest.fixture
 def faulty_evaluator():
     """Factory for :class:`repro.faults.FaultyEvaluator` substrates.
 

@@ -99,6 +99,51 @@ class TestPairedComparison:
         assert not significantly_less(b, a)
 
 
+class TestEdgeCases:
+    def test_bootstrap_filters_nonfinite_before_size_check(self):
+        # Two raw values but only one finite: must raise, not bootstrap junk.
+        with pytest.raises(ValueError, match="finite"):
+            bootstrap_ci([1.0, np.nan])
+        with pytest.raises(ValueError, match="finite"):
+            bootstrap_ci([1.0, np.inf, np.nan])
+
+    def test_bootstrap_ignores_nonfinite_values(self):
+        clean = bootstrap_ci([1.0, 2.0, 3.0, 4.0], rng=0)
+        dirty = bootstrap_ci([1.0, np.nan, 2.0, 3.0, np.inf, 4.0], rng=0)
+        assert dirty == clean
+
+    def test_bootstrap_deterministic_for_seed(self):
+        data = np.arange(30, dtype=float)
+        assert bootstrap_ci(data, rng=7) == bootstrap_ci(data, rng=7)
+        assert bootstrap_ci(data, rng=7) != bootstrap_ci(data, rng=8)
+
+    def test_bootstrap_accepts_generator_instance(self):
+        lo, hi = bootstrap_ci([1.0, 2.0, 3.0], rng=np.random.default_rng(0))
+        assert lo <= hi
+
+    def test_bootstrap_rejects_zero_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_ci([1.0, 2.0], confidence=0.0)
+
+    def test_paired_drops_pair_when_either_side_nonfinite(self):
+        a = [1.0, np.nan, 3.0, 4.0]
+        b = [2.0, 2.0, np.inf, 5.0]
+        cmp = paired_comparison(a, b, rng=0)
+        assert cmp.n == 2  # only the (1,2) and (4,5) pairs survive
+        assert cmp.mean_diff == pytest.approx(-1.0)
+
+    def test_paired_nan_masking_can_exhaust_sample(self):
+        with pytest.raises(ValueError, match="finite"):
+            paired_comparison([1.0, np.nan, 3.0], [np.nan, 2.0, np.inf])
+
+    def test_identical_vectors_are_a_wash(self):
+        cmp = paired_comparison([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], rng=0)
+        assert cmp.mean_diff == 0.0
+        assert cmp.win_rate == 0.0
+        assert cmp.p_sign == 1.0  # all ties: the sign test has no evidence
+        assert not cmp.a_significantly_less
+
+
 class TestOnRealSweep:
     def test_estimator_effect_is_significant(self):
         """Min vs mean under heavy tails: the §5.1 effect passes a real

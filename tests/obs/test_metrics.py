@@ -1,0 +1,86 @@
+"""Unit tests for the MetricsRegistry snapshot contract."""
+
+import json
+import math
+import threading
+
+import numpy as np
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_creates_and_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("trials_ok")
+        reg.inc("trials_ok", by=2)
+        assert reg.snapshot()["counters"] == {"trials_ok": 3}
+
+    def test_gauge_keeps_latest_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("db_cache_hit_rate", 0.25)
+        reg.gauge("db_cache_hit_rate", 0.75)
+        assert reg.snapshot()["gauges"] == {"db_cache_hit_rate": 0.75}
+
+
+class TestHistograms:
+    def test_summary_fields(self):
+        reg = MetricsRegistry()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            reg.observe("trial_latency_s", v)
+        hist = reg.snapshot()["histograms"]["trial_latency_s"]
+        assert hist["count"] == 4
+        assert hist["min"] == 1.0 and hist["max"] == 4.0
+        assert hist["mean"] == 2.5
+        assert hist["p50"] == float(np.quantile([1.0, 2.0, 3.0, 4.0], 0.5))
+        assert set(hist) == {"count", "min", "max", "mean", "p50", "p90", "p99"}
+
+    def test_nan_samples_counted_but_excluded_from_stats(self):
+        reg = MetricsRegistry()
+        reg.observe("x", float("nan"))
+        reg.observe("x", 2.0)
+        hist = reg.snapshot()["histograms"]["x"]
+        assert hist["count"] == 2
+        assert hist["mean"] == 2.0
+
+    def test_all_nan_histogram_reports_count_only(self):
+        reg = MetricsRegistry()
+        reg.observe("x", float("nan"))
+        assert reg.snapshot()["histograms"]["x"] == {"count": 1}
+
+
+class TestSnapshot:
+    def test_empty_registry(self):
+        assert MetricsRegistry().snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_snapshot_is_json_safe_and_key_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped == snap
+        assert not any(
+            isinstance(v, float) and math.isnan(v)
+            for v in snap["counters"].values()
+        )
+
+    def test_concurrent_increments_do_not_drop(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(200):
+                reg.inc("n")
+                reg.observe("v", 1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap["counters"]["n"] == 800
+        assert snap["histograms"]["v"]["count"] == 800

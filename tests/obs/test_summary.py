@@ -1,0 +1,80 @@
+"""Unit tests for the trace digest renderer."""
+
+from repro.obs import summarize_trace
+
+
+def _settled(cell, trial, total_time, ntt=1.0, status="ok"):
+    event = {
+        "kind": "trial.settled", "src": "sweep", "cell": cell, "trial": trial,
+        "attempt": 0, "seed": 1, "status": status,
+    }
+    if status == "ok":
+        event.update(
+            ntt=ntt, final_cost=2.0, total_time=total_time, converged=True
+        )
+    else:
+        event.update(fail_kind="error", error_type="RuntimeError")
+    return event
+
+
+class TestSummarizeTrace:
+    def test_empty_trace(self):
+        assert summarize_trace([]) == "empty trace (0 events)"
+
+    def test_event_count_table(self):
+        out = summarize_trace(
+            [{"kind": "sweep.start"}, {"kind": "sweep.end"}]
+        )
+        assert "trace: 2 events" in out
+        assert "sweep.start" in out and "sweep.end" in out
+
+    def test_step_breakdown_shares_sum_to_one(self):
+        steps = [
+            {"kind": "session.step", "step_kind": "evaluate", "t_step": 3.0},
+            {"kind": "session.step", "step_kind": "exploit", "t_step": 1.0},
+        ]
+        out = summarize_trace(steps)
+        assert "time steps by kind" in out
+        assert "evaluate" in out and "exploit" in out
+        assert "0.75" in out and "0.25" in out
+
+    def test_pro_section_reports_expand_check_ratio(self):
+        events = [
+            {"kind": "pro.step", "step": "reflect"},
+            {"kind": "pro.step", "step": "shrink"},
+            {"kind": "pro.expand_check", "passed": True},
+            {"kind": "pro.expand_check", "passed": False},
+        ]
+        out = summarize_trace(events)
+        assert "PRO steps" in out
+        assert "expand_check passed" in out and "1/2" in out
+
+    def test_slowest_trials_sorted_and_capped_at_five(self):
+        events = [_settled(0, i, total_time=float(i)) for i in range(8)]
+        out = summarize_trace(events)
+        lines = out[out.index("slowest trials"):].splitlines()
+        body = [ln for ln in lines if ln and ln.lstrip()[0].isdigit()]
+        assert len(body) == 5
+        assert body[0].split()[1] == "7"  # trial with the largest Total_Time
+
+    def test_failure_timeline_lists_fault_and_fail(self):
+        events = [
+            {"kind": "fault.injected", "cell": 0, "trial": 3, "attempt": 0,
+             "fault": "crash", "src": "worker"},
+            {"kind": "trial.fail", "cell": 0, "trial": 3, "attempt": 0,
+             "fail_kind": "error", "error_type": "InjectedFault",
+             "src": "worker"},
+        ]
+        out = summarize_trace(events)
+        assert "failure timeline (2 events)" in out
+        assert "fault=crash" in out
+        assert "cell 0 trial 3 attempt 0" in out
+
+    def test_failed_trials_do_not_break_slowest_table(self):
+        events = [_settled(0, 0, 5.0), _settled(0, 1, 0.0, status="failed")]
+        out = summarize_trace(events)
+        assert "slowest trials" in out
+
+    def test_no_steps_no_sparkline(self):
+        out = summarize_trace([{"kind": "sweep.start"}])
+        assert "barrier times" not in out

@@ -1,0 +1,196 @@
+"""Unit tests for the Tracer: buffers, scopes, shards, canonical order."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import EVENT_KINDS, Tracer, activated, canonical_events, emit
+from repro.obs.trace import (
+    VOLATILE_FIELDS,
+    _forget_worker_tracer,
+    active_tracer,
+    read_shards,
+    read_trace,
+    worker_tracer,
+    write_jsonl,
+)
+
+
+class TestEmit:
+    def test_events_carry_seq_ts_kind_src(self):
+        tracer = Tracer(label="sweep")
+        tracer.emit("sweep.start", n_cells=2)
+        (event,) = tracer.drain()
+        assert event["kind"] == "sweep.start"
+        assert event["src"] == "sweep"
+        assert event["n_cells"] == 2
+        assert event["seq"] == 0
+        assert isinstance(event["ts"], float)
+
+    def test_seq_is_monotonic_across_threads(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def spam():
+            barrier.wait()
+            for _ in range(50):
+                tracer.emit("session.step")
+
+        threads = [threading.Thread(target=spam) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [e["seq"] for e in tracer.drain()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 200
+
+    def test_scope_attaches_identity_fields(self):
+        tracer = Tracer(label="worker")
+        with tracer.scope(cell=1, trial=3, attempt=0, src="worker"):
+            tracer.emit("trial.start", seed=42)
+        tracer.emit("sweep.end")
+        start, end = tracer.drain()
+        assert (start["cell"], start["trial"], start["attempt"]) == (1, 3, 0)
+        assert start["src"] == "worker"
+        assert "cell" not in end
+
+    def test_nested_scopes_merge_inner_wins(self):
+        tracer = Tracer()
+        with tracer.scope(cell=0, trial=1):
+            with tracer.scope(trial=9, attempt=2):
+                tracer.emit("trial.start")
+            tracer.emit("trial.end")
+        inner, outer = tracer.drain()
+        assert (inner["cell"], inner["trial"], inner["attempt"]) == (0, 9, 2)
+        assert outer["trial"] == 1
+        assert "attempt" not in outer
+
+    def test_explicit_kwargs_override_scope(self):
+        tracer = Tracer()
+        with tracer.scope(cell=0, trial=1, attempt=0):
+            tracer.emit("worker.lost", cell=5)
+        (event,) = tracer.drain()
+        assert event["cell"] == 5
+
+    def test_emitted_kinds_stay_in_vocabulary(self):
+        # The summary/replay layers dispatch on kind; a typo'd kind would
+        # silently fall through every section.
+        assert "trial.settled" in EVENT_KINDS
+        assert "ts" in VOLATILE_FIELDS
+
+
+class TestModuleEmit:
+    def test_emit_is_noop_without_active_tracer(self):
+        emit("fault.fire", mode="nan")  # must not raise
+        assert active_tracer() is None
+
+    def test_activated_routes_module_emit(self):
+        tracer = Tracer(label="session")
+        with activated(tracer):
+            assert active_tracer() is tracer
+            emit("db.materialize", n_entries=7)
+        assert active_tracer() is None
+        (event,) = tracer.drain()
+        assert event["kind"] == "db.materialize"
+        assert event["n_entries"] == 7
+
+    def test_activation_is_thread_local(self):
+        tracer = Tracer()
+        seen = []
+
+        def other():
+            seen.append(active_tracer())
+
+        with activated(tracer):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert seen == [None]
+
+
+class TestShards:
+    def test_flush_writes_shard_and_clears_buffer(self, tmp_path):
+        tracer = Tracer(label="worker", shard_dir=tmp_path)
+        with tracer.scope(cell=0, trial=0, attempt=0, src="worker"):
+            tracer.emit("trial.start", seed=1)
+        tracer.flush()
+        assert tracer.drain() == []
+        events = read_shards(tmp_path)
+        assert [e["kind"] for e in events] == ["trial.start"]
+
+    def test_flush_without_shard_dir_is_noop(self):
+        tracer = Tracer()
+        tracer.emit("session.step")
+        tracer.flush()
+        assert len(tracer.drain()) == 1
+
+    def test_worker_tracer_cached_per_shard_dir(self, tmp_path):
+        spec = {"dir": str(tmp_path)}
+        try:
+            assert worker_tracer(spec) is worker_tracer(spec)
+        finally:
+            _forget_worker_tracer(spec)
+
+    def test_roundtrip_write_read(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = [{"seq": 0, "kind": "sweep.start"}, {"seq": 1, "kind": "sweep.end"}]
+        write_jsonl(events, path)
+        assert read_trace(path) == events
+
+    def test_read_trace_tolerates_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "sweep.start"}\n\n\n{"kind": "sweep.end"}\n')
+        assert [e["kind"] for e in read_trace(path)] == ["sweep.start", "sweep.end"]
+
+
+class TestCanonicalEvents:
+    def test_strip_removes_seq_and_volatile_fields(self):
+        events = [{"seq": 3, "ts": 1.5, "dur_s": 0.1, "wait_s": 0.2, "kind": "trial.end"}]
+        (out,) = canonical_events(events)
+        assert out == {"kind": "trial.end"}
+
+    def test_header_events_precede_task_groups(self):
+        events = [
+            {"seq": 5, "kind": "trial.start", "cell": 0, "trial": 0, "src": "worker"},
+            {"seq": 0, "kind": "sweep.start"},
+            {"seq": 9, "kind": "sweep.end"},
+        ]
+        out = canonical_events(events, strip=False)
+        assert [e["kind"] for e in out] == ["sweep.start", "sweep.end", "trial.start"]
+
+    def test_groups_sort_cell_major_trial_minor(self):
+        def ev(seq, cell, trial):
+            return {"seq": seq, "kind": "trial.start", "cell": cell,
+                    "trial": trial, "src": "worker"}
+
+        out = canonical_events(
+            [ev(0, 1, 1), ev(1, 0, 1), ev(2, 1, 0), ev(3, 0, 0)], strip=False
+        )
+        assert [(e["cell"], e["trial"]) for e in out] == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]
+
+    def test_within_group_dispatch_worker_verdict_order(self):
+        group = {"cell": 0, "trial": 0, "attempt": 1}
+        events = [
+            {"seq": 7, "kind": "trial.settled", "src": "sweep", **group},
+            {"seq": 5, "kind": "trial.start", "src": "worker", **group},
+            {"seq": 3, "kind": "retry.dispatch", "src": "sweep", **group},
+        ]
+        out = canonical_events(events, strip=False)
+        assert [e["kind"] for e in out] == [
+            "retry.dispatch", "trial.start", "trial.settled"
+        ]
+
+    def test_canonical_trace_is_json_stable(self):
+        # Same events shuffled differently canonicalize to one byte string.
+        events = [
+            {"seq": i, "kind": "session.step", "cell": i % 2, "trial": 0,
+             "src": "worker", "ts": float(i)}
+            for i in range(6)
+        ]
+        a = json.dumps(canonical_events(events))
+        b = json.dumps(canonical_events(list(reversed(events))))
+        assert a == b

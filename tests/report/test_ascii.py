@@ -32,6 +32,18 @@ class TestSparkline:
         with pytest.raises(ValueError):
             sparkline([])
 
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="all-NaN"):
+            sparkline([np.nan, np.nan])
+
+    def test_nan_values_dropped(self):
+        s = sparkline([1.0, np.nan, 2.0, np.nan, 3.0])
+        assert len(s) == 3
+        assert s[0] == " " and s[-1] == "@"
+
+    def test_single_sample(self):
+        assert len(sparkline([5.0])) == 1
+
 
 class TestLinePlot:
     def test_contains_markers_and_legend(self):
@@ -55,6 +67,12 @@ class TestLinePlot:
     def test_mismatched_xy_rejected(self):
         with pytest.raises(ValueError):
             line_plot({"s": ([1, 2], [1, 2, 3])})
+
+    def test_nonfinite_series_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            line_plot({"s": (None, [1.0, np.nan])})
+        with pytest.raises(ValueError, match="finite"):
+            line_plot({"s": ([0.0, np.inf], [1.0, 2.0])})
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
@@ -98,6 +116,20 @@ class TestHistogram:
     def test_bad_geometry_rejected(self):
         with pytest.raises(ValueError):
             histogram([1, 2], bins=0)
+        with pytest.raises(ValueError):
+            histogram([1, 2], width=4)
+
+    def test_nonfinite_samples_dropped(self):
+        out = histogram([1.0, np.nan, 1.0, np.inf, 5.0], bins=2, width=10)
+        assert "| 2" in out and "| 1" in out
+
+    def test_all_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([np.nan, np.inf])
+
+    def test_single_sample_constant_bin(self):
+        out = histogram([3.0], bins=4, width=10)
+        assert "| 1" in out
 
 
 class TestHeatmap:
@@ -130,3 +162,12 @@ class TestHeatmap:
     def test_constant_matrix(self):
         out = heatmap(np.ones((2, 3)))
         assert out.count("|") == 4
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap(np.empty((0, 0)))
+
+    def test_single_cell(self):
+        out = heatmap(np.array([[7.0]]))
+        assert out.splitlines()[0].startswith("scale:")
+        assert len(out.splitlines()) == 2

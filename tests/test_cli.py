@@ -101,6 +101,48 @@ class TestTrace:
         assert "truncated at 5 x median" in out
 
 
+class TestObsTrace:
+    def test_tune_single_trial_writes_trace(self, tmp_path, capsys):
+        target = tmp_path / "run.jsonl"
+        code = main(["tune", "--budget", "40", "--rho", "0",
+                     "--trace", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"wrote {target}" in out
+        events = [json.loads(l) for l in target.read_text().splitlines()]
+        kinds = {e["kind"] for e in events}
+        assert "session.start" in kinds and "session.end" in kinds
+        assert sum(e["kind"] == "session.step" for e in events) == 40
+
+    def test_tune_sweep_writes_trace(self, tmp_path, capsys):
+        target = tmp_path / "sweep.jsonl"
+        code = main(["tune", "--budget", "40", "--trials", "2",
+                     "--trace", str(target)])
+        capsys.readouterr()
+        assert code == 0
+        events = [json.loads(l) for l in target.read_text().splitlines()]
+        kinds = {e["kind"] for e in events}
+        assert {"sweep.start", "sweep.end", "trial.settled"} <= kinds
+        settled = [e for e in events if e["kind"] == "trial.settled"]
+        assert len(settled) == 2
+
+    def test_trace_path_summarizes(self, tmp_path, capsys):
+        target = tmp_path / "run.jsonl"
+        assert main(["tune", "--budget", "40", "--trials", "2",
+                     "--trace", str(target)]) == 0
+        capsys.readouterr()
+        code = main(["trace", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out and "events" in out
+        assert "trial.settled" in out
+
+    def test_trace_summary_missing_file_fails(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "no such trace" in capsys.readouterr().err
+
+
 class TestSurface:
     def test_surface_heatmap(self, capsys):
         code = main(["surface"])

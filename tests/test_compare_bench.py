@@ -6,13 +6,14 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
 
-from compare_bench import GUARDED, compare, main  # noqa: E402
+from compare_bench import CEILINGS, GUARDED, compare, main  # noqa: E402
 
 
-def payload(sweep=3.0, cluster=2.5):
+def payload(sweep=3.0, cluster=2.5, obs=0.01):
     return {
         "sweep": {"speedup": sweep},
         "cluster_step": {"speedup": cluster},
+        "obs": {"overhead_frac": obs},
     }
 
 
@@ -36,6 +37,28 @@ class TestCompare:
 
     def test_every_guarded_metric_is_a_ratio(self):
         assert all(key == "speedup" for _, key in GUARDED)
+
+
+class TestCeilings:
+    def test_tracing_overhead_has_a_hard_ceiling(self):
+        assert ("obs", "overhead_frac", 0.02) in CEILINGS
+
+    def test_under_ceiling_passes(self):
+        assert compare(payload(), payload(obs=0.019), tolerance=0.2) == []
+
+    def test_over_ceiling_fails_regardless_of_baseline(self):
+        # A worse baseline does not excuse busting the absolute ceiling.
+        failures = compare(payload(obs=0.05), payload(obs=0.03), tolerance=0.2)
+        assert any("obs.overhead_frac" in f and "ceiling" in f for f in failures)
+
+    def test_ceiling_metric_new_in_this_run_passes(self):
+        baseline = {"sweep": {"speedup": 3.0}, "cluster_step": {"speedup": 2.5}}
+        assert compare(baseline, payload(), tolerance=0.2) == []
+
+    def test_ceiling_metric_dropped_from_current_fails(self):
+        current = {"sweep": {"speedup": 3.0}, "cluster_step": {"speedup": 2.5}}
+        failures = compare(payload(), current, tolerance=0.2)
+        assert any("obs.overhead_frac" in f and "missing" in f for f in failures)
 
 
 class TestMain:

@@ -18,6 +18,7 @@ from repro.core.sampling import SamplingPlan
 from repro.experiments.runner import run_sweep
 from repro.faults import FaultPlan
 from repro.harmony.session import TuningSession
+from repro.obs import Tracer, canonical_events, read_trace
 from repro.variability import ParetoNoise
 
 from tests.experiments.test_parallel import SPACE, QuadCell, quad_objective
@@ -70,3 +71,37 @@ def test_faulted_skip_sweep_snapshot(golden):
     )
     _assert_nan_free(data)
     golden("sweep_faulted_skip.json", data)
+
+
+# -- trace snapshots (observability layer) ----------------------------------------
+#
+# Canonicalized traces carry only model-deterministic payloads (seeds, step
+# kinds, model times, costs), so a seeded run reproduces them byte-for-byte;
+# a diff here means the *sequence of decisions* changed, not just a metric.
+
+
+def test_session_trace_snapshot(golden_jsonl):
+    tracer = Tracer(label="session")
+    TuningSession(
+        ParallelRankOrdering(SPACE),
+        quad_objective,
+        noise=ParetoNoise(rho=0.2),
+        budget=30,
+        plan=SamplingPlan(2),
+        rng=2005,
+        tracer=tracer,
+    ).run()
+    golden_jsonl(
+        "trace_session_quad.jsonl", canonical_events(tracer.drain())
+    )
+
+
+def test_faulted_sweep_trace_snapshot(golden_jsonl, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    run_sweep(
+        CELLS, trials=4, rng=7, faults=FaultPlan(seed=3, crash=0.25),
+        failure_policy="skip", trace=path,
+    )
+    golden_jsonl(
+        "trace_sweep_faulted_skip.jsonl", canonical_events(read_trace(path))
+    )
