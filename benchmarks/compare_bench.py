@@ -27,6 +27,7 @@ from pathlib import Path
 GUARDED = (
     ("sweep", "speedup"),
     ("cluster_step", "speedup"),
+    ("server", "speedup"),
 )
 
 #: (section, key, ceiling) fractions guarded against an absolute ceiling —

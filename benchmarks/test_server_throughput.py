@@ -1,0 +1,182 @@
+"""Serving-path throughput: threaded vs async transport, single vs batched.
+
+Measures the tuning service's measurement-ingest path — the `fetch`/`report`
+loop every online-tuning client hammers — across the serving matrix:
+
+* transport: thread-per-connection (`TcpServerTransport`) vs asyncio event
+  loop (`AsyncTcpServerTransport`);
+* framing: one message per round trip vs batch frames
+  (``fetch_many``/``report_many``);
+* concurrency: 1 / 8 / 32 clients.
+
+Each arm records requests/sec and client-observed round-trip p50/p99 into
+the ``server`` section of ``BENCH_runner.json``.  The headline ratio — the
+32-client batched-async arm over the 32-client unbatched-threaded arm (the
+seed's only serving mode) — is asserted > 1 and guarded against regression
+by ``compare_bench.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import MinEstimator, SamplingPlan
+from repro.harmony.aio import AsyncTcpServerTransport
+from repro.harmony.client import TuningClient
+from repro.harmony.server import TuningServer
+from repro.harmony.transport import TcpClientTransport, TcpServerTransport
+from repro.space import IntParameter, ParameterSpace
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+#: configurations fetched per batch frame in the batched arms
+BATCH_WIDTH = 16
+
+CLIENT_COUNTS = (1, 8, 32)
+
+TRANSPORTS = {
+    "threaded": TcpServerTransport,
+    "async": AsyncTcpServerTransport,
+}
+
+
+def _update_bench_json(section: str, payload: dict) -> None:
+    """Read-modify-write one section so the smoke tests compose in any order."""
+    data = {}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text())
+    data["schema"] = 1
+    data["cpu_count"] = os.cpu_count()
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"\n[bench_smoke] {section} -> {BENCH_JSON}")
+
+
+def make_space() -> ParameterSpace:
+    return ParameterSpace(
+        [IntParameter("a", -10, 10), IntParameter("b", -10, 10)]
+    )
+
+
+def objective(point) -> float:
+    a, b = point
+    return 1.0 + (a - 3) ** 2 + (b + 2) ** 2
+
+
+def make_server() -> TuningServer:
+    return TuningServer(
+        lambda s: ParallelRankOrdering(s), plan=SamplingPlan(1, MinEstimator())
+    )
+
+
+def _run_arm(transport_name: str, batched: bool, n_clients: int,
+             total_steps: int) -> dict:
+    """One serving arm; returns {rps, p50_ms, p99_ms, msgs, clients}."""
+    steps = max(BATCH_WIDTH if batched else 4, total_steps // n_clients)
+    if batched:
+        rounds = max(1, steps // BATCH_WIDTH)
+        steps = rounds * BATCH_WIDTH
+    server = make_server()
+    barrier = threading.Barrier(n_clients + 1)
+    latencies: list[list[float]] = [[] for _ in range(n_clients)]
+    msgs_sent = [0] * n_clients
+    errors: list[Exception] = []
+
+    def worker(idx: int) -> None:
+        try:
+            with TcpClientTransport("127.0.0.1", tcp.port, timeout=30) as t:
+                client = TuningClient(t)
+                client.register(make_space())
+                barrier.wait(timeout=30)
+                lat = latencies[idx]
+                if batched:
+                    for step in range(rounds):
+                        t0 = time.perf_counter()
+                        configs = client.fetch_many(BATCH_WIDTH)
+                        lat.append(time.perf_counter() - t0)
+                        times = [objective(c) for c in configs]
+                        t0 = time.perf_counter()
+                        client.report_many(times, step=step)
+                        lat.append(time.perf_counter() - t0)
+                        msgs_sent[idx] += 2 * BATCH_WIDTH
+                else:
+                    for step in range(steps):
+                        t0 = time.perf_counter()
+                        config = client.fetch()
+                        lat.append(time.perf_counter() - t0)
+                        elapsed = objective(config)
+                        t0 = time.perf_counter()
+                        client.report(elapsed, step=step)
+                        lat.append(time.perf_counter() - t0)
+                        msgs_sent[idx] += 2
+        except Exception as exc:  # pragma: no cover - surfaced by assert
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    with TRANSPORTS[transport_name](server, port=0) as tcp:
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait(timeout=30)  # all clients connected and registered
+        t_start = time.perf_counter()
+        for t in threads:
+            t.join(timeout=120)
+        wall = time.perf_counter() - t_start
+    assert not errors, f"client errors in {transport_name} arm: {errors[:3]}"
+    total_msgs = sum(msgs_sent)
+    assert server.n_reports == total_msgs // 2, "lost reports under load"
+    rtts = np.asarray([v for lat in latencies for v in lat], dtype=float)
+    return {
+        "clients": n_clients,
+        "msgs": total_msgs,
+        "rps": round(total_msgs / wall, 1),
+        "p50_ms": round(float(np.quantile(rtts, 0.5)) * 1e3, 3),
+        "p99_ms": round(float(np.quantile(rtts, 0.99)) * 1e3, 3),
+    }
+
+
+@pytest.mark.bench_smoke
+def test_smoke_server_throughput(scale):
+    """The serving matrix; headline = batched-async over unbatched-threaded."""
+    total_steps = 1536 if scale == "full" else 512
+    arms: dict[str, dict] = {}
+    for transport_name in TRANSPORTS:
+        for batched in (False, True):
+            mode = "batched" if batched else "single"
+            per_clients = {}
+            for n_clients in CLIENT_COUNTS:
+                per_clients[str(n_clients)] = _run_arm(
+                    transport_name, batched, n_clients, total_steps
+                )
+            arms[f"{transport_name}_{mode}"] = per_clients
+
+    baseline = arms["threaded_single"]["32"]["rps"]
+    contender = arms["async_batched"]["32"]["rps"]
+    speedup = contender / baseline
+    assert speedup > 1.0, (
+        "the async+batched serving path must beat thread-per-connection "
+        f"unbatched at 32 clients, got {speedup:.2f}x "
+        f"({baseline:.0f} -> {contender:.0f} req/s)"
+    )
+    _update_bench_json(
+        "server",
+        {
+            "batch_width": BATCH_WIDTH,
+            "total_steps": total_steps,
+            "speedup": round(speedup, 3),
+            **arms,
+        },
+    )

@@ -9,6 +9,11 @@ With 4 clients and K=2, the server collects the two samples per candidate
 *in parallel* across clients — the paper's free multi-sampling on parallel
 machines (§5.2).
 
+The server side runs on the asyncio transport (one event loop, a
+coroutine per connection), and each client spends the second half of its
+budget on batch frames — `fetch_many`/`report_many` move a whole wave of
+configurations per round trip instead of one.
+
 Run:  python examples/harmony_client_server.py
 """
 
@@ -18,10 +23,12 @@ import numpy as np
 
 import repro
 from repro.core.sampling import MinEstimator, SamplingPlan
-from repro.harmony.transport import TcpClientTransport, TcpServerTransport
+from repro.harmony.aio import AsyncTcpServerTransport
+from repro.harmony.transport import TcpClientTransport
 
 N_CLIENTS = 4
 N_STEPS = 150
+BATCH = 5  # configurations per batch frame in the batched phase
 
 
 def make_space() -> repro.ParameterSpace:
@@ -45,11 +52,18 @@ def run_client(client_id: int, port: int, noise: repro.ParetoNoise, seed: int):
     with TcpClientTransport("127.0.0.1", port) as transport:
         client = repro.TuningClient(transport)
         client.register(make_space())
-        for step in range(N_STEPS):
+        half = N_STEPS // 2
+        for step in range(half):
             config = client.fetch()
             # "Run" one application time step: noise-free cost + queue noise.
             elapsed = noise.observe(true_cost(config), rng)
             client.report(elapsed, step=step)
+        # Batched phase: one round trip moves BATCH configs and BATCH times.
+        for step in range(half, N_STEPS, BATCH):
+            configs = client.fetch_many(BATCH)
+            client.report_many(
+                [noise.observe(true_cost(c), rng) for c in configs], step=step
+            )
 
 
 def main() -> None:
@@ -61,7 +75,7 @@ def main() -> None:
     noise = repro.ParetoNoise(rho=0.2)
 
     print(f"=== tuning service over TCP: {N_CLIENTS} clients x {N_STEPS} steps ===")
-    with TcpServerTransport(server, port=0) as tcp:
+    with AsyncTcpServerTransport(server, port=0) as tcp:
         print(f"server listening on 127.0.0.1:{tcp.port}")
         threads = [
             threading.Thread(target=run_client, args=(c, tcp.port, noise, 10 + c))

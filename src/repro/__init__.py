@@ -78,10 +78,15 @@ from repro.faults import (
     InjectedFault,
 )
 from repro.harmony import (
+    AsyncTcpServerTransport,
     ClusterEvaluator,
     DatabaseEvaluator,
     FunctionEvaluator,
+    InProcessTransport,
+    PipelinedTcpClientTransport,
     SessionResult,
+    TcpClientTransport,
+    TcpServerTransport,
     TuningClient,
     TuningServer,
     TuningSession,
@@ -155,6 +160,11 @@ __all__ = [
     "ClusterEvaluator",
     "TuningServer",
     "TuningClient",
+    "InProcessTransport",
+    "TcpServerTransport",
+    "TcpClientTransport",
+    "PipelinedTcpClientTransport",
+    "AsyncTcpServerTransport",
     # apps
     "GS2Surrogate",
     "StencilSurrogate",

@@ -1,10 +1,11 @@
-"""Command-line interface: tune, trace, surface, figures.
+"""Command-line interface: tune, serve, trace, surface, figures.
 
 Examples::
 
     python -m repro tune --tuner pro --rho 0.25 --k 3 --budget 300
     python -m repro tune --trials 10 --json results.json
     python -m repro tune --trials 10 --trace run.jsonl
+    python -m repro serve --port 7077 --k 3 --estimator min
     python -m repro trace run.jsonl
     python -m repro trace --nodes 16 --iterations 400
     python -m repro surface --fixed nodes=32
@@ -108,6 +109,38 @@ def build_parser() -> argparse.ArgumentParser:
         "the run (serial/thread executors only: process workers query "
         "their own database copies)",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="host the online tuning service on a TCP socket",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7077,
+                         help="TCP port (0 = let the OS pick a free one)")
+    p_serve.add_argument("--transport", choices=["async", "threaded"],
+                         default="async",
+                         help="asyncio event loop (default) or one thread "
+                         "per connection")
+    p_serve.add_argument("--tuner", choices=TUNER_NAMES, default="pro")
+    p_serve.add_argument("--k", type=int, default=1,
+                         help="samples per candidate (multi-sampling)")
+    p_serve.add_argument("--estimator", choices=sorted(_ESTIMATORS),
+                         default="min")
+    p_serve.add_argument("--workload", choices=["none", "gs2", "stencil"],
+                         default="none",
+                         help="preset the parameter space from a built-in "
+                         "workload so clients can register bare")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--duration", type=float, default=None,
+                         metavar="SECONDS",
+                         help="serve this long, then drain and exit "
+                         "(default: until Ctrl-C)")
+    p_serve.add_argument("--port-file", type=Path, default=None,
+                         help="write the bound port here once listening "
+                         "(lets scripts wait for readiness)")
+    p_serve.add_argument("--trace", type=Path, default=None,
+                         help="record server.request/server.batch events "
+                         "to a JSONL trace on shutdown")
 
     p_trace = sub.add_parser(
         "trace",
@@ -294,6 +327,70 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.harmony.aio import AsyncTcpServerTransport
+    from repro.harmony.server import TuningServer
+    from repro.harmony.transport import TcpServerTransport
+    from repro.obs import MetricsRegistry
+    from repro.obs import trace as obs_trace
+
+    space = None
+    if args.workload == "gs2":
+        space = GS2Surrogate().space()
+    elif args.workload == "stencil":
+        from repro.apps.stencil import StencilSurrogate
+
+        space = StencilSurrogate().space()
+    plan = SamplingPlan(args.k, _ESTIMATORS[args.estimator]())
+    metrics = MetricsRegistry(max_samples=4096)
+    tracer = obs_trace.Tracer(label="server") if args.trace else None
+    server = TuningServer(
+        tuner_factory(args.tuner, rng=args.seed),
+        space=space, plan=plan, metrics=metrics, tracer=tracer,
+    )
+    transport_cls = (
+        AsyncTcpServerTransport if args.transport == "async"
+        else TcpServerTransport
+    )
+    with transport_cls(server, host=args.host, port=args.port) as transport:
+        print(f"tuning service ({args.transport}) listening on "
+              f"{args.host}:{transport.port}")
+        print(f"tuner {args.tuner}, K={args.k} ({args.estimator}), "
+              f"workload preset: {args.workload}")
+        if args.port_file is not None:
+            args.port_file.write_text(f"{transport.port}\n")
+        deadline = (
+            _time.monotonic() + args.duration
+            if args.duration is not None else None
+        )
+        try:
+            while deadline is None or _time.monotonic() < deadline:
+                _time.sleep(
+                    0.1 if deadline is None
+                    else min(0.1, max(0.0, deadline - _time.monotonic()))
+                )
+        except KeyboardInterrupt:
+            print("\ndraining...")
+    snapshot = metrics.snapshot()
+    counters = snapshot["counters"]
+    print(f"requests handled  : {counters.get('server.requests', 0)} "
+          f"({counters.get('server.errors', 0)} errors)")
+    print(f"batch frames      : {counters.get('server.batch_frames', 0)} "
+          f"({counters.get('server.batch_msgs', 0)} messages)")
+    print(f"sessions          : {', '.join(server.session_names())}")
+    handle = snapshot["histograms"].get("server.handle_s")
+    if handle and "p50" in handle:
+        print(f"handle latency    : p50 {handle['p50'] * 1e6:.0f} us, "
+              f"p99 {handle['p99'] * 1e6:.0f} us")
+    if tracer is not None:
+        events = obs_trace.canonical_events(tracer.drain(), strip=False)
+        obs_trace.write_jsonl(events, args.trace)
+        print(f"wrote {args.trace} ({len(events)} events)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.path is not None:
         from repro.obs import read_trace, summarize_trace
@@ -419,6 +516,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "tune": _cmd_tune,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
         "surface": _cmd_surface,
         "figures": _cmd_figures,

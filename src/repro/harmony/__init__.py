@@ -13,9 +13,11 @@ wall-clock time of the whole run (Eqs. 1–2), not the final configuration.
   processors, charges one time step per wave, takes K samples per point and
   reduces them with the chosen estimator;
 * :mod:`repro.harmony.server` / :mod:`repro.harmony.client` /
-  :mod:`repro.harmony.transport` — a client/server tuning service in the
-  Active Harmony mould (register tunables, fetch assignments, report
-  measurements), over in-process or TCP transports.
+  :mod:`repro.harmony.transport` / :mod:`repro.harmony.aio` — a
+  client/server tuning service in the Active Harmony mould (register
+  tunables, fetch assignments, report measurements) hosting many named
+  sessions, over in-process, threaded-TCP, pipelined, or asyncio
+  transports (:mod:`repro.harmony.protocol` owns the shared wire format).
 """
 
 from repro.harmony.evaluator import (
@@ -26,9 +28,16 @@ from repro.harmony.evaluator import (
 )
 from repro.harmony.metrics import SessionResult, StepKind
 from repro.harmony.session import TuningSession
-from repro.harmony.server import TuningServer
+from repro.harmony.server import ServerSession, TuningServer
 from repro.harmony.client import TuningClient
-from repro.harmony.transport import InProcessTransport, TcpServerTransport, TcpClientTransport
+from repro.harmony.protocol import MAX_LINE_BYTES, PROTOCOL_VERSION
+from repro.harmony.transport import (
+    InProcessTransport,
+    PipelinedTcpClientTransport,
+    TcpClientTransport,
+    TcpServerTransport,
+)
+from repro.harmony.aio import AsyncTcpServerTransport
 from repro.harmony.warmstart import warm_start_points, warm_started_pro
 
 __all__ = [
@@ -40,10 +49,15 @@ __all__ = [
     "StepKind",
     "TuningSession",
     "TuningServer",
+    "ServerSession",
     "TuningClient",
     "InProcessTransport",
     "TcpServerTransport",
     "TcpClientTransport",
+    "PipelinedTcpClientTransport",
+    "AsyncTcpServerTransport",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
     "warm_start_points",
     "warm_started_pro",
 ]

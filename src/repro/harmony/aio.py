@@ -1,0 +1,194 @@
+"""The asyncio serving transport: one event loop instead of a thread per connection.
+
+:class:`AsyncTcpServerTransport` speaks exactly the same JSON-lines wire
+protocol as :class:`~repro.harmony.transport.TcpServerTransport` (batch
+frames, ``seq`` echo, frame cap — all via :mod:`repro.harmony.protocol`),
+so the two are interchangeable behind any client.  The differences are all
+about throughput under many connections:
+
+* **no per-connection thread** — each connection is a coroutine on one
+  event loop, so 32 clients cost 32 small tasks, not 32 OS threads
+  contending for the GIL between syscalls;
+* **bounded backpressure** — the stream reader's buffer is capped at the
+  protocol frame limit, and every response write awaits ``drain()``, so a
+  slow or malicious peer can neither balloon input memory nor let the
+  output buffer grow without bound;
+* **graceful drain** — :meth:`stop` closes the listener, gives live
+  connections ``drain_timeout`` seconds to finish in-flight requests and
+  disconnect, and only then cancels the stragglers.
+
+The event loop runs on a dedicated daemon thread so the transport exposes
+the same synchronous ``start()``/``stop()``/context-manager surface as the
+threaded server, and so one process can host it next to ordinary blocking
+code (the CLI, tests, benchmarks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any
+
+from repro.harmony import protocol
+from repro.harmony.server import TuningServer
+from repro.harmony.transport import _set_nodelay
+
+__all__ = ["AsyncTcpServerTransport"]
+
+
+class AsyncTcpServerTransport:
+    """Hosts a :class:`TuningServer` on an asyncio TCP server.
+
+    Pass ``port=0`` to bind a free port (available as :attr:`port` after
+    :meth:`start`).  ``max_line_bytes`` caps one wire frame;
+    ``drain_timeout`` bounds how long :meth:`stop` waits for live
+    connections to finish before cancelling them.
+    """
+
+    def __init__(
+        self,
+        server: TuningServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_line_bytes: int = protocol.MAX_LINE_BYTES,
+        drain_timeout: float = 2.0,
+    ) -> None:
+        self.server = server
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self.max_line_bytes = max_line_bytes
+        self.drain_timeout = drain_timeout
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._aserver: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the socket and start serving on a background event loop."""
+        if self._loop is not None:
+            raise RuntimeError("transport already started")
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.call_soon(started.set)
+            loop.run_forever()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        started.wait(timeout=5.0)
+        future = asyncio.run_coroutine_threadsafe(self._open(), loop)
+        try:
+            future.result(timeout=10.0)
+        except Exception:
+            self._teardown_loop()
+            raise
+
+    async def _open(self) -> None:
+        self._aserver = await asyncio.start_server(
+            self._handle_conn,
+            self.host,
+            self._requested_port,
+            limit=self.max_line_bytes,
+        )
+        self.port = self._aserver.sockets[0].getsockname()[1]
+
+    def stop(self) -> None:
+        """Stop accepting, drain live connections, then shut the loop down."""
+        loop = self._loop
+        if loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self._shutdown(), loop)
+        try:
+            future.result(timeout=self.drain_timeout + 10.0)
+        finally:
+            self._teardown_loop()
+
+    def _teardown_loop(self) -> None:
+        loop, self._loop = self._loop, None
+        thread, self._thread = self._thread, None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=5.0)
+        if loop is not None and not loop.is_running():
+            loop.close()
+        self._aserver = None
+
+    async def _shutdown(self) -> None:
+        if self._aserver is not None:
+            self._aserver.close()
+            await self._aserver.wait_closed()
+        tasks = {t for t in self._conn_tasks if not t.done()}
+        if tasks:
+            # Grace period: clients finishing their in-flight request and
+            # closing exit their coroutine on their own.
+            _done, pending = await asyncio.wait(tasks, timeout=self.drain_timeout)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._conn_tasks.clear()
+
+    def __enter__(self) -> "AsyncTcpServerTransport":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- the per-connection coroutine ----------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            _set_nodelay(sock)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Frame longer than the reader limit: reject and close —
+                    # the stream can no longer be trusted to be in sync.
+                    writer.write(
+                        protocol.encode_line(
+                            protocol.oversized_response(self.max_line_bytes)
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = self._respond(line)
+                writer.write(protocol.encode_line(response))
+                await writer.drain()  # backpressure: never outrun the peer
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - racy teardown
+                pass
+
+    def _respond(self, line: bytes) -> dict[str, Any]:
+        if len(line) > self.max_line_bytes:
+            return protocol.oversized_response(self.max_line_bytes)
+        message, err = protocol.decode_line(line)
+        if err is not None:
+            return err
+        return protocol.dispatch(self.server, message)

@@ -13,8 +13,16 @@ iteration of its main loop with ``fetch`` / ``report``:
         elapsed = run_one_iteration(**client.as_dict(config))
         client.report(elapsed, step=step)
 
-Everything else — search strategy, multi-sampling, estimator — lives on the
-server.
+An SPMD application driving P processors from one rank can amortize the
+round trips with the plural forms — one wire frame instead of P::
+
+    configs = client.fetch_many(P)
+    times = [run(c) for c in configs]
+    client.report_many(times, step=step)
+
+Pass ``session="name"`` to address a named session on a multi-session
+server (the default session otherwise).  Everything else — search strategy,
+multi-sampling, estimator — lives on the server.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.harmony.protocol import PROTOCOL_VERSION
 from repro.harmony.transport import Transport
 from repro.space import ParameterSpace
 from repro.space.serialize import space_to_spec
@@ -33,27 +42,65 @@ __all__ = ["TuningClient"]
 class TuningClient:
     """One application process's handle on the tuning service."""
 
-    def __init__(self, transport: Transport) -> None:
+    def __init__(self, transport: Transport, *, session: str | None = None) -> None:
         self.transport = transport
+        self.session = session
         self.client_id: int | None = None
         self.space: ParameterSpace | None = None
         self._last_token: int | None = None
         self._last_point: np.ndarray | None = None
+        self._many_tokens: list[int] | None = None
 
-    def _call(self, message: Mapping[str, object]) -> dict:
-        response = self.transport.request(message)
+    def _message(self, message: dict) -> dict:
+        if self.session is not None:
+            message["session"] = self.session
+        return message
+
+    def _check(self, response: Mapping[str, object]) -> dict:
         if not response.get("ok", False):
             raise RuntimeError(f"tuning server error: {response.get('error')}")
-        return response
+        return dict(response)
+
+    def _call(self, message: Mapping[str, object]) -> dict:
+        return self._check(self.transport.request(self._message(dict(message))))
+
+    def _call_many(self, messages: Sequence[dict]) -> list[dict]:
+        tagged = [self._message(m) for m in messages]
+        return [self._check(r) for r in self.transport.request_many(tagged)]
 
     # -- lifecycle ------------------------------------------------------------
 
     def register(self, space: ParameterSpace) -> int:
         """Declare the tunable parameters; returns the assigned client id."""
-        response = self._call({"op": "register", "params": space_to_spec(space)})
+        response = self._call(
+            {
+                "op": "register",
+                "params": space_to_spec(space),
+                "version": PROTOCOL_VERSION,
+            }
+        )
         self.client_id = int(response["client_id"])
         self.space = space
         return self.client_id
+
+    def open_session(self, name: str, *, k: int | None = None,
+                     estimator: str | None = None) -> bool:
+        """Create session *name* on the server and address it from now on.
+
+        Returns True when the session was newly created (idempotent —
+        reopening an existing session just switches to it).  ``k`` and
+        ``estimator`` (``min``/``mean``/``median``) configure the session's
+        multi-sampling plan; omitted, it inherits the server default.
+        """
+        message: dict = {"op": "open_session", "session": name}
+        if k is not None:
+            message["k"] = int(k)
+        if estimator is not None:
+            message["estimator"] = estimator
+        response = self._check(self.transport.request(message))
+        self.session = name
+        self.client_id = None  # a session change requires a fresh register
+        return bool(response.get("created", False))
 
     # -- the per-iteration protocol ------------------------------------------------
 
@@ -81,6 +128,48 @@ class TuningClient:
         )
         self._last_token = None
 
+    # -- the batched protocol ------------------------------------------------------
+
+    def fetch_many(self, n: int) -> list[np.ndarray]:
+        """Fetch *n* configurations in one round trip (one per processor).
+
+        Pairs with :meth:`report_many`; the transport carries the group as
+        a single batch frame when it can (TCP transports), so the cost is
+        one syscall-and-RTT instead of *n*.
+        """
+        if self.client_id is None:
+            raise RuntimeError("call register() before fetch_many()")
+        if n < 1:
+            raise ValueError(f"fetch_many needs n >= 1, got {n}")
+        responses = self._call_many(
+            [{"op": "fetch", "client_id": self.client_id} for _ in range(n)]
+        )
+        self._many_tokens = [int(r["token"]) for r in responses]
+        return [np.asarray(r["point"], dtype=float) for r in responses]
+
+    def report_many(self, elapsed: Sequence[float], *, step: int = -1) -> None:
+        """Report one measurement per configuration of the last :meth:`fetch_many`."""
+        if self._many_tokens is None:
+            raise RuntimeError("report_many() requires a preceding fetch_many()")
+        if len(elapsed) != len(self._many_tokens):
+            raise ValueError(
+                f"got {len(elapsed)} measurements for {len(self._many_tokens)} "
+                "fetched configurations"
+            )
+        self._call_many(
+            [
+                {
+                    "op": "report",
+                    "client_id": self.client_id,
+                    "token": token,
+                    "time": float(t),
+                    "step": int(step),
+                }
+                for token, t in zip(self._many_tokens, elapsed)
+            ]
+        )
+        self._many_tokens = None
+
     # -- queries ----------------------------------------------------------------------
 
     def best(self) -> tuple[np.ndarray, float, bool]:
@@ -93,6 +182,7 @@ class TuningClient:
         )
 
     def status(self) -> dict:
+        """The addressed session's progress counters."""
         return self._call({"op": "status"})
 
     def as_dict(self, point: Sequence[float]) -> dict[str, float]:

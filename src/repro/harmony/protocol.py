@@ -1,0 +1,120 @@
+"""The JSON-lines wire protocol shared by every transport.
+
+One JSON object per ``\\n``-terminated line, UTF-8.  This module owns the
+framing rules so the threaded TCP transport, the asyncio transport, and the
+in-process transport cannot drift apart:
+
+* **versioning** — clients send ``version`` with ``register``; the server
+  rejects a mismatch (:data:`PROTOCOL_VERSION`).  Absent means "current",
+  so pre-versioning clients keep working.
+* **bounded frames** — a line longer than :data:`MAX_LINE_BYTES` is
+  rejected with an ``ok: false`` response instead of being buffered
+  without bound; the connection is then closed because the stream can no
+  longer be trusted to be in sync.
+* **batch frames** — ``{"op": "batch", "msgs": [...]}`` carries up to
+  :data:`MAX_BATCH_MSGS` ordinary messages in one line and returns
+  ``{"ok": true, "results": [...]}`` with one response per message, in
+  order.  Batching amortizes syscalls and JSON overhead; it is a framing
+  concern, so :func:`dispatch` unwraps it before the server sees anything.
+* **pipelining** — a client may tag any message with a ``seq`` field; the
+  response echoes it verbatim, which lets a pipelining client keep many
+  requests in flight over one socket and match responses out of a single
+  reader loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "MAX_BATCH_MSGS",
+    "decode_line",
+    "dispatch",
+    "encode_line",
+    "error_response",
+    "oversized_response",
+]
+
+#: current wire-protocol version; checked at ``register``
+PROTOCOL_VERSION = 1
+
+#: hard cap on one wire frame (request or response line), newline included
+MAX_LINE_BYTES = 1 << 20
+
+#: hard cap on the number of messages inside one batch frame
+MAX_BATCH_MSGS = 1024
+
+
+def error_response(error: str) -> dict[str, Any]:
+    """The uniform failure envelope."""
+    return {"ok": False, "error": error}
+
+
+def oversized_response(limit: int = MAX_LINE_BYTES) -> dict[str, Any]:
+    """The response sent before closing a connection that overran the frame cap."""
+    return error_response(f"frame exceeds {limit} bytes; closing connection")
+
+
+def encode_line(message: Mapping[str, Any]) -> bytes:
+    """Serialize one protocol message to its wire frame."""
+    return json.dumps(dict(message)).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> tuple[dict[str, Any] | None, dict[str, Any] | None]:
+    """Parse one wire frame into ``(message, error_response)``.
+
+    Exactly one of the pair is non-None.  Framing errors (bad JSON, a
+    non-object payload) never raise — they come back as the error response
+    the server should write.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return None, error_response(f"bad json: {exc}")
+    if not isinstance(message, dict):
+        return None, error_response(
+            f"expected a JSON object, got {type(message).__name__}"
+        )
+    return message, None
+
+
+def _echo_seq(message: Mapping[str, Any], response: dict[str, Any]) -> dict[str, Any]:
+    if "seq" in message:
+        response["seq"] = message["seq"]
+    return response
+
+
+def dispatch(server: Any, message: Mapping[str, Any]) -> dict[str, Any]:
+    """Route one decoded message to *server*, unwrapping batch frames.
+
+    *server* is anything with a ``handle(message) -> dict`` method (a
+    :class:`~repro.harmony.server.TuningServer`).  Batch frames fan out to
+    one ``handle`` call per inner message; inner responses echo their own
+    ``seq`` fields, the envelope echoes the frame's.  Nested batches are
+    rejected — they would allow amplification without bound.
+    """
+    if message.get("op") != "batch":
+        return _echo_seq(message, server.handle(message))
+    msgs = message.get("msgs")
+    if not isinstance(msgs, list):
+        return _echo_seq(message, error_response("batch needs a 'msgs' list"))
+    if len(msgs) > MAX_BATCH_MSGS:
+        return _echo_seq(
+            message,
+            error_response(f"batch of {len(msgs)} exceeds {MAX_BATCH_MSGS} messages"),
+        )
+    results: list[dict[str, Any]] = []
+    for inner in msgs:
+        if not isinstance(inner, dict):
+            results.append(error_response("batch messages must be JSON objects"))
+        elif inner.get("op") == "batch":
+            results.append(error_response("nested batch frames are not allowed"))
+        else:
+            results.append(_echo_seq(inner, server.handle(inner)))
+    observe = getattr(server, "observe_batch", None)
+    if observe is not None:
+        observe(len(msgs))
+    return _echo_seq(message, {"ok": True, "results": results})

@@ -13,37 +13,68 @@ across clients — the "no additional time burden" case the paper describes
 for 64 processors and K = 10.  Clients beyond the outstanding work are
 assigned the incumbent best configuration (exploitation).
 
+One :class:`TuningServer` hosts many named **sessions** — independent
+(tuner, sample ledger, measurement log) triples, each behind its own lock —
+so unrelated tuning runs sharing the service scale instead of serializing
+on a global lock.  Messages address a session with a ``session`` field;
+omitting it targets the ``"default"`` session, which preserves the original
+single-session protocol and API unchanged.
+
 The server is transport-agnostic: it consumes plain-dict messages (see
 :meth:`TuningServer.handle`) and is thread-safe, so the same instance can
-sit behind the in-process transport or the TCP transport.
+sit behind the in-process transport, the thread-per-connection TCP
+transport, or the asyncio transport.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict
 from typing import Any, Callable, Mapping
 
 import numpy as np
 
 from repro.core.base import BatchTuner
-from repro.core.sampling import SamplingPlan
+from repro.core.sampling import (
+    MeanEstimator,
+    MedianEstimator,
+    MinEstimator,
+    SamplingPlan,
+)
+from repro.harmony.protocol import PROTOCOL_VERSION, error_response
 from repro.space import ParameterSpace
 from repro.space.serialize import space_from_spec
 
-__all__ = ["TuningServer"]
+__all__ = ["ServerSession", "TuningServer", "DEFAULT_SESSION"]
+
+#: the session addressed when a message carries no ``session`` field
+DEFAULT_SESSION = "default"
+
+#: estimators a remote ``open_session`` may ask for by name
+_SESSION_ESTIMATORS = {
+    "min": MinEstimator,
+    "mean": MeanEstimator,
+    "median": MedianEstimator,
+}
 
 
-class TuningServer:
-    """Holds the tuner, the sample ledger, and the measurement log."""
+class ServerSession:
+    """One named tuning session: tuner, sample ledger, measurement log.
+
+    All mutating entry points take the session's own lock, so independent
+    sessions on one server never contend with each other.
+    """
 
     def __init__(
         self,
         tuner_factory: Callable[[ParameterSpace], BatchTuner],
         *,
+        name: str = DEFAULT_SESSION,
         space: ParameterSpace | None = None,
         plan: SamplingPlan | None = None,
     ) -> None:
+        self.name = name
         self._factory = tuner_factory
         self.space = space
         self.plan = plan if plan is not None else SamplingPlan()
@@ -60,53 +91,33 @@ class TuningServer:
         self._log: dict[int, dict[int, float]] = defaultdict(dict)
         self.n_reports = 0
 
-    # -- protocol entry point ------------------------------------------------------
-
-    def handle(self, message: Mapping[str, Any]) -> dict[str, Any]:
-        """Process one protocol message and return the response dict."""
-        try:
-            op = message.get("op")
-            if op == "register":
-                return self._op_register(message)
-            if op == "fetch":
-                return self._op_fetch(message)
-            if op == "report":
-                return self._op_report(message)
-            if op == "best":
-                return self._op_best()
-            if op == "status":
-                return self._op_status()
-            if op == "requeue":
-                return self._op_requeue()
-            if op == "checkpoint":
-                return self._op_checkpoint()
-            if op == "restore":
-                return self._op_restore(message)
-            return {"ok": False, "error": f"unknown op {op!r}"}
-        except Exception as exc:  # protocol boundary: never let the server die
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-
     # -- operations -------------------------------------------------------------------
 
-    def _op_register(self, message: Mapping[str, Any]) -> dict[str, Any]:
+    def op_register(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Bind (or validate) the parameter space and hand out a client id."""
+        version = message.get("version")
+        if version is not None and int(version) != PROTOCOL_VERSION:
+            return error_response(
+                f"protocol version {version} not supported "
+                f"(server speaks {PROTOCOL_VERSION})"
+            )
         with self._lock:
             specs = message.get("params")
             if self.space is None:
                 if not specs:
-                    return {"ok": False, "error": "no parameter specs and no preset space"}
+                    return error_response("no parameter specs and no preset space")
                 self.space = space_from_spec(specs)
                 self.tuner = self._factory(self.space)
             elif specs:
                 # Validate that late registrants agree on the space.
                 candidate = space_from_spec(specs)
                 if candidate.names != self.space.names:
-                    return {
-                        "ok": False,
-                        "error": f"parameter mismatch: {candidate.names} vs {self.space.names}",
-                    }
+                    return error_response(
+                        f"parameter mismatch: {candidate.names} vs {self.space.names}"
+                    )
             client_id = self._next_client
             self._next_client += 1
-            return {"ok": True, "client_id": client_id}
+            return {"ok": True, "client_id": client_id, "version": PROTOCOL_VERSION}
 
     def _ensure_batch(self) -> None:
         """Pull the next candidate batch from the tuner when idle."""
@@ -118,10 +129,11 @@ class TuningServer:
         self._samples = [[] for _ in batch]
         self._assigned = [0 for _ in batch]
 
-    def _op_fetch(self, message: Mapping[str, Any]) -> dict[str, Any]:
+    def op_fetch(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Assign the next configuration (exploration or exploitation)."""
         with self._lock:
             if self.tuner is None:
-                return {"ok": False, "error": "no client has registered a space yet"}
+                return error_response("no client has registered a space yet")
             self._ensure_batch()
             # Least-loaded candidate still short of K total samples
             # (collected + in flight).
@@ -146,14 +158,15 @@ class TuningServer:
                 "token": -1,
             }
 
-    def _op_report(self, message: Mapping[str, Any]) -> dict[str, Any]:
+    def op_report(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Absorb one measurement; feed the tuner when the batch completes."""
         with self._lock:
             if self.tuner is None:
-                return {"ok": False, "error": "no client has registered a space yet"}
+                return error_response("no client has registered a space yet")
             token = int(message["token"])
             time = float(message["time"])
             if not np.isfinite(time) or time < 0:
-                return {"ok": False, "error": f"invalid time {time!r}"}
+                return error_response(f"invalid time {time!r}")
             client = int(message.get("client_id", -1))
             step = int(message.get("step", -1))
             if step >= 0:
@@ -178,10 +191,11 @@ class TuningServer:
                     self._assigned = []
             return {"ok": True}
 
-    def _op_best(self) -> dict[str, Any]:
+    def op_best(self) -> dict[str, Any]:
+        """The current incumbent configuration and its estimate."""
         with self._lock:
             if self.tuner is None:
-                return {"ok": False, "error": "no client has registered a space yet"}
+                return error_response("no client has registered a space yet")
             return {
                 "ok": True,
                 "point": [float(x) for x in self.tuner.best_point],
@@ -189,7 +203,7 @@ class TuningServer:
                 "converged": self.tuner.converged,
             }
 
-    def _op_requeue(self) -> dict[str, Any]:
+    def op_requeue(self) -> dict[str, Any]:
         """Clear in-flight assignment counts (crash recovery).
 
         If a client fetches an assignment and never reports (process died,
@@ -204,8 +218,8 @@ class TuningServer:
             self._assigned = [0 for _ in self._assigned]
             return {"ok": True, "requeued": requeued}
 
-    def _op_checkpoint(self) -> dict[str, Any]:
-        """Snapshot the whole tuning service (JSON-compatible).
+    def op_checkpoint(self) -> dict[str, Any]:
+        """Snapshot the whole session (JSON-compatible).
 
         Includes the tuner's search state (for tuners that support
         ``to_dict``, like PRO), the in-flight batch's collected samples, and
@@ -215,13 +229,11 @@ class TuningServer:
         """
         with self._lock:
             if self.tuner is None or self.space is None:
-                return {"ok": False, "error": "nothing to checkpoint yet"}
+                return error_response("nothing to checkpoint yet")
             if not hasattr(self.tuner, "to_dict"):
-                return {
-                    "ok": False,
-                    "error": f"{type(self.tuner).__name__} does not support "
-                    "checkpointing",
-                }
+                return error_response(
+                    f"{type(self.tuner).__name__} does not support checkpointing"
+                )
             from repro.space.serialize import space_to_spec
 
             snapshot = {
@@ -238,24 +250,21 @@ class TuningServer:
             }
             return {"ok": True, "snapshot": snapshot}
 
-    def _op_restore(self, message: Mapping[str, Any]) -> dict[str, Any]:
-        """Rebuild the service from a :meth:`_op_checkpoint` snapshot."""
+    def op_restore(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Rebuild the session from an :meth:`op_checkpoint` snapshot."""
         snapshot = message.get("snapshot")
         if not isinstance(snapshot, Mapping):
-            return {"ok": False, "error": "restore needs a 'snapshot' mapping"}
+            return error_response("restore needs a 'snapshot' mapping")
         with self._lock:
             space = space_from_spec(snapshot["space"])
             probe = self._factory(space)
             if not hasattr(type(probe), "from_dict"):
-                return {
-                    "ok": False,
-                    "error": f"{type(probe).__name__} does not support restore",
-                }
+                return error_response(
+                    f"{type(probe).__name__} does not support restore"
+                )
             self.space = space
             self.tuner = type(probe).from_dict(space, snapshot["tuner"])
-            self._batch = [
-                np.asarray(p, dtype=float) for p in snapshot["batch"]
-            ]
+            self._batch = [np.asarray(p, dtype=float) for p in snapshot["batch"]]
             self._samples = [list(s) for s in snapshot["samples"]]
             self._assigned = [0 for _ in self._batch]
             self._log = defaultdict(dict)
@@ -266,12 +275,14 @@ class TuningServer:
             self._next_client = int(snapshot.get("next_client", 0))
             return {"ok": True}
 
-    def _op_status(self) -> dict[str, Any]:
+    def op_status(self) -> dict[str, Any]:
+        """Progress counters for this session."""
         with self._lock:
             if self.tuner is None:
-                return {"ok": True, "registered": False}
+                return {"ok": True, "registered": False, "session": self.name}
             return {
                 "ok": True,
+                "session": self.name,
                 "registered": True,
                 "converged": self.tuner.converged,
                 "n_evaluations": self.tuner.n_evaluations,
@@ -297,3 +308,237 @@ class TuningServer:
         """Σ_k T_k over the reconstructed barrier times (Eq. 2)."""
         times = self.step_times()
         return float(times.sum()) if times.size else 0.0
+
+
+class TuningServer:
+    """Hosts named tuning sessions behind one dict-message protocol.
+
+    Single-session use is unchanged from the original server: construct,
+    ``handle`` messages without a ``session`` field, read ``tuner`` /
+    ``n_reports`` / ``step_times()`` — they all address the built-in
+    ``"default"`` session.  Multi-session use adds the ``open_session`` /
+    ``close_session`` / ``list_sessions`` ops and a ``session`` field on
+    every per-session message.
+
+    Pass a :class:`~repro.obs.MetricsRegistry` as *metrics* to count
+    requests per op, batch frames, and per-op handle latency (bounded
+    reservoir), and a :class:`~repro.obs.Tracer` as *tracer* to emit
+    ``server.request`` / ``server.batch`` / ``server.session`` events.
+    Both default to off so the hot path stays lean.
+    """
+
+    def __init__(
+        self,
+        tuner_factory: Callable[[ParameterSpace], BatchTuner],
+        *,
+        space: ParameterSpace | None = None,
+        plan: SamplingPlan | None = None,
+        metrics: "Any | None" = None,
+        tracer: "Any | None" = None,
+    ) -> None:
+        self._factory = tuner_factory
+        self._default_plan = plan if plan is not None else SamplingPlan()
+        self._sessions: dict[str, ServerSession] = {
+            DEFAULT_SESSION: ServerSession(
+                tuner_factory, name=DEFAULT_SESSION, space=space,
+                plan=self._default_plan,
+            )
+        }
+        self._sessions_lock = threading.Lock()
+        self.metrics = metrics
+        self.tracer = tracer
+
+    # -- single-session compatibility surface ------------------------------------
+
+    @property
+    def default_session(self) -> ServerSession:
+        """The session addressed by messages without a ``session`` field."""
+        return self._sessions[DEFAULT_SESSION]
+
+    @property
+    def space(self) -> ParameterSpace | None:
+        """The default session's parameter space (None before register)."""
+        return self.default_session.space
+
+    @property
+    def plan(self) -> SamplingPlan:
+        """The default session's multi-sampling plan."""
+        return self.default_session.plan
+
+    @property
+    def tuner(self) -> BatchTuner | None:
+        """The default session's tuner (None before register)."""
+        return self.default_session.tuner
+
+    @property
+    def n_reports(self) -> int:
+        """Measurements absorbed by the default session."""
+        return self.default_session.n_reports
+
+    def step_times(self) -> np.ndarray:
+        """The default session's reconstructed barrier times (Eq. 1)."""
+        return self.default_session.step_times()
+
+    def total_time(self) -> float:
+        """The default session's Σ_k T_k (Eq. 2)."""
+        return self.default_session.total_time()
+
+    # -- session management -------------------------------------------------------
+
+    def session(self, name: str) -> ServerSession | None:
+        """Look up a session by name (None when absent)."""
+        with self._sessions_lock:
+            return self._sessions.get(name)
+
+    def session_names(self) -> list[str]:
+        """Currently open session names, sorted."""
+        with self._sessions_lock:
+            return sorted(self._sessions)
+
+    def open_session(
+        self,
+        name: str,
+        *,
+        space: ParameterSpace | None = None,
+        plan: SamplingPlan | None = None,
+    ) -> ServerSession:
+        """Create (or return, if identical-named) the session *name*."""
+        with self._sessions_lock:
+            existing = self._sessions.get(name)
+            if existing is not None:
+                return existing
+            session = ServerSession(
+                self._factory, name=name, space=space,
+                plan=plan if plan is not None else self._default_plan,
+            )
+            self._sessions[name] = session
+        self._emit("server.session", action="open", session=name)
+        return session
+
+    def _op_open_session(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        name = message.get("session")
+        if not isinstance(name, str) or not name:
+            return error_response("open_session needs a non-empty 'session' name")
+        plan = self._default_plan
+        if "k" in message or "estimator" in message:
+            estimator_name = message.get("estimator", "min")
+            estimator_cls = _SESSION_ESTIMATORS.get(estimator_name)
+            if estimator_cls is None:
+                return error_response(
+                    f"unknown estimator {estimator_name!r}; "
+                    f"known: {sorted(_SESSION_ESTIMATORS)}"
+                )
+            plan = SamplingPlan(int(message.get("k", 1)), estimator_cls())
+        space = None
+        if message.get("params"):
+            space = space_from_spec(message["params"])
+        with self._sessions_lock:
+            created = name not in self._sessions
+            if created:
+                self._sessions[name] = ServerSession(
+                    self._factory, name=name, space=space, plan=plan
+                )
+        if created:
+            self._emit("server.session", action="open", session=name)
+        return {"ok": True, "session": name, "created": created}
+
+    def _op_close_session(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        name = message.get("session")
+        if name == DEFAULT_SESSION:
+            return error_response("the default session cannot be closed")
+        with self._sessions_lock:
+            session = self._sessions.pop(name, None)
+        if session is None:
+            return error_response(f"no such session {name!r}")
+        self._emit("server.session", action="close", session=name)
+        return {"ok": True, "session": name, "n_reports": session.n_reports}
+
+    def _op_list_sessions(self) -> dict[str, Any]:
+        with self._sessions_lock:
+            sessions = dict(self._sessions)
+        return {
+            "ok": True,
+            "sessions": {
+                name: session.op_status() for name, session in sorted(sessions.items())
+            },
+        }
+
+    def _op_metrics(self) -> dict[str, Any]:
+        if self.metrics is None:
+            return error_response("metrics collection is not enabled on this server")
+        return {"ok": True, "metrics": self.metrics.snapshot()}
+
+    # -- observability ------------------------------------------------------------
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(kind, **fields)
+
+    def observe_batch(self, n_msgs: int) -> None:
+        """Record one batch frame (called by the transports' dispatcher)."""
+        if self.metrics is not None:
+            self.metrics.inc("server.batch_frames")
+            self.metrics.inc("server.batch_msgs", n_msgs)
+        self._emit("server.batch", n_msgs=n_msgs)
+
+    # -- protocol entry point ------------------------------------------------------
+
+    _SERVER_OPS = frozenset({"open_session", "close_session", "list_sessions", "metrics"})
+
+    def handle(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Process one protocol message and return the response dict."""
+        op = None
+        t0 = time.perf_counter() if self.metrics is not None else 0.0
+        try:
+            op = message.get("op")
+            response = self._route(op, message)
+        except Exception as exc:  # protocol boundary: never let the server die
+            response = error_response(f"{type(exc).__name__}: {exc}")
+        if self.metrics is not None:
+            self.metrics.inc("server.requests")
+            self.metrics.inc(f"server.op.{op}")
+            if not response.get("ok", False):
+                self.metrics.inc("server.errors")
+            self.metrics.observe("server.handle_s", time.perf_counter() - t0)
+            self.metrics.gauge("server.sessions", len(self._sessions))
+        if self.tracer is not None:
+            self._emit(
+                "server.request",
+                op=str(op),
+                session=str(message.get("session", DEFAULT_SESSION)),
+                ok=bool(response.get("ok", False)),
+            )
+        return response
+
+    def _route(self, op: Any, message: Mapping[str, Any]) -> dict[str, Any]:
+        if op == "open_session":
+            return self._op_open_session(message)
+        if op == "close_session":
+            return self._op_close_session(message)
+        if op == "list_sessions":
+            return self._op_list_sessions()
+        if op == "metrics":
+            return self._op_metrics()
+        name = message.get("session", DEFAULT_SESSION)
+        session = self.session(name)
+        if session is None:
+            return error_response(
+                f"no such session {name!r}; open it with op 'open_session'"
+            )
+        if op == "register":
+            return session.op_register(message)
+        if op == "fetch":
+            return session.op_fetch(message)
+        if op == "report":
+            return session.op_report(message)
+        if op == "best":
+            return session.op_best()
+        if op == "status":
+            return session.op_status()
+        if op == "requeue":
+            return session.op_requeue()
+        if op == "checkpoint":
+            return session.op_checkpoint()
+        if op == "restore":
+            return session.op_restore(message)
+        return error_response(f"unknown op {op!r}")

@@ -1,13 +1,23 @@
 """Transports carrying protocol messages between clients and the server.
 
-Two implementations behind one interface:
+Several implementations behind one interface:
 
 * :class:`InProcessTransport` — direct method calls (zero overhead; used by
   the simulation experiments and most tests);
-* :class:`TcpServerTransport` / :class:`TcpClientTransport` — a JSON-lines
-  protocol over a localhost TCP socket, demonstrating that the tuning
-  service really is remote-able, as Active Harmony's was.  Each connection
-  is served by a thread; the server object itself is thread-safe.
+* :class:`TcpServerTransport` / :class:`TcpClientTransport` — the JSON-lines
+  protocol (see :mod:`repro.harmony.protocol`) over a TCP socket with one
+  serving thread per connection;
+* :class:`PipelinedTcpClientTransport` — same wire format, but keeps many
+  sequence-numbered requests in flight over one socket, so P logical
+  requesters no longer pay P sequential round trips;
+* :class:`repro.harmony.aio.AsyncTcpServerTransport` — the asyncio server
+  (single event loop, no thread per connection), the throughput-oriented
+  sibling of :class:`TcpServerTransport`.
+
+All TCP endpoints set ``TCP_NODELAY`` — Nagle's algorithm only adds latency
+to a 1-line request/response protocol — and every server rejects frames
+longer than :data:`repro.harmony.protocol.MAX_LINE_BYTES` instead of
+buffering them unboundedly.
 """
 
 from __future__ import annotations
@@ -16,11 +26,28 @@ import json
 import socket
 import threading
 from abc import ABC, abstractmethod
-from typing import Any, Mapping
+from concurrent.futures import Future
+from itertools import count
+from typing import Any, Mapping, Sequence
 
+from repro.harmony import protocol
 from repro.harmony.server import TuningServer
 
-__all__ = ["Transport", "InProcessTransport", "TcpServerTransport", "TcpClientTransport"]
+__all__ = [
+    "Transport",
+    "InProcessTransport",
+    "TcpServerTransport",
+    "TcpClientTransport",
+    "PipelinedTcpClientTransport",
+]
+
+
+def _set_nodelay(sock: socket.socket) -> None:
+    """Disable Nagle's algorithm (best effort — not fatal if unsupported)."""
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
 
 
 class Transport(ABC):
@@ -29,6 +56,17 @@ class Transport(ABC):
     @abstractmethod
     def request(self, message: Mapping[str, Any]) -> dict[str, Any]:
         """Deliver *message* and return the server's response."""
+
+    def request_many(
+        self, messages: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Deliver several messages, returning responses in order.
+
+        The base implementation is sequential round trips; TCP transports
+        override it with a single batch frame so the syscall and JSON
+        framing costs are paid once per group instead of once per message.
+        """
+        return [self.request(m) for m in messages]
 
     def close(self) -> None:
         """Release any underlying resources (default: nothing to do)."""
@@ -41,26 +79,52 @@ class InProcessTransport(Transport):
         self.server = server
 
     def request(self, message: Mapping[str, Any]) -> dict[str, Any]:
-        return self.server.handle(message)
+        return protocol.dispatch(self.server, message)
+
+    def request_many(
+        self, messages: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        response = protocol.dispatch(
+            self.server, {"op": "batch", "msgs": [dict(m) for m in messages]}
+        )
+        if not response.get("ok", False):
+            return [response for _ in messages]
+        return response["results"]
 
 
 class TcpServerTransport:
-    """Hosts a :class:`TuningServer` on a localhost TCP socket.
+    """Hosts a :class:`TuningServer` on a TCP socket, one thread per connection.
 
-    Wire format: one JSON object per line, UTF-8.  Start with
-    :meth:`start`, stop with :meth:`stop`; the bound port is available as
-    :attr:`port` (pass ``port=0`` to let the OS pick a free one).
+    Wire format: one JSON object per line, UTF-8 (batch frames included —
+    see :mod:`repro.harmony.protocol`).  Start with :meth:`start`, stop with
+    :meth:`stop`; the bound port is available as :attr:`port` (pass
+    ``port=0`` to let the OS pick a free one).  ``stop()`` drains: it stops
+    accepting, joins every live connection thread (each notices shutdown
+    within its socket timeout), and only then force-closes stragglers.
     """
 
-    def __init__(self, server: TuningServer, host: str = "127.0.0.1", port: int = 0) -> None:
+    #: how long a connection's recv blocks before re-checking the running flag
+    _POLL_S = 0.2
+
+    def __init__(
+        self,
+        server: TuningServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_line_bytes: int = protocol.MAX_LINE_BYTES,
+    ) -> None:
         self.server = server
         self.host = host
         self._requested_port = port
         self.port: int | None = None
+        self.max_line_bytes = max_line_bytes
         self._sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._running = threading.Event()
         self._conn_threads: list[threading.Thread] = []
+        self._conn_socks: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
 
     def start(self) -> None:
         if self._sock is not None:
@@ -68,8 +132,8 @@ class TcpServerTransport:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind((self.host, self._requested_port))
-        sock.listen(16)
-        sock.settimeout(0.2)
+        sock.listen(64)
+        sock.settimeout(self._POLL_S)
         self._sock = sock
         self.port = sock.getsockname()[1]
         self._running.set()
@@ -82,38 +146,69 @@ class TcpServerTransport:
             try:
                 conn, _ = self._sock.accept()
             except socket.timeout:
+                # Idle moment: prune threads whose connections have closed,
+                # so a long-lived server doesn't accumulate dead handles.
+                self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
                 continue
             except OSError:
                 break
+            _set_nodelay(conn)
+            conn.settimeout(self._POLL_S)
+            with self._conn_lock:
+                self._conn_socks.add(conn)
             t = threading.Thread(target=self._serve_conn, args=(conn,), daemon=True)
             t.start()
+            self._conn_threads = [x for x in self._conn_threads if x.is_alive()]
             self._conn_threads.append(t)
 
     def _serve_conn(self, conn: socket.socket) -> None:
-        with conn:
-            buf = b""
-            while self._running.is_set():
-                try:
-                    chunk = conn.recv(65536)
-                except OSError:
-                    break
-                if not chunk:
-                    break
-                buf += chunk
-                while b"\n" in buf:
-                    line, buf = buf.split(b"\n", 1)
-                    if not line.strip():
+        try:
+            with conn:
+                buf = b""
+                while self._running.is_set():
+                    try:
+                        chunk = conn.recv(65536)
+                    except socket.timeout:
                         continue
-                    try:
-                        message = json.loads(line.decode("utf-8"))
-                    except json.JSONDecodeError as exc:
-                        response: dict[str, Any] = {"ok": False, "error": f"bad json: {exc}"}
-                    else:
-                        response = self.server.handle(message)
-                    try:
-                        conn.sendall(json.dumps(response).encode("utf-8") + b"\n")
                     except OSError:
+                        break
+                    if not chunk:
+                        break
+                    buf += chunk
+                    closing = False
+                    while b"\n" in buf:
+                        line, buf = buf.split(b"\n", 1)
+                        if not line.strip():
+                            continue
+                        if len(line) > self.max_line_bytes:
+                            response = protocol.oversized_response(self.max_line_bytes)
+                            closing = True
+                        else:
+                            message, err = protocol.decode_line(line)
+                            response = err if err is not None else protocol.dispatch(
+                                self.server, message
+                            )
+                        try:
+                            conn.sendall(protocol.encode_line(response))
+                        except OSError:
+                            return
+                        if closing:
+                            return
+                    if len(buf) > self.max_line_bytes:
+                        # No newline in sight and the frame cap already blown:
+                        # refuse to buffer further and drop the connection.
+                        try:
+                            conn.sendall(
+                                protocol.encode_line(
+                                    protocol.oversized_response(self.max_line_bytes)
+                                )
+                            )
+                        except OSError:
+                            pass
                         return
+        finally:
+            with self._conn_lock:
+                self._conn_socks.discard(conn)
 
     def stop(self) -> None:
         self._running.clear()
@@ -125,6 +220,19 @@ class TcpServerTransport:
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
             self._accept_thread = None
+        # Drain: each connection thread notices the cleared flag within one
+        # socket-timeout poll and exits after finishing its current request.
+        for t in self._conn_threads:
+            t.join(timeout=2 * self._POLL_S + 2.0)
+        with self._conn_lock:
+            stragglers = list(self._conn_socks)
+            self._conn_socks.clear()
+        for conn in stragglers:  # pragma: no cover - only hit on hung clients
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
 
     def __enter__(self) -> "TcpServerTransport":
         self.start()
@@ -135,21 +243,37 @@ class TcpServerTransport:
 
 
 class TcpClientTransport(Transport):
-    """Client side of the JSON-lines protocol."""
+    """Client side of the JSON-lines protocol (lock-step round trips)."""
 
     def __init__(self, host: str, port: int, timeout: float = 5.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
+        _set_nodelay(self._sock)
         self._file = self._sock.makefile("rb")
         self._lock = threading.Lock()
 
     def request(self, message: Mapping[str, Any]) -> dict[str, Any]:
-        payload = json.dumps(dict(message)).encode("utf-8") + b"\n"
+        payload = protocol.encode_line(message)
         with self._lock:
             self._sock.sendall(payload)
             line = self._file.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         return json.loads(line.decode("utf-8"))
+
+    def request_many(
+        self, messages: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """One batch frame per :data:`protocol.MAX_BATCH_MSGS` messages."""
+        results: list[dict[str, Any]] = []
+        msgs = [dict(m) for m in messages]
+        for start in range(0, len(msgs), protocol.MAX_BATCH_MSGS):
+            chunk = msgs[start:start + protocol.MAX_BATCH_MSGS]
+            response = self.request({"op": "batch", "msgs": chunk})
+            if not response.get("ok", False):
+                results.extend(response for _ in chunk)
+            else:
+                results.extend(response["results"])
+        return results
 
     def close(self) -> None:
         try:
@@ -158,6 +282,132 @@ class TcpClientTransport(Transport):
             self._sock.close()
 
     def __enter__(self) -> "TcpClientTransport":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class PipelinedTcpClientTransport(Transport):
+    """Keeps many requests in flight over one socket.
+
+    Every outgoing message is tagged with a ``seq`` number the server
+    echoes back; a single reader thread matches responses to waiting
+    futures, so callers overlap their round trips instead of serializing
+    on the socket.  ``max_inflight`` bounds the outstanding window (back-
+    pressure against a slow server).
+
+    :meth:`submit` returns a future; :meth:`request` is submit-and-wait;
+    :meth:`request_many` submits a whole group and gathers it, batching
+    each :data:`protocol.MAX_BATCH_MSGS`-sized chunk into one wire frame.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        *,
+        max_inflight: int = 64,
+    ) -> None:
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        _set_nodelay(self._sock)
+        self._file = self._sock.makefile("rb")
+        self._seq = count()
+        self._pending: dict[int, Future] = {}
+        self._pending_lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._inflight = threading.BoundedSemaphore(max_inflight)
+        self._closed = False
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    # -- reader side --------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        error: Exception | None = None
+        try:
+            while True:
+                line = self._file.readline()
+                if not line:
+                    error = ConnectionError("server closed the connection")
+                    break
+                response = json.loads(line.decode("utf-8"))
+                seq = response.get("seq")
+                with self._pending_lock:
+                    future = self._pending.pop(seq, None)
+                if future is not None:
+                    self._inflight.release()
+                    future.set_result(response)
+        except (OSError, ValueError) as exc:
+            error = exc if not self._closed else ConnectionError("transport closed")
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for future in pending.values():
+            self._inflight.release()
+            future.set_exception(
+                error if error is not None else ConnectionError("reader stopped")
+            )
+
+    # -- writer side --------------------------------------------------------------
+
+    def submit(self, message: Mapping[str, Any]) -> "Future[dict[str, Any]]":
+        """Send *message* now; the returned future resolves to its response."""
+        if self._closed:
+            raise ConnectionError("transport closed")
+        seq = next(self._seq)
+        tagged = dict(message)
+        tagged["seq"] = seq
+        future: Future = Future()
+        self._inflight.acquire()
+        with self._pending_lock:
+            self._pending[seq] = future
+        try:
+            payload = protocol.encode_line(tagged)
+            with self._write_lock:
+                self._sock.sendall(payload)
+        except OSError as exc:
+            with self._pending_lock:
+                removed = self._pending.pop(seq, None)
+            if removed is not None:
+                self._inflight.release()
+            raise ConnectionError(f"send failed: {exc}") from exc
+        return future
+
+    def request(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        return self.submit(message).result(timeout=self.timeout)
+
+    def request_many(
+        self, messages: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        msgs = [dict(m) for m in messages]
+        futures = []
+        for start in range(0, len(msgs), protocol.MAX_BATCH_MSGS):
+            chunk = msgs[start:start + protocol.MAX_BATCH_MSGS]
+            futures.append((self.submit({"op": "batch", "msgs": chunk}), len(chunk)))
+        results: list[dict[str, Any]] = []
+        for future, n in futures:
+            response = future.result(timeout=self.timeout)
+            if not response.get("ok", False):
+                results.extend(response for _ in range(n))
+            else:
+                results.extend(response["results"])
+        return results
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+        self._reader.join(timeout=2.0)
+
+    def __enter__(self) -> "PipelinedTcpClientTransport":
         return self
 
     def __exit__(self, *exc: object) -> None:

@@ -8,12 +8,16 @@ database memo performed.  Zero dependencies, JSON-native snapshots.
 
 Histograms keep raw samples (sweeps observe at most a few thousand values)
 and summarize them at snapshot time; quantiles use the same linear
-interpolation as ``np.quantile`` defaults.
+interpolation as ``np.quantile`` defaults.  Long-running recorders — the
+tuning server observes one latency sample per request, indefinitely — pass
+``max_samples`` to turn each histogram into a sliding window of the most
+recent values instead of an unbounded list.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 
 import numpy as np
 
@@ -29,13 +33,21 @@ class MetricsRegistry:
     The lock is uncontended in practice — the sweep runner records from the
     parent only, at trial granularity — but makes the registry safe to
     share with ``collect`` hooks running under a thread executor.
+
+    ``max_samples=None`` (the default) keeps every observed sample;
+    a positive cap keeps only the most recent *max_samples* per histogram
+    (``total`` in the snapshot still counts all observations).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_samples: int | None = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        self.max_samples = max_samples
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
-        self._samples: dict[str, list[float]] = {}
+        self._samples: dict[str, deque[float]] = {}
+        self._observed: dict[str, int] = {}
 
     def inc(self, name: str, by: int = 1) -> None:
         """Increment counter *name* (created at 0)."""
@@ -48,9 +60,13 @@ class MetricsRegistry:
             self._gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
-        """Add one sample to histogram *name*."""
+        """Add one sample to histogram *name* (a sliding window when capped)."""
         with self._lock:
-            self._samples.setdefault(name, []).append(float(value))
+            buf = self._samples.get(name)
+            if buf is None:
+                buf = self._samples[name] = deque(maxlen=self.max_samples)
+            buf.append(float(value))
+            self._observed[name] = self._observed.get(name, 0) + 1
 
     def snapshot(self) -> dict:
         """JSON-safe summary of everything recorded so far.
@@ -63,11 +79,15 @@ class MetricsRegistry:
             counters = dict(sorted(self._counters.items()))
             gauges = dict(sorted(self._gauges.items()))
             samples = {k: list(v) for k, v in sorted(self._samples.items())}
+            observed = dict(self._observed)
         histograms = {}
         for name, values in samples.items():
             arr = np.asarray(values, dtype=float)
             finite = arr[np.isfinite(arr)]
             summary = {"count": int(arr.size)}
+            if observed.get(name, arr.size) != arr.size:
+                # The window dropped old samples; expose the true total too.
+                summary["total"] = int(observed[name])
             if finite.size:
                 summary.update(
                     min=float(finite.min()),

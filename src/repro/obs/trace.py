@@ -82,6 +82,10 @@ EVENT_KINDS = frozenset(
         "fault.fire",
         "db.materialize",
         "shm.attach",
+        # serving scope (the tuning service's request path)
+        "server.request",
+        "server.batch",
+        "server.session",
     }
 )
 

@@ -1,0 +1,165 @@
+"""Unit tests for the shared wire protocol: framing, batching, versioning."""
+
+import json
+
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import SamplingPlan
+from repro.harmony import protocol
+from repro.harmony.server import TuningServer
+from repro.space import IntParameter, ParameterSpace
+from repro.space.serialize import space_to_spec
+
+
+def make_space():
+    return ParameterSpace([IntParameter("a", -10, 10), IntParameter("b", -10, 10)])
+
+
+def make_server(**kwargs):
+    return TuningServer(
+        lambda s: ParallelRankOrdering(s),
+        space=make_space(),
+        plan=SamplingPlan(1),
+        **kwargs,
+    )
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "status", "n": 3}
+        decoded, err = protocol.decode_line(protocol.encode_line(message).strip())
+        assert err is None
+        assert decoded == message
+
+    def test_bad_json_is_error_response(self):
+        decoded, err = protocol.decode_line(b"this is not json")
+        assert decoded is None
+        assert not err["ok"]
+        assert "bad json" in err["error"]
+
+    def test_non_object_payload_rejected(self):
+        decoded, err = protocol.decode_line(b"[1, 2, 3]")
+        assert decoded is None
+        assert not err["ok"]
+
+    def test_oversized_response_names_the_limit(self):
+        resp = protocol.oversized_response(1234)
+        assert not resp["ok"]
+        assert "1234" in resp["error"]
+
+
+class TestDispatch:
+    def test_plain_message_passes_through(self):
+        resp = protocol.dispatch(make_server(), {"op": "status"})
+        assert resp["ok"]
+        assert "registered" in resp
+
+    def test_seq_echoed(self):
+        resp = protocol.dispatch(make_server(), {"op": "status", "seq": 42})
+        assert resp["seq"] == 42
+
+    def test_no_seq_no_echo(self):
+        resp = protocol.dispatch(make_server(), {"op": "status"})
+        assert "seq" not in resp
+
+    def test_batch_fans_out_in_order(self):
+        server = make_server()
+        resp = protocol.dispatch(
+            server,
+            {
+                "op": "batch",
+                "msgs": [
+                    {"op": "register", "seq": 0},
+                    {"op": "status", "seq": 1},
+                    {"op": "nonsense", "seq": 2},
+                ],
+            },
+        )
+        assert resp["ok"]
+        results = resp["results"]
+        assert [r["seq"] for r in results] == [0, 1, 2]
+        assert results[0]["ok"] and "client_id" in results[0]
+        assert results[1]["ok"]
+        assert not results[2]["ok"]
+
+    def test_batch_needs_msgs_list(self):
+        resp = protocol.dispatch(make_server(), {"op": "batch", "msgs": "nope"})
+        assert not resp["ok"]
+
+    def test_batch_size_capped(self):
+        msgs = [{"op": "status"}] * (protocol.MAX_BATCH_MSGS + 1)
+        resp = protocol.dispatch(make_server(), {"op": "batch", "msgs": msgs})
+        assert not resp["ok"]
+        assert "exceeds" in resp["error"]
+
+    def test_nested_batch_rejected(self):
+        resp = protocol.dispatch(
+            make_server(),
+            {"op": "batch", "msgs": [{"op": "batch", "msgs": []}]},
+        )
+        assert resp["ok"]  # envelope is fine...
+        assert not resp["results"][0]["ok"]  # ...the nested frame is not
+
+    def test_non_object_batch_member_rejected(self):
+        resp = protocol.dispatch(
+            make_server(), {"op": "batch", "msgs": ["str"]}
+        )
+        assert resp["ok"]
+        assert not resp["results"][0]["ok"]
+
+    def test_batch_is_json_serializable(self):
+        resp = protocol.dispatch(
+            make_server(),
+            {"op": "batch", "msgs": [{"op": "register"}, {"op": "fetch",
+                                                          "client_id": 0}]},
+        )
+        json.dumps(resp)
+
+
+class TestVersioning:
+    def test_current_version_accepted(self):
+        resp = make_server().handle(
+            {"op": "register", "version": protocol.PROTOCOL_VERSION}
+        )
+        assert resp["ok"]
+        assert resp["version"] == protocol.PROTOCOL_VERSION
+
+    def test_absent_version_accepted(self):
+        # Pre-versioning clients keep working.
+        assert make_server().handle({"op": "register"})["ok"]
+
+    def test_mismatched_version_rejected(self):
+        resp = make_server().handle(
+            {"op": "register", "version": protocol.PROTOCOL_VERSION + 1,
+             "params": space_to_spec(make_space())}
+        )
+        assert not resp["ok"]
+        assert "version" in resp["error"]
+
+    def test_mismatch_rejected_before_space_binding(self):
+        server = TuningServer(lambda s: ParallelRankOrdering(s))
+        resp = server.handle(
+            {"op": "register", "version": 999,
+             "params": space_to_spec(make_space())}
+        )
+        assert not resp["ok"]
+        assert server.space is None
+
+
+@pytest.mark.parametrize("n", [1, 3, 7])
+def test_batch_of_fetches_matches_sequential(n):
+    """A batch of n fetches hands out the same assignments as n round trips."""
+    batched = make_server()
+    sequential = make_server()
+    batched.handle({"op": "register"})
+    sequential.handle({"op": "register"})
+    resp = protocol.dispatch(
+        batched,
+        {"op": "batch", "msgs": [{"op": "fetch", "client_id": 0}] * n},
+    )
+    seq_points = [
+        sequential.handle({"op": "fetch", "client_id": 0})["point"]
+        for _ in range(n)
+    ]
+    assert [r["point"] for r in resp["results"]] == seq_points

@@ -91,6 +91,61 @@ class TestTune:
         assert "mean NTT" in capsys.readouterr().out
 
 
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.transport == "async"
+        assert args.port == 7077
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--transport", "carrier-pigeon"])
+
+    @pytest.mark.parametrize("transport", ["async", "threaded"])
+    def test_serve_round_trip(self, transport, tmp_path):
+        """Host for a bounded duration; a real client tunes against it."""
+        import threading
+        import time
+
+        import numpy as np
+
+        from repro.harmony.client import TuningClient
+        from repro.harmony.transport import TcpClientTransport
+        from repro.space import IntParameter, ParameterSpace
+
+        port_file = tmp_path / "port"
+        trace = tmp_path / "serve.jsonl"
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(["serve", "--port", "0", "--transport", transport,
+                      "--duration", "3", "--port-file", str(port_file),
+                      "--trace", str(trace)])
+            )
+        )
+        thread.start()
+        try:
+            deadline = time.monotonic() + 5
+            while not port_file.exists() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            port = int(port_file.read_text())
+            space = ParameterSpace(
+                [IntParameter("a", -5, 5), IntParameter("b", -5, 5)]
+            )
+            with TcpClientTransport("127.0.0.1", port) as t:
+                client = TuningClient(t)
+                client.register(space)
+                for step in range(10):
+                    config = client.fetch()
+                    client.report(1.0 + float(np.sum(config**2)), step=step)
+                assert client.status()["n_reports"] == 10
+        finally:
+            thread.join(timeout=15)
+        assert codes == [0]
+        events = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert sum(e["kind"] == "server.request" for e in events) >= 22
+
+
 class TestTrace:
     def test_trace_output(self, capsys):
         code = main(["trace", "--nodes", "4", "--iterations", "120"])
