@@ -28,12 +28,22 @@ GUARDED = (
     ("sweep", "speedup"),
     ("cluster_step", "speedup"),
     ("server", "speedup"),
+    ("server", "binary_speedup"),
+    ("wire", "speedup_16"),
 )
 
 #: (section, key, ceiling) fractions guarded against an absolute ceiling —
 #: lower-is-better costs where "no worse than baseline" is too lax a gate
 CEILINGS = (
     ("obs", "overhead_frac", 0.02),
+)
+
+#: (section, key, floor) ratios guarded against an absolute floor — arms
+#: that are *expected* to lose (a CPU-bound process sweep on a small box)
+#: but must not collapse: the floor catches pathological overhead growth
+#: that relative-to-baseline guards would ratchet downward forever
+FLOORS = (
+    ("sweep_cpu", "speedup", 0.6),
 )
 
 
@@ -71,6 +81,20 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"{section}.{key}: {cur} exceeds the hard ceiling {ceiling}"
             )
+    for section, key, floor in FLOORS:
+        base = baseline.get(section, {}).get(key)
+        cur = current.get(section, {}).get(key)
+        if cur is None:
+            if base is not None:
+                failures.append(
+                    f"{section}.{key}: present in baseline ({base}) but "
+                    "missing from the current run"
+                )
+            continue
+        if cur < floor:
+            failures.append(
+                f"{section}.{key}: {cur} is below the hard floor {floor}"
+            )
     return failures
 
 
@@ -101,6 +125,9 @@ def main(argv: list[str] | None = None) -> int:
     for section, key, ceiling in CEILINGS:
         cur = current.get(section, {}).get(key)
         print(f"{section}.{key}: current={cur} ceiling={ceiling}")
+    for section, key, floor in FLOORS:
+        cur = current.get(section, {}).get(key)
+        print(f"{section}.{key}: current={cur} floor={floor}")
     if failures:
         print("\nperformance regression detected:", file=sys.stderr)
         for line in failures:

@@ -296,19 +296,32 @@ def test_smoke_sweep_executors_cpu():
 
 @pytest.mark.bench_smoke
 def test_smoke_cluster_event_generation():
-    """Vectorized block event generation vs the per-event baseline."""
+    """Batched event-horizon kernel vs the per-event scalar baseline.
+
+    The baseline arm is the seed's configuration end to end: per-event
+    block generation feeding the scalar heap loop.  The contender is the
+    current default: vectorized block generation feeding the batched
+    horizon-merge kernel.  Both produce bit-identical traces (asserted in
+    ``tests/cluster/test_batched_kernel.py``); here only the total is
+    sanity-checked so the timing loop stays honest.
+    """
     nodes, iterations = 8, 250
 
-    def run(source_cls):
+    def run(source_cls, kernel):
         cluster = Cluster(
             nodes,
             private_sources=[source_cls(5.0, ExponentialService(0.05))],
             seed=9,
+            kernel=kernel,
         )
         return cluster.run(1.0, iterations).total_time()
 
-    vector_s, vector_total = _best_of(3, lambda: run(PoissonArrivals))
-    scalar_s, scalar_total = _best_of(3, lambda: run(_PerEventPoisson))
+    vector_s, vector_total = _best_of(
+        3, lambda: run(PoissonArrivals, "batched")
+    )
+    scalar_s, scalar_total = _best_of(
+        3, lambda: run(_PerEventPoisson, "scalar")
+    )
     assert vector_total > 0 and scalar_total > 0
     _update_bench_json(
         "cluster_step",
@@ -316,6 +329,8 @@ def test_smoke_cluster_event_generation():
             "nodes": nodes,
             "iterations": iterations,
             "event_rate": 5.0,
+            "kernel": "batched",
+            "baseline_kernel": "scalar",
             "vectorized_s": round(vector_s, 4),
             "per_event_s": round(scalar_s, 4),
             "speedup": round(scalar_s / vector_s, 3),
@@ -517,3 +532,80 @@ def test_smoke_session_batched():
             "results_identical": identical,
         },
     )
+
+
+#: batch widths for the wire codec bench — 1 isolates per-frame overhead,
+#: 16 is the client default, 256 is the wide-batch regime where JSON's
+#: per-value parse cost dominates
+_WIRE_WIDTHS = (1, 16, 256)
+
+
+@pytest.mark.bench_smoke
+def test_smoke_wire_codec():
+    """Pure codec throughput: JSON lines vs binary frames, same payloads.
+
+    Each round trip encodes and decodes one ``report_many`` request plus
+    one points response carrying *width* messages — the serving hot path
+    with the sockets taken out.  Both arms run identical widths, so
+    ``speedup_16`` (guarded in ``compare_bench.py``) is a like-for-like
+    codec ratio, unlike the ``server`` section's mixed-width serving arms.
+    """
+    from repro.harmony import binproto, protocol
+
+    section: dict = {"widths": list(_WIRE_WIDTHS)}
+    for width in _WIRE_WIDTHS:
+        rng = np.random.default_rng(width)
+        tokens = np.arange(width, dtype=np.int32)
+        times = rng.uniform(0.5, 2.0, width)
+        points = rng.uniform(-10.0, 10.0, (width, 2))
+        report_msg = {
+            "op": "report_many",
+            "session": "bench",
+            "client": 3,
+            "step": 7,
+            "tokens": tokens.tolist(),
+            "times": times.tolist(),
+        }
+        points_msg = {
+            "ok": True,
+            "seq": 7,
+            "tokens": tokens.tolist(),
+            "points": points.tolist(),
+        }
+        rounds = max(1, 4096 // width)
+
+        def json_arm():
+            for _ in range(rounds):
+                req = protocol.encode_line(report_msg)
+                msg, err = protocol.decode_line(req[:-1])
+                assert err is None and msg["op"] == "report_many"
+                resp = protocol.encode_line(points_msg)
+                out, err = protocol.decode_line(resp[:-1])
+                assert err is None and out["ok"]
+
+        def bin_arm():
+            for _ in range(rounds):
+                req = binproto.encode_report_many(
+                    7, "bench", 3, 7, tokens, times
+                )
+                _client, _step, _sess, got_tokens, got_times = (
+                    binproto.decode_report_many(req[binproto.HEADER_SIZE:])
+                )
+                assert len(got_times) == width
+                resp = binproto.encode_points(7, tokens, points)
+                decoded = binproto.decode_response(
+                    binproto.MSG_POINTS, resp[binproto.HEADER_SIZE:]
+                )
+                assert decoded[0] == "points"
+
+        json_s, _unused = _best_of(3, json_arm)
+        bin_s, _unused = _best_of(3, bin_arm)
+        msgs = 2 * width * rounds
+        section[f"json_msgs_per_s_{width}"] = round(msgs / json_s, 1)
+        section[f"bin_msgs_per_s_{width}"] = round(msgs / bin_s, 1)
+        section[f"speedup_{width}"] = round(json_s / bin_s, 3)
+    assert section["speedup_256"] > 1.0, (
+        "binary codec must beat JSON at width 256, got "
+        f"{section['speedup_256']}x"
+    )
+    _update_bench_json("wire", section)

@@ -5,15 +5,20 @@ loop every online-tuning client hammers — across the serving matrix:
 
 * transport: thread-per-connection (`TcpServerTransport`) vs asyncio event
   loop (`AsyncTcpServerTransport`);
-* framing: one message per round trip vs batch frames
-  (``fetch_many``/``report_many``);
+* framing: one JSON message per round trip, JSON batch frames
+  (``fetch_many``/``report_many``), or binary batch frames (the negotiated
+  ``binproto`` fast path — same client calls, zero-copy array decode);
 * concurrency: 1 / 8 / 32 clients.
 
 Each arm records requests/sec and client-observed round-trip p50/p99 into
-the ``server`` section of ``BENCH_runner.json``.  The headline ratio — the
-32-client batched-async arm over the 32-client unbatched-threaded arm (the
-seed's only serving mode) — is asserted > 1 and guarded against regression
-by ``compare_bench.py``.
+the ``server`` section of ``BENCH_runner.json``.  Two guarded ratios: the
+32-client JSON batched-async arm over the 32-client unbatched-threaded arm
+(the seed's only serving mode), and ``binary_speedup`` — the 32-client
+binary batched-async arm over that JSON batched-async arm, the binary wire
+tentpole's headline.  Each framing runs at its own width (JSON at the
+seed's ``BATCH_WIDTH``, binary at the protocol max) because the arms
+compare *serving modes*; the same-width codec comparison is the ``wire``
+microbench.
 """
 
 from __future__ import annotations
@@ -37,8 +42,16 @@ from repro.space import IntParameter, ParameterSpace
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
 
-#: configurations fetched per batch frame in the batched arms
+#: configurations fetched per JSON batch frame — the serving mode the seed
+#: recorded, kept so the ``speedup`` headline stays comparable across runs
 BATCH_WIDTH = 16
+
+#: configurations per binary batch frame — the protocol's max batch size
+#: (``binproto.MAX_BATCH_MSGS``).  Wide frames are the binary path's design
+#: point: decode is O(1) ``np.frombuffer`` views regardless of width, where
+#: JSON parse cost stays per-value.  The same-width codec comparison lives
+#: in the ``wire`` microbench section (widths 1/16/256).
+BINARY_WIDTH = 1024
 
 CLIENT_COUNTS = (1, 8, 32)
 
@@ -71,20 +84,30 @@ def objective(point) -> float:
     return 1.0 + (a - 3) ** 2 + (b + 2) ** 2
 
 
-def make_server() -> TuningServer:
+def make_server(*, binproto: bool = False) -> TuningServer:
     return TuningServer(
-        lambda s: ParallelRankOrdering(s), plan=SamplingPlan(1, MinEstimator())
+        lambda s: ParallelRankOrdering(s),
+        plan=SamplingPlan(1, MinEstimator()),
+        binproto=binproto,
     )
 
 
-def _run_arm(transport_name: str, batched: bool, n_clients: int,
+def _run_arm(transport_name: str, mode: str, n_clients: int,
              total_steps: int) -> dict:
-    """One serving arm; returns {rps, p50_ms, p99_ms, msgs, clients}."""
-    steps = max(BATCH_WIDTH if batched else 4, total_steps // n_clients)
+    """One serving arm; returns {rps, p50_ms, p99_ms, msgs, clients}.
+
+    *mode* is ``"single"`` (one JSON message per round trip), ``"batched"``
+    (JSON batch frames), or ``"binary"`` (negotiated binary batch frames —
+    the same ``fetch_many``/``report_many`` client calls, so the arms
+    differ only in the wire).
+    """
+    batched = mode != "single"
+    width = BINARY_WIDTH if mode == "binary" else BATCH_WIDTH
+    steps = max(width if batched else 4, total_steps // n_clients)
     if batched:
-        rounds = max(1, steps // BATCH_WIDTH)
-        steps = rounds * BATCH_WIDTH
-    server = make_server()
+        rounds = max(1, steps // width)
+        steps = rounds * width
+    server = make_server(binproto=mode == "binary")
     barrier = threading.Barrier(n_clients + 1)
     latencies: list[list[float]] = [[] for _ in range(n_clients)]
     msgs_sent = [0] * n_clients
@@ -95,18 +118,19 @@ def _run_arm(transport_name: str, batched: bool, n_clients: int,
             with TcpClientTransport("127.0.0.1", tcp.port, timeout=30) as t:
                 client = TuningClient(t)
                 client.register(make_space())
+                assert client._binproto == (mode == "binary")
                 barrier.wait(timeout=30)
                 lat = latencies[idx]
                 if batched:
                     for step in range(rounds):
                         t0 = time.perf_counter()
-                        configs = client.fetch_many(BATCH_WIDTH)
+                        configs = client.fetch_many(width)
                         lat.append(time.perf_counter() - t0)
                         times = [objective(c) for c in configs]
                         t0 = time.perf_counter()
                         client.report_many(times, step=step)
                         lat.append(time.perf_counter() - t0)
-                        msgs_sent[idx] += 2 * BATCH_WIDTH
+                        msgs_sent[idx] += 2 * width
                 else:
                     for step in range(steps):
                         t0 = time.perf_counter()
@@ -154,12 +178,11 @@ def test_smoke_server_throughput(scale):
     total_steps = 1536 if scale == "full" else 512
     arms: dict[str, dict] = {}
     for transport_name in TRANSPORTS:
-        for batched in (False, True):
-            mode = "batched" if batched else "single"
+        for mode in ("single", "batched", "binary"):
             per_clients = {}
             for n_clients in CLIENT_COUNTS:
                 per_clients[str(n_clients)] = _run_arm(
-                    transport_name, batched, n_clients, total_steps
+                    transport_name, mode, n_clients, total_steps
                 )
             arms[f"{transport_name}_{mode}"] = per_clients
 
@@ -171,12 +194,20 @@ def test_smoke_server_throughput(scale):
         f"unbatched at 32 clients, got {speedup:.2f}x "
         f"({baseline:.0f} -> {contender:.0f} req/s)"
     )
+    binary = arms["async_binary"]["32"]["rps"]
+    binary_speedup = binary / contender
+    assert binary_speedup > 2.0, (
+        "the binary wire must clearly beat JSON batch frames at 32 clients, "
+        f"got {binary_speedup:.2f}x ({contender:.0f} -> {binary:.0f} req/s)"
+    )
     _update_bench_json(
         "server",
         {
             "batch_width": BATCH_WIDTH,
+            "binary_width": BINARY_WIDTH,
             "total_steps": total_steps,
             "speedup": round(speedup, 3),
+            "binary_speedup": round(binary_speedup, 3),
             **arms,
         },
     )

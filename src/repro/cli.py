@@ -126,7 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="samples per candidate (multi-sampling)")
     p_serve.add_argument("--estimator", choices=sorted(_ESTIMATORS),
                          default="min")
-    p_serve.add_argument("--workload", choices=["none", "gs2", "stencil"],
+    p_serve.add_argument("--wire", choices=["binary", "json"], default="binary",
+                         help="wire formats accepted on the port: 'binary' "
+                         "sniffs JSON lines and binary frames per frame "
+                         "(and advertises the binary fast path at "
+                         "register); 'json' disables binary frames")
+    p_serve.add_argument("--workload", choices=["none", "gs2", "stencil", "bench"],
                          default="none",
                          help="preset the parameter space from a built-in "
                          "workload so clients can register bare")
@@ -343,20 +348,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.apps.stencil import StencilSurrogate
 
         space = StencilSurrogate().space()
+    elif args.workload == "bench":
+        # The throughput benchmark's space: tiny and integer, so serving
+        # overhead (framing, dispatch) dominates and the wire is what gets
+        # measured.
+        from repro.space import IntParameter, ParameterSpace
+
+        space = ParameterSpace(
+            [IntParameter("a", -10, 10), IntParameter("b", -10, 10)]
+        )
     plan = SamplingPlan(args.k, _ESTIMATORS[args.estimator]())
     metrics = MetricsRegistry(max_samples=4096)
     tracer = obs_trace.Tracer(label="server") if args.trace else None
     server = TuningServer(
         tuner_factory(args.tuner, rng=args.seed),
         space=space, plan=plan, metrics=metrics, tracer=tracer,
+        binproto=args.wire == "binary",
     )
     transport_cls = (
         AsyncTcpServerTransport if args.transport == "async"
         else TcpServerTransport
     )
-    with transport_cls(server, host=args.host, port=args.port) as transport:
-        print(f"tuning service ({args.transport}) listening on "
-              f"{args.host}:{transport.port}")
+    with transport_cls(
+        server, host=args.host, port=args.port, wire=args.wire
+    ) as transport:
+        print(f"tuning service ({args.transport}, wire={args.wire}) "
+              f"listening on {args.host}:{transport.port}")
         print(f"tuner {args.tuner}, K={args.k} ({args.estimator}), "
               f"workload preset: {args.workload}")
         if args.port_file is not None:
@@ -379,6 +396,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({counters.get('server.errors', 0)} errors)")
     print(f"batch frames      : {counters.get('server.batch_frames', 0)} "
           f"({counters.get('server.batch_msgs', 0)} messages)")
+    print(f"binary frames     : {counters.get('server.bin_frames', 0)} "
+          f"({counters.get('server.bin_msgs', 0)} messages)")
     print(f"sessions          : {', '.join(server.session_names())}")
     handle = snapshot["histograms"].get("server.handle_s")
     if handle and "p50" in handle:

@@ -45,6 +45,7 @@ class Cluster:
         shared_sources: Sequence[WorkloadSource] = (),
         speed_factors: Sequence[float] | None = None,
         seed: int | np.random.Generator | None = None,
+        kernel: str = "auto",
     ) -> None:
         if n_nodes < 1:
             raise ValueError(f"need at least one node, got {n_nodes}")
@@ -88,6 +89,7 @@ class Cluster:
                     children[p],
                     shared_streams=shared_streams,
                     shared_load=shared_load,
+                    kernel=kernel,
                 )
             )
 

@@ -17,7 +17,9 @@ wall-clock time of the whole run (Eqs. 1–2), not the final configuration.
   client/server tuning service in the Active Harmony mould (register
   tunables, fetch assignments, report measurements) hosting many named
   sessions, over in-process, threaded-TCP, pipelined, or asyncio
-  transports (:mod:`repro.harmony.protocol` owns the shared wire format).
+  transports (:mod:`repro.harmony.protocol` owns the JSON-lines wire
+  format and :mod:`repro.harmony.binproto` the negotiated binary fast
+  path both TCP servers sniff on the same port).
 """
 
 from repro.harmony.evaluator import (
@@ -31,6 +33,7 @@ from repro.harmony.session import TuningSession
 from repro.harmony.server import ServerSession, TuningServer
 from repro.harmony.client import TuningClient
 from repro.harmony.protocol import MAX_LINE_BYTES, PROTOCOL_VERSION
+from repro.harmony.binproto import BINPROTO_VERSION
 from repro.harmony.transport import (
     InProcessTransport,
     PipelinedTcpClientTransport,
@@ -58,6 +61,7 @@ __all__ = [
     "AsyncTcpServerTransport",
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
+    "BINPROTO_VERSION",
     "warm_start_points",
     "warm_started_pro",
 ]

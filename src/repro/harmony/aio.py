@@ -27,11 +27,10 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Any
 
-from repro.harmony import protocol
+from repro.harmony import binproto, protocol
 from repro.harmony.server import TuningServer
-from repro.harmony.transport import _set_nodelay
+from repro.harmony.transport import _set_nodelay, respond_frames
 
 __all__ = ["AsyncTcpServerTransport"]
 
@@ -42,7 +41,9 @@ class AsyncTcpServerTransport:
     Pass ``port=0`` to bind a free port (available as :attr:`port` after
     :meth:`start`).  ``max_line_bytes`` caps one wire frame;
     ``drain_timeout`` bounds how long :meth:`stop` waits for live
-    connections to finish before cancelling them.
+    connections to finish before cancelling them; ``wire="binary"``
+    (default) sniffs JSON lines and binary frames per frame on one port,
+    ``wire="json"`` answers binary frames with an error.
     """
 
     def __init__(
@@ -53,13 +54,17 @@ class AsyncTcpServerTransport:
         *,
         max_line_bytes: int = protocol.MAX_LINE_BYTES,
         drain_timeout: float = 2.0,
+        wire: str = "binary",
     ) -> None:
+        if wire not in ("binary", "json"):
+            raise ValueError(f"wire must be 'binary' or 'json', got {wire!r}")
         self.server = server
         self.host = host
         self._requested_port = port
         self.port: int | None = None
         self.max_line_bytes = max_line_bytes
         self.drain_timeout = drain_timeout
+        self.wire = wire
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._aserver: asyncio.AbstractServer | None = None
@@ -155,27 +160,25 @@ class AsyncTcpServerTransport:
         sock = writer.get_extra_info("socket")
         if sock is not None:
             _set_nodelay(sock)
+        splitter = binproto.FrameSplitter(self.max_line_bytes)
         try:
             while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    # Frame longer than the reader limit: reject and close —
-                    # the stream can no longer be trusted to be in sync.
-                    writer.write(
-                        protocol.encode_line(
-                            protocol.oversized_response(self.max_line_bytes)
-                        )
-                    )
-                    await writer.drain()
+                chunk = await reader.read(65536)
+                if not chunk:
                     break
-                if not line:
-                    break
-                if not line.strip():
+                items = splitter.feed(chunk)
+                if not items:
                     continue
-                response = self._respond(line)
-                writer.write(protocol.encode_line(response))
-                await writer.drain()  # backpressure: never outrun the peer
+                # One write + drain per recv chunk: a pipelined burst of
+                # frames costs one syscall's worth of response flushing.
+                payload, closing = respond_frames(
+                    self.server, items, self.wire, self.max_line_bytes
+                )
+                if payload:
+                    writer.write(payload)
+                    await writer.drain()  # backpressure: never outrun the peer
+                if closing:
+                    break
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -184,11 +187,3 @@ class AsyncTcpServerTransport:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - racy teardown
                 pass
-
-    def _respond(self, line: bytes) -> dict[str, Any]:
-        if len(line) > self.max_line_bytes:
-            return protocol.oversized_response(self.max_line_bytes)
-        message, err = protocol.decode_line(line)
-        if err is not None:
-            return err
-        return protocol.dispatch(self.server, message)

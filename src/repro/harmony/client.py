@@ -49,7 +49,10 @@ class TuningClient:
         self.space: ParameterSpace | None = None
         self._last_token: int | None = None
         self._last_point: np.ndarray | None = None
-        self._many_tokens: list[int] | None = None
+        self._many_tokens: list[int] | np.ndarray | None = None
+        #: True once the register handshake has negotiated the binary wire
+        #: (server advertised ``binproto`` and the transport can speak it)
+        self._binproto = False
 
     def _message(self, message: dict) -> dict:
         if self.session is not None:
@@ -81,6 +84,9 @@ class TuningClient:
         )
         self.client_id = int(response["client_id"])
         self.space = space
+        self._binproto = bool(response.get("binproto")) and getattr(
+            self.transport, "supports_binary", False
+        )
         return self.client_id
 
     def open_session(self, name: str, *, k: int | None = None,
@@ -141,6 +147,14 @@ class TuningClient:
             raise RuntimeError("call register() before fetch_many()")
         if n < 1:
             raise ValueError(f"fetch_many needs n >= 1, got {n}")
+        if self._binproto:
+            points, tokens = self.transport.fetch_many_wire(
+                self.session or "", self.client_id, n
+            )
+            self._many_tokens = tokens
+            # Copy out of the zero-copy receive buffer: callers own (and may
+            # mutate) their configurations, exactly as on the JSON path.
+            return [np.array(row, dtype=float) for row in points]
         responses = self._call_many(
             [{"op": "fetch", "client_id": self.client_id} for _ in range(n)]
         )
@@ -156,6 +170,16 @@ class TuningClient:
                 f"got {len(elapsed)} measurements for {len(self._many_tokens)} "
                 "fetched configurations"
             )
+        if self._binproto:
+            self.transport.report_many_wire(
+                self.session or "",
+                int(self.client_id if self.client_id is not None else -1),
+                int(step),
+                np.asarray(self._many_tokens, dtype=np.int32),
+                np.asarray(elapsed, dtype=float),
+            )
+            self._many_tokens = None
+            return
         self._call_many(
             [
                 {

@@ -31,6 +31,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "MAX_BATCH_MSGS",
+    "MAX_ERROR_TEXT",
     "decode_line",
     "dispatch",
     "encode_line",
@@ -58,9 +59,14 @@ def oversized_response(limit: int = MAX_LINE_BYTES) -> dict[str, Any]:
     return error_response(f"frame exceeds {limit} bytes; closing connection")
 
 
+#: cap on exception text echoed into a "bad json" error response — the
+#: offending payload is attacker-controlled and must not be amplified back
+MAX_ERROR_TEXT = 200
+
+
 def encode_line(message: Mapping[str, Any]) -> bytes:
     """Serialize one protocol message to its wire frame."""
-    return json.dumps(dict(message)).encode("utf-8") + b"\n"
+    return json.dumps(dict(message), separators=(",", ":")).encode("utf-8") + b"\n"
 
 
 def decode_line(line: bytes) -> tuple[dict[str, Any] | None, dict[str, Any] | None]:
@@ -73,7 +79,7 @@ def decode_line(line: bytes) -> tuple[dict[str, Any] | None, dict[str, Any] | No
     try:
         message = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        return None, error_response(f"bad json: {exc}")
+        return None, error_response(f"bad json: {str(exc)[:MAX_ERROR_TEXT]}")
     if not isinstance(message, dict):
         return None, error_response(
             f"expected a JSON object, got {type(message).__name__}"

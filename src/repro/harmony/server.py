@@ -191,6 +191,100 @@ class ServerSession:
                     self._assigned = []
             return {"ok": True}
 
+    # -- array-native batch operations (the binary wire fast path) --------------------
+
+    def fetch_many_arrays(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Assign *n* configurations as ``(points, tokens)`` arrays.
+
+        The array-native face of :meth:`op_fetch`: one lock acquisition and
+        zero per-message dicts, but the *same* assignment policy executed
+        the same number of times — a binary ``fetch_many`` frame and *n*
+        JSON ``fetch`` messages drive the tuner identically.  ``points`` is
+        ``(n, dim)`` float64, ``tokens`` is ``(n,)`` int32 (-1 = incumbent).
+        """
+        if n < 1:
+            raise ValueError(f"fetch_many needs n >= 1, got {n}")
+        with self._lock:
+            if self.tuner is None:
+                raise LookupError("no client has registered a space yet")
+            points = np.empty((n, self.space.dimension), dtype=np.float64)
+            tokens = np.empty(n, dtype=np.int32)
+            k = self.plan.k
+            for j in range(n):
+                self._ensure_batch()
+                batch = self._batch
+                samples = self._samples
+                assigned = self._assigned
+                best_idx, best_load = -1, None
+                for i in range(len(batch)):
+                    load = len(samples[i]) + assigned[i]
+                    if load < k and (best_load is None or load < best_load):
+                        best_idx, best_load = i, load
+                if best_idx >= 0:
+                    assigned[best_idx] += 1
+                    points[j] = batch[best_idx]
+                    tokens[j] = best_idx
+                else:
+                    points[j] = np.asarray(self.tuner.best_point, dtype=float)
+                    tokens[j] = -1
+            return points, tokens
+
+    def report_many_arrays(
+        self,
+        tokens: np.ndarray,
+        times: np.ndarray,
+        *,
+        client_id: int = -1,
+        step: int = -1,
+    ) -> tuple[int, int]:
+        """Absorb paired token/time arrays; returns ``(n_ok, n_stale)``.
+
+        Validation is vectorized and atomic: an invalid time anywhere in
+        the group raises before *any* measurement is absorbed.  Absorption
+        itself replays :meth:`op_report`'s per-measurement logic in order
+        (including mid-group batch completion), so results are identical
+        to the JSON path under paired seeding.
+        """
+        with self._lock:
+            if self.tuner is None:
+                raise LookupError("no client has registered a space yet")
+            times = np.asarray(times, dtype=float)
+            tokens = np.asarray(tokens)
+            if times.shape != tokens.shape or times.ndim != 1:
+                raise ValueError(
+                    f"got {times.shape} times for {tokens.shape} tokens"
+                )
+            finite = np.isfinite(times)
+            if not finite.all() or bool((times < 0).any()):
+                bad = times[~finite] if not finite.all() else times[times < 0]
+                raise ValueError(f"invalid time {float(bad[0])!r}")
+            client = int(client_id)
+            if step >= 0 and times.size:
+                # Same end state as op_report's per-message log writes:
+                # one (step, client) cell, last measurement wins.
+                self._log[step][client] = float(times[-1])
+            self.n_reports += times.size
+            n_stale = 0
+            k = self.plan.k
+            for token, t in zip(tokens.tolist(), times.tolist()):
+                if token < 0:
+                    continue
+                if token >= len(self._batch):
+                    n_stale += 1
+                    continue
+                self._assigned[token] = max(0, self._assigned[token] - 1)
+                self._samples[token].append(t)
+                if all(len(s) >= k for s in self._samples):
+                    estimates = [
+                        self.plan.combine(np.asarray(s, dtype=float))
+                        for s in self._samples
+                    ]
+                    self.tuner.tell(estimates)
+                    self._batch = []
+                    self._samples = []
+                    self._assigned = []
+            return int(times.size) - n_stale, n_stale
+
     def op_best(self) -> dict[str, Any]:
         """The current incumbent configuration and its estimate."""
         with self._lock:
@@ -335,8 +429,13 @@ class TuningServer:
         plan: SamplingPlan | None = None,
         metrics: "Any | None" = None,
         tracer: "Any | None" = None,
+        binproto: bool = True,
     ) -> None:
         self._factory = tuner_factory
+        #: advertise the binary wire format in register responses; clients
+        #: only switch to binary frames after seeing the advertisement, so
+        #: a server hosted behind a JSON-only transport sets this False
+        self.binproto = bool(binproto)
         self._default_plan = plan if plan is not None else SamplingPlan()
         self._sessions: dict[str, ServerSession] = {
             DEFAULT_SESSION: ServerSession(
@@ -481,6 +580,14 @@ class TuningServer:
             self.metrics.inc("server.batch_msgs", n_msgs)
         self._emit("server.batch", n_msgs=n_msgs)
 
+    def observe_binary(self, op: str, n_msgs: int) -> None:
+        """Record one binary frame (called by binproto's dispatcher)."""
+        if self.metrics is not None:
+            self.metrics.inc("server.bin_frames")
+            self.metrics.inc("server.bin_msgs", n_msgs)
+            self.metrics.inc(f"server.op.{op}", n_msgs)
+        self._emit("server.batch", n_msgs=n_msgs, wire="binary")
+
     # -- protocol entry point ------------------------------------------------------
 
     _SERVER_OPS = frozenset({"open_session", "close_session", "list_sessions", "metrics"})
@@ -526,7 +633,14 @@ class TuningServer:
                 f"no such session {name!r}; open it with op 'open_session'"
             )
         if op == "register":
-            return session.op_register(message)
+            response = session.op_register(message)
+            if response.get("ok", False) and self.binproto:
+                # The negotiation half of the binary wire format: clients
+                # only send binary frames after seeing this advertisement.
+                from repro.harmony.binproto import BINPROTO_VERSION
+
+                response["binproto"] = BINPROTO_VERSION
+            return response
         if op == "fetch":
             return session.op_fetch(message)
         if op == "report":

@@ -30,7 +30,9 @@ from concurrent.futures import Future
 from itertools import count
 from typing import Any, Mapping, Sequence
 
-from repro.harmony import protocol
+import numpy as np
+
+from repro.harmony import binproto, protocol
 from repro.harmony.server import TuningServer
 
 __all__ = [
@@ -48,6 +50,46 @@ def _set_nodelay(sock: socket.socket) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     except OSError:  # pragma: no cover - platform-dependent
         pass
+
+
+def respond_frames(
+    server: TuningServer,
+    items: Sequence[tuple],
+    wire: str,
+    max_line_bytes: int = protocol.MAX_LINE_BYTES,
+) -> tuple[bytes, bool]:
+    """Turn one :class:`binproto.FrameSplitter` batch into response bytes.
+
+    Shared by the threaded and asyncio servers so their mixed JSON/binary
+    handling cannot drift.  Returns ``(payload, closing)``: every response
+    for the batch concatenated into one buffer (one ``sendall`` per recv
+    chunk), and whether the connection must close (an oversized frame
+    desynchronizes the stream).  ``wire == "json"`` answers binary frames
+    with an ERROR frame instead of decoding them.
+    """
+    out: list[bytes] = []
+    closing = False
+    for item in items:
+        kind = item[0]
+        if kind == "oversized":
+            out.append(protocol.encode_line(protocol.oversized_response(max_line_bytes)))
+            closing = True
+            break
+        if kind == "json":
+            message, err = protocol.decode_line(item[1])
+            response = err if err is not None else protocol.dispatch(server, message)
+            out.append(protocol.encode_line(response))
+        else:  # ("bin", msg_type, seq, payload)
+            _, msg_type, seq, payload = item
+            if wire != "binary":
+                out.append(
+                    binproto.encode_error(
+                        seq, "binary wire format disabled on this server"
+                    )
+                )
+            else:
+                out.append(binproto.dispatch_frame(server, msg_type, seq, payload))
+    return b"".join(out), closing
 
 
 class Transport(ABC):
@@ -113,12 +155,18 @@ class TcpServerTransport:
         port: int = 0,
         *,
         max_line_bytes: int = protocol.MAX_LINE_BYTES,
+        wire: str = "binary",
     ) -> None:
+        if wire not in ("binary", "json"):
+            raise ValueError(f"wire must be 'binary' or 'json', got {wire!r}")
         self.server = server
         self.host = host
         self._requested_port = port
         self.port: int | None = None
         self.max_line_bytes = max_line_bytes
+        #: "binary" accepts both framings (sniffed per frame); "json"
+        #: answers binary frames with an error instead of decoding them
+        self.wire = wire
         self._sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._running = threading.Event()
@@ -164,7 +212,7 @@ class TcpServerTransport:
     def _serve_conn(self, conn: socket.socket) -> None:
         try:
             with conn:
-                buf = b""
+                splitter = binproto.FrameSplitter(self.max_line_bytes)
                 while self._running.is_set():
                     try:
                         chunk = conn.recv(65536)
@@ -174,37 +222,18 @@ class TcpServerTransport:
                         break
                     if not chunk:
                         break
-                    buf += chunk
-                    closing = False
-                    while b"\n" in buf:
-                        line, buf = buf.split(b"\n", 1)
-                        if not line.strip():
-                            continue
-                        if len(line) > self.max_line_bytes:
-                            response = protocol.oversized_response(self.max_line_bytes)
-                            closing = True
-                        else:
-                            message, err = protocol.decode_line(line)
-                            response = err if err is not None else protocol.dispatch(
-                                self.server, message
-                            )
+                    items = splitter.feed(chunk)
+                    if not items:
+                        continue
+                    payload, closing = respond_frames(
+                        self.server, items, self.wire, self.max_line_bytes
+                    )
+                    if payload:
                         try:
-                            conn.sendall(protocol.encode_line(response))
+                            conn.sendall(payload)
                         except OSError:
                             return
-                        if closing:
-                            return
-                    if len(buf) > self.max_line_bytes:
-                        # No newline in sight and the frame cap already blown:
-                        # refuse to buffer further and drop the connection.
-                        try:
-                            conn.sendall(
-                                protocol.encode_line(
-                                    protocol.oversized_response(self.max_line_bytes)
-                                )
-                            )
-                        except OSError:
-                            pass
+                    if closing:
                         return
         finally:
             with self._conn_lock:
@@ -242,7 +271,88 @@ class TcpServerTransport:
         self.stop()
 
 
-class TcpClientTransport(Transport):
+class _BinaryWireOps:
+    """Chunked binary fetch/report shared by both TCP client transports.
+
+    Built on two primitives the concrete transport supplies: a per-frame
+    request (lock-step) or a submit-then-gather override of
+    :meth:`_request_frames` (pipelined).  Frame builders are callables
+    ``seq -> bytes`` so the pipelined client can stamp its own sequence
+    numbers.
+    """
+
+    #: clients check this (plus the server's register advertisement) before
+    #: switching their batch traffic to binary frames
+    supports_binary = True
+
+    def _request_frames(self, builders: Sequence[Any]) -> list[tuple]:
+        return [self.request_frame(build(0)) for build in builders]
+
+    def request_frame(self, frame: bytes) -> tuple:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def fetch_many_wire(
+        self, session: str, client_id: int, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch *n* configurations over the binary wire.
+
+        Returns ``(points, tokens)`` — an ``(n, dim)`` float64 block and an
+        ``(n,)`` int32 token block — chunking at
+        :data:`protocol.MAX_BATCH_MSGS` like the JSON batch path.
+        """
+        builders = []
+        for start in range(0, n, protocol.MAX_BATCH_MSGS):
+            count = min(protocol.MAX_BATCH_MSGS, n - start)
+            builders.append(
+                lambda seq, count=count: binproto.encode_fetch_many(
+                    seq, session, client_id, count
+                )
+            )
+        points_parts: list[np.ndarray] = []
+        tokens_parts: list[np.ndarray] = []
+        for resp in self._request_frames(builders):
+            if resp[0] == "error":
+                raise RuntimeError(f"tuning server error: {resp[1]}")
+            if resp[0] != "points":
+                raise RuntimeError(f"unexpected {resp[0]} response to fetch_many")
+            tokens_parts.append(resp[1])
+            points_parts.append(resp[2])
+        if len(points_parts) == 1:
+            return points_parts[0], tokens_parts[0]
+        return np.concatenate(points_parts), np.concatenate(tokens_parts)
+
+    def report_many_wire(
+        self,
+        session: str,
+        client_id: int,
+        step: int,
+        tokens: np.ndarray,
+        times: np.ndarray,
+    ) -> tuple[int, int]:
+        """Report paired token/time arrays; returns ``(n_ok, n_stale)``."""
+        tokens = np.ascontiguousarray(tokens, dtype="<i4")
+        times = np.ascontiguousarray(times, dtype="<f8")
+        builders = []
+        for start in range(0, tokens.size, protocol.MAX_BATCH_MSGS):
+            tok = tokens[start:start + protocol.MAX_BATCH_MSGS]
+            tim = times[start:start + protocol.MAX_BATCH_MSGS]
+            builders.append(
+                lambda seq, tok=tok, tim=tim: binproto.encode_report_many(
+                    seq, session, client_id, step, tok, tim
+                )
+            )
+        n_ok = n_stale = 0
+        for resp in self._request_frames(builders):
+            if resp[0] == "error":
+                raise RuntimeError(f"tuning server error: {resp[1]}")
+            if resp[0] != "ack":
+                raise RuntimeError(f"unexpected {resp[0]} response to report_many")
+            n_ok += resp[1]
+            n_stale += resp[2]
+        return n_ok, n_stale
+
+
+class TcpClientTransport(_BinaryWireOps, Transport):
     """Client side of the JSON-lines protocol (lock-step round trips)."""
 
     def __init__(self, host: str, port: int, timeout: float = 5.0) -> None:
@@ -259,6 +369,13 @@ class TcpClientTransport(Transport):
         if not line:
             raise ConnectionError("server closed the connection")
         return json.loads(line.decode("utf-8"))
+
+    def request_frame(self, frame: bytes) -> tuple:
+        """One binary round trip; returns the decoded response tuple."""
+        with self._lock:
+            self._sock.sendall(frame)
+            msg_type, _seq, payload = binproto.read_frame(self._file)
+        return binproto.decode_response(msg_type, payload)
 
     def request_many(
         self, messages: Sequence[Mapping[str, Any]]
@@ -288,14 +405,16 @@ class TcpClientTransport(Transport):
         self.close()
 
 
-class PipelinedTcpClientTransport(Transport):
+class PipelinedTcpClientTransport(_BinaryWireOps, Transport):
     """Keeps many requests in flight over one socket.
 
     Every outgoing message is tagged with a ``seq`` number the server
     echoes back; a single reader thread matches responses to waiting
     futures, so callers overlap their round trips instead of serializing
     on the socket.  ``max_inflight`` bounds the outstanding window (back-
-    pressure against a slow server).
+    pressure against a slow server).  The reader splits the raw byte
+    stream with :class:`binproto.FrameSplitter`, so JSON lines and binary
+    frames can interleave freely on one connection.
 
     :meth:`submit` returns a future; :meth:`request` is submit-and-wait;
     :meth:`request_many` submits a whole group and gathers it, batching
@@ -313,7 +432,6 @@ class PipelinedTcpClientTransport(Transport):
         self.timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
         _set_nodelay(self._sock)
-        self._file = self._sock.makefile("rb")
         self._seq = count()
         self._pending: dict[int, Future] = {}
         self._pending_lock = threading.Lock()
@@ -325,21 +443,31 @@ class PipelinedTcpClientTransport(Transport):
 
     # -- reader side --------------------------------------------------------------
 
+    def _resolve(self, seq: Any, result: Any) -> None:
+        with self._pending_lock:
+            future = self._pending.pop(seq, None)
+        if future is not None:
+            self._inflight.release()
+            future.set_result(result)
+
     def _read_loop(self) -> None:
         error: Exception | None = None
+        splitter = binproto.FrameSplitter()
         try:
             while True:
-                line = self._file.readline()
-                if not line:
+                chunk = self._sock.recv(65536)
+                if not chunk:
                     error = ConnectionError("server closed the connection")
                     break
-                response = json.loads(line.decode("utf-8"))
-                seq = response.get("seq")
-                with self._pending_lock:
-                    future = self._pending.pop(seq, None)
-                if future is not None:
-                    self._inflight.release()
-                    future.set_result(response)
+                for item in splitter.feed(chunk):
+                    if item[0] == "json":
+                        response = json.loads(item[1].decode("utf-8"))
+                        self._resolve(response.get("seq"), response)
+                    elif item[0] == "bin":
+                        _, msg_type, seq, payload = item
+                        self._resolve(seq, binproto.decode_response(msg_type, payload))
+                    else:  # oversized: the stream is no longer in sync
+                        raise ConnectionError("oversized frame from server")
         except (OSError, ValueError) as exc:
             error = exc if not self._closed else ConnectionError("transport closed")
         with self._pending_lock:
@@ -375,6 +503,31 @@ class PipelinedTcpClientTransport(Transport):
             raise ConnectionError(f"send failed: {exc}") from exc
         return future
 
+    def submit_frame(self, build: Any) -> "Future[tuple]":
+        """Send one binary frame built by ``build(seq)``; returns its future."""
+        if self._closed:
+            raise ConnectionError("transport closed")
+        seq = next(self._seq)
+        future: Future = Future()
+        self._inflight.acquire()
+        with self._pending_lock:
+            self._pending[seq] = future
+        try:
+            frame = build(seq)
+            with self._write_lock:
+                self._sock.sendall(frame)
+        except OSError as exc:
+            with self._pending_lock:
+                removed = self._pending.pop(seq, None)
+            if removed is not None:
+                self._inflight.release()
+            raise ConnectionError(f"send failed: {exc}") from exc
+        return future
+
+    def _request_frames(self, builders: Sequence[Any]) -> list[tuple]:
+        futures = [self.submit_frame(build) for build in builders]
+        return [f.result(timeout=self.timeout) for f in futures]
+
     def request(self, message: Mapping[str, Any]) -> dict[str, Any]:
         return self.submit(message).result(timeout=self.timeout)
 
@@ -401,10 +554,7 @@ class PipelinedTcpClientTransport(Transport):
             self._sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._sock.close()
         self._reader.join(timeout=2.0)
 
     def __enter__(self) -> "PipelinedTcpClientTransport":

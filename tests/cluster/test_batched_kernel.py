@@ -1,0 +1,175 @@
+"""The batched event-horizon kernel must be bit-identical to the scalar heap.
+
+The batched kernel replays the scalar loop's exact arithmetic over
+horizon-merged blocks, so every float it produces — clocks, backlogs,
+iteration times, barrier times — must equal the scalar kernel's output
+*bitwise*, not approximately.  The adversarial cases here pin the two
+subtle orderings the merge has to reproduce:
+
+* **heap tie-breaks** — equal-time events from distinct streams pop in
+  least-recently-popped stream order, one event per turn (each heap pop
+  re-pushes that stream's next event with a fresh counter), which matters
+  because float addition is not associative;
+* **RNG block-draw order** — multiple private sources share one node
+  generator, so the order in which exhausted streams draw their next
+  block determines every subsequent random number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ExponentialService,
+    FixedService,
+    ParetoService,
+    PeriodicDaemon,
+    PoissonArrivals,
+)
+from repro.cluster.machine import PriorityMachine
+
+
+def _paired_machines(make_sources, seed=7, **kwargs):
+    scalar = PriorityMachine(
+        make_sources(), rng=np.random.default_rng(seed),
+        kernel="scalar", **kwargs,
+    )
+    batched = PriorityMachine(
+        make_sources(), rng=np.random.default_rng(seed),
+        kernel="batched", **kwargs,
+    )
+    return scalar, batched
+
+
+def _drive(machine, rng):
+    """A mixed serve/advance schedule; returns every observable float."""
+    out = []
+    t = 0.0
+    for step in range(400):
+        if step % 3 == 2:
+            t = machine.clock + float(rng.uniform(0.0, 0.4))
+            machine.advance_to(t)
+        else:
+            out.append(machine.serve_application(float(rng.uniform(0.01, 0.5))))
+        out.extend((machine.clock, machine.backlog))
+    return out
+
+
+CASES = {
+    "single_poisson": lambda: [PoissonArrivals(5.0, ExponentialService(0.05))],
+    "poisson_plus_daemon": lambda: [
+        PoissonArrivals(3.0, ParetoService(1.8, 0.01)),
+        PeriodicDaemon(0.25, ExponentialService(0.02)),
+    ],
+    # Two identical daemon lattices: every event time collides with the
+    # other stream's, so the whole run is one long heap tie-break.
+    "identical_daemon_lattices": lambda: [
+        PeriodicDaemon(0.2, FixedService(0.01)),
+        PeriodicDaemon(0.2, FixedService(0.02)),
+    ],
+    # Two sources sharing one generator: block-draw order is everything.
+    "two_poisson_shared_gen": lambda: [
+        PoissonArrivals(4.0, ExponentialService(0.03)),
+        PoissonArrivals(1.5, ExponentialService(0.08)),
+    ],
+    "three_mixed_sources": lambda: [
+        PoissonArrivals(2.0, ExponentialService(0.04)),
+        PeriodicDaemon(0.31, ParetoService(2.0, 0.005), phase=0.1),
+        PoissonArrivals(0.7, FixedService(0.05)),
+    ],
+}
+
+
+class TestMachineBitIdentity:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_serve_advance_schedule(self, case):
+        scalar, batched = _paired_machines(CASES[case])
+        a = _drive(scalar, np.random.default_rng(1234))
+        b = _drive(batched, np.random.default_rng(1234))
+        # Bitwise equality — approximate closeness would hide ordering bugs.
+        assert np.asarray(a).tobytes() == np.asarray(b).tobytes()
+
+    def test_streamless_machines_agree(self):
+        scalar, batched = _paired_machines(lambda: [])
+        for work in (0.5, 1.25, 0.0625):
+            assert scalar.serve_application(work) == batched.serve_application(work)
+        scalar.advance_to(10.0)
+        batched.advance_to(10.0)
+        assert scalar.clock == batched.clock
+
+    def test_shared_streams_bit_identical(self):
+        def build(kernel):
+            daemon = PeriodicDaemon(0.4, ExponentialService(0.03))
+            return PriorityMachine(
+                [PoissonArrivals(2.0, ExponentialService(0.05))],
+                rng=np.random.default_rng(3),
+                shared_streams=[
+                    daemon.stream_blocks(0.0, np.random.default_rng(99))
+                ],
+                shared_load=daemon.load,
+                kernel=kernel,
+            )
+
+        a = _drive(build("scalar"), np.random.default_rng(5))
+        b = _drive(build("batched"), np.random.default_rng(5))
+        assert np.asarray(a).tobytes() == np.asarray(b).tobytes()
+
+
+class TestClusterBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 11, 202])
+    def test_private_and_shared_sources(self, seed):
+        def run(kernel):
+            cluster = Cluster(
+                4,
+                private_sources=[
+                    PoissonArrivals(3.0, ExponentialService(0.04)),
+                    PeriodicDaemon(0.5, ParetoService(1.9, 0.01)),
+                ],
+                shared_sources=[PeriodicDaemon(1.0, ExponentialService(0.1))],
+                seed=seed,
+                kernel=kernel,
+            )
+            return cluster.run(1.0, 120)
+
+        a = run("scalar")
+        b = run("batched")
+        assert a.times.tobytes() == b.times.tobytes()
+        assert a.barrier_times.tobytes() == b.barrier_times.tobytes()
+
+    def test_auto_matches_batched(self):
+        def run(kernel):
+            return Cluster(
+                2,
+                private_sources=[PoissonArrivals(5.0, ExponentialService(0.05))],
+                seed=21,
+                kernel=kernel,
+            ).run(1.0, 60)
+
+        assert (
+            run("auto").times.tobytes() == run("batched").times.tobytes()
+        )
+
+
+class TestKernelParameter:
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            PriorityMachine(kernel="vectorized")
+
+    def test_auto_prefers_batched_with_streams(self):
+        m = PriorityMachine(
+            [PoissonArrivals(1.0, ExponentialService(0.1))],
+            rng=0,
+        )
+        assert m._batched is True
+
+    def test_auto_falls_back_to_scalar_without_streams(self):
+        assert PriorityMachine()._batched is False
+
+    def test_cluster_passes_kernel_through(self):
+        cluster = Cluster(
+            2,
+            private_sources=[PoissonArrivals(1.0, ExponentialService(0.1))],
+            seed=0,
+            kernel="scalar",
+        )
+        assert all(node._batched is False for node in cluster.nodes)

@@ -6,14 +6,15 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
 
-from compare_bench import CEILINGS, GUARDED, compare, main  # noqa: E402
+from compare_bench import CEILINGS, FLOORS, GUARDED, compare, main  # noqa: E402
 
 
-def payload(sweep=3.0, cluster=2.5, obs=0.01):
+def payload(sweep=3.0, cluster=2.5, obs=0.01, sweep_cpu=0.9):
     return {
         "sweep": {"speedup": sweep},
         "cluster_step": {"speedup": cluster},
         "obs": {"overhead_frac": obs},
+        "sweep_cpu": {"speedup": sweep_cpu},
     }
 
 
@@ -36,7 +37,11 @@ class TestCompare:
         assert any("missing" in f for f in failures)
 
     def test_every_guarded_metric_is_a_ratio(self):
-        assert all(key == "speedup" for _, key in GUARDED)
+        assert all("speedup" in key for _, key in GUARDED)
+
+    def test_binary_wire_headlines_are_guarded(self):
+        assert ("server", "binary_speedup") in GUARDED
+        assert ("wire", "speedup_16") in GUARDED
 
 
 class TestCeilings:
@@ -59,6 +64,31 @@ class TestCeilings:
         current = {"sweep": {"speedup": 3.0}, "cluster_step": {"speedup": 2.5}}
         failures = compare(payload(), current, tolerance=0.2)
         assert any("obs.overhead_frac" in f and "missing" in f for f in failures)
+
+
+class TestFloors:
+    def test_cpu_sweep_has_a_hard_floor(self):
+        assert ("sweep_cpu", "speedup", 0.6) in FLOORS
+
+    def test_above_floor_passes(self):
+        # Losing to serial (< 1.0) is expected on a small box; only a
+        # collapse below the floor fails.
+        assert compare(payload(), payload(sweep_cpu=0.7), tolerance=0.2) == []
+
+    def test_below_floor_fails_regardless_of_baseline(self):
+        failures = compare(
+            payload(sweep_cpu=0.3), payload(sweep_cpu=0.4), tolerance=0.2
+        )
+        assert any("sweep_cpu.speedup" in f and "floor" in f for f in failures)
+
+    def test_floor_metric_new_in_this_run_passes(self):
+        baseline = {"sweep": {"speedup": 3.0}}
+        assert compare(baseline, payload(), tolerance=0.2) == []
+
+    def test_floor_metric_dropped_from_current_fails(self):
+        current = {k: v for k, v in payload().items() if k != "sweep_cpu"}
+        failures = compare(payload(), current, tolerance=0.2)
+        assert any("sweep_cpu.speedup" in f and "missing" in f for f in failures)
 
 
 class TestMain:
