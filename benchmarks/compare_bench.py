@@ -36,6 +36,7 @@ GUARDED = (
 #: lower-is-better costs where "no worse than baseline" is too lax a gate
 CEILINGS = (
     ("obs", "overhead_frac", 0.02),
+    ("server", "wal_overhead_frac", 0.10),
 )
 
 #: (section, key, floor) ratios guarded against an absolute floor — arms

@@ -84,22 +84,29 @@ def objective(point) -> float:
     return 1.0 + (a - 3) ** 2 + (b + 2) ** 2
 
 
-def make_server(*, binproto: bool = False) -> TuningServer:
-    return TuningServer(
+def make_server(*, binproto: bool = False, wal_dir=None) -> TuningServer:
+    server = TuningServer(
         lambda s: ParallelRankOrdering(s),
         plan=SamplingPlan(1, MinEstimator()),
         binproto=binproto,
     )
+    if wal_dir is not None:
+        from repro.harmony.wal import WalWriter
+
+        server.attach_wal(WalWriter(wal_dir, sync="batch"))
+    return server
 
 
 def _run_arm(transport_name: str, mode: str, n_clients: int,
-             total_steps: int) -> dict:
+             total_steps: int, wal_dir=None) -> dict:
     """One serving arm; returns {rps, p50_ms, p99_ms, msgs, clients}.
 
     *mode* is ``"single"`` (one JSON message per round trip), ``"batched"``
     (JSON batch frames), or ``"binary"`` (negotiated binary batch frames —
     the same ``fetch_many``/``report_many`` client calls, so the arms
-    differ only in the wire).
+    differ only in the wire).  *wal_dir* arms the write-ahead log in
+    group-commit mode — every mutation logged, one fsync per request chunk
+    — to price durability against the identical non-durable arm.
     """
     batched = mode != "single"
     width = BINARY_WIDTH if mode == "binary" else BATCH_WIDTH
@@ -107,7 +114,7 @@ def _run_arm(transport_name: str, mode: str, n_clients: int,
     if batched:
         rounds = max(1, steps // width)
         steps = rounds * width
-    server = make_server(binproto=mode == "binary")
+    server = make_server(binproto=mode == "binary", wal_dir=wal_dir)
     barrier = threading.Barrier(n_clients + 1)
     latencies: list[list[float]] = [[] for _ in range(n_clients)]
     msgs_sent = [0] * n_clients
@@ -162,6 +169,7 @@ def _run_arm(transport_name: str, mode: str, n_clients: int,
     assert not errors, f"client errors in {transport_name} arm: {errors[:3]}"
     total_msgs = sum(msgs_sent)
     assert server.n_reports == total_msgs // 2, "lost reports under load"
+    server.close_wal()
     rtts = np.asarray([v for lat in latencies for v in lat], dtype=float)
     return {
         "clients": n_clients,
@@ -200,6 +208,28 @@ def test_smoke_server_throughput(scale):
         "the binary wire must clearly beat JSON batch frames at 32 clients, "
         f"got {binary_speedup:.2f}x ({contender:.0f} -> {binary:.0f} req/s)"
     )
+
+    # Durability tax: the same async binary arm with a group-commit WAL
+    # attached (sync=batch, one fsync per request chunk).  Wide frames are
+    # what make the fsync amortize — per-chunk fsync over 16-message JSON
+    # chunks costs ~70% and is a configuration choice (--sync off, or wider
+    # frames), not a regression, so only this arm is guarded (the
+    # ``wal_overhead_frac`` ceiling in compare_bench.py).
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as wal_tmp:
+        wal_arm = _run_arm(
+            "async", "binary", 32, total_steps,
+            wal_dir=Path(wal_tmp) / "wal",
+        )
+    wal_overhead = max(0.0, 1.0 - wal_arm["rps"] / binary)
+    assert wal_overhead < 0.10, (
+        "the WAL in group-commit mode must cost < 10% of binary serving "
+        f"throughput at 32 clients, measured {wal_overhead:.1%} "
+        f"({binary:.0f} -> {wal_arm['rps']:.0f} req/s)"
+    )
+    arms["async_binary_wal"] = {"32": wal_arm}
+
     _update_bench_json(
         "server",
         {
@@ -208,6 +238,7 @@ def test_smoke_server_throughput(scale):
             "total_steps": total_steps,
             "speedup": round(speedup, 3),
             "binary_speedup": round(binary_speedup, 3),
+            "wal_overhead_frac": round(wal_overhead, 3),
             **arms,
         },
     )

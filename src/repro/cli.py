@@ -146,6 +146,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace", type=Path, default=None,
                          help="record server.request/server.batch events "
                          "to a JSONL trace on shutdown")
+    p_serve.add_argument("--wal-dir", type=Path, default=None,
+                         help="make the service durable: append every state "
+                         "mutation to a write-ahead log in this directory; "
+                         "if it already holds segments, recover the server "
+                         "from them by replay before listening")
+    p_serve.add_argument("--sync", choices=["always", "batch", "off"],
+                         default="batch",
+                         help="WAL durability mode: fsync per append, group "
+                         "commit per request chunk (default), or OS page "
+                         "cache only (kill-safe, not power-fail-safe)")
+    p_serve.add_argument("--wal-snapshot-bytes", type=int, default=64 << 20,
+                         help="snapshot+truncate the WAL once it grows past "
+                         "this many bytes")
+    p_serve.add_argument("--crash-at", default=None, metavar="KIND:N",
+                         help="fault injection for the crash-recovery tests: "
+                         "SIGKILL this process at the Nth WAL event; KIND is "
+                         "append, commit, torn, or snapshot")
 
     p_trace = sub.add_parser(
         "trace",
@@ -360,11 +377,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     plan = SamplingPlan(args.k, _ESTIMATORS[args.estimator]())
     metrics = MetricsRegistry(max_samples=4096)
     tracer = obs_trace.Tracer(label="server") if args.trace else None
-    server = TuningServer(
-        tuner_factory(args.tuner, rng=args.seed),
-        space=space, plan=plan, metrics=metrics, tracer=tracer,
-        binproto=args.wire == "binary",
-    )
+    if args.wal_dir is not None:
+        from repro.harmony.wal import recover_server
+
+        # recover_server handles the empty-directory case too: no segments
+        # means nothing to replay, and a fresh WalWriter is attached either
+        # way, so first boot and restart share one code path.
+        server = recover_server(
+            tuner_factory(args.tuner, rng=args.seed),
+            args.wal_dir,
+            space=space, plan=plan, metrics=metrics, tracer=tracer,
+            binproto=args.wire == "binary",
+            sync=args.sync,
+            snapshot_bytes=args.wal_snapshot_bytes,
+            crash_at=args.crash_at,
+        )
+    else:
+        server = TuningServer(
+            tuner_factory(args.tuner, rng=args.seed),
+            space=space, plan=plan, metrics=metrics, tracer=tracer,
+            binproto=args.wire == "binary",
+        )
     transport_cls = (
         AsyncTcpServerTransport if args.transport == "async"
         else TcpServerTransport
@@ -390,6 +423,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
         except KeyboardInterrupt:
             print("\ndraining...")
+    server.close_wal()
     snapshot = metrics.snapshot()
     counters = snapshot["counters"]
     print(f"requests handled  : {counters.get('server.requests', 0)} "
@@ -398,6 +432,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({counters.get('server.batch_msgs', 0)} messages)")
     print(f"binary frames     : {counters.get('server.bin_frames', 0)} "
           f"({counters.get('server.bin_msgs', 0)} messages)")
+    if args.wal_dir is not None:
+        print(f"wal               : {counters.get('wal.appends', 0)} appends, "
+              f"{counters.get('wal.snapshots', 0)} snapshots, "
+              f"{counters.get('wal.replayed_records', 0)} replayed")
     print(f"sessions          : {', '.join(server.session_names())}")
     handle = snapshot["histograms"].get("server.handle_s")
     if handle and "p50" in handle:

@@ -17,7 +17,12 @@ and in experiments — with bit-identical replays:
 * :class:`FaultyFactory` — session-factory-layer injection: wraps a
   sweep cell factory and crashes/hangs/degrades sessions per plan;
 * :class:`InjectedFault` — the exception raised by injected crashes,
-  so tests can tell injected failures from real bugs.
+  so tests can tell injected failures from real bugs;
+* :class:`DroppingTransport` / :func:`dropping_factory` — serving-layer
+  injection: client connections that die on a deterministic schedule
+  (``FaultPlan.conn_drop_at``), exercising the tuning client's
+  reconnect-and-replay path; ``FaultPlan.server_crash_at`` schedules
+  whole-server kills for the WAL crash-recovery battery.
 
 The executor-worker layer consumes :class:`FaultPlan` directly: a
 :class:`~repro.experiments.parallel.SweepTask` carries an optional
@@ -26,12 +31,19 @@ applies before and around the session.
 """
 
 from repro.faults.plan import FAULT_KINDS, FaultPlan, InjectedFault
-from repro.faults.inject import FaultyEvaluator, FaultyFactory
+from repro.faults.inject import (
+    DroppingTransport,
+    FaultyEvaluator,
+    FaultyFactory,
+    dropping_factory,
+)
 
 __all__ = [
     "FAULT_KINDS",
+    "DroppingTransport",
     "FaultPlan",
     "FaultyEvaluator",
     "FaultyFactory",
     "InjectedFault",
+    "dropping_factory",
 ]

@@ -24,7 +24,12 @@ from repro.faults.plan import FaultPlan, InjectedFault
 from repro.harmony.evaluator import DelegatingEvaluator, Evaluator
 from repro.obs.trace import emit as _obs_emit
 
-__all__ = ["FaultyEvaluator", "FaultyFactory"]
+__all__ = [
+    "DroppingTransport",
+    "FaultyEvaluator",
+    "FaultyFactory",
+    "dropping_factory",
+]
 
 
 class FaultyEvaluator(DelegatingEvaluator):
@@ -154,3 +159,73 @@ class FaultyFactory:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FaultyFactory({self.factory!r}, plan={self.plan!r})"
+
+
+class DroppingTransport:
+    """Client-transport injection: connections that die on schedule.
+
+    Wraps a real :class:`~repro.harmony.transport.Transport` and consults
+    :meth:`FaultPlan.conn_drop_at` per request: a scheduled drop *delivers
+    the request* to the inner transport, discards the response, closes the
+    connection, and raises :class:`ConnectionError` — the lost-ACK case,
+    the harshest one for exactly-once semantics (a drop before delivery is
+    strictly easier).  Pair with ``TuningClient(transport_factory=
+    dropping_factory(...))``: each reconnection mints a fresh epoch with
+    its own deterministic drop schedule, so the client's reconnect-and-
+    replay path is exercised without a real server ever being killed.
+
+    Binary negotiation is deliberately not forwarded (``supports_binary``
+    stays False): drops then interleave with plain JSON requests, which
+    keeps the injected schedule aligned with request indices.
+    """
+
+    def __init__(self, inner, plan: FaultPlan, epoch: int = 0) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.epoch = int(epoch)
+        self._n = 0
+
+    def _scheduled(self) -> bool:
+        index = self._n
+        self._n += 1
+        return self.plan.conn_drop_at(self.epoch, index)
+
+    def _drop(self, deliver: Callable[[], object]) -> None:
+        try:
+            deliver()
+        except Exception:  # the connection may genuinely be gone already
+            pass
+        self.close()
+        raise ConnectionError(
+            f"injected connection drop (epoch {self.epoch}, "
+            f"request {self._n - 1})"
+        )
+
+    def request(self, message):
+        if self._scheduled():
+            self._drop(lambda: self.inner.request(message))
+        return self.inner.request(message)
+
+    def request_many(self, messages):
+        if self._scheduled():
+            self._drop(lambda: self.inner.request_many(messages))
+        return self.inner.request_many(messages)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def dropping_factory(make: Callable, plan: FaultPlan) -> Callable:
+    """A ``transport_factory`` whose connections drop per *plan*.
+
+    Each call (i.e. each client reconnection) wraps a fresh transport from
+    *make* in a :class:`DroppingTransport` with the next epoch index.
+    """
+    from itertools import count as _count
+
+    epochs = _count()
+
+    def factory():
+        return DroppingTransport(make(), plan, next(epochs))
+
+    return factory

@@ -54,6 +54,12 @@ class FaultPlan:
     hang: float = 0.0
     nan: float = 0.0
     slowdown: float = 0.0
+    #: serving-layer rates (independent draws, not part of the trial-fault
+    #: band partition): probability that a given request index kills the
+    #: server process / drops the client's connection.  Consumed by the
+    #: durability tests and :class:`~repro.faults.DroppingTransport`.
+    server_crash: float = 0.0
+    conn_drop: float = 0.0
     #: attempts >= this index never fault (1 = only first attempts fault)
     max_faulty_attempts: int = 1
     #: how long an injected hang sleeps (a straggler, not an infinite wedge)
@@ -69,6 +75,10 @@ class FaultPlan:
         total = self.crash + self.hang + self.nan + self.slowdown
         if total > 1.0 + 1e-12:
             raise ValueError(f"fault rates must sum to <= 1, got {total}")
+        for name in ("server_crash", "conn_drop"):
+            rate = getattr(self, name)
+            if not np.isfinite(rate) or not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} rate must lie in [0, 1], got {rate!r}")
         if self.max_faulty_attempts < 0:
             raise ValueError(
                 f"max_faulty_attempts must be >= 0, got {self.max_faulty_attempts}"
@@ -111,3 +121,31 @@ class FaultPlan:
     def expected_fault_rate(self) -> float:
         """Marginal probability a first attempt draws *any* fault."""
         return self.crash + self.hang + self.nan + self.slowdown
+
+    # -- serving-layer faults ----------------------------------------------------
+
+    def server_crash_at(self, event_index: int) -> bool:
+        """Whether the *event_index*-th durability event kills the server.
+
+        Keyed only by the event index, so the schedule is identical no
+        matter which client's request produced the event — the paired
+        baseline run (``server_crash=0``) sees the same request stream.
+        """
+        if self.server_crash <= 0.0:
+            return False
+        ss = np.random.SeedSequence([int(self.seed), 2, int(event_index)])
+        return float(np.random.default_rng(ss).random()) < self.server_crash
+
+    def conn_drop_at(self, conn_index: int, request_index: int) -> bool:
+        """Whether request *request_index* on connection *conn_index* drops.
+
+        Drives :class:`~repro.faults.DroppingTransport`: the draw is keyed
+        by (connection, request), so every reconnection epoch replays a
+        fresh — but deterministic — drop schedule.
+        """
+        if self.conn_drop <= 0.0:
+            return False
+        ss = np.random.SeedSequence(
+            [int(self.seed), 3, int(conn_index), int(request_index)]
+        )
+        return float(np.random.default_rng(ss).random()) < self.conn_drop

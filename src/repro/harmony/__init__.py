@@ -19,7 +19,12 @@ wall-clock time of the whole run (Eqs. 1–2), not the final configuration.
   sessions, over in-process, threaded-TCP, pipelined, or asyncio
   transports (:mod:`repro.harmony.protocol` owns the JSON-lines wire
   format and :mod:`repro.harmony.binproto` the negotiated binary fast
-  path both TCP servers sniff on the same port).
+  path both TCP servers sniff on the same port);
+* :mod:`repro.harmony.wal` — the durability layer: a CRC-framed
+  write-ahead log every state mutation appends to, with group commit,
+  segment rotation, snapshot+truncate, and :func:`recover_server` to
+  rebuild a killed server by replay (clients reconnect and resume via
+  cseq-stamped exactly-once requests).
 """
 
 from repro.harmony.evaluator import (
@@ -41,6 +46,7 @@ from repro.harmony.transport import (
     TcpServerTransport,
 )
 from repro.harmony.aio import AsyncTcpServerTransport
+from repro.harmony.wal import WalWriter, recover_server, replay_dir
 from repro.harmony.warmstart import warm_start_points, warm_started_pro
 
 __all__ = [
@@ -62,6 +68,9 @@ __all__ = [
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
     "BINPROTO_VERSION",
+    "WalWriter",
+    "recover_server",
+    "replay_dir",
     "warm_start_points",
     "warm_started_pro",
 ]

@@ -114,6 +114,11 @@ class AsyncTcpServerTransport:
             future.result(timeout=self.drain_timeout + 10.0)
         finally:
             self._teardown_loop()
+            # Durability epilogue: appends whose connection died before its
+            # group commit must hit disk before stop() returns.
+            flush = getattr(self.server, "flush_wal", None)
+            if flush is not None:
+                flush()
 
     def _teardown_loop(self) -> None:
         loop, self._loop = self._loop, None

@@ -31,12 +31,23 @@ Frame layout (all integers little-endian)::
 
 Message types and payloads::
 
-    FETCH_MANY  0x01  <i client_id> <I n> <H slen> session[slen]
-    REPORT_MANY 0x02  <i client_id> <i step> <I n> <H slen> session[slen]
-                      tokens int32[n]  times float64[n]
-    POINTS      0x81  <I n> <I dim>  tokens int32[n]  points float64[n*dim]
-    ACK         0x82  <I n_ok> <I n_stale>
-    ERROR       0x7f  utf-8 error text (<= ERROR_TEXT_MAX bytes)
+    FETCH_MANY   0x01  <i client_id> <I n> <H slen> session[slen]
+    REPORT_MANY  0x02  <i client_id> <i step> <I n> <H slen> session[slen]
+                       tokens int32[n]  times float64[n]
+    FETCH_MANY2  0x03  <i client_id> <I n> <i cseq> <H slen> session[slen]
+    REPORT_MANY2 0x04  <i client_id> <i step> <I n> <i cseq> <H slen>
+                       session[slen]  tokens int32[n]  times float64[n]
+    POINTS       0x81  <I n> <I dim>  tokens int32[n]  points float64[n*dim]
+    ACK          0x82  <I n_ok> <I n_stale>
+    ERROR        0x7f  utf-8 error text (<= ERROR_TEXT_MAX bytes)
+
+The ``2`` request variants (wire version 2) add an exactly-once stamp: a
+``cseq`` of -1 means unstamped (identical semantics to the v1 frame), any
+other value makes the whole frame one dedup unit under the server's
+per-client high-water mark — a retried frame is answered from the reply
+cache instead of re-applied (see :mod:`repro.harmony.wal`).  Version-1
+frames remain accepted forever; clients only send v2 frames after the
+register response advertises ``binproto >= 2``.
 
 An empty session name addresses the default session.  ``n`` is capped at
 :data:`repro.harmony.protocol.MAX_BATCH_MSGS` and a whole frame at
@@ -60,6 +71,8 @@ __all__ = [
     "ERROR_TEXT_MAX",
     "MSG_FETCH_MANY",
     "MSG_REPORT_MANY",
+    "MSG_FETCH_MANY2",
+    "MSG_REPORT_MANY2",
     "MSG_POINTS",
     "MSG_ACK",
     "MSG_ERROR",
@@ -73,13 +86,16 @@ __all__ = [
     "encode_error",
     "decode_fetch_many",
     "decode_report_many",
+    "decode_fetch_many2",
+    "decode_report_many2",
     "decode_response",
     "read_frame",
     "dispatch_frame",
 ]
 
-#: binary wire version advertised in the register response
-BINPROTO_VERSION = 1
+#: binary wire version advertised in the register response; version 2
+#: added the cseq-stamped FETCH_MANY2/REPORT_MANY2 exactly-once frames
+BINPROTO_VERSION = 2
 
 #: first byte of every binary frame; deliberately not ``{``, whitespace, or
 #: any byte a JSON line can start with
@@ -94,6 +110,8 @@ ERROR_TEXT_MAX = 200
 
 MSG_FETCH_MANY = 0x01
 MSG_REPORT_MANY = 0x02
+MSG_FETCH_MANY2 = 0x03
+MSG_REPORT_MANY2 = 0x04
 MSG_POINTS = 0x81
 MSG_ACK = 0x82
 MSG_ERROR = 0x7F
@@ -101,6 +119,8 @@ MSG_ERROR = 0x7F
 _HEADER = struct.Struct("<BBII")
 _FETCH_HEAD = struct.Struct("<iIH")
 _REPORT_HEAD = struct.Struct("<iiIH")
+_FETCH2_HEAD = struct.Struct("<iIiH")
+_REPORT2_HEAD = struct.Struct("<iiIiH")
 _POINTS_HEAD = struct.Struct("<II")
 _ACK = struct.Struct("<II")
 
@@ -117,11 +137,21 @@ def encode_frame(msg_type: int, seq: int, payload: bytes) -> bytes:
     return _HEADER.pack(MAGIC, msg_type, seq & 0xFFFFFFFF, len(payload)) + payload
 
 
-def encode_fetch_many(seq: int, session: str, client_id: int, n: int) -> bytes:
-    """One fetch_many request frame: *n* configurations for *client_id*."""
+def encode_fetch_many(
+    seq: int, session: str, client_id: int, n: int, cseq: int | None = None
+) -> bytes:
+    """One fetch_many request frame: *n* configurations for *client_id*.
+
+    With *cseq* the frame is the exactly-once v2 variant (one dedup unit
+    under the server's per-client high-water mark); without it, the
+    classic v1 frame.
+    """
     ses = session.encode("utf-8")
-    payload = _FETCH_HEAD.pack(client_id, n, len(ses)) + ses
-    return encode_frame(MSG_FETCH_MANY, seq, payload)
+    if cseq is None:
+        payload = _FETCH_HEAD.pack(client_id, n, len(ses)) + ses
+        return encode_frame(MSG_FETCH_MANY, seq, payload)
+    payload = _FETCH2_HEAD.pack(client_id, n, cseq, len(ses)) + ses
+    return encode_frame(MSG_FETCH_MANY2, seq, payload)
 
 
 def encode_report_many(
@@ -131,14 +161,24 @@ def encode_report_many(
     step: int,
     tokens: np.ndarray,
     times: np.ndarray,
+    cseq: int | None = None,
 ) -> bytes:
-    """One report_many request frame: paired token/time arrays."""
+    """One report_many request frame: paired token/time arrays.
+
+    With *cseq* the frame is the exactly-once v2 variant — a retry after a
+    lost ACK is deduplicated instead of double-counted.
+    """
     ses = session.encode("utf-8")
     tokens = np.ascontiguousarray(tokens, dtype="<i4")
     times = np.ascontiguousarray(times, dtype="<f8")
-    head = _REPORT_HEAD.pack(client_id, step, tokens.size, len(ses))
+    if cseq is None:
+        head = _REPORT_HEAD.pack(client_id, step, tokens.size, len(ses))
+        msg_type = MSG_REPORT_MANY
+    else:
+        head = _REPORT2_HEAD.pack(client_id, step, tokens.size, cseq, len(ses))
+        msg_type = MSG_REPORT_MANY2
     payload = b"".join((head, ses, tokens.tobytes(), times.tobytes()))
-    return encode_frame(MSG_REPORT_MANY, seq, payload)
+    return encode_frame(msg_type, seq, payload)
 
 
 def encode_points(seq: int, tokens: np.ndarray, points: np.ndarray) -> bytes:
@@ -221,6 +261,54 @@ def decode_report_many(
     tokens = np.frombuffer(payload, dtype="<i4", count=n, offset=offset)
     times = np.frombuffer(payload, dtype="<f8", count=n, offset=offset + 4 * n)
     return client_id, step, session, tokens, times
+
+
+def decode_fetch_many2(payload: bytes) -> tuple[int, int, int, str]:
+    """``(client_id, n, cseq, session)`` from a FETCH_MANY2 payload."""
+    if len(payload) < _FETCH2_HEAD.size:
+        raise WireError(
+            f"fetch_many2 payload of {len(payload)} bytes is shorter than "
+            f"its {_FETCH2_HEAD.size}-byte header"
+        )
+    client_id, n, cseq, slen = _FETCH2_HEAD.unpack_from(payload)
+    if not 1 <= n <= protocol.MAX_BATCH_MSGS:
+        raise WireError(
+            f"fetch_many2 count {n} outside [1, {protocol.MAX_BATCH_MSGS}]"
+        )
+    session = _session_name(payload, _FETCH2_HEAD.size, slen)
+    if len(payload) != _FETCH2_HEAD.size + slen:
+        raise WireError("fetch_many2 payload has trailing bytes")
+    return client_id, n, cseq, session
+
+
+def decode_report_many2(
+    payload: bytes,
+) -> tuple[int, int, int, str, np.ndarray, np.ndarray]:
+    """``(client_id, step, cseq, session, tokens, times)`` from REPORT_MANY2.
+
+    The token/time arrays are zero-copy ``np.frombuffer`` views over the
+    payload (read-only).
+    """
+    if len(payload) < _REPORT2_HEAD.size:
+        raise WireError(
+            f"report_many2 payload of {len(payload)} bytes is shorter than "
+            f"its {_REPORT2_HEAD.size}-byte header"
+        )
+    client_id, step, n, cseq, slen = _REPORT2_HEAD.unpack_from(payload)
+    if not 1 <= n <= protocol.MAX_BATCH_MSGS:
+        raise WireError(
+            f"report_many2 count {n} outside [1, {protocol.MAX_BATCH_MSGS}]"
+        )
+    session = _session_name(payload, _REPORT2_HEAD.size, slen)
+    offset = _REPORT2_HEAD.size + slen
+    expected = offset + 4 * n + 8 * n
+    if len(payload) != expected:
+        raise WireError(
+            f"report_many2 payload is {len(payload)} bytes, expected {expected}"
+        )
+    tokens = np.frombuffer(payload, dtype="<i4", count=n, offset=offset)
+    times = np.frombuffer(payload, dtype="<f8", count=n, offset=offset + 4 * n)
+    return client_id, step, cseq, session, tokens, times
 
 
 def read_frame(file: Any) -> tuple[int, int, bytes]:
@@ -387,6 +475,27 @@ def dispatch_frame(server: Any, msg_type: int, seq: int, payload: bytes) -> byte
             session = _lookup_session(server, name)
             n_ok, n_stale = session.report_many_arrays(
                 tokens, times, client_id=client_id, step=step
+            )
+            observe = getattr(server, "observe_binary", None)
+            if observe is not None:
+                observe("report_many", tokens.size)
+            return encode_ack(seq, n_ok, n_stale)
+        if msg_type == MSG_FETCH_MANY2:
+            client_id, n, cseq, name = decode_fetch_many2(payload)
+            session = _lookup_session(server, name)
+            points, tokens = session.fetch_many_arrays(
+                n, client_id=client_id, cseq=cseq if cseq >= 0 else None
+            )
+            observe = getattr(server, "observe_binary", None)
+            if observe is not None:
+                observe("fetch_many", n)
+            return encode_points(seq, tokens, points)
+        if msg_type == MSG_REPORT_MANY2:
+            client_id, step, cseq, name, tokens, times = decode_report_many2(payload)
+            session = _lookup_session(server, name)
+            n_ok, n_stale = session.report_many_arrays(
+                tokens, times, client_id=client_id, step=step,
+                cseq=cseq if cseq >= 0 else None,
             )
             observe = getattr(server, "observe_binary", None)
             if observe is not None:

@@ -23,16 +23,31 @@ round trips with the plural forms — one wire frame instead of P::
 Pass ``session="name"`` to address a named session on a multi-session
 server (the default session otherwise).  Everything else — search strategy,
 multi-sampling, estimator — lives on the server.
+
+Durability: pass ``transport_factory`` (a zero-argument callable returning
+a fresh connected transport) and the client survives connection loss and
+server restarts.  Every fetch/report is stamped with a client sequence
+number (``cseq``); on a connection error the client reconnects, re-registers
+under its registration nonce (recovering the *same* client id from a server
+rebuilt by WAL replay — see :mod:`repro.harmony.wal`), replays any unacked
+reports, and retries the interrupted call with its original stamp.  The
+server's per-client high-water mark makes all of that exactly-once: a retry
+of an already-applied request is answered from the reply cache, so neither
+measurements nor assignments are duplicated.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+import time
+import uuid
+from collections import OrderedDict
+from itertools import count
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.harmony.protocol import PROTOCOL_VERSION
-from repro.harmony.transport import Transport
+from repro.harmony.transport import Transport, n_wire_chunks
 from repro.space import ParameterSpace
 from repro.space.serialize import space_to_spec
 
@@ -42,7 +57,20 @@ __all__ = ["TuningClient"]
 class TuningClient:
     """One application process's handle on the tuning service."""
 
-    def __init__(self, transport: Transport, *, session: str | None = None) -> None:
+    def __init__(
+        self,
+        transport: Transport | None = None,
+        *,
+        session: str | None = None,
+        transport_factory: Callable[[], Transport] | None = None,
+        nonce: str | None = None,
+        reconnect_attempts: int = 8,
+        reconnect_delay: float = 0.1,
+    ) -> None:
+        if transport is None:
+            if transport_factory is None:
+                raise ValueError("need a transport or a transport_factory")
+            transport = transport_factory()
         self.transport = transport
         self.session = session
         self.client_id: int | None = None
@@ -53,6 +81,17 @@ class TuningClient:
         #: True once the register handshake has negotiated the binary wire
         #: (server advertised ``binproto`` and the transport can speak it)
         self._binproto = False
+        self._binproto_version = 0
+        self._factory = transport_factory
+        #: identifies this client across reconnects: re-registering with
+        #: the same nonce returns the same client id instead of minting one
+        self._nonce = nonce if nonce is not None else uuid.uuid4().hex
+        self._reconnect_attempts = int(reconnect_attempts)
+        self._reconnect_delay = float(reconnect_delay)
+        self._cseq = count()
+        #: unacked reports, cseq -> replay closure; replayed (in order, and
+        #: deduplicated server-side) after every reconnect
+        self._pending: "OrderedDict[int, Callable[[], None]]" = OrderedDict()
 
     def _message(self, message: dict) -> dict:
         if self.session is not None:
@@ -71,22 +110,76 @@ class TuningClient:
         tagged = [self._message(m) for m in messages]
         return [self._check(r) for r in self.transport.request_many(tagged)]
 
+    # -- reconnect-and-resume --------------------------------------------------
+
+    def _next_cseq(self) -> int:
+        return next(self._cseq)
+
+    def _retriable(self, fn: Callable[[], Any]) -> Any:
+        """Run *fn*, reconnecting and retrying on connection loss.
+
+        Only usable for idempotent calls (everything cseq-stamped): the
+        retry reuses the original stamps, so a request that was applied
+        right before the connection died is answered from the server's
+        reply cache, not applied twice.
+        """
+        attempts = self._reconnect_attempts if self._factory is not None else 0
+        for attempt in range(attempts + 1):
+            try:
+                return fn()
+            except (ConnectionError, OSError, TimeoutError):
+                if attempt == attempts:
+                    raise
+                self._reconnect()
+
+    def _reconnect(self) -> None:
+        """Dial a fresh transport, resume our identity, replay unacked work."""
+        assert self._factory is not None
+        try:
+            self.transport.close()
+        except Exception:
+            pass
+        delay = self._reconnect_delay
+        last: Exception | None = None
+        for _ in range(max(1, self._reconnect_attempts)):
+            try:
+                self.transport = self._factory()
+                if self.client_id is not None:
+                    self._register_message(resume=True)
+                for replay in list(self._pending.values()):
+                    replay()
+                return
+            except (ConnectionError, OSError, TimeoutError) as exc:
+                last = exc
+                time.sleep(delay)
+                delay = min(delay * 2, 2.0)
+        raise ConnectionError(f"reconnect failed after retries: {last}")
+
+    def _register_message(self, *, resume: bool) -> dict:
+        message: dict = {
+            "op": "register",
+            "version": PROTOCOL_VERSION,
+            "nonce": self._nonce,
+        }
+        if self.space is not None:
+            message["params"] = space_to_spec(self.space)
+        if resume and self.client_id is not None:
+            message["resume"] = self.client_id
+        response = self._call(message)
+        self.client_id = int(response["client_id"])
+        self._binproto_version = int(response.get("binproto") or 0)
+        self._binproto = self._binproto_version > 0 and getattr(
+            self.transport, "supports_binary", False
+        )
+        return response
+
     # -- lifecycle ------------------------------------------------------------
 
     def register(self, space: ParameterSpace) -> int:
         """Declare the tunable parameters; returns the assigned client id."""
-        response = self._call(
-            {
-                "op": "register",
-                "params": space_to_spec(space),
-                "version": PROTOCOL_VERSION,
-            }
-        )
-        self.client_id = int(response["client_id"])
         self.space = space
-        self._binproto = bool(response.get("binproto")) and getattr(
-            self.transport, "supports_binary", False
-        )
+        self._retriable(lambda: self._register_message(resume=False))
+        assert self.client_id is not None
         return self.client_id
 
     def open_session(self, name: str, *, k: int | None = None,
@@ -103,9 +196,12 @@ class TuningClient:
             message["k"] = int(k)
         if estimator is not None:
             message["estimator"] = estimator
-        response = self._check(self.transport.request(message))
+        response = self._retriable(
+            lambda: self._check(self.transport.request(message))
+        )
         self.session = name
         self.client_id = None  # a session change requires a fresh register
+        self._nonce = uuid.uuid4().hex  # a fresh identity in the new session
         return bool(response.get("created", False))
 
     # -- the per-iteration protocol ------------------------------------------------
@@ -114,7 +210,12 @@ class TuningClient:
         """Get the configuration to run the next application time step with."""
         if self.client_id is None:
             raise RuntimeError("call register() before fetch()")
-        response = self._call({"op": "fetch", "client_id": self.client_id})
+        cseq = self._next_cseq()
+        response = self._retriable(
+            lambda: self._call(
+                {"op": "fetch", "client_id": self.client_id, "cseq": cseq}
+            )
+        )
         self._last_token = int(response["token"])
         self._last_point = np.asarray(response["point"], dtype=float)
         return self._last_point.copy()
@@ -123,15 +224,23 @@ class TuningClient:
         """Report the measured duration of the step run with the last fetch."""
         if self.client_id is None or self._last_token is None:
             raise RuntimeError("report() requires a preceding fetch()")
-        self._call(
-            {
-                "op": "report",
-                "client_id": self.client_id,
-                "token": self._last_token,
-                "time": float(elapsed),
-                "step": int(step),
-            }
-        )
+        cseq = self._next_cseq()
+        message = {
+            "op": "report",
+            "token": self._last_token,
+            "time": float(elapsed),
+            "step": int(step),
+            "cseq": cseq,
+        }
+
+        def send() -> None:
+            self._call(dict(message, client_id=self.client_id))
+
+        # Pending until acked: if every retry fails the report stays queued
+        # and is replayed (idempotently) after the next successful reconnect.
+        self._pending[cseq] = send
+        self._retriable(send)
+        self._pending.pop(cseq, None)
         self._last_token = None
 
     # -- the batched protocol ------------------------------------------------------
@@ -148,16 +257,24 @@ class TuningClient:
         if n < 1:
             raise ValueError(f"fetch_many needs n >= 1, got {n}")
         if self._binproto:
-            points, tokens = self.transport.fetch_many_wire(
-                self.session or "", self.client_id, n
+            cseqs = (
+                [self._next_cseq() for _ in range(n_wire_chunks(n))]
+                if self._binproto_version >= 2 else None
+            )
+            points, tokens = self._retriable(
+                lambda: self.transport.fetch_many_wire(
+                    self.session or "", self.client_id, n, cseqs=cseqs
+                )
             )
             self._many_tokens = tokens
             # Copy out of the zero-copy receive buffer: callers own (and may
             # mutate) their configurations, exactly as on the JSON path.
             return [np.array(row, dtype=float) for row in points]
-        responses = self._call_many(
-            [{"op": "fetch", "client_id": self.client_id} for _ in range(n)]
-        )
+        messages = [
+            {"op": "fetch", "client_id": self.client_id, "cseq": self._next_cseq()}
+            for _ in range(n)
+        ]
+        responses = self._retriable(lambda: self._call_many(messages))
         self._many_tokens = [int(r["token"]) for r in responses]
         return [np.asarray(r["point"], dtype=float) for r in responses]
 
@@ -171,34 +288,55 @@ class TuningClient:
                 "fetched configurations"
             )
         if self._binproto:
-            self.transport.report_many_wire(
-                self.session or "",
-                int(self.client_id if self.client_id is not None else -1),
-                int(step),
-                np.asarray(self._many_tokens, dtype=np.int32),
-                np.asarray(elapsed, dtype=float),
+            tokens = np.asarray(self._many_tokens, dtype=np.int32)
+            times = np.asarray(elapsed, dtype=float)
+            cseqs = (
+                [self._next_cseq() for _ in range(n_wire_chunks(tokens.size))]
+                if self._binproto_version >= 2 else None
             )
+
+            def send_wire() -> None:
+                self.transport.report_many_wire(
+                    self.session or "",
+                    int(self.client_id if self.client_id is not None else -1),
+                    int(step), tokens, times, cseqs=cseqs,
+                )
+
+            key = cseqs[0] if cseqs else None
+            if key is not None:
+                self._pending[key] = send_wire
+            self._retriable(send_wire)
+            if key is not None:
+                self._pending.pop(key, None)
             self._many_tokens = None
             return
-        self._call_many(
-            [
-                {
-                    "op": "report",
-                    "client_id": self.client_id,
-                    "token": token,
-                    "time": float(t),
-                    "step": int(step),
-                }
-                for token, t in zip(self._many_tokens, elapsed)
-            ]
-        )
+        messages = [
+            {
+                "op": "report",
+                "token": token,
+                "time": float(t),
+                "step": int(step),
+                "cseq": self._next_cseq(),
+            }
+            for token, t in zip(self._many_tokens, elapsed)
+        ]
+
+        def send_json() -> None:
+            self._call_many([dict(m, client_id=self.client_id) for m in messages])
+
+        key = messages[0]["cseq"] if messages else None
+        if key is not None:
+            self._pending[key] = send_json
+        self._retriable(send_json)
+        if key is not None:
+            self._pending.pop(key, None)
         self._many_tokens = None
 
     # -- queries ----------------------------------------------------------------------
 
     def best(self) -> tuple[np.ndarray, float, bool]:
         """Current incumbent: (point, estimate, converged)."""
-        response = self._call({"op": "best"})
+        response = self._retriable(lambda: self._call({"op": "best"}))
         return (
             np.asarray(response["point"], dtype=float),
             float(response["value"]),
@@ -207,7 +345,7 @@ class TuningClient:
 
     def status(self) -> dict:
         """The addressed session's progress counters."""
-        return self._call({"op": "status"})
+        return self._retriable(lambda: self._call({"op": "status"}))
 
     def as_dict(self, point: Sequence[float]) -> dict[str, float]:
         """Convert a fetched point into named parameter values."""

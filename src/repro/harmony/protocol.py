@@ -20,6 +20,15 @@ in-process transport cannot drift apart:
   response echoes it verbatim, which lets a pipelining client keep many
   requests in flight over one socket and match responses out of a single
   reader loop.
+* **exactly-once** — a client may stamp ``fetch``/``report`` messages with
+  a monotone per-client ``cseq``; the server keeps a per-client high-water
+  mark (persisted in its WAL, see :mod:`repro.harmony.wal`) plus a bounded
+  reply cache, so a stamped request retried after a lost response is
+  answered with the *original* reply instead of applied twice.  ``register``
+  gets the same property from an opaque ``nonce`` (re-registering with a
+  known nonce returns the already-minted client id) or an explicit
+  ``resume: <client_id>`` — both are how a reconnecting client recovers its
+  identity against a server rebuilt by WAL replay.
 """
 
 from __future__ import annotations

@@ -24,13 +24,27 @@ The server is transport-agnostic: it consumes plain-dict messages (see
 :meth:`TuningServer.handle`) and is thread-safe, so the same instance can
 sit behind the in-process transport, the thread-per-connection TCP
 transport, or the asyncio transport.
+
+**Durability.**  Attach a :class:`~repro.harmony.wal.WalWriter` (see
+:meth:`TuningServer.attach_wal`) and every state mutation — register,
+open/close session, fetch, report, requeue — is appended to the write-ahead
+log *while the session lock is held*, so log order equals application
+order and replaying the log rebuilds the exact server state.  Clients may
+stamp fetch/report messages with a per-client sequence number ``cseq``;
+the session keeps a per-client high-water mark plus a bounded reply cache
+(both WAL-persisted), so a retried request after a lost ACK is answered
+from the cache without mutating anything — exactly-once, end to end.
+Registration carries an optional client ``nonce`` with the same property:
+re-registering with a known nonce (or ``resume: <client_id>``) returns the
+existing client id instead of minting a new one.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
+from contextlib import ExitStack
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -57,6 +71,31 @@ _SESSION_ESTIMATORS = {
     "mean": MeanEstimator,
     "median": MedianEstimator,
 }
+
+#: reverse map used when serializing a session's plan into a WAL snapshot
+_ESTIMATOR_NAMES = {cls: name for name, cls in _SESSION_ESTIMATORS.items()}
+
+#: cached replies kept per client for exactly-once retries; a lock-step or
+#: pipelined client retries only its most recent window, so a small cache
+#: bounds memory without ever evicting a reply that can still be asked for
+_REPLY_CACHE = 64
+
+
+def _plan_spec(plan: SamplingPlan) -> dict[str, Any] | None:
+    """JSON form of a plan, or None when its estimator has no wire name."""
+    name = _ESTIMATOR_NAMES.get(type(plan.estimator))
+    if name is None:
+        return None
+    return {"k": int(plan.k), "estimator": name}
+
+
+def _plan_from_spec(spec: Mapping[str, Any] | None) -> SamplingPlan | None:
+    if not spec:
+        return None
+    estimator_cls = _SESSION_ESTIMATORS.get(spec.get("estimator", "min"))
+    if estimator_cls is None:
+        return None
+    return SamplingPlan(int(spec.get("k", 1)), estimator_cls())
 
 
 class ServerSession:
@@ -90,11 +129,66 @@ class ServerSession:
         # measurement log: step index -> {client_id: time}
         self._log: dict[int, dict[int, float]] = defaultdict(dict)
         self.n_reports = 0
+        # per-client exactly-once state: high-water mark + bounded reply
+        # cache, keyed by client id; registration nonces map to client ids
+        self._clients: dict[int, dict[str, Any]] = {}
+        self._reg_nonces: dict[str, int] = {}
+        #: WAL append callback installed by the hosting TuningServer
+        #: (``None`` = not durable); called while the session lock is held
+        #: so log order equals application order
+        self._wal: Callable[[dict], None] | None = None
+
+    # -- exactly-once bookkeeping -----------------------------------------------------
+
+    def _append_wal(self, record: dict) -> None:
+        if self._wal is not None:
+            self._wal(record)
+
+    def _client_state(self, client_id: int) -> dict[str, Any]:
+        state = self._clients.get(client_id)
+        if state is None:
+            state = self._clients[client_id] = {"hwm": -1, "cache": OrderedDict()}
+        return state
+
+    def _dedupe(self, client_id: Any, cseq: Any) -> tuple[bool, Any]:
+        """``(is_duplicate, cached_reply_or_None)`` for a stamped request.
+
+        Unstamped requests (no ``cseq``, or no usable client id) are never
+        duplicates.  A duplicate whose reply has been evicted from the
+        bounded cache returns ``(True, None)``; callers answer it with a
+        generic duplicate ACK (reports) or an error (fetches, which need
+        the exact original assignment back).
+        """
+        if cseq is None or client_id is None or int(client_id) < 0:
+            return False, None
+        state = self._client_state(int(client_id))
+        if int(cseq) <= state["hwm"]:
+            return True, state["cache"].get(int(cseq))
+        return False, None
+
+    def _record_reply(self, client_id: Any, cseq: Any, reply: Any) -> None:
+        if cseq is None or client_id is None or int(client_id) < 0:
+            return
+        state = self._client_state(int(client_id))
+        state["hwm"] = max(state["hwm"], int(cseq))
+        cache = state["cache"]
+        cache[int(cseq)] = reply
+        while len(cache) > _REPLY_CACHE:
+            cache.popitem(last=False)
 
     # -- operations -------------------------------------------------------------------
 
     def op_register(self, message: Mapping[str, Any]) -> dict[str, Any]:
-        """Bind (or validate) the parameter space and hand out a client id."""
+        """Bind (or validate) the parameter space and hand out a client id.
+
+        Registration is exactly-once: a client may stamp the message with a
+        ``nonce`` (any string) — re-registering with a known nonce returns
+        the already-assigned id instead of minting a new one, so a retry
+        after a lost ACK (or a reconnect after a server restart recovered
+        from its WAL) resumes the same identity.  ``resume: <client_id>``
+        does the same by explicit id.  Only id-minting registrations are
+        WAL-logged; resumptions don't mutate anything.
+        """
         version = message.get("version")
         if version is not None and int(version) != PROTOCOL_VERSION:
             return error_response(
@@ -115,8 +209,33 @@ class ServerSession:
                     return error_response(
                         f"parameter mismatch: {candidate.names} vs {self.space.names}"
                     )
+            nonce = message.get("nonce")
+            if nonce is not None and nonce in self._reg_nonces:
+                return {
+                    "ok": True, "client_id": self._reg_nonces[nonce],
+                    "version": PROTOCOL_VERSION, "resumed": True,
+                }
+            resume = message.get("resume")
+            if resume is not None:
+                client_id = int(resume)
+                if not 0 <= client_id < self._next_client:
+                    return error_response(
+                        f"cannot resume unknown client {client_id}"
+                    )
+                return {
+                    "ok": True, "client_id": client_id,
+                    "version": PROTOCOL_VERSION, "resumed": True,
+                }
             client_id = self._next_client
             self._next_client += 1
+            if nonce is not None:
+                self._reg_nonces[nonce] = client_id
+            record = {"op": "register", "session": self.name}
+            if specs:
+                record["params"] = specs
+            if nonce is not None:
+                record["nonce"] = nonce
+            self._append_wal({"t": "op", "m": record})
             return {"ok": True, "client_id": client_id, "version": PROTOCOL_VERSION}
 
     def _ensure_batch(self) -> None:
@@ -130,10 +249,26 @@ class ServerSession:
         self._assigned = [0 for _ in batch]
 
     def op_fetch(self, message: Mapping[str, Any]) -> dict[str, Any]:
-        """Assign the next configuration (exploration or exploitation)."""
+        """Assign the next configuration (exploration or exploitation).
+
+        A stamped fetch (``cseq``) is exactly-once: retrying it returns
+        the *original* assignment from the reply cache, so a client that
+        lost the response (connection drop, server restart) neither leaks
+        an in-flight slot nor perturbs the assignment stream.
+        """
         with self._lock:
             if self.tuner is None:
                 return error_response("no client has registered a space yet")
+            client_id = message.get("client_id")
+            cseq = message.get("cseq")
+            duplicate, cached = self._dedupe(client_id, cseq)
+            if duplicate:
+                if cached is not None and cached[0] == "resp":
+                    return dict(cached[1])
+                return error_response(
+                    f"fetch cseq {cseq} was already applied but its reply "
+                    "has been evicted from the cache"
+                )
             self._ensure_batch()
             # Least-loaded candidate still short of K total samples
             # (collected + in flight).
@@ -145,55 +280,88 @@ class ServerSession:
             if best_idx >= 0:
                 self._assigned[best_idx] += 1
                 point = self._batch[best_idx]
-                return {
+                response = {
                     "ok": True,
                     "point": [float(x) for x in point],
                     "token": best_idx,
                 }
-            # Everything in flight or converged: exploit the incumbent.
-            point = self.tuner.best_point
-            return {
-                "ok": True,
-                "point": [float(x) for x in np.asarray(point, dtype=float)],
-                "token": -1,
-            }
+            else:
+                # Everything in flight or converged: exploit the incumbent.
+                point = self.tuner.best_point
+                response = {
+                    "ok": True,
+                    "point": [float(x) for x in np.asarray(point, dtype=float)],
+                    "token": -1,
+                }
+            self._record_reply(client_id, cseq, ("resp", dict(response)))
+            record = {"op": "fetch", "session": self.name}
+            if client_id is not None:
+                record["client_id"] = int(client_id)
+            if cseq is not None:
+                record["cseq"] = int(cseq)
+            self._append_wal({"t": "op", "m": record})
+            return response
 
     def op_report(self, message: Mapping[str, Any]) -> dict[str, Any]:
-        """Absorb one measurement; feed the tuner when the batch completes."""
+        """Absorb one measurement; feed the tuner when the batch completes.
+
+        A stamped report (``cseq``) at or below the client's high-water
+        mark was already absorbed: it is ACKed as a duplicate without
+        touching the tuner, the log, or the counters — retries after a
+        lost ACK are exactly-once.
+        """
         with self._lock:
             if self.tuner is None:
                 return error_response("no client has registered a space yet")
+            client = int(message.get("client_id", -1))
+            cseq = message.get("cseq")
+            duplicate, cached = self._dedupe(client, cseq)
+            if duplicate:
+                if cached is not None and cached[0] == "resp":
+                    return dict(cached[1])
+                return {"ok": True, "duplicate": True}
             token = int(message["token"])
             time = float(message["time"])
             if not np.isfinite(time) or time < 0:
                 return error_response(f"invalid time {time!r}")
-            client = int(message.get("client_id", -1))
             step = int(message.get("step", -1))
             if step >= 0:
                 self._log[step][client] = time
             self.n_reports += 1
+            response = {"ok": True}
             if token >= 0:
                 if token >= len(self._batch):
                     # A late report for a batch that already completed (e.g.
                     # after a requeue raced a slow client): the measurement
                     # is logged above but no longer feeds the tuner.
-                    return {"ok": True, "stale": True}
-                self._assigned[token] = max(0, self._assigned[token] - 1)
-                self._samples[token].append(time)
-                if all(len(s) >= self.plan.k for s in self._samples):
-                    estimates = [
-                        self.plan.combine(np.asarray(s, dtype=float))
-                        for s in self._samples
-                    ]
-                    self.tuner.tell(estimates)
-                    self._batch = []
-                    self._samples = []
-                    self._assigned = []
-            return {"ok": True}
+                    response = {"ok": True, "stale": True}
+                else:
+                    self._assigned[token] = max(0, self._assigned[token] - 1)
+                    self._samples[token].append(time)
+                    if all(len(s) >= self.plan.k for s in self._samples):
+                        estimates = [
+                            self.plan.combine(np.asarray(s, dtype=float))
+                            for s in self._samples
+                        ]
+                        self.tuner.tell(estimates)
+                        self._batch = []
+                        self._samples = []
+                        self._assigned = []
+            self._record_reply(client, cseq, ("resp", dict(response)))
+            record = {
+                "op": "report", "session": self.name, "client_id": client,
+                "token": token, "time": time, "step": step,
+            }
+            if cseq is not None:
+                record["cseq"] = int(cseq)
+            self._append_wal({"t": "op", "m": record})
+            return response
 
     # -- array-native batch operations (the binary wire fast path) --------------------
 
-    def fetch_many_arrays(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+    def fetch_many_arrays(
+        self, n: int, *, client_id: int = -1, cseq: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Assign *n* configurations as ``(points, tokens)`` arrays.
 
         The array-native face of :meth:`op_fetch`: one lock acquisition and
@@ -201,12 +369,23 @@ class ServerSession:
         the same number of times — a binary ``fetch_many`` frame and *n*
         JSON ``fetch`` messages drive the tuner identically.  ``points`` is
         ``(n, dim)`` float64, ``tokens`` is ``(n,)`` int32 (-1 = incumbent).
+        A stamped group (``cseq``) is exactly-once like :meth:`op_fetch`:
+        the whole frame dedupes as one unit and a retry gets the original
+        block back from the reply cache.
         """
         if n < 1:
             raise ValueError(f"fetch_many needs n >= 1, got {n}")
         with self._lock:
             if self.tuner is None:
                 raise LookupError("no client has registered a space yet")
+            duplicate, cached = self._dedupe(client_id, cseq)
+            if duplicate:
+                if cached is not None and cached[0] == "points":
+                    return cached[1], cached[2]
+                raise LookupError(
+                    f"fetch_many cseq {cseq} was already applied but its "
+                    "reply has been evicted from the cache"
+                )
             points = np.empty((n, self.space.dimension), dtype=np.float64)
             tokens = np.empty(n, dtype=np.int32)
             k = self.plan.k
@@ -227,6 +406,14 @@ class ServerSession:
                 else:
                     points[j] = np.asarray(self.tuner.best_point, dtype=float)
                     tokens[j] = -1
+            self._record_reply(client_id, cseq, ("points", points, tokens))
+            record: dict[str, Any] = {
+                "t": "fetchm", "session": self.name,
+                "client_id": int(client_id), "n": int(n),
+            }
+            if cseq is not None:
+                record["cseq"] = int(cseq)
+            self._append_wal(record)
             return points, tokens
 
     def report_many_arrays(
@@ -236,6 +423,7 @@ class ServerSession:
         *,
         client_id: int = -1,
         step: int = -1,
+        cseq: int | None = None,
     ) -> tuple[int, int]:
         """Absorb paired token/time arrays; returns ``(n_ok, n_stale)``.
 
@@ -243,11 +431,18 @@ class ServerSession:
         the group raises before *any* measurement is absorbed.  Absorption
         itself replays :meth:`op_report`'s per-measurement logic in order
         (including mid-group batch completion), so results are identical
-        to the JSON path under paired seeding.
+        to the JSON path under paired seeding.  A stamped group (``cseq``)
+        dedupes as one unit: a retried frame is ACKed with the original
+        ``(n_ok, n_stale)`` without absorbing anything twice.
         """
         with self._lock:
             if self.tuner is None:
                 raise LookupError("no client has registered a space yet")
+            duplicate, cached = self._dedupe(client_id, cseq)
+            if duplicate:
+                if cached is not None and cached[0] == "ack":
+                    return cached[1], cached[2]
+                return 0, 0
             times = np.asarray(times, dtype=float)
             tokens = np.asarray(tokens)
             if times.shape != tokens.shape or times.ndim != 1:
@@ -283,7 +478,18 @@ class ServerSession:
                     self._batch = []
                     self._samples = []
                     self._assigned = []
-            return int(times.size) - n_stale, n_stale
+            n_ok = int(times.size) - n_stale
+            self._record_reply(client_id, cseq, ("ack", n_ok, n_stale))
+            record: dict[str, Any] = {
+                "t": "reportm", "session": self.name,
+                "client_id": int(client_id), "step": int(step),
+                "tokens": [int(t) for t in tokens.tolist()],
+                "times": times.tolist(),
+            }
+            if cseq is not None:
+                record["cseq"] = int(cseq)
+            self._append_wal(record)
+            return n_ok, n_stale
 
     def op_best(self) -> dict[str, Any]:
         """The current incumbent configuration and its estimate."""
@@ -310,6 +516,7 @@ class ServerSession:
         with self._lock:
             requeued = sum(self._assigned)
             self._assigned = [0 for _ in self._assigned]
+            self._append_wal({"t": "op", "m": {"op": "requeue", "session": self.name}})
             return {"ok": True, "requeued": requeued}
 
     def op_checkpoint(self) -> dict[str, Any]:
@@ -367,7 +574,119 @@ class ServerSession:
                     self._log[int(step)][int(client)] = float(t)
             self.n_reports = int(snapshot.get("n_reports", 0))
             self._next_client = int(snapshot.get("next_client", 0))
+            self._append_wal({
+                "t": "op",
+                "m": {
+                    "op": "restore", "session": self.name,
+                    "snapshot": {k: v for k, v in snapshot.items()},
+                },
+            })
             return {"ok": True}
+
+    # -- WAL snapshot state -------------------------------------------------------
+
+    def _serialize_reply(self, reply: Any) -> list:
+        kind = reply[0]
+        if kind == "resp":
+            return ["resp", reply[1]]
+        if kind == "points":
+            return [
+                "points",
+                [[float(x) for x in p] for p in reply[1]],
+                [int(t) for t in reply[2]],
+            ]
+        return ["ack", int(reply[1]), int(reply[2])]
+
+    def _deserialize_reply(self, entry: list) -> Any:
+        kind = entry[0]
+        if kind == "resp":
+            return ("resp", dict(entry[1]))
+        if kind == "points":
+            points = [np.asarray(p, dtype=float) for p in entry[1]]
+            return ("points", points, [int(t) for t in entry[2]])
+        return ("ack", int(entry[1]), int(entry[2]))
+
+    def can_snapshot(self) -> bool:
+        """Whether :meth:`state_dict` would succeed (tuner checkpointable)."""
+        with self._lock:
+            return self.tuner is None or hasattr(self.tuner, "to_dict")
+
+    def state_dict(self) -> dict[str, Any]:
+        """Complete JSON-compatible session state for WAL snapshots.
+
+        Unlike :meth:`op_checkpoint` (which deliberately drops in-flight
+        assignments and client identity so an operator-driven restore starts
+        clean), this captures *everything* — assignments, per-client
+        exactly-once state, registration nonces, and the sampling plan — so
+        a WAL replay that resumes from the snapshot is indistinguishable
+        from one that replayed the full op history.
+        """
+        with self._lock:
+            if self.tuner is not None and not hasattr(self.tuner, "to_dict"):
+                raise TypeError(
+                    f"{type(self.tuner).__name__} does not support checkpointing"
+                )
+            from repro.space.serialize import space_to_spec
+
+            return {
+                "space": space_to_spec(self.space) if self.space is not None else None,
+                "tuner": self.tuner.to_dict() if self.tuner is not None else None,
+                "plan": _plan_spec(self.plan),
+                "batch": [[float(x) for x in p] for p in self._batch],
+                "samples": [list(map(float, s)) for s in self._samples],
+                "assigned": [int(a) for a in self._assigned],
+                "log": {
+                    str(step): {str(c): t for c, t in clients.items()}
+                    for step, clients in self._log.items()
+                },
+                "n_reports": self.n_reports,
+                "next_client": self._next_client,
+                "nonces": dict(self._reg_nonces),
+                "clients": {
+                    str(cid): {
+                        "hwm": state["hwm"],
+                        "cache": [
+                            [cseq, self._serialize_reply(reply)]
+                            for cseq, reply in state["cache"].items()
+                        ],
+                    }
+                    for cid, state in self._clients.items()
+                },
+            }
+
+    def restore_state(self, snapshot: Mapping[str, Any]) -> None:
+        """Rebuild the full session from a :meth:`state_dict` snapshot."""
+        with self._lock:
+            plan = _plan_from_spec(snapshot.get("plan"))
+            if plan is not None:
+                self.plan = plan
+            if snapshot.get("space") is not None:
+                space = space_from_spec(snapshot["space"])
+                self.space = space
+                if snapshot.get("tuner") is not None:
+                    probe = self._factory(space)
+                    self.tuner = type(probe).from_dict(space, snapshot["tuner"])
+                else:
+                    self.tuner = self._factory(space)
+            self._batch = [np.asarray(p, dtype=float) for p in snapshot["batch"]]
+            self._samples = [list(s) for s in snapshot["samples"]]
+            self._assigned = [int(a) for a in snapshot["assigned"]]
+            self._log = defaultdict(dict)
+            for step, clients in snapshot.get("log", {}).items():
+                for client, t in clients.items():
+                    self._log[int(step)][int(client)] = float(t)
+            self.n_reports = int(snapshot.get("n_reports", 0))
+            self._next_client = int(snapshot.get("next_client", 0))
+            self._reg_nonces = {
+                str(nonce): int(cid)
+                for nonce, cid in snapshot.get("nonces", {}).items()
+            }
+            self._clients = {}
+            for cid, state in snapshot.get("clients", {}).items():
+                cache: OrderedDict = OrderedDict()
+                for cseq, entry in state["cache"]:
+                    cache[int(cseq)] = self._deserialize_reply(entry)
+                self._clients[int(cid)] = {"hwm": int(state["hwm"]), "cache": cache}
 
     def op_status(self) -> dict[str, Any]:
         """Progress counters for this session."""
@@ -437,15 +756,35 @@ class TuningServer:
         #: a server hosted behind a JSON-only transport sets this False
         self.binproto = bool(binproto)
         self._default_plan = plan if plan is not None else SamplingPlan()
-        self._sessions: dict[str, ServerSession] = {
-            DEFAULT_SESSION: ServerSession(
-                tuner_factory, name=DEFAULT_SESSION, space=space,
-                plan=self._default_plan,
-            )
-        }
+        #: WAL writer attached via :meth:`attach_wal` (``None`` = not durable)
+        self._wal: "Any | None" = None
+        #: True while :func:`repro.harmony.wal.recover_server` replays the
+        #: log: suppresses re-logging, metrics, and trace emission so
+        #: recovery is invisible to observability and the WAL itself
+        self._wal_replaying = False
+        self._snapshot_lock = threading.Lock()
+        self._wal_snapshot_blocked = False
+        self._sessions: dict[str, ServerSession] = {}
         self._sessions_lock = threading.Lock()
         self.metrics = metrics
         self.tracer = tracer
+        self._sessions[DEFAULT_SESSION] = self._new_session(
+            DEFAULT_SESSION, space=space, plan=self._default_plan
+        )
+
+    def _new_session(
+        self,
+        name: str,
+        *,
+        space: ParameterSpace | None = None,
+        plan: SamplingPlan | None = None,
+    ) -> ServerSession:
+        session = ServerSession(
+            self._factory, name=name, space=space,
+            plan=plan if plan is not None else self._default_plan,
+        )
+        session._wal = self.wal_append
+        return session
 
     # -- single-session compatibility surface ------------------------------------
 
@@ -506,11 +845,17 @@ class TuningServer:
             existing = self._sessions.get(name)
             if existing is not None:
                 return existing
-            session = ServerSession(
-                self._factory, name=name, space=space,
-                plan=plan if plan is not None else self._default_plan,
-            )
+            session = self._new_session(name, space=space, plan=plan)
             self._sessions[name] = session
+        record: dict[str, Any] = {"op": "open_session", "session": name}
+        spec = _plan_spec(plan) if plan is not None else None
+        if spec is not None:
+            record.update(spec)
+        if space is not None:
+            from repro.space.serialize import space_to_spec
+
+            record["params"] = space_to_spec(space)
+        self.wal_append({"t": "op", "m": record})
         self._emit("server.session", action="open", session=name)
         return session
 
@@ -534,10 +879,15 @@ class TuningServer:
         with self._sessions_lock:
             created = name not in self._sessions
             if created:
-                self._sessions[name] = ServerSession(
-                    self._factory, name=name, space=space, plan=plan
-                )
+                self._sessions[name] = self._new_session(name, space=space, plan=plan)
         if created:
+            record: dict[str, Any] = {"op": "open_session", "session": name}
+            if "k" in message or "estimator" in message:
+                record["k"] = int(message.get("k", 1))
+                record["estimator"] = message.get("estimator", "min")
+            if message.get("params"):
+                record["params"] = message["params"]
+            self.wal_append({"t": "op", "m": record})
             self._emit("server.session", action="open", session=name)
         return {"ok": True, "session": name, "created": created}
 
@@ -549,6 +899,7 @@ class TuningServer:
             session = self._sessions.pop(name, None)
         if session is None:
             return error_response(f"no such session {name!r}")
+        self.wal_append({"t": "op", "m": {"op": "close_session", "session": name}})
         self._emit("server.session", action="close", session=name)
         return {"ok": True, "session": name, "n_reports": session.n_reports}
 
@@ -567,10 +918,156 @@ class TuningServer:
             return error_response("metrics collection is not enabled on this server")
         return {"ok": True, "metrics": self.metrics.snapshot()}
 
+    # -- durability (write-ahead log) ---------------------------------------------
+
+    def attach_wal(self, wal: "Any") -> None:
+        """Make the server durable: every mutation appends to *wal*.
+
+        *wal* is duck-typed (a :class:`repro.harmony.wal.WalWriter`): it
+        needs ``append(record)``, ``commit()``, ``flush()``, ``close()``,
+        and ``should_snapshot()``.  Sessions log through
+        :meth:`wal_append`, transports group-commit through
+        :meth:`commit_wal` before writing responses, so an acknowledged
+        request is always on disk first.
+        """
+        self._wal = wal
+        self._wal_snapshot_blocked = False
+
+    def wal_append(self, record: dict) -> None:
+        """Append one durability record (no-op when no WAL is attached).
+
+        Called by sessions while they hold their own lock, so WAL order
+        equals application order.  Suppressed during recovery replay —
+        the records being replayed are already in the log.
+        """
+        if self._wal is None or self._wal_replaying:
+            return
+        self._wal.append(record)
+        if self.metrics is not None:
+            self.metrics.inc("wal.appends")
+        self._emit("wal.append", t=str(record.get("t")), session=str(
+            record.get("session") or record.get("m", {}).get("session", "")
+        ))
+
+    def commit_wal(self) -> None:
+        """Group-commit point: make everything appended so far durable.
+
+        Transports call this once per received chunk *before* writing any
+        response bytes back, which is what makes an ACK imply durability
+        under ``sync='batch'`` with only one fsync per chunk.
+        """
+        if self._wal is None or self._wal_replaying:
+            return
+        self._wal.commit()
+        self.maybe_snapshot_wal()
+
+    def flush_wal(self) -> None:
+        """Flush + fsync pending appends (transport stop / shutdown path)."""
+        if self._wal is not None:
+            self._wal.flush()
+
+    def close_wal(self) -> None:
+        """Flush and close the WAL (server teardown)."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def maybe_snapshot_wal(self) -> bool:
+        """Snapshot + truncate when the log has grown past its threshold."""
+        if (
+            self._wal is None
+            or self._wal_snapshot_blocked
+            or not self._wal.should_snapshot()
+        ):
+            return False
+        return self.snapshot_wal()
+
+    def snapshot_wal(self) -> bool:
+        """Write a full-state snapshot record and drop older segments.
+
+        Holds the sessions lock *and* every session's lock for the whole
+        build-and-write so no op record can land between the state cut
+        and the snapshot record (which would be discarded on replay).
+        Returns False (and stops retrying) when any session's tuner does
+        not support checkpointing.
+        """
+        from contextlib import ExitStack
+
+        if self._wal is None:
+            return False
+        with self._snapshot_lock:
+            if self._wal is None:
+                return False
+            with ExitStack() as stack:
+                stack.enter_context(self._sessions_lock)
+                sessions = dict(self._sessions)
+                for session in sessions.values():
+                    stack.enter_context(session._lock)
+                try:
+                    state = {
+                        name: session.state_dict()
+                        for name, session in sessions.items()
+                    }
+                except TypeError:
+                    self._wal_snapshot_blocked = True
+                    return False
+                self._wal.snapshot(state)
+        if self.metrics is not None:
+            self.metrics.inc("wal.snapshots")
+        self._emit("wal.snapshot", sessions=len(state))
+        return True
+
+    def state_dict(self) -> dict[str, Any]:
+        """Full multi-session state (what a WAL snapshot record carries)."""
+        with self._sessions_lock:
+            sessions = dict(self._sessions)
+        return {name: session.state_dict() for name, session in sessions.items()}
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rebuild every session from a :meth:`state_dict` snapshot."""
+        with self._sessions_lock:
+            for name, snapshot in state.items():
+                session = self._sessions.get(name)
+                if session is None:
+                    session = self._new_session(name)
+                    self._sessions[name] = session
+                session.restore_state(snapshot)
+
+    def apply_wal_record(self, record: Mapping[str, Any]) -> None:
+        """Re-apply one logged mutation during recovery replay.
+
+        ``op`` records route through :meth:`handle` (the ordinary code
+        path, so replay exercises exactly the logic that produced the
+        log); ``fetchm`` / ``reportm`` records route through the
+        array-native session methods the binary wire uses.
+        """
+        kind = record.get("t")
+        if kind == "op":
+            self.handle(record["m"])
+            return
+        name = record.get("session", DEFAULT_SESSION)
+        session = self.session(name)
+        if session is None:
+            return
+        if kind == "fetchm":
+            session.fetch_many_arrays(
+                int(record["n"]),
+                client_id=int(record.get("client_id", -1)),
+                cseq=record.get("cseq"),
+            )
+        elif kind == "reportm":
+            session.report_many_arrays(
+                np.asarray(record["tokens"], dtype=np.int32),
+                np.asarray(record["times"], dtype=np.float64),
+                client_id=int(record.get("client_id", -1)),
+                step=int(record["step"]),
+                cseq=record.get("cseq"),
+            )
+
     # -- observability ------------------------------------------------------------
 
     def _emit(self, kind: str, **fields) -> None:
-        if self.tracer is not None:
+        if self.tracer is not None and not self._wal_replaying:
             self.tracer.emit(kind, **fields)
 
     def observe_batch(self, n_msgs: int) -> None:
@@ -601,6 +1098,10 @@ class TuningServer:
             response = self._route(op, message)
         except Exception as exc:  # protocol boundary: never let the server die
             response = error_response(f"{type(exc).__name__}: {exc}")
+        if self._wal_replaying:
+            # Recovery replay re-enters handle(); the original requests
+            # already counted when they first ran.
+            return response
         if self.metrics is not None:
             self.metrics.inc("server.requests")
             self.metrics.inc(f"server.op.{op}")

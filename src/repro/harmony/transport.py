@@ -41,6 +41,8 @@ __all__ = [
     "TcpServerTransport",
     "TcpClientTransport",
     "PipelinedTcpClientTransport",
+    "n_wire_chunks",
+    "respond_frames",
 ]
 
 
@@ -66,6 +68,12 @@ def respond_frames(
     chunk), and whether the connection must close (an oversized frame
     desynchronizes the stream).  ``wire == "json"`` answers binary frames
     with an ERROR frame instead of decoding them.
+
+    Durability contract: the server's WAL is group-committed *here*, after
+    every request in the chunk has been handled but before the response
+    bytes leave — so by the time a client sees an ACK, the mutation it
+    acknowledges is on disk (one fsync per recv chunk under
+    ``sync='batch'``).
     """
     out: list[bytes] = []
     closing = False
@@ -89,6 +97,9 @@ def respond_frames(
                 )
             else:
                 out.append(binproto.dispatch_frame(server, msg_type, seq, payload))
+    commit = getattr(server, "commit_wal", None)
+    if commit is not None:
+        commit()
     return b"".join(out), closing
 
 
@@ -115,13 +126,20 @@ class Transport(ABC):
 
 
 class InProcessTransport(Transport):
-    """Directly invokes a server living in the same process."""
+    """Directly invokes a server living in the same process.
+
+    Honors the same ack-implies-durable contract as the TCP transports:
+    each request (or batch) group-commits the server's WAL before the
+    response is returned to the caller.
+    """
 
     def __init__(self, server: TuningServer) -> None:
         self.server = server
 
     def request(self, message: Mapping[str, Any]) -> dict[str, Any]:
-        return protocol.dispatch(self.server, message)
+        response = protocol.dispatch(self.server, message)
+        self.server.commit_wal()
+        return response
 
     def request_many(
         self, messages: Sequence[Mapping[str, Any]]
@@ -129,6 +147,7 @@ class InProcessTransport(Transport):
         response = protocol.dispatch(
             self.server, {"op": "batch", "msgs": [dict(m) for m in messages]}
         )
+        self.server.commit_wal()
         if not response.get("ok", False):
             return [response for _ in messages]
         return response["results"]
@@ -262,6 +281,12 @@ class TcpServerTransport:
             except OSError:
                 pass
         self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
+        # Durability epilogue: anything appended but not yet group-committed
+        # (e.g. a request whose connection died before its response) is
+        # flushed before the transport reports itself stopped.
+        flush = getattr(self.server, "flush_wal", None)
+        if flush is not None:
+            flush()
 
     def __enter__(self) -> "TcpServerTransport":
         self.start()
@@ -269,6 +294,14 @@ class TcpServerTransport:
 
     def __exit__(self, *exc: object) -> None:
         self.stop()
+
+
+def n_wire_chunks(n: int) -> int:
+    """How many wire frames an *n*-item fetch/report group splits into.
+
+    Clients stamping exactly-once ``cseqs`` allocate one per chunk.
+    """
+    return (n + protocol.MAX_BATCH_MSGS - 1) // protocol.MAX_BATCH_MSGS
 
 
 class _BinaryWireOps:
@@ -292,20 +325,29 @@ class _BinaryWireOps:
         raise NotImplementedError
 
     def fetch_many_wire(
-        self, session: str, client_id: int, n: int
+        self,
+        session: str,
+        client_id: int,
+        n: int,
+        *,
+        cseqs: Sequence[int] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Fetch *n* configurations over the binary wire.
 
         Returns ``(points, tokens)`` — an ``(n, dim)`` float64 block and an
         ``(n,)`` int32 token block — chunking at
-        :data:`protocol.MAX_BATCH_MSGS` like the JSON batch path.
+        :data:`protocol.MAX_BATCH_MSGS` like the JSON batch path.  *cseqs*
+        (one per chunk, see :func:`n_wire_chunks`) makes each chunk an
+        exactly-once v2 frame, so a retried fetch gets the original
+        assignment block back instead of perturbing the stream.
         """
         builders = []
-        for start in range(0, n, protocol.MAX_BATCH_MSGS):
+        for idx, start in enumerate(range(0, n, protocol.MAX_BATCH_MSGS)):
             count = min(protocol.MAX_BATCH_MSGS, n - start)
+            cseq = cseqs[idx] if cseqs is not None else None
             builders.append(
-                lambda seq, count=count: binproto.encode_fetch_many(
-                    seq, session, client_id, count
+                lambda seq, count=count, cseq=cseq: binproto.encode_fetch_many(
+                    seq, session, client_id, count, cseq=cseq
                 )
             )
         points_parts: list[np.ndarray] = []
@@ -328,17 +370,24 @@ class _BinaryWireOps:
         step: int,
         tokens: np.ndarray,
         times: np.ndarray,
+        *,
+        cseqs: Sequence[int] | None = None,
     ) -> tuple[int, int]:
-        """Report paired token/time arrays; returns ``(n_ok, n_stale)``."""
+        """Report paired token/time arrays; returns ``(n_ok, n_stale)``.
+
+        *cseqs* (one per chunk) makes each chunk exactly-once: replaying
+        the same call after a reconnect is acked without double-counting.
+        """
         tokens = np.ascontiguousarray(tokens, dtype="<i4")
         times = np.ascontiguousarray(times, dtype="<f8")
         builders = []
-        for start in range(0, tokens.size, protocol.MAX_BATCH_MSGS):
+        for idx, start in enumerate(range(0, tokens.size, protocol.MAX_BATCH_MSGS)):
             tok = tokens[start:start + protocol.MAX_BATCH_MSGS]
             tim = times[start:start + protocol.MAX_BATCH_MSGS]
+            cseq = cseqs[idx] if cseqs is not None else None
             builders.append(
-                lambda seq, tok=tok, tim=tim: binproto.encode_report_many(
-                    seq, session, client_id, step, tok, tim
+                lambda seq, tok=tok, tim=tim, cseq=cseq: binproto.encode_report_many(
+                    seq, session, client_id, step, tok, tim, cseq=cseq
                 )
             )
         n_ok = n_stale = 0

@@ -86,6 +86,11 @@ EVENT_KINDS = frozenset(
         "server.request",
         "server.batch",
         "server.session",
+        # durability scope (the write-ahead log)
+        "wal.append",
+        "wal.replay",
+        "wal.snapshot",
+        "wal.recover",
     }
 )
 

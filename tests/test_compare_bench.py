@@ -9,12 +9,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
 from compare_bench import CEILINGS, FLOORS, GUARDED, compare, main  # noqa: E402
 
 
-def payload(sweep=3.0, cluster=2.5, obs=0.01, sweep_cpu=0.9):
+def payload(sweep=3.0, cluster=2.5, obs=0.01, sweep_cpu=0.9, wal=0.05):
     return {
         "sweep": {"speedup": sweep},
         "cluster_step": {"speedup": cluster},
         "obs": {"overhead_frac": obs},
         "sweep_cpu": {"speedup": sweep_cpu},
+        "server": {"wal_overhead_frac": wal},
     }
 
 
@@ -64,6 +65,16 @@ class TestCeilings:
         current = {"sweep": {"speedup": 3.0}, "cluster_step": {"speedup": 2.5}}
         failures = compare(payload(), current, tolerance=0.2)
         assert any("obs.overhead_frac" in f and "missing" in f for f in failures)
+
+    def test_wal_overhead_has_a_hard_ceiling(self):
+        assert ("server", "wal_overhead_frac", 0.10) in CEILINGS
+
+    def test_wal_overhead_over_ceiling_fails(self):
+        failures = compare(payload(), payload(wal=0.25), tolerance=0.2)
+        assert any(
+            "server.wal_overhead_frac" in f and "ceiling" in f
+            for f in failures
+        )
 
 
 class TestFloors:

@@ -105,3 +105,50 @@ def test_faulted_sweep_trace_snapshot(golden_jsonl, tmp_path):
     golden_jsonl(
         "trace_sweep_faulted_skip.jsonl", canonical_events(read_trace(path))
     )
+
+
+def test_wal_recovery_trace_snapshot(golden_jsonl, tmp_path):
+    """The durable-serving lifecycle, pinned: appends during a run, a kill,
+    replay on restart (``wal.recover``), resumed appends under the same
+    client identity, and a snapshot+truncate.  A diff here means the
+    *durability decisions* — what gets logged, what replay reports —
+    changed, not just a metric."""
+    from repro.harmony.client import TuningClient
+    from repro.harmony.server import TuningServer
+    from repro.harmony.transport import InProcessTransport
+    from repro.harmony.wal import WalWriter, recover_server
+
+    wal_dir = tmp_path / "wal"
+
+    def run_steps(client, start, steps):
+        for step in range(start, start + steps):
+            config = client.fetch()
+            client.report(quad_objective(config), step=step)
+
+    tracer_before = Tracer(label="server")
+    server = TuningServer(
+        lambda s: ParallelRankOrdering(s), plan=SamplingPlan(1),
+        tracer=tracer_before,
+    )
+    server.attach_wal(WalWriter(wal_dir))
+    client = TuningClient(InProcessTransport(server), nonce="golden-client")
+    client.register(SPACE)
+    run_steps(client, 0, 6)
+    server.close_wal()  # the kill: in-memory state is gone, the log remains
+
+    tracer_after = Tracer(label="server")
+    recovered = recover_server(
+        lambda s: ParallelRankOrdering(s), wal_dir, plan=SamplingPlan(1),
+        tracer=tracer_after,
+    )
+    client.transport = InProcessTransport(recovered)
+    client._register_message(resume=True)
+    run_steps(client, 6, 4)
+    assert recovered.snapshot_wal()
+    recovered.close_wal()
+
+    golden_jsonl(
+        "trace_wal_recovery.jsonl",
+        canonical_events(tracer_before.drain())
+        + canonical_events(tracer_after.drain()),
+    )
