@@ -30,6 +30,7 @@ GUARDED = (
     ("server", "speedup"),
     ("server", "binary_speedup"),
     ("wire", "speedup_16"),
+    ("fleet", "speedup_4"),
 )
 
 #: (section, key, ceiling) fractions guarded against an absolute ceiling —
@@ -45,6 +46,9 @@ CEILINGS = (
 #: that relative-to-baseline guards would ratchet downward forever
 FLOORS = (
     ("sweep_cpu", "speedup", 0.6),
+    # near-linear fleet scaling: 4 shards must beat 1 by at least 2.5x
+    # aggregate throughput, or the coordinator/routing layer has decayed
+    ("fleet", "speedup_4", 2.5),
 )
 
 

@@ -1,0 +1,148 @@
+"""Fleet aggregate throughput: 1 vs 2 vs 4 shards under a fixed client load.
+
+The tentpole measurement for the distributed tuning fleet: the same four
+tuning sessions hammer ``fetch_many``/``report_many`` through coordinator
+routing, and the only thing that changes between arms is how many shard
+server processes the fleet runs.  Every request models ``--service-delay-us``
+of application time on the serving shard (a GIL-releasing sleep under the
+shard's service lock), which is what the paper's setting looks like: the
+tuned application dominates, serving overhead must not.  One shard
+serializes that service time across all sessions; four shards overlap it —
+so aggregate requests/sec should scale near-linearly even on a single-CPU
+runner, and ``speedup_4`` (4-shard rps over 1-shard rps) is the guarded
+headline (floor 2.5x in ``compare_bench.py``).
+
+Each arm records aggregate rps and client-observed round-trip p50/p99 into
+the ``fleet`` section of ``BENCH_runner.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.fleet.launch import FleetSupervisor, bench_space
+from test_server_throughput import _update_bench_json
+
+SHARD_COUNTS = (1, 2, 4)
+N_CLIENTS = 4
+BATCH_WIDTH = 8
+
+#: modeled application service time per request chunk (1 ms) — large
+#: against serving overhead, small against the bench budget
+SERVICE_DELAY_US = 1000
+
+
+def _run_arm(n_shards: int, base_dir: Path, rounds: int) -> dict:
+    """One fleet arm; returns {shards, clients, msgs, rps, p50_ms, p99_ms}."""
+    barrier = threading.Barrier(N_CLIENTS + 1)
+    latencies: list[list[float]] = [[] for _ in range(N_CLIENTS)]
+    msgs_sent = [0] * N_CLIENTS
+    errors: list[Exception] = []
+
+    with FleetSupervisor(
+        n_shards,
+        base_dir=base_dir,
+        wal=False,
+        transport="threaded",
+        wire="binary",
+        lease_s=30.0,
+        service_delay_us=SERVICE_DELAY_US,
+    ) as fleet:
+
+        def worker(idx: int) -> None:
+            try:
+                client = fleet.client(f"bench-{idx}")
+                try:
+                    client.open_session(f"bench-{idx}", k=1, estimator="min")
+                    client.register(bench_space())
+                    barrier.wait(timeout=60)
+                    lat = latencies[idx]
+                    for step in range(rounds):
+                        t0 = time.perf_counter()
+                        configs = client.fetch_many(BATCH_WIDTH)
+                        lat.append(time.perf_counter() - t0)
+                        times = [
+                            1.0 + float(np.sum(np.asarray(c) ** 2))
+                            for c in configs
+                        ]
+                        t0 = time.perf_counter()
+                        client.report_many(times, step=step)
+                        lat.append(time.perf_counter() - t0)
+                        msgs_sent[idx] += 2 * BATCH_WIDTH
+                finally:
+                    client.transport.close()
+            except Exception as exc:  # pragma: no cover - surfaced by assert
+                errors.append(exc)
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(N_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait(timeout=60)  # all sessions routed and registered
+        t_start = time.perf_counter()
+        for t in threads:
+            t.join(timeout=300)
+        wall = time.perf_counter() - t_start
+        assert not errors, f"client errors in {n_shards}-shard arm: {errors[:3]}"
+
+        # the load must actually have spread: every shard owns a session
+        status = fleet.fleet_status()
+        owners = {
+            status["sessions"][f"bench-{i}"] for i in range(N_CLIENTS)
+        }
+        assert len(owners) == min(n_shards, N_CLIENTS), (
+            f"expected sessions on {min(n_shards, N_CLIENTS)} shards, "
+            f"got owners {sorted(owners)}"
+        )
+
+    total_msgs = sum(msgs_sent)
+    rtts = np.asarray([v for lat in latencies for v in lat], dtype=float)
+    return {
+        "shards": n_shards,
+        "clients": N_CLIENTS,
+        "msgs": total_msgs,
+        "rps": round(total_msgs / wall, 1),
+        "p50_ms": round(float(np.quantile(rtts, 0.5)) * 1e3, 3),
+        "p99_ms": round(float(np.quantile(rtts, 0.99)) * 1e3, 3),
+    }
+
+
+@pytest.mark.bench_smoke
+def test_smoke_fleet_throughput(scale, tmp_path):
+    """Aggregate rps at 1/2/4 shards; headline = 4-shard over 1-shard."""
+    rounds = 120 if scale == "full" else 40
+    arms = {
+        str(n): _run_arm(n, tmp_path / f"fleet-{n}", rounds)
+        for n in SHARD_COUNTS
+    }
+
+    speedup_2 = arms["2"]["rps"] / arms["1"]["rps"]
+    speedup_4 = arms["4"]["rps"] / arms["1"]["rps"]
+    assert speedup_4 >= 2.5, (
+        "4 shards must deliver >= 2.5x the aggregate throughput of one "
+        f"shard under the same client load, got {speedup_4:.2f}x "
+        f"({arms['1']['rps']:.0f} -> {arms['4']['rps']:.0f} req/s)"
+    )
+
+    _update_bench_json(
+        "fleet",
+        {
+            "batch_width": BATCH_WIDTH,
+            "service_delay_us": SERVICE_DELAY_US,
+            "rounds": rounds,
+            "speedup_2": round(speedup_2, 3),
+            "speedup_4": round(speedup_4, 3),
+            **arms,
+        },
+    )

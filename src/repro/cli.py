@@ -19,6 +19,7 @@ objectives.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -163,6 +164,71 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fault injection for the crash-recovery tests: "
                          "SIGKILL this process at the Nth WAL event; KIND is "
                          "append, commit, torn, or snapshot")
+    p_serve.add_argument("--reply-cache", type=int, default=None,
+                         metavar="N",
+                         help="per-client exactly-once reply cache size "
+                         "(default 64); retries older than the cache window "
+                         "get an explicit evicted error")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve Prometheus text-format scrapes at "
+                         "GET /metrics on this port (0 = ephemeral)")
+    p_serve.add_argument("--coordinator", default=None, metavar="HOST:PORT",
+                         help="join a tuning fleet: register this server as "
+                         "a shard with the coordinator, renew its lease via "
+                         "heartbeats, and exit when the lease is revoked")
+    p_serve.add_argument("--shard-id", type=int, default=None,
+                         help="fixed shard id to register under (default: "
+                         "coordinator-assigned)")
+    p_serve.add_argument("--service-delay-us", type=int, default=0,
+                         metavar="US",
+                         help="model this many microseconds of CPU-bound "
+                         "service time per wire frame (benchmarking aid: "
+                         "makes per-process throughput delay-bound so fleet "
+                         "scaling is measurable on one box)")
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="launch a tuning fleet: coordinator + N shard servers, then "
+        "run a sweep of sessions across them",
+    )
+    p_fleet.add_argument("--shards", type=int, default=2,
+                         help="number of shard server processes")
+    p_fleet.add_argument("--sessions", type=int, default=None,
+                         help="tuning sessions to sweep across the fleet "
+                         "(default: 2 per shard)")
+    p_fleet.add_argument("--steps", type=int, default=8,
+                         help="lock-step tuning iterations per session")
+    p_fleet.add_argument("--dir", type=Path, default=None, metavar="DIR",
+                         help="fleet state directory: per-shard WALs, the "
+                         "coordinator registry WAL, logs, port files "
+                         "(default: a temporary directory)")
+    p_fleet.add_argument("--transport", choices=["async", "threaded"],
+                         default="threaded")
+    p_fleet.add_argument("--wire", choices=["binary", "json"],
+                         default="binary")
+    p_fleet.add_argument("--tuner", choices=TUNER_NAMES, default="pro")
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--k", type=int, default=1)
+    p_fleet.add_argument("--estimator", choices=sorted(_ESTIMATORS),
+                         default="min")
+    p_fleet.add_argument("--lease-s", type=float, default=2.0,
+                         help="shard lease duration; heartbeats renew at a "
+                         "third of this")
+    p_fleet.add_argument("--no-wal", action="store_true",
+                         help="run shards without write-ahead logs (faster, "
+                         "but a killed shard's sessions re-home fresh "
+                         "instead of bit-identically)")
+    p_fleet.add_argument("--kill-shard", type=int, default=None,
+                         metavar="SHARD",
+                         help="demo: SIGKILL this shard midway through the "
+                         "sweep and let the fleet re-home its sessions")
+    p_fleet.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="scrapeable coordinator /metrics endpoint")
+    p_fleet.add_argument("--baseline-check", action="store_true",
+                         help="re-run the sweep on one in-process server "
+                         "and verify the fleet matched it bit-identically")
 
     p_trace = sub.add_parser(
         "trace",
@@ -374,6 +440,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         space = ParameterSpace(
             [IntParameter("a", -10, 10), IntParameter("b", -10, 10)]
         )
+    if args.reply_cache is not None and args.reply_cache < 1:
+        print(f"error: reply_cache_size must be >= 1, got {args.reply_cache}",
+              file=sys.stderr)
+        return 2
     plan = SamplingPlan(args.k, _ESTIMATORS[args.estimator]())
     metrics = MetricsRegistry(max_samples=4096)
     tracer = obs_trace.Tracer(label="server") if args.trace else None
@@ -388,6 +458,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.wal_dir,
             space=space, plan=plan, metrics=metrics, tracer=tracer,
             binproto=args.wire == "binary",
+            reply_cache_size=args.reply_cache,
+            service_delay_s=args.service_delay_us / 1e6,
             sync=args.sync,
             snapshot_bytes=args.wal_snapshot_bytes,
             crash_at=args.crash_at,
@@ -397,6 +469,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             tuner_factory(args.tuner, rng=args.seed),
             space=space, plan=plan, metrics=metrics, tracer=tracer,
             binproto=args.wire == "binary",
+            reply_cache_size=args.reply_cache,
+            service_delay_s=args.service_delay_us / 1e6,
         )
     transport_cls = (
         AsyncTcpServerTransport if args.transport == "async"
@@ -409,6 +483,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"listening on {args.host}:{transport.port}")
         print(f"tuner {args.tuner}, K={args.k} ({args.estimator}), "
               f"workload preset: {args.workload}")
+        endpoint = None
+        if args.metrics_port is not None:
+            from repro.obs.prom import MetricsEndpoint
+
+            endpoint = MetricsEndpoint(
+                metrics, host=args.host, port=args.metrics_port
+            ).start()
+            print(f"metrics scrapeable at "
+                  f"http://{args.host}:{endpoint.port}/metrics")
+        agent = None
+        if args.coordinator is not None:
+            from repro.fleet.shard import ShardAgent
+
+            chost, _, cport = args.coordinator.rpartition(":")
+            agent = ShardAgent(
+                (chost or "127.0.0.1", int(cport)),
+                host=args.host, port=transport.port,
+                wal_dir=args.wal_dir, shard_id=args.shard_id,
+                metrics=metrics, tracer=tracer,
+            )
+            shard = agent.start()
+            print(f"joined fleet at {args.coordinator} as shard {shard} "
+                  f"(lease {agent.lease_s:g}s)")
         if args.port_file is not None:
             args.port_file.write_text(f"{transport.port}\n")
         deadline = (
@@ -417,12 +514,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         try:
             while deadline is None or _time.monotonic() < deadline:
+                if agent is not None and agent.revoked.is_set():
+                    print("lease revoked by coordinator; draining...")
+                    break
                 _time.sleep(
                     0.1 if deadline is None
                     else min(0.1, max(0.0, deadline - _time.monotonic()))
                 )
         except KeyboardInterrupt:
             print("\ndraining...")
+        if agent is not None:
+            agent.stop()
+        if endpoint is not None:
+            endpoint.stop()
     server.close_wal()
     snapshot = metrics.snapshot()
     counters = snapshot["counters"]
@@ -445,6 +549,90 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         events = obs_trace.canonical_events(tracer.drain(), strip=False)
         obs_trace.write_jsonl(events, args.trace)
         print(f"wrote {args.trace} ({len(events)} events)")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.fleet.launch import (
+        FleetSupervisor,
+        bench_space,
+        session_workload,
+        single_server_baseline,
+        sweep_results,
+    )
+
+    n_sessions = (
+        args.sessions if args.sessions is not None else 2 * args.shards
+    )
+    sessions = [f"sweep-{i}" for i in range(n_sessions)]
+    stack = contextlib.ExitStack()
+    with stack:
+        base = (
+            args.dir if args.dir is not None
+            else Path(stack.enter_context(tempfile.TemporaryDirectory(
+                prefix="repro-fleet-"
+            )))
+        )
+        fleet = stack.enter_context(FleetSupervisor(
+            args.shards, base_dir=base,
+            tuner=args.tuner, seed=args.seed, k=args.k,
+            estimator=args.estimator,
+            transport=args.transport, wire=args.wire,
+            lease_s=args.lease_s, wal=not args.no_wal,
+        ))
+        print(f"fleet up: coordinator at {fleet.host}:{fleet.coordinator_port}, "
+              f"{args.shards} shard(s), state under {base}")
+        endpoint = None
+        if args.metrics_port is not None:
+            from repro.obs.prom import MetricsEndpoint
+
+            endpoint = MetricsEndpoint(
+                fleet.metrics, host=fleet.host, port=args.metrics_port
+            ).start()
+            stack.callback(endpoint.stop)
+            print(f"coordinator metrics at "
+                  f"http://{fleet.host}:{endpoint.port}/metrics")
+
+        results: dict = {}
+        killed = False
+        for idx, name in enumerate(sessions):
+            if (args.kill_shard is not None and not killed
+                    and idx >= n_sessions // 2):
+                print(f"kill-a-shard demo: SIGKILL shard {args.kill_shard}")
+                fleet.kill_shard(args.kill_shard)
+                killed = True
+            client = fleet.client(name)
+            client.open_session(name, k=args.k, estimator=args.estimator)
+            client.register(bench_space())
+            session_workload(client, idx, steps=args.steps, seed=args.seed)
+            results[name] = sweep_results(client)
+            client.transport.close()
+            print(f"  {name}: best {results[name]['best_cost']:.4f} "
+                  f"(ready={results[name]['ready']})")
+        status = fleet.fleet_status()
+        alive = sum(1 for s in status["shards"].values() if s["alive"])
+        print(f"fleet status: {alive}/{len(status['shards'])} shards alive, "
+              f"{len(status['sessions'])} sessions placed")
+        counters = fleet.metrics.snapshot()["counters"]
+        for key in ("fleet.locates", "fleet.heartbeats",
+                    "fleet.expired_shards", "fleet.rehomed_sessions"):
+            if counters.get(key):
+                print(f"  {key:24s}: {counters[key]}")
+        if args.baseline_check:
+            baseline = single_server_baseline(
+                sessions, tuner=args.tuner, seed=args.seed,
+                k=args.k, estimator=args.estimator, steps=args.steps,
+            )
+            if baseline == results:
+                print("baseline check: fleet results bit-identical to "
+                      "single-server")
+            else:
+                mismatched = [n for n in sessions if baseline[n] != results[n]]
+                print(f"baseline check FAILED: {len(mismatched)} session(s) "
+                      f"diverged: {', '.join(mismatched)}")
+                return 1
     return 0
 
 
@@ -574,6 +762,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "tune": _cmd_tune,
         "serve": _cmd_serve,
+        "fleet": _cmd_fleet,
         "trace": _cmd_trace,
         "surface": _cmd_surface,
         "figures": _cmd_figures,

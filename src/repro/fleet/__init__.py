@@ -1,0 +1,41 @@
+"""Distributed tuning fleet: coordinator-routed multi-shard serving.
+
+A fleet is N ordinary :class:`~repro.harmony.server.TuningServer` shard
+processes plus one :class:`~repro.fleet.coordinator.FleetCoordinator`
+that owns the durable session/shard registry (a WAL-logged
+:class:`~repro.fleet.registry.FleetRegistry`), leases shards via
+heartbeats, routes clients to the shard owning their session, and
+re-homes sessions from dead shards onto survivors through the per-session
+checkpoint + WAL-recovery machinery — bit-identically, so a sweep that
+lost a shard mid-run finishes with the same results as one that didn't.
+
+Entry points: ``repro fleet`` (CLI), :class:`FleetSupervisor` (launch a
+local fleet programmatically), :func:`fleet_client` (a coordinator-routed
+:class:`~repro.harmony.client.TuningClient`).
+"""
+
+from repro.fleet.client import FleetResolver, fleet_client
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.launch import (
+    FleetSupervisor,
+    bench_space,
+    session_workload,
+    single_server_baseline,
+    sweep_results,
+)
+from repro.fleet.registry import FleetRegistry, recover_registry
+from repro.fleet.shard import ShardAgent
+
+__all__ = [
+    "FleetCoordinator",
+    "FleetRegistry",
+    "FleetResolver",
+    "FleetSupervisor",
+    "ShardAgent",
+    "bench_space",
+    "fleet_client",
+    "recover_registry",
+    "session_workload",
+    "single_server_baseline",
+    "sweep_results",
+]

@@ -1,0 +1,214 @@
+"""The fleet registry: a deterministic shard/session-ownership state machine.
+
+The coordinator's source of truth is this tiny state machine: which shard
+processes exist (address, WAL directory, lease expiry, liveness) and which
+shard owns each named tuning session.  Every mutation is a *command* — a
+plain JSON-compatible dict applied through :meth:`FleetRegistry.apply` —
+and every input the command needs (including timestamps: lease expiries
+are carried *in* the command, never read from a clock inside ``apply``) is
+part of the record.  That makes the machine a pure function of its command
+stream, which is what lets the coordinator reuse the serving stack's WAL
+machinery unchanged: log the command, apply it, and a replay of the log
+reconstructs the identical shard-ownership map (property-tested in
+``tests/fleet/test_registry_properties.py``).
+
+Command vocabulary (the ``"c"`` field)::
+
+    register   {"c","shard","host","port","wal_dir","until"} — add a shard
+               (or revive/re-address a known one) with a lease until *until*
+    heartbeat  {"c","shard","until"} — extend a live shard's lease;
+               ignored for unknown or expired shards (they must re-register)
+    expire     {"c","shard"} — mark a shard dead; its session mappings stay
+               until a ``rehome`` moves them (so recovery knows where the
+               state lives)
+    assign     {"c","session","shard"} — bind an unowned session to a live
+               shard; ignored when the shard is unknown or dead
+    rehome     {"c","session","shard"} — move a session to a live shard
+               (the migration step after an expiry)
+    close      {"c","session"} — drop a session's ownership mapping
+
+Unknown shards and dead targets are *ignored deterministically* (``apply``
+returns ``{"applied": False}``) rather than raising: a WAL written under
+one interleaving must replay byte-for-byte under the same interleaving,
+and commands racing a concurrent expiry are a normal part of operation.
+
+Registry WAL records wrap the command as ``{"t": "fleet", "c": {...}}``;
+snapshot records are the standard ``snap`` records every WAL segment
+rotation writes (:meth:`repro.harmony.wal.WalWriter.snapshot` over
+:meth:`FleetRegistry.state_dict`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.harmony.wal import WalWriter, replay_dir, truncate_torn_tail
+
+__all__ = ["FleetRegistry", "recover_registry"]
+
+
+class FleetRegistry:
+    """Shard liveness/leases and session-to-shard ownership.
+
+    Not thread-safe by itself — the coordinator serializes ``apply`` calls
+    under its own lock (which is also what gives the WAL a well-defined
+    order).
+    """
+
+    def __init__(self) -> None:
+        #: shard id -> {"host", "port", "wal_dir", "until", "alive"}
+        self.shards: dict[int, dict[str, Any]] = {}
+        #: session name -> owning shard id
+        self.sessions: dict[str, int] = {}
+
+    # -- queries ------------------------------------------------------------------
+
+    def next_shard_id(self) -> int:
+        """The id ``register`` should use for a brand-new shard.
+
+        Derived from state (max known id + 1) instead of a counter so a
+        registry rebuilt from its WAL allocates identically.
+        """
+        return max(self.shards) + 1 if self.shards else 0
+
+    def is_alive(self, shard: int) -> bool:
+        info = self.shards.get(shard)
+        return bool(info is not None and info["alive"])
+
+    def alive_shards(self) -> list[int]:
+        """Live shard ids, ascending."""
+        return sorted(s for s, info in self.shards.items() if info["alive"])
+
+    def owner(self, session: str) -> int | None:
+        """The shard owning *session* (None = unassigned)."""
+        return self.sessions.get(session)
+
+    def sessions_on(self, shard: int) -> list[str]:
+        """Session names owned by *shard*, sorted."""
+        return sorted(n for n, s in self.sessions.items() if s == shard)
+
+    def least_loaded(self) -> int | None:
+        """The live shard owning the fewest sessions (ties: lowest id)."""
+        alive = self.alive_shards()
+        if not alive:
+            return None
+        loads = {s: 0 for s in alive}
+        for owner in self.sessions.values():
+            if owner in loads:
+                loads[owner] += 1
+        return min(alive, key=lambda s: (loads[s], s))
+
+    def expired(self, now: float) -> list[int]:
+        """Live shards whose lease ended before *now*, ascending."""
+        return sorted(
+            s for s, info in self.shards.items()
+            if info["alive"] and info["until"] < now
+        )
+
+    # -- the command interpreter --------------------------------------------------
+
+    def apply(self, cmd: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply one command; returns ``{"applied": bool, ...}``.
+
+        Deterministic: the result (and the state transition) depends only
+        on the current state and the command's own fields.  Malformed or
+        unknown commands raise ``ValueError`` — they indicate a corrupt
+        record, not a race.
+        """
+        kind = cmd.get("c")
+        if kind == "register":
+            shard = int(cmd["shard"])
+            self.shards[shard] = {
+                "host": str(cmd["host"]),
+                "port": int(cmd["port"]),
+                "wal_dir": cmd.get("wal_dir"),
+                "until": float(cmd["until"]),
+                "alive": True,
+            }
+            return {"applied": True, "shard": shard}
+        if kind == "heartbeat":
+            shard = int(cmd["shard"])
+            info = self.shards.get(shard)
+            if info is None or not info["alive"]:
+                return {"applied": False}
+            info["until"] = max(info["until"], float(cmd["until"]))
+            return {"applied": True}
+        if kind == "expire":
+            shard = int(cmd["shard"])
+            info = self.shards.get(shard)
+            if info is None:
+                return {"applied": False}
+            info["alive"] = False
+            return {"applied": True}
+        if kind in ("assign", "rehome"):
+            shard = int(cmd["shard"])
+            session = str(cmd["session"])
+            if not self.is_alive(shard):
+                return {"applied": False}
+            self.sessions[session] = shard
+            return {"applied": True}
+        if kind == "close":
+            session = str(cmd["session"])
+            return {"applied": self.sessions.pop(session, None) is not None}
+        raise ValueError(f"unknown fleet command {kind!r}")
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-compatible full state (what a WAL ``snap`` record carries)."""
+        return {
+            "shards": {
+                str(shard): dict(info) for shard, info in sorted(self.shards.items())
+            },
+            "sessions": dict(sorted(self.sessions.items())),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rebuild from a :meth:`state_dict` snapshot."""
+        self.shards = {
+            int(shard): {
+                "host": str(info["host"]),
+                "port": int(info["port"]),
+                "wal_dir": info.get("wal_dir"),
+                "until": float(info["until"]),
+                "alive": bool(info["alive"]),
+            }
+            for shard, info in state.get("shards", {}).items()
+        }
+        self.sessions = {
+            str(name): int(shard)
+            for name, shard in state.get("sessions", {}).items()
+        }
+
+
+def recover_registry(
+    wal_dir: Any,
+    *,
+    sync: str = "batch",
+    segment_bytes: int = 16 << 20,
+    snapshot_bytes: int = 4 << 20,
+) -> tuple[FleetRegistry, WalWriter, dict]:
+    """Rebuild a registry from its WAL directory; returns ``(registry, wal, stats)``.
+
+    Mirrors :func:`repro.harmony.wal.recover_server`: restore the latest
+    complete snapshot, re-apply every ``fleet`` record after it, truncate
+    any torn tail, and attach a fresh :class:`WalWriter` continuing in the
+    same directory.  An empty (or absent) directory yields a blank registry,
+    so first boot and restart share one code path.
+    """
+    snapshot, ops, stats = replay_dir(wal_dir)
+    registry = FleetRegistry()
+    if snapshot is not None:
+        registry.restore_state(snapshot)
+    replayed = 0
+    for record in ops:
+        if record.get("t") == "fleet":
+            registry.apply(record["c"])
+            replayed += 1
+    truncate_torn_tail(stats)
+    wal = WalWriter(
+        wal_dir, sync=sync, segment_bytes=segment_bytes,
+        snapshot_bytes=snapshot_bytes,
+    )
+    stats = dict(stats, replayed=replayed)
+    return registry, wal, stats

@@ -1,0 +1,130 @@
+"""Shard-side fleet agent: registration, heartbeats, lease revocation.
+
+A shard is an ordinary :class:`~repro.harmony.server.TuningServer` process;
+what makes it part of a fleet is this agent, which (1) registers the
+shard's serving address with the coordinator, (2) renews the lease from a
+daemon thread at a third of the lease interval, and (3) watches the
+heartbeat responses for ``alive: false`` — the coordinator's signal that
+the lease was revoked and the shard's sessions have been re-homed, at
+which point the shard must stop serving (``repro serve`` drains its loop
+via the *on_revoked* callback).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.harmony.transport import TcpClientTransport
+
+__all__ = ["ShardAgent"]
+
+
+class ShardAgent:
+    """Keeps one shard registered and leased with the fleet coordinator."""
+
+    def __init__(
+        self,
+        coordinator_addr: tuple[str, int],
+        *,
+        host: str,
+        port: int,
+        wal_dir: Any | None = None,
+        shard_id: int | None = None,
+        register_timeout: float = 10.0,
+        request_timeout: float = 5.0,
+        metrics: Any | None = None,
+        tracer: Any | None = None,
+        on_revoked: Callable[[], None] | None = None,
+    ) -> None:
+        self._addr = (str(coordinator_addr[0]), int(coordinator_addr[1]))
+        self._host = host
+        self._port = int(port)
+        self._wal_dir = str(wal_dir) if wal_dir is not None else None
+        self.shard_id = shard_id
+        self.lease_s: float | None = None
+        self._register_timeout = float(register_timeout)
+        self._request_timeout = float(request_timeout)
+        self.metrics = metrics
+        self.tracer = tracer
+        self._on_revoked = on_revoked
+        #: set when the coordinator revoked our lease — stop serving.
+        self.revoked = threading.Event()
+        self._stop = threading.Event()
+        self._beat: threading.Thread | None = None
+
+    def _request(self, message: dict) -> dict:
+        transport = TcpClientTransport(
+            self._addr[0], self._addr[1], timeout=self._request_timeout
+        )
+        try:
+            return transport.request(message)
+        finally:
+            transport.close()
+
+    def start(self) -> int:
+        """Register with the coordinator (retrying up to *register_timeout*)
+        and start the heartbeat thread; returns the assigned shard id."""
+        deadline = time.monotonic() + self._register_timeout
+        message = {
+            "op": "register_shard", "host": self._host, "port": self._port,
+            "wal_dir": self._wal_dir,
+        }
+        if self.shard_id is not None:
+            message["shard"] = int(self.shard_id)
+        last_error: Exception | None = None
+        while True:
+            try:
+                response = self._request(message)
+                if response.get("ok"):
+                    break
+                last_error = RuntimeError(response.get("error", "register_shard failed"))
+            except (OSError, ConnectionError) as exc:
+                last_error = exc
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"could not register with coordinator at "
+                    f"{self._addr[0]}:{self._addr[1]}: {last_error}"
+                )
+            time.sleep(0.1)
+        self.shard_id = int(response["shard"])
+        self.lease_s = float(response["lease_s"])
+        if self.metrics is not None:
+            self.metrics.inc("fleet.shard_registered")
+        self._stop.clear()
+        self.revoked.clear()
+        self._beat = threading.Thread(target=self._heartbeat_loop, daemon=True)
+        self._beat.start()
+        return self.shard_id
+
+    def _heartbeat_loop(self) -> None:
+        interval = max(0.05, (self.lease_s or 1.0) / 3.0)
+        while not self._stop.wait(interval):
+            try:
+                response = self._request(
+                    {"op": "heartbeat", "shard": self.shard_id}
+                )
+            except (OSError, ConnectionError):
+                # Coordinator unreachable: keep trying — the lease may
+                # still be renewed before it runs out.
+                if self.metrics is not None:
+                    self.metrics.inc("fleet.heartbeat_failures")
+                continue
+            if self.metrics is not None:
+                self.metrics.inc("fleet.heartbeats")
+            if response.get("ok") and not response.get("alive", True):
+                # Lease revoked: our sessions were re-homed elsewhere.
+                self.revoked.set()
+                if self._on_revoked is not None:
+                    try:
+                        self._on_revoked()
+                    except Exception:  # pragma: no cover
+                        pass
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._beat is not None:
+            self._beat.join(timeout=2.0)
+            self._beat = None

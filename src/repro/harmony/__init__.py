@@ -36,7 +36,7 @@ from repro.harmony.evaluator import (
 from repro.harmony.metrics import SessionResult, StepKind
 from repro.harmony.session import TuningSession
 from repro.harmony.server import ServerSession, TuningServer
-from repro.harmony.client import TuningClient
+from repro.harmony.client import ServerRedirect, TuningClient
 from repro.harmony.protocol import MAX_LINE_BYTES, PROTOCOL_VERSION
 from repro.harmony.binproto import BINPROTO_VERSION
 from repro.harmony.transport import (
@@ -59,6 +59,7 @@ __all__ = [
     "TuningSession",
     "TuningServer",
     "ServerSession",
+    "ServerRedirect",
     "TuningClient",
     "InProcessTransport",
     "TcpServerTransport",

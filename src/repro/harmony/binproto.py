@@ -73,9 +73,11 @@ __all__ = [
     "MSG_REPORT_MANY",
     "MSG_FETCH_MANY2",
     "MSG_REPORT_MANY2",
+    "MSG_LOCATE",
     "MSG_POINTS",
     "MSG_ACK",
     "MSG_ERROR",
+    "MSG_REDIRECT",
     "FrameSplitter",
     "WireError",
     "encode_frame",
@@ -84,6 +86,9 @@ __all__ = [
     "encode_points",
     "encode_ack",
     "encode_error",
+    "encode_locate",
+    "encode_redirect",
+    "decode_locate",
     "decode_fetch_many",
     "decode_report_many",
     "decode_fetch_many2",
@@ -112,8 +117,10 @@ MSG_FETCH_MANY = 0x01
 MSG_REPORT_MANY = 0x02
 MSG_FETCH_MANY2 = 0x03
 MSG_REPORT_MANY2 = 0x04
+MSG_LOCATE = 0x05
 MSG_POINTS = 0x81
 MSG_ACK = 0x82
+MSG_REDIRECT = 0x83
 MSG_ERROR = 0x7F
 
 _HEADER = struct.Struct("<BBII")
@@ -123,6 +130,8 @@ _FETCH2_HEAD = struct.Struct("<iIiH")
 _REPORT2_HEAD = struct.Struct("<iiIiH")
 _POINTS_HEAD = struct.Struct("<II")
 _ACK = struct.Struct("<II")
+_LOCATE_HEAD = struct.Struct("<H")
+_REDIRECT_HEAD = struct.Struct("<iHH")
 
 
 class WireError(ValueError):
@@ -195,6 +204,40 @@ def encode_points(seq: int, tokens: np.ndarray, points: np.ndarray) -> bytes:
 def encode_ack(seq: int, n_ok: int, n_stale: int) -> bytes:
     """The report_many response: absorbed / stale counts."""
     return encode_frame(MSG_ACK, seq, _ACK.pack(n_ok, n_stale))
+
+
+def encode_locate(seq: int, session: str) -> bytes:
+    """One LOCATE request frame: which shard serves *session*?
+
+    Answered by a fleet coordinator with a REDIRECT frame (or an ERROR
+    frame when no live shard can take the session).
+    """
+    ses = session.encode("utf-8")
+    return encode_frame(MSG_LOCATE, seq, _LOCATE_HEAD.pack(len(ses)) + ses)
+
+
+def decode_locate(payload: bytes) -> str:
+    """Decode a LOCATE payload into the session name."""
+    if len(payload) < _LOCATE_HEAD.size:
+        raise WireError("locate payload shorter than its header")
+    (slen,) = _LOCATE_HEAD.unpack_from(payload)
+    if len(payload) != _LOCATE_HEAD.size + slen:
+        raise WireError(
+            f"locate payload is {len(payload)} bytes, "
+            f"expected {_LOCATE_HEAD.size + slen}"
+        )
+    try:
+        return payload[_LOCATE_HEAD.size:].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"session name is not valid UTF-8: {exc}") from exc
+
+
+def encode_redirect(seq: int, shard: int, host: str, port: int) -> bytes:
+    """One REDIRECT response frame: *session lives on shard at host:port*."""
+    raw = host.encode("utf-8")
+    return encode_frame(
+        MSG_REDIRECT, seq, _REDIRECT_HEAD.pack(shard, port, len(raw)) + raw
+    )
 
 
 def encode_error(seq: int, text: str) -> bytes:
@@ -363,6 +406,20 @@ def decode_response(msg_type: int, payload: bytes) -> tuple[Any, ...]:
             raise WireError(f"ack payload is {len(payload)} bytes, expected {_ACK.size}")
         n_ok, n_stale = _ACK.unpack(payload)
         return "ack", n_ok, n_stale
+    if msg_type == MSG_REDIRECT:
+        if len(payload) < _REDIRECT_HEAD.size:
+            raise WireError("redirect payload shorter than its header")
+        shard, port, hlen = _REDIRECT_HEAD.unpack_from(payload)
+        if len(payload) != _REDIRECT_HEAD.size + hlen:
+            raise WireError(
+                f"redirect payload is {len(payload)} bytes, "
+                f"expected {_REDIRECT_HEAD.size + hlen}"
+            )
+        try:
+            host = payload[_REDIRECT_HEAD.size:].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"redirect host is not valid UTF-8: {exc}") from exc
+        return "redirect", shard, host, port
     if msg_type == MSG_ERROR:
         return "error", payload[:ERROR_TEXT_MAX].decode("utf-8", errors="replace")
     raise WireError(f"unknown binary response type 0x{msg_type:02x}")
@@ -501,6 +558,13 @@ def dispatch_frame(server: Any, msg_type: int, seq: int, payload: bytes) -> byte
             if observe is not None:
                 observe("report_many", tokens.size)
             return encode_ack(seq, n_ok, n_stale)
+        if msg_type == MSG_LOCATE:
+            name = decode_locate(payload)
+            locate = getattr(server, "locate", None)
+            if locate is None:
+                return encode_error(seq, "this server does not route sessions")
+            shard, host, port = locate(name)
+            return encode_redirect(seq, shard, host, port)
         return encode_error(seq, f"unknown binary frame type 0x{msg_type:02x}")
     except Exception as exc:  # protocol boundary: never let the server die
         return encode_error(seq, f"{type(exc).__name__}: {exc}")

@@ -51,7 +51,26 @@ from repro.harmony.transport import Transport, n_wire_chunks
 from repro.space import ParameterSpace
 from repro.space.serialize import space_to_spec
 
-__all__ = ["TuningClient"]
+__all__ = ["ServerRedirect", "TuningClient"]
+
+
+class ServerRedirect(RuntimeError):
+    """The server answered "not here — ask that shard".
+
+    Raised when a session op reaches a fleet coordinator (or any server
+    that routes rather than serves): the error envelope carries a
+    ``redirect`` field naming the owning shard.  Clients built with
+    :func:`repro.fleet.fleet_client` never see this — their transport
+    factory resolves through the coordinator up front — but a client
+    pointed straight at the coordinator by mistake gets an actionable
+    address instead of an opaque error string.
+    """
+
+    def __init__(self, message: str, *, shard: int, host: str, port: int) -> None:
+        super().__init__(f"{message} (redirect: shard {shard} at {host}:{port})")
+        self.shard = int(shard)
+        self.host = str(host)
+        self.port = int(port)
 
 
 class TuningClient:
@@ -100,6 +119,14 @@ class TuningClient:
 
     def _check(self, response: Mapping[str, object]) -> dict:
         if not response.get("ok", False):
+            redirect = response.get("redirect")
+            if isinstance(redirect, Mapping):
+                raise ServerRedirect(
+                    f"tuning server error: {response.get('error')}",
+                    shard=redirect.get("shard", -1),
+                    host=redirect.get("host", ""),
+                    port=redirect.get("port", 0),
+                )
             raise RuntimeError(f"tuning server error: {response.get('error')}")
         return dict(response)
 

@@ -46,6 +46,7 @@ __all__ = [
     "encode_line",
     "error_response",
     "oversized_response",
+    "redirect_response",
 ]
 
 #: current wire-protocol version; checked at ``register``
@@ -66,6 +67,21 @@ def error_response(error: str) -> dict[str, Any]:
 def oversized_response(limit: int = MAX_LINE_BYTES) -> dict[str, Any]:
     """The response sent before closing a connection that overran the frame cap."""
     return error_response(f"frame exceeds {limit} bytes; closing connection")
+
+
+def redirect_response(shard: int, host: str, port: int) -> dict[str, Any]:
+    """A successful ``locate`` answer: where the session is served.
+
+    The fleet coordinator's routing envelope.  ``ok: True`` with a
+    ``redirect`` field means "go there"; session ops mistakenly sent to
+    the coordinator get the same ``redirect`` field on an ``ok: False``
+    envelope, which :class:`~repro.harmony.client.TuningClient` surfaces
+    as :class:`~repro.harmony.client.ServerRedirect`.
+    """
+    return {
+        "ok": True,
+        "redirect": {"shard": int(shard), "host": str(host), "port": int(port)},
+    }
 
 
 #: cap on exception text echoed into a "bad json" error response — the

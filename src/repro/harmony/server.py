@@ -112,10 +112,18 @@ class ServerSession:
         name: str = DEFAULT_SESSION,
         space: ParameterSpace | None = None,
         plan: SamplingPlan | None = None,
+        reply_cache_size: int | None = None,
     ) -> None:
         self.name = name
         self._factory = tuner_factory
         self.space = space
+        self._reply_cache_size = (
+            _REPLY_CACHE if reply_cache_size is None else int(reply_cache_size)
+        )
+        if self._reply_cache_size < 1:
+            raise ValueError(
+                f"reply_cache_size must be >= 1, got {self._reply_cache_size}"
+            )
         self.plan = plan if plan is not None else SamplingPlan()
         self.tuner: BatchTuner | None = None
         if space is not None:
@@ -173,7 +181,7 @@ class ServerSession:
         state["hwm"] = max(state["hwm"], int(cseq))
         cache = state["cache"]
         cache[int(cseq)] = reply
-        while len(cache) > _REPLY_CACHE:
+        while len(cache) > self._reply_cache_size:
             cache.popitem(last=False)
 
     # -- operations -------------------------------------------------------------------
@@ -749,8 +757,22 @@ class TuningServer:
         metrics: "Any | None" = None,
         tracer: "Any | None" = None,
         binproto: bool = True,
+        reply_cache_size: int | None = None,
+        service_delay_s: float = 0.0,
     ) -> None:
         self._factory = tuner_factory
+        #: per-client reply-cache bound handed to every session
+        #: (None = the module default, ``_REPLY_CACHE``)
+        self.reply_cache_size = reply_cache_size
+        #: modeled per-frame service time (seconds).  When non-zero, every
+        #: frame the transports dispatch holds the server-global service
+        #: lock for this long (a GIL-releasing sleep), emulating a
+        #: CPU-bound handler: one process serves at most 1/delay frames/s
+        #: no matter how many connections it has, while *separate shard
+        #: processes* overlap freely.  The fleet benchmark uses this to
+        #: measure routing/aggregation scaling honestly on one box.
+        self.service_delay_s = float(service_delay_s)
+        self._service_lock = threading.Lock()
         #: advertise the binary wire format in register responses; clients
         #: only switch to binary frames after seeing the advertisement, so
         #: a server hosted behind a JSON-only transport sets this False
@@ -782,9 +804,22 @@ class TuningServer:
         session = ServerSession(
             self._factory, name=name, space=space,
             plan=plan if plan is not None else self._default_plan,
+            reply_cache_size=self.reply_cache_size,
         )
         session._wal = self.wal_append
         return session
+
+    def model_service(self, n_frames: int = 1) -> None:
+        """Model *n_frames* of service time under the server-global lock.
+
+        Called by the transports once per dispatched wire frame when
+        ``service_delay_s`` is non-zero; a no-op otherwise (the common
+        case — one predictable branch).
+        """
+        if self.service_delay_s <= 0.0 or n_frames <= 0:
+            return
+        with self._service_lock:
+            time.sleep(self.service_delay_s * n_frames)
 
     # -- single-session compatibility surface ------------------------------------
 
@@ -890,6 +925,45 @@ class TuningServer:
             self.wal_append({"t": "op", "m": record})
             self._emit("server.session", action="open", session=name)
         return {"ok": True, "session": name, "created": created}
+
+    def _op_adopt_session(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Take over a migrated session: full ``state_dict`` state transfer.
+
+        The fleet coordinator sends this when re-homing a dead shard's
+        sessions onto this server: the state is everything the per-session
+        WAL snapshot captures — tuner, in-flight batch, measurement log,
+        and per-client exactly-once state (high-water marks, reply caches,
+        registration nonces) — so clients of the dead shard resume here
+        bit-identically, retries and all.  Adopting replaces any existing
+        session of the same name (the coordinator owns placement; this
+        server is not in a position to argue).  The record is WAL-logged
+        whole, so a later recovery of *this* shard rebuilds the adopted
+        session too.
+        """
+        name = message.get("session")
+        if not isinstance(name, str) or not name:
+            return error_response("adopt_session needs a non-empty 'session' name")
+        state = message.get("state")
+        if not isinstance(state, Mapping):
+            return error_response("adopt_session needs a 'state' snapshot dict")
+        session = self._new_session(name)
+        try:
+            session.restore_state(state)
+        except Exception as exc:
+            return error_response(
+                f"could not restore adopted session {name!r}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        with self._sessions_lock:
+            self._sessions[name] = session
+        self.wal_append({
+            "t": "op",
+            "m": {"op": "adopt_session", "session": name, "state": dict(state)},
+        })
+        self._emit("server.session", action="adopt", session=name)
+        if self.metrics is not None and not self._wal_replaying:
+            self.metrics.inc("server.adopted_sessions")
+        return {"ok": True, "session": name, "adopted": True}
 
     def _op_close_session(self, message: Mapping[str, Any]) -> dict[str, Any]:
         name = message.get("session")
@@ -1087,7 +1161,10 @@ class TuningServer:
 
     # -- protocol entry point ------------------------------------------------------
 
-    _SERVER_OPS = frozenset({"open_session", "close_session", "list_sessions", "metrics"})
+    _SERVER_OPS = frozenset({
+        "open_session", "close_session", "list_sessions", "metrics",
+        "adopt_session",
+    })
 
     def handle(self, message: Mapping[str, Any]) -> dict[str, Any]:
         """Process one protocol message and return the response dict."""
@@ -1123,6 +1200,8 @@ class TuningServer:
             return self._op_open_session(message)
         if op == "close_session":
             return self._op_close_session(message)
+        if op == "adopt_session":
+            return self._op_adopt_session(message)
         if op == "list_sessions":
             return self._op_list_sessions()
         if op == "metrics":

@@ -97,6 +97,11 @@ def respond_frames(
                 )
             else:
                 out.append(binproto.dispatch_frame(server, msg_type, seq, payload))
+    # Modeled service time (fleet benchmarking): bills the whole chunk at
+    # once, under the server-global service lock, before responses leave.
+    model = getattr(server, "model_service", None)
+    if model is not None:
+        model(len(out))
     commit = getattr(server, "commit_wal", None)
     if commit is not None:
         commit()

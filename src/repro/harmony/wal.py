@@ -30,6 +30,9 @@ Record vocabulary (the ``"t"`` field)::
              replayed through ``TuningServer.handle``
     fetchm   one binary fetch_many group (session, client, n, cseq)
     reportm  one binary report_many group (tokens/times inline)
+    fleet    one fleet-registry command (register/heartbeat/expire/
+             assign/rehome/close), replayed through
+             ``FleetRegistry.apply`` — see :mod:`repro.fleet.registry`
 
 **Segments and snapshot+truncate.**  The log lives in a directory of
 ``wal-NNNNNNNN.log`` segments; the writer rotates to a fresh segment at
@@ -86,6 +89,7 @@ __all__ = [
     "read_segment",
     "replay_dir",
     "recover_server",
+    "truncate_torn_tail",
 ]
 
 #: record-schema version stamped into snapshots
@@ -375,8 +379,13 @@ def replay_dir(wal_dir: str | Path) -> tuple[dict | None, list[dict], dict]:
     return snapshot, ops, stats
 
 
-def _truncate_torn_tail(stats: dict) -> None:
-    """Cut a torn final segment back to its last valid record."""
+def truncate_torn_tail(stats: dict) -> None:
+    """Cut a torn final segment back to its last valid record.
+
+    *stats* is the third element of a :func:`replay_dir` return.  Shared
+    by server recovery and the fleet coordinator's registry recovery
+    (:func:`repro.fleet.registry.recover_registry`).
+    """
     torn = stats.get("torn")
     if not torn:
         return
@@ -384,6 +393,10 @@ def _truncate_torn_tail(stats: dict) -> None:
         fh.truncate(torn["valid_bytes"])
         fh.flush()
         os.fsync(fh.fileno())
+
+
+#: backwards-compat alias (pre-fleet name)
+_truncate_torn_tail = truncate_torn_tail
 
 
 # -- recovery ---------------------------------------------------------------------
@@ -398,6 +411,8 @@ def recover_server(
     metrics: Any | None = None,
     tracer: Any | None = None,
     binproto: bool = True,
+    reply_cache_size: int | None = None,
+    service_delay_s: float = 0.0,
     sync: str = "batch",
     segment_bytes: int = 16 << 20,
     snapshot_bytes: int = 64 << 20,
@@ -420,6 +435,7 @@ def recover_server(
     server = TuningServer(
         tuner_factory, space=space, plan=plan, metrics=metrics,
         tracer=tracer, binproto=binproto,
+        reply_cache_size=reply_cache_size, service_delay_s=service_delay_s,
     )
     server._wal_replaying = True
     try:
@@ -429,7 +445,7 @@ def recover_server(
             server.apply_wal_record(record)
     finally:
         server._wal_replaying = False
-    _truncate_torn_tail(stats)
+    truncate_torn_tail(stats)
     wal = WalWriter(
         wal_dir, sync=sync, segment_bytes=segment_bytes,
         snapshot_bytes=snapshot_bytes, crash_at=crash_at,

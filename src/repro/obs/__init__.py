@@ -7,6 +7,8 @@
   fixtures strip only wall-clock fields);
 * :mod:`repro.obs.metrics` — counters/gauges/histograms snapshot into
   ``SweepResult.meta["obs"]``;
+* :mod:`repro.obs.prom` — Prometheus text-format rendering of a registry
+  snapshot plus a scrapeable ``/metrics`` HTTP endpoint;
 * :mod:`repro.obs.replay` — rebuilds sweep aggregates from a trace (the
   trace-is-faithful invariant the property tests enforce);
 * :mod:`repro.obs.summary` — the ``repro trace PATH`` digest.
@@ -16,6 +18,7 @@ reduce to one ``is None`` check.
 """
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import MetricsEndpoint, render_prometheus
 from repro.obs.replay import replay_sweep
 from repro.obs.summary import summarize_trace
 from repro.obs.trace import (
@@ -31,6 +34,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "EVENT_KINDS",
+    "MetricsEndpoint",
     "MetricsRegistry",
     "Tracer",
     "activated",
@@ -38,6 +42,7 @@ __all__ = [
     "canonical_events",
     "emit",
     "read_trace",
+    "render_prometheus",
     "replay_sweep",
     "summarize_trace",
     "write_jsonl",

@@ -1,0 +1,143 @@
+"""Prometheus text-format export of a :class:`~repro.obs.MetricsRegistry`.
+
+Two pieces, both stdlib-only:
+
+* :func:`render_prometheus` — turn a :meth:`MetricsRegistry.snapshot`
+  into exposition-format text (version 0.0.4): counters as ``_total``
+  counters, gauges as gauges, histogram windows as summaries with
+  ``quantile`` labels.  Deterministic for a given snapshot (keys are
+  already sorted), which is what the golden-scrape test pins down.
+* :class:`MetricsEndpoint` — a daemon-threaded HTTP server answering
+  ``GET /metrics`` with a fresh render, so ``repro serve --metrics-port``
+  and the fleet coordinator are scrapeable by a stock Prometheus.
+
+Dots in metric names become underscores (``server.requests`` →
+``repro_server_requests_total``); the ``repro_`` namespace prefix keeps
+the fleet's series from colliding with anything else on the scrape host.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+__all__ = ["CONTENT_TYPE", "MetricsEndpoint", "render_prometheus"]
+
+#: the exposition-format content type Prometheus expects
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_QUANTILE_KEYS = (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"))
+
+
+def _name(namespace: str, raw: str) -> str:
+    """A legal Prometheus metric name: namespaced, bad chars to ``_``."""
+    return f"{namespace}_{re.sub(r'[^a-zA-Z0-9_:]', '_', raw)}"
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value (repr keeps full float precision; ints stay ints)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any], *, namespace: str = "repro"
+) -> str:
+    """Exposition-format text for one metrics *snapshot*.
+
+    Counters become ``<ns>_<name>_total`` (TYPE counter), gauges map
+    directly (TYPE gauge), and histogram windows render as summaries:
+    ``quantile``-labelled samples from the window's p50/p90/p99 plus
+    ``_count`` (all-time observation count when the window overflowed,
+    else the window count) and ``_sum`` (mean × window count — the
+    window's sum, the closest faithful value a quantile window can offer).
+    """
+    lines: list[str] = []
+    for raw, value in snapshot.get("counters", {}).items():
+        name = _name(namespace, raw) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(value)}")
+    for raw, value in snapshot.get("gauges", {}).items():
+        name = _name(namespace, raw)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(value)}")
+    for raw, summary in snapshot.get("histograms", {}).items():
+        name = _name(namespace, raw)
+        lines.append(f"# TYPE {name} summary")
+        for key, quantile in _QUANTILE_KEYS:
+            if key in summary:
+                lines.append(
+                    f'{name}{{quantile="{quantile}"}} {_fmt(summary[key])}'
+                )
+        count = int(summary.get("count", 0))
+        lines.append(f"{name}_count {summary.get('total', count)}")
+        if "mean" in summary:
+            lines.append(f"{name}_sum {_fmt(summary['mean'] * count)}")
+    return "\n".join(lines) + "\n"
+
+
+class MetricsEndpoint:
+    """Serve ``GET /metrics`` scrapes for one registry on a daemon thread."""
+
+    def __init__(
+        self,
+        registry: Any,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        namespace: str = "repro",
+    ) -> None:
+        endpoint = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                body = render_prometheus(
+                    endpoint.registry.snapshot(), namespace=endpoint.namespace
+                ).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes are high-frequency; stay quiet
+
+        self.registry = registry
+        self.namespace = namespace
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsEndpoint":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.2},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

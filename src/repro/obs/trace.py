@@ -91,6 +91,12 @@ EVENT_KINDS = frozenset(
         "wal.replay",
         "wal.snapshot",
         "wal.recover",
+        # fleet scope (the coordinator's registry; heartbeats are
+        # counters-only — they would swamp a trace)
+        "fleet.register",
+        "fleet.locate",
+        "fleet.expire",
+        "fleet.rehome",
     }
 )
 

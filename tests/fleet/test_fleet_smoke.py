@@ -1,0 +1,90 @@
+"""Fleet smoke test: kill a shard mid-sweep, finish bit-identically.
+
+The distributed analogue of the single-server SIGKILL battery
+(``tests/harmony/test_crash_recovery.py``): launch a real coordinator +
+two real ``repro serve`` shard subprocesses with WALs, drive tuning
+sessions through coordinator routing, ``SIGKILL`` the shard that owns the
+session currently mid-workload, and require the whole sweep to finish
+with results bit-identical to one uninterrupted in-process server under
+paired seeding.  The client's reconnect loop, the resolver's
+unreachable-hint probe, lease expiry, WAL recovery of the dead shard, and
+``adopt_session`` on the survivor all get exercised by that one kill.
+"""
+
+from repro.fleet.launch import (
+    FleetSupervisor,
+    bench_space,
+    session_workload,
+    single_server_baseline,
+    sweep_results,
+)
+
+SESSIONS = ["sweep-0", "sweep-1", "sweep-2"]
+STEPS = 8
+SEED = 0
+
+
+def test_kill_a_shard_mid_sweep_results_bit_identical(tmp_path):
+    with FleetSupervisor(
+        2, base_dir=tmp_path, lease_s=1.0, wal=True, sync="batch",
+        transport="threaded", wire="binary", seed=SEED,
+    ) as fleet:
+        results = {}
+        killed = {}
+
+        def kill_owner_of(name):
+            """SIGKILL the shard that owns *name* (mid-workload trigger)."""
+            status = fleet.fleet_status()
+            shard = status["sessions"][name]
+            killed["shard"] = shard
+            killed["session"] = name
+            fleet.kill_shard(shard)
+
+        for idx, name in enumerate(SESSIONS):
+            client = fleet.client(name)
+            client.open_session(name, k=1, estimator="min")
+            client.register(bench_space())
+            # the middle session loses its shard halfway through its steps
+            midway = (lambda n=name: kill_owner_of(n)) if idx == 1 else None
+            session_workload(
+                client, idx, steps=STEPS, seed=SEED, midway=midway
+            )
+            results[name] = sweep_results(client)
+            client.transport.close()
+
+        assert "shard" in killed, "the kill trigger never fired"
+        status = fleet.fleet_status()
+        assert not status["shards"][str(killed["shard"])]["alive"]
+        # the killed shard's sessions were re-homed onto the survivor
+        survivors = [
+            int(s) for s, info in status["shards"].items() if info["alive"]
+        ]
+        assert survivors and status["sessions"][killed["session"]] in survivors
+        counters = fleet.metrics.snapshot()["counters"]
+        assert counters.get("fleet.expired_shards", 0) >= 1
+        assert counters.get("fleet.rehomed_sessions", 0) >= 1
+        assert counters.get("fleet.lost_sessions", 0) == 0
+
+    baseline = single_server_baseline(
+        SESSIONS, seed=SEED, k=1, estimator="min", steps=STEPS
+    )
+    assert results == baseline, (
+        "fleet sweep with a SIGKILLed shard diverged from the "
+        "uninterrupted single-server baseline"
+    )
+
+
+def test_clean_fleet_sweep_matches_baseline(tmp_path):
+    """No faults: routing alone must not perturb results (JSON wire arm)."""
+    with FleetSupervisor(
+        2, base_dir=tmp_path, lease_s=5.0, wal=False,
+        transport="threaded", wire="json", seed=SEED,
+    ) as fleet:
+        results = fleet.run_sweep(SESSIONS, steps=STEPS)
+        status = fleet.fleet_status()
+        owners = {status["sessions"][n] for n in SESSIONS}
+        assert len(owners) == 2, "sessions were not spread across shards"
+    baseline = single_server_baseline(
+        SESSIONS, seed=SEED, k=1, estimator="min", steps=STEPS
+    )
+    assert results == baseline

@@ -1,0 +1,207 @@
+"""Unit tests for the fleet registry state machine and its WAL recovery."""
+
+import pytest
+
+from repro.fleet.registry import FleetRegistry, recover_registry
+from repro.harmony.wal import WalWriter
+
+
+def register(reg, shard, *, port=1000, until=10.0, wal_dir=None):
+    return reg.apply({
+        "c": "register", "shard": shard, "host": "127.0.0.1",
+        "port": port + shard, "wal_dir": wal_dir, "until": until,
+    })
+
+
+class TestCommands:
+    def test_register_creates_live_shard(self):
+        reg = FleetRegistry()
+        assert register(reg, 0) == {"applied": True, "shard": 0}
+        assert reg.is_alive(0)
+        assert reg.alive_shards() == [0]
+
+    def test_next_shard_id_is_state_derived(self):
+        reg = FleetRegistry()
+        assert reg.next_shard_id() == 0
+        register(reg, 0)
+        register(reg, 5)
+        assert reg.next_shard_id() == 6
+
+    def test_reregister_revives_dead_shard(self):
+        reg = FleetRegistry()
+        register(reg, 0)
+        reg.apply({"c": "expire", "shard": 0})
+        assert not reg.is_alive(0)
+        register(reg, 0, port=2000, until=20.0)
+        assert reg.is_alive(0)
+        assert reg.shards[0]["port"] == 2000
+
+    def test_heartbeat_extends_lease_monotonically(self):
+        reg = FleetRegistry()
+        register(reg, 0, until=10.0)
+        assert reg.apply({"c": "heartbeat", "shard": 0, "until": 15.0})["applied"]
+        assert reg.shards[0]["until"] == 15.0
+        # an out-of-order (older) heartbeat never shrinks the lease
+        reg.apply({"c": "heartbeat", "shard": 0, "until": 12.0})
+        assert reg.shards[0]["until"] == 15.0
+
+    def test_heartbeat_ignored_for_unknown_and_dead_shards(self):
+        reg = FleetRegistry()
+        assert not reg.apply({"c": "heartbeat", "shard": 9, "until": 1.0})["applied"]
+        register(reg, 0)
+        reg.apply({"c": "expire", "shard": 0})
+        assert not reg.apply({"c": "heartbeat", "shard": 0, "until": 99.0})["applied"]
+
+    def test_expire_is_idempotent_and_keeps_session_mappings(self):
+        reg = FleetRegistry()
+        register(reg, 0)
+        reg.apply({"c": "assign", "session": "s", "shard": 0})
+        assert reg.apply({"c": "expire", "shard": 0})["applied"]
+        assert reg.apply({"c": "expire", "shard": 0})["applied"]
+        # recovery needs to know where the dead shard's state lives
+        assert reg.owner("s") == 0
+        assert not reg.apply({"c": "expire", "shard": 7})["applied"]
+
+    def test_assign_and_rehome_require_live_target(self):
+        reg = FleetRegistry()
+        register(reg, 0)
+        register(reg, 1)
+        assert reg.apply({"c": "assign", "session": "s", "shard": 0})["applied"]
+        reg.apply({"c": "expire", "shard": 0})
+        assert not reg.apply({"c": "assign", "session": "t", "shard": 0})["applied"]
+        assert reg.apply({"c": "rehome", "session": "s", "shard": 1})["applied"]
+        assert reg.owner("s") == 1
+
+    def test_close_drops_mapping(self):
+        reg = FleetRegistry()
+        register(reg, 0)
+        reg.apply({"c": "assign", "session": "s", "shard": 0})
+        assert reg.apply({"c": "close", "session": "s"})["applied"]
+        assert reg.owner("s") is None
+        assert not reg.apply({"c": "close", "session": "s"})["applied"]
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(ValueError, match="unknown fleet command"):
+            FleetRegistry().apply({"c": "explode"})
+
+
+class TestQueries:
+    def test_least_loaded_prefers_fewest_sessions_then_lowest_id(self):
+        reg = FleetRegistry()
+        for shard in (0, 1, 2):
+            register(reg, shard)
+        assert reg.least_loaded() == 0
+        reg.apply({"c": "assign", "session": "a", "shard": 0})
+        assert reg.least_loaded() == 1
+        reg.apply({"c": "assign", "session": "b", "shard": 1})
+        assert reg.least_loaded() == 2
+        reg.apply({"c": "assign", "session": "c", "shard": 2})
+        assert reg.least_loaded() == 0  # tie: lowest id
+        assert reg.least_loaded() is not None
+
+    def test_least_loaded_none_when_all_dead(self):
+        reg = FleetRegistry()
+        register(reg, 0)
+        reg.apply({"c": "expire", "shard": 0})
+        assert reg.least_loaded() is None
+
+    def test_expired_lists_only_live_overdue_shards(self):
+        reg = FleetRegistry()
+        register(reg, 0, until=5.0)
+        register(reg, 1, until=50.0)
+        register(reg, 2, until=1.0)
+        reg.apply({"c": "expire", "shard": 2})  # already dead: not re-expired
+        assert reg.expired(now=10.0) == [0]
+
+    def test_sessions_on(self):
+        reg = FleetRegistry()
+        register(reg, 0)
+        register(reg, 1)
+        for name, shard in (("b", 0), ("a", 0), ("c", 1)):
+            reg.apply({"c": "assign", "session": name, "shard": shard})
+        assert reg.sessions_on(0) == ["a", "b"]
+        assert reg.sessions_on(1) == ["c"]
+
+
+class TestSnapshotAndRecovery:
+    def test_state_dict_round_trip(self):
+        reg = FleetRegistry()
+        register(reg, 0, until=3.5)
+        register(reg, 1)
+        reg.apply({"c": "expire", "shard": 1})
+        reg.apply({"c": "assign", "session": "s", "shard": 0})
+        clone = FleetRegistry()
+        clone.restore_state(reg.state_dict())
+        assert clone.shards == reg.shards
+        assert clone.sessions == reg.sessions
+
+    def test_recover_registry_empty_dir(self, tmp_path):
+        reg, wal, stats = recover_registry(tmp_path / "wal")
+        assert reg.shards == {} and reg.sessions == {}
+        assert stats["replayed"] == 0
+        wal.close()
+
+    def test_recover_registry_replays_fleet_records(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        reg = FleetRegistry()
+        wal = WalWriter(wal_dir, sync="off")
+        for cmd in (
+            {"c": "register", "shard": 0, "host": "h", "port": 1,
+             "wal_dir": None, "until": 9.0},
+            {"c": "assign", "session": "s", "shard": 0},
+            {"c": "heartbeat", "shard": 0, "until": 11.0},
+        ):
+            reg.apply(cmd)
+            wal.append({"t": "fleet", "c": cmd})
+        wal.commit()
+        wal.close()
+
+        recovered, wal2, stats = recover_registry(wal_dir)
+        assert stats["replayed"] == 3
+        assert recovered.shards == reg.shards
+        assert recovered.sessions == reg.sessions
+        wal2.close()
+
+    def test_recover_registry_restores_from_snapshot_then_tail(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        reg = FleetRegistry()
+        wal = WalWriter(wal_dir, sync="off")
+        cmd = {"c": "register", "shard": 0, "host": "h", "port": 1,
+               "wal_dir": None, "until": 9.0}
+        reg.apply(cmd)
+        wal.append({"t": "fleet", "c": cmd})
+        wal.snapshot(reg.state_dict())
+        tail = {"c": "assign", "session": "s", "shard": 0}
+        reg.apply(tail)
+        wal.append({"t": "fleet", "c": tail})
+        wal.commit()
+        wal.close()
+
+        recovered, wal2, stats = recover_registry(wal_dir)
+        assert stats["replayed"] == 1  # only the post-snapshot record
+        assert recovered.shards == reg.shards
+        assert recovered.sessions == reg.sessions
+        wal2.close()
+
+    def test_recover_registry_tolerates_torn_tail(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        wal = WalWriter(wal_dir, sync="off")
+        cmd = {"c": "register", "shard": 0, "host": "h", "port": 1,
+               "wal_dir": None, "until": 9.0}
+        wal.append({"t": "fleet", "c": cmd})
+        wal.commit()
+        wal.close()
+        # simulate a kill mid-append: garbage after the last valid record
+        segments = sorted(wal_dir.glob("wal-*.log"))
+        with open(segments[-1], "ab") as fh:
+            fh.write(b"\x07\x00\x00\x00torn")
+
+        recovered, wal2, stats = recover_registry(wal_dir)
+        assert recovered.is_alive(0)
+        assert stats["torn"] is not None
+        wal2.close()
+        # the torn bytes were truncated away: a second recovery is clean
+        recovered2, wal3, stats2 = recover_registry(wal_dir)
+        assert stats2["torn"] is None
+        assert recovered2.shards == recovered.shards
+        wal3.close()

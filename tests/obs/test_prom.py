@@ -1,0 +1,104 @@
+"""Prometheus text rendering and the scrapeable /metrics endpoint."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.prom import CONTENT_TYPE, MetricsEndpoint, render_prometheus
+
+#: the pinned scrape for a fixed recording — rendering is deterministic,
+#: so any drift in names, types, or sample layout fails loudly here
+GOLDEN_SCRAPE = """\
+# TYPE repro_server_errors_total counter
+repro_server_errors_total 2
+# TYPE repro_server_requests_total counter
+repro_server_requests_total 10
+# TYPE repro_fleet_alive_shards gauge
+repro_fleet_alive_shards 4.0
+# TYPE repro_server_handle_s summary
+repro_server_handle_s{quantile="0.5"} 0.003
+repro_server_handle_s{quantile="0.9"} 0.0046
+repro_server_handle_s{quantile="0.99"} 0.00496
+repro_server_handle_s_count 5
+repro_server_handle_s_sum 0.015
+"""
+
+
+def recorded_registry():
+    registry = MetricsRegistry()
+    registry.inc("server.requests", 10)
+    registry.inc("server.errors", 2)
+    registry.gauge("fleet.alive_shards", 4)
+    for value in (0.001, 0.002, 0.003, 0.004, 0.005):
+        registry.observe("server.handle_s", value)
+    return registry
+
+
+class TestRendering:
+    def test_golden_scrape(self):
+        text = render_prometheus(recorded_registry().snapshot())
+        assert text == GOLDEN_SCRAPE
+
+    def test_empty_registry_renders_empty_document(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == "\n"
+
+    def test_dots_and_bad_chars_sanitized(self):
+        registry = MetricsRegistry()
+        registry.inc("wal.appends", 1)
+        registry.gauge("weird-name with spaces", 1.5)
+        text = render_prometheus(registry.snapshot())
+        assert "repro_wal_appends_total 1" in text
+        assert "repro_weird_name_with_spaces 1.5" in text
+
+    def test_namespace_override(self):
+        registry = MetricsRegistry()
+        registry.inc("x", 1)
+        assert "tuner_x_total 1" in render_prometheus(
+            registry.snapshot(), namespace="tuner"
+        )
+
+    def test_windowed_histogram_exposes_total_observation_count(self):
+        registry = MetricsRegistry(max_samples=4)
+        for i in range(10):
+            registry.observe("h", float(i))
+        text = render_prometheus(registry.snapshot())
+        # _count reports all-time observations, not just the kept window
+        assert "repro_h_count 10" in text
+
+    def test_types_declared_once_per_metric(self):
+        text = render_prometheus(recorded_registry().snapshot())
+        assert text.count("# TYPE repro_server_requests_total") == 1
+        assert "# TYPE repro_server_handle_s summary" in text
+
+
+class TestEndpoint:
+    def test_scrape_round_trip(self):
+        registry = recorded_registry()
+        with MetricsEndpoint(registry, port=0) as endpoint:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{endpoint.port}/metrics", timeout=5
+            ) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                body = response.read().decode("utf-8")
+        assert body == GOLDEN_SCRAPE
+
+    def test_scrape_sees_live_updates(self):
+        registry = MetricsRegistry()
+        with MetricsEndpoint(registry, port=0) as endpoint:
+            url = f"http://127.0.0.1:{endpoint.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert b"requests" not in response.read()
+            registry.inc("server.requests")
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert b"repro_server_requests_total 1" in response.read()
+
+    def test_other_paths_404(self):
+        with MetricsEndpoint(MetricsRegistry(), port=0) as endpoint:
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{endpoint.port}/", timeout=5
+                )
+            assert info.value.code == 404

@@ -146,6 +146,61 @@ class TestServe:
         assert sum(e["kind"] == "server.request" for e in events) >= 22
 
 
+class TestServeFleetFlags:
+    def test_serve_gained_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--reply-cache", "128", "--metrics-port", "9100",
+             "--coordinator", "127.0.0.1:7070", "--shard-id", "3",
+             "--service-delay-us", "500"]
+        )
+        assert args.reply_cache == 128
+        assert args.metrics_port == 9100
+        assert args.coordinator == "127.0.0.1:7070"
+        assert args.shard_id == 3
+        assert args.service_delay_us == 500
+
+    def test_serve_fleet_flags_default_off(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.reply_cache is None
+        assert args.metrics_port is None
+        assert args.coordinator is None
+        assert args.service_delay_us == 0
+
+    def test_invalid_reply_cache_rejected_at_runtime(self, capsys):
+        code = main(["serve", "--port", "0", "--duration", "1",
+                     "--reply-cache", "0"])
+        assert code == 2
+        assert "reply_cache_size" in capsys.readouterr().err
+
+
+class TestFleet:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.shards == 2
+        assert args.sessions is None
+        assert args.wire == "binary"
+        assert args.transport == "threaded"
+        assert args.lease_s == 2.0
+        assert not args.no_wal
+        assert args.kill_shard is None
+        assert not args.baseline_check
+
+    def test_unknown_wire_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--wire", "morse"])
+
+    def test_single_shard_sweep_with_baseline_check(self, tmp_path, capsys):
+        """End-to-end CLI run: 1 shard, 1 session, bit-identity verified."""
+        code = main(
+            ["fleet", "--shards", "1", "--sessions", "1", "--steps", "4",
+             "--no-wal", "--dir", str(tmp_path), "--baseline-check"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet up" in out
+        assert "bit-identical" in out
+
+
 class TestTrace:
     def test_trace_output(self, capsys):
         code = main(["trace", "--nodes", "4", "--iterations", "120"])

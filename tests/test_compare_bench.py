@@ -9,13 +9,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
 from compare_bench import CEILINGS, FLOORS, GUARDED, compare, main  # noqa: E402
 
 
-def payload(sweep=3.0, cluster=2.5, obs=0.01, sweep_cpu=0.9, wal=0.05):
+def payload(sweep=3.0, cluster=2.5, obs=0.01, sweep_cpu=0.9, wal=0.05,
+            fleet=3.2):
     return {
         "sweep": {"speedup": sweep},
         "cluster_step": {"speedup": cluster},
         "obs": {"overhead_frac": obs},
         "sweep_cpu": {"speedup": sweep_cpu},
         "server": {"wal_overhead_frac": wal},
+        "fleet": {"speedup_4": fleet},
     }
 
 
@@ -43,6 +45,9 @@ class TestCompare:
     def test_binary_wire_headlines_are_guarded(self):
         assert ("server", "binary_speedup") in GUARDED
         assert ("wire", "speedup_16") in GUARDED
+
+    def test_fleet_aggregate_speedup_is_guarded(self):
+        assert ("fleet", "speedup_4") in GUARDED
 
 
 class TestCeilings:
@@ -100,6 +105,36 @@ class TestFloors:
         current = {k: v for k, v in payload().items() if k != "sweep_cpu"}
         failures = compare(payload(), current, tolerance=0.2)
         assert any("sweep_cpu.speedup" in f and "missing" in f for f in failures)
+
+
+class TestFleetFloor:
+    def test_fleet_scaling_has_a_hard_floor(self):
+        assert ("fleet", "speedup_4", 2.5) in FLOORS
+
+    def test_near_linear_scaling_passes(self):
+        assert compare(payload(), payload(fleet=3.4), tolerance=0.2) == []
+
+    def test_sublinear_collapse_fails_regardless_of_baseline(self):
+        # Even if the committed baseline already degraded, dropping below
+        # 2.5x aggregate throughput at 4 shards is an absolute failure.
+        failures = compare(
+            payload(fleet=2.0), payload(fleet=2.2), tolerance=0.5
+        )
+        assert any("fleet.speedup_4" in f and "floor" in f for f in failures)
+
+    def test_regression_within_floor_still_caught_by_guard(self):
+        # 3.6 -> 2.6 stays above the floor but busts the 20% tolerance.
+        failures = compare(
+            payload(fleet=3.6), payload(fleet=2.6), tolerance=0.2
+        )
+        assert any(
+            "fleet.speedup_4" in f and "floor" not in f for f in failures
+        )
+
+    def test_fleet_metric_dropped_from_current_fails(self):
+        current = {k: v for k, v in payload().items() if k != "fleet"}
+        failures = compare(payload(), current, tolerance=0.2)
+        assert any("fleet.speedup_4" in f and "missing" in f for f in failures)
 
 
 class TestMain:
