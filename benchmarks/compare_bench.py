@@ -38,6 +38,9 @@ GUARDED = (
 CEILINGS = (
     ("obs", "overhead_frac", 0.02),
     ("server", "wal_overhead_frac", 0.10),
+    # capacity anchor (256 sessions, async binary, admission on): p99 must
+    # stay bounded — an unbounded dispatch queue shows up here as seconds
+    ("capacity", "p99_anchor_ms", 500.0),
 )
 
 #: (section, key, floor) ratios guarded against an absolute floor — arms
@@ -49,6 +52,9 @@ FLOORS = (
     # near-linear fleet scaling: 4 shards must beat 1 by at least 2.5x
     # aggregate throughput, or the coordinator/routing layer has decayed
     ("fleet", "speedup_4", 2.5),
+    # the largest ramp point that completed its full workload within the
+    # error budget: one async binary server must sustain >= 256 sessions
+    ("capacity", "sessions_floor", 256),
 )
 
 

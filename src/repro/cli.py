@@ -186,6 +186,25 @@ def build_parser() -> argparse.ArgumentParser:
                          "service time per wire frame (benchmarking aid: "
                          "makes per-process throughput delay-bound so fleet "
                          "scaling is measurable on one box)")
+    p_serve.add_argument("--max-pending", type=int, default=None, metavar="N",
+                         help="admission control: bound in-flight work to N "
+                         "message units; excess requests are shed with a "
+                         "'busy' error and a retry-after hint (default: "
+                         "unbounded, no admission control)")
+    p_serve.add_argument("--max-session-pending", type=int, default=None,
+                         metavar="N",
+                         help="additionally cap any one session's in-flight "
+                         "work at N units (requires --max-pending)")
+    p_serve.add_argument("--shed-policy", choices=["reject", "fair"],
+                         default="reject",
+                         help="how --max-pending sheds: 'reject' refuses "
+                         "everything past the global budget; 'fair' also "
+                         "splits the budget evenly across active sessions "
+                         "so one hot session cannot starve the rest")
+    p_serve.add_argument("--retry-after-ms", type=float, default=50.0,
+                         metavar="MS",
+                         help="base backoff hint sent with 'busy' errors; "
+                         "scaled up with queue depth (default: 50)")
 
     p_fleet = sub.add_parser(
         "fleet",
@@ -229,6 +248,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--baseline-check", action="store_true",
                          help="re-run the sweep on one in-process server "
                          "and verify the fleet matched it bit-identically")
+    p_fleet.add_argument("--max-pending", type=int, default=None, metavar="N",
+                         help="per-shard admission budget (passed through "
+                         "to every shard's --max-pending)")
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a live tuning server with reproducible open- or "
+        "closed-loop load and report latency percentiles against an SLO",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True,
+                        help="port of a running 'repro serve' or the fleet "
+                        "coordinator")
+    p_load.add_argument("--mode", choices=["closed", "open"],
+                        default="closed",
+                        help="closed: each session blocks on the server "
+                        "(concurrency-driven); open: requests arrive on a "
+                        "schedule regardless of server speed (rate-driven)")
+    p_load.add_argument("--wire", choices=["binary", "json"],
+                        default="binary")
+    p_load.add_argument("--sessions", default="8", metavar="N[,N...]",
+                        help="session-count ramp: one load point per "
+                        "comma-separated value (default: 8)")
+    p_load.add_argument("--steps", type=int, default=4,
+                        help="closed loop: fetch/report rounds per session")
+    p_load.add_argument("--duration", type=float, default=5.0, metavar="S",
+                        help="open loop: seconds of offered load per point")
+    p_load.add_argument("--rate", type=float, default=100.0,
+                        help="open loop: mean arrivals per second")
+    p_load.add_argument("--arrival",
+                        choices=["uniform", "poisson", "pareto"],
+                        default="poisson",
+                        help="open loop: interarrival process (pareto is "
+                        "heavy-tailed: bursts at the same mean rate)")
+    p_load.add_argument("--tail-alpha", type=float, default=1.5,
+                        help="pareto arrivals: tail index, must be > 1")
+    p_load.add_argument("--connections", type=int, default=4,
+                        help="sockets (and host threads); sessions are "
+                        "multiplexed over them")
+    p_load.add_argument("--batch", type=int, default=1,
+                        help="configurations per fetch (batched protocol "
+                        "when > 1)")
+    p_load.add_argument("--busy-retries", type=int, default=16,
+                        help="closed loop: busy sheds absorbed per request "
+                        "before counting it against the error budget")
+    p_load.add_argument("--slo-ms", type=float, default=100.0,
+                        help="SLO: p99 latency bound in milliseconds")
+    p_load.add_argument("--error-budget", type=float, default=0.01,
+                        help="SLO: max fraction of requests shed or failed")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--json", type=Path, default=None, metavar="FILE",
+                        help="also write the per-point reports as JSON")
 
     p_trace = sub.add_parser(
         "trace",
@@ -472,6 +543,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             reply_cache_size=args.reply_cache,
             service_delay_s=args.service_delay_us / 1e6,
         )
+    if args.max_session_pending is not None and args.max_pending is None:
+        print("error: --max-session-pending requires --max-pending",
+              file=sys.stderr)
+        return 2
+    if args.max_pending is not None:
+        from repro.harmony.admission import AdmissionController
+
+        # Attached post-construction so WAL recovery and fresh boot share
+        # the code path; the transports pick it up via the server handle.
+        server.admission = AdmissionController(
+            args.max_pending,
+            max_session_pending=args.max_session_pending,
+            policy=args.shed_policy,
+            retry_after_s=args.retry_after_ms / 1e3,
+        )
     transport_cls = (
         AsyncTcpServerTransport if args.transport == "async"
         else TcpServerTransport
@@ -536,6 +622,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({counters.get('server.batch_msgs', 0)} messages)")
     print(f"binary frames     : {counters.get('server.bin_frames', 0)} "
           f"({counters.get('server.bin_msgs', 0)} messages)")
+    if args.max_pending is not None:
+        print(f"load shed         : {counters.get('server.shed_msgs', 0)} "
+              f"messages ({counters.get('server.shed_events', 0)} events), "
+              f"peak pending {server.admission.peak_pending}/"
+              f"{args.max_pending}")
     if args.wal_dir is not None:
         print(f"wal               : {counters.get('wal.appends', 0)} appends, "
               f"{counters.get('wal.snapshots', 0)} snapshots, "
@@ -581,6 +672,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             estimator=args.estimator,
             transport=args.transport, wire=args.wire,
             lease_s=args.lease_s, wal=not args.no_wal,
+            max_pending=args.max_pending,
         ))
         print(f"fleet up: coordinator at {fleet.host}:{fleet.coordinator_port}, "
               f"{args.shards} shard(s), state under {base}")
@@ -634,6 +726,57 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                       f"diverged: {', '.join(mismatched)}")
                 return 1
     return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import LoadGenerator, LoadgenConfig, SloPolicy
+
+    try:
+        ramp = [int(s) for s in str(args.sessions).split(",") if s.strip()]
+    except ValueError:
+        print(f"error: --sessions must be comma-separated integers, "
+              f"got {args.sessions!r}", file=sys.stderr)
+        return 2
+    if not ramp or any(n < 1 for n in ramp):
+        print(f"error: session counts must be >= 1, got {args.sessions!r}",
+              file=sys.stderr)
+        return 2
+    slo = SloPolicy(latency_s=args.slo_ms / 1e3, error_budget=args.error_budget)
+    print(f"loadgen: {args.mode} loop, wire={args.wire}, "
+          f"{args.connections} connection(s), SLO p99<{args.slo_ms:g}ms "
+          f"budget {args.error_budget:g}")
+    reports = []
+    rows = []
+    for point, sessions in enumerate(ramp):
+        config = LoadgenConfig(
+            mode=args.mode, sessions=sessions, steps=args.steps,
+            duration_s=args.duration, rate=args.rate, arrival=args.arrival,
+            tail_alpha=args.tail_alpha, connections=args.connections,
+            wire=args.wire, batch=args.batch,
+            busy_retries=args.busy_retries, slo=slo, seed=args.seed,
+            session_prefix=f"lg{point}",
+        )
+        report = LoadGenerator(args.host, args.port, config).run()
+        d = report.to_dict()
+        reports.append(d)
+        rows.append([
+            str(sessions), f"{d['rps']:.0f}",
+            f"{d.get('p50_ms', float('nan')):.2f}",
+            f"{d.get('p99_ms', float('nan')):.2f}",
+            str(d["busy"] + d["error"]), str(d["busy_retried"]),
+            "ok" if d["slo_ok"] else "VIOLATED",
+        ])
+    print(_fmt.format_table(
+        ["sessions", "rps", "p50 ms", "p99 ms", "shed", "retried", "slo"],
+        rows,
+    ))
+    for d in reports:
+        for violation in d["violations"]:
+            print(f"  {d['sessions']} sessions: {violation}")
+    if args.json is not None:
+        args.json.write_text(json.dumps(reports, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0 if all(d["slo_ok"] for d in reports) else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -763,6 +906,7 @@ def main(argv: list[str] | None = None) -> int:
         "tune": _cmd_tune,
         "serve": _cmd_serve,
         "fleet": _cmd_fleet,
+        "loadgen": _cmd_loadgen,
         "trace": _cmd_trace,
         "surface": _cmd_surface,
         "figures": _cmd_figures,

@@ -87,11 +87,15 @@ class FleetCoordinator:
         probe_timeout: float = 0.25,
         adopt_timeout: float = 10.0,
         clock: Callable[[], float] = time.monotonic,
+        admission: Any | None = None,
     ) -> None:
         if lease_s <= 0:
             raise ValueError(f"lease_s must be positive, got {lease_s}")
         self._tuner_factory = tuner_factory
         self._plan = plan
+        #: optional :class:`~repro.harmony.admission.AdmissionController`;
+        #: the serving transports enforce it in front of :meth:`handle`
+        self.admission = admission
         self.lease_s = float(lease_s)
         self.metrics = metrics
         self.tracer = tracer
@@ -133,6 +137,11 @@ class FleetCoordinator:
     def _inc(self, name: str, by: int = 1) -> None:
         if self.metrics is not None:
             self.metrics.inc(name, by)
+
+    def observe_shed(self, n_msgs: int) -> None:
+        """Transport hook: *n_msgs* messages were refused with ``busy``."""
+        self._inc("fleet.shed_msgs", n_msgs)
+        self._inc("fleet.shed_events")
 
     # -- the logged mutation path --------------------------------------------------
 

@@ -156,6 +156,7 @@ class FleetSupervisor:
         wal: bool = True,
         service_delay_us: int = 0,
         reply_cache: int | None = None,
+        max_pending: int | None = None,
         host: str = "127.0.0.1",
         coordinator_port: int = 0,
         start_timeout: float = 60.0,
@@ -170,6 +171,7 @@ class FleetSupervisor:
             tuner=tuner, seed=int(seed), k=int(k), estimator=estimator,
             transport=transport, wire=wire, sync=sync, wal=bool(wal),
             service_delay_us=int(service_delay_us), reply_cache=reply_cache,
+            max_pending=max_pending,
         )
         self.seed = int(seed)
         self._start_timeout = float(start_timeout)
@@ -224,6 +226,8 @@ class FleetSupervisor:
             cmd += ["--service-delay-us", str(opts["service_delay_us"])]
         if opts["reply_cache"] is not None:
             cmd += ["--reply-cache", str(opts["reply_cache"])]
+        if opts["max_pending"] is not None:
+            cmd += ["--max-pending", str(opts["max_pending"])]
         return cmd
 
     def _spawn_shard(self, i: int) -> None:

@@ -1,0 +1,213 @@
+"""Admission control: a bounded pending-work budget with explicit shedding.
+
+The serving stack's overload story.  Without a budget, offered load past
+capacity turns into unbounded queueing — every client sees latency grow
+without limit and nobody gets an answer about *why*.  With one, the server
+keeps a hard cap on work-in-system and answers excess demand with an
+explicit ``busy`` error carrying a ``retry_after`` hint, so clients back
+off instead of piling on (see :func:`repro.harmony.protocol.busy_response`
+and the transports' enforcement in
+:func:`repro.harmony.transport.respond_frames`).
+
+:class:`AdmissionController` is deliberately a *pure command machine*
+wrapped in a lock: given the same admit/complete sequence it lands in the
+same state, which is what the Hypothesis property suite drives.  The
+invariants it maintains:
+
+* ``pending <= max_pending`` whenever every admitted unit has weight 1
+  (a single frame heavier than the whole budget is still admitted when
+  the server is idle — the alternative is a permanent busy loop for that
+  client — so the true bound is ``max(max_pending, heaviest frame)``);
+* a unit-weight admit is refused **iff** the budget (global or the
+  session's) is exhausted;
+* the counters always reconcile: ``admitted == completed + pending``.
+
+Weights are *messages*, not frames: a 1024-message binary batch frame
+costs 1024 units, a lone JSON ``fetch`` costs 1.  Per-session accounting
+applies when the frame names its session (binary frames and plain JSON
+messages do; JSON batch envelopes without a top-level ``session`` count
+against the global budget only).
+
+Shed policies:
+
+* ``"reject"`` (default) — one global budget, plus an optional fixed
+  per-session cap (``max_session_pending``);
+* ``"fair"`` — the per-session cap is derived dynamically as an equal
+  share of the global budget across currently-active sessions (sessions
+  with work in flight), so one hot session cannot starve the rest.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["AdmissionController", "SHED_POLICIES"]
+
+#: accepted values for the ``policy`` knob (the CLI's ``--shed-policy``)
+SHED_POLICIES = ("reject", "fair")
+
+
+class AdmissionController:
+    """Bounded pending-work budget; thread-safe, deterministic.
+
+    Parameters
+    ----------
+    max_pending:
+        Global budget in message units (>= 1).
+    max_session_pending:
+        Optional fixed per-session budget (``policy="reject"`` only).
+    policy:
+        ``"reject"`` or ``"fair"`` — see the module docstring.
+    retry_after_s:
+        Base retry hint carried in busy responses; the hint grows with
+        the overload ratio so deeply saturated servers push clients
+        further out.
+    """
+
+    def __init__(
+        self,
+        max_pending: int,
+        *,
+        max_session_pending: int | None = None,
+        policy: str = "reject",
+        retry_after_s: float = 0.05,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if max_session_pending is not None and max_session_pending < 1:
+            raise ValueError(
+                f"max_session_pending must be >= 1, got {max_session_pending}"
+            )
+        if policy not in SHED_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SHED_POLICIES}, got {policy!r}"
+            )
+        if retry_after_s <= 0.0:
+            raise ValueError(f"retry_after_s must be > 0, got {retry_after_s}")
+        self.max_pending = int(max_pending)
+        self.max_session_pending = (
+            int(max_session_pending) if max_session_pending is not None else None
+        )
+        self.policy = policy
+        self.retry_after_s = float(retry_after_s)
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._admitted = 0
+        self._completed = 0
+        self._shed = 0
+        self._shed_events = 0
+        self._peak_pending = 0
+        #: session name -> units in flight (keys dropped at zero)
+        self._session_pending: dict[str, int] = {}
+
+    # -- the command machine -------------------------------------------------------
+
+    def _session_cap(self, session: str) -> int | None:
+        """The per-session budget that applies to *session* right now."""
+        if self.policy == "fair":
+            active = len(self._session_pending)
+            if session not in self._session_pending:
+                active += 1
+            return max(1, self.max_pending // max(1, active))
+        return self.max_session_pending
+
+    def try_admit(self, weight: int = 1, session: str | None = None) -> bool:
+        """Admit *weight* units of work (or shed them, returning False).
+
+        An idle budget (``pending == 0``) always admits, even a frame
+        heavier than ``max_pending`` — otherwise that frame could never
+        be served.  The same escape applies per session.
+        """
+        if weight <= 0:
+            return True
+        with self._lock:
+            if self._pending > 0 and self._pending + weight > self.max_pending:
+                self._shed += weight
+                self._shed_events += 1
+                return False
+            if session is not None:
+                cap = self._session_cap(session)
+                held = self._session_pending.get(session, 0)
+                if cap is not None and held > 0 and held + weight > cap:
+                    self._shed += weight
+                    self._shed_events += 1
+                    return False
+                self._session_pending[session] = held + weight
+            self._pending += weight
+            self._admitted += weight
+            if self._pending > self._peak_pending:
+                self._peak_pending = self._pending
+            return True
+
+    def complete(self, weight: int = 1, session: str | None = None) -> None:
+        """Return *weight* admitted units (response built and written).
+
+        Defensive about spurious completes: counters clamp at zero rather
+        than going negative, so a transport bug cannot wedge the budget
+        open forever in the other direction.
+        """
+        if weight <= 0:
+            return
+        with self._lock:
+            done = min(weight, self._pending)
+            self._pending -= done
+            self._completed += done
+            if session is not None:
+                held = self._session_pending.get(session, 0)
+                left = held - min(weight, held)
+                if left > 0:
+                    self._session_pending[session] = left
+                else:
+                    self._session_pending.pop(session, None)
+
+    # -- observability -------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Units admitted but not yet completed."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def peak_pending(self) -> int:
+        """High-water mark of :attr:`pending` (the bounded-queue witness)."""
+        with self._lock:
+            return self._peak_pending
+
+    @property
+    def admitted(self) -> int:
+        with self._lock:
+            return self._admitted
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return self._completed
+
+    @property
+    def shed(self) -> int:
+        """Total units refused (message units, not frames)."""
+        with self._lock:
+            return self._shed
+
+    @property
+    def retry_after(self) -> float:
+        """The hint for busy responses: base, scaled by the overload ratio."""
+        with self._lock:
+            return self.retry_after_s * (1.0 + self._pending / self.max_pending)
+
+    def snapshot(self) -> dict[str, Any]:
+        """All counters at once (consistent under one lock acquisition)."""
+        with self._lock:
+            return {
+                "max_pending": self.max_pending,
+                "policy": self.policy,
+                "pending": self._pending,
+                "peak_pending": self._peak_pending,
+                "admitted": self._admitted,
+                "completed": self._completed,
+                "shed": self._shed,
+                "shed_events": self._shed_events,
+                "sessions": dict(self._session_pending),
+            }

@@ -27,12 +27,25 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.harmony import binproto, protocol
 from repro.harmony.server import TuningServer
-from repro.harmony.transport import _set_nodelay, respond_frames
+from repro.harmony.transport import (
+    _set_nodelay,
+    finish_admission,
+    plan_admission,
+    prepare_items,
+    respond_frames,
+    respond_prepared,
+)
 
 __all__ = ["AsyncTcpServerTransport"]
+
+#: dispatch workers when admission control is on — enough overlap for the
+#: pending-work budget to be a real queue-depth measure, few enough that
+#: the GIL-bound handlers don't thrash
+_ADMISSION_WORKERS = 4
 
 
 class AsyncTcpServerTransport:
@@ -69,6 +82,13 @@ class AsyncTcpServerTransport:
         self._thread: threading.Thread | None = None
         self._aserver: asyncio.AbstractServer | None = None
         self._conn_tasks: set[asyncio.Task] = set()
+        #: dispatch pool, created at start() iff the server has an
+        #: admission controller.  Inline dispatch keeps the event loop as
+        #: the implicit queue — work backs up invisibly in socket buffers.
+        #: Offloading makes admitted-but-unfinished chunks *countable*, so
+        #: the pending-work budget bounds real queue depth and excess
+        #: chunks shed with ``busy`` at arrival instead of waiting forever.
+        self._pool: ThreadPoolExecutor | None = None
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -76,6 +96,10 @@ class AsyncTcpServerTransport:
         """Bind the socket and start serving on a background event loop."""
         if self._loop is not None:
             raise RuntimeError("transport already started")
+        if getattr(self.server, "admission", None) is not None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=_ADMISSION_WORKERS, thread_name_prefix="aio-dispatch"
+            )
         loop = asyncio.new_event_loop()
         self._loop = loop
         started = threading.Event()
@@ -121,6 +145,9 @@ class AsyncTcpServerTransport:
                 flush()
 
     def _teardown_loop(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         loop, self._loop = self._loop, None
         thread, self._thread = self._thread, None
         if loop is not None:
@@ -176,12 +203,33 @@ class AsyncTcpServerTransport:
                     continue
                 # One write + drain per recv chunk: a pipelined burst of
                 # frames costs one syscall's worth of response flushing.
-                payload, closing = respond_frames(
-                    self.server, items, self.wire, self.max_line_bytes
-                )
-                if payload:
-                    writer.write(payload)
-                    await writer.drain()  # backpressure: never outrun the peer
+                if self._pool is None:
+                    payload, closing = respond_frames(
+                        self.server, items, self.wire, self.max_line_bytes
+                    )
+                    if payload:
+                        writer.write(payload)
+                        await writer.drain()  # backpressure: never outrun the peer
+                else:
+                    # Admission control: price and admit (or shed) at
+                    # *arrival*, on the loop thread, then dispatch on the
+                    # pool.  The granted units stay charged until the
+                    # response bytes are flushed, so the budget measures
+                    # the full queue: waiting for a worker, dispatch,
+                    # modeled service time, WAL commit, and the write.
+                    prepared = prepare_items(items, self.max_line_bytes)
+                    flags, grants = plan_admission(self.server, prepared)
+                    try:
+                        loop = asyncio.get_running_loop()
+                        payload, closing = await loop.run_in_executor(
+                            self._pool, respond_prepared, self.server,
+                            prepared, flags, self.wire, self.max_line_bytes,
+                        )
+                        if payload:
+                            writer.write(payload)
+                            await writer.drain()
+                    finally:
+                        finish_admission(self.server, grants)
                 if closing:
                     break
         except (ConnectionError, asyncio.CancelledError):

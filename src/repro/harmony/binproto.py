@@ -78,6 +78,7 @@ __all__ = [
     "MSG_ACK",
     "MSG_ERROR",
     "MSG_REDIRECT",
+    "MSG_BUSY",
     "FrameSplitter",
     "WireError",
     "encode_frame",
@@ -85,9 +86,11 @@ __all__ = [
     "encode_report_many",
     "encode_points",
     "encode_ack",
+    "encode_busy",
     "encode_error",
     "encode_locate",
     "encode_redirect",
+    "peek_load",
     "decode_locate",
     "decode_fetch_many",
     "decode_report_many",
@@ -121,9 +124,11 @@ MSG_LOCATE = 0x05
 MSG_POINTS = 0x81
 MSG_ACK = 0x82
 MSG_REDIRECT = 0x83
+MSG_BUSY = 0x84
 MSG_ERROR = 0x7F
 
 _HEADER = struct.Struct("<BBII")
+_BUSY = struct.Struct("<d")
 _FETCH_HEAD = struct.Struct("<iIH")
 _REPORT_HEAD = struct.Struct("<iiIH")
 _FETCH2_HEAD = struct.Struct("<iIiH")
@@ -238,6 +243,13 @@ def encode_redirect(seq: int, shard: int, host: str, port: int) -> bytes:
     return encode_frame(
         MSG_REDIRECT, seq, _REDIRECT_HEAD.pack(shard, port, len(raw)) + raw
     )
+
+
+def encode_busy(seq: int, retry_after: float) -> bytes:
+    """The load-shed response frame: the binary sibling of
+    :func:`repro.harmony.protocol.busy_response`.  The payload is one
+    float64 — the ``retry_after`` hint in seconds."""
+    return encode_frame(MSG_BUSY, seq, _BUSY.pack(float(retry_after)))
 
 
 def encode_error(seq: int, text: str) -> bytes:
@@ -420,9 +432,48 @@ def decode_response(msg_type: int, payload: bytes) -> tuple[Any, ...]:
         except UnicodeDecodeError as exc:
             raise WireError(f"redirect host is not valid UTF-8: {exc}") from exc
         return "redirect", shard, host, port
+    if msg_type == MSG_BUSY:
+        if len(payload) != _BUSY.size:
+            raise WireError(
+                f"busy payload is {len(payload)} bytes, expected {_BUSY.size}"
+            )
+        (retry_after,) = _BUSY.unpack(payload)
+        return "busy", retry_after
     if msg_type == MSG_ERROR:
         return "error", payload[:ERROR_TEXT_MAX].decode("utf-8", errors="replace")
     raise WireError(f"unknown binary response type 0x{msg_type:02x}")
+
+
+def peek_load(msg_type: int, payload: bytes) -> tuple[int, str | None]:
+    """``(weight, session)`` of a request frame, without a full decode.
+
+    Admission control (:mod:`repro.harmony.admission`) prices work in
+    message units *before* dispatch, so it needs the batch count and the
+    addressed session from just the fixed header.  Malformed payloads
+    price as ``(1, None)`` — dispatch will answer them with a proper
+    ERROR frame either way.  An empty session name means the default
+    session (same convention as :func:`dispatch_frame`).
+    """
+    try:
+        if msg_type in (MSG_FETCH_MANY, MSG_FETCH_MANY2):
+            head = _FETCH_HEAD if msg_type == MSG_FETCH_MANY else _FETCH2_HEAD
+            fields = head.unpack_from(payload)
+            n, slen = fields[1], fields[-1]
+            session = _session_name(payload, head.size, slen)
+        elif msg_type in (MSG_REPORT_MANY, MSG_REPORT_MANY2):
+            head = _REPORT_HEAD if msg_type == MSG_REPORT_MANY else _REPORT2_HEAD
+            fields = head.unpack_from(payload)
+            n, slen = fields[2], fields[-1]
+            session = _session_name(payload, head.size, slen)
+        else:
+            return 1, None
+    except (struct.error, WireError):
+        return 1, None
+    if not 1 <= n <= protocol.MAX_BATCH_MSGS:
+        return 1, None
+    from repro.harmony.server import DEFAULT_SESSION
+
+    return int(n), session or DEFAULT_SESSION
 
 
 # -- mixed-stream framing ---------------------------------------------------------

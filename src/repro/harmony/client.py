@@ -46,12 +46,16 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.harmony.protocol import PROTOCOL_VERSION
+from repro.harmony.protocol import (
+    DEFAULT_RETRY_AFTER_S,
+    PROTOCOL_VERSION,
+    ServerBusy,
+)
 from repro.harmony.transport import Transport, n_wire_chunks
 from repro.space import ParameterSpace
 from repro.space.serialize import space_to_spec
 
-__all__ = ["ServerRedirect", "TuningClient"]
+__all__ = ["ServerBusy", "ServerRedirect", "TuningClient"]
 
 
 class ServerRedirect(RuntimeError):
@@ -85,6 +89,8 @@ class TuningClient:
         nonce: str | None = None,
         reconnect_attempts: int = 8,
         reconnect_delay: float = 0.1,
+        busy_retries: int = 16,
+        busy_backoff_cap: float = 2.0,
     ) -> None:
         if transport is None:
             if transport_factory is None:
@@ -107,6 +113,12 @@ class TuningClient:
         self._nonce = nonce if nonce is not None else uuid.uuid4().hex
         self._reconnect_attempts = int(reconnect_attempts)
         self._reconnect_delay = float(reconnect_delay)
+        #: how many ``busy`` sheds to absorb per call before giving up, and
+        #: the ceiling on the exponential backoff between those retries
+        self.busy_retries = int(busy_retries)
+        self._busy_backoff_cap = float(busy_backoff_cap)
+        #: total ``busy`` sheds absorbed (retried) over this client's life
+        self.busy_seen = 0
         self._cseq = count()
         #: unacked reports, cseq -> replay closure; replayed (in order, and
         #: deduplicated server-side) after every reconnect
@@ -127,6 +139,11 @@ class TuningClient:
                     host=redirect.get("host", ""),
                     port=redirect.get("port", 0),
                 )
+            if response.get("busy"):
+                retry_after = response.get("retry_after", DEFAULT_RETRY_AFTER_S)
+                if not isinstance(retry_after, (int, float)):
+                    retry_after = DEFAULT_RETRY_AFTER_S
+                raise ServerBusy(retry_after=retry_after)
             raise RuntimeError(f"tuning server error: {response.get('error')}")
         return dict(response)
 
@@ -143,20 +160,36 @@ class TuningClient:
         return next(self._cseq)
 
     def _retriable(self, fn: Callable[[], Any]) -> Any:
-        """Run *fn*, reconnecting and retrying on connection loss.
+        """Run *fn*, retrying on connection loss and on load shedding.
 
         Only usable for idempotent calls (everything cseq-stamped): the
         retry reuses the original stamps, so a request that was applied
         right before the connection died is answered from the server's
-        reply cache, not applied twice.
+        reply cache, not applied twice.  A ``busy`` shed backs off starting
+        at the server's ``retry_after`` hint, doubling up to the configured
+        cap, on a budget separate from the reconnect attempts.
         """
         attempts = self._reconnect_attempts if self._factory is not None else 0
-        for attempt in range(attempts + 1):
+        conn_failures = 0
+        busy_left = self.busy_retries
+        busy_delay: float | None = None
+        while True:
             try:
                 return fn()
-            except (ConnectionError, OSError, TimeoutError):
-                if attempt == attempts:
+            except ServerBusy as exc:
+                if busy_left <= 0:
                     raise
+                busy_left -= 1
+                self.busy_seen += 1
+                if busy_delay is None:
+                    busy_delay = max(0.0, exc.retry_after)
+                else:
+                    busy_delay = min(busy_delay * 2.0, self._busy_backoff_cap)
+                time.sleep(min(busy_delay, self._busy_backoff_cap))
+            except (ConnectionError, OSError, TimeoutError):
+                if conn_failures >= attempts:
+                    raise
+                conn_failures += 1
                 self._reconnect()
 
     def _reconnect(self) -> None:
@@ -265,8 +298,14 @@ class TuningClient:
 
         # Pending until acked: if every retry fails the report stays queued
         # and is replayed (idempotently) after the next successful reconnect.
+        # A busy shed is different — the server refused the work, so there
+        # is nothing to replay; the caller keeps the token and may retry.
         self._pending[cseq] = send
-        self._retriable(send)
+        try:
+            self._retriable(send)
+        except ServerBusy:
+            self._pending.pop(cseq, None)
+            raise
         self._pending.pop(cseq, None)
         self._last_token = None
 
@@ -332,7 +371,12 @@ class TuningClient:
             key = cseqs[0] if cseqs else None
             if key is not None:
                 self._pending[key] = send_wire
-            self._retriable(send_wire)
+            try:
+                self._retriable(send_wire)
+            except ServerBusy:
+                if key is not None:
+                    self._pending.pop(key, None)
+                raise
             if key is not None:
                 self._pending.pop(key, None)
             self._many_tokens = None
@@ -354,7 +398,12 @@ class TuningClient:
         key = messages[0]["cseq"] if messages else None
         if key is not None:
             self._pending[key] = send_json
-        self._retriable(send_json)
+        try:
+            self._retriable(send_json)
+        except ServerBusy:
+            if key is not None:
+                self._pending.pop(key, None)
+            raise
         if key is not None:
             self._pending.pop(key, None)
         self._many_tokens = None

@@ -41,6 +41,9 @@ __all__ = [
     "MAX_LINE_BYTES",
     "MAX_BATCH_MSGS",
     "MAX_ERROR_TEXT",
+    "DEFAULT_RETRY_AFTER_S",
+    "ServerBusy",
+    "busy_response",
     "decode_line",
     "dispatch",
     "encode_line",
@@ -67,6 +70,43 @@ def error_response(error: str) -> dict[str, Any]:
 def oversized_response(limit: int = MAX_LINE_BYTES) -> dict[str, Any]:
     """The response sent before closing a connection that overran the frame cap."""
     return error_response(f"frame exceeds {limit} bytes; closing connection")
+
+
+#: default busy-response retry hint (seconds) when no admission controller
+#: supplies a load-scaled one
+DEFAULT_RETRY_AFTER_S = 0.05
+
+
+class ServerBusy(RuntimeError):
+    """The server shed this request under admission control.
+
+    Nothing was applied: a busy response is emitted *instead of*
+    dispatching, so retrying the identical (cseq-stamped) request after
+    :attr:`retry_after` seconds is always safe.  Raised by
+    :class:`~repro.harmony.client.TuningClient` (which honors the hint
+    with capped exponential backoff) and by the binary wire ops on a
+    BUSY frame.
+    """
+
+    def __init__(
+        self, message: str = "server busy", *,
+        retry_after: float = DEFAULT_RETRY_AFTER_S,
+    ) -> None:
+        super().__init__(f"{message} (retry_after {retry_after:.3f}s)")
+        self.retry_after = float(retry_after)
+
+
+def busy_response(retry_after: float = DEFAULT_RETRY_AFTER_S) -> dict[str, Any]:
+    """The load-shed envelope: ``busy: true`` plus a ``retry_after`` hint.
+
+    Sent instead of dispatching when the admission budget is exhausted
+    (see :mod:`repro.harmony.admission`); the request had no effect, so
+    clients retry it verbatim after backing off.
+    """
+    response = error_response("busy")
+    response["busy"] = True
+    response["retry_after"] = round(float(retry_after), 6)
+    return response
 
 
 def redirect_response(shard: int, host: str, port: int) -> dict[str, Any]:

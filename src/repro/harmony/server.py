@@ -759,8 +759,16 @@ class TuningServer:
         binproto: bool = True,
         reply_cache_size: int | None = None,
         service_delay_s: float = 0.0,
+        admission: "Any | None" = None,
     ) -> None:
         self._factory = tuner_factory
+        #: optional :class:`~repro.harmony.admission.AdmissionController`:
+        #: when set, the transports price every frame in message units and
+        #: answer work beyond the pending budget with ``busy`` +
+        #: ``retry_after`` instead of queueing it (see
+        #: :func:`repro.harmony.transport.respond_frames`).  Assignable
+        #: after construction too (e.g. onto a WAL-recovered server).
+        self.admission = admission
         #: per-client reply-cache bound handed to every session
         #: (None = the module default, ``_REPLY_CACHE``)
         self.reply_cache_size = reply_cache_size
@@ -1150,6 +1158,22 @@ class TuningServer:
             self.metrics.inc("server.batch_frames")
             self.metrics.inc("server.batch_msgs", n_msgs)
         self._emit("server.batch", n_msgs=n_msgs)
+
+    def observe_shed(self, n_msgs: int) -> None:
+        """Count *n_msgs* message units refused by admission control.
+
+        Called by the transports once per shed chunk; surfaces through
+        the metrics registry (and thus the Prometheus endpoint) as
+        ``server.shed_msgs`` / ``server.shed_events`` counters plus a
+        ``server.admission_pending`` gauge.
+        """
+        if self.metrics is not None:
+            self.metrics.inc("server.shed_msgs", n_msgs)
+            self.metrics.inc("server.shed_events")
+            if self.admission is not None:
+                self.metrics.gauge(
+                    "server.admission_pending", self.admission.pending
+                )
 
     def observe_binary(self, op: str, n_msgs: int) -> None:
         """Record one binary frame (called by binproto's dispatcher)."""

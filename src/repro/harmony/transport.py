@@ -42,6 +42,10 @@ __all__ = [
     "TcpClientTransport",
     "PipelinedTcpClientTransport",
     "n_wire_chunks",
+    "prepare_items",
+    "plan_admission",
+    "finish_admission",
+    "respond_prepared",
     "respond_frames",
 ]
 
@@ -54,20 +58,115 @@ def _set_nodelay(sock: socket.socket) -> None:
         pass
 
 
-def respond_frames(
+def prepare_items(
+    items: Sequence[tuple], max_line_bytes: int = protocol.MAX_LINE_BYTES
+) -> list[tuple]:
+    """Decode one splitter batch into dispatch-ready items with load prices.
+
+    Each :class:`binproto.FrameSplitter` item becomes one of::
+
+        ("json", message_or_None, error_response_or_None, weight, session)
+        ("bin", msg_type, seq, payload, weight, session)
+        ("oversized",)
+
+    ``(weight, session)`` is the item's admission price — message units
+    and the addressed session (``None`` when the frame does not name one,
+    e.g. heterogeneous JSON batch envelopes, which then count against the
+    global budget only).  JSON lines are decoded exactly once, here, so
+    admission planning does not double-parse the hot path.
+    """
+    from repro.harmony.server import DEFAULT_SESSION
+
+    prepared: list[tuple] = []
+    for item in items:
+        kind = item[0]
+        if kind == "oversized":
+            prepared.append(("oversized",))
+            break
+        if kind == "json":
+            message, err = protocol.decode_line(item[1])
+            weight, session = 1, None
+            if message is not None:
+                if message.get("op") == "batch":
+                    msgs = message.get("msgs")
+                    if isinstance(msgs, list):
+                        weight = max(1, min(len(msgs), protocol.MAX_BATCH_MSGS))
+                    session = message.get("session")
+                else:
+                    session = message.get("session") or DEFAULT_SESSION
+                if session is not None and not isinstance(session, str):
+                    session = None
+            prepared.append(("json", message, err, weight, session))
+        else:  # ("bin", msg_type, seq, payload)
+            _, msg_type, seq, payload = item
+            weight, session = binproto.peek_load(msg_type, payload)
+            prepared.append(("bin", msg_type, seq, payload, weight, session))
+    return prepared
+
+
+def plan_admission(
+    server: TuningServer, prepared: Sequence[tuple]
+) -> tuple[list[bool] | None, list[tuple[int, str | None]]]:
+    """Admit or shed each prepared item against the server's budget.
+
+    Returns ``(flags, grants)``: per-item admit decisions (``None`` when
+    the server has no admission controller — everything is admitted) and
+    the ``(weight, session)`` grants to hand back via
+    :func:`finish_admission` once the responses have been written.  The
+    admitted units stay charged from this call until then — that window
+    (dispatch, modeled service time, WAL commit, response write) *is* the
+    pending work the budget bounds.
+    """
+    admission = getattr(server, "admission", None)
+    if admission is None:
+        return None, []
+    flags: list[bool] = []
+    grants: list[tuple[int, str | None]] = []
+    shed_units = 0
+    for item in prepared:
+        if item[0] == "oversized" or (item[0] == "json" and item[1] is None):
+            flags.append(True)  # framing errors answer without touching work
+            continue
+        weight, session = item[-2], item[-1]
+        ok = admission.try_admit(weight, session=session)
+        flags.append(ok)
+        if ok:
+            grants.append((weight, session))
+        else:
+            shed_units += weight
+    if shed_units:
+        observe = getattr(server, "observe_shed", None)
+        if observe is not None:
+            observe(shed_units)
+    return flags, grants
+
+
+def finish_admission(
+    server: TuningServer, grants: Sequence[tuple[int, str | None]]
+) -> None:
+    """Return granted admission units once their responses are out."""
+    if not grants:
+        return
+    admission = getattr(server, "admission", None)
+    if admission is None:  # pragma: no cover - controller detached mid-flight
+        return
+    for weight, session in grants:
+        admission.complete(weight, session=session)
+
+
+def respond_prepared(
     server: TuningServer,
-    items: Sequence[tuple],
+    prepared: Sequence[tuple],
+    flags: Sequence[bool] | None,
     wire: str,
     max_line_bytes: int = protocol.MAX_LINE_BYTES,
 ) -> tuple[bytes, bool]:
-    """Turn one :class:`binproto.FrameSplitter` batch into response bytes.
+    """Dispatch prepared items (see :func:`prepare_items`) into response bytes.
 
-    Shared by the threaded and asyncio servers so their mixed JSON/binary
-    handling cannot drift.  Returns ``(payload, closing)``: every response
-    for the batch concatenated into one buffer (one ``sendall`` per recv
-    chunk), and whether the connection must close (an oversized frame
-    desynchronizes the stream).  ``wire == "json"`` answers binary frames
-    with an ERROR frame instead of decoding them.
+    *flags* carries :func:`plan_admission`'s per-item decisions; a refused
+    item is answered with a busy response (``seq`` echoed, ``retry_after``
+    from the controller) in its request's position, so response order is
+    preserved for lock-step clients.  Returns ``(payload, closing)``.
 
     Durability contract: the server's WAL is group-committed *here*, after
     every request in the chunk has been handled but before the response
@@ -75,26 +174,44 @@ def respond_frames(
     acknowledges is on disk (one fsync per recv chunk under
     ``sync='batch'``).
     """
+    admission = getattr(server, "admission", None)
     out: list[bytes] = []
     closing = False
-    for item in items:
+    for idx, item in enumerate(prepared):
         kind = item[0]
         if kind == "oversized":
             out.append(protocol.encode_line(protocol.oversized_response(max_line_bytes)))
             closing = True
             break
+        admitted = flags is None or flags[idx]
         if kind == "json":
-            message, err = protocol.decode_line(item[1])
-            response = err if err is not None else protocol.dispatch(server, message)
+            _, message, err, _weight, _session = item
+            if err is not None:
+                response = err
+            elif not admitted:
+                response = protocol.busy_response(
+                    admission.retry_after if admission is not None
+                    else protocol.DEFAULT_RETRY_AFTER_S
+                )
+                if message is not None and "seq" in message:
+                    response["seq"] = message["seq"]
+            else:
+                response = protocol.dispatch(server, message)
             out.append(protocol.encode_line(response))
-        else:  # ("bin", msg_type, seq, payload)
-            _, msg_type, seq, payload = item
+        else:  # ("bin", msg_type, seq, payload, weight, session)
+            _, msg_type, seq, payload, _weight, _session = item
             if wire != "binary":
                 out.append(
                     binproto.encode_error(
                         seq, "binary wire format disabled on this server"
                     )
                 )
+            elif not admitted:
+                out.append(binproto.encode_busy(
+                    seq,
+                    admission.retry_after if admission is not None
+                    else protocol.DEFAULT_RETRY_AFTER_S,
+                ))
             else:
                 out.append(binproto.dispatch_frame(server, msg_type, seq, payload))
     # Modeled service time (fleet benchmarking): bills the whole chunk at
@@ -106,6 +223,29 @@ def respond_frames(
     if commit is not None:
         commit()
     return b"".join(out), closing
+
+
+def respond_frames(
+    server: TuningServer,
+    items: Sequence[tuple],
+    wire: str,
+    max_line_bytes: int = protocol.MAX_LINE_BYTES,
+) -> tuple[bytes, bool]:
+    """Turn one :class:`binproto.FrameSplitter` batch into response bytes.
+
+    Shared by the threaded and asyncio servers so their mixed JSON/binary
+    handling cannot drift: :func:`prepare_items` → :func:`plan_admission`
+    → :func:`respond_prepared`, with the admitted units held until the
+    responses are built (the asyncio transport spreads the same stages
+    around its executor hop so the units stay charged until the bytes are
+    flushed).  Returns ``(payload, closing)``.
+    """
+    prepared = prepare_items(items, max_line_bytes)
+    flags, grants = plan_admission(server, prepared)
+    try:
+        return respond_prepared(server, prepared, flags, wire, max_line_bytes)
+    finally:
+        finish_admission(server, grants)
 
 
 class Transport(ABC):
@@ -358,6 +498,8 @@ class _BinaryWireOps:
         points_parts: list[np.ndarray] = []
         tokens_parts: list[np.ndarray] = []
         for resp in self._request_frames(builders):
+            if resp[0] == "busy":
+                raise protocol.ServerBusy(retry_after=resp[1])
             if resp[0] == "error":
                 raise RuntimeError(f"tuning server error: {resp[1]}")
             if resp[0] != "points":
@@ -397,6 +539,8 @@ class _BinaryWireOps:
             )
         n_ok = n_stale = 0
         for resp in self._request_frames(builders):
+            if resp[0] == "busy":
+                raise protocol.ServerBusy(retry_after=resp[1])
             if resp[0] == "error":
                 raise RuntimeError(f"tuning server error: {resp[1]}")
             if resp[0] != "ack":

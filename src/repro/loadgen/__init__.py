@@ -1,0 +1,29 @@
+"""Reproducible load generation against live tuning servers.
+
+The capacity story has three parts: :mod:`repro.loadgen.arrivals` draws
+when requests arrive (uniform / poisson / heavy-tail pareto),
+:mod:`repro.loadgen.slo` scores what happened (percentiles and error
+budgets), and :mod:`repro.loadgen.runner` drives a real server through
+the real client stack in open or closed loop.  The ``repro loadgen``
+CLI subcommand is a thin wrapper over :class:`LoadGenerator`.
+"""
+
+from repro.loadgen.arrivals import ARRIVALS, interarrival_times
+from repro.loadgen.runner import (
+    LoadGenerator,
+    LoadReport,
+    LoadgenConfig,
+    loadgen_space,
+)
+from repro.loadgen.slo import LatencyRecorder, SloPolicy
+
+__all__ = [
+    "ARRIVALS",
+    "interarrival_times",
+    "LatencyRecorder",
+    "SloPolicy",
+    "LoadGenerator",
+    "LoadReport",
+    "LoadgenConfig",
+    "loadgen_space",
+]

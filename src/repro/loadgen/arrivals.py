@@ -1,0 +1,61 @@
+"""Arrival processes for the load generator.
+
+Open-loop load is defined by *when requests arrive*, independent of how
+fast the server answers them.  Three interarrival processes cover the
+regimes the paper's applications exhibit:
+
+* ``uniform`` — a metronome: every gap is exactly ``1/rate``.  The
+  gentlest load at a given rate; no bursts at all.
+* ``poisson`` — exponential gaps, the classic memoryless open-loop
+  arrival model.  Bursts exist but are light-tailed.
+* ``pareto`` — heavy-tailed gaps drawn from the same
+  :class:`~repro.variability.pareto.ParetoDistribution` the variability
+  models use for step durations.  Long quiet stretches punctuated by
+  dense bursts: the worst realistic case for an admission controller,
+  because instantaneous arrival rate far exceeds the mean rate.
+
+All three are parameterised by the *mean* rate so a sweep can vary
+burstiness while holding offered load constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.variability.pareto import ParetoDistribution
+
+__all__ = ["ARRIVALS", "interarrival_times"]
+
+#: recognised arrival process names
+ARRIVALS = ("uniform", "poisson", "pareto")
+
+
+def interarrival_times(
+    process: str,
+    rate: float,
+    n: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    tail_alpha: float = 1.5,
+) -> np.ndarray:
+    """Draw *n* interarrival gaps (seconds) with mean ``1/rate``.
+
+    ``tail_alpha`` shapes the ``pareto`` process only and must be > 1 so
+    the mean (and hence the offered rate) is finite; smaller values mean
+    heavier bursts at the same average rate.
+    """
+    if process not in ARRIVALS:
+        raise ValueError(f"unknown arrival process {process!r}; pick from {ARRIVALS}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    mean = 1.0 / rate
+    if process == "uniform":
+        return np.full(n, mean)
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if process == "poisson":
+        return gen.exponential(mean, size=n)
+    # pareto: from_mean rejects tail_alpha <= 1 (infinite-mean regime)
+    dist = ParetoDistribution.from_mean(tail_alpha, mean)
+    return np.asarray(dist.sample(rng=gen, size=n), dtype=float)

@@ -1,0 +1,148 @@
+"""Latency recording and SLO accounting for load generation.
+
+A load point is judged by two numbers: the tail latency of the requests
+that *succeeded*, and the fraction of requests that *didn't* (shed with
+``busy`` past the retry budget, or failed outright).  :class:`SloPolicy`
+states the target; :class:`LatencyRecorder` is the thread-safe ledger
+the worker threads feed, and it produces the percentile summary and the
+pass/fail verdict at the end of the point.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SloPolicy", "LatencyRecorder"]
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """The service-level objective one load point is held to.
+
+    ``latency_s`` bounds the p99 of successful requests; ``error_budget``
+    bounds the fraction of requests that ended busy/error out of all
+    requests issued (the classic error-budget formulation: 0.01 means
+    99% of requests must succeed).
+    """
+
+    latency_s: float = 0.1
+    error_budget: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.latency_s <= 0:
+            raise ValueError(f"latency_s must be positive, got {self.latency_s}")
+        if not 0.0 <= self.error_budget < 1.0:
+            raise ValueError(
+                f"error_budget must be in [0, 1), got {self.error_budget}"
+            )
+
+
+class LatencyRecorder:
+    """Thread-safe outcome ledger for one load point.
+
+    Workers call :meth:`ok` with each successful request's latency and
+    :meth:`busy` / :meth:`error` for requests that didn't complete.  All
+    mutation is under one lock — the loadgen's unit of work (a full
+    round trip) is ~10^4 times the cost of an append, so contention is
+    noise.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []
+        self._busy = 0
+        self._error = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def ok(self, latency_s: float) -> None:
+        with self._lock:
+            self._latencies.append(float(latency_s))
+
+    def busy(self, n: int = 1) -> None:
+        with self._lock:
+            self._busy += int(n)
+
+    def error(self, n: int = 1) -> None:
+        with self._lock:
+            self._error += int(n)
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def ok_count(self) -> int:
+        with self._lock:
+            return len(self._latencies)
+
+    @property
+    def busy_count(self) -> int:
+        with self._lock:
+            return self._busy
+
+    @property
+    def error_count(self) -> int:
+        with self._lock:
+            return self._error
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return len(self._latencies) + self._busy + self._error
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile latency (seconds) of successful requests."""
+        with self._lock:
+            if not self._latencies:
+                return float("nan")
+            return float(np.percentile(np.asarray(self._latencies), q))
+
+    def error_fraction(self) -> float:
+        """Busy+error requests as a fraction of everything issued."""
+        with self._lock:
+            total = len(self._latencies) + self._busy + self._error
+            if total == 0:
+                return 0.0
+            return (self._busy + self._error) / total
+
+    def summary(self) -> dict:
+        """One load point's scorecard (latencies in milliseconds)."""
+        with self._lock:
+            lat = np.asarray(self._latencies) if self._latencies else None
+            busy, error = self._busy, self._error
+        count = (0 if lat is None else lat.size) + busy + error
+        out: dict = {
+            "count": count,
+            "ok": 0 if lat is None else int(lat.size),
+            "busy": busy,
+            "error": error,
+        }
+        if lat is not None:
+            p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+            out.update(
+                p50_ms=round(float(p50) * 1e3, 3),
+                p95_ms=round(float(p95) * 1e3, 3),
+                p99_ms=round(float(p99) * 1e3, 3),
+                mean_ms=round(float(lat.mean()) * 1e3, 3),
+                max_ms=round(float(lat.max()) * 1e3, 3),
+            )
+        return out
+
+    def check(self, policy: SloPolicy) -> list[str]:
+        """Violations of *policy* at this point; empty means the SLO held."""
+        violations: list[str] = []
+        p99 = self.percentile(99)
+        if np.isnan(p99):
+            violations.append("no successful requests")
+        elif p99 > policy.latency_s:
+            violations.append(
+                f"p99 {p99 * 1e3:.1f}ms exceeds SLO {policy.latency_s * 1e3:.1f}ms"
+            )
+        frac = self.error_fraction()
+        if frac > policy.error_budget:
+            violations.append(
+                f"error fraction {frac:.4f} exceeds budget {policy.error_budget:.4f}"
+            )
+        return violations

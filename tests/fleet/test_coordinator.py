@@ -19,6 +19,7 @@ from repro.harmony.transport import (
     TcpServerTransport,
 )
 from repro.obs import MetricsRegistry
+from tests.helpers import wait_for
 
 
 class FakeClock:
@@ -325,10 +326,18 @@ class TestShardAgent:
             shard = agent.start()
             assert shard == 0
             assert agent.lease_s == pytest.approx(0.6)
-            # lease renewal keeps it alive well past one lease interval
-            time.sleep(1.0)
-            assert not coord.check_leases()
-            assert coord.registry.is_alive(0)
+            # lease renewal keeps it alive well past one lease interval:
+            # poll the whole window instead of sleeping blind, asserting
+            # liveness at every check along the way
+            start = time.monotonic()
+
+            def alive_past_lease():
+                assert not coord.check_leases()
+                assert coord.registry.is_alive(0)
+                return time.monotonic() - start > 1.0
+
+            wait_for(alive_past_lease, timeout=5.0, interval=0.05,
+                     desc="a full lease interval of renewed heartbeats")
             # revoke: the agent notices on its next heartbeat
             coord.handle({"op": "expire_shard", "shard": 0})
             assert revoked.wait(timeout=5.0)

@@ -1,0 +1,167 @@
+"""Capacity soak: thousands of short sessions against a live fleet.
+
+Opt-in (``pytest -m soak``): this is the on-demand CI job, not part of
+the default suite.  It stands up a real ``repro fleet`` (coordinator +
+shard subprocesses, admission budgets on), then churns through ~2000
+short tuning sessions arriving with heavy-tailed gaps for ~a minute,
+the way a campus-wide tuning service would see jobs arrive.
+
+What must hold at the end:
+
+* the error budget: at most 1% of operations failed or were shed past
+  the retry budget;
+* ledger consistency: every session the generator thinks it ran is
+  placed in the fleet registry, and a sample of sessions re-queried
+  through the coordinator reports exactly the step counts we pushed;
+* no resource creep: file descriptors and threads return to (near)
+  their pre-fleet census once everything is torn down.
+
+Scale knobs (for laptops vs CI): ``REPRO_SOAK_SESSIONS`` (default 2000),
+``REPRO_SOAK_S`` (default 60), ``REPRO_SOAK_SHARDS`` (default 2).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.fleet.client import fleet_client
+from repro.fleet.launch import FleetSupervisor, bench_space
+from repro.loadgen.arrivals import interarrival_times
+from repro.loadgen.slo import LatencyRecorder
+from tests.helpers import resource_census, wait_for
+
+N_SESSIONS = int(os.environ.get("REPRO_SOAK_SESSIONS", "2000"))
+DURATION_S = float(os.environ.get("REPRO_SOAK_S", "60"))
+N_SHARDS = int(os.environ.get("REPRO_SOAK_SHARDS", "2"))
+N_WORKERS = 8
+STEPS_PER_SESSION = 3
+MAX_PENDING = 512  # per-shard admission budget, exercised for real
+
+
+def _value(point: np.ndarray) -> float:
+    return 1.0 + float(np.sum((point - 1.0) ** 2))
+
+
+@pytest.mark.soak
+def test_fleet_survives_session_storm(tmp_path):
+    census_before = resource_census()
+    recorder = LatencyRecorder()
+    ledger: dict[str, int] = {}  # session -> reports we actually landed
+    ledger_lock = threading.Lock()
+    counter = iter(range(10**9))
+    counter_lock = threading.Lock()
+
+    with FleetSupervisor(
+        N_SHARDS, base_dir=tmp_path, wire="binary",
+        max_pending=MAX_PENDING, lease_s=5.0,
+    ) as fleet:
+        deadline = time.monotonic() + DURATION_S
+        per_worker_rate = max(1.0, N_SESSIONS / DURATION_S / N_WORKERS)
+
+        def run_one_session(name: str) -> None:
+            client = fleet_client(
+                fleet.host, fleet.coordinator_port, name,
+                busy_retries=10_000, busy_backoff_cap=0.1,
+            )
+            try:
+                client.open_session(name)
+                client.register(bench_space())
+                landed = 0
+                for _ in range(STEPS_PER_SESSION):
+                    start = time.perf_counter()
+                    point = client.fetch()
+                    client.report(_value(point))
+                    recorder.ok(time.perf_counter() - start)
+                    landed += 1
+                with ledger_lock:
+                    ledger[name] = ledger.get(name, 0) + landed
+            finally:
+                client.transport.close()
+
+        def worker(idx: int) -> None:
+            gaps = interarrival_times(
+                "pareto", per_worker_rate, 4096, rng=idx, tail_alpha=1.5
+            )
+            gap_i = 0
+            while time.monotonic() < deadline:
+                with counter_lock:
+                    session_idx = next(counter)
+                if session_idx >= N_SESSIONS:
+                    break
+                name = f"soak-{session_idx}"
+                try:
+                    run_one_session(name)
+                except Exception:  # noqa: BLE001 - budgeted, not fatal
+                    recorder.error()
+                # heavy-tailed think time, capped so the target count is
+                # reachable even when the tail draws a monster gap
+                time.sleep(min(float(gaps[gap_i % gaps.size]), 0.25))
+                gap_i += 1
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(N_WORKERS)
+        ]
+        start = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=DURATION_S + 300)
+        wall = time.monotonic() - start
+
+        # -- error budget --------------------------------------------------
+        total_ops = recorder.total
+        assert total_ops > 0, "soak produced no traffic at all"
+        assert recorder.error_fraction() <= 0.01, (
+            f"error budget blown: {recorder.error_count} failures out of "
+            f"{total_ops} sessions"
+        )
+
+        # -- ledger consistency --------------------------------------------
+        status = fleet.fleet_status()
+        placed = set(status["sessions"])
+        missing = [name for name in ledger if name not in placed]
+        assert not missing, (
+            f"{len(missing)} completed sessions not in the fleet registry, "
+            f"e.g. {missing[:5]}"
+        )
+        # spot-check: the server-side step counters match what we landed
+        sample = sorted(ledger)[:: max(1, len(ledger) // 50)]
+        for name in sample:
+            client = fleet_client(
+                fleet.host, fleet.coordinator_port, name, busy_retries=10_000
+            )
+            try:
+                client.open_session(name)
+                assert client.status()["n_reports"] == ledger[name], name
+            finally:
+                client.transport.close()
+
+        # every shard stayed alive through the storm
+        alive = sum(1 for s in status["shards"].values() if s["alive"])
+        assert alive == N_SHARDS
+
+        print(
+            f"\nsoak: {len(ledger)} sessions, {total_ops} ops in {wall:.1f}s "
+            f"({recorder.ok_count / wall:.0f} ops/s), "
+            f"p99 {recorder.percentile(99) * 1e3:.1f}ms, "
+            f"errors {recorder.error_count}"
+        )
+
+    # -- resource census: fds and threads settle back -----------------------
+    def settled() -> bool:
+        census_after = resource_census()
+        fd_ok = (
+            census_before["fds"] < 0
+            or census_after["fds"] <= census_before["fds"] + 32
+        )
+        return fd_ok and (
+            census_after["threads"] <= census_before["threads"] + 4
+        )
+
+    wait_for(settled, timeout=30.0, desc="fd/thread census to settle")

@@ -1,0 +1,180 @@
+"""Property tests for the admission controller as a pure command machine.
+
+The controller is deliberately transport-free: a sequence of
+``try_admit`` / ``complete`` calls fully determines its state.  That
+makes its invariants checkable over *arbitrary* interleavings, which is
+exactly what Hypothesis generates here — no sockets, no threads, just
+the accounting the whole backpressure story rests on:
+
+* pending never exceeds the budget (unit weights);
+* a request is shed *iff* the budget is full;
+* admitted == completed + in-flight, always;
+* per-session holds sum to the global pending;
+* everything drains back to zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harmony.admission import AdmissionController
+
+# A command is (kind, session): admit a unit of work for the session, or
+# complete one previously admitted unit (no-op if none is in flight —
+# the machine tracks what is completable).
+_commands = st.lists(
+    st.tuples(
+        st.sampled_from(["admit", "complete"]),
+        st.sampled_from(["s0", "s1", "s2", "s3"]),
+    ),
+    max_size=200,
+)
+
+
+def _run(controller: AdmissionController, commands) -> dict[str, int]:
+    """Drive the machine; only complete work that was actually admitted."""
+    in_flight: dict[str, int] = {}
+    for kind, session in commands:
+        if kind == "admit":
+            if controller.try_admit(1, session=session):
+                in_flight[session] = in_flight.get(session, 0) + 1
+        else:
+            if in_flight.get(session, 0) > 0:
+                controller.complete(1, session=session)
+                in_flight[session] -= 1
+    return in_flight
+
+
+class TestUnitWeightInvariants:
+    @given(commands=_commands, budget=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_pending_never_exceeds_budget(self, commands, budget):
+        controller = AdmissionController(budget)
+        for kind, session in commands:
+            if kind == "admit":
+                controller.try_admit(1, session=session)
+                assert controller.pending <= budget
+            elif controller.pending > 0:
+                controller.complete(1, session=session)
+        assert controller.peak_pending <= budget
+
+    @given(commands=_commands, budget=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_sheds_iff_at_budget(self, commands, budget):
+        controller = AdmissionController(budget)
+        in_flight: dict[str, int] = {}
+        for kind, session in commands:
+            if kind == "admit":
+                before = controller.pending
+                admitted = controller.try_admit(1, session=session)
+                # unit weights: admit exactly when there is room
+                assert admitted == (before < budget)
+                if admitted:
+                    in_flight[session] = in_flight.get(session, 0) + 1
+            elif in_flight.get(session, 0) > 0:
+                controller.complete(1, session=session)
+                in_flight[session] -= 1
+
+    @given(commands=_commands, budget=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_admitted_equals_completed_plus_in_flight(self, commands, budget):
+        controller = AdmissionController(budget)
+        _run(controller, commands)
+        assert controller.admitted == controller.completed + controller.pending
+
+    @given(commands=_commands, budget=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_session_holds_sum_to_global_pending(self, commands, budget):
+        controller = AdmissionController(budget)
+        _run(controller, commands)
+        snapshot = controller.snapshot()
+        assert sum(snapshot["sessions"].values()) == controller.pending
+
+    @given(commands=_commands, budget=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_draining_everything_returns_to_zero(self, commands, budget):
+        controller = AdmissionController(budget)
+        in_flight = _run(controller, commands)
+        for session, count in in_flight.items():
+            for _ in range(count):
+                controller.complete(1, session=session)
+        assert controller.pending == 0
+        assert controller.snapshot()["sessions"] == {}
+        assert controller.admitted == controller.completed
+
+    @given(commands=_commands, budget=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_fair_policy_keeps_same_global_invariants(self, commands, budget):
+        controller = AdmissionController(budget, policy="fair")
+        in_flight = _run(controller, commands)
+        assert controller.pending <= budget
+        assert controller.admitted == controller.completed + controller.pending
+        for session, count in in_flight.items():
+            for _ in range(count):
+                controller.complete(1, session=session)
+        assert controller.pending == 0
+
+
+class TestWeightedEdges:
+    def test_idle_budget_admits_oversized_frame(self):
+        """A frame heavier than the whole budget must not starve forever:
+        when nothing is pending it is admitted anyway (the queue has room
+        in the only sense that matters — it is empty)."""
+        controller = AdmissionController(4)
+        assert controller.try_admit(100, session="big")
+        assert controller.pending == 100
+        # but while it is in flight, everything else sheds
+        assert not controller.try_admit(1, session="small")
+        controller.complete(100, session="big")
+        assert controller.pending == 0
+
+    def test_retry_after_scales_with_depth(self):
+        controller = AdmissionController(4, retry_after_s=0.05)
+        idle = controller.retry_after
+        assert controller.try_admit(4, session="s")
+        assert controller.retry_after > idle
+
+    def test_shed_counters_count_weight_and_events(self):
+        controller = AdmissionController(2)
+        assert controller.try_admit(2)
+        assert not controller.try_admit(3)
+        assert not controller.try_admit(1)
+        snapshot = controller.snapshot()
+        assert snapshot["shed"] == 4  # 3 + 1 message units
+        assert snapshot["shed_events"] == 2
+
+    def test_complete_clamps_at_zero(self):
+        controller = AdmissionController(2)
+        controller.complete(5, session="ghost")  # defensive: never negative
+        assert controller.pending == 0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(4, policy="lifo")
+
+
+class TestSessionCaps:
+    def test_fixed_session_cap_binds_before_global(self):
+        controller = AdmissionController(10, max_session_pending=2)
+        assert controller.try_admit(1, session="hot")
+        assert controller.try_admit(1, session="hot")
+        assert not controller.try_admit(1, session="hot")  # session-capped
+        assert controller.try_admit(1, session="cold")  # global has room
+        assert controller.pending == 3
+
+    def test_fair_policy_splits_budget_across_sessions(self):
+        controller = AdmissionController(4, policy="fair")
+        # one active session: it may use the whole budget
+        for _ in range(4):
+            assert controller.try_admit(1, session="a")
+        controller.complete(4, session="a")
+        # two active sessions: each gets half
+        assert controller.try_admit(1, session="a")
+        assert controller.try_admit(1, session="b")
+        assert controller.try_admit(1, session="a")
+        assert not controller.try_admit(1, session="a")  # a at its half
+        assert controller.try_admit(1, session="b")

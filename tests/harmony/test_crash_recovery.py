@@ -26,11 +26,9 @@ both transports (threaded, asyncio) and both wires (JSON, binary).
 """
 
 import os
-import socket
 import subprocess
 import sys
 import threading
-import time
 from pathlib import Path
 
 import pytest
@@ -40,6 +38,7 @@ from repro.experiments.common import tuner_factory
 from repro.harmony.client import TuningClient
 from repro.harmony.server import TuningServer
 from repro.harmony.transport import InProcessTransport, TcpClientTransport
+from tests.helpers import free_port, wait_port_file
 
 ROOT = Path(__file__).resolve().parents[2]
 HOST = "127.0.0.1"
@@ -94,12 +93,6 @@ def baseline_state():
     return final_state(server.handle)
 
 
-def free_port():
-    with socket.socket() as s:
-        s.bind((HOST, 0))
-        return s.getsockname()[1]
-
-
 class ServeSupervisor:
     """Runs ``repro serve`` as a subprocess; restarts it whenever it dies.
 
@@ -150,12 +143,7 @@ class ServeSupervisor:
                 self._proc = self._launch(self._base_cmd)
 
     def wait_ready(self, timeout=30.0):
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if self.port_file.exists() and self.port_file.read_text().strip():
-                return
-            time.sleep(0.05)
-        raise TimeoutError("serve subprocess never became ready")
+        wait_port_file(self.port_file, timeout=timeout)
 
     def stop(self):
         self._stop.set()

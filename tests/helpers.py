@@ -1,12 +1,96 @@
-"""Shared test helpers."""
+"""Shared test helpers.
+
+Besides the tuner-driving utilities, this module is the one home for the
+wait-and-poll plumbing the serving suites need: waiting for a subprocess
+to write its port file, for a socket to accept, for an arbitrary
+condition to become true.  Every suite that spawns servers used to carry
+its own ad-hoc sleep loops; keeping one deadline-based implementation
+here is what keeps those suites deadline-bound instead of sleep-bound
+(no fixed sleeps that are simultaneously too long on fast machines and
+too short on loaded CI boxes).
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.core.base import BatchTuner
+
+
+# -- deadline-based waiting (the anti-flake kit) ---------------------------------
+
+
+def wait_for(
+    predicate: Callable[[], Any],
+    *,
+    timeout: float = 10.0,
+    interval: float = 0.01,
+    desc: str = "condition",
+) -> Any:
+    """Poll *predicate* until it returns something truthy; return that value.
+
+    Raises ``TimeoutError`` mentioning *desc* if the deadline passes —
+    never hangs, never sleeps longer than the condition actually takes.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"timed out after {timeout:g}s waiting for {desc}")
+        time.sleep(interval)
+
+
+def wait_port_file(path: Path | str, *, timeout: float = 30.0) -> int:
+    """Wait for a ``--port-file`` to appear and hold a port; return it."""
+    path = Path(path)
+
+    def read_port() -> int | None:
+        if not path.exists():
+            return None
+        text = path.read_text().strip()
+        return int(text) if text else None
+
+    return wait_for(read_port, timeout=timeout, desc=f"port file {path}")
+
+
+def wait_server_ready(
+    host: str, port: int, *, timeout: float = 10.0
+) -> None:
+    """Wait until a TCP connect to ``host:port`` succeeds."""
+
+    def can_connect() -> bool:
+        try:
+            with socket.create_connection((host, port), timeout=0.25):
+                return True
+        except OSError:
+            return False
+
+    wait_for(can_connect, timeout=timeout, desc=f"server at {host}:{port}")
+
+
+def free_port() -> int:
+    """A port that was free a moment ago (bind-and-release)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def resource_census() -> dict:
+    """Open file descriptors and live threads, for leak checks around soaks."""
+    try:
+        n_fds = len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - non-procfs platforms
+        n_fds = -1
+    return {"fds": n_fds, "threads": threading.active_count()}
 
 
 def drive(

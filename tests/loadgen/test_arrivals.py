@@ -1,0 +1,47 @@
+"""Unit tests for the arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen.arrivals import ARRIVALS, interarrival_times
+
+
+class TestInterarrivalTimes:
+    @pytest.mark.parametrize("process", ARRIVALS)
+    def test_mean_matches_rate(self, process):
+        gaps = interarrival_times(process, rate=50.0, n=20_000, rng=0)
+        assert gaps.shape == (20_000,)
+        assert np.all(gaps > 0)
+        # all three processes are parameterised by the mean: 1/rate
+        assert gaps.mean() == pytest.approx(0.02, rel=0.15)
+
+    def test_uniform_is_a_metronome(self):
+        gaps = interarrival_times("uniform", rate=10.0, n=100)
+        assert np.all(gaps == 0.1)
+
+    def test_pareto_is_burstier_than_poisson(self):
+        """Heavy tails at the same mean: higher variance, deeper bursts."""
+        poisson = interarrival_times("poisson", rate=100.0, n=50_000, rng=1)
+        pareto = interarrival_times(
+            "pareto", rate=100.0, n=50_000, rng=1, tail_alpha=1.3
+        )
+        assert pareto.max() > poisson.max()
+        # the pareto mass concentrates below the mean (bursts) with rare
+        # huge gaps making up the balance
+        assert np.median(pareto) < np.median(poisson)
+
+    def test_reproducible_given_seed(self):
+        a = interarrival_times("pareto", rate=10.0, n=100, rng=42)
+        b = interarrival_times("pareto", rate=10.0, n=100, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            interarrival_times("weibull", rate=1.0, n=1)
+        with pytest.raises(ValueError):
+            interarrival_times("poisson", rate=0.0, n=1)
+        with pytest.raises(ValueError):
+            interarrival_times("poisson", rate=1.0, n=-1)
+        with pytest.raises(ValueError):
+            # infinite-mean regime: offered rate would be undefined
+            interarrival_times("pareto", rate=1.0, n=1, tail_alpha=1.0)

@@ -1,0 +1,87 @@
+"""Unit tests for SLO accounting."""
+
+import math
+import threading
+
+import pytest
+
+from repro.loadgen.slo import LatencyRecorder, SloPolicy
+
+
+class TestSloPolicy:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            SloPolicy(latency_s=0.0)
+        with pytest.raises(ValueError):
+            SloPolicy(error_budget=1.0)
+        with pytest.raises(ValueError):
+            SloPolicy(error_budget=-0.1)
+
+
+class TestLatencyRecorder:
+    def test_percentiles_and_summary(self):
+        recorder = LatencyRecorder()
+        for ms in range(1, 101):  # 1..100 ms
+            recorder.ok(ms / 1e3)
+        summary = recorder.summary()
+        assert summary["ok"] == 100
+        assert summary["p50_ms"] == pytest.approx(50.5, abs=1.0)
+        assert summary["p99_ms"] == pytest.approx(99.0, abs=1.5)
+        assert summary["max_ms"] == pytest.approx(100.0)
+
+    def test_error_fraction_counts_busy_and_error(self):
+        recorder = LatencyRecorder()
+        for _ in range(98):
+            recorder.ok(0.01)
+        recorder.busy()
+        recorder.error()
+        assert recorder.error_fraction() == pytest.approx(0.02)
+        assert recorder.total == 100
+
+    def test_check_passes_within_slo(self):
+        recorder = LatencyRecorder()
+        for _ in range(100):
+            recorder.ok(0.01)
+        assert recorder.check(SloPolicy(latency_s=0.1, error_budget=0.01)) == []
+
+    def test_check_flags_latency_violation(self):
+        recorder = LatencyRecorder()
+        for _ in range(100):
+            recorder.ok(0.2)
+        violations = recorder.check(SloPolicy(latency_s=0.1))
+        assert len(violations) == 1
+        assert "p99" in violations[0]
+
+    def test_check_flags_blown_error_budget(self):
+        recorder = LatencyRecorder()
+        for _ in range(90):
+            recorder.ok(0.001)
+        for _ in range(10):
+            recorder.busy()
+        violations = recorder.check(SloPolicy(latency_s=0.1, error_budget=0.01))
+        assert len(violations) == 1
+        assert "budget" in violations[0]
+
+    def test_check_with_nothing_successful(self):
+        recorder = LatencyRecorder()
+        recorder.busy()
+        violations = recorder.check(SloPolicy())
+        assert any("no successful" in v for v in violations)
+        assert math.isnan(recorder.percentile(99))
+
+    def test_thread_safety_under_concurrent_recording(self):
+        recorder = LatencyRecorder()
+
+        def hammer():
+            for _ in range(1000):
+                recorder.ok(0.001)
+                recorder.busy()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert recorder.ok_count == 4000
+        assert recorder.busy_count == 4000
+        assert recorder.total == 8000

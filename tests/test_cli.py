@@ -105,13 +105,13 @@ class TestServe:
     def test_serve_round_trip(self, transport, tmp_path):
         """Host for a bounded duration; a real client tunes against it."""
         import threading
-        import time
 
         import numpy as np
 
         from repro.harmony.client import TuningClient
         from repro.harmony.transport import TcpClientTransport
         from repro.space import IntParameter, ParameterSpace
+        from tests.helpers import wait_port_file
 
         port_file = tmp_path / "port"
         trace = tmp_path / "serve.jsonl"
@@ -125,10 +125,7 @@ class TestServe:
         )
         thread.start()
         try:
-            deadline = time.monotonic() + 5
-            while not port_file.exists() and time.monotonic() < deadline:
-                time.sleep(0.02)
-            port = int(port_file.read_text())
+            port = wait_port_file(port_file, timeout=5)
             space = ParameterSpace(
                 [IntParameter("a", -5, 5), IntParameter("b", -5, 5)]
             )

@@ -10,7 +10,7 @@ from compare_bench import CEILINGS, FLOORS, GUARDED, compare, main  # noqa: E402
 
 
 def payload(sweep=3.0, cluster=2.5, obs=0.01, sweep_cpu=0.9, wal=0.05,
-            fleet=3.2):
+            fleet=3.2, cap_p99=20.0, cap_floor=1024):
     return {
         "sweep": {"speedup": sweep},
         "cluster_step": {"speedup": cluster},
@@ -18,6 +18,7 @@ def payload(sweep=3.0, cluster=2.5, obs=0.01, sweep_cpu=0.9, wal=0.05,
         "sweep_cpu": {"speedup": sweep_cpu},
         "server": {"wal_overhead_frac": wal},
         "fleet": {"speedup_4": fleet},
+        "capacity": {"p99_anchor_ms": cap_p99, "sessions_floor": cap_floor},
     }
 
 
@@ -135,6 +136,49 @@ class TestFleetFloor:
         current = {k: v for k, v in payload().items() if k != "fleet"}
         failures = compare(payload(), current, tolerance=0.2)
         assert any("fleet.speedup_4" in f and "missing" in f for f in failures)
+
+
+class TestCapacityGuards:
+    def test_anchor_p99_has_a_hard_ceiling(self):
+        assert ("capacity", "p99_anchor_ms", 500.0) in CEILINGS
+
+    def test_sessions_floor_is_guarded(self):
+        assert ("capacity", "sessions_floor", 256) in FLOORS
+
+    def test_bounded_tail_passes(self):
+        assert compare(payload(), payload(cap_p99=120.0), tolerance=0.2) == []
+
+    def test_unbounded_queueing_tail_fails_regardless_of_baseline(self):
+        # A server that queues unboundedly instead of shedding shows up as
+        # a p99 in the seconds; a bad baseline does not excuse it.
+        failures = compare(
+            payload(cap_p99=900.0), payload(cap_p99=750.0), tolerance=0.2
+        )
+        assert any(
+            "capacity.p99_anchor_ms" in f and "ceiling" in f for f in failures
+        )
+
+    def test_sustained_sessions_below_floor_fails(self):
+        failures = compare(
+            payload(cap_floor=64), payload(cap_floor=64), tolerance=0.2
+        )
+        assert any(
+            "capacity.sessions_floor" in f and "floor" in f for f in failures
+        )
+
+    def test_capacity_new_in_this_run_passes(self):
+        baseline = {k: v for k, v in payload().items() if k != "capacity"}
+        assert compare(baseline, payload(), tolerance=0.2) == []
+
+    def test_capacity_dropped_from_current_fails(self):
+        current = {k: v for k, v in payload().items() if k != "capacity"}
+        failures = compare(payload(), current, tolerance=0.2)
+        assert any(
+            "capacity.p99_anchor_ms" in f and "missing" in f for f in failures
+        )
+        assert any(
+            "capacity.sessions_floor" in f and "missing" in f for f in failures
+        )
 
 
 class TestMain:
