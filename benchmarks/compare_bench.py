@@ -29,8 +29,10 @@ GUARDED = (
     ("cluster_step", "speedup"),
     ("server", "speedup"),
     ("server", "binary_speedup"),
+    ("server", "report_replay_speedup"),
     ("wire", "speedup_16"),
     ("fleet", "speedup_4"),
+    ("fleet", "skew_speedup"),
 )
 
 #: (section, key, ceiling) fractions guarded against an absolute ceiling —
@@ -55,6 +57,9 @@ FLOORS = (
     # the largest ramp point that completed its full workload within the
     # error budget: one async binary server must sustain >= 256 sessions
     ("capacity", "sessions_floor", 256),
+    # live rebalancing under zipf skew must cut the makespan by >= 1.5x —
+    # below this the planner/migration path is no longer paying its way
+    ("fleet", "skew_speedup", 1.5),
 )
 
 

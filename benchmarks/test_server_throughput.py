@@ -62,13 +62,23 @@ TRANSPORTS = {
 
 
 def _update_bench_json(section: str, payload: dict) -> None:
-    """Read-modify-write one section so the smoke tests compose in any order."""
+    """Read-modify-write one section so the smoke tests compose in any order.
+
+    Merges into an existing section (rather than replacing it) so tests
+    that contribute different keys to the same section — e.g. the serving
+    matrix and the report-replay microbench, both under ``server`` —
+    compose too.
+    """
     data = {}
     if BENCH_JSON.exists():
         data = json.loads(BENCH_JSON.read_text())
     data["schema"] = 1
     data["cpu_count"] = os.cpu_count()
-    data[section] = payload
+    section_data = data.get(section)
+    if isinstance(section_data, dict):
+        section_data.update(payload)
+    else:
+        data[section] = payload
     BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     print(f"\n[bench_smoke] {section} -> {BENCH_JSON}")
 

@@ -195,12 +195,19 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="additionally cap any one session's in-flight "
                          "work at N units (requires --max-pending)")
-    p_serve.add_argument("--shed-policy", choices=["reject", "fair"],
+    p_serve.add_argument("--shed-policy", choices=["reject", "fair", "rate"],
                          default="reject",
                          help="how --max-pending sheds: 'reject' refuses "
                          "everything past the global budget; 'fair' also "
                          "splits the budget evenly across active sessions "
-                         "so one hot session cannot starve the rest")
+                         "so one hot session cannot starve the rest; "
+                         "'rate' is a token bucket (capacity --max-pending, "
+                         "refilled at --refill-rate) bounding sustained "
+                         "throughput instead of instantaneous depth")
+    p_serve.add_argument("--refill-rate", type=float, default=None,
+                         metavar="UNITS_PER_S",
+                         help="token-bucket refill rate in message units "
+                         "per second (required with --shed-policy rate)")
     p_serve.add_argument("--retry-after-ms", type=float, default=50.0,
                          metavar="MS",
                          help="base backoff hint sent with 'busy' errors; "
@@ -251,6 +258,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--max-pending", type=int, default=None, metavar="N",
                          help="per-shard admission budget (passed through "
                          "to every shard's --max-pending)")
+    p_fleet.add_argument("--rebalance", action="store_true",
+                         help="enable proactive load-aware rebalancing: the "
+                         "coordinator watches heartbeat load reports and "
+                         "live-migrates hot sessions onto quiet shards")
+    p_fleet.add_argument("--skew", choices=["none", "uniform", "zipf",
+                                            "pareto"],
+                         default="none",
+                         help="shape the per-session sweep load (zipf/pareto "
+                         "concentrate work on the first sessions — the "
+                         "workload --rebalance is built to spread out)")
+    p_fleet.add_argument("--join", action="append", default=None,
+                         metavar="HOST:PORT",
+                         help="attach an externally started 'repro serve "
+                         "--coordinator' shard instead of spawning localhost "
+                         "subprocesses (repeatable; with --join, --shards is "
+                         "ignored and start blocks until every listed shard "
+                         "registers)")
+    p_fleet.add_argument("--coordinator-port", type=int, default=0,
+                         metavar="PORT",
+                         help="fixed coordinator listen port (default: "
+                         "ephemeral; pick one so --join shards know where "
+                         "to register)")
 
     p_load = sub.add_parser(
         "loadgen",
@@ -547,6 +576,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --max-session-pending requires --max-pending",
               file=sys.stderr)
         return 2
+    if args.shed_policy == "rate" and (
+        args.max_pending is None or args.refill_rate is None
+    ):
+        print("error: --shed-policy rate requires --max-pending and "
+              "--refill-rate", file=sys.stderr)
+        return 2
+    if args.refill_rate is not None and args.shed_policy != "rate":
+        print("error: --refill-rate only applies to --shed-policy rate",
+              file=sys.stderr)
+        return 2
     if args.max_pending is not None:
         from repro.harmony.admission import AdmissionController
 
@@ -557,6 +596,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_session_pending=args.max_session_pending,
             policy=args.shed_policy,
             retry_after_s=args.retry_after_ms / 1e3,
+            refill_rate=args.refill_rate,
         )
     transport_cls = (
         AsyncTcpServerTransport if args.transport == "async"
@@ -588,6 +628,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 host=args.host, port=transport.port,
                 wal_dir=args.wal_dir, shard_id=args.shard_id,
                 metrics=metrics, tracer=tracer,
+                load_fn=server.load_report,
             )
             shard = agent.start()
             print(f"joined fleet at {args.coordinator} as shard {shard} "
@@ -654,10 +695,30 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         sweep_results,
     )
 
+    n_shards = args.shards
+    join = None
+    if args.join:
+        join = []
+        for spec in args.join:
+            host, _, port = spec.rpartition(":")
+            join.append((host or "127.0.0.1", int(port)))
+        n_shards = len(join)
     n_sessions = (
-        args.sessions if args.sessions is not None else 2 * args.shards
+        args.sessions if args.sessions is not None else 2 * n_shards
     )
     sessions = [f"sweep-{i}" for i in range(n_sessions)]
+    steps = [args.steps] * n_sessions
+    if args.skew != "none":
+        if args.baseline_check:
+            print("error: --skew reshapes per-session work, so there is no "
+                  "matching single-server baseline; drop --baseline-check",
+                  file=sys.stderr)
+            return 2
+        from repro.loadgen import session_weights
+
+        weights = session_weights(n_sessions, dist=args.skew)
+        steps = [max(2, round(args.steps * w * n_sessions)) for w in weights]
+        print(f"skewed sweep ({args.skew}): per-session steps {steps}")
     stack = contextlib.ExitStack()
     with stack:
         base = (
@@ -667,15 +728,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             )))
         )
         fleet = stack.enter_context(FleetSupervisor(
-            args.shards, base_dir=base,
+            n_shards, base_dir=base,
             tuner=args.tuner, seed=args.seed, k=args.k,
             estimator=args.estimator,
             transport=args.transport, wire=args.wire,
             lease_s=args.lease_s, wal=not args.no_wal,
             max_pending=args.max_pending,
+            rebalance=args.rebalance,
+            join=join,
+            coordinator_port=args.coordinator_port,
         ))
         print(f"fleet up: coordinator at {fleet.host}:{fleet.coordinator_port}, "
-              f"{args.shards} shard(s), state under {base}")
+              f"{n_shards} shard(s){' (joined)' if join else ''}, "
+              f"state under {base}")
         endpoint = None
         if args.metrics_port is not None:
             from repro.obs.prom import MetricsEndpoint
@@ -698,7 +763,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             client = fleet.client(name)
             client.open_session(name, k=args.k, estimator=args.estimator)
             client.register(bench_space())
-            session_workload(client, idx, steps=args.steps, seed=args.seed)
+            session_workload(client, idx, steps=steps[idx], seed=args.seed)
             results[name] = sweep_results(client)
             client.transport.close()
             print(f"  {name}: best {results[name]['best_cost']:.4f} "
@@ -709,9 +774,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               f"{len(status['sessions'])} sessions placed")
         counters = fleet.metrics.snapshot()["counters"]
         for key in ("fleet.locates", "fleet.heartbeats",
-                    "fleet.expired_shards", "fleet.rehomed_sessions"):
+                    "fleet.expired_shards", "fleet.rehomed_sessions",
+                    "fleet.migrations", "fleet.migration_failures"):
             if counters.get(key):
                 print(f"  {key:24s}: {counters[key]}")
+        if args.rebalance and "rebalance" in status:
+            reb = status["rebalance"]
+            print(f"  rebalance: tick {reb['tick']}, "
+                  f"hot shard {reb['hot_shard']}, "
+                  f"{len(reb['inflight'])} migration(s) in flight")
         if args.baseline_check:
             baseline = single_server_baseline(
                 sessions, tuner=args.tuner, seed=args.seed,

@@ -9,6 +9,13 @@ re-homes sessions from dead shards onto survivors through the per-session
 checkpoint + WAL-recovery machinery — bit-identically, so a sweep that
 lost a shard mid-run finishes with the same results as one that didn't.
 
+With rebalancing enabled (``repro fleet --rebalance``), the coordinator
+also migrates sessions *proactively*: shard heartbeats carry load
+reports, a WAL-logged :class:`~repro.fleet.rebalance.RebalancePlanner`
+detects sustained skew, and hot sessions are drained live onto quiet
+shards (``export_session`` → ``adopt_session``) without losing a single
+report.
+
 Entry points: ``repro fleet`` (CLI), :class:`FleetSupervisor` (launch a
 local fleet programmatically), :func:`fleet_client` (a coordinator-routed
 :class:`~repro.harmony.client.TuningClient`).
@@ -23,6 +30,7 @@ from repro.fleet.launch import (
     single_server_baseline,
     sweep_results,
 )
+from repro.fleet.rebalance import RebalancePlanner
 from repro.fleet.registry import FleetRegistry, recover_registry
 from repro.fleet.shard import ShardAgent
 
@@ -31,6 +39,7 @@ __all__ = [
     "FleetRegistry",
     "FleetResolver",
     "FleetSupervisor",
+    "RebalancePlanner",
     "ShardAgent",
     "bench_space",
     "fleet_client",

@@ -37,6 +37,20 @@ bit-identically — the same guarantee the single-server crash battery
 proves, lifted to the fleet.  Shards without a WAL directory re-home as
 *fresh* sessions (available, but with search state lost).
 
+**Rebalancing.**  With a :class:`~repro.fleet.rebalance.RebalancePlanner`
+attached, the coordinator also moves sessions *proactively*: shard
+heartbeats carry load reports (per-session smoothed request rates), the
+planner detects sustained skew, and the coordinator drains the hottest
+sessions onto quiet shards with the ``export_session`` → ``adopt_session``
+live-migration pair (see :meth:`FleetCoordinator._migrate_locked`).  The
+source quiesces the session under its lock and hands over the full state
+dict — tuner, in-flight batch, reply caches, nonces — so the move is
+lossless and exactly-once survives it; clients chasing the source's
+``moved`` tombstone re-resolve through ``locate`` and land on the new
+owner.  Planner commands are WAL-logged as ``{"t": "plan", "c": ...}``
+records in the registry WAL, so a coordinator restart recovers the
+planner (cooldowns, hysteresis streak) along with the ownership map.
+
 Session-addressed ops sent to the coordinator by mistake are answered with
 an ``ok: false`` response carrying a ``redirect`` field, which the client
 surfaces as :class:`repro.harmony.client.ServerRedirect`.
@@ -88,11 +102,14 @@ class FleetCoordinator:
         adopt_timeout: float = 10.0,
         clock: Callable[[], float] = time.monotonic,
         admission: Any | None = None,
+        rebalance: Any | None = None,
     ) -> None:
         if lease_s <= 0:
             raise ValueError(f"lease_s must be positive, got {lease_s}")
         self._tuner_factory = tuner_factory
         self._plan = plan
+        #: optional :class:`~repro.fleet.rebalance.RebalancePlanner`
+        self.planner = rebalance
         #: optional :class:`~repro.harmony.admission.AdmissionController`;
         #: the serving transports enforce it in front of :meth:`handle`
         self.admission = admission
@@ -107,7 +124,14 @@ class FleetCoordinator:
         self._checker: threading.Thread | None = None
         self._checker_stop = threading.Event()
         if wal_dir is not None:
-            self.registry, self._wal, stats = recover_registry(wal_dir, sync=sync)
+            self.registry, self._wal, stats = recover_registry(
+                wal_dir, sync=sync, planner=self.planner,
+            )
+            # Migrations in flight when the old process died never finished
+            # their transfer; mark them failed so the planner can try again.
+            if self.planner is not None:
+                for name in sorted(self.planner.inflight):
+                    self._apply_plan({"c": "complete", "session": name, "ok": False})
             # Restart grace: the old process's monotonic lease clocks are
             # meaningless here, so every shard that was alive gets one fresh
             # lease (logged, so a replay of this log is still deterministic)
@@ -145,6 +169,15 @@ class FleetCoordinator:
 
     # -- the logged mutation path --------------------------------------------------
 
+    def _snapshot_state(self) -> dict:
+        """What a WAL snapshot record carries: registry (+ planner) state."""
+        if self.planner is None:
+            return self.registry.state_dict()
+        return {
+            "registry": self.registry.state_dict(),
+            "planner": self.planner.state_dict(),
+        }
+
     def _apply(self, cmd: dict) -> dict:
         """Apply one registry command and append it to the WAL (if attached).
 
@@ -156,7 +189,16 @@ class FleetCoordinator:
         if result.get("applied") and self._wal is not None:
             self._wal.append({"t": "fleet", "c": cmd})
             if self._wal.should_snapshot():
-                self._wal.snapshot(self.registry.state_dict())
+                self._wal.snapshot(self._snapshot_state())
+        return result
+
+    def _apply_plan(self, cmd: dict) -> dict:
+        """Apply one planner command and append it to the WAL (if attached)."""
+        result = self.planner.apply(cmd)
+        if result.get("applied") and self._wal is not None:
+            self._wal.append({"t": "plan", "c": cmd})
+            if self._wal.should_snapshot():
+                self._wal.snapshot(self._snapshot_state())
         return result
 
     # -- WAL surface the transports expect ----------------------------------------
@@ -187,6 +229,10 @@ class FleetCoordinator:
             while not self._checker_stop.wait(max(0.01, interval)):
                 try:
                     self.check_leases()
+                except Exception:  # pragma: no cover - keep the checker alive
+                    pass
+                try:
+                    self.check_rebalance()
                 except Exception:  # pragma: no cover - keep the checker alive
                     pass
 
@@ -322,6 +368,126 @@ class FleetCoordinator:
                     except Exception:  # pragma: no cover
                         pass
 
+    # -- proactive rebalancing ----------------------------------------------------
+
+    def _observe_command(self) -> dict[str, Any]:
+        """Build the planner's ``observe`` command from registry state.
+
+        Caller holds the lock.  Each live shard contributes its owned
+        sessions' smoothed rates from the latest heartbeat load report;
+        sessions the report has no number for count as zero (present so
+        shard totals and ownership stay consistent for the planner).
+        """
+        shards: dict[str, dict[str, float]] = {}
+        for shard in self.registry.alive_shards():
+            load = self.registry.shard_load(shard) or {}
+            rates = load.get("session_rps") or {}
+            shards[str(shard)] = {
+                name: float(rates.get(name, 0.0))
+                for name in self.registry.sessions_on(shard)
+            }
+        return {"c": "observe", "shards": shards}
+
+    def check_rebalance(self) -> list[dict[str, Any]]:
+        """One planner cycle: observe load, plan, and execute migrations.
+
+        Called from the lease-checker thread (and directly by tests).
+        Returns the moves attempted this cycle.  A no-op without an
+        attached planner or with fewer than two live shards.
+        """
+        if self.planner is None:
+            return []
+        with self._lock:
+            if len(self.registry.alive_shards()) < 2:
+                return []
+            self._apply_plan(self._observe_command())
+            moves = self._apply_plan({"c": "plan"})["moves"]
+            for move in moves:
+                ok = self._migrate_locked(
+                    move["session"], int(move["src"]), int(move["dst"])
+                )
+                self._apply_plan({
+                    "c": "complete", "session": move["session"], "ok": ok,
+                })
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "fleet.inflight_migrations", len(self.planner.inflight)
+                )
+                self.metrics.gauge("fleet.hot_streak", self.planner.hot_streak)
+            return moves
+
+    def _migrate_locked(self, session: str, src: int, dst: int) -> bool:
+        """Drain-and-move *session* from live shard *src* to live shard *dst*.
+
+        Caller holds the coordinator lock, so no ``locate`` observes the
+        move half-done.  The source's ``export_session`` quiesces the
+        session (new requests there get a ``moved`` tombstone) and returns
+        its full state dict; ``adopt_session`` on the destination restores
+        it; then the registry re-homes.  If the destination refuses, the
+        state is adopted straight back onto the source so nothing is lost.
+        """
+        from repro.harmony.transport import TcpClientTransport
+
+        src_info = self.registry.shards.get(src)
+        dst_info = self.registry.shards.get(dst)
+        if (
+            src_info is None or not src_info["alive"]
+            or dst_info is None or not dst_info["alive"]
+            or self.registry.owner(session) != src
+        ):
+            return False
+        state = None
+        src_transport = None
+        try:
+            try:
+                src_transport = TcpClientTransport(
+                    src_info["host"], src_info["port"], timeout=self.adopt_timeout,
+                )
+                response = src_transport.request(
+                    {"op": "export_session", "session": session}
+                )
+            except (OSError, ConnectionError):
+                self._inc("fleet.migration_failures")
+                self._probe_shard(src)
+                return False
+            if not response.get("ok", False):
+                # Busy batch, unknown session, … — not movable right now.
+                self._inc("fleet.migration_failures")
+                return False
+            state = response.get("state")
+            try:
+                with TcpClientTransport(
+                    dst_info["host"], dst_info["port"], timeout=self.adopt_timeout,
+                ) as dst_transport:
+                    adopted = dst_transport.request({
+                        "op": "adopt_session", "session": session, "state": state,
+                    })
+            except (OSError, ConnectionError):
+                adopted = {"ok": False}
+            if not adopted.get("ok", False):
+                # Destination refused: put the session back where it was.
+                self._inc("fleet.migration_failures")
+                try:
+                    src_transport.request({
+                        "op": "adopt_session", "session": session, "state": state,
+                    })
+                except (OSError, ConnectionError):  # pragma: no cover - src died
+                    self._probe_shard(src)
+                self._probe_shard(dst)
+                return False
+            self._apply({"c": "rehome", "session": session, "shard": dst})
+            self._inc("fleet.migrations")
+            self._emit(
+                "fleet.migrate", session=session, src_shard=src, dst_shard=dst,
+            )
+            return True
+        finally:
+            if src_transport is not None:
+                try:
+                    src_transport.close()
+                except Exception:  # pragma: no cover
+                    pass
+
     # -- routing ------------------------------------------------------------------
 
     def locate(self, session: str) -> tuple[int, str, int]:
@@ -375,6 +541,8 @@ class FleetCoordinator:
             with self._lock:
                 self._expire_and_rehome(int(message["shard"]))
             return {"ok": True, "shard": int(message["shard"])}
+        if op == "migrate_session":
+            return self._op_migrate_session(message)
         if op == "metrics":
             if self.metrics is None:
                 return error_response("metrics collection is not enabled")
@@ -410,11 +578,15 @@ class FleetCoordinator:
         shard = message.get("shard")
         if shard is None:
             return error_response("heartbeat needs a 'shard' id")
+        cmd = {
+            "c": "heartbeat", "shard": int(shard),
+            "until": self._clock() + self.lease_s,
+        }
+        load = message.get("load")
+        if isinstance(load, Mapping):
+            cmd["load"] = dict(load)
         with self._lock:
-            result = self._apply({
-                "c": "heartbeat", "shard": int(shard),
-                "until": self._clock() + self.lease_s,
-            })
+            result = self._apply(cmd)
         self._inc("fleet.heartbeats")
         # ``alive: false`` = the lease was revoked (expiry or probe); the
         # shard must stop serving — its sessions live elsewhere now.
@@ -431,6 +603,28 @@ class FleetCoordinator:
         shard, host, port = self.locate(session)
         return redirect_response(shard, host, port)
 
+    def _op_migrate_session(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Operator/test hook: move one session to a named shard now."""
+        session = message.get("session")
+        if not isinstance(session, str) or not session:
+            return error_response("migrate_session needs a 'session' name")
+        if message.get("shard") is None:
+            return error_response("migrate_session needs a target 'shard' id")
+        dst = int(message["shard"])
+        with self._lock:
+            src = self.registry.owner(session)
+            if src is None:
+                return error_response(f"session {session!r} is not assigned")
+            if src == dst:
+                return {"ok": True, "session": session, "shard": dst,
+                        "moved": False}
+            moved = self._migrate_locked(session, src, dst)
+        if not moved:
+            return error_response(
+                f"could not migrate session {session!r} to shard {dst}"
+            )
+        return {"ok": True, "session": session, "shard": dst, "moved": True}
+
     def _op_fleet_status(self) -> dict[str, Any]:
         with self._lock:
             now = self._clock()
@@ -445,8 +639,16 @@ class FleetCoordinator:
                 for shard, info in sorted(self.registry.shards.items())
             }
             sessions = dict(sorted(self.registry.sessions.items()))
-        return {"ok": True, "lease_s": self.lease_s,
-                "shards": shards, "sessions": sessions}
+            status = {"ok": True, "lease_s": self.lease_s,
+                      "shards": shards, "sessions": sessions}
+            if self.planner is not None:
+                status["rebalance"] = {
+                    "tick": self.planner.tick,
+                    "hot_shard": self.planner.hot_shard,
+                    "hot_streak": self.planner.hot_streak,
+                    "inflight": sorted(self.planner.inflight),
+                }
+        return status
 
     def _op_session_redirect(
         self, op: str, message: Mapping[str, Any]

@@ -30,6 +30,7 @@ import numpy as np
 import repro
 from repro.fleet.client import fleet_client
 from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.rebalance import RebalancePlanner
 from repro.harmony.client import TuningClient
 from repro.harmony.transport import InProcessTransport, TcpServerTransport
 from repro.obs import MetricsRegistry
@@ -160,7 +161,15 @@ class FleetSupervisor:
         host: str = "127.0.0.1",
         coordinator_port: int = 0,
         start_timeout: float = 60.0,
+        rebalance: Any = False,
+        join: list[tuple[str, int]] | None = None,
     ) -> None:
+        #: externally launched shards to await instead of spawning our own
+        #: (``repro fleet --join HOST:PORT``); each must be a ``repro serve
+        #: --coordinator`` process pointed at this coordinator's address.
+        self.join = [(str(h), int(p)) for h, p in join] if join else None
+        if self.join is not None:
+            n_shards = len(self.join)
         if n_shards < 1:
             raise ValueError("a fleet needs at least one shard")
         self.n_shards = int(n_shards)
@@ -176,12 +185,20 @@ class FleetSupervisor:
         self.seed = int(seed)
         self._start_timeout = float(start_timeout)
         self.metrics = MetricsRegistry()
+        if rebalance is True:
+            planner = RebalancePlanner()
+        elif rebalance:
+            planner = rebalance  # a pre-configured RebalancePlanner
+        else:
+            planner = None
+        self.planner = planner
         self.coordinator = FleetCoordinator(
             _tuner_factory(tuner, int(seed)),
             lease_s=float(lease_s),
             wal_dir=self.base / "coordinator-wal",
             sync=sync,
             metrics=self.metrics,
+            rebalance=planner,
         )
         self._server = TcpServerTransport(
             self.coordinator, host=host, port=int(coordinator_port)
@@ -193,12 +210,18 @@ class FleetSupervisor:
     # -- lifecycle ----------------------------------------------------------------
 
     def start(self) -> tuple[str, int]:
-        """Start the coordinator transport and all shard subprocesses."""
+        """Start the coordinator transport and all shard subprocesses.
+
+        In ``join`` mode no subprocesses are spawned — the call blocks
+        until the externally launched shards have registered (they retry
+        registration, so they may be started before or after this).
+        """
         self._server.start()
         self.coordinator_port = self._server.port
         self.coordinator.start_lease_checker()
-        for i in range(self.n_shards):
-            self._spawn_shard(i)
+        if self.join is None:
+            for i in range(self.n_shards):
+                self._spawn_shard(i)
         self._wait_for_shards(self.n_shards)
         return self.host, self.coordinator_port
 

@@ -1,0 +1,283 @@
+"""Load-aware rebalancing: a deterministic migration-planning state machine.
+
+PR 8 gave the fleet a *reactive* placement story: when a shard dies, the
+coordinator adopts its sessions elsewhere.  This module adds the
+*proactive* half — when one shard is merely **hot** (sessions whose tuning
+loops hammer it while its peers idle), the coordinator drains the hottest
+sessions onto quiet shards while everything keeps running.
+
+:class:`RebalancePlanner` is the brain, and it follows the same discipline
+as :class:`repro.fleet.registry.FleetRegistry` and
+:class:`repro.harmony.admission.AdmissionController`: a *pure command
+machine*.  Every input — load observations, planning requests, migration
+completions — is a JSON-compatible command applied through
+:meth:`RebalancePlanner.apply`, and nothing inside ``apply`` reads a clock
+or makes a nondeterministic choice.  Time is an internal ``tick`` counter
+that advances one step per ``observe`` command.  That makes the planner a
+pure function of its command stream: the coordinator WAL-logs every
+command as ``{"t": "plan", "c": {...}}`` alongside the registry's
+``fleet`` records, and a crash-restart replays the log into the identical
+planner state (property-tested in
+``tests/fleet/test_rebalance_properties.py``).
+
+Command vocabulary (the ``"c"`` field)::
+
+    observe   {"c","shards": {shard: {session: rate}}} — one load sample
+              per live shard (per-session smoothed request rates from the
+              shard agents' heartbeat load reports).  Advances the tick,
+              expires cooldowns, and updates the hot-shard streak.
+    plan      {"c"} — ask for migrations.  Returns ``{"moves": [...]}``;
+              empty unless the same shard has been skewed for
+              ``hysteresis`` consecutive observations.  Each planned move
+              is tracked as *in flight* until its ``complete`` arrives.
+    complete  {"c","session","ok"} — a migration finished (or failed).
+              Pops the in-flight entry; successful moves put the session
+              in cooldown for ``cooldown`` ticks so it cannot ping-pong.
+
+Skew detection: a shard is *hot* when its total observed rate is at least
+``min_load`` and exceeds ``skew_ratio`` times the median of the other
+shards' totals.  Hysteresis (the same shard must stay hot for
+``hysteresis`` observations) keeps one bursty sample from triggering a
+migration storm; planning resets the streak so the planner re-observes
+the post-move world before acting again.
+
+Move selection is greedy and deterministic: candidate sessions on the hot
+shard are taken in descending ``(rate, name)`` order (heaviest first —
+moving the hottest session closes the gap fastest), skipping sessions
+already in flight, in cooldown, or with zero observed rate (nothing to
+gain, and zero-rate sessions include ones the observer has no data for).
+Each candidate goes to the projected-least-loaded other shard, and only
+if the move actually shrinks the hot shard's lead; at most ``max_moves``
+moves per plan and ``max_concurrent`` migrations in flight overall.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+from typing import Any, Mapping
+
+__all__ = ["RebalancePlanner"]
+
+
+class RebalancePlanner:
+    """Deterministic skew detector and migration planner.
+
+    Not thread-safe by itself — the coordinator serializes ``apply``
+    calls under its own lock, which also fixes the WAL record order.
+
+    Parameters
+    ----------
+    skew_ratio:
+        A shard is hot when its total rate exceeds this multiple of the
+        median of the other live shards' totals (> 1).
+    min_load:
+        Ignore skew below this absolute total rate (units match the
+        observed rates, e.g. requests/second); keeps an idle fleet with
+        one trickling session from "rebalancing" noise.
+    hysteresis:
+        Consecutive observations the same shard must stay hot before
+        ``plan`` produces moves (>= 1).
+    cooldown:
+        Ticks a successfully moved session is excluded from further
+        moves (>= 0) — the anti-ping-pong guard.
+    max_moves:
+        Upper bound on moves returned by a single ``plan`` (>= 1).
+    max_concurrent:
+        Upper bound on migrations in flight at any moment (>= 1).
+    """
+
+    def __init__(
+        self,
+        *,
+        skew_ratio: float = 2.0,
+        min_load: float = 1.0,
+        hysteresis: int = 2,
+        cooldown: int = 5,
+        max_moves: int = 3,
+        max_concurrent: int = 3,
+    ) -> None:
+        if skew_ratio <= 1.0:
+            raise ValueError(f"skew_ratio must be > 1, got {skew_ratio}")
+        if min_load < 0.0:
+            raise ValueError(f"min_load must be >= 0, got {min_load}")
+        if hysteresis < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {hysteresis}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if max_moves < 1:
+            raise ValueError(f"max_moves must be >= 1, got {max_moves}")
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.skew_ratio = float(skew_ratio)
+        self.min_load = float(min_load)
+        self.hysteresis = int(hysteresis)
+        self.cooldown = int(cooldown)
+        self.max_moves = int(max_moves)
+        self.max_concurrent = int(max_concurrent)
+        #: observation counter; the planner's only notion of time
+        self.tick = 0
+        #: the shard currently on a hot streak (None = no streak)
+        self.hot_shard: int | None = None
+        #: consecutive observations :attr:`hot_shard` has been hot
+        self.hot_streak = 0
+        #: the latest observation: shard id -> {session: rate}
+        self.last_obs: dict[int, dict[str, float]] | None = None
+        #: session -> {"src", "dst"} for migrations awaiting ``complete``
+        self.inflight: dict[str, dict[str, int]] = {}
+        #: session -> tick until which it may not move again
+        self.cooldown_until: dict[str, int] = {}
+
+    # -- the command interpreter --------------------------------------------------
+
+    def apply(self, cmd: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply one command; returns ``{"applied": bool, ...}``.
+
+        Deterministic: the result (and the state transition) depends only
+        on the current state and the command's own fields.  Unknown
+        commands raise ``ValueError`` — a corrupt record, not a race.
+        """
+        kind = cmd.get("c")
+        if kind == "observe":
+            return self._observe(cmd)
+        if kind == "plan":
+            return self._plan()
+        if kind == "complete":
+            return self._complete(cmd)
+        raise ValueError(f"unknown rebalance command {kind!r}")
+
+    def _observe(self, cmd: Mapping[str, Any]) -> dict[str, Any]:
+        self.tick += 1
+        shards = {
+            int(shard): {str(n): float(r) for n, r in (rates or {}).items()}
+            for shard, rates in cmd.get("shards", {}).items()
+        }
+        self.last_obs = shards
+        self.cooldown_until = {
+            name: until
+            for name, until in self.cooldown_until.items()
+            if until > self.tick
+        }
+        totals = {s: sum(rates.values()) for s, rates in shards.items()}
+        hot: int | None = None
+        if len(totals) >= 2:
+            # deterministic argmax: highest total, ties to the lowest id
+            candidate = max(totals, key=lambda s: (totals[s], -s))
+            others = [totals[s] for s in totals if s != candidate]
+            if (
+                totals[candidate] >= self.min_load
+                and totals[candidate] > self.skew_ratio * median(others)
+            ):
+                hot = candidate
+        if hot is None:
+            self.hot_shard = None
+            self.hot_streak = 0
+        elif hot == self.hot_shard:
+            self.hot_streak += 1
+        else:
+            self.hot_shard = hot
+            self.hot_streak = 1
+        return {
+            "applied": True,
+            "tick": self.tick,
+            "hot": self.hot_shard,
+            "streak": self.hot_streak,
+        }
+
+    def _plan(self) -> dict[str, Any]:
+        hot = self.hot_shard
+        if (
+            self.last_obs is None
+            or hot is None
+            or self.hot_streak < self.hysteresis
+        ):
+            return {"applied": False, "moves": []}
+        budget = min(self.max_moves, self.max_concurrent - len(self.inflight))
+        if budget <= 0:
+            return {"applied": False, "moves": []}
+        movable = sorted(
+            (
+                (rate, name)
+                for name, rate in self.last_obs.get(hot, {}).items()
+                if rate > 0.0
+                and name not in self.inflight
+                and name not in self.cooldown_until
+            ),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        proj = {s: sum(r.values()) for s, r in self.last_obs.items()}
+        moves: list[dict[str, Any]] = []
+        for rate, name in movable:
+            if len(moves) >= budget:
+                break
+            targets = [s for s in proj if s != hot]
+            if not targets:
+                break
+            dst = min(targets, key=lambda s: (proj[s], s))
+            if proj[dst] + rate >= proj[hot]:
+                # moving this session would just relocate the hot spot
+                continue
+            moves.append({"session": name, "src": hot, "dst": dst, "rate": rate})
+            proj[hot] -= rate
+            proj[dst] += rate
+            self.inflight[name] = {"src": hot, "dst": dst}
+        if moves:
+            # force a fresh hysteresis window so the next plan sees the
+            # post-migration world instead of acting on stale skew
+            self.hot_shard = None
+            self.hot_streak = 0
+        return {"applied": bool(moves), "moves": moves}
+
+    def _complete(self, cmd: Mapping[str, Any]) -> dict[str, Any]:
+        name = str(cmd["session"])
+        entry = self.inflight.pop(name, None)
+        if entry is None:
+            return {"applied": False}
+        if bool(cmd.get("ok", True)) and self.cooldown > 0:
+            self.cooldown_until[name] = self.tick + self.cooldown
+        return {"applied": True}
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-compatible full state (rides in the coordinator snapshot)."""
+        return {
+            "tick": self.tick,
+            "hot_shard": self.hot_shard,
+            "hot_streak": self.hot_streak,
+            "last_obs": (
+                {
+                    str(shard): dict(sorted(rates.items()))
+                    for shard, rates in sorted(self.last_obs.items())
+                }
+                if self.last_obs is not None
+                else None
+            ),
+            "inflight": {
+                name: dict(move) for name, move in sorted(self.inflight.items())
+            },
+            "cooldown_until": dict(sorted(self.cooldown_until.items())),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Rebuild from a :meth:`state_dict` snapshot."""
+        self.tick = int(state.get("tick", 0))
+        hot = state.get("hot_shard")
+        self.hot_shard = int(hot) if hot is not None else None
+        self.hot_streak = int(state.get("hot_streak", 0))
+        obs = state.get("last_obs")
+        self.last_obs = (
+            {
+                int(shard): {str(n): float(r) for n, r in rates.items()}
+                for shard, rates in obs.items()
+            }
+            if obs is not None
+            else None
+        )
+        self.inflight = {
+            str(name): {"src": int(move["src"]), "dst": int(move["dst"])}
+            for name, move in state.get("inflight", {}).items()
+        }
+        self.cooldown_until = {
+            str(name): int(until)
+            for name, until in state.get("cooldown_until", {}).items()
+        }

@@ -16,8 +16,11 @@ Command vocabulary (the ``"c"`` field)::
 
     register   {"c","shard","host","port","wal_dir","until"} — add a shard
                (or revive/re-address a known one) with a lease until *until*
-    heartbeat  {"c","shard","until"} — extend a live shard's lease;
-               ignored for unknown or expired shards (they must re-register)
+    heartbeat  {"c","shard","until"[,"load"]} — extend a live shard's lease;
+               ignored for unknown or expired shards (they must re-register).
+               An optional ``load`` dict (the shard agent's load report —
+               pending depth, session count, rps, per-session rates) is
+               stored on the shard and feeds the rebalance planner
     expire     {"c","shard"} — mark a shard dead; its session mappings stay
                until a ``rehome`` moves them (so recovery knows where the
                state lives)
@@ -56,7 +59,7 @@ class FleetRegistry:
     """
 
     def __init__(self) -> None:
-        #: shard id -> {"host", "port", "wal_dir", "until", "alive"}
+        #: shard id -> {"host", "port", "wal_dir", "until", "alive", "load"}
         self.shards: dict[int, dict[str, Any]] = {}
         #: session name -> owning shard id
         self.sessions: dict[str, int] = {}
@@ -98,6 +101,11 @@ class FleetRegistry:
                 loads[owner] += 1
         return min(alive, key=lambda s: (loads[s], s))
 
+    def shard_load(self, shard: int) -> dict[str, Any] | None:
+        """The last heartbeat load report for *shard* (None = never sent)."""
+        info = self.shards.get(shard)
+        return info.get("load") if info is not None else None
+
     def expired(self, now: float) -> list[int]:
         """Live shards whose lease ended before *now*, ascending."""
         return sorted(
@@ -124,6 +132,7 @@ class FleetRegistry:
                 "wal_dir": cmd.get("wal_dir"),
                 "until": float(cmd["until"]),
                 "alive": True,
+                "load": None,
             }
             return {"applied": True, "shard": shard}
         if kind == "heartbeat":
@@ -132,6 +141,9 @@ class FleetRegistry:
             if info is None or not info["alive"]:
                 return {"applied": False}
             info["until"] = max(info["until"], float(cmd["until"]))
+            load = cmd.get("load")
+            if isinstance(load, Mapping):
+                info["load"] = dict(load)
             return {"applied": True}
         if kind == "expire":
             shard = int(cmd["shard"])
@@ -172,6 +184,7 @@ class FleetRegistry:
                 "wal_dir": info.get("wal_dir"),
                 "until": float(info["until"]),
                 "alive": bool(info["alive"]),
+                "load": dict(info["load"]) if info.get("load") else None,
             }
             for shard, info in state.get("shards", {}).items()
         }
@@ -187,6 +200,7 @@ def recover_registry(
     sync: str = "batch",
     segment_bytes: int = 16 << 20,
     snapshot_bytes: int = 4 << 20,
+    planner: Any | None = None,
 ) -> tuple[FleetRegistry, WalWriter, dict]:
     """Rebuild a registry from its WAL directory; returns ``(registry, wal, stats)``.
 
@@ -195,15 +209,30 @@ def recover_registry(
     any torn tail, and attach a fresh :class:`WalWriter` continuing in the
     same directory.  An empty (or absent) directory yields a blank registry,
     so first boot and restart share one code path.
+
+    When *planner* is given (a :class:`repro.fleet.rebalance.RebalancePlanner`)
+    its state rides in the same WAL: snapshots become the combined
+    ``{"registry": ..., "planner": ...}`` form (detected by the
+    ``"registry"`` key; legacy plain registry snapshots still restore) and
+    ``{"t": "plan"}`` records replay through ``planner.apply``.
     """
     snapshot, ops, stats = replay_dir(wal_dir)
     registry = FleetRegistry()
     if snapshot is not None:
-        registry.restore_state(snapshot)
+        if "registry" in snapshot:
+            registry.restore_state(snapshot["registry"])
+            if planner is not None and snapshot.get("planner") is not None:
+                planner.restore_state(snapshot["planner"])
+        else:
+            registry.restore_state(snapshot)
     replayed = 0
     for record in ops:
-        if record.get("t") == "fleet":
+        kind = record.get("t")
+        if kind == "fleet":
             registry.apply(record["c"])
+            replayed += 1
+        elif kind == "plan" and planner is not None:
+            planner.apply(record["c"])
             replayed += 1
     truncate_torn_tail(stats)
     wal = WalWriter(

@@ -8,6 +8,16 @@ heartbeat responses for ``alive: false`` — the coordinator's signal that
 the lease was revoked and the shard's sessions have been re-homed, at
 which point the shard must stop serving (``repro serve`` drains its loop
 via the *on_revoked* callback).
+
+With a *load_fn* attached (``repro serve --coordinator`` wires it to
+:meth:`repro.harmony.server.TuningServer.load_report`), every heartbeat
+also carries a load report: pending admission depth, session count, and
+per-session smoothed request rates.  The agent samples the server's
+cumulative per-session report counters at each beat, diffs them against
+the previous sample, and folds the instantaneous rates into an EWMA — so
+the coordinator's rebalance planner sees sustained load, not one bursty
+interval.  Sessions that vanish between beats (migrated away) drop out of
+the EWMA immediately.
 """
 
 from __future__ import annotations
@@ -37,6 +47,8 @@ class ShardAgent:
         metrics: Any | None = None,
         tracer: Any | None = None,
         on_revoked: Callable[[], None] | None = None,
+        load_fn: Callable[[], dict] | None = None,
+        load_alpha: float = 0.5,
     ) -> None:
         self._addr = (str(coordinator_addr[0]), int(coordinator_addr[1]))
         self._host = host
@@ -49,6 +61,13 @@ class ShardAgent:
         self.metrics = metrics
         self.tracer = tracer
         self._on_revoked = on_revoked
+        self._load_fn = load_fn
+        self._load_alpha = float(load_alpha)
+        #: last cumulative per-session report counters and sample time
+        self._last_counts: dict[str, int] = {}
+        self._last_sample: float | None = None
+        #: session name -> EWMA requests/second
+        self._rates: dict[str, float] = {}
         #: set when the coordinator revoked our lease — stop serving.
         self.revoked = threading.Event()
         self._stop = threading.Event()
@@ -98,13 +117,57 @@ class ShardAgent:
         self._beat.start()
         return self.shard_id
 
+    def sample_load(self, now: float | None = None) -> dict | None:
+        """Diff the server's cumulative counters into the heartbeat load dict.
+
+        Returns ``None`` without a *load_fn* (or when it fails — a load
+        report is best-effort, a heartbeat must still go out).  Public so
+        tests (and operators) can drive the EWMA with an explicit clock.
+        """
+        if self._load_fn is None:
+            return None
+        try:
+            report = self._load_fn()
+        except Exception:  # pragma: no cover - never fail the heartbeat
+            return None
+        now = time.monotonic() if now is None else float(now)
+        counts = {
+            str(name): int(n) for name, n in (report.get("reports") or {}).items()
+        }
+        if self._last_sample is not None:
+            elapsed = max(1e-6, now - self._last_sample)
+            alpha = self._load_alpha
+            for name, count in counts.items():
+                inst = max(0, count - self._last_counts.get(name, 0)) / elapsed
+                prev = self._rates.get(name)
+                self._rates[name] = (
+                    inst if prev is None else alpha * inst + (1.0 - alpha) * prev
+                )
+            # sessions gone from the report (closed or migrated away)
+            for name in list(self._rates):
+                if name not in counts:
+                    del self._rates[name]
+        self._last_counts = counts
+        self._last_sample = now
+        session_rps = {n: round(r, 3) for n, r in sorted(self._rates.items())}
+        load = {
+            "sessions": int(report.get("sessions", len(counts))),
+            "rps": round(sum(self._rates.values()), 3),
+            "session_rps": session_rps,
+        }
+        if "pending" in report:
+            load["pending"] = int(report["pending"])
+        return load
+
     def _heartbeat_loop(self) -> None:
         interval = max(0.05, (self.lease_s or 1.0) / 3.0)
         while not self._stop.wait(interval):
+            message: dict = {"op": "heartbeat", "shard": self.shard_id}
+            load = self.sample_load()
+            if load is not None:
+                message["load"] = load
             try:
-                response = self._request(
-                    {"op": "heartbeat", "shard": self.shard_id}
-                )
+                response = self._request(message)
             except (OSError, ConnectionError):
                 # Coordinator unreachable: keep trying — the lease may
                 # still be renewed before it runs out.

@@ -34,18 +34,27 @@ Shed policies:
   per-session cap (``max_session_pending``);
 * ``"fair"`` — the per-session cap is derived dynamically as an equal
   share of the global budget across currently-active sessions (sessions
-  with work in flight), so one hot session cannot starve the rest.
+  with work in flight), so one hot session cannot starve the rest;
+* ``"rate"`` — a token bucket: capacity ``max_pending`` units, refilled
+  at ``refill_rate`` units/second, so admission bounds the *sustained
+  rate* (with a burst allowance of one full bucket) instead of the
+  instantaneous depth.  The bucket-full escape mirrors the idle-budget
+  escape: a frame heavier than the whole bucket is admitted when the
+  bucket is full (clamping it to empty), so it cannot busy-loop forever.
+  The clock is injectable, which is how the Hypothesis suite drives the
+  bucket deterministically.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any
+import time
+from typing import Any, Callable
 
 __all__ = ["AdmissionController", "SHED_POLICIES"]
 
 #: accepted values for the ``policy`` knob (the CLI's ``--shed-policy``)
-SHED_POLICIES = ("reject", "fair")
+SHED_POLICIES = ("reject", "fair", "rate")
 
 
 class AdmissionController:
@@ -54,15 +63,23 @@ class AdmissionController:
     Parameters
     ----------
     max_pending:
-        Global budget in message units (>= 1).
+        Global budget in message units (>= 1).  Under ``policy="rate"``
+        this is the bucket *capacity* (the burst allowance).
     max_session_pending:
-        Optional fixed per-session budget (``policy="reject"`` only).
+        Optional fixed per-session budget (``policy="reject"``/``"rate"``).
     policy:
-        ``"reject"`` or ``"fair"`` — see the module docstring.
+        ``"reject"``, ``"fair"``, or ``"rate"`` — see the module docstring.
     retry_after_s:
         Base retry hint carried in busy responses; the hint grows with
         the overload ratio so deeply saturated servers push clients
         further out.
+    refill_rate:
+        Token-bucket refill in message units per second (``policy="rate"``
+        only, required there, must be > 0).
+    clock:
+        Monotonic-seconds source for the bucket (default
+        :func:`time.monotonic`); injectable so tests can drive refills
+        deterministically.
     """
 
     def __init__(
@@ -72,6 +89,8 @@ class AdmissionController:
         max_session_pending: int | None = None,
         policy: str = "reject",
         retry_after_s: float = 0.05,
+        refill_rate: float | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -85,12 +104,27 @@ class AdmissionController:
             )
         if retry_after_s <= 0.0:
             raise ValueError(f"retry_after_s must be > 0, got {retry_after_s}")
+        if policy == "rate":
+            if refill_rate is None or refill_rate <= 0.0:
+                raise ValueError(
+                    f"policy 'rate' needs refill_rate > 0, got {refill_rate}"
+                )
+        elif refill_rate is not None:
+            raise ValueError(
+                f"refill_rate only applies to policy 'rate', not {policy!r}"
+            )
         self.max_pending = int(max_pending)
         self.max_session_pending = (
             int(max_session_pending) if max_session_pending is not None else None
         )
         self.policy = policy
         self.retry_after_s = float(retry_after_s)
+        self.refill_rate = float(refill_rate) if refill_rate is not None else None
+        self._clock = clock if clock is not None else time.monotonic
+        #: token bucket state (policy "rate"): starts full so the first
+        #: burst up to one capacity is admitted immediately
+        self._tokens = float(self.max_pending)
+        self._last_refill = self._clock()
         self._lock = threading.Lock()
         self._pending = 0
         self._admitted = 0
@@ -112,17 +146,35 @@ class AdmissionController:
             return max(1, self.max_pending // max(1, active))
         return self.max_session_pending
 
+    def _refill(self) -> None:
+        """Advance the token bucket to now (caller holds the lock)."""
+        now = self._clock()
+        elapsed = now - self._last_refill
+        self._last_refill = now
+        if elapsed > 0.0:
+            self._tokens = min(
+                float(self.max_pending), self._tokens + elapsed * self.refill_rate
+            )
+
     def try_admit(self, weight: int = 1, session: str | None = None) -> bool:
         """Admit *weight* units of work (or shed them, returning False).
 
         An idle budget (``pending == 0``) always admits, even a frame
         heavier than ``max_pending`` — otherwise that frame could never
-        be served.  The same escape applies per session.
+        be served.  The same escape applies per session, and as the
+        bucket-full escape under ``policy="rate"``.
         """
         if weight <= 0:
             return True
         with self._lock:
-            if self._pending > 0 and self._pending + weight > self.max_pending:
+            if self.policy == "rate":
+                self._refill()
+                full = self._tokens >= float(self.max_pending)
+                if self._tokens < weight and not full:
+                    self._shed += weight
+                    self._shed_events += 1
+                    return False
+            elif self._pending > 0 and self._pending + weight > self.max_pending:
                 self._shed += weight
                 self._shed_events += 1
                 return False
@@ -134,6 +186,8 @@ class AdmissionController:
                     self._shed_events += 1
                     return False
                 self._session_pending[session] = held + weight
+            if self.policy == "rate":
+                self._tokens = max(0.0, self._tokens - weight)
             self._pending += weight
             self._admitted += weight
             if self._pending > self._peak_pending:
@@ -192,15 +246,31 @@ class AdmissionController:
             return self._shed
 
     @property
-    def retry_after(self) -> float:
-        """The hint for busy responses: base, scaled by the overload ratio."""
+    def tokens(self) -> float:
+        """Current token-bucket level (``policy="rate"``; refreshed to now)."""
         with self._lock:
+            if self.policy == "rate":
+                self._refill()
+            return self._tokens
+
+    @property
+    def retry_after(self) -> float:
+        """The hint for busy responses: base, scaled by the overload ratio.
+
+        Under ``policy="rate"`` the hint is the time until one unit of
+        budget refills (at least the base), so clients back off in step
+        with the configured rate instead of a fixed depth ratio.
+        """
+        with self._lock:
+            if self.policy == "rate":
+                deficit = max(0.0, 1.0 - self._tokens)
+                return max(self.retry_after_s, deficit / self.refill_rate)
             return self.retry_after_s * (1.0 + self._pending / self.max_pending)
 
     def snapshot(self) -> dict[str, Any]:
         """All counters at once (consistent under one lock acquisition)."""
         with self._lock:
-            return {
+            snap = {
                 "max_pending": self.max_pending,
                 "policy": self.policy,
                 "pending": self._pending,
@@ -211,3 +281,7 @@ class AdmissionController:
                 "shed_events": self._shed_events,
                 "sessions": dict(self._session_pending),
             }
+            if self.policy == "rate":
+                snap["tokens"] = self._tokens
+                snap["refill_rate"] = self.refill_rate
+            return snap

@@ -39,6 +39,7 @@ Message types and payloads::
                        session[slen]  tokens int32[n]  times float64[n]
     POINTS       0x81  <I n> <I dim>  tokens int32[n]  points float64[n*dim]
     ACK          0x82  <I n_ok> <I n_stale>
+    MOVED        0x85  <H slen> session[slen]
     ERROR        0x7f  utf-8 error text (<= ERROR_TEXT_MAX bytes)
 
 The ``2`` request variants (wire version 2) add an exactly-once stamp: a
@@ -79,6 +80,7 @@ __all__ = [
     "MSG_ERROR",
     "MSG_REDIRECT",
     "MSG_BUSY",
+    "MSG_MOVED",
     "FrameSplitter",
     "WireError",
     "encode_frame",
@@ -89,6 +91,7 @@ __all__ = [
     "encode_busy",
     "encode_error",
     "encode_locate",
+    "encode_moved",
     "encode_redirect",
     "peek_load",
     "decode_locate",
@@ -125,6 +128,7 @@ MSG_POINTS = 0x81
 MSG_ACK = 0x82
 MSG_REDIRECT = 0x83
 MSG_BUSY = 0x84
+MSG_MOVED = 0x85
 MSG_ERROR = 0x7F
 
 _HEADER = struct.Struct("<BBII")
@@ -250,6 +254,16 @@ def encode_busy(seq: int, retry_after: float) -> bytes:
     :func:`repro.harmony.protocol.busy_response`.  The payload is one
     float64 — the ``retry_after`` hint in seconds."""
     return encode_frame(MSG_BUSY, seq, _BUSY.pack(float(retry_after)))
+
+
+def encode_moved(seq: int, session: str) -> bytes:
+    """The live-migration tombstone frame: *session* left this shard.
+
+    The binary sibling of :func:`repro.harmony.protocol.moved_response`;
+    clients re-resolve through the coordinator instead of retrying here.
+    """
+    ses = session.encode("utf-8")
+    return encode_frame(MSG_MOVED, seq, _LOCATE_HEAD.pack(len(ses)) + ses)
 
 
 def encode_error(seq: int, text: str) -> bytes:
@@ -439,6 +453,20 @@ def decode_response(msg_type: int, payload: bytes) -> tuple[Any, ...]:
             )
         (retry_after,) = _BUSY.unpack(payload)
         return "busy", retry_after
+    if msg_type == MSG_MOVED:
+        if len(payload) < _LOCATE_HEAD.size:
+            raise WireError("moved payload shorter than its header")
+        (slen,) = _LOCATE_HEAD.unpack_from(payload)
+        if len(payload) != _LOCATE_HEAD.size + slen:
+            raise WireError(
+                f"moved payload is {len(payload)} bytes, "
+                f"expected {_LOCATE_HEAD.size + slen}"
+            )
+        try:
+            session = payload[_LOCATE_HEAD.size:].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"moved session is not valid UTF-8: {exc}") from exc
+        return "moved", session
     if msg_type == MSG_ERROR:
         return "error", payload[:ERROR_TEXT_MAX].decode("utf-8", errors="replace")
     raise WireError(f"unknown binary response type 0x{msg_type:02x}")
@@ -550,10 +578,14 @@ class FrameSplitter:
 
 def _lookup_session(server: Any, name: str):
     """Resolve a session the way the dict protocol does (empty = default)."""
-    from repro.harmony.server import DEFAULT_SESSION
+    from repro.harmony.server import DEFAULT_SESSION, SessionMovedAway
 
-    session = server.session(name or DEFAULT_SESSION)
+    resolved = name or DEFAULT_SESSION
+    session = server.session(resolved)
     if session is None:
+        moved = getattr(server, "moved_sessions", None)
+        if moved is not None and resolved in moved():
+            raise SessionMovedAway(resolved)
         raise LookupError(
             f"no such session {name!r}; open it with op 'open_session'"
         )
@@ -567,8 +599,12 @@ def dispatch_frame(server: Any, msg_type: int, seq: int, payload: bytes) -> byte
     is a :class:`~repro.harmony.server.TuningServer` (duck-typed).  Errors
     of any kind — malformed payloads, unknown sessions, invalid
     measurements — come back as an ERROR frame with the text capped at
-    :data:`ERROR_TEXT_MAX` bytes; the server never dies on a frame.
+    :data:`ERROR_TEXT_MAX` bytes; the server never dies on a frame.  A
+    session exported by live migration answers with a MOVED frame instead,
+    so clients re-resolve rather than surface an error.
     """
+    from repro.harmony.server import SessionMovedAway
+
     try:
         if msg_type == MSG_FETCH_MANY:
             client_id, n, name = decode_fetch_many(payload)
@@ -617,6 +653,8 @@ def dispatch_frame(server: Any, msg_type: int, seq: int, payload: bytes) -> byte
             shard, host, port = locate(name)
             return encode_redirect(seq, shard, host, port)
         return encode_error(seq, f"unknown binary frame type 0x{msg_type:02x}")
+    except SessionMovedAway as exc:
+        return encode_moved(seq, exc.session)
     except Exception as exc:  # protocol boundary: never let the server die
         return encode_error(seq, f"{type(exc).__name__}: {exc}")
 

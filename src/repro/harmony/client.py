@@ -50,12 +50,13 @@ from repro.harmony.protocol import (
     DEFAULT_RETRY_AFTER_S,
     PROTOCOL_VERSION,
     ServerBusy,
+    SessionMoved,
 )
 from repro.harmony.transport import Transport, n_wire_chunks
 from repro.space import ParameterSpace
 from repro.space.serialize import space_to_spec
 
-__all__ = ["ServerBusy", "ServerRedirect", "TuningClient"]
+__all__ = ["ServerBusy", "ServerRedirect", "SessionMoved", "TuningClient"]
 
 
 class ServerRedirect(RuntimeError):
@@ -144,6 +145,8 @@ class TuningClient:
                 if not isinstance(retry_after, (int, float)):
                     retry_after = DEFAULT_RETRY_AFTER_S
                 raise ServerBusy(retry_after=retry_after)
+            if response.get("moved"):
+                raise SessionMoved(str(response.get("session", "")))
             raise RuntimeError(f"tuning server error: {response.get('error')}")
         return dict(response)
 
@@ -186,11 +189,25 @@ class TuningClient:
                 else:
                     busy_delay = min(busy_delay * 2.0, self._busy_backoff_cap)
                 time.sleep(min(busy_delay, self._busy_backoff_cap))
-            except (ConnectionError, OSError, TimeoutError):
+            except (ConnectionError, OSError, TimeoutError) as exc:
                 if conn_failures >= attempts:
                     raise
                 conn_failures += 1
+                if isinstance(exc, SessionMoved):
+                    self._invalidate_route()
                 self._reconnect()
+
+    def _invalidate_route(self) -> None:
+        """Drop the transport factory's cached route, if it keeps one.
+
+        A :class:`SessionMoved` answer means the cached shard address is
+        stale by construction; a factory with an ``invalidate()`` hook
+        (:class:`repro.fleet.client.FleetResolver`) re-resolves through
+        the coordinator on the next dial.
+        """
+        invalidate = getattr(self._factory, "invalidate", None)
+        if invalidate is not None:
+            invalidate()
 
     def _reconnect(self) -> None:
         """Dial a fresh transport, resume our identity, replay unacked work."""
@@ -211,6 +228,10 @@ class TuningClient:
                 return
             except (ConnectionError, OSError, TimeoutError) as exc:
                 last = exc
+                if isinstance(exc, SessionMoved):
+                    # The replayed work (or the re-register) hit a shard the
+                    # session just left: re-resolve before the next attempt.
+                    self._invalidate_route()
                 time.sleep(delay)
                 delay = min(delay * 2, 2.0)
         raise ConnectionError(f"reconnect failed after retries: {last}")

@@ -43,11 +43,13 @@ __all__ = [
     "MAX_ERROR_TEXT",
     "DEFAULT_RETRY_AFTER_S",
     "ServerBusy",
+    "SessionMoved",
     "busy_response",
     "decode_line",
     "dispatch",
     "encode_line",
     "error_response",
+    "moved_response",
     "oversized_response",
     "redirect_response",
 ]
@@ -106,6 +108,40 @@ def busy_response(retry_after: float = DEFAULT_RETRY_AFTER_S) -> dict[str, Any]:
     response = error_response("busy")
     response["busy"] = True
     response["retry_after"] = round(float(retry_after), 6)
+    return response
+
+
+class SessionMoved(ConnectionError):
+    """The addressed session migrated to another shard mid-conversation.
+
+    A ``ConnectionError`` subclass on purpose: the client's reconnect
+    machinery already knows how to re-dial, re-register, and replay
+    unacknowledged cseq-stamped reports, which is exactly the recovery a
+    live migration needs.  The only extra step is invalidating any cached
+    route first so the re-dial goes back through the coordinator.
+    """
+
+    def __init__(self, session: str = "") -> None:
+        super().__init__(
+            f"session {session!r} moved to another shard; re-resolve"
+        )
+        self.session = str(session)
+
+
+def moved_response(session: str) -> dict[str, Any]:
+    """The drain-and-move tombstone envelope.
+
+    Answered by a shard that *exported* the session (live migration) for
+    any op still addressed to it.  Unlike ``busy`` nothing should be
+    retried here — the client must re-locate via the coordinator, which
+    :class:`~repro.harmony.client.TuningClient` does by raising
+    :class:`SessionMoved` and invalidating its resolver cache.
+    """
+    response = error_response(
+        f"session {session!r} has moved; re-resolve via the coordinator"
+    )
+    response["moved"] = True
+    response["session"] = str(session)
     return response
 
 

@@ -56,11 +56,20 @@ from repro.core.sampling import (
     MinEstimator,
     SamplingPlan,
 )
-from repro.harmony.protocol import PROTOCOL_VERSION, error_response
+from repro.harmony.protocol import (
+    PROTOCOL_VERSION,
+    error_response,
+    moved_response,
+)
 from repro.space import ParameterSpace
 from repro.space.serialize import space_from_spec
 
-__all__ = ["ServerSession", "TuningServer", "DEFAULT_SESSION"]
+__all__ = [
+    "ServerSession",
+    "SessionMovedAway",
+    "TuningServer",
+    "DEFAULT_SESSION",
+]
 
 #: the session addressed when a message carries no ``session`` field
 DEFAULT_SESSION = "default"
@@ -79,6 +88,22 @@ _ESTIMATOR_NAMES = {cls: name for name, cls in _SESSION_ESTIMATORS.items()}
 #: pipelined client retries only its most recent window, so a small cache
 #: bounds memory without ever evicting a reply that can still be asked for
 _REPLY_CACHE = 64
+
+
+class SessionMovedAway(Exception):
+    """Raised inside a shard for ops addressed to an exported session.
+
+    The server-side marker behind live migration: once ``export_session``
+    has quiesced a session, any op still racing toward it (or arriving
+    later for its tombstone) raises this, and both wires translate it into
+    the *moved* envelope (:func:`repro.harmony.protocol.moved_response` on
+    JSON, ``MSG_MOVED`` on binary) so the client re-resolves through the
+    coordinator instead of retrying here.
+    """
+
+    def __init__(self, session: str) -> None:
+        super().__init__(f"session {session!r} has moved")
+        self.session = str(session)
 
 
 def _plan_spec(plan: SamplingPlan) -> dict[str, Any] | None:
@@ -128,6 +153,10 @@ class ServerSession:
         self.tuner: BatchTuner | None = None
         if space is not None:
             self.tuner = tuner_factory(space)
+        #: set under the lock by ``export_session``: the session has been
+        #: drained and shipped to another shard, so every later mutation
+        #: must bounce the client back to the coordinator
+        self.moved = False
         self._lock = threading.RLock()
         self._next_client = 0
         # active-batch state
@@ -151,6 +180,11 @@ class ServerSession:
     def _append_wal(self, record: dict) -> None:
         if self._wal is not None:
             self._wal(record)
+
+    def _check_moved(self) -> None:
+        """Bounce mutations racing a live migration (caller holds the lock)."""
+        if self.moved:
+            raise SessionMovedAway(self.name)
 
     def _client_state(self, client_id: int) -> dict[str, Any]:
         state = self._clients.get(client_id)
@@ -204,6 +238,7 @@ class ServerSession:
                 f"(server speaks {PROTOCOL_VERSION})"
             )
         with self._lock:
+            self._check_moved()
             specs = message.get("params")
             if self.space is None:
                 if not specs:
@@ -265,6 +300,7 @@ class ServerSession:
         an in-flight slot nor perturbs the assignment stream.
         """
         with self._lock:
+            self._check_moved()
             if self.tuner is None:
                 return error_response("no client has registered a space yet")
             client_id = message.get("client_id")
@@ -319,6 +355,7 @@ class ServerSession:
         lost ACK are exactly-once.
         """
         with self._lock:
+            self._check_moved()
             if self.tuner is None:
                 return error_response("no client has registered a space yet")
             client = int(message.get("client_id", -1))
@@ -384,6 +421,7 @@ class ServerSession:
         if n < 1:
             raise ValueError(f"fetch_many needs n >= 1, got {n}")
         with self._lock:
+            self._check_moved()
             if self.tuner is None:
                 raise LookupError("no client has registered a space yet")
             duplicate, cached = self._dedupe(client_id, cseq)
@@ -444,6 +482,7 @@ class ServerSession:
         ``(n_ok, n_stale)`` without absorbing anything twice.
         """
         with self._lock:
+            self._check_moved()
             if self.tuner is None:
                 raise LookupError("no client has registered a space yet")
             duplicate, cached = self._dedupe(client_id, cseq)
@@ -467,25 +506,7 @@ class ServerSession:
                 # one (step, client) cell, last measurement wins.
                 self._log[step][client] = float(times[-1])
             self.n_reports += times.size
-            n_stale = 0
-            k = self.plan.k
-            for token, t in zip(tokens.tolist(), times.tolist()):
-                if token < 0:
-                    continue
-                if token >= len(self._batch):
-                    n_stale += 1
-                    continue
-                self._assigned[token] = max(0, self._assigned[token] - 1)
-                self._samples[token].append(t)
-                if all(len(s) >= k for s in self._samples):
-                    estimates = [
-                        self.plan.combine(np.asarray(s, dtype=float))
-                        for s in self._samples
-                    ]
-                    self.tuner.tell(estimates)
-                    self._batch = []
-                    self._samples = []
-                    self._assigned = []
+            n_stale = self._absorb_reports(tokens, times)
             n_ok = int(times.size) - n_stale
             self._record_reply(client_id, cseq, ("ack", n_ok, n_stale))
             record: dict[str, Any] = {
@@ -498,6 +519,106 @@ class ServerSession:
                 record["cseq"] = int(cseq)
             self._append_wal(record)
             return n_ok, n_stale
+
+    def _tell_batch(self) -> None:
+        """Feed the completed batch to the tuner and clear the ledger."""
+        estimates = [
+            self.plan.combine(np.asarray(s, dtype=float))
+            for s in self._samples
+        ]
+        self.tuner.tell(estimates)
+        self._batch = []
+        self._samples = []
+        self._assigned = []
+
+    def _absorb_reports_scalar(
+        self, tokens: np.ndarray, times: np.ndarray
+    ) -> int:
+        """Reference absorption: op_report's per-measurement logic, in order.
+
+        Kept as the semantic spec for :meth:`_absorb_reports` — the
+        equivalence tests and the ``report_replay`` microbench drive both
+        against identical session states and require identical results.
+        Caller holds the lock and has already validated the arrays.
+        """
+        n_stale = 0
+        k = self.plan.k
+        for token, t in zip(tokens.tolist(), times.tolist()):
+            if token < 0:
+                continue
+            if token >= len(self._batch):
+                n_stale += 1
+                continue
+            self._assigned[token] = max(0, self._assigned[token] - 1)
+            self._samples[token].append(t)
+            if all(len(s) >= k for s in self._samples):
+                self._tell_batch()
+        return n_stale
+
+    def _absorb_reports(self, tokens: np.ndarray, times: np.ndarray) -> int:
+        """Vectorized absorption, bit-identical to the scalar reference.
+
+        The ordered replay has exactly one structural event to find: the
+        batch can complete *at most once* per group (completion clears
+        ``_batch``, making every later non-negative token stale), and it
+        completes at the position where the last still-deficient candidate
+        receives its k-th sample.  Locating that position turns the
+        per-report Python loop into a handful of array ops plus one
+        bounded pass over the (small) candidate list.
+        """
+        tok = np.asarray(tokens, dtype=np.int64)
+        valid = tok >= 0
+        m = len(self._batch)
+        if m == 0:
+            return int(np.count_nonzero(valid))
+        k = self.plan.k
+        in_batch = valid & (tok < m)
+        pos_in = np.flatnonzero(in_batch)
+        if pos_in.size == 0:
+            return int(np.count_nonzero(valid))
+        tok_in = tok[pos_in]
+        need = np.array(
+            [max(0, k - len(s)) for s in self._samples], dtype=np.int64
+        )
+        deficient = np.flatnonzero(need)
+        complete_at = -1
+        if deficient.size == 0:
+            # Already-satisfied batch (only reachable through a hand-built
+            # restore): the scalar reference completes on the first append.
+            complete_at = int(pos_in[0])
+        elif np.all(np.bincount(tok_in, minlength=m)[deficient]
+                    >= need[deficient]):
+            # Every deficient candidate is satisfied within this group: the
+            # batch completes at the latest of their need-th arrivals.  A
+            # stable sort groups each candidate's arrivals in order, so the
+            # need-th one sits at a fixed offset from its group start.
+            order = np.argsort(tok_in, kind="stable")
+            uniq, starts = np.unique(tok_in[order], return_index=True)
+            at = np.searchsorted(uniq, deficient)
+            hits = starts[at] + need[deficient] - 1
+            complete_at = int(pos_in[order[hits]].max())
+        if complete_at < 0:
+            absorb = in_batch
+            n_stale = int(np.count_nonzero(valid & ~in_batch))
+        else:
+            prefix = np.arange(tok.size) <= complete_at
+            absorb = in_batch & prefix
+            n_stale = int(np.count_nonzero(valid & ~absorb))
+        absorbed_tok = tok[absorb]
+        # One stable sort groups the absorbed samples per candidate; slicing
+        # the bulk-converted list is what keeps the per-candidate work O(1)
+        # plus its own appends (a masked scan per candidate would be O(n·m)).
+        order = np.argsort(absorbed_tok, kind="stable")
+        grouped_times = np.asarray(times)[absorb][order].tolist()
+        uniq, starts = np.unique(absorbed_tok[order], return_index=True)
+        bounds = starts.tolist() + [len(grouped_times)]
+        for i, c in enumerate(uniq.tolist()):
+            lo, hi = bounds[i], bounds[i + 1]
+            self._samples[c].extend(grouped_times[lo:hi])
+            self._assigned[c] = max(0, self._assigned[c] - (hi - lo))
+        if complete_at >= 0:
+            self._tell_batch()
+        return n_stale
 
     def op_best(self) -> dict[str, Any]:
         """The current incumbent configuration and its estimate."""
@@ -522,6 +643,7 @@ class ServerSession:
         remain harmless (they just add extra samples).
         """
         with self._lock:
+            self._check_moved()
             requeued = sum(self._assigned)
             self._assigned = [0 for _ in self._assigned]
             self._append_wal({"t": "op", "m": {"op": "requeue", "session": self.name}})
@@ -796,6 +918,10 @@ class TuningServer:
         self._wal_snapshot_blocked = False
         self._sessions: dict[str, ServerSession] = {}
         self._sessions_lock = threading.Lock()
+        #: tombstones for sessions exported by live migration: any op still
+        #: addressed here is answered with the *moved* envelope until the
+        #: name is reopened or adopted back
+        self._moved: set[str] = set()
         self.metrics = metrics
         self.tracer = tracer
         self._sessions[DEFAULT_SESSION] = self._new_session(
@@ -876,6 +1002,31 @@ class TuningServer:
         with self._sessions_lock:
             return sorted(self._sessions)
 
+    def moved_sessions(self) -> list[str]:
+        """Tombstoned (exported, not yet reopened) session names, sorted."""
+        with self._sessions_lock:
+            return sorted(self._moved)
+
+    def load_report(self) -> dict[str, Any]:
+        """Raw load snapshot for the fleet's heartbeat load reports.
+
+        Cumulative counters, not rates: the :class:`~repro.fleet.shard`
+        agent differences successive snapshots into EWMA rates so the
+        coordinator's planner sees recent throughput, not lifetime totals.
+        """
+        with self._sessions_lock:
+            sessions = dict(self._sessions)
+        report: dict[str, Any] = {
+            "sessions": len(sessions),
+            "reports": {
+                name: int(session.n_reports)
+                for name, session in sessions.items()
+            },
+        }
+        if self.admission is not None:
+            report["pending"] = int(self.admission.pending)
+        return report
+
     def open_session(
         self,
         name: str,
@@ -890,6 +1041,7 @@ class TuningServer:
                 return existing
             session = self._new_session(name, space=space, plan=plan)
             self._sessions[name] = session
+            self._moved.discard(name)
         record: dict[str, Any] = {"op": "open_session", "session": name}
         spec = _plan_spec(plan) if plan is not None else None
         if spec is not None:
@@ -923,6 +1075,7 @@ class TuningServer:
             created = name not in self._sessions
             if created:
                 self._sessions[name] = self._new_session(name, space=space, plan=plan)
+                self._moved.discard(name)
         if created:
             record: dict[str, Any] = {"op": "open_session", "session": name}
             if "k" in message or "estimator" in message:
@@ -964,6 +1117,7 @@ class TuningServer:
             )
         with self._sessions_lock:
             self._sessions[name] = session
+            self._moved.discard(name)
         self.wal_append({
             "t": "op",
             "m": {"op": "adopt_session", "session": name, "state": dict(state)},
@@ -972,6 +1126,46 @@ class TuningServer:
         if self.metrics is not None and not self._wal_replaying:
             self.metrics.inc("server.adopted_sessions")
         return {"ok": True, "session": name, "adopted": True}
+
+    def _op_export_session(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        """Quiesce and ship a session: the source half of live migration.
+
+        The inverse of :meth:`_op_adopt_session`.  Under the session's own
+        lock the session is marked *moved* (so any op that already holds a
+        reference raises :class:`SessionMovedAway` instead of mutating
+        post-export state) and its full ``state_dict`` is cut — in-flight
+        batch, measurement log, per-client cseq high-water marks, reply
+        caches, and registration nonces all travel.  The name is then
+        tombstoned: later ops addressed here get the *moved* envelope until
+        the coordinator's registry flip points clients at the new owner.
+        """
+        name = message.get("session")
+        if not isinstance(name, str) or not name:
+            return error_response("export_session needs a non-empty 'session' name")
+        if name == DEFAULT_SESSION:
+            return error_response("the default session cannot be exported")
+        with self._sessions_lock:
+            session = self._sessions.get(name)
+        if session is None:
+            return error_response(f"no such session {name!r}")
+        if not session.can_snapshot():
+            return error_response(
+                f"session {name!r} does not support checkpointing; "
+                "it cannot be exported"
+            )
+        with session._lock:
+            session.moved = True
+            state = session.state_dict()
+        with self._sessions_lock:
+            self._sessions.pop(name, None)
+            self._moved.add(name)
+        self.wal_append({
+            "t": "op", "m": {"op": "export_session", "session": name},
+        })
+        self._emit("server.session", action="export", session=name)
+        if self.metrics is not None and not self._wal_replaying:
+            self.metrics.inc("server.exported_sessions")
+        return {"ok": True, "session": name, "state": state}
 
     def _op_close_session(self, message: Mapping[str, Any]) -> dict[str, Any]:
         name = message.get("session")
@@ -1093,6 +1287,8 @@ class TuningServer:
                 except TypeError:
                     self._wal_snapshot_blocked = True
                     return False
+                if self._moved:
+                    state["__moved__"] = sorted(self._moved)
                 self._wal.snapshot(state)
         if self.metrics is not None:
             self.metrics.inc("wal.snapshots")
@@ -1100,19 +1296,35 @@ class TuningServer:
         return True
 
     def state_dict(self) -> dict[str, Any]:
-        """Full multi-session state (what a WAL snapshot record carries)."""
+        """Full multi-session state (what a WAL snapshot record carries).
+
+        Migration tombstones travel under the reserved ``"__moved__"`` key
+        (session names may not start with that spelling in practice; the
+        restore side pops it before iterating sessions) so a recovered
+        shard keeps answering *moved* for sessions it exported.
+        """
         with self._sessions_lock:
             sessions = dict(self._sessions)
-        return {name: session.state_dict() for name, session in sessions.items()}
+            moved = sorted(self._moved)
+        state: dict[str, Any] = {
+            name: session.state_dict() for name, session in sessions.items()
+        }
+        if moved:
+            state["__moved__"] = moved
+        return state
 
     def restore_state(self, state: Mapping[str, Any]) -> None:
         """Rebuild every session from a :meth:`state_dict` snapshot."""
+        state = dict(state)
+        moved = state.pop("__moved__", ())
         with self._sessions_lock:
+            self._moved.update(str(name) for name in moved)
             for name, snapshot in state.items():
                 session = self._sessions.get(name)
                 if session is None:
                     session = self._new_session(name)
                     self._sessions[name] = session
+                self._moved.discard(name)
                 session.restore_state(snapshot)
 
     def apply_wal_record(self, record: Mapping[str, Any]) -> None:
@@ -1187,7 +1399,7 @@ class TuningServer:
 
     _SERVER_OPS = frozenset({
         "open_session", "close_session", "list_sessions", "metrics",
-        "adopt_session",
+        "adopt_session", "export_session",
     })
 
     def handle(self, message: Mapping[str, Any]) -> dict[str, Any]:
@@ -1197,6 +1409,8 @@ class TuningServer:
         try:
             op = message.get("op")
             response = self._route(op, message)
+        except SessionMovedAway as exc:
+            response = moved_response(exc.session)
         except Exception as exc:  # protocol boundary: never let the server die
             response = error_response(f"{type(exc).__name__}: {exc}")
         if self._wal_replaying:
@@ -1226,12 +1440,17 @@ class TuningServer:
             return self._op_close_session(message)
         if op == "adopt_session":
             return self._op_adopt_session(message)
+        if op == "export_session":
+            return self._op_export_session(message)
         if op == "list_sessions":
             return self._op_list_sessions()
         if op == "metrics":
             return self._op_metrics()
         name = message.get("session", DEFAULT_SESSION)
-        session = self.session(name)
+        with self._sessions_lock:
+            session = self._sessions.get(name)
+            if session is None and name in self._moved:
+                return moved_response(name)
         if session is None:
             return error_response(
                 f"no such session {name!r}; open it with op 'open_session'"

@@ -500,6 +500,8 @@ class _BinaryWireOps:
         for resp in self._request_frames(builders):
             if resp[0] == "busy":
                 raise protocol.ServerBusy(retry_after=resp[1])
+            if resp[0] == "moved":
+                raise protocol.SessionMoved(resp[1])
             if resp[0] == "error":
                 raise RuntimeError(f"tuning server error: {resp[1]}")
             if resp[0] != "points":
@@ -541,6 +543,8 @@ class _BinaryWireOps:
         for resp in self._request_frames(builders):
             if resp[0] == "busy":
                 raise protocol.ServerBusy(retry_after=resp[1])
+            if resp[0] == "moved":
+                raise protocol.SessionMoved(resp[1])
             if resp[0] == "error":
                 raise RuntimeError(f"tuning server error: {resp[1]}")
             if resp[0] != "ack":

@@ -3,12 +3,15 @@
 The capacity story has three parts: :mod:`repro.loadgen.arrivals` draws
 when requests arrive (uniform / poisson / heavy-tail pareto),
 :mod:`repro.loadgen.slo` scores what happened (percentiles and error
-budgets), and :mod:`repro.loadgen.runner` drives a real server through
-the real client stack in open or closed loop.  The ``repro loadgen``
+budgets), :mod:`repro.loadgen.skew` shapes *which session* each request
+hits (uniform / zipf / pareto hot-session weights, the rebalancing
+benchmark's workload), and :mod:`repro.loadgen.runner` drives a real
+server through the real client stack in open or closed loop.  The ``repro loadgen``
 CLI subcommand is a thin wrapper over :class:`LoadGenerator`.
 """
 
 from repro.loadgen.arrivals import ARRIVALS, interarrival_times
+from repro.loadgen.skew import SKEW_DISTS, session_weights
 from repro.loadgen.runner import (
     LoadGenerator,
     LoadReport,
@@ -19,7 +22,9 @@ from repro.loadgen.slo import LatencyRecorder, SloPolicy
 
 __all__ = [
     "ARRIVALS",
+    "SKEW_DISTS",
     "interarrival_times",
+    "session_weights",
     "LatencyRecorder",
     "SloPolicy",
     "LoadGenerator",

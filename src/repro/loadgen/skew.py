@@ -1,0 +1,78 @@
+"""Skewed per-session load weights: the "hot session" workload shaper.
+
+Real tuning fleets are not uniformly loaded — a handful of sessions (the
+application currently being tuned hard) dominate the request stream while
+the long tail trickles.  This module turns a session count into a
+deterministic, normalized weight vector with that shape, so the skew
+benchmark and the rebalancing battery can say "session 0 gets 31% of the
+load" reproducibly:
+
+* ``zipf`` — the classic rank-frequency law, ``w_i ∝ (i+1)^-s``.
+  Deterministic (no RNG): rank *i* always gets the same share.
+* ``pareto`` — weights drawn from the heavy-tailed
+  :class:`repro.variability.pareto.ParetoDistribution` (the same family
+  the paper uses for runtime variability), then sorted descending.
+  Seeded through *rng* so a fixed seed is a fixed workload.
+* ``uniform`` — equal weights; the no-skew control arm.
+
+Weights always come back descending and summing to 1, so
+``sessions[0]`` is the hottest by construction and round-robin placement
+(the coordinator assigns fresh sessions to the least-loaded shard, ties
+to the lowest id) makes the co-location of hot sessions predictable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SKEW_DISTS", "session_weights"]
+
+#: accepted values for the ``dist`` knob (the CLI's ``--skew``)
+SKEW_DISTS = ("uniform", "zipf", "pareto")
+
+
+def session_weights(
+    n: int,
+    *,
+    dist: str = "zipf",
+    s: float = 0.6,
+    tail_alpha: float = 1.5,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Normalized, descending per-session load weights.
+
+    Parameters
+    ----------
+    n:
+        Number of sessions (>= 1).
+    dist:
+        One of :data:`SKEW_DISTS`.
+    s:
+        Zipf exponent (``dist="zipf"``); larger = more skew.  The default
+        0.6 puts ~45% of the load on the top quarter of 16 sessions.
+    tail_alpha:
+        Pareto shape (``dist="pareto"``); must be > 1 so the mean exists.
+    rng:
+        Seed or generator for ``dist="pareto"`` (default: seed 0, so the
+        benchmark workload is fixed without ceremony).
+    """
+    if n < 1:
+        raise ValueError(f"need at least one session, got {n}")
+    if dist not in SKEW_DISTS:
+        raise ValueError(f"dist must be one of {SKEW_DISTS}, got {dist!r}")
+    if dist == "uniform":
+        weights = np.ones(n, dtype=np.float64)
+    elif dist == "zipf":
+        if s <= 0.0:
+            raise ValueError(f"zipf exponent must be > 0, got {s}")
+        weights = np.arange(1, n + 1, dtype=np.float64) ** -float(s)
+    else:  # pareto
+        from repro.variability.pareto import ParetoDistribution
+
+        generator = (
+            rng if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(0 if rng is None else rng)
+        )
+        dist_obj = ParetoDistribution.from_mean(float(tail_alpha), 1.0)
+        weights = np.sort(dist_obj.sample(generator, n))[::-1]
+    return weights / weights.sum()

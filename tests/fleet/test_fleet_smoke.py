@@ -88,3 +88,71 @@ def test_clean_fleet_sweep_matches_baseline(tmp_path):
         SESSIONS, seed=SEED, k=1, estimator="min", steps=STEPS
     )
     assert results == baseline
+
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_join_attaches_an_externally_started_shard(tmp_path):
+    """``repro fleet --join HOST:PORT``: adopt a shard we did not spawn.
+
+    The shard is a plain ``repro serve --coordinator`` process launched
+    here, before the coordinator even exists — its agent retries
+    registration until the supervisor comes up, ``start()`` blocks until
+    the join target has registered, and from then on routing, leases, and
+    results are indistinguishable from a supervisor-spawned fleet.
+    """
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    coord_port = _free_port()
+    shard_port = _free_port()
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).parents[1])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--workload", "bench", "--transport", "threaded", "--wire", "binary",
+        "--host", "127.0.0.1", "--port", str(shard_port),
+        "--tuner", "pro", "--seed", str(SEED), "--k", "1",
+        "--estimator", "min",
+        "--coordinator", f"127.0.0.1:{coord_port}", "--shard-id", "0",
+    ]
+    log = open(tmp_path / "shard.log", "ab")
+    proc = subprocess.Popen(cmd, stdout=log, stderr=log, env=env)
+    try:
+        with FleetSupervisor(
+            1, base_dir=tmp_path / "coord", coordinator_port=coord_port,
+            join=[("127.0.0.1", shard_port)], wal=False,
+            transport="threaded", wire="binary", lease_s=2.0, seed=SEED,
+        ) as fleet:
+            assert fleet._procs == {}, "join mode must not spawn shards"
+            status = fleet.fleet_status()
+            assert status["shards"]["0"]["alive"]
+            client = fleet.client("ext-0")
+            client.open_session("ext-0", k=1, estimator="min")
+            client.register(bench_space())
+            session_workload(client, 0, steps=STEPS, seed=SEED)
+            results = {"ext-0": sweep_results(client)}
+            client.transport.close()
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+        log.close()
+
+    baseline = single_server_baseline(
+        ["ext-0"], seed=SEED, k=1, estimator="min", steps=STEPS
+    )
+    assert results == baseline

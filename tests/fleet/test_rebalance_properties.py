@@ -1,0 +1,240 @@
+"""Property tests: the rebalance planner is a pure, WAL-replayable machine.
+
+Three families of invariants, Hypothesis-driven:
+
+* **Replay ≡ state** — apply an arbitrary observe / plan / complete
+  stream while WAL-logging exactly what the coordinator logs (applied
+  commands only, as ``{"t": "plan", "c": ...}`` records, optionally with
+  a combined registry+planner snapshot mid-stream), and recovery lands on
+  the identical ``state_dict``.
+* **Safety** — in-flight migrations never exceed ``max_concurrent``, a
+  single hot observation never triggers moves under hysteresis, and a
+  just-moved session cannot ping-pong back within its cooldown window.
+* **Determinism** — the same command stream applied twice produces the
+  same result sequence and the same final state.
+"""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.rebalance import RebalancePlanner
+from repro.fleet.registry import FleetRegistry, recover_registry
+from repro.harmony.wal import WalWriter
+
+import pytest
+
+_SESSIONS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+_RATE = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+_OBSERVE = st.fixed_dictionaries({
+    "c": st.just("observe"),
+    "shards": st.dictionaries(
+        st.integers(min_value=0, max_value=3),
+        st.dictionaries(st.sampled_from(_SESSIONS), _RATE, max_size=5),
+        max_size=4,
+    ),
+})
+_PLAN = st.fixed_dictionaries({"c": st.just("plan")})
+_COMPLETE = st.fixed_dictionaries({
+    "c": st.just("complete"),
+    "session": st.sampled_from(_SESSIONS),
+    "ok": st.booleans(),
+})
+_COMMAND = st.one_of(_OBSERVE, _PLAN, _COMPLETE)
+
+_KNOBS = st.fixed_dictionaries({
+    "skew_ratio": st.floats(min_value=1.1, max_value=4.0, allow_nan=False),
+    "min_load": st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    "hysteresis": st.integers(min_value=1, max_value=3),
+    "cooldown": st.integers(min_value=0, max_value=6),
+    "max_moves": st.integers(min_value=1, max_value=4),
+    "max_concurrent": st.integers(min_value=1, max_value=4),
+})
+
+
+def _run_and_log(planner, commands, wal_dir, *, registry=None,
+                 snapshot_at=None):
+    """Drive *planner*, logging applied commands as the coordinator does."""
+    registry = registry if registry is not None else FleetRegistry()
+    wal = WalWriter(wal_dir, sync="off")
+    for i, cmd in enumerate(commands):
+        if planner.apply(dict(cmd))["applied"]:
+            wal.append({"t": "plan", "c": dict(cmd)})
+        if snapshot_at is not None and i == snapshot_at:
+            wal.snapshot({
+                "registry": registry.state_dict(),
+                "planner": planner.state_dict(),
+            })
+    wal.commit()
+    wal.close()
+
+
+@settings(max_examples=60, deadline=None)
+@given(commands=st.lists(_COMMAND, max_size=50), knobs=_KNOBS)
+def test_wal_replay_reconstructs_identical_planner_state(commands, knobs):
+    live = RebalancePlanner(**knobs)
+    with tempfile.TemporaryDirectory() as tmp:
+        _run_and_log(live, commands, Path(tmp) / "wal")
+        recovered = RebalancePlanner(**knobs)
+        _, wal, _ = recover_registry(Path(tmp) / "wal", planner=recovered)
+        wal.close()
+        assert recovered.state_dict() == live.state_dict()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    commands=st.lists(_COMMAND, min_size=1, max_size=40),
+    knobs=_KNOBS,
+    data=st.data(),
+)
+def test_replay_from_combined_snapshot_matches(commands, knobs, data):
+    snapshot_at = data.draw(
+        st.integers(min_value=0, max_value=len(commands) - 1)
+    )
+    live = RebalancePlanner(**knobs)
+    with tempfile.TemporaryDirectory() as tmp:
+        _run_and_log(
+            live, commands, Path(tmp) / "wal", snapshot_at=snapshot_at
+        )
+        recovered = RebalancePlanner(**knobs)
+        _, wal, _ = recover_registry(Path(tmp) / "wal", planner=recovered)
+        wal.close()
+        assert recovered.state_dict() == live.state_dict()
+
+
+@settings(max_examples=80, deadline=None)
+@given(commands=st.lists(_COMMAND, max_size=60), knobs=_KNOBS)
+def test_inflight_never_exceeds_max_concurrent(commands, knobs):
+    planner = RebalancePlanner(**knobs)
+    for cmd in commands:
+        planner.apply(dict(cmd))
+        assert len(planner.inflight) <= knobs["max_concurrent"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(commands=st.lists(_COMMAND, max_size=50), knobs=_KNOBS)
+def test_same_stream_is_deterministic(commands, knobs):
+    first = RebalancePlanner(**knobs)
+    second = RebalancePlanner(**knobs)
+    results_a = [first.apply(dict(c)) for c in commands]
+    results_b = [second.apply(dict(c)) for c in commands]
+    assert results_a == results_b
+    assert first.state_dict() == second.state_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(commands=st.lists(_COMMAND, max_size=40), knobs=_KNOBS)
+def test_state_dict_round_trips(commands, knobs):
+    planner = RebalancePlanner(**knobs)
+    for cmd in commands:
+        planner.apply(dict(cmd))
+    clone = RebalancePlanner(**knobs)
+    clone.restore_state(planner.state_dict())
+    assert clone.state_dict() == planner.state_dict()
+
+
+# -- targeted safety scenarios (deterministic, no Hypothesis needed) ------------
+
+def _skewed_observation(hot_rate=50.0):
+    """Shard 0 carries everything; shards 1 and 2 idle."""
+    return {
+        "c": "observe",
+        "shards": {
+            0: {"alpha": hot_rate, "beta": hot_rate / 2},
+            1: {},
+            2: {},
+        },
+    }
+
+
+def test_single_hot_sample_never_plans_under_hysteresis():
+    planner = RebalancePlanner(hysteresis=2)
+    planner.apply(_skewed_observation())
+    assert planner.apply({"c": "plan"}) == {"applied": False, "moves": []}
+
+
+def test_hysteresis_satisfied_plans_heaviest_first():
+    planner = RebalancePlanner(hysteresis=2)
+    planner.apply(_skewed_observation())
+    planner.apply(_skewed_observation())
+    result = planner.apply({"c": "plan"})
+    assert result["applied"]
+    assert result["moves"][0]["session"] == "alpha"  # heaviest first
+    assert all(m["src"] == 0 for m in result["moves"])
+    # planning resets the streak: the very next plan is a no-op
+    assert planner.hot_streak == 0
+    assert planner.apply({"c": "plan"})["moves"] == []
+
+
+def test_no_ping_pong_within_the_cooldown_window():
+    """A freshly moved session stays put for ``cooldown`` ticks even if the
+    observations keep calling its new home hot."""
+    planner = RebalancePlanner(hysteresis=1, cooldown=4, max_moves=1)
+    planner.apply({
+        "c": "observe",
+        "shards": {0: {"alpha": 50.0, "beta": 20.0}, 1: {}, 2: {}},
+    })
+    moves = planner.apply({"c": "plan"})["moves"]
+    assert [m["session"] for m in moves] == ["alpha"]
+    planner.apply({"c": "complete", "session": "alpha", "ok": True})
+    # alpha now hammers shard 1; within the cooldown it must not bounce back
+    for _ in range(planner.cooldown - 1):
+        planner.apply({
+            "c": "observe",
+            "shards": {0: {}, 1: {"alpha": 50.0}, 2: {}},
+        })
+        assert planner.apply({"c": "plan"})["moves"] == []
+    # once the cooldown expires, the skew is actionable again
+    planner.apply({
+        "c": "observe",
+        "shards": {0: {}, 1: {"alpha": 50.0, "gamma": 30.0}, 2: {}},
+    })
+    moves = planner.apply({"c": "plan"})["moves"]
+    assert [m["session"] for m in moves] == ["alpha"]
+
+
+def test_failed_migration_gets_no_cooldown():
+    skewed = {
+        "c": "observe",
+        "shards": {0: {"alpha": 50.0, "beta": 20.0}, 1: {}, 2: {}},
+    }
+    planner = RebalancePlanner(hysteresis=1, cooldown=5, max_moves=1)
+    planner.apply(skewed)
+    assert planner.apply({"c": "plan"})["moves"]
+    planner.apply({"c": "complete", "session": "alpha", "ok": False})
+    assert "alpha" not in planner.cooldown_until
+    planner.apply(skewed)
+    assert planner.apply({"c": "plan"})["moves"], (
+        "a failed move must be retryable immediately"
+    )
+
+
+def test_move_that_would_relocate_the_hot_spot_is_skipped():
+    """One giant session on the hot shard: moving it just moves the skew."""
+    planner = RebalancePlanner(hysteresis=1)
+    planner.apply({
+        "c": "observe",
+        "shards": {0: {"alpha": 90.0}, 1: {"beta": 10.0}},
+    })
+    assert planner.apply({"c": "plan"})["moves"] == []
+
+
+def test_unknown_command_raises():
+    with pytest.raises(ValueError):
+        RebalancePlanner().apply({"c": "defragment"})
+
+
+def test_knob_validation():
+    for bad in (
+        {"skew_ratio": 1.0},
+        {"min_load": -0.1},
+        {"hysteresis": 0},
+        {"cooldown": -1},
+        {"max_moves": 0},
+        {"max_concurrent": 0},
+    ):
+        with pytest.raises(ValueError):
+            RebalancePlanner(**bad)

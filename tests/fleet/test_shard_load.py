@@ -1,0 +1,137 @@
+"""Heartbeat load reports: the shard-side EWMA and the registry's view.
+
+The rebalancing pipeline starts here: ``TuningServer.load_report`` hands
+the shard agent cumulative per-session report counters, the agent diffs
+successive snapshots into EWMA requests/second (``sample_load``, clock
+injectable), the heartbeat carries the resulting load dict to the
+coordinator, and ``FleetRegistry`` keeps the latest one per shard for the
+planner's ``observe`` commands.
+"""
+
+import pytest
+
+from repro.fleet.registry import FleetRegistry
+from repro.fleet.shard import ShardAgent
+
+
+def make_agent(load_fn, alpha=0.5):
+    return ShardAgent(
+        ("127.0.0.1", 1), host="127.0.0.1", port=2,
+        load_fn=load_fn, load_alpha=alpha,
+    )
+
+
+class TestSampleLoad:
+    def test_no_load_fn_means_no_report(self):
+        agent = ShardAgent(("127.0.0.1", 1), host="127.0.0.1", port=2)
+        assert agent.sample_load(now=0.0) is None
+
+    def test_failing_load_fn_never_breaks_the_heartbeat(self):
+        def boom():
+            raise RuntimeError("sessions lock wedged")
+        assert make_agent(boom).sample_load(now=0.0) is None
+
+    def test_first_sample_has_no_rates_yet(self):
+        agent = make_agent(lambda: {
+            "sessions": 2, "reports": {"a": 100, "b": 50}, "pending": 3,
+        })
+        load = agent.sample_load(now=0.0)
+        assert load == {
+            "sessions": 2, "rps": 0.0, "session_rps": {}, "pending": 3,
+        }
+
+    def test_second_sample_is_the_instantaneous_rate(self):
+        reports = {"a": 0}
+        agent = make_agent(lambda: {"sessions": 1, "reports": dict(reports)})
+        agent.sample_load(now=0.0)
+        reports["a"] = 40
+        load = agent.sample_load(now=2.0)  # 40 reports over 2 s
+        assert load["session_rps"] == {"a": 20.0}
+        assert load["rps"] == 20.0
+
+    def test_ewma_blends_with_alpha(self):
+        reports = {"a": 0}
+        agent = make_agent(
+            lambda: {"sessions": 1, "reports": dict(reports)}, alpha=0.5
+        )
+        agent.sample_load(now=0.0)
+        reports["a"] = 20
+        agent.sample_load(now=1.0)   # inst 20 -> rate 20
+        reports["a"] = 30
+        load = agent.sample_load(now=2.0)  # inst 10 -> 0.5*10 + 0.5*20
+        assert load["session_rps"] == {"a": 15.0}
+
+    def test_vanished_sessions_are_dropped(self):
+        reports = {"a": 0, "b": 0}
+        agent = make_agent(lambda: {"sessions": 1, "reports": dict(reports)})
+        agent.sample_load(now=0.0)
+        reports["a"] = 10
+        reports["b"] = 10
+        agent.sample_load(now=1.0)
+        del reports["b"]  # closed or migrated away
+        load = agent.sample_load(now=2.0)
+        assert set(load["session_rps"]) == {"a"}
+
+    def test_counter_reset_clamps_to_zero_rate(self):
+        """A recovered shard may restart counters below the last sample."""
+        reports = {"a": 100}
+        agent = make_agent(lambda: {"sessions": 1, "reports": dict(reports)})
+        agent.sample_load(now=0.0)
+        reports["a"] = 5  # went backwards: crash + WAL truncation
+        load = agent.sample_load(now=1.0)
+        assert load["session_rps"]["a"] == 0.0
+
+    def test_pending_is_passed_through_only_when_present(self):
+        agent = make_agent(lambda: {"sessions": 0, "reports": {}})
+        assert "pending" not in agent.sample_load(now=0.0)
+
+
+class TestRegistryLoad:
+    def _register(self, registry, shard=0):
+        registry.apply({
+            "c": "register", "shard": shard, "host": "127.0.0.1",
+            "port": 9000 + shard, "wal_dir": None, "until": 10.0,
+        })
+
+    def test_heartbeat_stores_the_latest_load(self):
+        registry = FleetRegistry()
+        self._register(registry)
+        assert registry.shard_load(0) is None
+        load = {"sessions": 1, "rps": 12.5, "session_rps": {"a": 12.5}}
+        registry.apply({"c": "heartbeat", "shard": 0, "until": 20.0,
+                        "load": load})
+        assert registry.shard_load(0) == load
+        newer = {"sessions": 1, "rps": 3.0, "session_rps": {"a": 3.0}}
+        registry.apply({"c": "heartbeat", "shard": 0, "until": 30.0,
+                        "load": newer})
+        assert registry.shard_load(0) == newer
+
+    def test_heartbeat_without_load_keeps_the_previous_report(self):
+        registry = FleetRegistry()
+        self._register(registry)
+        load = {"sessions": 0, "rps": 0.0, "session_rps": {}}
+        registry.apply({"c": "heartbeat", "shard": 0, "until": 20.0,
+                        "load": load})
+        registry.apply({"c": "heartbeat", "shard": 0, "until": 30.0})
+        assert registry.shard_load(0) == load
+
+    def test_unknown_shard_load_is_none(self):
+        assert FleetRegistry().shard_load(7) is None
+
+    def test_load_survives_state_dict_round_trip(self):
+        registry = FleetRegistry()
+        self._register(registry)
+        load = {"sessions": 2, "rps": 5.0, "session_rps": {"a": 2.0, "b": 3.0}}
+        registry.apply({"c": "heartbeat", "shard": 0, "until": 20.0,
+                        "load": load})
+        clone = FleetRegistry()
+        clone.restore_state(registry.state_dict())
+        assert clone.shard_load(0) == load
+        assert clone.state_dict() == registry.state_dict()
+
+    def test_malformed_load_is_ignored(self):
+        registry = FleetRegistry()
+        self._register(registry)
+        registry.apply({"c": "heartbeat", "shard": 0, "until": 20.0,
+                        "load": "not-a-dict"})
+        assert registry.shard_load(0) is None

@@ -178,3 +178,160 @@ class TestSessionCaps:
         assert controller.try_admit(1, session="a")
         assert not controller.try_admit(1, session="a")  # a at its half
         assert controller.try_admit(1, session="b")
+
+
+class _FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# A rate-policy step: let *dt* seconds pass, then offer *weight* units.
+_rate_steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        st.integers(min_value=1, max_value=8),
+    ),
+    max_size=100,
+)
+
+
+class TestRatePolicy:
+    """The token bucket: deterministic, bounded, and shed-iff-dry."""
+
+    @given(steps=_rate_steps,
+           capacity=st.integers(min_value=1, max_value=8),
+           rate=st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_admission_matches_the_reference_bucket(self, steps, capacity, rate):
+        """Every decision equals a hand-rolled bucket simulation: a request
+        is refused iff the bucket holds fewer tokens than its weight and is
+        not full (the full-bucket escape admits oversized bursts)."""
+        clock = _FakeClock()
+        controller = AdmissionController(
+            capacity, policy="rate", refill_rate=rate, clock=clock
+        )
+        tokens = float(capacity)
+        last = 0.0
+        shed = 0
+        for dt, weight in steps:
+            clock.advance(dt)
+            elapsed = clock.t - last
+            last = clock.t
+            if elapsed > 0.0:
+                tokens = min(float(capacity), tokens + elapsed * rate)
+            full = tokens >= float(capacity)
+            expect = not (tokens < weight and not full)
+            assert controller.try_admit(weight) is expect
+            if expect:
+                tokens = max(0.0, tokens - weight)
+            else:
+                shed += weight
+        assert controller.tokens == tokens
+        assert controller.shed == shed
+
+    @given(steps=_rate_steps,
+           capacity=st.integers(min_value=1, max_value=8),
+           rate=st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_bucket_stays_bounded_and_counters_reconcile(self, steps,
+                                                         capacity, rate):
+        clock = _FakeClock()
+        controller = AdmissionController(
+            capacity, policy="rate", refill_rate=rate, clock=clock
+        )
+        admitted = 0
+        for dt, weight in steps:
+            clock.advance(dt)
+            if controller.try_admit(weight):
+                admitted += weight
+                controller.complete(weight)  # instant service
+            assert 0.0 <= controller.tokens <= float(capacity)
+        snap = controller.snapshot()
+        assert snap["admitted"] == admitted
+        assert snap["admitted"] == snap["completed"] + snap["pending"]
+        assert snap["tokens"] == controller.tokens
+        assert snap["refill_rate"] == rate
+
+    @given(steps=_rate_steps)
+    @settings(max_examples=60, deadline=None)
+    def test_same_stream_is_deterministic(self, steps):
+        snaps = []
+        for _ in range(2):
+            clock = _FakeClock()
+            controller = AdmissionController(
+                4, policy="rate", refill_rate=2.0, clock=clock
+            )
+            decisions = []
+            for dt, weight in steps:
+                clock.advance(dt)
+                decisions.append(controller.try_admit(weight))
+            snaps.append((decisions, controller.snapshot()))
+        assert snaps[0] == snaps[1]
+
+    def test_refill_restores_admission(self):
+        clock = _FakeClock()
+        controller = AdmissionController(
+            2, policy="rate", refill_rate=1.0, clock=clock
+        )
+        assert controller.try_admit(2)   # drain the full burst allowance
+        assert not controller.try_admit(1)
+        clock.advance(0.5)
+        assert not controller.try_admit(1)  # only half a token back
+        clock.advance(0.6)
+        assert controller.try_admit(1)
+
+    def test_oversized_burst_admitted_only_when_full(self):
+        clock = _FakeClock()
+        controller = AdmissionController(
+            4, policy="rate", refill_rate=1.0, clock=clock
+        )
+        assert controller.try_admit(10)  # full-bucket escape
+        assert controller.tokens == 0.0
+        assert not controller.try_admit(10)  # dry now: wait for refill
+        clock.advance(4.0)  # bucket back to capacity
+        assert controller.try_admit(10)
+
+    def test_retry_after_tracks_the_refill_deficit(self):
+        clock = _FakeClock()
+        controller = AdmissionController(
+            2, policy="rate", refill_rate=0.5, retry_after_s=0.05, clock=clock
+        )
+        controller.try_admit(2)
+        # one token is 2 s away at 0.5 units/s
+        assert controller.retry_after == pytest.approx(2.0)
+        clock.advance(1.0)
+        controller.tokens  # refresh the bucket to now
+        assert controller.retry_after == pytest.approx(1.0)
+        clock.advance(10.0)
+        controller.tokens
+        assert controller.retry_after == pytest.approx(0.05)
+
+    def test_rate_config_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(4, policy="rate")  # refill_rate required
+        with pytest.raises(ValueError):
+            AdmissionController(4, policy="rate", refill_rate=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(4, policy="reject", refill_rate=1.0)
+        with pytest.raises(ValueError):
+            AdmissionController(4, policy="fair", refill_rate=1.0)
+
+    def test_session_caps_compose_with_the_bucket(self):
+        clock = _FakeClock()
+        controller = AdmissionController(
+            8, policy="rate", refill_rate=1.0, max_session_pending=2,
+            clock=clock,
+        )
+        assert controller.try_admit(1, session="hot")
+        assert controller.try_admit(1, session="hot")
+        # tokens remain (8 - 2 = 6) but the session cap binds first
+        assert not controller.try_admit(1, session="hot")
+        assert controller.try_admit(1, session="cold")

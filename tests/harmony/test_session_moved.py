@@ -1,0 +1,219 @@
+"""Live-migration primitives: export_session, moved tombstones, both wires.
+
+``export_session`` is the source half of drain-and-move: it quiesces a
+session under its own lock, cuts the full ``state_dict`` (batch,
+measurement log, cseq high-water marks, reply caches, nonces), and leaves
+a tombstone behind so stragglers get the *moved* envelope — JSON
+``{"moved": true}`` or a binary ``MSG_MOVED`` frame — instead of an
+error.  ``adopt_session`` on the destination is the existing death-path
+op; together they must be lossless, WAL-durable, and surfaced to clients
+as :class:`~repro.harmony.client.SessionMoved` (a ``ConnectionError``)
+so the reconnect machinery chases the session to its new shard.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pro import ParallelRankOrdering
+from repro.core.sampling import SamplingPlan
+from repro.harmony import binproto
+from repro.harmony.client import SessionMoved, TuningClient
+from repro.harmony.server import DEFAULT_SESSION, TuningServer
+from repro.harmony.transport import InProcessTransport
+from repro.harmony.wal import WalWriter, recover_server
+from repro.space import IntParameter, ParameterSpace
+from repro.space.serialize import space_to_spec
+
+
+def make_space():
+    return ParameterSpace([IntParameter("a", -10, 10), IntParameter("b", -10, 10)])
+
+
+def make_server(**kwargs):
+    return TuningServer(lambda s: ParallelRankOrdering(s),
+                        plan=SamplingPlan(1), **kwargs)
+
+
+def _frame(raw):
+    """Decode one binary reply frame into (msg_type, seq, payload)."""
+    kind, msg_type, seq, payload = next(iter(binproto.iter_frames([raw])))
+    assert kind == "bin"
+    return msg_type, seq, payload
+
+
+def drive(server, session, steps, *, start=0):
+    """Deterministic fetch/report rounds against *session*.
+
+    Registers with a fixed nonce so a re-registration after migration
+    resumes the same client id instead of minting a fresh one — exactly
+    what a reconnecting :class:`TuningClient` does.
+    """
+    name = {"session": session}
+    server.handle(
+        {"op": "register", "params": space_to_spec(make_space()),
+         "nonce": "test-nonce", **name}
+    )
+    for step in range(start, start + steps):
+        resp = server.handle({"op": "fetch", "client_id": 0, **name})
+        assert resp["ok"], resp
+        point = np.asarray(resp["point"])
+        resp = server.handle(
+            {"op": "report", "client_id": 0, "token": resp["token"],
+             "time": 1.0 + float(np.sum(point ** 2)), "step": step, **name}
+        )
+        assert resp["ok"], resp
+
+
+class TestExportSession:
+    def test_export_returns_state_and_tombstones(self):
+        server = make_server()
+        server.handle({"op": "open_session", "session": "mig"})
+        drive(server, "mig", 3)
+        resp = server.handle({"op": "export_session", "session": "mig"})
+        assert resp["ok"] and resp["session"] == "mig"
+        assert isinstance(resp["state"], dict)
+        assert server.session("mig") is None
+        assert server.moved_sessions() == ["mig"]
+        # stragglers get the moved envelope, not an error
+        moved = server.handle({"op": "fetch", "client_id": 0, "session": "mig"})
+        assert not moved["ok"] and moved.get("moved") is True
+        assert moved["session"] == "mig"
+
+    def test_export_validation(self):
+        server = make_server()
+        assert not server.handle({"op": "export_session"})["ok"]
+        assert not server.handle(
+            {"op": "export_session", "session": DEFAULT_SESSION}
+        )["ok"]
+        assert not server.handle(
+            {"op": "export_session", "session": "ghost"}
+        )["ok"]
+
+    def test_reopen_clears_the_tombstone(self):
+        server = make_server()
+        server.handle({"op": "open_session", "session": "mig"})
+        server.handle({"op": "export_session", "session": "mig"})
+        assert server.moved_sessions() == ["mig"]
+        server.handle({"op": "open_session", "session": "mig"})
+        assert server.moved_sessions() == []
+        assert server.session("mig") is not None
+
+    def test_export_then_adopt_is_lossless(self):
+        """src → dst migration mid-sweep matches an uninterrupted twin."""
+        twin = make_server()
+        twin.handle({"op": "open_session", "session": "mig"})
+        drive(twin, "mig", 6)
+
+        src = make_server()
+        src.handle({"op": "open_session", "session": "mig"})
+        drive(src, "mig", 3)
+        state = src.handle({"op": "export_session", "session": "mig"})["state"]
+
+        dst = make_server()
+        adopted = dst.handle(
+            {"op": "adopt_session", "session": "mig", "state": state}
+        )
+        assert adopted["ok"] and adopted["adopted"]
+        drive(dst, "mig", 3, start=3)
+
+        assert (
+            dst.session("mig").state_dict() == twin.session("mig").state_dict()
+        ), "migrated session diverged from the uninterrupted twin"
+
+    def test_adopting_an_exported_name_clears_its_tombstone(self):
+        """A session can migrate away and later migrate back."""
+        server = make_server()
+        server.handle({"op": "open_session", "session": "mig"})
+        drive(server, "mig", 2)
+        state = server.handle({"op": "export_session", "session": "mig"})["state"]
+        assert server.moved_sessions() == ["mig"]
+        resp = server.handle(
+            {"op": "adopt_session", "session": "mig", "state": state}
+        )
+        assert resp["ok"]
+        assert server.moved_sessions() == []
+        drive(server, "mig", 2, start=2)  # fully serviceable again
+
+
+class TestMovedEnvelopeOnTheWires:
+    def test_client_raises_session_moved(self):
+        server = make_server()
+        server.handle({"op": "open_session", "session": "mig"})
+        client = TuningClient(InProcessTransport(server), session="mig")
+        client.register(make_space())
+        server.handle({"op": "export_session", "session": "mig"})
+        with pytest.raises(SessionMoved) as excinfo:
+            client.fetch()
+        assert excinfo.value.session == "mig"
+        assert isinstance(excinfo.value, ConnectionError)
+
+    def test_binary_frame_answers_moved(self):
+        server = make_server(binproto=True)
+        server.handle({"op": "open_session", "session": "mig"})
+        drive(server, "mig", 1)
+        server.handle({"op": "export_session", "session": "mig"})
+        msg_type, seq, payload = _frame(binproto.encode_fetch_many(7, "mig", 0, 4))
+        reply = binproto.dispatch_frame(server, msg_type, seq, payload)
+        r_type, r_seq, r_payload = _frame(reply)
+        assert r_type == binproto.MSG_MOVED and r_seq == 7
+        assert binproto.decode_response(r_type, r_payload) == ("moved", "mig")
+
+    def test_unknown_session_is_still_an_error_not_moved(self):
+        server = make_server(binproto=True)
+        msg_type, seq, payload = _frame(binproto.encode_fetch_many(1, "ghost", 0, 4))
+        reply = binproto.dispatch_frame(server, msg_type, seq, payload)
+        r_type, _, _ = _frame(reply)
+        assert r_type == binproto.MSG_ERROR
+
+
+class TestDurability:
+    def test_state_dict_round_trips_the_tombstone(self):
+        server = make_server()
+        server.handle({"op": "open_session", "session": "mig"})
+        server.handle({"op": "export_session", "session": "mig"})
+        state = server.state_dict()
+        assert state["__moved__"] == ["mig"]
+        clone = make_server()
+        clone.restore_state(state)
+        assert clone.moved_sessions() == ["mig"]
+        moved = clone.handle({"op": "status", "session": "mig"})
+        assert not moved["ok"] and moved.get("moved") is True
+
+    def test_wal_replay_preserves_export(self, tmp_path):
+        server = make_server()
+        server.attach_wal(WalWriter(tmp_path / "wal", sync="batch"))
+        server.handle({"op": "open_session", "session": "mig"})
+        drive(server, "mig", 2)
+        server.handle({"op": "export_session", "session": "mig"})
+        server.close_wal()
+
+        recovered = recover_server(
+            lambda s: ParallelRankOrdering(s), tmp_path / "wal",
+            plan=SamplingPlan(1),
+        )
+        assert recovered.moved_sessions() == ["mig"]
+        moved = recovered.handle({"op": "fetch", "client_id": 0, "session": "mig"})
+        assert not moved["ok"] and moved.get("moved") is True
+        recovered.close_wal()
+
+    def test_wal_replay_rebuilds_an_adopted_session(self, tmp_path):
+        donor = make_server()
+        donor.handle({"op": "open_session", "session": "mig"})
+        drive(donor, "mig", 3)
+        state = donor.handle({"op": "export_session", "session": "mig"})["state"]
+
+        dst = make_server()
+        dst.attach_wal(WalWriter(tmp_path / "wal", sync="batch"))
+        assert dst.handle(
+            {"op": "adopt_session", "session": "mig", "state": state}
+        )["ok"]
+        expected = dst.session("mig").state_dict()
+        dst.close_wal()
+
+        recovered = recover_server(
+            lambda s: ParallelRankOrdering(s), tmp_path / "wal",
+            plan=SamplingPlan(1),
+        )
+        assert recovered.session("mig") is not None
+        assert recovered.session("mig").state_dict() == expected
+        recovered.close_wal()

@@ -1,0 +1,76 @@
+"""Per-session skew weights: deterministic, descending, normalized."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen import SKEW_DISTS, session_weights
+
+
+class TestShape:
+    @pytest.mark.parametrize("dist", SKEW_DISTS)
+    @pytest.mark.parametrize("n", [1, 4, 16])
+    def test_normalized_and_descending(self, dist, n):
+        weights = session_weights(n, dist=dist)
+        assert weights.shape == (n,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) <= 0), "weights must be descending"
+        assert np.all(weights > 0)
+
+    def test_uniform_is_the_no_skew_control(self):
+        assert np.allclose(session_weights(8, dist="uniform"), 1 / 8)
+
+
+class TestZipf:
+    def test_rank_frequency_law(self):
+        weights = session_weights(4, dist="zipf", s=1.0)
+        # w_i ∝ 1/(i+1): exact ratios, no RNG involved
+        assert weights[0] / weights[1] == pytest.approx(2.0)
+        assert weights[0] / weights[3] == pytest.approx(4.0)
+
+    def test_larger_exponent_means_more_skew(self):
+        mild = session_weights(16, dist="zipf", s=0.6)
+        steep = session_weights(16, dist="zipf", s=1.5)
+        assert steep[0] > mild[0]
+        assert steep[-1] < mild[-1]
+
+    def test_deterministic(self):
+        a = session_weights(16, dist="zipf", s=1.0)
+        b = session_weights(16, dist="zipf", s=1.0)
+        assert np.array_equal(a, b)
+
+    def test_benchmark_regime_co_locates_majority_load(self):
+        """The skew bench's workload: s=1.0 over 16 sessions puts >60% of
+        the load on the top four (one shard of a round-robin 4-fleet)."""
+        weights = session_weights(16, dist="zipf", s=1.0)
+        assert weights[:4].sum() > 0.6
+
+
+class TestPareto:
+    def test_fixed_seed_is_a_fixed_workload(self):
+        a = session_weights(8, dist="pareto")
+        b = session_weights(8, dist="pareto")
+        assert np.array_equal(a, b)
+
+    def test_seeds_vary_the_draw(self):
+        a = session_weights(8, dist="pareto", rng=1)
+        b = session_weights(8, dist="pareto", rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_generator_instance_is_honored(self):
+        a = session_weights(8, dist="pareto", rng=np.random.default_rng(7))
+        b = session_weights(8, dist="pareto", rng=7)
+        assert np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_needs_a_session(self):
+        with pytest.raises(ValueError):
+            session_weights(0)
+
+    def test_unknown_dist(self):
+        with pytest.raises(ValueError):
+            session_weights(4, dist="bimodal")
+
+    def test_zipf_exponent_must_be_positive(self):
+        with pytest.raises(ValueError):
+            session_weights(4, dist="zipf", s=0.0)

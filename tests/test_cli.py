@@ -295,3 +295,77 @@ class TestStencilWorkload:
         )
         assert code == 0
         assert target.exists()
+
+class TestRateAdmissionFlags:
+    def test_parser_accepts_rate_policy(self):
+        args = build_parser().parse_args(
+            ["serve", "--shed-policy", "rate", "--max-pending", "64",
+             "--refill-rate", "200"]
+        )
+        assert args.shed_policy == "rate"
+        assert args.max_pending == 64
+        assert args.refill_rate == 200.0
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shed_policy == "reject"
+        assert args.refill_rate is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--shed-policy", "lifo"])
+
+    def test_rate_policy_requires_both_knobs(self, capsys):
+        code = main(["serve", "--port", "0", "--duration", "1",
+                     "--shed-policy", "rate", "--max-pending", "64"])
+        assert code == 2
+        assert "--refill-rate" in capsys.readouterr().err
+
+    def test_refill_rate_is_rate_policy_only(self, capsys):
+        code = main(["serve", "--port", "0", "--duration", "1",
+                     "--max-pending", "64", "--refill-rate", "5"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--refill-rate only applies to --shed-policy rate" in err
+
+
+class TestFleetRebalanceFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.rebalance is False
+        assert args.skew == "none"
+        assert args.join is None
+        assert args.coordinator_port == 0
+
+    def test_parser_accepts_the_rebalance_demo(self):
+        args = build_parser().parse_args(
+            ["fleet", "--shards", "4", "--skew", "pareto", "--rebalance"]
+        )
+        assert args.rebalance and args.skew == "pareto"
+
+    def test_join_accumulates_endpoints(self):
+        args = build_parser().parse_args(
+            ["fleet", "--join", "127.0.0.1:9001", "--join", ":9002"]
+        )
+        assert args.join == ["127.0.0.1:9001", ":9002"]
+
+    def test_unknown_skew_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--skew", "bimodal"])
+
+    def test_skew_conflicts_with_baseline_check(self, capsys):
+        code = main(["fleet", "--shards", "1", "--sessions", "1",
+                     "--steps", "2", "--no-wal",
+                     "--skew", "zipf", "--baseline-check"])
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_skewed_sweep_reshapes_per_session_steps(self, tmp_path, capsys):
+        code = main(
+            ["fleet", "--shards", "1", "--sessions", "2", "--steps", "4",
+             "--no-wal", "--dir", str(tmp_path), "--skew", "zipf"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skewed sweep (zipf)" in out
+        assert "fleet up" in out

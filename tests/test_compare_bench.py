@@ -10,14 +10,14 @@ from compare_bench import CEILINGS, FLOORS, GUARDED, compare, main  # noqa: E402
 
 
 def payload(sweep=3.0, cluster=2.5, obs=0.01, sweep_cpu=0.9, wal=0.05,
-            fleet=3.2, cap_p99=20.0, cap_floor=1024):
+            fleet=3.2, skew=1.8, replay=2.5, cap_p99=20.0, cap_floor=1024):
     return {
         "sweep": {"speedup": sweep},
         "cluster_step": {"speedup": cluster},
         "obs": {"overhead_frac": obs},
         "sweep_cpu": {"speedup": sweep_cpu},
-        "server": {"wal_overhead_frac": wal},
-        "fleet": {"speedup_4": fleet},
+        "server": {"wal_overhead_frac": wal, "report_replay_speedup": replay},
+        "fleet": {"speedup_4": fleet, "skew_speedup": skew},
         "capacity": {"p99_anchor_ms": cap_p99, "sessions_floor": cap_floor},
     }
 
@@ -136,6 +136,47 @@ class TestFleetFloor:
         current = {k: v for k, v in payload().items() if k != "fleet"}
         failures = compare(payload(), current, tolerance=0.2)
         assert any("fleet.speedup_4" in f and "missing" in f for f in failures)
+
+
+class TestSkewFloor:
+    def test_skew_speedup_is_guarded(self):
+        assert ("fleet", "skew_speedup") in GUARDED
+
+    def test_skew_speedup_has_a_hard_floor(self):
+        assert ("fleet", "skew_speedup", 1.5) in FLOORS
+
+    def test_report_replay_speedup_is_guarded(self):
+        assert ("server", "report_replay_speedup") in GUARDED
+
+    def test_above_floor_passes(self):
+        assert compare(payload(), payload(skew=1.9), tolerance=0.2) == []
+
+    def test_below_floor_fails_regardless_of_baseline(self):
+        # Even a baseline already under the floor does not excuse it: the
+        # planner must keep earning >= 1.5x on the skewed workload.
+        failures = compare(
+            payload(skew=1.3), payload(skew=1.4), tolerance=0.5
+        )
+        assert any(
+            "fleet.skew_speedup" in f and "floor" in f for f in failures
+        )
+
+    def test_regression_within_floor_still_caught_by_guard(self):
+        # 2.2 -> 1.6 stays above the floor but busts the 20% tolerance.
+        failures = compare(
+            payload(skew=2.2), payload(skew=1.6), tolerance=0.2
+        )
+        assert any(
+            "fleet.skew_speedup" in f and "floor" not in f for f in failures
+        )
+
+    def test_skew_metric_dropped_from_current_fails(self):
+        current = payload()
+        del current["fleet"]["skew_speedup"]
+        failures = compare(payload(), current, tolerance=0.2)
+        assert any(
+            "fleet.skew_speedup" in f and "missing" in f for f in failures
+        )
 
 
 class TestCapacityGuards:
